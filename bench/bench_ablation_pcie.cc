@@ -1,0 +1,61 @@
+// Ablation: bus interconnect generation. Section 5.5.2 cites faster
+// buses (NVLink, CXL) as hardware mitigations for the CPU-GPU
+// communication bottleneck. This ablation swaps the PCIe 3.0 model
+// for an NVLink-class bus and re-evaluates the Figure 8 task types:
+// the low-complexity add_func — hopeless on PCIe — becomes
+// GPU-competitive, while matmul_func barely moves (compute bound).
+
+#include "bench_common.h"
+
+#include "algos/matmul.h"
+#include "perf/cost_model.h"
+
+namespace tb = taskbench;
+
+namespace {
+
+std::string UserSpeedup(const tb::perf::CostModel& model,
+                        const tb::perf::TaskCost& cost) {
+  if (!model.CheckGpuFit(cost).ok()) return "GPU OOM";
+  const double cpu =
+      model.CpuParallelFraction(cost) + model.SerialFraction(cost);
+  const double gpu = model.GpuParallelFraction(cost) +
+                     model.SerialFraction(cost) + model.CpuGpuComm(cost);
+  return tb::analysis::FormatSpeedup(tb::analysis::SignedSpeedup(cpu, gpu));
+}
+
+}  // namespace
+
+int main() {
+  tb::bench::PrintHeader(
+      "Ablation: bus interconnect",
+      "PCIe 3.0 (pageable) vs NVLink-class CPU-GPU bus");
+
+  tb::hw::ClusterSpec pcie_cluster = tb::hw::MinotauroCluster();
+  tb::hw::ClusterSpec nvlink_cluster = tb::hw::MinotauroCluster();
+  nvlink_cluster.bus = tb::hw::NvlinkClass();
+  const tb::perf::CostModel pcie(pcie_cluster);
+  const tb::perf::CostModel nvlink(nvlink_cluster);
+
+  tb::analysis::TextTable table({"block", "task", "PCIe 3.0 spdup",
+                                 "NVLink-class spdup"});
+  for (int64_t g : {16, 8, 4, 2}) {
+    const int64_t n = 32768 / g;
+    const auto mm = tb::algos::MatmulFuncCost(n, n, n, false);
+    const auto add = tb::algos::AddFuncCost(n, n);
+    const std::string block = tb::HumanBytes(mm.input_bytes / 2);
+    table.AddRow({block, "matmul_func", UserSpeedup(pcie, mm),
+                  UserSpeedup(nvlink, mm)});
+    table.AddRow({block, "add_func", UserSpeedup(pcie, add),
+                  UserSpeedup(nvlink, add)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "A ~24x faster bus rewrites the placement decision for the\n"
+      "low-complexity task: add_func flips from clearly GPU-losing to\n"
+      "GPU-winning, while compute-bound matmul_func gains only ~15-30%%.\n"
+      "Exactly the Section 5.5.2 point: the interconnect mitigates the\n"
+      "CPU-GPU communication factor, but the multi-factor trade-off (and\n"
+      "the OOM wall) remains.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#ifndef TASKBENCH_BENCH_BENCH_COMMON_H_
+#define TASKBENCH_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the figure-regeneration benches. Each bench
+// binary prints the rows/series of one of the paper's figures or
+// tables, with the paper's reported values alongside where the paper
+// states them, so EXPERIMENTS.md can record paper-vs-measured.
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "analysis/report.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "data/generators.h"
+
+namespace taskbench::bench {
+
+/// Prints the standard bench header.
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("==============================================================="
+              "=\n%s — %s\n"
+              "================================================================"
+              "\n\n",
+              figure, description);
+}
+
+/// Runs one experiment, aborting the bench on non-OOM failure.
+inline analysis::ExperimentResult MustRun(
+    const analysis::ExperimentConfig& config) {
+  auto result = analysis::RunExperiment(config);
+  TB_CHECK_OK(result.status());
+  return std::move(result).value();
+}
+
+/// The paper's block-size label for a config: nominal dataset MB
+/// divided by the number of blocks (it labels Matmul in binary MB and
+/// K-means in decimal MB; we label with real bytes instead).
+inline std::string BlockLabel(uint64_t block_bytes) {
+  return HumanBytes(block_bytes);
+}
+
+}  // namespace taskbench::bench
+
+#endif  // TASKBENCH_BENCH_BENCH_COMMON_H_

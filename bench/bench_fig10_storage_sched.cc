@@ -1,0 +1,84 @@
+// Figure 10: the effects of storage architecture and scheduling
+// policy on parallel task execution time. Full simulated sweeps:
+// {local, shared} disk x {task generation order, data locality} x
+// {CPU, GPU} across the paper's block dimensions, for Matmul 8 GB
+// (10a) and K-means 10 GB (10b). Paper shapes: local disk is
+// insensitive to the policy (O5); shared disk reacts more, most
+// visibly for the low-complexity K-means tasks (O6); times rise for
+// coarse grains then drop at the single-task maximum; Matmul GPU
+// OOMs at the maximum block size.
+
+#include "bench_common.h"
+
+#include "analysis/factor_space.h"
+
+namespace tb = taskbench;
+using tb::analysis::Algorithm;
+using tb::analysis::ExperimentConfig;
+
+namespace {
+
+void RunGrid(const char* title, Algorithm algorithm,
+             const tb::data::DatasetSpec& dataset,
+             const std::vector<std::pair<int64_t, int64_t>>& grids) {
+  std::printf("--- %s ---\n", title);
+  tb::analysis::TextTable table(
+      {"block", "grid", "proc", "local+gen", "local+loc", "shared+gen",
+       "shared+loc"});
+  for (const auto& [gr, gc] : grids) {
+    for (tb::Processor proc : {tb::Processor::kCpu, tb::Processor::kGpu}) {
+      ExperimentConfig config;
+      config.algorithm = algorithm;
+      config.dataset = dataset;
+      config.grid_rows = gr;
+      config.grid_cols = gc;
+      config.iterations = 1;
+      config.processor = proc;
+
+      std::vector<std::string> row;
+      uint64_t block_bytes = 0;
+      bool oom = false;
+      for (tb::hw::StorageArchitecture storage :
+           {tb::hw::StorageArchitecture::kLocalDisk,
+            tb::hw::StorageArchitecture::kSharedDisk}) {
+        for (tb::SchedulingPolicy policy :
+             {tb::SchedulingPolicy::kTaskGenerationOrder,
+              tb::SchedulingPolicy::kDataLocality}) {
+          config.storage = storage;
+          config.policy = policy;
+          const auto result = tb::bench::MustRun(config);
+          block_bytes = result.block_bytes;
+          if (result.oom) {
+            oom = true;
+            row.push_back("OOM");
+          } else {
+            row.push_back(
+                tb::StrFormat("%.1f s", result.parallel_task_time));
+          }
+        }
+      }
+      std::vector<std::string> full_row{
+          tb::bench::BlockLabel(block_bytes),
+          tb::StrFormat("%lldx%lld", static_cast<long long>(gr),
+                        static_cast<long long>(gc)),
+          tb::ToString(proc) + (oom ? " (GPU OOM)" : "")};
+      for (auto& cell : row) full_row.push_back(std::move(cell));
+      table.AddRow(std::move(full_row));
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  tb::bench::PrintHeader(
+      "Figure 10", "storage architecture x scheduling policy effects");
+  RunGrid("Figure 10a: Matmul 8 GB", Algorithm::kMatmul,
+          tb::data::PaperDatasets::Matmul8GB(),
+          tb::analysis::MatmulPaperGrids());
+  RunGrid("Figure 10b: K-means 10 GB, 10 clusters", Algorithm::kKMeans,
+          tb::data::PaperDatasets::KMeans10GB(),
+          tb::analysis::KMeansPaperGrids());
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Figure 11: Spearman correlation matrix of the key features. Runs
+// the full correlation sample set (the Figure 7/10 configurations,
+// the extra small datasets, a 100-cluster sweep and an FMA sweep —
+// mirroring the paper's 192-sample design), one-hot encodes the
+// categorical factors, and prints the 15-feature Spearman matrix
+// plus a comparison of the paper's headline coefficients.
+
+#include "bench_common.h"
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/factor_space.h"
+#include "stats/feature_table.h"
+
+namespace tb = taskbench;
+
+int main() {
+  tb::bench::PrintHeader("Figure 11",
+                         "Spearman correlation matrix of key features");
+
+  const auto configs = tb::analysis::CorrelationSampleConfigs();
+  std::printf("running %zu experiment configurations...\n", configs.size());
+
+  std::vector<tb::analysis::ExperimentResult> results;
+  int oom = 0;
+  for (const auto& config : configs) {
+    auto result = tb::analysis::RunExperiment(config);
+    TB_CHECK_OK(result.status());
+    if (result->oom) ++oom;
+    results.push_back(std::move(result).value());
+  }
+  std::printf("done: %zu samples (%d GPU-OOM configurations dropped)\n\n",
+              results.size() - static_cast<size_t>(oom), oom);
+
+  auto table = tb::analysis::BuildFeatureTableFromResults(results);
+  TB_CHECK_OK(table.status());
+  const auto dropped = table->DropConstantColumns();
+  for (const auto& name : dropped) {
+    std::printf("dropped constant feature: %s\n", name.c_str());
+  }
+  auto matrix = table->SpearmanMatrix();
+  TB_CHECK_OK(matrix.status());
+  std::printf("%s\n", matrix->ToString().c_str());
+
+  // Headline coefficients the paper reports (Section 5.4).
+  struct Anchor {
+    const char* a;
+    const char* b;
+    double paper;
+  };
+  const std::vector<Anchor> anchors = {
+      {"parallel-task-exec-time", "block-size", 0.398},
+      {"parallel-task-exec-time", "parallel-fraction", 0.377},
+      {"parallel-task-exec-time", "computational-complexity", 0.499},
+      {"parallel-task-exec-time", "dag-max-width", -0.005},
+      {"parallel-task-exec-time", "dataset-size", -0.009},
+      {"parallel-task-exec-time", "storage=shared-disk", 0.194},
+      {"parallel-task-exec-time", "storage=local-disk", -0.194},
+      {"parallel-task-exec-time", "scheduling=task-gen-order", -0.065},
+      {"parallel-task-exec-time", "processor=CPU", 0.066},
+      {"algorithm-specific-param", "computational-complexity", 0.836},
+      {"block-size", "grid-dimension", -0.778},
+      {"grid-dimension", "dag-max-width", 0.961},
+      {"processor=CPU", "processor=GPU", -1.0},
+      {"storage=shared-disk", "scheduling=task-gen-order", 0.425},
+  };
+  tb::analysis::TextTable anchors_table(
+      {"feature pair", "measured rho", "paper rho"});
+  for (const Anchor& anchor : anchors) {
+    auto rho = matrix->At(anchor.a, anchor.b);
+    anchors_table.AddRow(
+        {std::string(anchor.a) + " ~ " + anchor.b,
+         rho.ok() && !std::isnan(*rho) ? tb::StrFormat("%+.3f", *rho)
+                                       : "n/a",
+         tb::StrFormat("%+.3f", anchor.paper)});
+  }
+  std::printf("%s", anchors_table.ToString().c_str());
+
+  // The algorithm-specific parameter is only defined for K-means
+  // (#clusters); pooling it with Matmul's placeholder zero washes its
+  // correlations out. Within the K-means samples its effect matches
+  // the paper's strong coefficients.
+  std::vector<tb::analysis::ExperimentResult> kmeans_only;
+  for (const auto& result : results) {
+    if (result.config.algorithm == tb::analysis::Algorithm::kKMeans) {
+      kmeans_only.push_back(result);
+    }
+  }
+  auto ktable = tb::analysis::BuildFeatureTableFromResults(kmeans_only);
+  TB_CHECK_OK(ktable.status());
+  auto kmatrix = ktable->SpearmanMatrix();
+  TB_CHECK_OK(kmatrix.status());
+  tb::analysis::TextTable ksub({"K-means-only feature pair", "measured rho",
+                                "paper rho"});
+  for (const auto& [a, b, paper] :
+       std::vector<std::tuple<const char*, const char*, double>>{
+           {"algorithm-specific-param", "computational-complexity", 0.836},
+           {"algorithm-specific-param", "parallel-fraction", 0.532},
+           {"algorithm-specific-param", "parallel-task-exec-time", 0.263}}) {
+    auto rho = kmatrix->At(a, b);
+    ksub.AddRow({std::string(a) + " ~ " + b,
+                 rho.ok() && !std::isnan(*rho)
+                     ? tb::StrFormat("%+.3f", *rho)
+                     : "n/a",
+                 tb::StrFormat("%+.3f", paper)});
+  }
+  std::printf("\n%s", ksub.ToString().c_str());
+  std::printf(
+      "\nThe signs and relative strengths are the comparison target; exact\n"
+      "magnitudes depend on the exact sample mix (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 1: performance of distributed K-means at different
+// processing stages on CPUs and GPUs. The paper's motivating
+// experiment: 10 GB dataset, 256 tasks, 128 CPU cores / 32 GPU
+// devices. Reported values: parallel fraction speedup 5.69x, user
+// code speedup 1.24x, parallel tasks speedup -1.20x (GPU slower).
+
+#include "bench_common.h"
+
+#include "algos/kmeans.h"
+#include "perf/cost_model.h"
+
+namespace tb = taskbench;
+using tb::analysis::ExperimentConfig;
+
+int main() {
+  tb::bench::PrintHeader(
+      "Figure 1", "distributed K-means stage speedups (GPU over CPU)");
+
+  // Single-task stage metrics from the cost model (one 39 MB block,
+  // 10 clusters), as in the paper's single-task bars.
+  const tb::perf::CostModel model(tb::hw::MinotauroCluster());
+  const int64_t rows_per_block = 12500000 / 256;
+  const tb::perf::TaskCost cost =
+      tb::algos::PartialSumCost(rows_per_block, 100, 10);
+
+  const double pf_cpu = model.CpuParallelFraction(cost);
+  const double pf_gpu = model.GpuParallelFraction(cost);
+  const double serial = model.SerialFraction(cost);
+  const double comm = model.CpuGpuComm(cost);
+  const double user_cpu = serial + pf_cpu;
+  const double user_gpu = serial + pf_gpu + comm;
+
+  // Parallel tasks: full simulated runs (256 tasks, all resources).
+  ExperimentConfig config;
+  config.algorithm = tb::analysis::Algorithm::kKMeans;
+  config.dataset = tb::data::PaperDatasets::KMeans10GB();
+  config.grid_rows = 256;
+  config.iterations = 1;
+  config.processor = tb::Processor::kCpu;
+  const auto cpu_run = tb::bench::MustRun(config);
+  config.processor = tb::Processor::kGpu;
+  const auto gpu_run = tb::bench::MustRun(config);
+  TB_CHECK(!cpu_run.oom && !gpu_run.oom);
+
+  tb::analysis::TextTable table(
+      {"stage", "CPU time", "GPU time", "speedup", "paper"});
+  table.AddRow({"parallel fraction (single task)", tb::HumanSeconds(pf_cpu),
+                tb::HumanSeconds(pf_gpu),
+                tb::analysis::FormatSpeedup(
+                    tb::analysis::SignedSpeedup(pf_cpu, pf_gpu)),
+                "5.69x"});
+  table.AddRow({"task user code (single task)", tb::HumanSeconds(user_cpu),
+                tb::HumanSeconds(user_gpu),
+                tb::analysis::FormatSpeedup(
+                    tb::analysis::SignedSpeedup(user_cpu, user_gpu)),
+                "1.24x"});
+  table.AddRow(
+      {"parallel tasks (256 tasks)",
+       tb::HumanSeconds(cpu_run.parallel_task_time),
+       tb::HumanSeconds(gpu_run.parallel_task_time),
+       tb::analysis::FormatSpeedup(tb::analysis::SignedSpeedup(
+           cpu_run.parallel_task_time, gpu_run.parallel_task_time)),
+       "-1.20x"});
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "Reading: thread parallelism gives GPUs a large win on the parallel\n"
+      "fraction; the serial fraction and CPU-GPU communication shrink it at\n"
+      "user-code level; and the 128-core vs 32-device gap in task\n"
+      "parallelism turns it negative once tasks are distributed.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 7: end-to-end performance analysis. For each algorithm and
+// dataset, sweeps the block dimension and reports, per block size:
+// the GPU speedup over CPU at three granularities (parallel
+// fraction, user code, parallel tasks) and the stage times the
+// bottom charts plot (parallel fraction, serial + CPU-GPU comm, and
+// data (de-)serialization). Large-granularity GPU configurations hit
+// the device-memory wall and are annotated "GPU OOM" exactly as in
+// the paper.
+
+#include "bench_common.h"
+
+#include "analysis/factor_space.h"
+
+namespace tb = taskbench;
+using tb::analysis::Algorithm;
+using tb::analysis::ExperimentConfig;
+
+namespace {
+
+void RunSweep(const char* title, Algorithm algorithm,
+              const tb::data::DatasetSpec& dataset,
+              const std::vector<std::pair<int64_t, int64_t>>& grids,
+              const char* main_task) {
+  std::printf("--- %s ---\n", title);
+  tb::analysis::TextTable table({"block", "grid", "P.Frac spdup",
+                                 "UsrCode spdup", "P.Tasks spdup",
+                                 "P.Frac CPU", "Ser+Comm GPU", "De/Ser"});
+  for (const auto& [gr, gc] : grids) {
+    ExperimentConfig config;
+    config.algorithm = algorithm;
+    config.dataset = dataset;
+    config.grid_rows = gr;
+    config.grid_cols = gc;
+    config.iterations = 1;
+
+    config.processor = tb::Processor::kCpu;
+    const auto cpu = tb::bench::MustRun(config);
+    config.processor = tb::Processor::kGpu;
+    const auto gpu = tb::bench::MustRun(config);
+
+    const std::string block = tb::bench::BlockLabel(cpu.block_bytes);
+    const std::string grid = tb::StrFormat(
+        "%lldx%lld", static_cast<long long>(gr), static_cast<long long>(gc));
+    if (gpu.oom) {
+      table.AddRow({block, grid, "GPU OOM", "GPU OOM", "GPU OOM", "-", "-",
+                    "-"});
+      continue;
+    }
+    const auto& scpu = cpu.stages_by_type.at(main_task);
+    const auto& sgpu = gpu.stages_by_type.at(main_task);
+    table.AddRow(
+        {block, grid,
+         tb::analysis::FormatSpeedup(tb::analysis::SignedSpeedup(
+             scpu.parallel_fraction, sgpu.parallel_fraction)),
+         tb::analysis::FormatSpeedup(tb::analysis::SignedSpeedup(
+             scpu.user_code(), sgpu.user_code())),
+         tb::analysis::FormatSpeedup(tb::analysis::SignedSpeedup(
+             cpu.parallel_task_time, gpu.parallel_task_time)),
+         tb::HumanSeconds(scpu.parallel_fraction),
+         tb::HumanSeconds(sgpu.serial_fraction + sgpu.cpu_gpu_comm),
+         tb::HumanSeconds(sgpu.deserialize + sgpu.serialize)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  tb::bench::PrintHeader("Figure 7",
+                         "end-to-end analysis across block dimensions");
+
+  RunSweep("Figure 7a left: Matmul 8 GB", Algorithm::kMatmul,
+           tb::data::PaperDatasets::Matmul8GB(),
+           tb::analysis::MatmulPaperGrids(), "matmul_func");
+  RunSweep("Figure 7a right: Matmul 32 GB", Algorithm::kMatmul,
+           tb::data::PaperDatasets::Matmul32GB(),
+           tb::analysis::MatmulPaperGrids(), "matmul_func");
+  RunSweep("Figure 7b left: K-means 10 GB", Algorithm::kKMeans,
+           tb::data::PaperDatasets::KMeans10GB(),
+           tb::analysis::KMeansPaperGrids(), "partial_sum");
+  RunSweep("Figure 7b right: K-means 100 GB", Algorithm::kKMeans,
+           tb::data::PaperDatasets::KMeans100GB(),
+           tb::analysis::KMeansPaperGrids(), "partial_sum");
+
+  std::printf(
+      "Paper shapes to compare against (Section 5.1): parallel-fraction\n"
+      "speedups scale with block size until GPU OOM; user-code speedups\n"
+      "are damped ~20-35%% by communication for Matmul and stay flat for\n"
+      "K-means (serial fraction dominates); parallel-task speedups peak\n"
+      "when (de-)serialization is fully parallelized and are negative for\n"
+      "the smallest blocks.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 9b: the effect of data skew. The paper generates skewed
+// variants (50% of elements concentrated into narrow regions) of a
+// 2 GB Matmul and a 1 GB K-means dataset and finds the task user
+// code execution time unchanged. We verify the same property with
+// REAL kernel executions at a laptop-friendly scale: identical block
+// shapes, uniform vs skewed contents, measured wall-clock per task.
+
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "algos/kmeans.h"
+#include "algos/matmul.h"
+#include "runtime/thread_pool_executor.h"
+
+namespace tb = taskbench;
+
+namespace {
+
+/// Median of the per-task kernel times of `type` over `runs` runs
+/// (the paper also runs each experiment repeatedly and aggregates).
+double MedianKernelTime(tb::runtime::TaskGraph& graph,
+                        const std::string& type) {
+  tb::runtime::ThreadPoolExecutorOptions options;
+  options.num_threads = 2;
+  options.use_storage = false;
+  tb::runtime::ThreadPoolExecutor executor(options);
+  auto report = executor.Execute(graph);
+  TB_CHECK_OK(report.status());
+  std::vector<double> times;
+  for (const auto& rec : report->records) {
+    if (rec.type == type) times.push_back(rec.stages.parallel_fraction);
+  }
+  TB_CHECK(!times.empty());
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+double MatmulKernelTime(double skew, uint64_t seed) {
+  // Skew only changes values, never shapes, so we inject skewed
+  // blocks by regenerating the A blocks with FillSkewed.
+  auto spec = tb::data::GridSpec::CreateFromGridDim(
+      tb::data::DatasetSpec{"m", 768, 768}, 2, 2);
+  TB_CHECK_OK(spec.status());
+  tb::algos::MatmulOptions options;
+  options.materialize = true;
+  options.seed = seed;
+  auto wf = tb::algos::BuildMatmul(*spec, options);
+  TB_CHECK_OK(wf.status());
+  if (skew > 0) {
+    for (auto& row : wf->a) {
+      for (tb::runtime::DataId id : row) {
+        auto& value = *wf->graph.mutable_data(id).value;
+        tb::Rng rng(seed ^ static_cast<uint64_t>(id));
+        tb::data::FillSkewed(&value, &rng, skew);
+      }
+    }
+  }
+  return MedianKernelTime(wf->graph, "matmul_func");
+}
+
+double KMeansKernelTime(double skew, uint64_t seed) {
+  auto spec = tb::data::GridSpec::CreateFromGridDim(
+      tb::data::DatasetSpec{"x", 20000, 16}, 4, 1);
+  TB_CHECK_OK(spec.status());
+  tb::algos::KMeansOptions options;
+  options.materialize = true;
+  options.num_clusters = 10;
+  options.iterations = 2;
+  options.skew = skew;
+  options.seed = seed;
+  auto wf = tb::algos::BuildKMeans(*spec, options);
+  TB_CHECK_OK(wf.status());
+  return MedianKernelTime(wf->graph, "partial_sum");
+}
+
+}  // namespace
+
+int main() {
+  tb::bench::PrintHeader("Figure 9b",
+                         "data skew has no effect on task user code time");
+
+  tb::analysis::TextTable table(
+      {"workload", "0% skew", "50% skew", "ratio", "paper"});
+  // Min over several repeats: the standard noise-robust estimator for
+  // short wall-clock measurements.
+  double mm_uniform = 1e300, mm_skew = 1e300, km_uniform = 1e300,
+         km_skew = 1e300;
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    mm_uniform = std::min(mm_uniform, MatmulKernelTime(0.0, seed));
+    mm_skew = std::min(mm_skew, MatmulKernelTime(0.5, seed));
+    km_uniform = std::min(km_uniform, KMeansKernelTime(0.0, seed));
+    km_skew = std::min(km_skew, KMeansKernelTime(0.5, seed));
+  }
+  table.AddRow({"Matmul (real kernels)", tb::HumanSeconds(mm_uniform),
+                tb::HumanSeconds(mm_skew),
+                tb::StrFormat("%.2f", mm_skew / mm_uniform), "~1.00"});
+  table.AddRow({"K-means (real kernels)", tb::HumanSeconds(km_uniform),
+                tb::HumanSeconds(km_skew),
+                tb::StrFormat("%.2f", km_skew / km_uniform), "~1.00"});
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "The kernels are oblivious to value distributions (no data-dependent\n"
+      "branches over block contents), so skew leaves user-code time\n"
+      "unchanged — matching Section 5.2.3. The analytic cost model is\n"
+      "skew-free by construction (costs depend on shapes only).\n");
+  return 0;
+}

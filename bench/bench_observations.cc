@@ -1,0 +1,138 @@
+// Observations O1-O6: programmatic verification. Re-runs the sweeps
+// behind Sections 5.1-5.3 and feeds the measurements through the
+// observation validators, printing PASS/FAIL with the evidence.
+
+#include "bench_common.h"
+
+#include "algos/kmeans.h"
+#include "algos/matmul.h"
+#include "analysis/factor_space.h"
+#include "analysis/observations.h"
+#include "perf/cost_model.h"
+
+namespace tb = taskbench;
+using tb::analysis::Algorithm;
+using tb::analysis::ExperimentConfig;
+
+namespace {
+
+void Print(const tb::analysis::ObservationCheck& check) {
+  std::printf("[%s] %s\n      %s\n      evidence: %s\n\n",
+              check.holds ? "PASS" : "FAIL", check.id.c_str(),
+              check.statement.c_str(), check.evidence.c_str());
+}
+
+}  // namespace
+
+int main() {
+  tb::bench::PrintHeader("Observations O1-O6",
+                         "programmatic verification of the paper's findings");
+  const tb::perf::CostModel model(tb::hw::MinotauroCluster());
+
+  // O1: K-means user-code speedups across block sizes stay flat.
+  {
+    std::vector<double> speedups;
+    for (int64_t g : {256, 128, 64, 32, 16, 8, 4}) {
+      const auto cost = tb::algos::PartialSumCost(12500000 / g, 100, 10);
+      if (!model.CheckGpuFit(cost).ok()) continue;
+      const double serial = model.SerialFraction(cost);
+      const double cpu = model.CpuParallelFraction(cost) + serial;
+      const double gpu = model.GpuParallelFraction(cost) + serial +
+                         model.CpuGpuComm(cost);
+      speedups.push_back(cpu / gpu);
+    }
+    Print(tb::analysis::CheckO1(speedups));
+  }
+
+  // O2: parallel-task speedups need full (de-)serialization
+  // parallelism, not coarse grains. K-means 10 GB sweep.
+  {
+    std::vector<tb::analysis::TaskCountSpeedup> points;
+    for (int64_t g : {4, 8, 16, 32, 64, 128, 256}) {
+      ExperimentConfig config;
+      config.algorithm = Algorithm::kKMeans;
+      config.dataset = tb::data::PaperDatasets::KMeans10GB();
+      config.grid_rows = g;
+      config.iterations = 1;
+      config.processor = tb::Processor::kCpu;
+      const auto cpu = tb::bench::MustRun(config);
+      config.processor = tb::Processor::kGpu;
+      const auto gpu = tb::bench::MustRun(config);
+      if (cpu.oom || gpu.oom) continue;
+      points.push_back({g, tb::analysis::SignedSpeedup(
+                               cpu.parallel_task_time,
+                               gpu.parallel_task_time)});
+    }
+    Print(tb::analysis::CheckO2(points, 32));
+  }
+
+  // O3: low-complexity add_func speedups do not grow with granularity.
+  {
+    std::vector<double> speedups;
+    for (int64_t g : {16, 8, 4, 2}) {
+      const int64_t n = 32768 / g;
+      const auto cost = tb::algos::AddFuncCost(n, n);
+      const double cpu = model.CpuParallelFraction(cost);
+      const double gpu =
+          model.GpuParallelFraction(cost) + model.CpuGpuComm(cost);
+      speedups.push_back(tb::analysis::SignedSpeedup(cpu, gpu));
+    }
+    Print(tb::analysis::CheckO3(speedups));
+  }
+
+  // O4: speedups scale with the algorithm-specific parameter.
+  {
+    std::vector<double> by_param;
+    for (int clusters : {10, 100, 1000}) {
+      const auto cost = tb::algos::PartialSumCost(12500000 / 64, 100,
+                                                  clusters);
+      const double serial = model.SerialFraction(cost);
+      const double cpu = model.CpuParallelFraction(cost) + serial;
+      const double gpu = model.GpuParallelFraction(cost) + serial +
+                         model.CpuGpuComm(cost);
+      by_param.push_back(cpu / gpu);
+    }
+    Print(tb::analysis::CheckO4(by_param));
+  }
+
+  // O5/O6: policy sensitivity per storage architecture (K-means).
+  {
+    auto sweep = [&](tb::hw::StorageArchitecture storage) {
+      tb::analysis::PolicySensitivityInput input;
+      for (int64_t g : {16, 32, 64, 128, 256}) {
+        for (tb::Processor proc :
+             {tb::Processor::kCpu, tb::Processor::kGpu}) {
+          for (tb::SchedulingPolicy policy :
+               {tb::SchedulingPolicy::kTaskGenerationOrder,
+                tb::SchedulingPolicy::kDataLocality}) {
+            ExperimentConfig config;
+            config.algorithm = Algorithm::kKMeans;
+            config.dataset = tb::data::PaperDatasets::KMeans10GB();
+            config.grid_rows = g;
+            config.iterations = 1;
+            config.processor = proc;
+            config.storage = storage;
+            config.policy = policy;
+            const auto result = tb::bench::MustRun(config);
+            TB_CHECK(!result.oom);
+            auto& series =
+                proc == tb::Processor::kCpu
+                    ? (policy == tb::SchedulingPolicy::kTaskGenerationOrder
+                           ? input.cpu_gen_order
+                           : input.cpu_locality)
+                    : (policy == tb::SchedulingPolicy::kTaskGenerationOrder
+                           ? input.gpu_gen_order
+                           : input.gpu_locality);
+            series.push_back(result.parallel_task_time);
+          }
+        }
+      }
+      return input;
+    };
+    const auto local = sweep(tb::hw::StorageArchitecture::kLocalDisk);
+    const auto shared = sweep(tb::hw::StorageArchitecture::kSharedDisk);
+    Print(tb::analysis::CheckO5(local));
+    Print(tb::analysis::CheckO6(local, shared));
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Extension: the learned performance model of Section 5.4.3 ("put
+// learning models into play... predict the ideal block size").
+// Trains a regression tree on two thirds of the correlation sample
+// set and evaluates on the held-out third: per-sample relative error,
+// feature importances (the learned analogue of Figure 11), and
+// whether the model picks near-optimal configurations without
+// simulating the candidates.
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/factor_space.h"
+#include "analysis/predictor.h"
+
+namespace tb = taskbench;
+using tb::analysis::ExperimentConfig;
+using tb::analysis::ExperimentResult;
+using tb::analysis::PerformancePredictor;
+
+int main() {
+  tb::bench::PrintHeader(
+      "Extension: learned performance model",
+      "regression tree over the factor features (Section 5.4.3)");
+
+  const auto configs = tb::analysis::CorrelationSampleConfigs();
+  std::printf("running %zu configurations for ground truth...\n",
+              configs.size());
+  std::vector<ExperimentResult> all;
+  for (const auto& config : configs) {
+    auto result = tb::analysis::RunExperiment(config);
+    TB_CHECK_OK(result.status());
+    if (!result->oom) all.push_back(std::move(*result));
+  }
+
+  // Deterministic 2:1 split interleaved across the sweep order so
+  // both sets span all algorithms/factors.
+  std::vector<ExperimentResult> train, test;
+  for (size_t i = 0; i < all.size(); ++i) {
+    (i % 3 == 2 ? test : train).push_back(all[i]);
+  }
+  auto predictor = PerformancePredictor::Train(train);
+  TB_CHECK_OK(predictor.status());
+  auto forest = PerformancePredictor::TrainForest(train);
+  TB_CHECK_OK(forest.status());
+  std::printf("trained on %zu samples, evaluating on %zu held-out "
+              "samples\n\n",
+              train.size(), test.size());
+
+  auto held_out_ratios = [&](const PerformancePredictor& model) {
+    std::vector<double> ratios;
+    for (const ExperimentResult& sample : test) {
+      auto predicted = model.PredictSeconds(sample);
+      TB_CHECK_OK(predicted.status());
+      ratios.push_back(std::max(*predicted / sample.parallel_task_time,
+                                sample.parallel_task_time / *predicted));
+    }
+    std::sort(ratios.begin(), ratios.end());
+    return ratios;
+  };
+  const auto tree_ratios = held_out_ratios(*predictor);
+  const auto forest_ratios = held_out_ratios(*forest);
+  auto pct = [](const std::vector<double>& r, double p) {
+    return r[static_cast<size_t>(p * (r.size() - 1))];
+  };
+  tb::analysis::TextTable errors(
+      {"percentile", "single tree", "bagged forest (25 trees)"});
+  for (const auto& [label, p] :
+       std::vector<std::pair<const char*, double>>{
+           {"p50", 0.5}, {"p75", 0.75}, {"p90", 0.9}, {"worst", 1.0}}) {
+    errors.AddRow({label, tb::StrFormat("%.2fx", pct(tree_ratios, p)),
+                   tb::StrFormat("%.2fx", pct(forest_ratios, p))});
+  }
+  std::printf("%s\n", errors.ToString().c_str());
+
+  // Learned feature importances — the model's own view of the key
+  // factors, to hold against Figure 11.
+  tb::analysis::TextTable importance_table({"feature", "importance"});
+  const auto importance = forest->FeatureImportance();
+  const auto& names = PerformancePredictor::FeatureNames();
+  std::vector<size_t> order(names.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return importance[a] > importance[b]; });
+  for (size_t i : order) {
+    importance_table.AddRow(
+        {names[i], tb::StrFormat("%.3f", importance[i])});
+  }
+  std::printf("%s\n", importance_table.ToString().c_str());
+
+  // End use: pick the block dimension + processor for the paper's two
+  // workloads WITHOUT simulating the candidates, then compare the
+  // chosen configuration's true time against the exhaustive optimum.
+  struct Workload {
+    const char* name;
+    ExperimentConfig base;
+    std::vector<std::pair<int64_t, int64_t>> grids;
+  };
+  std::vector<Workload> workloads;
+  {
+    ExperimentConfig kmeans;
+    kmeans.algorithm = tb::analysis::Algorithm::kKMeans;
+    kmeans.dataset = tb::data::PaperDatasets::KMeans10GB();
+    kmeans.iterations = 1;
+    workloads.push_back(
+        {"K-means 10 GB", kmeans, tb::analysis::KMeansPaperGrids()});
+    ExperimentConfig matmul;
+    matmul.algorithm = tb::analysis::Algorithm::kMatmul;
+    matmul.dataset = tb::data::PaperDatasets::Matmul8GB();
+    workloads.push_back(
+        {"Matmul 8 GB", matmul, tb::analysis::MatmulPaperGrids()});
+  }
+  tb::analysis::TextTable choices({"workload", "model's pick",
+                                   "true time of pick", "exhaustive best",
+                                   "regret"});
+  for (const Workload& workload : workloads) {
+    auto choice = predictor->PredictBest(workload.base, workload.grids);
+    TB_CHECK_OK(choice.status());
+    ExperimentConfig chosen = workload.base;
+    chosen.grid_rows = choice->grid_rows;
+    chosen.grid_cols = choice->grid_cols;
+    chosen.processor = choice->processor;
+    auto chosen_truth = tb::analysis::RunExperiment(chosen);
+    TB_CHECK_OK(chosen_truth.status());
+
+    double best = 1e300;
+    for (const auto& [gr, gc] : workload.grids) {
+      for (tb::Processor proc : {tb::Processor::kCpu, tb::Processor::kGpu}) {
+        ExperimentConfig config = workload.base;
+        config.grid_rows = gr;
+        config.grid_cols = gc;
+        config.processor = proc;
+        auto truth = tb::analysis::RunExperiment(config);
+        TB_CHECK_OK(truth.status());
+        if (!truth->oom) best = std::min(best, truth->parallel_task_time);
+      }
+    }
+    choices.AddRow(
+        {workload.name,
+         tb::StrFormat("%lldx%lld on %s",
+                       static_cast<long long>(choice->grid_rows),
+                       static_cast<long long>(choice->grid_cols),
+                       tb::ToString(choice->processor).c_str()),
+         tb::StrFormat("%.2f s", chosen_truth->parallel_task_time),
+         tb::StrFormat("%.2f s", best),
+         tb::StrFormat("%+.0f%%",
+                       (chosen_truth->parallel_task_time / best - 1) *
+                           100)});
+  }
+  std::printf("%s\n", choices.ToString().c_str());
+  std::printf(
+      "One trained model replaces the exhaustive reruns the paper's\n"
+      "intro describes: block size and processor are chosen from cheap\n"
+      "structural features alone.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Fully parallelizable workflow deep-dive: builds the blocked Matmul
+// DAG, exports it as Graphviz DOT, runs it for real through the
+// file-backed storage layer (exercising true serialization), and
+// breaks the cost model down stage by stage for CPU vs GPU.
+//
+//   $ ./matmul_workflow [--dot]
+//
+// With --dot, prints the DAG in DOT format (pipe into `dot -Tpng`).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "algos/matmul.h"
+#include "analysis/report.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "data/generators.h"
+#include "hw/cluster.h"
+#include "perf/cost_model.h"
+#include "runtime/thread_pool_executor.h"
+#include "storage/block_storage.h"
+
+namespace tb = taskbench;
+
+int main(int argc, char** argv) {
+  const bool dot_only = argc > 1 && std::strcmp(argv[1], "--dot") == 0;
+
+  auto spec = tb::data::GridSpec::CreateFromGridDim(
+      tb::data::DatasetSpec{"demo", 192, 192}, 4, 4);
+  TB_CHECK_OK(spec.status());
+  tb::algos::MatmulOptions options;
+  options.materialize = true;
+  auto wf = tb::algos::BuildMatmul(*spec, options);
+  TB_CHECK_OK(wf.status());
+
+  if (dot_only) {
+    std::printf("%s", wf->graph.ToDot().c_str());
+    return 0;
+  }
+
+  std::printf("Matmul 4x4 grid: %lld tasks (64 matmul_func + 48 add_func),"
+              "\nwide-and-shallow DAG: width %lld, height %lld "
+              "(Figure 6b shape)\n\n",
+              static_cast<long long>(wf->graph.num_tasks()),
+              static_cast<long long>(wf->graph.MaxWidth()),
+              static_cast<long long>(wf->graph.MaxHeight()));
+
+  // Run through real file-backed storage: every block is serialized
+  // to disk and deserialized back, like a COMPSs worker would.
+  const auto dir = std::filesystem::temp_directory_path() / "tb_matmul_demo";
+  std::filesystem::remove_all(dir);
+  auto storage = tb::storage::FileStorage::Open(dir.string());
+  TB_CHECK_OK(storage.status());
+  tb::runtime::ThreadPoolExecutorOptions exec_options;
+  exec_options.num_threads = 4;
+  exec_options.use_storage = true;
+  std::shared_ptr<tb::storage::BlockStorage> store = std::move(*storage);
+  tb::runtime::ThreadPoolExecutor executor(exec_options, store);
+  auto report = executor.Execute(wf->graph);
+  TB_CHECK_OK(report.status());
+  std::printf("real run through file storage: %.3f ms, "
+              "%.3f ms total deserialization, %.3f ms serialization\n\n",
+              report->makespan * 1e3,
+              report->TotalDeserializeTime() * 1e3,
+              report->TotalSerializeTime() * 1e3);
+  std::filesystem::remove_all(dir);
+
+  // Analytic per-task stage decomposition at Minotauro scale.
+  const tb::perf::CostModel model(tb::hw::MinotauroCluster());
+  std::printf("cost-model stage decomposition, 2048 MB blocks "
+              "(N = 16384):\n");
+  tb::analysis::TextTable table(
+      {"task", "proc", "deser", "parallel frac", "comm", "ser"});
+  for (const bool gpu : {false, true}) {
+    for (const char* type : {"matmul_func", "add_func"}) {
+      const tb::perf::TaskCost cost =
+          std::strcmp(type, "matmul_func") == 0
+              ? tb::algos::MatmulFuncCost(16384, 16384, 16384, false)
+              : tb::algos::AddFuncCost(16384, 16384);
+      auto stages = model.EstimateStages(
+          cost, gpu ? tb::Processor::kGpu : tb::Processor::kCpu,
+          tb::hw::StorageArchitecture::kSharedDisk);
+      TB_CHECK_OK(stages.status());
+      table.AddRow({type, gpu ? "GPU" : "CPU",
+                    tb::HumanSeconds(stages->deserialize),
+                    tb::HumanSeconds(stages->parallel_fraction),
+                    tb::HumanSeconds(stages->cpu_gpu_comm),
+                    tb::HumanSeconds(stages->serialize)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nmatmul_func (O(N^3)) gains on GPU; add_func (O(N)) is "
+              "dominated by CPU-GPU communication (Section 5.2.1).\n");
+  return 0;
+}

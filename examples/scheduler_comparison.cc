@@ -1,0 +1,60 @@
+// Compares storage architectures and scheduling policies on the
+// simulated cluster — the Section 5.3 experiment as a library user
+// would run it for their own workload.
+//
+//   $ ./scheduler_comparison
+
+#include <cstdio>
+
+#include "analysis/experiment.h"
+#include "analysis/report.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "data/generators.h"
+
+namespace tb = taskbench;
+using tb::analysis::ExperimentConfig;
+
+int main() {
+  std::printf("K-means 10 GB, 10 clusters: parallel-task time by storage "
+              "architecture and scheduling policy\n\n");
+  tb::analysis::TextTable table({"grid", "proc", "local+gen", "local+loc",
+                                 "shared+gen", "shared+loc"});
+  for (int64_t grid : {16, 64, 256}) {
+    for (tb::Processor proc : {tb::Processor::kCpu, tb::Processor::kGpu}) {
+      std::vector<std::string> row{
+          tb::StrFormat("%lldx1", static_cast<long long>(grid)),
+          tb::ToString(proc)};
+      for (tb::hw::StorageArchitecture storage :
+           {tb::hw::StorageArchitecture::kLocalDisk,
+            tb::hw::StorageArchitecture::kSharedDisk}) {
+        for (tb::SchedulingPolicy policy :
+             {tb::SchedulingPolicy::kTaskGenerationOrder,
+              tb::SchedulingPolicy::kDataLocality}) {
+          ExperimentConfig config;
+          config.algorithm = tb::analysis::Algorithm::kKMeans;
+          config.dataset = tb::data::PaperDatasets::KMeans10GB();
+          config.grid_rows = grid;
+          config.iterations = 1;
+          config.processor = proc;
+          config.storage = storage;
+          config.policy = policy;
+          auto result = tb::analysis::RunExperiment(config);
+          TB_CHECK_OK(result.status());
+          row.push_back(result->oom
+                            ? "OOM"
+                            : tb::StrFormat("%.1f s",
+                                            result->parallel_task_time));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected patterns (observations O5/O6): local-disk columns barely "
+      "react to the policy; shared-disk columns shift more, and the\n"
+      "data-locality policy's extra per-decision cost hurts fine-grained "
+      "grids the most.\n");
+  return 0;
+}

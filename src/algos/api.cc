@@ -1,0 +1,143 @@
+#include "algos/api.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "algos/kmeans.h"
+#include "algos/matmul.h"
+#include "common/strings.h"
+#include "runtime/thread_pool_executor.h"
+
+namespace taskbench::algos {
+
+namespace {
+
+int64_t DefaultBlockDim(int64_t rows, int64_t cols, int num_threads,
+                        int64_t blocks_per_thread) {
+  // Aim for blocks_per_thread blocks per worker along the partitioned
+  // dimension(s), but never below 1 element.
+  const int64_t target_blocks =
+      std::max<int64_t>(1, num_threads * blocks_per_thread);
+  const int64_t dim = std::max(rows, cols);
+  return std::max<int64_t>(1, dim / target_blocks);
+}
+
+}  // namespace
+
+Result<data::Matrix> DistributedMatmul(const data::Matrix& a,
+                                       const data::Matrix& b,
+                                       const ExecuteOptions& options) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "matmul dimension mismatch: %lldx%lld * %lldx%lld",
+        static_cast<long long>(a.rows()), static_cast<long long>(a.cols()),
+        static_cast<long long>(b.rows()), static_cast<long long>(b.cols())));
+  }
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("matmul inputs must be non-empty");
+  }
+  int64_t block = options.block_dim > 0
+                      ? options.block_dim
+                      : DefaultBlockDim(a.rows(), a.cols(),
+                                        options.num_threads, 1);
+  block = std::min({block, a.rows(), a.cols(), b.cols()});
+
+  TB_ASSIGN_OR_RETURN(
+      data::GridSpec a_spec,
+      data::GridSpec::Create(data::DatasetSpec{"A", a.rows(), a.cols()},
+                             block, block));
+  TB_ASSIGN_OR_RETURN(
+      data::GridSpec b_spec,
+      data::GridSpec::Create(data::DatasetSpec{"B", b.rows(), b.cols()},
+                             block, block));
+
+  MatmulOptions build;
+  build.materialize = true;
+  build.a_values = &a;
+  build.b_values = &b;
+  TB_ASSIGN_OR_RETURN(MatmulWorkflow wf, BuildMatmul(a_spec, b_spec, build));
+
+  runtime::ThreadPoolExecutorOptions exec;
+  exec.num_threads = options.num_threads;
+  exec.use_storage = false;  // in-memory pipeline for the one-call API
+  runtime::ThreadPoolExecutor executor(exec);
+  TB_RETURN_IF_ERROR(executor.Execute(wf.graph).status());
+
+  data::Matrix c(a.rows(), b.cols());
+  for (size_t r = 0; r < wf.c.size(); ++r) {
+    for (size_t q = 0; q < wf.c[r].size(); ++q) {
+      TB_ASSIGN_OR_RETURN(const data::Matrix block_value,
+                          executor.FetchData(wf.graph, wf.c[r][q]));
+      const auto ea = a_spec.ExtentAt(static_cast<int64_t>(r), 0);
+      const auto eb = b_spec.ExtentAt(0, static_cast<int64_t>(q));
+      TB_RETURN_IF_ERROR(c.AssignSlice(ea.row0, eb.col0, block_value));
+    }
+  }
+  return c;
+}
+
+Result<KMeansFit> DistributedKMeans(const data::Matrix& samples, int k,
+                                    int iterations,
+                                    const ExecuteOptions& options) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("no samples");
+  }
+  if (k < 1 || k > samples.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("k=%d out of range for %lld samples", k,
+                  static_cast<long long>(samples.rows())));
+  }
+  int64_t block_rows =
+      options.block_dim > 0
+          ? options.block_dim
+          : DefaultBlockDim(samples.rows(), 1, options.num_threads, 4);
+  // The first block seeds the centroids, so it must hold >= k rows.
+  block_rows = std::min(std::max<int64_t>(block_rows, k), samples.rows());
+
+  TB_ASSIGN_OR_RETURN(
+      data::GridSpec spec,
+      data::GridSpec::Create(
+          data::DatasetSpec{"X", samples.rows(), samples.cols()}, block_rows,
+          samples.cols()));
+
+  KMeansOptions build;
+  build.materialize = true;
+  build.num_clusters = k;
+  build.iterations = iterations;
+  build.samples = &samples;
+  TB_ASSIGN_OR_RETURN(KMeansWorkflow wf, BuildKMeans(spec, build));
+
+  runtime::ThreadPoolExecutorOptions exec;
+  exec.num_threads = options.num_threads;
+  exec.use_storage = false;
+  runtime::ThreadPoolExecutor executor(exec);
+  TB_RETURN_IF_ERROR(executor.Execute(wf.graph).status());
+
+  KMeansFit fit;
+  TB_ASSIGN_OR_RETURN(fit.centroids,
+                      executor.FetchData(wf.graph, wf.centroids));
+
+  // Final assignment pass (serial; the per-iteration assignments live
+  // inside the partial_sum tasks).
+  fit.assignments.resize(static_cast<size_t>(samples.rows()));
+  for (int64_t r = 0; r < samples.rows(); ++r) {
+    int best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      double dist = 0;
+      for (int64_t f = 0; f < samples.cols(); ++f) {
+        const double d = samples.At(r, f) - fit.centroids.At(c, f);
+        dist += d * d;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    fit.assignments[static_cast<size_t>(r)] = best;
+    fit.inertia += best_dist;
+  }
+  return fit;
+}
+
+}  // namespace taskbench::algos

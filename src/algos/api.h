@@ -1,0 +1,48 @@
+#ifndef TASKBENCH_ALGOS_API_H_
+#define TASKBENCH_ALGOS_API_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/matrix.h"
+
+namespace taskbench::algos {
+
+/// High-level one-call entry points (the dislib-equivalent user API):
+/// each builds the task-based workflow, executes it on the thread
+/// pool, and returns the result. Use the Build* functions directly
+/// for control over execution, simulation and metrics.
+
+/// Options shared by the high-level calls.
+struct ExecuteOptions {
+  /// Worker threads of the local execution.
+  int num_threads = 4;
+  /// Block dimension (square b x b blocks for matmul; b-row blocks
+  /// for kmeans). 0 = pick one block per ~worker for matmul /
+  /// 4 blocks per worker for kmeans.
+  int64_t block_dim = 0;
+};
+
+/// C = A * B through the distributed blocked workflow. Fails on
+/// dimension mismatch.
+Result<data::Matrix> DistributedMatmul(const data::Matrix& a,
+                                       const data::Matrix& b,
+                                       const ExecuteOptions& options = {});
+
+/// Result of a K-means fit.
+struct KMeansFit {
+  data::Matrix centroids;          ///< k x features
+  std::vector<int> assignments;    ///< per-sample nearest centroid
+  double inertia = 0;              ///< sum of squared distances
+};
+
+/// Lloyd's K-means over `samples` (rows = samples) through the
+/// distributed workflow, seeded with the first k distinct rows.
+Result<KMeansFit> DistributedKMeans(const data::Matrix& samples, int k,
+                                    int iterations,
+                                    const ExecuteOptions& options = {});
+
+}  // namespace taskbench::algos
+
+#endif  // TASKBENCH_ALGOS_API_H_

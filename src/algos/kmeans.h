@@ -1,0 +1,74 @@
+#ifndef TASKBENCH_ALGOS_KMEANS_H_
+#define TASKBENCH_ALGOS_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "data/grid.h"
+#include "perf/task_cost.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::algos {
+
+/// Options of the distributed K-means workflow.
+struct KMeansOptions {
+  /// The algorithm-specific parameter of the paper's analysis
+  /// (Table 1 factor d; Figure 9a varies it over 10/100/1000).
+  int num_clusters = 10;
+  /// Lloyd iterations; each contributes one partial_sum level plus a
+  /// merge to the DAG (Figure 6a's deep, narrow shape).
+  int iterations = 3;
+  /// Processor the partial_sum parallel fraction targets.
+  Processor processor = Processor::kCpu;
+  /// Materialize sample blocks and attach real kernels.
+  bool materialize = false;
+  uint64_t seed = 42;
+  /// Fraction of skewed elements when materializing (Section 5.2.3);
+  /// 0 = uniform. Values in [0, 1].
+  double skew = 0.0;
+  /// Generate Gaussian blobs instead of uniform noise (makes real
+  /// runs converge meaningfully).
+  bool blobs = false;
+  /// When materializing, slice the sample blocks out of this matrix
+  /// instead of generating data. Shape must match the spec. Not
+  /// owned; must outlive BuildKMeans.
+  const data::Matrix* samples = nullptr;
+  /// Optional initial centroids (k x features); defaults to the first
+  /// k rows of the first block. Not owned.
+  const data::Matrix* initial_centroids = nullptr;
+};
+
+/// The built workflow: graph plus handles to the sample blocks and
+/// the centroids datum (overwritten every iteration, which chains
+/// the iterations through WAR/RAW dependencies exactly like the
+/// PyCOMPSs version).
+struct KMeansWorkflow {
+  runtime::TaskGraph graph;
+  std::vector<runtime::DataId> blocks;  ///< row blocks, top to bottom
+  runtime::DataId centroids = -1;       ///< K x N matrix
+  KMeansOptions options;
+};
+
+/// Builds the dislib-style K-means workflow on a row-wise partitioned
+/// dataset (`spec.grid_cols()` must be 1 — the paper enforces one
+/// block per grid row, Section 4.4.4). Each iteration runs one
+/// `partial_sum` task per block (partially parallel user code,
+/// Figure 4b) and a serial `merge` task on CPU that recomputes the
+/// centroids.
+Result<KMeansWorkflow> BuildKMeans(const data::GridSpec& spec,
+                                   const KMeansOptions& options);
+
+/// Cost descriptor of one partial_sum task on an m x n block with k
+/// clusters: memory-bound parallel fraction of k distance passes plus
+/// an interpreter-bound serial fraction (see perf/calibration.h).
+perf::TaskCost PartialSumCost(int64_t m, int64_t n, int k);
+
+/// Cost descriptor of the merge task combining `num_partials`
+/// partial results of k x (n+1) values: serial CPU work.
+perf::TaskCost MergeCost(int64_t num_partials, int64_t n, int k);
+
+}  // namespace taskbench::algos
+
+#endif  // TASKBENCH_ALGOS_KMEANS_H_

@@ -1,0 +1,61 @@
+#ifndef TASKBENCH_ALGOS_LOGREG_H_
+#define TASKBENCH_ALGOS_LOGREG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "data/grid.h"
+#include "perf/task_cost.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::algos {
+
+/// Options of the distributed logistic-regression training workflow
+/// (batch gradient descent).
+struct LogRegOptions {
+  int iterations = 5;
+  double learning_rate = 0.1;
+  Processor processor = Processor::kCpu;
+  bool materialize = false;
+  uint64_t seed = 42;
+  /// When materializing, slice sample blocks from this matrix where
+  /// the LAST column is the binary label (0/1) and the remaining
+  /// columns are features. Not owned. When null, synthetic separable
+  /// data is generated.
+  const data::Matrix* samples_with_labels = nullptr;
+};
+
+/// The built workflow: weights has `features + 1` entries (bias
+/// last), updated in place each iteration.
+struct LogRegWorkflow {
+  runtime::TaskGraph graph;
+  std::vector<runtime::DataId> blocks;  ///< row blocks incl. label col
+  runtime::DataId weights = -1;         ///< 1 x (features + 1)
+  LogRegOptions options;
+};
+
+/// Builds distributed logistic regression: per iteration one
+/// `grad_func` task per row block (partially parallel: the
+/// matrix-vector products parallelize, the loss bookkeeping does
+/// not) plus a serial `apply_grad` update task. An intermediate data
+/// point on the Section 5.5.1 spectrum: its parallel/serial ratio is
+/// higher than K-means', yet its arithmetic intensity (~2 flops/byte,
+/// one pass over the block per iteration) is so low that CPU-GPU
+/// communication erases the GPU's parallel-fraction win — a partially
+/// parallel algorithm where GPUs roughly break even.
+Result<LogRegWorkflow> BuildLogReg(const data::GridSpec& spec,
+                                   const LogRegOptions& options);
+
+/// Cost descriptor of one grad_func task over an m x n block
+/// (n = features + label column).
+perf::TaskCost GradFuncCost(int64_t m, int64_t n);
+
+/// Cost descriptor of the apply_grad task combining `num_partials`
+/// gradients of `n` entries.
+perf::TaskCost ApplyGradCost(int64_t num_partials, int64_t n);
+
+}  // namespace taskbench::algos
+
+#endif  // TASKBENCH_ALGOS_LOGREG_H_

@@ -1,0 +1,222 @@
+#include "algos/matmul.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "data/generators.h"
+#include "perf/calibration.h"
+
+namespace taskbench::algos {
+
+namespace {
+
+namespace calib = perf::calib;
+using runtime::DataId;
+using runtime::Dir;
+using runtime::TaskSpec;
+
+/// Kernel of matmul_func: out = in0 * in1.
+Status MatmulKernel(const std::vector<const data::Matrix*>& inputs,
+                    const std::vector<data::Matrix*>& outputs) {
+  if (inputs.size() != 2 || outputs.size() != 1) {
+    return Status::InvalidArgument("matmul_func expects 2 inputs, 1 output");
+  }
+  TB_ASSIGN_OR_RETURN(*outputs[0], data::Multiply(*inputs[0], *inputs[1]));
+  return Status::OK();
+}
+
+/// Kernel of add_func: out = in0 + in1.
+Status AddKernel(const std::vector<const data::Matrix*>& inputs,
+                 const std::vector<data::Matrix*>& outputs) {
+  if (inputs.size() != 2 || outputs.size() != 1) {
+    return Status::InvalidArgument("add_func expects 2 inputs, 1 output");
+  }
+  TB_ASSIGN_OR_RETURN(*outputs[0], data::Add(*inputs[0], *inputs[1]));
+  return Status::OK();
+}
+
+}  // namespace
+
+perf::TaskCost MatmulFuncCost(int64_t m, int64_t n, int64_t q, bool fma) {
+  perf::TaskCost cost;
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  const double dq = static_cast<double>(q);
+  const double in_bytes = 8.0 * (dm * dn + dn * dq);
+  const double out_bytes = 8.0 * dm * dq;
+  cost.parallel.flops = calib::kMatmulFlopsPerMac * dm * dn * dq;
+  cost.parallel.bytes = in_bytes + out_bytes;
+  // Fully parallel user code (Figure 4c): no serial fraction.
+  cost.h2d_bytes = static_cast<uint64_t>(in_bytes);
+  cost.d2h_bytes = static_cast<uint64_t>(out_bytes);
+  cost.num_transfers = 3;
+  cost.num_kernels = 1;
+  cost.input_bytes = static_cast<uint64_t>(in_bytes);
+  cost.output_bytes = static_cast<uint64_t>(out_bytes);
+  cost.gpu_working_set_bytes = static_cast<uint64_t>(
+      calib::kMatmulOomTempMargin * (in_bytes + out_bytes));
+  cost.gpu_curve.peak_fraction =
+      fma ? calib::kMatmulFmaPeakFraction : 1.0;
+  cost.gpu_curve.ramp_work = calib::kMatmulGpuRampWork;
+  cost.gpu_curve.alpha = calib::kMatmulGpuAlpha;
+  return cost;
+}
+
+perf::TaskCost AddFuncCost(int64_t m, int64_t q) {
+  perf::TaskCost cost;
+  const double elems = static_cast<double>(m) * static_cast<double>(q);
+  cost.parallel.flops = calib::kAddFlopsPerElement * elems;
+  cost.parallel.bytes = 3.0 * 8.0 * elems;  // two reads + one write
+  cost.h2d_bytes = static_cast<uint64_t>(2.0 * 8.0 * elems);
+  cost.d2h_bytes = static_cast<uint64_t>(8.0 * elems);
+  cost.num_transfers = 3;
+  cost.num_kernels = 1;
+  cost.input_bytes = cost.h2d_bytes;
+  cost.output_bytes = cost.d2h_bytes;
+  cost.gpu_working_set_bytes = static_cast<uint64_t>(
+      calib::kMatmulOomTempMargin * 3.0 * 8.0 * elems);
+  // Single elementwise kernel: bandwidth-bound, no utilization ramp
+  // worth modeling — GPU loses on CPU-GPU communication, not on
+  // utilization (Section 5.2.1).
+  return cost;
+}
+
+Result<MatmulWorkflow> BuildMatmul(const data::GridSpec& spec,
+                                   const MatmulOptions& options) {
+  return BuildMatmul(spec, spec, options);
+}
+
+Result<MatmulWorkflow> BuildMatmul(const data::GridSpec& a_spec,
+                                   const data::GridSpec& b_spec,
+                                   const MatmulOptions& options) {
+  if (a_spec.dataset().cols != b_spec.dataset().rows) {
+    return Status::InvalidArgument(StrFormat(
+        "matmul inner dataset dimensions differ: A cols %lld, B rows %lld",
+        static_cast<long long>(a_spec.dataset().cols),
+        static_cast<long long>(b_spec.dataset().rows)));
+  }
+  if (a_spec.block_cols() != b_spec.block_rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "matmul inner block dimensions differ: A block cols %lld, "
+        "B block rows %lld",
+        static_cast<long long>(a_spec.block_cols()),
+        static_cast<long long>(b_spec.block_rows())));
+  }
+
+  MatmulWorkflow wf;
+  const int64_t gk = a_spec.grid_rows();   // C grid rows
+  const int64_t gl = a_spec.grid_cols();   // inner grid dimension
+  const int64_t gq = b_spec.grid_cols();   // C grid cols
+
+  const std::string func_name = options.fma ? "matmul_fma_func"
+                                            : "matmul_func";
+
+  // Register inputs: sliced from provided matrices, generated
+  // randomly, or size-only (simulation mode).
+  auto register_blocks = [&](const data::GridSpec& spec, const char* label,
+                             uint64_t seed, const data::Matrix* values)
+      -> Result<std::vector<std::vector<DataId>>> {
+    if (values != nullptr &&
+        (values->rows() != spec.dataset().rows ||
+         values->cols() != spec.dataset().cols)) {
+      return Status::InvalidArgument(StrFormat(
+          "%s values are %lldx%lld but the spec describes %lldx%lld", label,
+          static_cast<long long>(values->rows()),
+          static_cast<long long>(values->cols()),
+          static_cast<long long>(spec.dataset().rows),
+          static_cast<long long>(spec.dataset().cols)));
+    }
+    std::vector<std::vector<DataId>> ids(
+        static_cast<size_t>(spec.grid_rows()));
+    for (int64_t r = 0; r < spec.grid_rows(); ++r) {
+      for (int64_t c = 0; c < spec.grid_cols(); ++c) {
+        const data::BlockExtent e = spec.ExtentAt(r, c);
+        const std::string name =
+            StrFormat("%s[%lld][%lld]", label, static_cast<long long>(r),
+                      static_cast<long long>(c));
+        if (options.materialize && values != nullptr) {
+          TB_ASSIGN_OR_RETURN(data::Matrix block,
+                              values->Slice(e.row0, e.col0, e.rows, e.cols));
+          ids[static_cast<size_t>(r)].push_back(
+              wf.graph.AddData(std::move(block), name));
+        } else if (options.materialize) {
+          data::Matrix block(e.rows, e.cols);
+          Rng rng(seed ^ (static_cast<uint64_t>(r) << 24) ^
+                  static_cast<uint64_t>(c));
+          data::FillUniform(&block, &rng);
+          ids[static_cast<size_t>(r)].push_back(
+              wf.graph.AddData(std::move(block), name));
+        } else {
+          ids[static_cast<size_t>(r)].push_back(
+              wf.graph.AddData(e.bytes(), name));
+        }
+      }
+    }
+    return ids;
+  };
+
+  TB_ASSIGN_OR_RETURN(
+      wf.a, register_blocks(a_spec, "A", options.seed, options.a_values));
+  TB_ASSIGN_OR_RETURN(
+      wf.b, register_blocks(b_spec, "B", options.seed + 1,
+                            options.b_values));
+
+  wf.c.resize(static_cast<size_t>(gk));
+  for (int64_t i = 0; i < gk; ++i) {
+    for (int64_t j = 0; j < gq; ++j) {
+      const int64_t m = a_spec.ExtentAt(i, 0).rows;
+      const int64_t q = b_spec.ExtentAt(0, j).cols;
+      const uint64_t out_bytes =
+          static_cast<uint64_t>(m) * static_cast<uint64_t>(q) * 8;
+
+      // One matmul_func per inner index k producing a partial product.
+      std::vector<DataId> partials;
+      for (int64_t k = 0; k < gl; ++k) {
+        const int64_t n = a_spec.ExtentAt(i, k).cols;
+        const DataId partial = wf.graph.AddData(
+            out_bytes, StrFormat("P[%lld][%lld]k%lld",
+                                 static_cast<long long>(i),
+                                 static_cast<long long>(j),
+                                 static_cast<long long>(k)));
+        TaskSpec spec;
+        spec.type = func_name;
+        spec.params = {{wf.a[static_cast<size_t>(i)][static_cast<size_t>(k)],
+                        Dir::kIn},
+                       {wf.b[static_cast<size_t>(k)][static_cast<size_t>(j)],
+                        Dir::kIn},
+                       {partial, Dir::kOut}};
+        if (options.materialize) spec.kernel = MatmulKernel;
+        spec.cost = MatmulFuncCost(m, n, q, options.fma);
+        spec.processor = options.processor;
+        TB_RETURN_IF_ERROR(wf.graph.Submit(std::move(spec)).status());
+        partials.push_back(partial);
+      }
+
+      // Pairwise add_func tree combining the partial products.
+      while (partials.size() > 1) {
+        std::vector<DataId> next;
+        for (size_t p = 0; p + 1 < partials.size(); p += 2) {
+          const DataId sum = wf.graph.AddData(
+              out_bytes, StrFormat("S[%lld][%lld]", static_cast<long long>(i),
+                                   static_cast<long long>(j)));
+          TaskSpec spec;
+          spec.type = "add_func";
+          spec.params = {{partials[p], Dir::kIn},
+                         {partials[p + 1], Dir::kIn},
+                         {sum, Dir::kOut}};
+          if (options.materialize) spec.kernel = AddKernel;
+          spec.cost = AddFuncCost(m, q);
+          spec.processor = options.processor;
+          TB_RETURN_IF_ERROR(wf.graph.Submit(std::move(spec)).status());
+          next.push_back(sum);
+        }
+        if (partials.size() % 2 == 1) next.push_back(partials.back());
+        partials = std::move(next);
+      }
+      wf.c[static_cast<size_t>(i)].push_back(partials.front());
+    }
+  }
+  return wf;
+}
+
+}  // namespace taskbench::algos

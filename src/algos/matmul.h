@@ -1,0 +1,74 @@
+#ifndef TASKBENCH_ALGOS_MATMUL_H_
+#define TASKBENCH_ALGOS_MATMUL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "data/grid.h"
+#include "perf/task_cost.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::algos {
+
+/// Options of the distributed matrix multiplication workflow.
+struct MatmulOptions {
+  /// Processor the parallel task fractions target.
+  Processor processor = Processor::kCpu;
+  /// Use the Fused-Multiply-Add implementation variant the paper's
+  /// generalizability study runs (Figure 12).
+  bool fma = false;
+  /// Materialize input blocks and attach real kernels so the graph
+  /// can run on the thread-pool executor. Simulation-only graphs skip
+  /// this (blocks are described by size only).
+  bool materialize = false;
+  uint64_t seed = 42;
+  /// When materializing, slice the blocks out of these matrices
+  /// instead of generating random data. Shapes must match the specs.
+  /// Not owned; must outlive BuildMatmul.
+  const data::Matrix* a_values = nullptr;
+  const data::Matrix* b_values = nullptr;
+};
+
+/// The built workflow: graph plus the block handles of A, B and C.
+struct MatmulWorkflow {
+  runtime::TaskGraph graph;
+  /// a[k][l] = block (k,l) of A, etc. C has A's grid rows and B's
+  /// grid cols.
+  std::vector<std::vector<runtime::DataId>> a;
+  std::vector<std::vector<runtime::DataId>> b;
+  std::vector<std::vector<runtime::DataId>> c;
+};
+
+/// Builds the dislib-style blocked matmul C = A * B: one
+/// `matmul_func` task per (i, k, j) block triple producing a partial
+/// product, combined per (i, j) by a tree of `add_func` tasks —
+/// the wide, shallow DAG of Figure 6b. A 1x1 grid degenerates to a
+/// single matmul_func and no add_func, as the paper notes for the
+/// maximum granularity.
+///
+/// `a_spec` partitions A (i x j elements); `b_spec` partitions B and
+/// must be block-compatible (B rows == A cols, B block rows == A
+/// block cols).
+Result<MatmulWorkflow> BuildMatmul(const data::GridSpec& a_spec,
+                                   const data::GridSpec& b_spec,
+                                   const MatmulOptions& options);
+
+/// Convenience overload for the paper's square datasets: A and B share
+/// `spec`.
+Result<MatmulWorkflow> BuildMatmul(const data::GridSpec& spec,
+                                   const MatmulOptions& options);
+
+/// Cost descriptor of one matmul_func task on blocks
+/// (m x n) * (n x q): O(N^3) flops, fully parallel user code
+/// (Figure 4c).
+perf::TaskCost MatmulFuncCost(int64_t m, int64_t n, int64_t q, bool fma);
+
+/// Cost descriptor of one add_func task on an m x q block: O(N)
+/// flops, memory-bound, fully parallel user code.
+perf::TaskCost AddFuncCost(int64_t m, int64_t q);
+
+}  // namespace taskbench::algos
+
+#endif  // TASKBENCH_ALGOS_MATMUL_H_

@@ -1,0 +1,106 @@
+#include "algos/transpose.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "data/generators.h"
+#include "perf/calibration.h"
+
+namespace taskbench::algos {
+
+namespace {
+
+using runtime::DataId;
+using runtime::Dir;
+using runtime::TaskSpec;
+
+Status TransposeKernel(const std::vector<const data::Matrix*>& inputs,
+                       const std::vector<data::Matrix*>& outputs) {
+  if (inputs.size() != 1 || outputs.size() != 1) {
+    return Status::InvalidArgument("transpose_func expects 1 input, 1 output");
+  }
+  const data::Matrix& in = *inputs[0];
+  data::Matrix out(in.cols(), in.rows());
+  for (int64_t r = 0; r < in.rows(); ++r) {
+    for (int64_t c = 0; c < in.cols(); ++c) {
+      out.At(c, r) = in.At(r, c);
+    }
+  }
+  *outputs[0] = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace
+
+perf::TaskCost TransposeFuncCost(int64_t m, int64_t n) {
+  perf::TaskCost cost;
+  const double elems = static_cast<double>(m) * static_cast<double>(n);
+  // Pure data movement: one read + one write per element, no math.
+  cost.parallel.flops = 0;
+  cost.parallel.bytes = 2.0 * 8.0 * elems;
+  cost.h2d_bytes = static_cast<uint64_t>(8.0 * elems);
+  cost.d2h_bytes = static_cast<uint64_t>(8.0 * elems);
+  cost.num_transfers = 2;
+  cost.num_kernels = 1;
+  cost.input_bytes = cost.h2d_bytes;
+  cost.output_bytes = cost.d2h_bytes;
+  cost.gpu_working_set_bytes = static_cast<uint64_t>(
+      perf::calib::kMatmulOomTempMargin * 2.0 * 8.0 * elems);
+  return cost;
+}
+
+Result<TransposeWorkflow> BuildTranspose(const data::GridSpec& spec,
+                                         const TransposeOptions& options) {
+  if (options.values != nullptr &&
+      (options.values->rows() != spec.dataset().rows ||
+       options.values->cols() != spec.dataset().cols)) {
+    return Status::InvalidArgument("values shape does not match the spec");
+  }
+  TransposeWorkflow wf;
+  wf.a.resize(static_cast<size_t>(spec.grid_rows()));
+  wf.out.resize(static_cast<size_t>(spec.grid_cols()));
+  for (auto& row : wf.out) {
+    row.resize(static_cast<size_t>(spec.grid_rows()), -1);
+  }
+
+  for (int64_t i = 0; i < spec.grid_rows(); ++i) {
+    for (int64_t j = 0; j < spec.grid_cols(); ++j) {
+      const data::BlockExtent e = spec.ExtentAt(i, j);
+      const std::string name =
+          StrFormat("A[%lld][%lld]", static_cast<long long>(i),
+                    static_cast<long long>(j));
+      DataId in;
+      if (options.materialize && options.values != nullptr) {
+        TB_ASSIGN_OR_RETURN(
+            data::Matrix block,
+            options.values->Slice(e.row0, e.col0, e.rows, e.cols));
+        in = wf.graph.AddData(std::move(block), name);
+      } else if (options.materialize) {
+        data::Matrix block(e.rows, e.cols);
+        Rng rng(options.seed ^ (static_cast<uint64_t>(i) << 20) ^
+                static_cast<uint64_t>(j));
+        data::FillUniform(&block, &rng);
+        in = wf.graph.AddData(std::move(block), name);
+      } else {
+        in = wf.graph.AddData(e.bytes(), name);
+      }
+      wf.a[static_cast<size_t>(i)].push_back(in);
+
+      const DataId out = wf.graph.AddData(
+          e.bytes(), StrFormat("T[%lld][%lld]", static_cast<long long>(j),
+                               static_cast<long long>(i)));
+      wf.out[static_cast<size_t>(j)][static_cast<size_t>(i)] = out;
+
+      TaskSpec task;
+      task.type = "transpose_func";
+      task.params = {{in, Dir::kIn}, {out, Dir::kOut}};
+      if (options.materialize) task.kernel = TransposeKernel;
+      task.cost = TransposeFuncCost(e.rows, e.cols);
+      task.processor = options.processor;
+      TB_RETURN_IF_ERROR(wf.graph.Submit(std::move(task)).status());
+    }
+  }
+  return wf;
+}
+
+}  // namespace taskbench::algos

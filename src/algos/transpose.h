@@ -1,0 +1,46 @@
+#ifndef TASKBENCH_ALGOS_TRANSPOSE_H_
+#define TASKBENCH_ALGOS_TRANSPOSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "data/grid.h"
+#include "perf/task_cost.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::algos {
+
+/// Options of the blocked transpose workflow.
+struct TransposeOptions {
+  Processor processor = Processor::kCpu;
+  bool materialize = false;
+  uint64_t seed = 42;
+  /// When materializing, slice blocks from this matrix. Not owned.
+  const data::Matrix* values = nullptr;
+};
+
+/// The built workflow: T = A^T. out[j][i] holds the transpose of
+/// block (i, j) of A.
+struct TransposeWorkflow {
+  runtime::TaskGraph graph;
+  std::vector<std::vector<runtime::DataId>> a;    ///< a[i][j]
+  std::vector<std::vector<runtime::DataId>> out;  ///< out[j][i]
+};
+
+/// Builds the blocked transpose: one fully parallel, zero-arithmetic
+/// `transpose_func` task per block. This extends the paper's
+/// fully-parallelizable family (Section 5.5.1) with a pure
+/// data-movement member: no flops at all, so the GPU can only lose —
+/// the extreme end of the add_func trend.
+Result<TransposeWorkflow> BuildTranspose(const data::GridSpec& spec,
+                                         const TransposeOptions& options);
+
+/// Cost descriptor of one transpose_func task over an m x n block:
+/// fully parallel, memory-bound, zero arithmetic intensity.
+perf::TaskCost TransposeFuncCost(int64_t m, int64_t n);
+
+}  // namespace taskbench::algos
+
+#endif  // TASKBENCH_ALGOS_TRANSPOSE_H_

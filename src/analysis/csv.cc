@@ -1,0 +1,97 @@
+#include "analysis/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace taskbench::analysis {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string ExperimentsCsv(const std::vector<ExperimentResult>& results) {
+  std::ostringstream out;
+  out << "label,algorithm,dataset,dataset_bytes,grid_rows,grid_cols,"
+         "clusters,processor,storage,policy,block_bytes,num_blocks,"
+         "dag_width,dag_height,parallel_fraction,complexity,oom,"
+         "parallel_task_time_s,makespan_s,scheduler_overhead_s\n";
+  for (const ExperimentResult& r : results) {
+    const ExperimentConfig& c = r.config;
+    out << CsvEscape(c.label) << ',' << ToString(c.algorithm) << ','
+        << CsvEscape(c.dataset.name) << ',' << c.dataset.bytes() << ','
+        << c.grid_rows << ',' << c.grid_cols << ',' << c.clusters << ','
+        << ToString(c.processor) << ',' << hw::ToString(c.storage) << ','
+        << ToString(c.policy) << ',' << r.block_bytes << ','
+        << r.num_blocks << ',' << r.dag_width << ',' << r.dag_height << ','
+        << StrFormat("%.6g", r.parallel_fraction) << ','
+        << StrFormat("%.6g", r.complexity) << ',' << (r.oom ? 1 : 0) << ',';
+    if (r.oom) {
+      out << ",,\n";
+    } else {
+      out << StrFormat("%.6g", r.parallel_task_time) << ','
+          << StrFormat("%.6g", r.makespan) << ','
+          << StrFormat("%.6g", r.report.scheduler_overhead) << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string TaskRecordsCsv(const runtime::RunReport& report) {
+  std::ostringstream out;
+  out << "task,type,level,processor,node,start_s,end_s,deserialize_s,"
+         "serial_fraction_s,parallel_fraction_s,cpu_gpu_comm_s,"
+         "serialize_s\n";
+  for (const runtime::TaskRecord& rec : report.records) {
+    out << rec.task << ',' << CsvEscape(rec.type) << ',' << rec.level << ','
+        << ToString(rec.processor) << ',' << rec.node << ','
+        << StrFormat("%.9g", rec.start) << ','
+        << StrFormat("%.9g", rec.end) << ','
+        << StrFormat("%.9g", rec.stages.deserialize) << ','
+        << StrFormat("%.9g", rec.stages.serial_fraction) << ','
+        << StrFormat("%.9g", rec.stages.parallel_fraction) << ','
+        << StrFormat("%.9g", rec.stages.cpu_gpu_comm) << ','
+        << StrFormat("%.9g", rec.stages.serialize) << '\n';
+  }
+  return out.str();
+}
+
+std::string CorrelationCsv(const stats::CorrelationMatrix& matrix) {
+  std::ostringstream out;
+  out << "feature";
+  for (const auto& name : matrix.names) out << ',' << CsvEscape(name);
+  out << '\n';
+  for (size_t i = 0; i < matrix.names.size(); ++i) {
+    out << CsvEscape(matrix.names[i]);
+    for (size_t j = 0; j < matrix.names.size(); ++j) {
+      const double v = matrix.values[i][j];
+      out << ',';
+      if (!std::isnan(v)) out << StrFormat("%.6f", v);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::Internal(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  file << contents;
+  if (!file) {
+    return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace taskbench::analysis

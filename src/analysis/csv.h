@@ -1,0 +1,38 @@
+#ifndef TASKBENCH_ANALYSIS_CSV_H_
+#define TASKBENCH_ANALYSIS_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "common/status.h"
+#include "runtime/metrics.h"
+#include "stats/feature_table.h"
+
+namespace taskbench::analysis {
+
+/// CSV renderers for downstream plotting (pandas/matplotlib, R,
+/// gnuplot). Fields containing commas, quotes or newlines are quoted
+/// per RFC 4180.
+
+/// One row per experiment: the config factors, structural features,
+/// and the outcome metrics (or oom=1).
+std::string ExperimentsCsv(const std::vector<ExperimentResult>& results);
+
+/// One row per executed task of a run: placement plus per-stage
+/// times.
+std::string TaskRecordsCsv(const runtime::RunReport& report);
+
+/// The correlation matrix as a CSV table (first column = feature
+/// name). NaN cells render empty.
+std::string CorrelationCsv(const stats::CorrelationMatrix& matrix);
+
+/// Escapes one CSV field per RFC 4180.
+std::string CsvEscape(const std::string& field);
+
+/// Writes `contents` to `path`.
+Status WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace taskbench::analysis
+
+#endif  // TASKBENCH_ANALYSIS_CSV_H_

@@ -1,0 +1,143 @@
+#include "analysis/experiment.h"
+
+#include <utility>
+
+#include "algos/kmeans.h"
+#include "algos/matmul.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "runtime/simulated_executor.h"
+
+namespace taskbench::analysis {
+
+std::string ToString(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kMatmul:
+      return "matmul";
+    case Algorithm::kMatmulFma:
+      return "matmul-fma";
+    case Algorithm::kKMeans:
+      return "kmeans";
+  }
+  return "unknown";
+}
+
+ExperimentConfig::ExperimentConfig() : cluster(hw::MinotauroCluster()) {}
+
+double SignedSpeedup(double cpu_time, double gpu_time) {
+  TB_CHECK(cpu_time > 0 && gpu_time > 0)
+      << "speedup requires positive times, got cpu=" << cpu_time
+      << " gpu=" << gpu_time;
+  if (gpu_time <= cpu_time) return cpu_time / gpu_time;
+  return -(gpu_time / cpu_time);
+}
+
+namespace {
+
+/// Builds the workflow graph for `config` and fills the structural
+/// features of `result`.
+Status BuildGraph(const ExperimentConfig& config, ExperimentResult* result,
+                  runtime::TaskGraph* graph) {
+  TB_ASSIGN_OR_RETURN(
+      data::GridSpec spec,
+      data::GridSpec::CreateFromGridDim(config.dataset, config.grid_rows,
+                                        config.grid_cols));
+  result->block_bytes = spec.full_block_bytes();
+  result->num_blocks = spec.num_blocks();
+
+  if (config.algorithm == Algorithm::kKMeans) {
+    algos::KMeansOptions options;
+    options.num_clusters = config.clusters;
+    options.iterations = config.iterations;
+    options.processor = config.processor;
+    TB_ASSIGN_OR_RETURN(algos::KMeansWorkflow wf,
+                        algos::BuildKMeans(spec, options));
+    *graph = std::move(wf.graph);
+
+    const data::BlockExtent e = spec.ExtentAt(0, 0);
+    const perf::TaskCost cost =
+        algos::PartialSumCost(e.rows, e.cols, config.clusters);
+    const perf::CostModel model(config.cluster);
+    const double parallel = model.CpuParallelFraction(cost);
+    const double serial = model.SerialFraction(cost);
+    result->parallel_fraction = parallel / (parallel + serial);
+    // The paper's stated partial_sum complexity, O(M*N*K^2).
+    result->complexity = static_cast<double>(e.rows) *
+                         static_cast<double>(e.cols) *
+                         static_cast<double>(config.clusters) *
+                         static_cast<double>(config.clusters);
+  } else {
+    algos::MatmulOptions options;
+    options.processor = config.processor;
+    options.fma = config.algorithm == Algorithm::kMatmulFma;
+    TB_ASSIGN_OR_RETURN(algos::MatmulWorkflow wf,
+                        algos::BuildMatmul(spec, options));
+    *graph = std::move(wf.graph);
+
+    const data::BlockExtent e = spec.ExtentAt(0, 0);
+    // Fully parallel user code; complexity of the dominant task,
+    // O(N^3) with N the block order.
+    result->parallel_fraction = 1.0;
+    result->complexity = 2.0 * static_cast<double>(e.rows) *
+                         static_cast<double>(e.cols) *
+                         static_cast<double>(e.cols);
+  }
+
+  result->dag_width = graph->MaxWidth();
+  result->dag_height = graph->MaxHeight();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExperimentResult> DescribeExperiment(const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.config = config;
+  runtime::TaskGraph graph;
+  TB_RETURN_IF_ERROR(BuildGraph(config, &result, &graph));
+  if (config.processor == Processor::kGpu) {
+    const perf::CostModel model(config.cluster);
+    for (runtime::TaskId t = 0; t < graph.num_tasks(); ++t) {
+      const auto& task = graph.task(t);
+      if (task.spec.processor != Processor::kGpu) continue;
+      const Status fit = model.CheckGpuFit(task.spec.cost);
+      if (!fit.ok()) {
+        result.oom = true;
+        result.oom_detail = fit.message();
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.config = config;
+
+  runtime::TaskGraph graph;
+  TB_RETURN_IF_ERROR(BuildGraph(config, &result, &graph));
+
+  runtime::SimulatedExecutorOptions exec_options;
+  exec_options.storage = config.storage;
+  exec_options.policy = config.policy;
+  runtime::SimulatedExecutor executor(config.cluster, exec_options);
+
+  Result<runtime::RunReport> run = executor.Execute(graph);
+  if (!run.ok()) {
+    if (run.status().IsOutOfMemory()) {
+      result.oom = true;
+      result.oom_detail = run.status().message();
+      return result;
+    }
+    return run.status();
+  }
+
+  result.report = std::move(run).value();
+  result.stages_by_type = result.report.MeanStagesByType();
+  result.parallel_task_time = result.report.MeanLevelTime();
+  result.makespan = result.report.makespan;
+  return result;
+}
+
+}  // namespace taskbench::analysis

@@ -1,0 +1,95 @@
+#ifndef TASKBENCH_ANALYSIS_EXPERIMENT_H_
+#define TASKBENCH_ANALYSIS_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "data/grid.h"
+#include "hw/cluster.h"
+#include "perf/cost_model.h"
+#include "runtime/metrics.h"
+
+namespace taskbench::analysis {
+
+/// The workload algorithms of the study (Section 4.1): one fully
+/// parallelizable (Matmul, plus its FMA variant for Figure 12) and
+/// one partially parallelizable (K-means).
+enum class Algorithm { kMatmul, kMatmulFma, kKMeans };
+
+std::string ToString(Algorithm algorithm);
+
+/// One point of the factor space (Table 1): the task algorithm,
+/// dataset and block dimensions, the algorithm-specific parameter,
+/// and the resource/system factors.
+struct ExperimentConfig {
+  std::string label;
+  Algorithm algorithm = Algorithm::kMatmul;
+  data::DatasetSpec dataset;
+  int64_t grid_rows = 1;
+  int64_t grid_cols = 1;
+  /// K-means only: the algorithm-specific parameter (#clusters).
+  int clusters = 10;
+  /// K-means only: Lloyd iterations (the paper's DAGs use 3).
+  int iterations = 3;
+  Processor processor = Processor::kCpu;
+  hw::StorageArchitecture storage = hw::StorageArchitecture::kSharedDisk;
+  SchedulingPolicy policy = SchedulingPolicy::kTaskGenerationOrder;
+  hw::ClusterSpec cluster;  ///< defaults to MinotauroCluster()
+
+  ExperimentConfig();
+};
+
+/// The measured outcome plus the derived features the correlation
+/// analysis consumes.
+struct ExperimentResult {
+  ExperimentConfig config;
+
+  /// True when the configuration hits the GPU memory wall — the
+  /// "GPU OOM" annotations of Figures 7-10. No timing metrics then.
+  bool oom = false;
+  std::string oom_detail;
+
+  runtime::RunReport report;
+
+  /// Mean per-stage times per task type (Section 4.2 metrics).
+  std::map<std::string, perf::StageTimes> stages_by_type;
+  /// The "parallel task execution time" metric: mean DAG-level time.
+  double parallel_task_time = 0;
+  double makespan = 0;
+
+  // Structural features (Figure 11 axes).
+  uint64_t block_bytes = 0;
+  int64_t num_blocks = 0;
+  int64_t dag_width = 0;
+  int64_t dag_height = 0;
+  /// Representative task's parallel fraction of the user code on CPU,
+  /// in [0, 1]: 1.0 for fully parallel tasks (Matmul), lower for
+  /// partially parallel ones (K-means).
+  double parallel_fraction = 0;
+  /// Representative task's computational complexity feature (flops;
+  /// the paper's O(N^3) / O(MNK^2) expressions evaluated).
+  double complexity = 0;
+};
+
+/// Builds the workflow for `config` and replays it on the simulated
+/// cluster. GPU OOM is reported in the result (oom = true), not as an
+/// error; other failures propagate.
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config);
+
+/// Computes the structural features of `config` (block size, DAG
+/// shape, parallel fraction, complexity, and the OOM flag for GPU
+/// configurations) WITHOUT executing the simulation — the cheap
+/// feature extraction the learned performance predictor relies on.
+/// Timing fields are zero.
+Result<ExperimentResult> DescribeExperiment(const ExperimentConfig& config);
+
+/// Signed speedup in the paper's reporting convention: how many times
+/// faster is `gpu` than `cpu`; when GPU is slower the ratio is
+/// negated (Figure 1 reports "-1.20x"). Requires positive times.
+double SignedSpeedup(double cpu_time, double gpu_time);
+
+}  // namespace taskbench::analysis
+
+#endif  // TASKBENCH_ANALYSIS_EXPERIMENT_H_

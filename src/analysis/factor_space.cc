@@ -1,0 +1,189 @@
+#include "analysis/factor_space.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "data/generators.h"
+
+namespace taskbench::analysis {
+
+std::vector<std::pair<int64_t, int64_t>> MatmulPaperGrids() {
+  return {{1, 1}, {2, 2}, {4, 4}, {8, 8}, {16, 16}};
+}
+
+std::vector<std::pair<int64_t, int64_t>> KMeansPaperGrids() {
+  return {{1, 1},  {2, 1},  {4, 1},   {8, 1},   {16, 1},
+          {32, 1}, {64, 1}, {128, 1}, {256, 1}};
+}
+
+std::vector<ExperimentConfig> FullFactorial(const FactorLists& lists,
+                                            const ExperimentConfig& base) {
+  std::vector<ExperimentConfig> configs;
+  for (Algorithm algorithm : lists.algorithms) {
+    for (const data::DatasetSpec& dataset : lists.datasets) {
+      for (const auto& [gr, gc] : lists.grids) {
+        for (int clusters : lists.clusters) {
+          for (Processor processor : lists.processors) {
+            for (hw::StorageArchitecture storage : lists.storages) {
+              for (SchedulingPolicy policy : lists.policies) {
+                ExperimentConfig config = base;
+                config.algorithm = algorithm;
+                config.dataset = dataset;
+                config.grid_rows = gr;
+                config.grid_cols = gc;
+                config.clusters = clusters;
+                config.processor = processor;
+                config.storage = storage;
+                config.policy = policy;
+                config.label = StrFormat(
+                    "%s/%s/%lldx%lld/%s/%s/%s",
+                    ToString(algorithm).c_str(), dataset.name.c_str(),
+                    static_cast<long long>(gr), static_cast<long long>(gc),
+                    ToString(processor).c_str(), ToString(storage).c_str(),
+                    ToString(policy).c_str());
+                configs.push_back(std::move(config));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+std::vector<ExperimentConfig> CorrelationSampleConfigs() {
+  using data::PaperDatasets;
+  const ExperimentConfig base;
+  std::vector<ExperimentConfig> configs;
+  auto append = [&configs](std::vector<ExperimentConfig> more) {
+    for (auto& config : more) configs.push_back(std::move(config));
+  };
+
+  const std::vector<Processor> both_procs{Processor::kCpu, Processor::kGpu};
+  const std::vector<hw::StorageArchitecture> shared_only{
+      hw::StorageArchitecture::kSharedDisk};
+  const std::vector<hw::StorageArchitecture> both_disks{
+      hw::StorageArchitecture::kSharedDisk,
+      hw::StorageArchitecture::kLocalDisk};
+  const std::vector<SchedulingPolicy> gen_only{
+      SchedulingPolicy::kTaskGenerationOrder};
+  const std::vector<SchedulingPolicy> both_policies{
+      SchedulingPolicy::kTaskGenerationOrder,
+      SchedulingPolicy::kDataLocality};
+
+  // Figure 10 space: primary datasets x all storage/policy combos.
+  FactorLists matmul_primary;
+  matmul_primary.algorithms = {Algorithm::kMatmul};
+  matmul_primary.datasets = {PaperDatasets::Matmul8GB()};
+  matmul_primary.grids = MatmulPaperGrids();
+  matmul_primary.processors = both_procs;
+  matmul_primary.storages = both_disks;
+  matmul_primary.policies = both_policies;
+  append(FullFactorial(matmul_primary, base));
+
+  FactorLists kmeans_primary = matmul_primary;
+  kmeans_primary.algorithms = {Algorithm::kKMeans};
+  kmeans_primary.datasets = {PaperDatasets::KMeans10GB()};
+  kmeans_primary.grids = KMeansPaperGrids();
+  append(FullFactorial(kmeans_primary, base));
+
+  // Figure 7 large datasets (shared disk, generation order).
+  FactorLists matmul_large = matmul_primary;
+  matmul_large.datasets = {PaperDatasets::Matmul32GB()};
+  matmul_large.storages = shared_only;
+  matmul_large.policies = gen_only;
+  append(FullFactorial(matmul_large, base));
+
+  FactorLists kmeans_large = kmeans_primary;
+  kmeans_large.datasets = {PaperDatasets::KMeans100GB()};
+  kmeans_large.storages = shared_only;
+  kmeans_large.policies = gen_only;
+  append(FullFactorial(kmeans_large, base));
+
+  // Extra small datasets added for diversity (Section 5.4).
+  FactorLists matmul_small = matmul_large;
+  matmul_small.datasets = {PaperDatasets::Matmul128MB()};
+  append(FullFactorial(matmul_small, base));
+
+  FactorLists kmeans_small = kmeans_large;
+  kmeans_small.datasets = {PaperDatasets::KMeans100MB()};
+  append(FullFactorial(kmeans_small, base));
+
+  // Algorithm-specific parameter diversity: the Figure 9a cluster
+  // sweeps (100 and 1000 clusters).
+  FactorLists kmeans_clusters = kmeans_large;
+  kmeans_clusters.datasets = {PaperDatasets::KMeans10GB()};
+  kmeans_clusters.clusters = {100, 1000};
+  append(FullFactorial(kmeans_clusters, base));
+
+  // FMA generalizability sweep (Figure 12 companion samples).
+  FactorLists fma = matmul_large;
+  fma.algorithms = {Algorithm::kMatmulFma};
+  fma.datasets = {PaperDatasets::Matmul8GB()};
+  fma.grids = {{2, 2}, {4, 4}, {8, 8}};
+  append(FullFactorial(fma, base));
+
+  return configs;
+}
+
+Result<stats::FeatureTable> BuildFeatureTableFromResults(
+    const std::vector<ExperimentResult>& results) {
+  std::vector<double> exec_time, block_size, grid_dim, parallel_fraction,
+      algo_param, complexity, dag_width, dag_height, dataset_size;
+  std::vector<std::string> processor, storage, policy;
+
+  for (const ExperimentResult& result : results) {
+    if (result.oom) continue;  // no execution time to correlate
+    exec_time.push_back(result.parallel_task_time);
+    block_size.push_back(static_cast<double>(result.block_bytes));
+    grid_dim.push_back(static_cast<double>(result.num_blocks));
+    parallel_fraction.push_back(result.parallel_fraction);
+    algo_param.push_back(
+        result.config.algorithm == Algorithm::kKMeans
+            ? static_cast<double>(result.config.clusters)
+            : 0.0);
+    complexity.push_back(result.complexity);
+    dag_width.push_back(static_cast<double>(result.dag_width));
+    dag_height.push_back(static_cast<double>(result.dag_height));
+    dataset_size.push_back(static_cast<double>(result.config.dataset.bytes()));
+    processor.push_back(ToString(result.config.processor));
+    storage.push_back(hw::ToString(result.config.storage));
+    policy.push_back(ToString(result.config.policy));
+  }
+
+  stats::FeatureTable table;
+  TB_RETURN_IF_ERROR(table.AddNumeric("parallel-task-exec-time",
+                                      std::move(exec_time)));
+  TB_RETURN_IF_ERROR(table.AddNumeric("block-size", std::move(block_size)));
+  TB_RETURN_IF_ERROR(table.AddNumeric("grid-dimension", std::move(grid_dim)));
+  TB_RETURN_IF_ERROR(
+      table.AddNumeric("parallel-fraction", std::move(parallel_fraction)));
+  TB_RETURN_IF_ERROR(
+      table.AddNumeric("algorithm-specific-param", std::move(algo_param)));
+  TB_RETURN_IF_ERROR(
+      table.AddNumeric("computational-complexity", std::move(complexity)));
+  TB_RETURN_IF_ERROR(
+      table.AddNumeric("dag-max-width", std::move(dag_width)));
+  TB_RETURN_IF_ERROR(
+      table.AddNumeric("dag-max-height", std::move(dag_height)));
+  TB_RETURN_IF_ERROR(
+      table.AddNumeric("dataset-size", std::move(dataset_size)));
+  TB_RETURN_IF_ERROR(table.AddCategorical("processor", processor));
+  TB_RETURN_IF_ERROR(table.AddCategorical("storage", storage));
+  TB_RETURN_IF_ERROR(table.AddCategorical("scheduling", policy));
+  return table;
+}
+
+Result<stats::FeatureTable> BuildFeatureTable(
+    const std::vector<ExperimentConfig>& configs) {
+  std::vector<ExperimentResult> results;
+  results.reserve(configs.size());
+  for (const ExperimentConfig& config : configs) {
+    TB_ASSIGN_OR_RETURN(ExperimentResult result, RunExperiment(config));
+    results.push_back(std::move(result));
+  }
+  return BuildFeatureTableFromResults(results);
+}
+
+}  // namespace taskbench::analysis

@@ -1,0 +1,58 @@
+#ifndef TASKBENCH_ANALYSIS_FACTOR_SPACE_H_
+#define TASKBENCH_ANALYSIS_FACTOR_SPACE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "common/result.h"
+#include "stats/feature_table.h"
+
+namespace taskbench::analysis {
+
+/// The grid dimensions of the paper's sizing scenarios
+/// (Section 4.4.5): Matmul sweeps square grids 1x1 .. 16x16, K-means
+/// sweeps row-wise grids 1x1 .. 256x1.
+std::vector<std::pair<int64_t, int64_t>> MatmulPaperGrids();
+std::vector<std::pair<int64_t, int64_t>> KMeansPaperGrids();
+
+/// Cartesian product of the given factor values into configs. Every
+/// config starts from `base` and overrides algorithm/dataset/grid/
+/// processor/storage/policy.
+struct FactorLists {
+  std::vector<Algorithm> algorithms;
+  std::vector<data::DatasetSpec> datasets;
+  std::vector<std::pair<int64_t, int64_t>> grids;
+  std::vector<int> clusters{10};
+  std::vector<Processor> processors;
+  std::vector<hw::StorageArchitecture> storages;
+  std::vector<SchedulingPolicy> policies;
+};
+
+std::vector<ExperimentConfig> FullFactorial(const FactorLists& lists,
+                                            const ExperimentConfig& base);
+
+/// The sample set of the correlation analysis (Section 5.4): the
+/// Figure 7 and Figure 10 configurations, the extra small datasets
+/// (128 MB Matmul, 100 MB K-means), a 100-cluster K-means sweep and
+/// an FMA sweep — mirroring the paper's 192-sample design. GPU-OOM
+/// configurations are later dropped by BuildFeatureTable since they
+/// produce no execution time.
+std::vector<ExperimentConfig> CorrelationSampleConfigs();
+
+/// Runs every config, dropping OOM samples, and assembles the
+/// Figure 11 feature table: parallel task execution time, block size,
+/// grid dimension, parallel fraction, algorithm-specific parameter,
+/// computational complexity, DAG width/height, dataset size, and the
+/// one-hot encoded processor / storage / scheduling factors.
+Result<stats::FeatureTable> BuildFeatureTable(
+    const std::vector<ExperimentConfig>& configs);
+
+/// Assembles the feature table from already-run experiments.
+Result<stats::FeatureTable> BuildFeatureTableFromResults(
+    const std::vector<ExperimentResult>& results);
+
+}  // namespace taskbench::analysis
+
+#endif  // TASKBENCH_ANALYSIS_FACTOR_SPACE_H_

@@ -1,0 +1,59 @@
+#include "analysis/guidelines.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace taskbench::analysis {
+
+Result<Recommendation> RecommendConfiguration(
+    const ExperimentConfig& base,
+    const std::vector<std::pair<int64_t, int64_t>>& candidate_grids) {
+  if (candidate_grids.empty()) {
+    return Status::InvalidArgument("no candidate grids supplied");
+  }
+
+  Recommendation rec;
+  double best = std::numeric_limits<double>::infinity();
+  double best_cpu = std::numeric_limits<double>::infinity();
+  for (const auto& [gr, gc] : candidate_grids) {
+    for (Processor proc : {Processor::kCpu, Processor::kGpu}) {
+      if (proc == Processor::kGpu && base.cluster.total_gpus() == 0) {
+        continue;
+      }
+      ExperimentConfig config = base;
+      config.grid_rows = gr;
+      config.grid_cols = gc;
+      config.processor = proc;
+      TB_ASSIGN_OR_RETURN(const ExperimentResult result,
+                          RunExperiment(config));
+      CandidateOutcome outcome;
+      outcome.grid_rows = gr;
+      outcome.grid_cols = gc;
+      outcome.processor = proc;
+      outcome.oom = result.oom;
+      outcome.makespan = result.oom ? 0 : result.makespan;
+      rec.evaluated.push_back(outcome);
+      if (result.oom) continue;
+      if (proc == Processor::kCpu && result.makespan < best_cpu) {
+        best_cpu = result.makespan;
+      }
+      if (result.makespan < best) {
+        best = result.makespan;
+        rec.grid_rows = gr;
+        rec.grid_cols = gc;
+        rec.processor = proc;
+        rec.makespan = result.makespan;
+      }
+    }
+  }
+  if (!std::isfinite(best)) {
+    return Status::FailedPrecondition(
+        "every candidate configuration was infeasible (GPU OOM)");
+  }
+  rec.gpu_benefit = std::isfinite(best_cpu) ? best_cpu / best : 1.0;
+  return rec;
+}
+
+}  // namespace taskbench::analysis

@@ -1,0 +1,49 @@
+#ifndef TASKBENCH_ANALYSIS_GUIDELINES_H_
+#define TASKBENCH_ANALYSIS_GUIDELINES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "common/result.h"
+
+namespace taskbench::analysis {
+
+/// One candidate evaluated by the recommender.
+struct CandidateOutcome {
+  int64_t grid_rows = 0;
+  int64_t grid_cols = 0;
+  Processor processor = Processor::kCpu;
+  bool oom = false;
+  double makespan = 0;
+};
+
+/// A configuration recommendation for one workload.
+struct Recommendation {
+  int64_t grid_rows = 0;
+  int64_t grid_cols = 0;
+  Processor processor = Processor::kCpu;
+  double makespan = 0;
+  /// Ratio best-CPU-config / best-overall: how much choosing the
+  /// right processor matters for this workload.
+  double gpu_benefit = 1.0;
+  /// All evaluated points (the recommendation's evidence).
+  std::vector<CandidateOutcome> evaluated;
+};
+
+/// The "toward automated design" direction of Section 5.4.3 made
+/// concrete: sweeps the block-dimension factor and the processor type
+/// with the simulator and returns the fastest feasible configuration.
+/// GPU-OOM candidates are recorded but never recommended. The base
+/// config supplies the algorithm, dataset, cluster, storage and
+/// policy; grid_rows/grid_cols/processor are overridden per
+/// candidate.
+Result<Recommendation> RecommendConfiguration(
+    const ExperimentConfig& base,
+    const std::vector<std::pair<int64_t, int64_t>>& candidate_grids);
+
+}  // namespace taskbench::analysis
+
+#endif  // TASKBENCH_ANALYSIS_GUIDELINES_H_

@@ -1,0 +1,150 @@
+#include "analysis/predictor.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace taskbench::analysis {
+
+const std::vector<std::string>& PerformancePredictor::FeatureNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "block-size",        "grid-dimension",     "parallel-fraction",
+      "algorithm-param",   "complexity",         "dag-max-width",
+      "dag-max-height",    "dataset-size",       "is-gpu",
+      "is-shared-disk",    "is-locality-policy",
+  };
+  return *kNames;
+}
+
+std::vector<double> PerformancePredictor::Featurize(
+    const ExperimentResult& d) {
+  return {
+      static_cast<double>(d.block_bytes),
+      static_cast<double>(d.num_blocks),
+      d.parallel_fraction,
+      d.config.algorithm == Algorithm::kKMeans
+          ? static_cast<double>(d.config.clusters)
+          : 0.0,
+      d.complexity,
+      static_cast<double>(d.dag_width),
+      static_cast<double>(d.dag_height),
+      static_cast<double>(d.config.dataset.bytes()),
+      d.config.processor == Processor::kGpu ? 1.0 : 0.0,
+      d.config.storage == hw::StorageArchitecture::kSharedDisk ? 1.0 : 0.0,
+      d.config.policy == SchedulingPolicy::kDataLocality ? 1.0 : 0.0,
+  };
+}
+
+Status PerformancePredictor::ExtractTrainingData(
+    const std::vector<ExperimentResult>& samples,
+    std::vector<std::vector<double>>* rows, std::vector<double>* targets) {
+  for (const ExperimentResult& sample : samples) {
+    if (sample.oom || sample.parallel_task_time <= 0) continue;
+    rows->push_back(Featurize(sample));
+    targets->push_back(std::log(sample.parallel_task_time));
+  }
+  if (rows->size() < 8) {
+    return Status::FailedPrecondition(StrFormat(
+        "need >= 8 executed samples to train, got %zu", rows->size()));
+  }
+  return Status::OK();
+}
+
+Result<PerformancePredictor> PerformancePredictor::Train(
+    const std::vector<ExperimentResult>& samples,
+    const stats::RegressionTreeOptions& options) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  TB_RETURN_IF_ERROR(ExtractTrainingData(samples, &rows, &targets));
+  PerformancePredictor predictor;
+  TB_ASSIGN_OR_RETURN(predictor.tree_,
+                      stats::RegressionTree::Fit(rows, targets, options));
+  predictor.training_size_ = rows.size();
+  return predictor;
+}
+
+Result<PerformancePredictor> PerformancePredictor::TrainForest(
+    const std::vector<ExperimentResult>& samples,
+    const stats::RegressionForestOptions& options) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  TB_RETURN_IF_ERROR(ExtractTrainingData(samples, &rows, &targets));
+  PerformancePredictor predictor;
+  TB_ASSIGN_OR_RETURN(predictor.forest_,
+                      stats::RegressionForest::Fit(rows, targets, options));
+  predictor.training_size_ = rows.size();
+  return predictor;
+}
+
+const stats::RegressionTree& PerformancePredictor::tree() const {
+  TB_CHECK(tree_.has_value()) << "predictor was trained as a forest";
+  return *tree_;
+}
+
+std::vector<double> PerformancePredictor::FeatureImportance() const {
+  return forest_.has_value() ? forest_->FeatureImportance()
+                             : tree_->FeatureImportance();
+}
+
+Result<double> PerformancePredictor::PredictLog(
+    const std::vector<double>& features) const {
+  if (forest_.has_value()) return forest_->Predict(features);
+  if (tree_.has_value()) return tree_->Predict(features);
+  return Status::FailedPrecondition("predictor is not trained");
+}
+
+Result<double> PerformancePredictor::PredictSeconds(
+    const ExperimentResult& described) const {
+  if (described.oom) {
+    return Status::FailedPrecondition(
+        "configuration is GPU-OOM infeasible; nothing to predict");
+  }
+  TB_ASSIGN_OR_RETURN(const double log_time,
+                      PredictLog(Featurize(described)));
+  return std::exp(log_time);
+}
+
+Result<double> PerformancePredictor::PredictSeconds(
+    const ExperimentConfig& config) const {
+  TB_ASSIGN_OR_RETURN(const ExperimentResult described,
+                      DescribeExperiment(config));
+  return PredictSeconds(described);
+}
+
+Result<PerformancePredictor::Choice> PerformancePredictor::PredictBest(
+    const ExperimentConfig& base,
+    const std::vector<std::pair<int64_t, int64_t>>& grids) const {
+  if (grids.empty()) {
+    return Status::InvalidArgument("no candidate grids");
+  }
+  Choice best;
+  double best_time = std::numeric_limits<double>::infinity();
+  for (const auto& [gr, gc] : grids) {
+    for (Processor proc : {Processor::kCpu, Processor::kGpu}) {
+      if (proc == Processor::kGpu && base.cluster.total_gpus() == 0) {
+        continue;
+      }
+      ExperimentConfig config = base;
+      config.grid_rows = gr;
+      config.grid_cols = gc;
+      config.processor = proc;
+      TB_ASSIGN_OR_RETURN(const ExperimentResult described,
+                          DescribeExperiment(config));
+      if (described.oom) continue;
+      TB_ASSIGN_OR_RETURN(const double predicted,
+                          PredictSeconds(described));
+      if (predicted < best_time) {
+        best_time = predicted;
+        best = Choice{gr, gc, proc, predicted};
+      }
+    }
+  }
+  if (!std::isfinite(best_time)) {
+    return Status::FailedPrecondition("every candidate was infeasible");
+  }
+  return best;
+}
+
+}  // namespace taskbench::analysis

@@ -1,0 +1,91 @@
+#ifndef TASKBENCH_ANALYSIS_PREDICTOR_H_
+#define TASKBENCH_ANALYSIS_PREDICTOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "common/result.h"
+#include "stats/regression_forest.h"
+#include "stats/regression_tree.h"
+
+namespace taskbench::analysis {
+
+/// The learned performance model the paper proposes as future work
+/// (Section 5.4.3): a regression tree trained on executed experiments
+/// that predicts the parallel-task execution time of an *unseen*
+/// configuration from its cheap structural features — block size,
+/// grid dimension, parallel fraction, computational complexity, DAG
+/// shape, dataset size and the one-hot resource/system factors — so
+/// block-size and processor choices no longer require exhaustive
+/// reruns.
+class PerformancePredictor {
+ public:
+  /// Trains a single CART tree on executed samples (OOM samples are
+  /// skipped — they carry no time). Targets are fitted in log space:
+  /// factor effects are multiplicative and errors are judged
+  /// relatively.
+  static Result<PerformancePredictor> Train(
+      const std::vector<ExperimentResult>& samples,
+      const stats::RegressionTreeOptions& options = {});
+
+  /// Trains a bagged forest instead; smoother predictions and a
+  /// shorter error tail at the cost of interpretability.
+  static Result<PerformancePredictor> TrainForest(
+      const std::vector<ExperimentResult>& samples,
+      const stats::RegressionForestOptions& options = {});
+
+  /// Predicted parallel-task execution time (seconds) for a
+  /// configuration, extracting its features without simulating.
+  /// Fails for GPU-OOM configurations (infeasible).
+  Result<double> PredictSeconds(const ExperimentConfig& config) const;
+
+  /// Predicted time from an already-described experiment.
+  Result<double> PredictSeconds(const ExperimentResult& described) const;
+
+  /// Picks the (grid, processor) with the lowest predicted time among
+  /// the candidates; infeasible (OOM) candidates are skipped.
+  struct Choice {
+    int64_t grid_rows = 0;
+    int64_t grid_cols = 0;
+    Processor processor = Processor::kCpu;
+    double predicted_seconds = 0;
+  };
+  Result<Choice> PredictBest(
+      const ExperimentConfig& base,
+      const std::vector<std::pair<int64_t, int64_t>>& grids) const;
+
+  /// Names of the feature vector entries, aligned with
+  /// FeatureImportance().
+  static const std::vector<std::string>& FeatureNames();
+
+  /// Normalized variance-reduction importances of the model
+  /// (tree or forest).
+  std::vector<double> FeatureImportance() const;
+
+  /// The underlying tree; only valid for Train()-built predictors.
+  const stats::RegressionTree& tree() const;
+
+  bool is_forest() const { return forest_.has_value(); }
+
+  /// Number of training samples actually used.
+  size_t training_size() const { return training_size_; }
+
+ private:
+  PerformancePredictor() = default;
+
+  static std::vector<double> Featurize(const ExperimentResult& described);
+  static Status ExtractTrainingData(
+      const std::vector<ExperimentResult>& samples,
+      std::vector<std::vector<double>>* rows, std::vector<double>* targets);
+  Result<double> PredictLog(const std::vector<double>& features) const;
+
+  std::optional<stats::RegressionTree> tree_;
+  std::optional<stats::RegressionForest> forest_;
+  size_t training_size_ = 0;
+};
+
+}  // namespace taskbench::analysis
+
+#endif  // TASKBENCH_ANALYSIS_PREDICTOR_H_

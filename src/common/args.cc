@@ -1,0 +1,87 @@
+#include "common/args.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace taskbench {
+
+Args Args::Parse(int argc, const char* const* argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      args.positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      args.options_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options_[body] = argv[++i];
+    } else {
+      args.options_[body] = "true";
+    }
+  }
+  return args;
+}
+
+std::string Args::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+Result<int64_t> Args::GetInt(const std::string& key, int64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrFormat(
+        "--%s expects an integer, got '%s'", key.c_str(),
+        it->second.c_str()));
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> Args::GetDouble(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrFormat(
+        "--%s expects a number, got '%s'", key.c_str(), it->second.c_str()));
+  }
+  return value;
+}
+
+Result<bool> Args::GetBool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  return Status::InvalidArgument(StrFormat(
+      "--%s expects true/false, got '%s'", key.c_str(), v.c_str()));
+}
+
+std::vector<std::string> Args::UnknownKeys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, _] : options_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+}  // namespace taskbench

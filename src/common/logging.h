@@ -1,0 +1,79 @@
+#ifndef TASKBENCH_COMMON_LOGGING_H_
+#define TASKBENCH_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace taskbench {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo; tests lower it to kDebug when diagnosing.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits one line to stderr on destruction.
+/// Use via the TB_LOG macro rather than directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting. Used by TB_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace taskbench
+
+#define TB_LOG(level)                                          \
+  ::taskbench::internal::LogMessage(::taskbench::LogLevel::k##level, \
+                                    __FILE__, __LINE__)
+
+/// Invariant check: logs and aborts when `cond` is false. Active in all
+/// build modes — used for programmer errors, not recoverable conditions
+/// (those return Status).
+#define TB_CHECK(cond)                                                 \
+  if (cond) {                                                          \
+  } else /* NOLINT */                                                  \
+    ::taskbench::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define TB_CHECK_OK(expr)                                     \
+  do {                                                        \
+    ::taskbench::Status _tb_check_status = (expr);            \
+    TB_CHECK(_tb_check_status.ok()) << _tb_check_status.ToString(); \
+  } while (false)
+
+#endif  // TASKBENCH_COMMON_LOGGING_H_

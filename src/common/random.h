@@ -1,0 +1,39 @@
+#ifndef TASKBENCH_COMMON_RANDOM_H_
+#define TASKBENCH_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace taskbench {
+
+/// Deterministic, seedable PRNG (xoshiro256** core, SplitMix64 seeding).
+/// Used everywhere a random stream is needed so experiments are exactly
+/// reproducible across runs and platforms — mirroring the paper's use of
+/// a fixed NumPy random state (Section 4.4.5). Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed yields the same stream.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBounded(uint64_t n);
+
+  /// Standard normal via Box-Muller (no cached spare; stateless per call
+  /// pair so streams stay reproducible under reordering).
+  double NextGaussian();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace taskbench
+
+#endif  // TASKBENCH_COMMON_RANDOM_H_

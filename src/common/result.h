@@ -1,0 +1,78 @@
+#ifndef TASKBENCH_COMMON_RESULT_H_
+#define TASKBENCH_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace taskbench {
+
+/// Result<T> holds either a value of type T or a non-OK Status,
+/// following the Arrow convention. Accessing the value of an errored
+/// Result aborts in debug builds (assert) and is undefined otherwise,
+/// so callers must check ok() first or use the TB_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK when value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace taskbench
+
+/// Unwraps a Result into `lhs` or propagates its error status.
+/// Usage: TB_ASSIGN_OR_RETURN(auto grid, Grid::Create(...));
+#define TB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define TB_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define TB_ASSIGN_OR_RETURN_NAME(x, y) TB_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define TB_ASSIGN_OR_RETURN(lhs, expr) \
+  TB_ASSIGN_OR_RETURN_IMPL(            \
+      TB_ASSIGN_OR_RETURN_NAME(_tb_result_, __LINE__), lhs, expr)
+
+#endif  // TASKBENCH_COMMON_RESULT_H_

@@ -1,0 +1,76 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace taskbench {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 5) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+  return StrFormat("%.1f %s", value, kUnits[unit]);
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds < 0) return "-" + HumanSeconds(-seconds);
+  if (seconds >= 1.0) return StrFormat("%.3f s", seconds);
+  if (seconds >= 1e-3) return StrFormat("%.3f ms", seconds * 1e3);
+  if (seconds >= 1e-6) return StrFormat("%.3f us", seconds * 1e6);
+  return StrFormat("%.1f ns", seconds * 1e9);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string PadLeft(std::string_view s, size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(width - s.size(), ' ') + std::string(s);
+}
+
+std::string PadRight(std::string_view s, size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(s) + std::string(width - s.size(), ' ');
+}
+
+}  // namespace taskbench

@@ -1,0 +1,34 @@
+#ifndef TASKBENCH_COMMON_STRINGS_H_
+#define TASKBENCH_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace taskbench {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a byte count with a binary-unit suffix, e.g. "512.0 MB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Renders a duration in seconds with an adaptive unit, e.g. "12.3 ms".
+std::string HumanSeconds(double seconds);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Left-pads (`PadLeft`) or right-pads (`PadRight`) `s` with spaces to
+/// `width` columns; strings already wider are returned unchanged.
+std::string PadLeft(std::string_view s, size_t width);
+std::string PadRight(std::string_view s, size_t width);
+
+}  // namespace taskbench
+
+#endif  // TASKBENCH_COMMON_STRINGS_H_

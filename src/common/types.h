@@ -1,0 +1,30 @@
+#ifndef TASKBENCH_COMMON_TYPES_H_
+#define TASKBENCH_COMMON_TYPES_H_
+
+#include <string>
+
+namespace taskbench {
+
+/// Processor type a task executes on — one of the paper's resource
+/// factors (Table 1, factor f). Serial tasks run on CPU cores;
+/// partially/fully parallel tasks may be accelerated on GPU devices
+/// (Section 3.3).
+enum class Processor { kCpu, kGpu };
+
+inline std::string ToString(Processor p) {
+  return p == Processor::kCpu ? "CPU" : "GPU";
+}
+
+/// Scheduling policies the paper evaluates (Sections 3.2 and 4.4.2):
+/// dispatch in task generation order (cheap) or considering data
+/// locality (more work per scheduling decision).
+enum class SchedulingPolicy { kTaskGenerationOrder, kDataLocality };
+
+inline std::string ToString(SchedulingPolicy p) {
+  return p == SchedulingPolicy::kTaskGenerationOrder ? "task-gen-order"
+                                                     : "data-locality";
+}
+
+}  // namespace taskbench
+
+#endif  // TASKBENCH_COMMON_TYPES_H_

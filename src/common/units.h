@@ -1,0 +1,29 @@
+#ifndef TASKBENCH_COMMON_UNITS_H_
+#define TASKBENCH_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace taskbench {
+
+/// Byte-size constants. The paper reports block sizes in binary MB/GB
+/// (e.g. "8192 MB"); we keep the same convention everywhere.
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+/// Size of one dataset element. The paper generates float64 matrices.
+inline constexpr uint64_t kElementBytes = 8;
+
+/// Converts an element count to bytes (float64 elements).
+inline constexpr uint64_t ElementsToBytes(uint64_t elements) {
+  return elements * kElementBytes;
+}
+
+/// Converts a byte count to float64 element count (rounding down).
+inline constexpr uint64_t BytesToElements(uint64_t bytes) {
+  return bytes / kElementBytes;
+}
+
+}  // namespace taskbench
+
+#endif  // TASKBENCH_COMMON_UNITS_H_

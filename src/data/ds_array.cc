@@ -1,0 +1,60 @@
+#include "data/ds_array.h"
+
+#include <utility>
+
+namespace taskbench::data {
+
+DsArray::DsArray(GridSpec spec) : spec_(std::move(spec)) {
+  blocks_.resize(static_cast<size_t>(spec_.num_blocks()));
+}
+
+Result<DsArray> DsArray::FromMatrix(const Matrix& matrix, int64_t block_rows,
+                                    int64_t block_cols) {
+  DatasetSpec dataset;
+  dataset.name = "from-matrix";
+  dataset.rows = matrix.rows();
+  dataset.cols = matrix.cols();
+  TB_ASSIGN_OR_RETURN(GridSpec spec,
+                      GridSpec::Create(dataset, block_rows, block_cols));
+  DsArray array(std::move(spec));
+  for (int64_t bk = 0; bk < array.grid_rows(); ++bk) {
+    for (int64_t bl = 0; bl < array.grid_cols(); ++bl) {
+      const BlockExtent e = array.spec_.ExtentAt(bk, bl);
+      TB_ASSIGN_OR_RETURN(array.block(bk, bl),
+                          matrix.Slice(e.row0, e.col0, e.rows, e.cols));
+    }
+  }
+  return array;
+}
+
+Result<DsArray> DsArray::Generate(
+    GridSpec spec,
+    const std::function<void(const BlockExtent&, Matrix*)>& fill) {
+  DsArray array(std::move(spec));
+  for (int64_t bk = 0; bk < array.grid_rows(); ++bk) {
+    for (int64_t bl = 0; bl < array.grid_cols(); ++bl) {
+      const BlockExtent e = array.spec_.ExtentAt(bk, bl);
+      Matrix block(e.rows, e.cols);
+      fill(e, &block);
+      array.block(bk, bl) = std::move(block);
+    }
+  }
+  return array;
+}
+
+Result<DsArray> DsArray::Zeros(GridSpec spec) {
+  return Generate(std::move(spec), [](const BlockExtent&, Matrix*) {});
+}
+
+Result<Matrix> DsArray::Collect() const {
+  Matrix out(spec_.dataset().rows, spec_.dataset().cols);
+  for (int64_t bk = 0; bk < grid_rows(); ++bk) {
+    for (int64_t bl = 0; bl < grid_cols(); ++bl) {
+      const BlockExtent e = spec_.ExtentAt(bk, bl);
+      TB_RETURN_IF_ERROR(out.AssignSlice(e.row0, e.col0, block(bk, bl)));
+    }
+  }
+  return out;
+}
+
+}  // namespace taskbench::data

@@ -1,0 +1,57 @@
+#ifndef TASKBENCH_DATA_DS_ARRAY_H_
+#define TASKBENCH_DATA_DS_ARRAY_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "data/grid.h"
+#include "data/matrix.h"
+
+namespace taskbench::data {
+
+/// A materialized distributed blocked array, the dislib `ds_array`
+/// equivalent: a grid of dense float64 blocks. This is the object the
+/// real (thread-pool) execution path computes on; the simulated path
+/// only needs the GridSpec.
+class DsArray {
+ public:
+  /// Splits a dense matrix into blocks of block_rows x block_cols.
+  static Result<DsArray> FromMatrix(const Matrix& matrix, int64_t block_rows,
+                                    int64_t block_cols);
+
+  /// Creates the array by invoking `fill(extent, &block)` per block;
+  /// blocks are pre-sized to the extent dimensions.
+  static Result<DsArray> Generate(
+      GridSpec spec,
+      const std::function<void(const BlockExtent&, Matrix*)>& fill);
+
+  /// A zero-initialized array with the given partitioning.
+  static Result<DsArray> Zeros(GridSpec spec);
+
+  const GridSpec& spec() const { return spec_; }
+  int64_t grid_rows() const { return spec_.grid_rows(); }
+  int64_t grid_cols() const { return spec_.grid_cols(); }
+  int64_t num_blocks() const { return spec_.num_blocks(); }
+
+  Matrix& block(int64_t bk, int64_t bl) {
+    return blocks_[static_cast<size_t>(bk * spec_.grid_cols() + bl)];
+  }
+  const Matrix& block(int64_t bk, int64_t bl) const {
+    return blocks_[static_cast<size_t>(bk * spec_.grid_cols() + bl)];
+  }
+
+  /// Reassembles the full dense matrix (tests/examples only; the
+  /// result must fit in memory).
+  Result<Matrix> Collect() const;
+
+ private:
+  explicit DsArray(GridSpec spec);
+
+  GridSpec spec_;
+  std::vector<Matrix> blocks_;
+};
+
+}  // namespace taskbench::data
+
+#endif  // TASKBENCH_DATA_DS_ARRAY_H_

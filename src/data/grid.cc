@@ -1,0 +1,81 @@
+#include "data/grid.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace taskbench::data {
+
+namespace {
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+GridSpec::GridSpec(DatasetSpec dataset, int64_t block_rows, int64_t block_cols)
+    : dataset_(std::move(dataset)),
+      block_rows_(block_rows),
+      block_cols_(block_cols),
+      grid_rows_(CeilDiv(dataset_.rows, block_rows)),
+      grid_cols_(CeilDiv(dataset_.cols, block_cols)) {}
+
+Result<GridSpec> GridSpec::Create(DatasetSpec dataset, int64_t block_rows,
+                                  int64_t block_cols) {
+  if (dataset.rows <= 0 || dataset.cols <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("dataset '%s' has non-positive dimensions %lldx%lld",
+                  dataset.name.c_str(), static_cast<long long>(dataset.rows),
+                  static_cast<long long>(dataset.cols)));
+  }
+  if (block_rows <= 0 || block_cols <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("block dimension must be positive, got %lldx%lld",
+                  static_cast<long long>(block_rows),
+                  static_cast<long long>(block_cols)));
+  }
+  if (block_rows > dataset.rows || block_cols > dataset.cols) {
+    return Status::InvalidArgument(StrFormat(
+        "block dimension %lldx%lld exceeds dataset dimension %lldx%lld",
+        static_cast<long long>(block_rows), static_cast<long long>(block_cols),
+        static_cast<long long>(dataset.rows),
+        static_cast<long long>(dataset.cols)));
+  }
+  return GridSpec(std::move(dataset), block_rows, block_cols);
+}
+
+Result<GridSpec> GridSpec::CreateFromGridDim(DatasetSpec dataset,
+                                             int64_t grid_rows,
+                                             int64_t grid_cols) {
+  if (grid_rows <= 0 || grid_cols <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("grid dimension must be positive, got %lldx%lld",
+                  static_cast<long long>(grid_rows),
+                  static_cast<long long>(grid_cols)));
+  }
+  if (dataset.rows <= 0 || dataset.cols <= 0) {
+    return Status::InvalidArgument("dataset has non-positive dimensions");
+  }
+  if (grid_rows > dataset.rows || grid_cols > dataset.cols) {
+    return Status::InvalidArgument(StrFormat(
+        "grid dimension %lldx%lld exceeds dataset dimension %lldx%lld",
+        static_cast<long long>(grid_rows), static_cast<long long>(grid_cols),
+        static_cast<long long>(dataset.rows),
+        static_cast<long long>(dataset.cols)));
+  }
+  return Create(std::move(dataset), CeilDiv(dataset.rows, grid_rows),
+                CeilDiv(dataset.cols, grid_cols));
+}
+
+BlockExtent GridSpec::ExtentAt(int64_t bk, int64_t bl) const {
+  BlockExtent extent;
+  extent.row0 = bk * block_rows_;
+  extent.col0 = bl * block_cols_;
+  extent.rows = std::min(block_rows_, dataset_.rows - extent.row0);
+  extent.cols = std::min(block_cols_, dataset_.cols - extent.col0);
+  return extent;
+}
+
+std::string GridSpec::GridDimString() const {
+  return StrFormat("%lldx%lld", static_cast<long long>(grid_rows_),
+                   static_cast<long long>(grid_cols_));
+}
+
+}  // namespace taskbench::data

@@ -1,0 +1,90 @@
+#ifndef TASKBENCH_DATA_GRID_H_
+#define TASKBENCH_DATA_GRID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace taskbench::data {
+
+/// Logical description of an input dataset D with i rows and j columns
+/// of float64 elements (Section 3.5). Datasets in simulation mode are
+/// described, not materialized, so the paper's 100 GB inputs cost
+/// nothing to "create".
+struct DatasetSpec {
+  std::string name = "dataset";
+  int64_t rows = 0;  ///< i
+  int64_t cols = 0;  ///< j
+
+  int64_t num_elements() const { return rows * cols; }
+  uint64_t bytes() const { return static_cast<uint64_t>(num_elements()) * 8; }
+};
+
+/// Extent of one block within the dataset: offsets plus the actual
+/// dimensions (edge blocks may be smaller when the block dimension
+/// does not divide the dataset dimension).
+struct BlockExtent {
+  int64_t row0 = 0;
+  int64_t col0 = 0;
+  int64_t rows = 0;
+  int64_t cols = 0;
+
+  int64_t num_elements() const { return rows * cols; }
+  uint64_t bytes() const { return static_cast<uint64_t>(num_elements()) * 8; }
+};
+
+/// The partitioning model of Section 3.5: dataset D(i x j) split into
+/// blocks B(m x n) arranged in a grid G(k x l) with k = ceil(i/m) and
+/// l = ceil(j/n) (Eq. 2; exact division in all paper configurations).
+///
+/// The block dimension is the task-granularity control knob: larger
+/// blocks -> fewer, coarser tasks (more thread-level parallelism);
+/// smaller blocks -> more, finer tasks (more task-level parallelism).
+class GridSpec {
+ public:
+  /// Builds a grid for `dataset` with blocks of m x n elements.
+  /// Fails when the block dimension is non-positive or exceeds the
+  /// dataset dimension (the paper's second constraint, Section 3.5).
+  static Result<GridSpec> Create(DatasetSpec dataset, int64_t block_rows,
+                                 int64_t block_cols);
+
+  /// Builds the grid from a target grid dimension k x l instead
+  /// (the paper specifies experiments by grid dimension, e.g. "4x4").
+  /// Block dims are ceil(i/k) x ceil(j/l).
+  static Result<GridSpec> CreateFromGridDim(DatasetSpec dataset,
+                                            int64_t grid_rows,
+                                            int64_t grid_cols);
+
+  const DatasetSpec& dataset() const { return dataset_; }
+  int64_t block_rows() const { return block_rows_; }  ///< m
+  int64_t block_cols() const { return block_cols_; }  ///< n
+  int64_t grid_rows() const { return grid_rows_; }    ///< k
+  int64_t grid_cols() const { return grid_cols_; }    ///< l
+  int64_t num_blocks() const { return grid_rows_ * grid_cols_; }
+
+  /// Extent of block (bk, bl); edge blocks may be ragged.
+  BlockExtent ExtentAt(int64_t bk, int64_t bl) const;
+
+  /// Bytes of a full (interior) block — the paper's "block size".
+  uint64_t full_block_bytes() const {
+    return static_cast<uint64_t>(block_rows_ * block_cols_) * 8;
+  }
+
+  /// "k x l" string, e.g. "16x16".
+  std::string GridDimString() const;
+
+ private:
+  GridSpec(DatasetSpec dataset, int64_t block_rows, int64_t block_cols);
+
+  DatasetSpec dataset_;
+  int64_t block_rows_;
+  int64_t block_cols_;
+  int64_t grid_rows_;
+  int64_t grid_cols_;
+};
+
+}  // namespace taskbench::data
+
+#endif  // TASKBENCH_DATA_GRID_H_

@@ -1,0 +1,73 @@
+#include "hw/cluster.h"
+
+#include "common/strings.h"
+
+namespace taskbench::hw {
+
+std::string ToString(StorageArchitecture arch) {
+  switch (arch) {
+    case StorageArchitecture::kLocalDisk:
+      return "local-disk";
+    case StorageArchitecture::kSharedDisk:
+      return "shared-disk";
+  }
+  return "unknown";
+}
+
+Status ClusterSpec::Validate() const {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("num_nodes must be positive, got %d", num_nodes));
+  }
+  if (cores_per_node <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("cores_per_node must be positive, got %d", cores_per_node));
+  }
+  if (gpus_per_node < 0) {
+    return Status::InvalidArgument(
+        StrFormat("gpus_per_node must be >= 0, got %d", gpus_per_node));
+  }
+  if (cpu_core.flops_per_s <= 0 || cpu_core.mem_bw_bps <= 0) {
+    return Status::InvalidArgument("cpu core profile has non-positive rates");
+  }
+  if (gpus_per_node > 0) {
+    if (gpu.flops_per_s <= 0 || gpu.mem_bw_bps <= 0) {
+      return Status::InvalidArgument("gpu profile has non-positive rates");
+    }
+    if (gpu.memory_bytes == 0) {
+      return Status::InvalidArgument("gpu profile has zero memory");
+    }
+    if (bus.bandwidth_bps <= 0) {
+      return Status::InvalidArgument("bus profile has non-positive bandwidth");
+    }
+  }
+  if (local_disk.aggregate_bw_bps <= 0 || shared_disk.aggregate_bw_bps <= 0) {
+    return Status::InvalidArgument("disk profile has non-positive bandwidth");
+  }
+  return Status::OK();
+}
+
+ClusterSpec MinotauroCluster() {
+  ClusterSpec spec;
+  spec.name = "minotauro";
+  spec.num_nodes = 8;
+  spec.cores_per_node = 16;
+  spec.gpus_per_node = 4;
+  spec.cpu_core = XeonE52630Core();
+  spec.gpu = NvidiaK80();
+  spec.bus = Pcie3();
+  spec.local_disk = LocalNodeDisk();
+  spec.shared_disk = GpfsSharedDisk();
+  return spec;
+}
+
+ClusterSpec SingleNode(int cores, int gpus) {
+  ClusterSpec spec = MinotauroCluster();
+  spec.name = StrFormat("single-node-%dc-%dg", cores, gpus);
+  spec.num_nodes = 1;
+  spec.cores_per_node = cores;
+  spec.gpus_per_node = gpus;
+  return spec;
+}
+
+}  // namespace taskbench::hw

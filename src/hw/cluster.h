@@ -1,0 +1,59 @@
+#ifndef TASKBENCH_HW_CLUSTER_H_
+#define TASKBENCH_HW_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "hw/device_profiles.h"
+
+namespace taskbench::hw {
+
+/// Storage architectures the paper compares (Section 3.4):
+/// node-local scratch disks vs a cluster-wide shared filesystem.
+enum class StorageArchitecture { kLocalDisk, kSharedDisk };
+
+std::string ToString(StorageArchitecture arch);
+
+/// Static description of a heterogeneous CPU-GPU cluster.
+///
+/// A cluster has `num_nodes` identical nodes, each with
+/// `cores_per_node` CPU cores and `gpus_per_node` dedicated GPU
+/// devices connected over `bus`. Storage is either one local disk per
+/// node or one shared disk for the whole cluster.
+struct ClusterSpec {
+  std::string name = "cluster";
+  int num_nodes = 1;
+  int cores_per_node = 1;
+  int gpus_per_node = 0;
+
+  CpuCoreProfile cpu_core;
+  GpuDeviceProfile gpu;
+  BusProfile bus;
+  DiskProfile local_disk;
+  DiskProfile shared_disk;
+
+  /// Total CPU cores in the cluster — the maximum number of CPU-based
+  /// tasks that can run in parallel.
+  int total_cores() const { return num_nodes * cores_per_node; }
+  /// Total GPU devices — the maximum number of GPU-accelerated tasks
+  /// that can run in parallel.
+  int total_gpus() const { return num_nodes * gpus_per_node; }
+
+  /// Validates structural invariants (positive counts, sane profiles).
+  Status Validate() const;
+};
+
+/// The paper's testbed: 8 Minotauro nodes, 16 Xeon E5-2630 cores and
+/// 4 NVIDIA K80 devices (12 GB each) per node, PCIe 3.0, local scratch
+/// plus GPFS shared storage — 128 CPU slots vs 32 GPU slots
+/// (Section 4.4.1).
+ClusterSpec MinotauroCluster();
+
+/// A single-machine spec (1 node) used by the single-task analyses.
+ClusterSpec SingleNode(int cores, int gpus);
+
+}  // namespace taskbench::hw
+
+#endif  // TASKBENCH_HW_CLUSTER_H_

@@ -1,0 +1,126 @@
+#include "perf/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace taskbench::perf {
+
+double GpuCurve::UtilizationFor(double work) const {
+  if (ramp_work <= 0 || work <= 0) return 1.0;
+  return 1.0 / (1.0 + std::pow(ramp_work / work, alpha));
+}
+
+StageTimes& StageTimes::operator+=(const StageTimes& other) {
+  deserialize += other.deserialize;
+  serial_fraction += other.serial_fraction;
+  parallel_fraction += other.parallel_fraction;
+  cpu_gpu_comm += other.cpu_gpu_comm;
+  serialize += other.serialize;
+  return *this;
+}
+
+StageTimes StageTimes::operator/(double divisor) const {
+  StageTimes out = *this;
+  out.deserialize /= divisor;
+  out.serial_fraction /= divisor;
+  out.parallel_fraction /= divisor;
+  out.cpu_gpu_comm /= divisor;
+  out.serialize /= divisor;
+  return out;
+}
+
+CostModel::CostModel(hw::ClusterSpec spec) : spec_(std::move(spec)) {
+  TB_CHECK_OK(spec_.Validate());
+}
+
+namespace {
+/// Roofline time of `work` on rates (flop_rate, mem_bw).
+double RooflineTime(const DeviceWork& work, double flop_rate, double mem_bw) {
+  return std::max(work.flops / flop_rate, work.bytes / mem_bw);
+}
+}  // namespace
+
+double CostModel::CpuParallelFraction(const TaskCost& cost) const {
+  return RooflineTime(cost.parallel, spec_.cpu_core.flops_per_s,
+                      spec_.cpu_core.mem_bw_bps);
+}
+
+double CostModel::GpuParallelFraction(const TaskCost& cost) const {
+  const double util =
+      cost.gpu_curve.UtilizationFor(cost.parallel.Magnitude());
+  const double eff = cost.gpu_curve.peak_fraction * util;
+  const double launch =
+      cost.num_kernels * spec_.gpu.kernel_launch_s;
+  return launch + RooflineTime(cost.parallel, spec_.gpu.flops_per_s * eff,
+                               spec_.gpu.mem_bw_bps * eff);
+}
+
+double CostModel::SerialFraction(const TaskCost& cost) const {
+  return RooflineTime(cost.serial, spec_.cpu_core.flops_per_s,
+                      spec_.cpu_core.mem_bw_bps);
+}
+
+double CostModel::CpuGpuComm(const TaskCost& cost) const {
+  const double volume = static_cast<double>(cost.h2d_bytes + cost.d2h_bytes);
+  return cost.num_transfers * spec_.bus.latency_s +
+         volume / spec_.bus.bandwidth_bps;
+}
+
+double CostModel::DiskStreamTime(uint64_t bytes,
+                                 hw::StorageArchitecture arch) const {
+  const hw::DiskProfile& disk = arch == hw::StorageArchitecture::kLocalDisk
+                                    ? spec_.local_disk
+                                    : spec_.shared_disk;
+  const double bw =
+      std::min(disk.per_stream_bw_bps, disk.aggregate_bw_bps);
+  return disk.per_op_latency_s + static_cast<double>(bytes) / bw;
+}
+
+double CostModel::Deserialize(const TaskCost& cost,
+                              hw::StorageArchitecture arch) const {
+  if (cost.input_bytes == 0) return 0;
+  return DiskStreamTime(cost.input_bytes, arch);
+}
+
+double CostModel::Serialize(const TaskCost& cost,
+                            hw::StorageArchitecture arch) const {
+  if (cost.output_bytes == 0) return 0;
+  return DiskStreamTime(cost.output_bytes, arch);
+}
+
+Status CostModel::CheckGpuFit(const TaskCost& cost) const {
+  if (spec_.total_gpus() == 0) {
+    return Status::FailedPrecondition("cluster has no GPU devices");
+  }
+  if (cost.gpu_working_set_bytes > spec_.gpu.memory_bytes) {
+    return Status::OutOfMemory(StrFormat(
+        "GPU OOM: task working set %s exceeds device memory %s",
+        HumanBytes(cost.gpu_working_set_bytes).c_str(),
+        HumanBytes(spec_.gpu.memory_bytes).c_str()));
+  }
+  return Status::OK();
+}
+
+Result<StageTimes> CostModel::EstimateStages(
+    const TaskCost& cost, Processor processor,
+    hw::StorageArchitecture arch) const {
+  StageTimes stages;
+  stages.deserialize = Deserialize(cost, arch);
+  stages.serialize = Serialize(cost, arch);
+  stages.serial_fraction = SerialFraction(cost);
+  if (processor == Processor::kCpu) {
+    stages.parallel_fraction = CpuParallelFraction(cost);
+    stages.cpu_gpu_comm = 0;
+  } else {
+    TB_RETURN_IF_ERROR(CheckGpuFit(cost));
+    stages.parallel_fraction = GpuParallelFraction(cost);
+    stages.cpu_gpu_comm = CpuGpuComm(cost);
+  }
+  return stages;
+}
+
+}  // namespace taskbench::perf

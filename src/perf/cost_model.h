@@ -1,0 +1,87 @@
+#ifndef TASKBENCH_PERF_COST_MODEL_H_
+#define TASKBENCH_PERF_COST_MODEL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "hw/cluster.h"
+#include "perf/task_cost.h"
+
+namespace taskbench::perf {
+
+/// Per-stage durations of one task execution, matching the metric
+/// decomposition of Section 4.2. All values in seconds.
+struct StageTimes {
+  double deserialize = 0;
+  double serial_fraction = 0;
+  double parallel_fraction = 0;
+  double cpu_gpu_comm = 0;  ///< zero for CPU execution
+  double serialize = 0;
+
+  /// The paper's "user code execution time": serial + parallel +
+  /// CPU-GPU communication (excludes data movement to/from storage).
+  double user_code() const {
+    return serial_fraction + parallel_fraction + cpu_gpu_comm;
+  }
+  /// Full task latency including (de)serialization.
+  double total() const { return deserialize + user_code() + serialize; }
+
+  StageTimes& operator+=(const StageTimes& other);
+  StageTimes operator/(double divisor) const;
+};
+
+/// Analytic cost model mapping TaskCost descriptors onto a cluster's
+/// device profiles. The compute stages (serial fraction, parallel
+/// fraction, CPU-GPU communication) are deterministic per task; the
+/// I/O stages additionally suffer storage contention, which the
+/// simulated executor models with shared-bandwidth resources — the
+/// estimates here assume an uncontended stream (useful for the
+/// single-task analyses of Sections 5.1-5.2).
+class CostModel {
+ public:
+  explicit CostModel(hw::ClusterSpec spec);
+
+  const hw::ClusterSpec& cluster() const { return spec_; }
+
+  /// Duration of the parallel fraction on one CPU core.
+  double CpuParallelFraction(const TaskCost& cost) const;
+
+  /// Duration of the parallel fraction on one GPU device (kernel
+  /// launches + roofline at the task's effective utilization).
+  /// Does not check memory fit; see CheckGpuFit.
+  double GpuParallelFraction(const TaskCost& cost) const;
+
+  /// Duration of the serial fraction (always on a CPU core).
+  double SerialFraction(const TaskCost& cost) const;
+
+  /// CPU-GPU communication time over the cluster bus.
+  double CpuGpuComm(const TaskCost& cost) const;
+
+  /// Uncontended deserialization / serialization times through the
+  /// given storage architecture (per-stream bandwidth + per-op
+  /// latency).
+  double Deserialize(const TaskCost& cost,
+                     hw::StorageArchitecture arch) const;
+  double Serialize(const TaskCost& cost, hw::StorageArchitecture arch) const;
+
+  /// OutOfMemory when the task's working set exceeds GPU memory —
+  /// the paper's "GPU OOM" configurations.
+  Status CheckGpuFit(const TaskCost& cost) const;
+
+  /// All stages for an execution on `processor`, assuming uncontended
+  /// storage `arch`. Fails with OutOfMemory for unfittable GPU tasks.
+  Result<StageTimes> EstimateStages(const TaskCost& cost,
+                                    Processor processor,
+                                    hw::StorageArchitecture arch) const;
+
+ private:
+  double DiskStreamTime(uint64_t bytes, hw::StorageArchitecture arch) const;
+
+  hw::ClusterSpec spec_;
+};
+
+}  // namespace taskbench::perf
+
+#endif  // TASKBENCH_PERF_COST_MODEL_H_

@@ -1,0 +1,68 @@
+#ifndef TASKBENCH_PERF_TASK_COST_H_
+#define TASKBENCH_PERF_TASK_COST_H_
+
+#include <cstdint>
+
+namespace taskbench::perf {
+
+/// Work performed by one code fraction, in roofline terms: a compute
+/// side (flops) and a memory side (bytes streamed). The fraction's
+/// runtime on a device is max(flops/flop_rate, bytes/mem_bw).
+struct DeviceWork {
+  double flops = 0;
+  double bytes = 0;
+
+  /// Scalar "work size" used by the GPU utilization ramp: the
+  /// dominant roofline side.
+  double Magnitude() const { return flops > bytes ? flops : bytes; }
+};
+
+/// Empirical GPU efficiency curve for one task type's kernels.
+///
+/// Effective GPU throughput = profile rate * peak_fraction * util(W)
+/// with util(W) = 1 / (1 + (ramp_work / W)^alpha) and W the work
+/// magnitude. This captures two effects the paper measures:
+/// (1) small kernels underutilize the device (speedups grow with
+/// block size, Figure 8), and (2) kernels that map to many small
+/// library calls (dislib's K-means via CuPy) never reach the peak a
+/// single DGEMM reaches (peak_fraction < 1).
+struct GpuCurve {
+  double peak_fraction = 1.0;
+  double ramp_work = 0.0;  ///< W at which utilization is 0.5; 0 = no ramp.
+  double alpha = 0.63;
+
+  double UtilizationFor(double work) const;
+};
+
+/// Complete cost descriptor of one task instance, produced by the
+/// algorithm layer and consumed by the cost model / simulated
+/// executor. Mirrors the paper's task processing stages (Figure 4).
+struct TaskCost {
+  /// Thread-parallelizable fraction (runs on GPU when accelerated).
+  DeviceWork parallel;
+  /// Serial fraction — always executes on a CPU core (Section 3.3).
+  DeviceWork serial;
+
+  /// Host-to-device / device-to-host volumes for the CPU-GPU
+  /// communication stage (GPU execution only).
+  uint64_t h2d_bytes = 0;
+  uint64_t d2h_bytes = 0;
+  /// Number of discrete transfers (each pays the bus latency).
+  int num_transfers = 0;
+  /// Kernel launches (each pays the launch overhead).
+  int num_kernels = 1;
+
+  /// Deserialization / serialization volumes (storage I/O stages).
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;
+
+  /// Device-memory working set; exceeding the GPU capacity is OOM.
+  uint64_t gpu_working_set_bytes = 0;
+
+  /// GPU efficiency curve for this task type.
+  GpuCurve gpu_curve;
+};
+
+}  // namespace taskbench::perf
+
+#endif  // TASKBENCH_PERF_TASK_COST_H_

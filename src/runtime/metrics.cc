@@ -1,0 +1,100 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace taskbench::runtime {
+
+std::map<std::string, perf::StageTimes> RunReport::MeanStagesByType() const {
+  std::map<std::string, perf::StageTimes> sums;
+  std::map<std::string, int> counts;
+  for (const TaskRecord& rec : records) {
+    sums[rec.type] += rec.stages;
+    ++counts[rec.type];
+  }
+  for (auto& [type, stages] : sums) {
+    stages = stages / counts[type];
+  }
+  return sums;
+}
+
+std::map<std::string, int> RunReport::CountByType() const {
+  std::map<std::string, int> counts;
+  for (const TaskRecord& rec : records) ++counts[rec.type];
+  return counts;
+}
+
+perf::StageTimes RunReport::MeanStages() const {
+  perf::StageTimes sum;
+  if (records.empty()) return sum;
+  for (const TaskRecord& rec : records) sum += rec.stages;
+  return sum / static_cast<double>(records.size());
+}
+
+std::vector<LevelStat> RunReport::LevelStats() const {
+  std::map<int, std::pair<double, double>> bounds;  // level -> (min, max)
+  std::map<int, int> counts;
+  for (const TaskRecord& rec : records) {
+    auto it = bounds.find(rec.level);
+    if (it == bounds.end()) {
+      bounds[rec.level] = {rec.start, rec.end};
+    } else {
+      it->second.first = std::min(it->second.first, rec.start);
+      it->second.second = std::max(it->second.second, rec.end);
+    }
+    ++counts[rec.level];
+  }
+  std::vector<LevelStat> stats;
+  stats.reserve(bounds.size());
+  for (const auto& [level, minmax] : bounds) {
+    LevelStat stat;
+    stat.level = level;
+    stat.num_tasks = counts[level];
+    stat.duration = minmax.second - minmax.first;
+    stats.push_back(stat);
+  }
+  return stats;
+}
+
+double RunReport::MeanLevelTime() const {
+  const auto stats = LevelStats();
+  if (stats.empty()) return 0;
+  double total = 0;
+  for (const LevelStat& stat : stats) total += stat.duration;
+  return total / static_cast<double>(stats.size());
+}
+
+double RunReport::TotalDeserializeTime() const {
+  double total = 0;
+  for (const TaskRecord& rec : records) total += rec.stages.deserialize;
+  return total;
+}
+
+double RunReport::TotalSerializeTime() const {
+  double total = 0;
+  for (const TaskRecord& rec : records) total += rec.stages.serialize;
+  return total;
+}
+
+double RunReport::TotalBusyTime() const {
+  double total = 0;
+  for (const TaskRecord& rec : records) total += rec.duration();
+  return total;
+}
+
+double RunReport::SlotUtilization(int total_slots) const {
+  if (total_slots <= 0 || makespan <= 0) return 0;
+  return TotalBusyTime() / (static_cast<double>(total_slots) * makespan);
+}
+
+std::vector<double> RunReport::BusyTimeByNode() const {
+  std::vector<double> by_node;
+  for (const TaskRecord& rec : records) {
+    const size_t node = static_cast<size_t>(rec.node < 0 ? 0 : rec.node);
+    if (node >= by_node.size()) by_node.resize(node + 1, 0.0);
+    by_node[node] += rec.duration();
+  }
+  return by_node;
+}
+
+}  // namespace taskbench::runtime

@@ -1,0 +1,86 @@
+#ifndef TASKBENCH_RUNTIME_METRICS_H_
+#define TASKBENCH_RUNTIME_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "perf/cost_model.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::runtime {
+
+/// Execution record of one task: placement, per-stage durations and
+/// the start/end timestamps (simulated seconds for the simulated
+/// executor, wall-clock seconds for the thread-pool executor).
+struct TaskRecord {
+  TaskId task = -1;
+  std::string type;
+  int level = 0;
+  Processor processor = Processor::kCpu;
+  int node = -1;
+  int slot = -1;
+  perf::StageTimes stages;
+  double start = 0;
+  double end = 0;
+
+  double duration() const { return end - start; }
+};
+
+/// Timing of one DAG level — the paper's "parallel task execution
+/// time" is the average level duration (Section 4.2, task level
+/// metrics), including all data movement overheads.
+struct LevelStat {
+  int level = 0;
+  int num_tasks = 0;
+  /// max(end) - min(start) over the level's tasks.
+  double duration = 0;
+};
+
+/// Aggregated outcome of one workflow execution.
+struct RunReport {
+  std::vector<TaskRecord> records;
+  /// Total execution time (last task end).
+  double makespan = 0;
+  /// Master time spent making scheduling decisions.
+  double scheduler_overhead = 0;
+
+  /// Mean per-stage times per task type ("tasks running the same code
+  /// are aggregated together", Section 4.2).
+  std::map<std::string, perf::StageTimes> MeanStagesByType() const;
+
+  /// Number of executed tasks per type.
+  std::map<std::string, int> CountByType() const;
+
+  /// Mean stages across all tasks.
+  perf::StageTimes MeanStages() const;
+
+  /// Per-level durations, ordered by level.
+  std::vector<LevelStat> LevelStats() const;
+
+  /// Mean level duration — the "parallel task execution time" metric.
+  double MeanLevelTime() const;
+
+  /// Total (de)serialization time summed over tasks — the data
+  /// movement overhead the paper groups per CPU core.
+  double TotalDeserializeTime() const;
+  double TotalSerializeTime() const;
+
+  /// Sum of all task durations (slot-seconds of occupied slots).
+  double TotalBusyTime() const;
+
+  /// Mean slot utilization over the run: TotalBusyTime divided by
+  /// (total_slots x makespan). The "resource wastage" indicator —
+  /// pure GPU execution on the Minotauro shape leaves ~120 of 160
+  /// slots idle; hybrid placement closes the gap.
+  double SlotUtilization(int total_slots) const;
+
+  /// Busy slot-seconds per node (index = node id; -1 records land in
+  /// node 0).
+  std::vector<double> BusyTimeByNode() const;
+};
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_METRICS_H_

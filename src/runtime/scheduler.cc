@@ -1,0 +1,112 @@
+#include "runtime/scheduler.h"
+
+#include <cstdint>
+#include <map>
+
+#include "common/logging.h"
+
+namespace taskbench::runtime {
+
+namespace {
+
+/// Processor the scheduler should place `task` on, or nullopt when no
+/// suitable slot is free anywhere. Honors hybrid fallback: a GPU task
+/// that does not fit device memory is CPU-only; one that fits prefers
+/// a GPU slot but may take a CPU core when every device is busy.
+std::optional<Processor> ChooseProcessor(const SchedulerView& view,
+                                         const Task& task) {
+  auto any_free = [](const std::vector<int>& slots) {
+    for (int free : slots) {
+      if (free > 0) return true;
+    }
+    return false;
+  };
+  if (task.spec.processor == Processor::kCpu) {
+    if (any_free(*view.free_cpu_slots)) return Processor::kCpu;
+    return std::nullopt;
+  }
+  const bool fits =
+      !view.hybrid || view.gpu_fits == nullptr ||
+      (*view.gpu_fits)[static_cast<size_t>(task.id)];
+  if (fits && any_free(*view.free_gpu_slots)) return Processor::kGpu;
+  // Spill to a CPU core: mandatory when the task cannot fit the GPU,
+  // otherwise only when the CPU slowdown is within budget.
+  const bool spill_ok =
+      !fits || view.cpu_spill_ok == nullptr ||
+      (*view.cpu_spill_ok)[static_cast<size_t>(task.id)];
+  if (view.hybrid && spill_ok && any_free(*view.free_cpu_slots)) {
+    return Processor::kCpu;
+  }
+  return std::nullopt;
+}
+
+const std::vector<int>& SlotsFor(const SchedulerView& view, Processor p) {
+  return p == Processor::kCpu ? *view.free_cpu_slots : *view.free_gpu_slots;
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulingPolicy policy) {
+  if (policy == SchedulingPolicy::kTaskGenerationOrder) {
+    return std::make_unique<TaskGenerationOrderScheduler>();
+  }
+  return std::make_unique<DataLocalityScheduler>();
+}
+
+std::optional<Assignment> TaskGenerationOrderScheduler::Decide(
+    const SchedulerView& view) {
+  TB_CHECK(view.graph && view.ready && view.free_cpu_slots &&
+           view.free_gpu_slots);
+  for (TaskId id : *view.ready) {
+    const Task& task = view.graph->task(id);
+    const auto processor = ChooseProcessor(view, task);
+    if (!processor.has_value()) continue;
+    const std::vector<int>& slots = SlotsFor(view, *processor);
+    for (size_t node = 0; node < slots.size(); ++node) {
+      if (slots[node] > 0) {
+        return Assignment{id, static_cast<int>(node), *processor};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Assignment> DataLocalityScheduler::Decide(
+    const SchedulerView& view) {
+  TB_CHECK(view.graph && view.ready && view.free_cpu_slots &&
+           view.free_gpu_slots && view.data_home);
+  for (TaskId id : *view.ready) {
+    const Task& task = view.graph->task(id);
+    const auto processor = ChooseProcessor(view, task);
+    if (!processor.has_value()) continue;
+    const std::vector<int>& slots = SlotsFor(view, *processor);
+
+    // Input bytes per node holding them.
+    std::map<int, uint64_t> bytes_at_node;
+    for (const Param& param : task.spec.params) {
+      if (param.dir == Dir::kOut) continue;
+      const int home = (*view.data_home)[static_cast<size_t>(param.data)];
+      if (home >= 0) {
+        bytes_at_node[home] += view.graph->data(param.data).bytes;
+      }
+    }
+
+    int best_node = -1;
+    uint64_t best_bytes = 0;
+    for (size_t node = 0; node < slots.size(); ++node) {
+      if (slots[node] <= 0) continue;
+      const auto it = bytes_at_node.find(static_cast<int>(node));
+      const uint64_t local = it == bytes_at_node.end() ? 0 : it->second;
+      if (best_node < 0 || local > best_bytes) {
+        best_node = static_cast<int>(node);
+        best_bytes = local;
+      }
+    }
+    if (best_node >= 0) {
+      return Assignment{id, best_node, *processor};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace taskbench::runtime

@@ -1,0 +1,103 @@
+#ifndef TASKBENCH_RUNTIME_SCHEDULER_H_
+#define TASKBENCH_RUNTIME_SCHEDULER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "hw/cluster.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::runtime {
+
+/// Snapshot of the cluster state a scheduler decides on.
+struct SchedulerView {
+  const TaskGraph* graph = nullptr;
+  /// Dependency-free tasks in submission order (the "task generation
+  /// order").
+  const std::vector<TaskId>* ready = nullptr;
+  /// Free execution slots per node for the processor kind each ready
+  /// task targets. free_slots[node] == number of free slots.
+  const std::vector<int>* free_cpu_slots = nullptr;
+  const std::vector<int>* free_gpu_slots = nullptr;
+  /// Current home node of every datum (index = DataId); -1 unknown.
+  const std::vector<int>* data_home = nullptr;
+  /// Hybrid placement (see SimulatedExecutorOptions::hybrid): GPU
+  /// tasks may fall back to free CPU cores when no device is free,
+  /// and MUST fall back when their working set cannot fit the device.
+  bool hybrid = false;
+  /// Per task: whether its working set fits GPU memory (index =
+  /// TaskId). Only consulted when hybrid is true; may be null
+  /// otherwise.
+  const std::vector<bool>* gpu_fits = nullptr;
+  /// Per task: whether spilling to a CPU core is worthwhile (CPU
+  /// compute time within the executor's slowdown budget). Tasks that
+  /// do not fit the GPU spill regardless. Only consulted when hybrid
+  /// is true; may be null otherwise.
+  const std::vector<bool>* cpu_spill_ok = nullptr;
+};
+
+/// One scheduling decision: run `task` on `node` using `processor`
+/// (which may differ from the task's preferred processor in hybrid
+/// mode).
+struct Assignment {
+  TaskId task = -1;
+  int node = -1;
+  Processor processor = Processor::kCpu;
+};
+
+/// Pluggable scheduling policy (Section 3.2). Implementations must be
+/// deterministic: given the same view they return the same decision.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Master-side cost of one scheduling decision, seconds. The
+  /// simulated executor serializes decisions through the master, so
+  /// expensive policies throttle fine-grained workloads — the
+  /// "task scheduling overhead" system function of Table 1. The cost
+  /// depends on the storage architecture: locality decisions consult
+  /// data locations, which is an in-memory lookup for node-local data
+  /// the master placed itself but a metadata query against the shared
+  /// filesystem otherwise — the reason policy changes are felt more
+  /// on shared disks (observation O6).
+  virtual double DecisionOverhead(hw::StorageArchitecture storage) const = 0;
+
+  /// Returns the next assignment, or nullopt when no ready task can
+  /// be placed (all slots busy). Called repeatedly until nullopt.
+  virtual std::optional<Assignment> Decide(const SchedulerView& view) = 0;
+};
+
+/// Creates the scheduler implementing `policy`.
+std::unique_ptr<Scheduler> MakeScheduler(SchedulingPolicy policy);
+
+/// FIFO by task submission id; places on the first node with a free
+/// slot. Cheap decisions (the paper's low-overhead policy).
+class TaskGenerationOrderScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "task-gen-order"; }
+  double DecisionOverhead(hw::StorageArchitecture) const override {
+    return 0.8e-3;
+  }
+  std::optional<Assignment> Decide(const SchedulerView& view) override;
+};
+
+/// FIFO by task submission id; places each task on the free node
+/// holding the most input bytes. More expensive per decision (it
+/// inspects data locations), the paper's high-overhead policy.
+class DataLocalityScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "data-locality"; }
+  double DecisionOverhead(hw::StorageArchitecture storage) const override {
+    return storage == hw::StorageArchitecture::kLocalDisk ? 1.5e-3 : 12e-3;
+  }
+  std::optional<Assignment> Decide(const SchedulerView& view) override;
+};
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_SCHEDULER_H_

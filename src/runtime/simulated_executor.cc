@@ -1,0 +1,370 @@
+#include "runtime/simulated_executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "perf/cost_model.h"
+#include "runtime/scheduler.h"
+#include "sim/bandwidth_resource.h"
+#include "sim/simulator.h"
+
+namespace taskbench::runtime {
+
+namespace {
+
+/// All mutable state of one simulation run. The executor itself is
+/// const/reusable; every Execute() builds a fresh SimState.
+class SimState {
+ public:
+  SimState(const hw::ClusterSpec& cluster,
+           const SimulatedExecutorOptions& options, const TaskGraph& graph)
+      : cluster_(cluster),
+        options_(options),
+        graph_(graph),
+        model_(cluster),
+        scheduler_(MakeScheduler(options.policy)) {
+    const int nodes = cluster_.num_nodes;
+    free_cpu_.assign(static_cast<size_t>(nodes), cluster_.cores_per_node);
+    free_gpu_.assign(static_cast<size_t>(nodes), cluster_.gpus_per_node);
+
+    sim::BandwidthResourceOptions shared_opts;
+    shared_opts.capacity_bps = cluster_.shared_disk.aggregate_bw_bps;
+    shared_opts.per_flow_cap_bps = cluster_.shared_disk.per_stream_bw_bps;
+    shared_opts.per_op_latency_s = cluster_.shared_disk.per_op_latency_s;
+    shared_opts.name = "shared-disk";
+    shared_disk_ =
+        std::make_unique<sim::BandwidthResource>(&simulator_, shared_opts);
+
+    sim::BandwidthResourceOptions local_opts;
+    local_opts.capacity_bps = cluster_.local_disk.aggregate_bw_bps;
+    local_opts.per_flow_cap_bps = cluster_.local_disk.per_stream_bw_bps;
+    local_opts.per_op_latency_s = cluster_.local_disk.per_op_latency_s;
+    for (int n = 0; n < nodes; ++n) {
+      local_opts.name = StrFormat("local-disk-%d", n);
+      local_disks_.push_back(
+          std::make_unique<sim::BandwidthResource>(&simulator_, local_opts));
+    }
+
+    sim::BandwidthResourceOptions net_opts;
+    net_opts.capacity_bps = options_.network_aggregate_bps;
+    net_opts.per_flow_cap_bps = options_.network_per_stream_bps;
+    net_opts.per_op_latency_s = options_.network_latency_s;
+    net_opts.name = "network";
+    network_ =
+        std::make_unique<sim::BandwidthResource>(&simulator_, net_opts);
+
+    // Initial data placement: declared homes, else round-robin over
+    // the true input data — the data whose first access is a read
+    // (the runtime spreads the initial blocks across nodes).
+    // Intermediates start unplaced; their home is set when produced.
+    std::vector<bool> is_initial_input(
+        static_cast<size_t>(graph_.num_data()), false);
+    {
+      std::vector<bool> seen(static_cast<size_t>(graph_.num_data()), false);
+      for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+        for (const Param& p : graph_.task(t).spec.params) {
+          const auto d = static_cast<size_t>(p.data);
+          if (!seen[d]) {
+            seen[d] = true;
+            if (p.dir != Dir::kOut) is_initial_input[d] = true;
+          }
+        }
+      }
+    }
+    data_home_.assign(static_cast<size_t>(graph_.num_data()), -1);
+    int next_node = 0;
+    for (DataId d = 0; d < graph_.num_data(); ++d) {
+      const int declared = graph_.data(d).home_node;
+      if (declared >= 0 && declared < nodes) {
+        data_home_[static_cast<size_t>(d)] = declared;
+      } else if (is_initial_input[static_cast<size_t>(d)]) {
+        data_home_[static_cast<size_t>(d)] = next_node;
+        next_node = (next_node + 1) % nodes;
+      }
+    }
+
+    remaining_deps_.resize(static_cast<size_t>(graph_.num_tasks()));
+    records_.resize(static_cast<size_t>(graph_.num_tasks()));
+    gpu_fits_.resize(static_cast<size_t>(graph_.num_tasks()), true);
+    cpu_spill_ok_.resize(static_cast<size_t>(graph_.num_tasks()), true);
+    for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+      remaining_deps_[static_cast<size_t>(t)] =
+          static_cast<int>(graph_.task(t).deps.size());
+      if (remaining_deps_[static_cast<size_t>(t)] == 0) ready_.insert(t);
+      const perf::TaskCost& cost = graph_.task(t).spec.cost;
+      if (cluster_.total_gpus() > 0) {
+        gpu_fits_[static_cast<size_t>(t)] = model_.CheckGpuFit(cost).ok();
+      } else {
+        gpu_fits_[static_cast<size_t>(t)] = false;
+      }
+      if (options_.hybrid && cluster_.total_gpus() > 0) {
+        const double gpu_time = model_.GpuParallelFraction(cost) +
+                                model_.CpuGpuComm(cost);
+        cpu_spill_ok_[static_cast<size_t>(t)] =
+            model_.CpuParallelFraction(cost) <=
+            options_.hybrid_max_cpu_slowdown * gpu_time;
+      }
+    }
+  }
+
+  Result<RunReport> Run() {
+    if (graph_.num_tasks() == 0) {
+      return RunReport{};
+    }
+    TB_RETURN_IF_ERROR(graph_.Validate());
+    ScheduleLoop();
+    simulator_.Run();
+    if (!failure_.ok()) return failure_;
+    if (completed_ != graph_.num_tasks()) {
+      return Status::FailedPrecondition(StrFormat(
+          "workflow stalled: %lld of %lld tasks completed (a task type "
+          "may target a processor the cluster lacks)",
+          static_cast<long long>(completed_),
+          static_cast<long long>(graph_.num_tasks())));
+    }
+    RunReport report;
+    report.records = std::move(records_);
+    report.makespan = makespan_;
+    report.scheduler_overhead = scheduler_overhead_;
+    return report;
+  }
+
+ private:
+  struct TaskRun {
+    TaskId id = -1;
+    int node = -1;
+    Processor processor = Processor::kCpu;
+    double dispatch_done = 0;
+    double deser_start = 0;
+    double deser_end = 0;
+    double compute_end = 0;
+    size_t next_input = 0;
+    size_t next_output = 0;
+    std::vector<DataId> inputs;
+    std::vector<DataId> outputs;
+  };
+
+  void Fail(Status status) {
+    if (failure_.ok()) failure_ = std::move(status);
+    simulator_.Stop();
+  }
+
+  /// Drains the scheduler: keeps assigning ready tasks to free slots,
+  /// serializing decision overhead through the master.
+  void ScheduleLoop() {
+    if (!failure_.ok()) return;
+    for (;;) {
+      ready_order_.assign(ready_.begin(), ready_.end());
+      SchedulerView view;
+      view.graph = &graph_;
+      view.ready = &ready_order_;
+      view.free_cpu_slots = &free_cpu_;
+      view.free_gpu_slots = &free_gpu_;
+      view.data_home = &data_home_;
+      view.hybrid = options_.hybrid;
+      view.gpu_fits = &gpu_fits_;
+      view.cpu_spill_ok = &cpu_spill_ok_;
+      const auto assignment = scheduler_->Decide(view);
+      if (!assignment.has_value()) return;
+
+      const TaskId id = assignment->task;
+      const int node = assignment->node;
+      const Task& task = graph_.task(id);
+      TB_CHECK(ready_.erase(id) == 1) << "scheduler picked non-ready task";
+      TB_CHECK(options_.hybrid ||
+               assignment->processor == task.spec.processor)
+          << "non-hybrid scheduler changed a task's processor";
+      auto& slots = assignment->processor == Processor::kCpu ? free_cpu_
+                                                             : free_gpu_;
+      TB_CHECK(slots[static_cast<size_t>(node)] > 0)
+          << "scheduler picked node without free slot";
+      --slots[static_cast<size_t>(node)];
+
+      const double overhead =
+          options_.scheduler_overhead_override_s >= 0
+              ? options_.scheduler_overhead_override_s
+              : scheduler_->DecisionOverhead(options_.storage);
+      scheduler_overhead_ += overhead;
+      master_free_at_ =
+          std::max(master_free_at_, simulator_.Now()) + overhead;
+
+      auto run = std::make_shared<TaskRun>();
+      run->id = id;
+      run->node = node;
+      run->processor = assignment->processor;
+      for (const Param& p : task.spec.params) {
+        if (p.dir != Dir::kOut) run->inputs.push_back(p.data);
+        if (p.dir != Dir::kIn) run->outputs.push_back(p.data);
+      }
+      simulator_.At(master_free_at_, [this, run]() { StartTask(run); });
+    }
+  }
+
+  void StartTask(const std::shared_ptr<TaskRun>& run) {
+    run->dispatch_done = simulator_.Now();
+    run->deser_start = simulator_.Now();
+    ReadNextInput(run);
+  }
+
+  /// Inputs are deserialized sequentially by the worker core, as a
+  /// COMPSs worker does.
+  void ReadNextInput(const std::shared_ptr<TaskRun>& run) {
+    if (!failure_.ok()) return;
+    if (run->next_input >= run->inputs.size()) {
+      run->deser_end = simulator_.Now();
+      Compute(run);
+      return;
+    }
+    const DataId d = run->inputs[run->next_input++];
+    const uint64_t bytes = graph_.data(d).bytes;
+    auto cont = [this, run]() { ReadNextInput(run); };
+    if (options_.storage == hw::StorageArchitecture::kSharedDisk) {
+      shared_disk_->Transfer(bytes, std::move(cont));
+      return;
+    }
+    int home = data_home_[static_cast<size_t>(d)];
+    if (home < 0) home = run->node;  // defensively treat as local
+    if (home == run->node) {
+      local_disks_[static_cast<size_t>(home)]->Transfer(bytes,
+                                                        std::move(cont));
+    } else {
+      // Remote block: the home node's disk and the network stream in
+      // parallel (pipelined chunks), so the read completes when the
+      // slower of the two finishes.
+      auto remaining = std::make_shared<int>(2);
+      auto join = [remaining, cont = std::move(cont)]() {
+        if (--*remaining == 0) cont();
+      };
+      local_disks_[static_cast<size_t>(home)]->Transfer(bytes, join);
+      network_->Transfer(bytes, join);
+    }
+  }
+
+  void Compute(const std::shared_ptr<TaskRun>& run) {
+    if (!failure_.ok()) return;
+    const Task& task = graph_.task(run->id);
+    const perf::TaskCost& cost = task.spec.cost;
+    double duration = model_.SerialFraction(cost);
+    if (run->processor == Processor::kGpu) {
+      const Status fit = model_.CheckGpuFit(cost);
+      if (!fit.ok()) {
+        Fail(Status(fit.code(), StrFormat("task %lld (%s): %s",
+                                          static_cast<long long>(run->id),
+                                          task.spec.type.c_str(),
+                                          fit.message().c_str())));
+        return;
+      }
+      duration += model_.GpuParallelFraction(cost) + model_.CpuGpuComm(cost);
+    } else {
+      duration += model_.CpuParallelFraction(cost);
+    }
+    simulator_.After(duration, [this, run]() {
+      run->compute_end = simulator_.Now();
+      WriteNextOutput(run);
+    });
+  }
+
+  void WriteNextOutput(const std::shared_ptr<TaskRun>& run) {
+    if (!failure_.ok()) return;
+    if (run->next_output >= run->outputs.size()) {
+      FinishTask(run);
+      return;
+    }
+    const DataId d = run->outputs[run->next_output++];
+    const uint64_t bytes = graph_.data(d).bytes;
+    // Outputs are written to the executing node's disk (local) or to
+    // the shared filesystem; either way the datum's home becomes the
+    // producing node for locality purposes.
+    data_home_[static_cast<size_t>(d)] = run->node;
+    auto cont = [this, run]() { WriteNextOutput(run); };
+    if (options_.storage == hw::StorageArchitecture::kSharedDisk) {
+      shared_disk_->Transfer(bytes, std::move(cont));
+    } else {
+      local_disks_[static_cast<size_t>(run->node)]->Transfer(bytes,
+                                                             std::move(cont));
+    }
+  }
+
+  void FinishTask(const std::shared_ptr<TaskRun>& run) {
+    const Task& task = graph_.task(run->id);
+    const perf::TaskCost& cost = task.spec.cost;
+
+    TaskRecord& rec = records_[static_cast<size_t>(run->id)];
+    rec.task = run->id;
+    rec.type = task.spec.type;
+    rec.level = task.level;
+    rec.processor = run->processor;
+    rec.node = run->node;
+    rec.start = run->dispatch_done;
+    rec.end = simulator_.Now();
+    rec.stages.deserialize = run->deser_end - run->deser_start;
+    rec.stages.serialize = simulator_.Now() - run->compute_end;
+    rec.stages.serial_fraction = model_.SerialFraction(cost);
+    if (run->processor == Processor::kGpu) {
+      rec.stages.parallel_fraction = model_.GpuParallelFraction(cost);
+      rec.stages.cpu_gpu_comm = model_.CpuGpuComm(cost);
+    } else {
+      rec.stages.parallel_fraction = model_.CpuParallelFraction(cost);
+    }
+    makespan_ = std::max(makespan_, rec.end);
+
+    auto& slots =
+        run->processor == Processor::kCpu ? free_cpu_ : free_gpu_;
+    ++slots[static_cast<size_t>(run->node)];
+    ++completed_;
+
+    for (TaskId succ : task.successors) {
+      if (--remaining_deps_[static_cast<size_t>(succ)] == 0) {
+        ready_.insert(succ);
+      }
+    }
+    ScheduleLoop();
+  }
+
+  const hw::ClusterSpec& cluster_;
+  const SimulatedExecutorOptions& options_;
+  const TaskGraph& graph_;
+  perf::CostModel model_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  sim::Simulator simulator_;
+  std::unique_ptr<sim::BandwidthResource> shared_disk_;
+  std::vector<std::unique_ptr<sim::BandwidthResource>> local_disks_;
+  std::unique_ptr<sim::BandwidthResource> network_;
+
+  std::vector<int> free_cpu_;
+  std::vector<int> free_gpu_;
+  std::vector<bool> gpu_fits_;
+  std::vector<bool> cpu_spill_ok_;
+  std::vector<int> data_home_;
+  std::set<TaskId> ready_;
+  std::vector<TaskId> ready_order_;
+  std::vector<int> remaining_deps_;
+  std::vector<TaskRecord> records_;
+
+  double master_free_at_ = 0;
+  double scheduler_overhead_ = 0;
+  double makespan_ = 0;
+  int64_t completed_ = 0;
+  Status failure_;
+};
+
+}  // namespace
+
+SimulatedExecutor::SimulatedExecutor(hw::ClusterSpec cluster,
+                                     SimulatedExecutorOptions options)
+    : cluster_(std::move(cluster)), options_(options) {
+  TB_CHECK_OK(cluster_.Validate());
+}
+
+Result<RunReport> SimulatedExecutor::Execute(const TaskGraph& graph) const {
+  SimState state(cluster_, options_, graph);
+  return state.Run();
+}
+
+}  // namespace taskbench::runtime

@@ -1,0 +1,147 @@
+#ifndef TASKBENCH_RUNTIME_TASK_GRAPH_H_
+#define TASKBENCH_RUNTIME_TASK_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "data/matrix.h"
+#include "perf/task_cost.h"
+
+namespace taskbench::runtime {
+
+using TaskId = int64_t;
+using DataId = int64_t;
+
+/// Direction of a task parameter, the COMPSs annotation that drives
+/// automatic dependency detection (Section 3.1).
+enum class Dir { kIn, kOut, kInOut };
+
+/// One task parameter: a logical datum plus its access direction.
+struct Param {
+  DataId data;
+  Dir dir;
+};
+
+/// Kernel signature for real execution: reads `inputs` (IN then INOUT
+/// params, in declaration order), writes `outputs` (OUT then INOUT).
+using KernelFn = std::function<Status(
+    const std::vector<const data::Matrix*>& inputs,
+    const std::vector<data::Matrix*>& outputs)>;
+
+/// Everything the runtime needs to know about one submitted task.
+struct TaskSpec {
+  /// Task type name, e.g. "matmul_func"; metrics aggregate by type
+  /// (Section 4.2 "tasks running the same code are aggregated").
+  std::string type;
+  std::vector<Param> params;
+  /// Kernel for the real (thread-pool) execution path. May be null
+  /// when the graph is only simulated.
+  KernelFn kernel;
+  /// Cost descriptor for the simulated path and the analytic model.
+  perf::TaskCost cost;
+  /// Processor the parallel fraction targets when accelerating.
+  Processor processor = Processor::kCpu;
+};
+
+/// A task node: the spec plus the dependencies the runtime derived.
+struct Task {
+  TaskId id = -1;
+  TaskSpec spec;
+  std::vector<TaskId> deps;        ///< must complete before this task
+  std::vector<TaskId> successors;  ///< tasks depending on this one
+  int level = 0;                   ///< longest-path depth in the DAG
+};
+
+/// A logical datum (usually one block) tracked by the runtime.
+struct DataEntry {
+  DataId id = -1;
+  std::string name;
+  uint64_t bytes = 0;
+  /// Node the datum currently lives on (locality scheduling input);
+  /// -1 = unplaced.
+  int home_node = -1;
+  /// Materialized value; absent in simulation-only graphs.
+  std::optional<data::Matrix> value;
+  /// Version counter; bumped on every write (diagnostics).
+  int version = 0;
+};
+
+/// The workflow DAG builder — the COMPSs-equivalent runtime frontend.
+///
+/// Applications register data, then submit tasks with IN/OUT/INOUT
+/// parameter annotations; the graph derives true (RAW), anti (WAR)
+/// and output (WAW) dependencies from the access history of each
+/// datum, exactly as a task-based system builds its execution DAG
+/// (Section 3.1). The DAG shape exposes the paper's structural
+/// metrics: width = degree of task parallelism, height = degree of
+/// task dependency.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+  TaskGraph(TaskGraph&&) = default;
+  TaskGraph& operator=(TaskGraph&&) = default;
+
+  /// Registers a logical datum of `bytes` (simulation mode).
+  DataId AddData(uint64_t bytes, std::string name = "", int home_node = -1);
+
+  /// Registers a materialized datum (real-execution mode).
+  DataId AddData(data::Matrix value, std::string name = "",
+                 int home_node = -1);
+
+  /// Submits a task; dependencies are derived automatically.
+  /// Fails when a parameter references an unknown datum or the spec
+  /// has no parameters.
+  Result<TaskId> Submit(TaskSpec spec);
+
+  int64_t num_tasks() const { return static_cast<int64_t>(tasks_.size()); }
+  int64_t num_data() const { return static_cast<int64_t>(data_.size()); }
+
+  const Task& task(TaskId id) const { return tasks_[static_cast<size_t>(id)]; }
+  const DataEntry& data(DataId id) const {
+    return data_[static_cast<size_t>(id)];
+  }
+  DataEntry& mutable_data(DataId id) { return data_[static_cast<size_t>(id)]; }
+
+  /// Tasks grouped by DAG level (level = longest dependency path from
+  /// any root). The paper's "parallel task execution time" metric is
+  /// computed per level.
+  std::vector<std::vector<TaskId>> LevelSets() const;
+
+  /// Maximum number of tasks in one level — the DAG width feature of
+  /// the correlation analysis (Figure 11).
+  int64_t MaxWidth() const;
+
+  /// Number of levels — the DAG height feature.
+  int64_t MaxHeight() const;
+
+  /// Graphviz DOT rendering (Figure 6 style: one node per task,
+  /// labeled with type; edges are dependencies).
+  std::string ToDot() const;
+
+  /// Validates the graph is acyclic and consistent (defensive; the
+  /// builder cannot create cycles, but subclasses of executors rely
+  /// on this invariant).
+  Status Validate() const;
+
+ private:
+  struct AccessHistory {
+    TaskId last_writer = -1;
+    std::vector<TaskId> readers_since_write;
+  };
+
+  std::vector<Task> tasks_;
+  std::vector<DataEntry> data_;
+  std::vector<AccessHistory> history_;
+};
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_TASK_GRAPH_H_

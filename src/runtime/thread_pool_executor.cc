@@ -1,0 +1,264 @@
+#include "runtime/thread_pool_executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "storage/serializer.h"
+
+namespace taskbench::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point origin) {
+  return std::chrono::duration<double>(Clock::now() - origin).count();
+}
+
+std::string KeyFor(DataId id) {
+  return StrFormat("d%lld", static_cast<long long>(id));
+}
+
+}  // namespace
+
+ThreadPoolExecutor::ThreadPoolExecutor(
+    ThreadPoolExecutorOptions options,
+    std::shared_ptr<storage::BlockStorage> store)
+    : options_(options), store_(std::move(store)) {
+  TB_CHECK(options_.num_threads > 0);
+  if (options_.use_storage && store_ == nullptr) {
+    store_ = std::make_shared<storage::InMemoryStorage>();
+  }
+}
+
+Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
+  TB_RETURN_IF_ERROR(graph.Validate());
+
+  // Shared state for the worker pool.
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<TaskId> ready;
+    std::vector<int> remaining_deps;
+    std::map<DataId, data::Matrix> values;  // memory-mode store
+    int64_t completed = 0;
+    int64_t total = 0;
+    bool failed = false;
+    Status failure;
+  } shared;
+
+  shared.total = graph.num_tasks();
+  shared.remaining_deps.resize(static_cast<size_t>(graph.num_tasks()));
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    shared.remaining_deps[static_cast<size_t>(t)] =
+        static_cast<int>(graph.task(t).deps.size());
+    if (shared.remaining_deps[static_cast<size_t>(t)] == 0) {
+      shared.ready.push_back(t);
+    }
+  }
+
+  // Stage the initial values: into storage (serialized) or the
+  // memory-mode map.
+  for (DataId d = 0; d < graph.num_data(); ++d) {
+    DataEntry& entry = graph.mutable_data(d);
+    if (!entry.value.has_value()) continue;
+    if (options_.use_storage) {
+      std::vector<uint8_t> bytes;
+      storage::Serializer::Serialize(*entry.value, &bytes);
+      TB_RETURN_IF_ERROR(store_->Put(KeyFor(d), std::move(bytes)));
+    } else {
+      shared.values[d] = *entry.value;
+    }
+  }
+
+  std::vector<TaskRecord> records(static_cast<size_t>(graph.num_tasks()));
+  const Clock::time_point origin = Clock::now();
+
+  // Reads the current value of `d`, timing the deserialization.
+  auto read_datum = [&](DataId d, double* deser_seconds)
+      -> Result<data::Matrix> {
+    if (options_.use_storage) {
+      const double t0 = SecondsSince(origin);
+      TB_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                          store_->Get(KeyFor(d)));
+      TB_ASSIGN_OR_RETURN(data::Matrix m,
+                          storage::Serializer::Deserialize(bytes));
+      *deser_seconds += SecondsSince(origin) - t0;
+      return m;
+    }
+    std::lock_guard<std::mutex> lock(shared.mu);
+    auto it = shared.values.find(d);
+    if (it == shared.values.end()) {
+      return Status::NotFound(
+          StrFormat("datum %lld has no value; was it ever written?",
+                    static_cast<long long>(d)));
+    }
+    return it->second;
+  };
+
+  auto write_datum = [&](DataId d, data::Matrix value,
+                         double* ser_seconds) -> Status {
+    if (options_.use_storage) {
+      const double t0 = SecondsSince(origin);
+      std::vector<uint8_t> bytes;
+      storage::Serializer::Serialize(value, &bytes);
+      TB_RETURN_IF_ERROR(store_->Put(KeyFor(d), std::move(bytes)));
+      *ser_seconds += SecondsSince(origin) - t0;
+      return Status::OK();
+    }
+    std::lock_guard<std::mutex> lock(shared.mu);
+    shared.values[d] = std::move(value);
+    return Status::OK();
+  };
+
+  auto run_task = [&](TaskId id) -> Status {
+    const Task& task = graph.task(id);
+    TaskRecord& rec = records[static_cast<size_t>(id)];
+    rec.task = id;
+    rec.type = task.spec.type;
+    rec.level = task.level;
+    rec.processor = Processor::kCpu;  // the real path runs on host cores
+    rec.start = SecondsSince(origin);
+
+    if (task.spec.kernel == nullptr) {
+      return Status::FailedPrecondition(StrFormat(
+          "task %lld (%s) has no kernel; simulation-only graphs cannot "
+          "run on the thread-pool executor",
+          static_cast<long long>(id), task.spec.type.c_str()));
+    }
+
+    // Materialize inputs (IN + INOUT) and output slots (OUT + INOUT).
+    // out_values is sized up front so pointers into it stay stable.
+    std::vector<data::Matrix> in_values;
+    std::vector<data::Matrix> out_values;
+    std::vector<DataId> out_ids;
+    std::vector<size_t> inout_out_index;  // out_values slots of INOUTs
+    in_values.reserve(task.spec.params.size());
+    out_values.resize(task.spec.params.size());
+    size_t num_outputs = 0;
+    for (const Param& p : task.spec.params) {
+      if (p.dir == Dir::kIn) {
+        TB_ASSIGN_OR_RETURN(data::Matrix m,
+                            read_datum(p.data, &rec.stages.deserialize));
+        in_values.push_back(std::move(m));
+        continue;
+      }
+      if (p.dir == Dir::kInOut) {
+        TB_ASSIGN_OR_RETURN(out_values[num_outputs],
+                            read_datum(p.data, &rec.stages.deserialize));
+        inout_out_index.push_back(num_outputs);
+      }
+      out_ids.push_back(p.data);
+      ++num_outputs;
+    }
+    out_values.resize(num_outputs);
+
+    // Kernel views: IN values first, then INOUT values (which alias
+    // their output slots so kernels can update in place).
+    std::vector<const data::Matrix*> inputs;
+    std::vector<data::Matrix*> outputs;
+    for (const data::Matrix& m : in_values) inputs.push_back(&m);
+    for (size_t idx : inout_out_index) inputs.push_back(&out_values[idx]);
+    for (data::Matrix& m : out_values) outputs.push_back(&m);
+
+    const double kernel_start = SecondsSince(origin);
+    TB_RETURN_IF_ERROR(task.spec.kernel(inputs, outputs));
+    rec.stages.parallel_fraction = SecondsSince(origin) - kernel_start;
+
+    for (size_t i = 0; i < out_ids.size(); ++i) {
+      TB_RETURN_IF_ERROR(write_datum(out_ids[i], std::move(out_values[i]),
+                                     &rec.stages.serialize));
+    }
+    rec.end = SecondsSince(origin);
+    return Status::OK();
+  };
+
+  auto worker = [&]() {
+    for (;;) {
+      TaskId id = -1;
+      {
+        std::unique_lock<std::mutex> lock(shared.mu);
+        shared.cv.wait(lock, [&] {
+          return shared.failed || !shared.ready.empty() ||
+                 shared.completed == shared.total;
+        });
+        if (shared.failed || shared.completed == shared.total) return;
+        id = shared.ready.front();
+        shared.ready.pop_front();
+      }
+      const Status status = run_task(id);
+      {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (!status.ok()) {
+          if (!shared.failed) {
+            shared.failed = true;
+            shared.failure = status;
+          }
+          shared.cv.notify_all();
+          return;
+        }
+        ++shared.completed;
+        for (TaskId succ : graph.task(id).successors) {
+          if (--shared.remaining_deps[static_cast<size_t>(succ)] == 0) {
+            shared.ready.push_back(succ);
+          }
+        }
+        shared.cv.notify_all();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options_.num_threads));
+  for (int i = 0; i < options_.num_threads; ++i) {
+    threads.emplace_back(worker);
+  }
+  for (std::thread& t : threads) t.join();
+
+  if (shared.failed) return shared.failure;
+
+  // Persist memory-mode values back onto the graph entries so they
+  // survive for FetchData in both modes.
+  if (!options_.use_storage) {
+    for (auto& [d, value] : shared.values) {
+      graph.mutable_data(d).value = std::move(value);
+    }
+  }
+
+  RunReport report;
+  report.records = std::move(records);
+  for (const TaskRecord& rec : report.records) {
+    report.makespan = std::max(report.makespan, rec.end);
+  }
+  return report;
+}
+
+Result<data::Matrix> ThreadPoolExecutor::FetchData(const TaskGraph& graph,
+                                                   DataId id) const {
+  if (id < 0 || id >= graph.num_data()) {
+    return Status::InvalidArgument(
+        StrFormat("unknown data id %lld", static_cast<long long>(id)));
+  }
+  if (options_.use_storage) {
+    TB_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                        store_->Get(KeyFor(id)));
+    return storage::Serializer::Deserialize(bytes);
+  }
+  const DataEntry& entry = graph.data(id);
+  if (!entry.value.has_value()) {
+    return Status::NotFound(
+        StrFormat("datum %lld has no value", static_cast<long long>(id)));
+  }
+  return *entry.value;
+}
+
+}  // namespace taskbench::runtime

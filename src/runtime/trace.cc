@@ -1,0 +1,126 @@
+#include "runtime/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace taskbench::runtime {
+
+std::vector<int> AssignLanes(const std::vector<TaskRecord>& records) {
+  std::vector<size_t> order(records.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return records[a].start < records[b].start;
+  });
+
+  std::vector<int> lanes(records.size(), 0);
+  // Per node: free-at time of each lane.
+  std::map<int, std::vector<double>> node_lanes;
+  for (size_t idx : order) {
+    const TaskRecord& rec = records[idx];
+    auto& free_at = node_lanes[rec.node];
+    int lane = -1;
+    for (size_t l = 0; l < free_at.size(); ++l) {
+      if (free_at[l] <= rec.start + 1e-12) {
+        lane = static_cast<int>(l);
+        break;
+      }
+    }
+    if (lane < 0) {
+      lane = static_cast<int>(free_at.size());
+      free_at.push_back(0);
+    }
+    free_at[static_cast<size_t>(lane)] = rec.end;
+    lanes[idx] = lane;
+  }
+  return lanes;
+}
+
+namespace {
+
+void AppendEvent(std::ostringstream* out, bool* first, const std::string& name,
+                 const std::string& category, int pid, int tid, double start_s,
+                 double duration_s) {
+  if (!*first) *out << ",\n";
+  *first = false;
+  *out << StrFormat(
+      "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+      "\"pid\": %d, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+      name.c_str(), category.c_str(), pid, tid, start_s * 1e6,
+      duration_s * 1e6);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const RunReport& report) {
+  std::ostringstream out;
+  out << "{\n\"traceEvents\": [\n";
+  bool first = true;
+
+  const std::vector<int> lanes = AssignLanes(report.records);
+  for (size_t i = 0; i < report.records.size(); ++i) {
+    const TaskRecord& rec = report.records[i];
+    const int pid = rec.node < 0 ? 0 : rec.node;
+    const int tid = lanes[i];
+    const std::string name =
+        StrFormat("%s #%lld (%s)", rec.type.c_str(),
+                  static_cast<long long>(rec.task),
+                  ToString(rec.processor).c_str());
+    AppendEvent(&out, &first, name, "task", pid, tid, rec.start,
+                rec.duration());
+
+    // Nested stage slices; stages execute back to back.
+    double cursor = rec.start;
+    const struct {
+      const char* label;
+      double duration;
+    } stages[] = {
+        {"deserialize", rec.stages.deserialize},
+        {"serial fraction", rec.stages.serial_fraction},
+        {"parallel fraction", rec.stages.parallel_fraction},
+        {"cpu-gpu comm", rec.stages.cpu_gpu_comm},
+        {"serialize", rec.stages.serialize},
+    };
+    for (const auto& stage : stages) {
+      if (stage.duration <= 0) continue;
+      AppendEvent(&out, &first, stage.label, "stage", pid, tid, cursor,
+                  stage.duration);
+      cursor += stage.duration;
+    }
+  }
+
+  // Node name metadata.
+  std::map<int, bool> nodes;
+  for (const TaskRecord& rec : report.records) {
+    nodes[rec.node < 0 ? 0 : rec.node] = true;
+  }
+  for (const auto& [node, _] : nodes) {
+    if (!first) out << ",\n";
+    first = false;
+    out << StrFormat(
+        "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, "
+        "\"args\": {\"name\": \"node %d\"}}",
+        node, node);
+  }
+  out << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+  return out.str();
+}
+
+Status WriteChromeTrace(const RunReport& report, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::Internal(
+        StrFormat("cannot open trace file '%s'", path.c_str()));
+  }
+  file << ChromeTraceJson(report);
+  if (!file) {
+    return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace taskbench::runtime

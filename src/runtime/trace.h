@@ -1,0 +1,31 @@
+#ifndef TASKBENCH_RUNTIME_TRACE_H_
+#define TASKBENCH_RUNTIME_TRACE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "runtime/metrics.h"
+
+namespace taskbench::runtime {
+
+/// Renders a run report as a Chrome-tracing JSON document (load via
+/// chrome://tracing or https://ui.perfetto.dev). This is the
+/// reproduction counterpart of the Paraver traces the paper collects
+/// from the PyCOMPSs runtime (Section 4.4.3): one process per
+/// cluster node, one lane per concurrently busy execution slot, one
+/// slice per task with nested slices for the task processing stages
+/// (deserialize, user code, serialize).
+std::string ChromeTraceJson(const RunReport& report);
+
+/// Writes ChromeTraceJson(report) to `path`.
+Status WriteChromeTrace(const RunReport& report, const std::string& path);
+
+/// Assigns each record an execution lane within its node such that
+/// overlapping tasks never share a lane (greedy interval coloring).
+/// Returned vector is index-aligned with report.records. Shared by
+/// the trace exporter and the ASCII Gantt renderer.
+std::vector<int> AssignLanes(const std::vector<TaskRecord>& records);
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_TRACE_H_

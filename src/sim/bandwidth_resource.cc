@@ -1,0 +1,122 @@
+#include "sim/bandwidth_resource.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace taskbench::sim {
+
+namespace {
+// Completions within this many seconds are treated as due; absorbs the
+// floating-point drift of repeated remaining-byte updates.
+constexpr double kTimeEpsilon = 1e-12;
+// Flows with less than half a byte left are complete: transfer sizes
+// are integral, and half a byte of slack keeps the wake loop from
+// chasing sub-ULP remainders at large simulation times.
+constexpr double kByteEpsilon = 0.5;
+}  // namespace
+
+BandwidthResource::BandwidthResource(Simulator* simulator,
+                                     BandwidthResourceOptions options)
+    : simulator_(simulator), options_(std::move(options)) {
+  TB_CHECK(simulator_ != nullptr);
+  TB_CHECK(options_.capacity_bps > 0);
+  TB_CHECK(options_.per_flow_cap_bps > 0);
+  TB_CHECK(options_.per_op_latency_s >= 0);
+}
+
+void BandwidthResource::Transfer(uint64_t bytes,
+                                 std::function<void()> on_done) {
+  TB_CHECK(on_done != nullptr);
+  if (options_.per_op_latency_s > 0) {
+    simulator_->After(options_.per_op_latency_s,
+                      [this, bytes, cb = std::move(on_done)]() mutable {
+                        Admit(bytes, std::move(cb));
+                      });
+  } else {
+    Admit(bytes, std::move(on_done));
+  }
+}
+
+void BandwidthResource::Admit(uint64_t bytes, std::function<void()> on_done) {
+  total_bytes_ += bytes;
+  if (bytes == 0) {
+    simulator_->After(0, std::move(on_done));
+    return;
+  }
+  // Bring existing flows up to date before the rate changes.
+  Reschedule();
+  flows_.push_back(Flow{static_cast<double>(bytes), std::move(on_done)});
+  peak_flows_ = std::max(peak_flows_, static_cast<int>(flows_.size()));
+  Reschedule();
+}
+
+double BandwidthResource::CurrentRatePerFlow() const {
+  if (flows_.empty()) return 0.0;
+  const double fair_share =
+      options_.capacity_bps / static_cast<double>(flows_.size());
+  return std::min(fair_share, options_.per_flow_cap_bps);
+}
+
+void BandwidthResource::Reschedule() {
+  const SimTime now = simulator_->Now();
+  const double elapsed = now - last_update_;
+  if (elapsed > 0 && !flows_.empty()) {
+    const double progressed = elapsed * CurrentRatePerFlow();
+    for (auto& flow : flows_) {
+      flow.remaining_bytes = std::max(0.0, flow.remaining_bytes - progressed);
+    }
+  }
+  last_update_ = now;
+
+  // Fire any flows that just finished.
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining_bytes <= kByteEpsilon) {
+      auto cb = std::move(it->on_done);
+      it = flows_.erase(it);
+      simulator_->After(0, std::move(cb));
+    } else {
+      ++it;
+    }
+  }
+
+  ++generation_;
+  if (flows_.empty()) return;
+
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& flow : flows_) {
+    min_remaining = std::min(min_remaining, flow.remaining_bytes);
+  }
+  const double next_completion =
+      min_remaining / CurrentRatePerFlow() + kTimeEpsilon;
+  // Guard against double-precision starvation: at large simulation
+  // times the remaining sliver may be smaller than one ULP of Now(),
+  // in which case the wake event could never advance the clock.
+  // The sliver is far below any observable duration — finish it now.
+  if (now + next_completion <= now) {
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (it->remaining_bytes <= min_remaining + kByteEpsilon) {
+        auto cb = std::move(it->on_done);
+        it = flows_.erase(it);
+        simulator_->After(0, std::move(cb));
+      } else {
+        ++it;
+      }
+    }
+    ++generation_;
+    if (flows_.empty()) return;
+    Reschedule();
+    return;
+  }
+  const uint64_t gen = generation_;
+  simulator_->After(next_completion, [this, gen]() { OnWake(gen); });
+}
+
+void BandwidthResource::OnWake(uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a newer event
+  Reschedule();
+}
+
+}  // namespace taskbench::sim

@@ -1,0 +1,85 @@
+#ifndef TASKBENCH_SIM_BANDWIDTH_RESOURCE_H_
+#define TASKBENCH_SIM_BANDWIDTH_RESOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace taskbench::sim {
+
+/// Configuration for a shared-bandwidth resource.
+struct BandwidthResourceOptions {
+  /// Aggregate capacity in bytes/second shared by all active flows.
+  double capacity_bps = 1e9;
+  /// Upper bound on a single flow's rate (a lone client cannot exceed
+  /// its own link/controller speed even if the aggregate allows more).
+  double per_flow_cap_bps = 1e9;
+  /// Fixed setup latency added before each transfer starts (e.g.
+  /// network round-trip to a shared filesystem). Seconds.
+  double per_op_latency_s = 0.0;
+  /// Diagnostic name used in traces.
+  std::string name = "bandwidth";
+};
+
+/// A processor-sharing bandwidth resource.
+///
+/// Active transfers share `capacity_bps` equally, each additionally
+/// capped at `per_flow_cap_bps`. This reproduces the contention
+/// behaviour the paper observes on storage: "an abundance of read/write
+/// processes" saturates the disk, while a single coarse stream is
+/// limited by the per-stream bandwidth and "cannot be parallelized"
+/// (Section 5.1.2). Used for the shared GPFS-like disk (one global
+/// instance), local disks (one instance per node) and as a building
+/// block for network links.
+class BandwidthResource {
+ public:
+  BandwidthResource(Simulator* simulator, BandwidthResourceOptions options);
+
+  BandwidthResource(const BandwidthResource&) = delete;
+  BandwidthResource& operator=(const BandwidthResource&) = delete;
+
+  /// Starts a transfer of `bytes`; `on_done` fires (via the simulator)
+  /// when the transfer completes. Zero-byte transfers complete after
+  /// the per-op latency only.
+  void Transfer(uint64_t bytes, std::function<void()> on_done);
+
+  /// Number of flows currently being served (excludes latency phase).
+  int active_flows() const { return static_cast<int>(flows_.size()); }
+
+  /// Total bytes moved through this resource so far.
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Highest number of simultaneously active flows observed.
+  int peak_flows() const { return peak_flows_; }
+
+  const BandwidthResourceOptions& options() const { return options_; }
+
+ private:
+  struct Flow {
+    double remaining_bytes;
+    std::function<void()> on_done;
+  };
+
+  void Admit(uint64_t bytes, std::function<void()> on_done);
+  /// Advances all flows to Now() at the current rate and reschedules
+  /// the next completion event.
+  void Reschedule();
+  /// Fires completions that are due now; invoked by the wake event.
+  void OnWake(uint64_t generation);
+  double CurrentRatePerFlow() const;
+
+  Simulator* simulator_;
+  BandwidthResourceOptions options_;
+  std::list<Flow> flows_;
+  SimTime last_update_ = 0.0;
+  uint64_t generation_ = 0;  // invalidates stale wake events
+  uint64_t total_bytes_ = 0;
+  int peak_flows_ = 0;
+};
+
+}  // namespace taskbench::sim
+
+#endif  // TASKBENCH_SIM_BANDWIDTH_RESOURCE_H_

@@ -1,0 +1,63 @@
+#include "sim/server_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace taskbench::sim {
+
+ServerPool::ServerPool(Simulator* simulator, int num_servers, std::string name)
+    : simulator_(simulator),
+      name_(std::move(name)),
+      busy_(static_cast<size_t>(num_servers), false),
+      busy_since_(static_cast<size_t>(num_servers), 0.0),
+      accumulated_busy_(static_cast<size_t>(num_servers), 0.0) {
+  TB_CHECK(simulator_ != nullptr);
+  TB_CHECK(num_servers > 0) << "pool " << name_ << " needs >= 1 server";
+}
+
+void ServerPool::Acquire(GrantCallback on_grant) {
+  TB_CHECK(on_grant != nullptr);
+  for (size_t i = 0; i < busy_.size(); ++i) {
+    if (!busy_[i]) {
+      Grant(static_cast<int>(i), std::move(on_grant));
+      return;
+    }
+  }
+  waiters_.push_back(std::move(on_grant));
+}
+
+void ServerPool::Release(int server_id) {
+  TB_CHECK(server_id >= 0 && server_id < num_servers());
+  TB_CHECK(busy_[static_cast<size_t>(server_id)])
+      << "double release of server " << server_id << " in pool " << name_;
+  busy_[static_cast<size_t>(server_id)] = false;
+  accumulated_busy_[static_cast<size_t>(server_id)] +=
+      simulator_->Now() - busy_since_[static_cast<size_t>(server_id)];
+  --num_busy_;
+  if (!waiters_.empty()) {
+    GrantCallback cb = std::move(waiters_.front());
+    waiters_.pop_front();
+    Grant(server_id, std::move(cb));
+  }
+}
+
+void ServerPool::Grant(int server_id, GrantCallback cb) {
+  busy_[static_cast<size_t>(server_id)] = true;
+  busy_since_[static_cast<size_t>(server_id)] = simulator_->Now();
+  ++num_busy_;
+  // Deliver through the event queue so grants interleave deterministically
+  // with other same-time events.
+  simulator_->After(0, [cb = std::move(cb), server_id]() { cb(server_id); });
+}
+
+double ServerPool::total_busy_time() const {
+  double total = 0;
+  for (size_t i = 0; i < busy_.size(); ++i) {
+    total += accumulated_busy_[i];
+    if (busy_[i]) total += simulator_->Now() - busy_since_[i];
+  }
+  return total;
+}
+
+}  // namespace taskbench::sim

@@ -1,0 +1,58 @@
+#ifndef TASKBENCH_SIM_SERVER_POOL_H_
+#define TASKBENCH_SIM_SERVER_POOL_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace taskbench::sim {
+
+/// A pool of identical servers (e.g. the CPU cores of one node, or its
+/// GPU devices) with a FIFO wait queue.
+///
+/// Acquire() grants a free server immediately (via a zero-delay event,
+/// so grant order remains deterministic) or enqueues the request.
+/// Release() hands the server to the oldest waiter, if any.
+class ServerPool {
+ public:
+  using GrantCallback = std::function<void(int server_id)>;
+
+  ServerPool(Simulator* simulator, int num_servers, std::string name);
+
+  ServerPool(const ServerPool&) = delete;
+  ServerPool& operator=(const ServerPool&) = delete;
+
+  /// Requests any free server. `on_grant` receives the server id.
+  void Acquire(GrantCallback on_grant);
+
+  /// Returns `server_id` to the pool. Must match a prior grant.
+  void Release(int server_id);
+
+  int num_servers() const { return static_cast<int>(busy_.size()); }
+  int num_busy() const { return num_busy_; }
+  int num_free() const { return num_servers() - num_busy_; }
+  size_t queue_length() const { return waiters_.size(); }
+  const std::string& name() const { return name_; }
+
+  /// Aggregate busy time across servers; divide by (num_servers *
+  /// makespan) for utilization.
+  double total_busy_time() const;
+
+ private:
+  void Grant(int server_id, GrantCallback cb);
+
+  Simulator* simulator_;
+  std::string name_;
+  std::vector<bool> busy_;
+  std::vector<SimTime> busy_since_;
+  std::vector<double> accumulated_busy_;
+  std::deque<GrantCallback> waiters_;
+  int num_busy_ = 0;
+};
+
+}  // namespace taskbench::sim
+
+#endif  // TASKBENCH_SIM_SERVER_POOL_H_

@@ -1,0 +1,46 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace taskbench::sim {
+
+void Simulator::At(SimTime t, Callback cb) {
+  TB_CHECK(t >= now_) << "cannot schedule event in the past: t=" << t
+                      << " now=" << now_;
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::After(SimTime delay, Callback cb) {
+  TB_CHECK(delay >= 0) << "negative delay: " << delay;
+  At(now_ + delay, std::move(cb));
+}
+
+SimTime Simulator::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // The callback may schedule new events, so pop before invoking.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.cb();
+  }
+  return now_;
+}
+
+SimTime Simulator::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.cb();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace taskbench::sim

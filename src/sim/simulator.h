@@ -1,0 +1,75 @@
+#ifndef TASKBENCH_SIM_SIMULATOR_H_
+#define TASKBENCH_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace taskbench::sim {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+/// A deterministic discrete-event simulator.
+///
+/// Events are callbacks ordered by (time, insertion sequence); ties in
+/// time fire in insertion order, which keeps runs bit-reproducible.
+/// The simulated cluster executor and the storage/bus contention models
+/// are built on top of this engine.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. 0.0 before any event has fired.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t`. Requires t >= Now().
+  void At(SimTime t, Callback cb);
+
+  /// Schedules `cb` at Now() + delay. Requires delay >= 0.
+  void After(SimTime delay, Callback cb);
+
+  /// Runs events until the queue is empty or Stop() is called.
+  /// Returns the time of the last event executed.
+  SimTime Run();
+
+  /// Runs events with time <= `deadline`.
+  SimTime RunUntil(SimTime deadline);
+
+  /// Stops Run() after the currently executing event returns.
+  void Stop() { stopped_ = true; }
+
+  /// Number of events executed so far (diagnostic).
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events currently pending.
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace taskbench::sim
+
+#endif  // TASKBENCH_SIM_SIMULATOR_H_

@@ -1,0 +1,86 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace taskbench::stats {
+
+std::vector<double> Ranks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    // Find the tie group [i, j).
+    size_t j = i + 1;
+    while (j < n && values[order[j]] == values[order[i]]) ++j;
+    // Average 1-based rank of the group.
+    const double avg_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j)) / 2.0;
+    for (size_t p = i; p < j; ++p) ranks[order[p]] = avg_rank;
+    i = j;
+  }
+  return ranks;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0;
+  const double mean = Mean(values);
+  double ss = 0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values.size()));
+}
+
+Result<double> PearsonR(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument(
+        StrFormat("correlation length mismatch: %zu vs %zu", x.size(),
+                  y.size()));
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("correlation needs >= 2 points");
+  }
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0 || syy == 0) {
+    // Constant input: correlation undefined.
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Result<double> SpearmanRho(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument(
+        StrFormat("correlation length mismatch: %zu vs %zu", x.size(),
+                  y.size()));
+  }
+  return PearsonR(Ranks(x), Ranks(y));
+}
+
+}  // namespace taskbench::stats

@@ -1,0 +1,34 @@
+#ifndef TASKBENCH_STATS_CORRELATION_H_
+#define TASKBENCH_STATS_CORRELATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace taskbench::stats {
+
+/// Fractional ranks of `values` (1-based, ties receive the average of
+/// their positions) — the ranking underlying Spearman correlation.
+std::vector<double> Ranks(const std::vector<double>& values);
+
+/// Pearson product-moment correlation of two equal-length vectors.
+/// Fails on length mismatch or fewer than 2 points; returns NaN when
+/// either vector is constant (undefined correlation).
+Result<double> PearsonR(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson on the ranks) — the measure the
+/// paper picks for its factor analysis because of its robustness to
+/// non-linear relationships (Section 5.4).
+Result<double> SpearmanRho(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& values);
+
+}  // namespace taskbench::stats
+
+#endif  // TASKBENCH_STATS_CORRELATION_H_

@@ -1,0 +1,169 @@
+#include "stats/feature_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+#include "stats/correlation.h"
+
+namespace taskbench::stats {
+
+Result<double> CorrelationMatrix::At(const std::string& a,
+                                     const std::string& b) const {
+  auto index_of = [this](const std::string& name) -> int {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  const int ia = index_of(a);
+  const int ib = index_of(b);
+  if (ia < 0 || ib < 0) {
+    return Status::NotFound(StrFormat(
+        "unknown feature '%s'", (ia < 0 ? a : b).c_str()));
+  }
+  return values[static_cast<size_t>(ia)][static_cast<size_t>(ib)];
+}
+
+std::string CorrelationMatrix::ToString(int cell_width) const {
+  std::ostringstream out;
+  size_t label_width = 0;
+  for (const auto& name : names) {
+    label_width = std::max(label_width, name.size());
+  }
+  out << std::string(label_width, ' ');
+  for (size_t j = 0; j < names.size(); ++j) {
+    std::string head = names[j].substr(0, static_cast<size_t>(cell_width - 1));
+    out << PadLeft(head, static_cast<size_t>(cell_width));
+  }
+  out << "\n";
+  for (size_t i = 0; i < names.size(); ++i) {
+    out << PadRight(names[i], label_width);
+    for (size_t j = 0; j < names.size(); ++j) {
+      const double v = values[i][j];
+      out << PadLeft(std::isnan(v) ? "--" : StrFormat("%.3f", v),
+                     static_cast<size_t>(cell_width));
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status FeatureTable::AddNumeric(const std::string& name,
+                                std::vector<double> values) {
+  if (has_rows_ && values.size() != num_rows_) {
+    return Status::InvalidArgument(StrFormat(
+        "column '%s' has %zu rows, table has %zu", name.c_str(),
+        values.size(), num_rows_));
+  }
+  for (const std::string& existing : names_) {
+    if (existing == name) {
+      return Status::AlreadyExists(
+          StrFormat("column '%s' already present", name.c_str()));
+    }
+  }
+  num_rows_ = values.size();
+  has_rows_ = true;
+  names_.push_back(name);
+  columns_.push_back(std::move(values));
+  return Status::OK();
+}
+
+Status FeatureTable::AddCategorical(const std::string& name,
+                                    const std::vector<std::string>& values) {
+  if (has_rows_ && values.size() != num_rows_) {
+    return Status::InvalidArgument(StrFormat(
+        "column '%s' has %zu rows, table has %zu", name.c_str(),
+        values.size(), num_rows_));
+  }
+  // Categories in order of first appearance, for stable column order.
+  std::vector<std::string> categories;
+  for (const std::string& v : values) {
+    bool seen = false;
+    for (const std::string& c : categories) {
+      if (c == v) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) categories.push_back(v);
+  }
+  for (const std::string& category : categories) {
+    std::vector<double> column(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      column[i] = values[i] == category ? 1.0 : 0.0;
+    }
+    TB_RETURN_IF_ERROR(AddNumeric(name + "=" + category, std::move(column)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> FeatureTable::Column(
+    const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return columns_[i];
+  }
+  return Status::NotFound(StrFormat("unknown column '%s'", name.c_str()));
+}
+
+std::vector<std::string> FeatureTable::DropConstantColumns() {
+  std::vector<std::string> dropped;
+  size_t kept = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const bool constant =
+        columns_[i].empty() ||
+        std::all_of(columns_[i].begin(), columns_[i].end(),
+                    [&](double v) { return v == columns_[i][0]; });
+    if (constant) {
+      dropped.push_back(names_[i]);
+    } else {
+      if (kept != i) {
+        names_[kept] = std::move(names_[i]);
+        columns_[kept] = std::move(columns_[i]);
+      }
+      ++kept;
+    }
+  }
+  names_.resize(kept);
+  columns_.resize(kept);
+  return dropped;
+}
+
+Result<CorrelationMatrix> FeatureTable::BuildMatrix(bool spearman) const {
+  if (num_rows_ < 2) {
+    return Status::FailedPrecondition(
+        "correlation matrix needs >= 2 samples");
+  }
+  CorrelationMatrix matrix;
+  matrix.names = names_;
+  const size_t n = names_.size();
+
+  // Pre-rank once per column for Spearman.
+  std::vector<std::vector<double>> basis;
+  basis.reserve(n);
+  for (const auto& column : columns_) {
+    basis.push_back(spearman ? Ranks(column) : column);
+  }
+
+  matrix.values.assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      TB_ASSIGN_OR_RETURN(const double rho, PearsonR(basis[i], basis[j]));
+      matrix.values[i][j] = rho;
+      matrix.values[j][i] = rho;
+    }
+  }
+  return matrix;
+}
+
+Result<CorrelationMatrix> FeatureTable::SpearmanMatrix() const {
+  return BuildMatrix(/*spearman=*/true);
+}
+
+Result<CorrelationMatrix> FeatureTable::PearsonMatrix() const {
+  return BuildMatrix(/*spearman=*/false);
+}
+
+}  // namespace taskbench::stats

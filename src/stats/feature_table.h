@@ -1,0 +1,73 @@
+#ifndef TASKBENCH_STATS_FEATURE_TABLE_H_
+#define TASKBENCH_STATS_FEATURE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace taskbench::stats {
+
+/// A pairwise correlation matrix over named features.
+struct CorrelationMatrix {
+  std::vector<std::string> names;
+  /// values[i][j] = correlation(feature i, feature j); NaN for
+  /// undefined pairs (constant features).
+  std::vector<std::vector<double>> values;
+
+  /// Correlation of the named pair; fails when a name is unknown.
+  Result<double> At(const std::string& a, const std::string& b) const;
+
+  /// Fixed-width text rendering (Figure 11 style).
+  std::string ToString(int cell_width = 7) const;
+};
+
+/// A columnar table of experiment features — the input of the
+/// correlation analysis (Section 5.4). Categorical features are
+/// one-hot encoded exactly as the paper does (processor type, storage
+/// architecture and scheduling policy each expand into one column per
+/// category).
+class FeatureTable {
+ public:
+  FeatureTable() = default;
+
+  /// Adds a numeric feature column. All columns must have equal
+  /// length; the first added column fixes it.
+  Status AddNumeric(const std::string& name, std::vector<double> values);
+
+  /// One-hot encodes a categorical feature: for each distinct
+  /// category c (in order of first appearance) a column "name=c"
+  /// holding 0/1.
+  Status AddCategorical(const std::string& name,
+                        const std::vector<std::string>& values);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// The column values for `name`; fails when unknown.
+  Result<std::vector<double>> Column(const std::string& name) const;
+
+  /// Removes constant columns (their correlation is undefined; the
+  /// paper drops DAG max height and the algorithm-specific parameter
+  /// for this reason in Figure 11). Returns the dropped names.
+  std::vector<std::string> DropConstantColumns();
+
+  /// Full pairwise Spearman matrix.
+  Result<CorrelationMatrix> SpearmanMatrix() const;
+
+  /// Full pairwise Pearson matrix.
+  Result<CorrelationMatrix> PearsonMatrix() const;
+
+ private:
+  Result<CorrelationMatrix> BuildMatrix(bool spearman) const;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+  size_t num_rows_ = 0;
+  bool has_rows_ = false;
+};
+
+}  // namespace taskbench::stats
+
+#endif  // TASKBENCH_STATS_FEATURE_TABLE_H_

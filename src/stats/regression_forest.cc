@@ -1,0 +1,74 @@
+#include "stats/regression_forest.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace taskbench::stats {
+
+Result<RegressionForest> RegressionForest::Fit(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets,
+    const RegressionForestOptions& options) {
+  if (options.num_trees < 1) {
+    return Status::InvalidArgument("num_trees must be >= 1");
+  }
+  if (options.sample_fraction <= 0 || options.sample_fraction > 1) {
+    return Status::InvalidArgument("sample_fraction must be in (0, 1]");
+  }
+  if (rows.empty() || rows.size() != targets.size()) {
+    return Status::InvalidArgument("rows/targets mismatch");
+  }
+
+  RegressionForest forest;
+  Rng rng(options.seed);
+  const size_t draw = std::max<size_t>(
+      1, static_cast<size_t>(options.sample_fraction *
+                             static_cast<double>(rows.size())));
+  for (int t = 0; t < options.num_trees; ++t) {
+    std::vector<std::vector<double>> sample_rows;
+    std::vector<double> sample_targets;
+    sample_rows.reserve(draw);
+    sample_targets.reserve(draw);
+    for (size_t i = 0; i < draw; ++i) {
+      const size_t pick = rng.NextBounded(rows.size());
+      sample_rows.push_back(rows[pick]);
+      sample_targets.push_back(targets[pick]);
+    }
+    TB_ASSIGN_OR_RETURN(
+        RegressionTree tree,
+        RegressionTree::Fit(sample_rows, sample_targets, options.tree));
+    forest.trees_.push_back(std::move(tree));
+  }
+  return forest;
+}
+
+Result<double> RegressionForest::Predict(
+    const std::vector<double>& features) const {
+  if (trees_.empty()) {
+    return Status::FailedPrecondition("forest is not fitted");
+  }
+  double sum = 0;
+  for (const RegressionTree& tree : trees_) {
+    TB_ASSIGN_OR_RETURN(const double y, tree.Predict(features));
+    sum += y;
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RegressionForest::FeatureImportance() const {
+  std::vector<double> total(num_features(), 0.0);
+  for (const RegressionTree& tree : trees_) {
+    const auto importance = tree.FeatureImportance();
+    for (size_t f = 0; f < total.size(); ++f) total[f] += importance[f];
+  }
+  double sum = 0;
+  for (double v : total) sum += v;
+  if (sum > 0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace taskbench::stats

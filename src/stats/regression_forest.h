@@ -1,0 +1,49 @@
+#ifndef TASKBENCH_STATS_REGRESSION_FOREST_H_
+#define TASKBENCH_STATS_REGRESSION_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/regression_tree.h"
+
+namespace taskbench::stats {
+
+/// Hyper-parameters of a bagged regression forest.
+struct RegressionForestOptions {
+  int num_trees = 25;
+  /// Bootstrap sample fraction per tree.
+  double sample_fraction = 1.0;
+  uint64_t seed = 42;
+  RegressionTreeOptions tree;
+};
+
+/// A deterministic bagged ensemble of CART trees (bootstrap samples,
+/// mean aggregation). Smooths the single tree's piecewise-constant
+/// surface, cutting the tail error of the performance predictor.
+class RegressionForest {
+ public:
+  static Result<RegressionForest> Fit(
+      const std::vector<std::vector<double>>& rows,
+      const std::vector<double>& targets,
+      const RegressionForestOptions& options = {});
+
+  /// Mean prediction across trees.
+  Result<double> Predict(const std::vector<double>& features) const;
+
+  size_t num_trees() const { return trees_.size(); }
+  size_t num_features() const {
+    return trees_.empty() ? 0 : trees_[0].num_features();
+  }
+
+  /// Mean of the member trees' importances (normalized to sum 1).
+  std::vector<double> FeatureImportance() const;
+
+ private:
+  RegressionForest() = default;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace taskbench::stats
+
+#endif  // TASKBENCH_STATS_REGRESSION_FOREST_H_

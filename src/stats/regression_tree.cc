@@ -1,0 +1,209 @@
+#include "stats/regression_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace taskbench::stats {
+
+namespace {
+
+/// Mean and variance*count (sum of squared deviations) of the
+/// targets selected by `indices`.
+void Moments(const std::vector<double>& targets,
+             const std::vector<int>& indices, double* mean, double* ss) {
+  double sum = 0;
+  for (int i : indices) sum += targets[static_cast<size_t>(i)];
+  *mean = sum / static_cast<double>(indices.size());
+  double acc = 0;
+  for (int i : indices) {
+    const double d = targets[static_cast<size_t>(i)] - *mean;
+    acc += d * d;
+  }
+  *ss = acc;
+}
+
+}  // namespace
+
+Result<RegressionTree> RegressionTree::Fit(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets,
+    const RegressionTreeOptions& options) {
+  if (rows.empty() || rows.size() != targets.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "tree needs equal non-zero rows/targets, got %zu/%zu", rows.size(),
+        targets.size()));
+  }
+  const size_t features = rows[0].size();
+  if (features == 0) {
+    return Status::InvalidArgument("rows need at least one feature");
+  }
+  for (const auto& row : rows) {
+    if (row.size() != features) {
+      return Status::InvalidArgument("ragged feature rows");
+    }
+  }
+  if (options.max_depth < 0 || options.min_samples_leaf < 1) {
+    return Status::InvalidArgument("invalid tree options");
+  }
+
+  RegressionTree tree;
+  tree.num_features_ = features;
+  std::vector<int> indices(rows.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  double root_mean = 0, root_ss = 0;
+  Moments(targets, indices, &root_mean, &root_ss);
+  tree.BuildNode(rows, targets, indices, 0, options,
+                 std::max(root_ss, 1e-30));
+  return tree;
+}
+
+int RegressionTree::BuildNode(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& targets,
+                              std::vector<int>& indices, int depth,
+                              const RegressionTreeOptions& options,
+                              double root_variance) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  double mean = 0, ss = 0;
+  Moments(targets, indices, &mean, &ss);
+  nodes_[static_cast<size_t>(node_id)].value = mean;
+  nodes_[static_cast<size_t>(node_id)].node_depth = depth;
+
+  const int n = static_cast<int>(indices.size());
+  if (depth >= options.max_depth || n < 2 * options.min_samples_leaf ||
+      ss <= 0) {
+    return node_id;
+  }
+
+  // Best (feature, threshold) by variance reduction, scanned with
+  // prefix sums over the sorted column.
+  double best_gain = 0;
+  int best_feature = -1;
+  double best_threshold = 0;
+  std::vector<int> sorted = indices;
+  for (size_t f = 0; f < num_features_; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      const double va = rows[static_cast<size_t>(a)][f];
+      const double vb = rows[static_cast<size_t>(b)][f];
+      if (va != vb) return va < vb;
+      return a < b;  // stable tie-break keeps fits deterministic
+    });
+    double left_sum = 0, left_sq = 0;
+    double total_sum = 0, total_sq = 0;
+    for (int i : sorted) {
+      const double y = targets[static_cast<size_t>(i)];
+      total_sum += y;
+      total_sq += y * y;
+    }
+    for (int k = 0; k < n - 1; ++k) {
+      const double y = targets[static_cast<size_t>(sorted[static_cast<size_t>(k)])];
+      left_sum += y;
+      left_sq += y * y;
+      const double x_here =
+          rows[static_cast<size_t>(sorted[static_cast<size_t>(k)])][f];
+      const double x_next =
+          rows[static_cast<size_t>(sorted[static_cast<size_t>(k + 1)])][f];
+      if (x_here == x_next) continue;  // cannot split between equals
+      const int left_n = k + 1;
+      const int right_n = n - left_n;
+      if (left_n < options.min_samples_leaf ||
+          right_n < options.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double left_ss = left_sq - left_sum * left_sum / left_n;
+      const double right_ss = right_sq - right_sum * right_sum / right_n;
+      const double gain = ss - (left_ss + right_ss);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (x_here + x_next) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0 || best_gain < options.min_variance_gain * root_variance) {
+    return node_id;
+  }
+
+  std::vector<int> left_idx, right_idx;
+  for (int i : indices) {
+    if (rows[static_cast<size_t>(i)][static_cast<size_t>(best_feature)] <=
+        best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  // Defensive: both sides non-empty by construction of the scan.
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  const int left_child =
+      BuildNode(rows, targets, left_idx, depth + 1, options, root_variance);
+  const int right_child =
+      BuildNode(rows, targets, right_idx, depth + 1, options, root_variance);
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left_child;
+  node.right = right_child;
+  node.gain = best_gain;
+  return node_id;
+}
+
+Result<double> RegressionTree::Predict(
+    const std::vector<double>& features) const {
+  if (features.size() != num_features_) {
+    return Status::InvalidArgument(StrFormat(
+        "expected %zu features, got %zu", num_features_, features.size()));
+  }
+  if (nodes_.empty()) {
+    return Status::FailedPrecondition("tree is not fitted");
+  }
+  int node = 0;
+  while (!nodes_[static_cast<size_t>(node)].leaf) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    node = features[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                                   : n.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+size_t RegressionTree::num_leaves() const {
+  size_t leaves = 0;
+  for (const Node& node : nodes_) {
+    if (node.leaf) ++leaves;
+  }
+  return leaves;
+}
+
+int RegressionTree::depth() const {
+  int max_depth = 0;
+  for (const Node& node : nodes_) {
+    max_depth = std::max(max_depth, node.node_depth);
+  }
+  return max_depth;
+}
+
+std::vector<double> RegressionTree::FeatureImportance() const {
+  std::vector<double> importance(num_features_, 0.0);
+  double total = 0;
+  for (const Node& node : nodes_) {
+    if (!node.leaf) {
+      importance[static_cast<size_t>(node.feature)] += node.gain;
+      total += node.gain;
+    }
+  }
+  if (total > 0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+}  // namespace taskbench::stats

@@ -1,0 +1,76 @@
+#ifndef TASKBENCH_STATS_REGRESSION_TREE_H_
+#define TASKBENCH_STATS_REGRESSION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace taskbench::stats {
+
+/// Hyper-parameters of a CART regression tree.
+struct RegressionTreeOptions {
+  int max_depth = 10;
+  int min_samples_leaf = 3;
+  /// Stop splitting when a node's variance improvement falls below
+  /// this fraction of the root variance.
+  double min_variance_gain = 1e-4;
+};
+
+/// A deterministic CART regression tree (variance-reduction splits,
+/// mean-value leaves). No external dependencies; used by the
+/// performance predictor that implements the paper's Section 5.4.3
+/// "put learning models into play" direction. Splits are invariant
+/// under monotone feature transforms, which suits the heavy-tailed
+/// factor features (byte counts, flop counts).
+class RegressionTree {
+ public:
+  /// Fits a tree on `rows` (each a feature vector of equal length)
+  /// against `targets`. Fails on empty or ragged input.
+  static Result<RegressionTree> Fit(
+      const std::vector<std::vector<double>>& rows,
+      const std::vector<double>& targets,
+      const RegressionTreeOptions& options = {});
+
+  /// Predicted target for one feature vector. Must have the training
+  /// feature count.
+  Result<double> Predict(const std::vector<double>& features) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const;
+  int depth() const;
+  size_t num_features() const { return num_features_; }
+
+  /// Mean relative importance of each feature: total variance
+  /// reduction attributed to splits on it, normalized to sum 1 (all
+  /// zeros for a single-leaf tree). The predictor surfaces this as
+  /// "which factors matter", mirroring the paper's correlation view.
+  std::vector<double> FeatureImportance() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    double value = 0;       // leaf prediction
+    int feature = -1;       // split feature
+    double threshold = 0;   // go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int node_depth = 0;
+    double gain = 0;        // variance reduction of this split
+  };
+
+  RegressionTree() = default;
+
+  int BuildNode(const std::vector<std::vector<double>>& rows,
+                const std::vector<double>& targets,
+                std::vector<int>& indices, int depth,
+                const RegressionTreeOptions& options, double root_variance);
+
+  std::vector<Node> nodes_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace taskbench::stats
+
+#endif  // TASKBENCH_STATS_REGRESSION_TREE_H_

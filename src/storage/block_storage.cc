@@ -1,0 +1,148 @@
+#include "storage/block_storage.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace taskbench::storage {
+
+namespace fs = std::filesystem;
+
+Status InMemoryStorage::Put(const std::string& key,
+                            std::vector<uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it != objects_.end()) total_bytes_ -= it->second.size();
+  total_bytes_ += bytes.size();
+  objects_[key] = std::move(bytes);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> InMemoryStorage::Get(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound(StrFormat("no object under key '%s'", key.c_str()));
+  }
+  return it->second;
+}
+
+Status InMemoryStorage::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    total_bytes_ -= it->second.size();
+    objects_.erase(it);
+  }
+  return Status::OK();
+}
+
+bool InMemoryStorage::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(key) > 0;
+}
+
+size_t InMemoryStorage::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+uint64_t InMemoryStorage::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+FileStorage::FileStorage(std::string root_dir)
+    : root_dir_(std::move(root_dir)) {}
+
+Result<std::unique_ptr<FileStorage>> FileStorage::Open(
+    const std::string& root_dir) {
+  std::error_code ec;
+  fs::create_directories(root_dir, ec);
+  if (ec) {
+    return Status::Internal(StrFormat("cannot create storage dir '%s': %s",
+                                      root_dir.c_str(),
+                                      ec.message().c_str()));
+  }
+  return std::unique_ptr<FileStorage>(new FileStorage(root_dir));
+}
+
+std::string FileStorage::PathFor(const std::string& key) const {
+  std::string safe;
+  safe.reserve(key.size());
+  for (char c : key) {
+    safe += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+             c == '_' || c == '.')
+                ? c
+                : '_';
+  }
+  return root_dir_ + "/" + safe + ".blk";
+}
+
+Status FileStorage::Put(const std::string& key, std::vector<uint8_t> bytes) {
+  const std::string path = PathFor(key);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal(StrFormat("cannot open '%s' for write",
+                                      path.c_str()));
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> FileStorage::Get(const std::string& key) const {
+  const std::string path = PathFor(key);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::NotFound(StrFormat("no object under key '%s'", key.c_str()));
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) {
+    return Status::Internal(StrFormat("short read from '%s'", path.c_str()));
+  }
+  return bytes;
+}
+
+Status FileStorage::Delete(const std::string& key) {
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);  // absent file is fine (idempotent)
+  return Status::OK();
+}
+
+bool FileStorage::Contains(const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(PathFor(key), ec);
+}
+
+size_t FileStorage::Size() const {
+  std::error_code ec;
+  size_t count = 0;
+  for (auto it = fs::directory_iterator(root_dir_, ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    if (it->path().extension() == ".blk") ++count;
+  }
+  return count;
+}
+
+uint64_t FileStorage::TotalBytes() const {
+  std::error_code ec;
+  uint64_t total = 0;
+  for (auto it = fs::directory_iterator(root_dir_, ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    if (it->path().extension() == ".blk") {
+      total += fs::file_size(it->path(), ec);
+    }
+  }
+  return total;
+}
+
+}  // namespace taskbench::storage

@@ -1,0 +1,87 @@
+#ifndef TASKBENCH_STORAGE_BLOCK_STORAGE_H_
+#define TASKBENCH_STORAGE_BLOCK_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace taskbench::storage {
+
+/// Key/value storage for serialized blocks — the pluggable "storage
+/// architecture" component (RocksDB-style interface). Implementations
+/// must be thread-safe: the thread-pool executor issues concurrent
+/// reads and writes, mirroring the concurrent (de)serialization
+/// streams the paper measures.
+class BlockStorage {
+ public:
+  virtual ~BlockStorage() = default;
+
+  /// Stores `bytes` under `key`, replacing any previous value.
+  virtual Status Put(const std::string& key, std::vector<uint8_t> bytes) = 0;
+
+  /// Retrieves the value under `key`; NotFound when absent.
+  virtual Result<std::vector<uint8_t>> Get(const std::string& key) const = 0;
+
+  /// Removes `key`. OK even when absent (idempotent).
+  virtual Status Delete(const std::string& key) = 0;
+
+  /// True when `key` exists.
+  virtual bool Contains(const std::string& key) const = 0;
+
+  /// Number of stored objects.
+  virtual size_t Size() const = 0;
+
+  /// Total payload bytes currently stored.
+  virtual uint64_t TotalBytes() const = 0;
+};
+
+/// Heap-backed storage. Used as the "memory" storage device and as the
+/// backing for unit tests.
+class InMemoryStorage final : public BlockStorage {
+ public:
+  InMemoryStorage() = default;
+
+  Status Put(const std::string& key, std::vector<uint8_t> bytes) override;
+  Result<std::vector<uint8_t>> Get(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  bool Contains(const std::string& key) const override;
+  size_t Size() const override;
+  uint64_t TotalBytes() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<uint8_t>> objects_;
+  uint64_t total_bytes_ = 0;
+};
+
+/// Filesystem-backed storage: one file per key under a root directory.
+/// Keys are sanitized into file names. This is the "disk" storage
+/// device of the real execution path.
+class FileStorage final : public BlockStorage {
+ public:
+  /// Creates (or reuses) `root_dir` as the storage directory.
+  static Result<std::unique_ptr<FileStorage>> Open(const std::string& root_dir);
+
+  Status Put(const std::string& key, std::vector<uint8_t> bytes) override;
+  Result<std::vector<uint8_t>> Get(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  bool Contains(const std::string& key) const override;
+  size_t Size() const override;
+  uint64_t TotalBytes() const override;
+
+ private:
+  explicit FileStorage(std::string root_dir);
+  std::string PathFor(const std::string& key) const;
+
+  std::string root_dir_;
+};
+
+}  // namespace taskbench::storage
+
+#endif  // TASKBENCH_STORAGE_BLOCK_STORAGE_H_

@@ -1,0 +1,108 @@
+#include "storage/serializer.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace taskbench::storage {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x544b4c42;  // 'TBLK' little-endian-ish tag
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8 + 4;
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, T value) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T ReadPod(const uint8_t* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+uint32_t Serializer::Crc32(const uint8_t* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+uint64_t Serializer::SerializedSize(const data::Matrix& m) {
+  return kHeaderBytes + m.bytes();
+}
+
+void Serializer::Serialize(const data::Matrix& m, std::vector<uint8_t>* out) {
+  out->reserve(out->size() + SerializedSize(m));
+  AppendPod<uint32_t>(out, kMagic);
+  AppendPod<uint32_t>(out, kVersion);
+  AppendPod<int64_t>(out, m.rows());
+  AppendPod<int64_t>(out, m.cols());
+  const auto* payload = reinterpret_cast<const uint8_t*>(m.data());
+  const size_t payload_bytes = m.bytes();
+  AppendPod<uint32_t>(out, Crc32(payload, payload_bytes));
+  out->insert(out->end(), payload, payload + payload_bytes);
+}
+
+Result<data::Matrix> Serializer::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::InvalidArgument(
+        StrFormat("serialized block truncated: %zu bytes", bytes.size()));
+  }
+  const uint8_t* p = bytes.data();
+  const auto magic = ReadPod<uint32_t>(p);
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad magic in serialized block");
+  }
+  const auto version = ReadPod<uint32_t>(p + 4);
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported block version %u", version));
+  }
+  const auto rows = ReadPod<int64_t>(p + 8);
+  const auto cols = ReadPod<int64_t>(p + 16);
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative dimensions in serialized block");
+  }
+  const auto crc = ReadPod<uint32_t>(p + 24);
+  const uint64_t payload_bytes = static_cast<uint64_t>(rows) *
+                                 static_cast<uint64_t>(cols) * 8;
+  if (bytes.size() != kHeaderBytes + payload_bytes) {
+    return Status::InvalidArgument(StrFormat(
+        "serialized block size mismatch: header says %llu payload bytes, "
+        "buffer has %zu",
+        static_cast<unsigned long long>(payload_bytes),
+        bytes.size() - kHeaderBytes));
+  }
+  const uint8_t* payload = p + kHeaderBytes;
+  if (Crc32(payload, payload_bytes) != crc) {
+    return Status::InvalidArgument("checksum mismatch in serialized block");
+  }
+  data::Matrix m(rows, cols);
+  std::memcpy(m.data(), payload, payload_bytes);
+  return m;
+}
+
+}  // namespace taskbench::storage

@@ -1,0 +1,42 @@
+#ifndef TASKBENCH_STORAGE_SERIALIZER_H_
+#define TASKBENCH_STORAGE_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/matrix.h"
+
+namespace taskbench::storage {
+
+/// Binary serialization of matrix blocks — the real counterpart of
+/// the (de)serialization stage the paper identifies as a dominant
+/// overhead (Section 5.1.2).
+///
+/// Wire format (little-endian):
+///   magic  u32   'TBLK'
+///   version u32  1
+///   rows   i64
+///   cols   i64
+///   crc32  u32   of the payload
+///   payload rows*cols float64
+class Serializer {
+ public:
+  /// Appends the serialized form of `m` to `out`.
+  static void Serialize(const data::Matrix& m, std::vector<uint8_t>* out);
+
+  /// Parses one serialized block from `bytes`. Fails on truncation,
+  /// bad magic/version, or checksum mismatch.
+  static Result<data::Matrix> Deserialize(const std::vector<uint8_t>& bytes);
+
+  /// Size in bytes Serialize() will produce for `m`.
+  static uint64_t SerializedSize(const data::Matrix& m);
+
+  /// CRC-32 (IEEE 802.3 polynomial) of `data`.
+  static uint32_t Crc32(const uint8_t* data, size_t size);
+};
+
+}  // namespace taskbench::storage
+
+#endif  // TASKBENCH_STORAGE_SERIALIZER_H_

@@ -1,0 +1,108 @@
+#include "algos/api.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+
+namespace taskbench::algos {
+namespace {
+
+data::Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  data::Matrix m(rows, cols);
+  Rng rng(seed);
+  data::FillUniform(&m, &rng);
+  return m;
+}
+
+TEST(DistributedMatmulTest, MatchesDense) {
+  const data::Matrix a = RandomMatrix(37, 23, 1);
+  const data::Matrix b = RandomMatrix(23, 41, 2);
+  auto c = DistributedMatmul(a, b);
+  ASSERT_TRUE(c.ok());
+  auto expected = data::Multiply(a, b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(c->ApproxEquals(*expected, 1e-9));
+}
+
+TEST(DistributedMatmulTest, ExplicitBlockDim) {
+  const data::Matrix a = RandomMatrix(16, 16, 1);
+  const data::Matrix b = RandomMatrix(16, 16, 2);
+  for (int64_t block : {1, 3, 8, 16, 100}) {
+    ExecuteOptions options;
+    options.block_dim = block;
+    auto c = DistributedMatmul(a, b, options);
+    ASSERT_TRUE(c.ok()) << "block " << block;
+    auto expected = data::Multiply(a, b);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(c->ApproxEquals(*expected, 1e-9)) << "block " << block;
+  }
+}
+
+TEST(DistributedMatmulTest, RejectsBadShapes) {
+  EXPECT_FALSE(
+      DistributedMatmul(RandomMatrix(4, 3, 1), RandomMatrix(4, 3, 2)).ok());
+  EXPECT_FALSE(DistributedMatmul(data::Matrix(), data::Matrix()).ok());
+}
+
+TEST(DistributedKMeansTest, FitsBlobs) {
+  // Three well-separated blobs; the fit must recover 3 clusters with
+  // low inertia and assign every sample.
+  data::Matrix samples(300, 2);
+  Rng rng(7);
+  for (int64_t r = 0; r < 300; ++r) {
+    const double cx = (r % 3 == 0) ? -10 : (r % 3 == 1 ? 0 : 10);
+    samples.At(r, 0) = cx + rng.NextGaussian() * 0.5;
+    samples.At(r, 1) = cx + rng.NextGaussian() * 0.5;
+  }
+  auto fit = DistributedKMeans(samples, 3, 10);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->centroids.rows(), 3);
+  EXPECT_EQ(fit->assignments.size(), 300u);
+  // All three clusters used.
+  std::set<int> used(fit->assignments.begin(), fit->assignments.end());
+  EXPECT_EQ(used.size(), 3u);
+  // Inertia per sample is small for tight blobs.
+  EXPECT_LT(fit->inertia / 300.0, 2.0);
+}
+
+TEST(DistributedKMeansTest, PartitioningInvariant) {
+  const data::Matrix samples = RandomMatrix(120, 4, 3);
+  ExecuteOptions coarse;
+  coarse.block_dim = 120;
+  ExecuteOptions fine;
+  fine.block_dim = 10;
+  auto a = DistributedKMeans(samples, 4, 5, coarse);
+  auto b = DistributedKMeans(samples, 4, 5, fine);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same seeds (first k rows), same data -> identical centroids
+  // regardless of block dimension.
+  EXPECT_TRUE(a->centroids.ApproxEquals(b->centroids, 1e-9));
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_NEAR(a->inertia, b->inertia, 1e-6);
+}
+
+TEST(DistributedKMeansTest, RejectsBadK) {
+  const data::Matrix samples = RandomMatrix(10, 2, 1);
+  EXPECT_FALSE(DistributedKMeans(samples, 0, 3).ok());
+  EXPECT_FALSE(DistributedKMeans(samples, 11, 3).ok());
+  EXPECT_FALSE(DistributedKMeans(data::Matrix(), 2, 3).ok());
+}
+
+TEST(DistributedKMeansTest, SingleClusterIsMean) {
+  const data::Matrix samples = RandomMatrix(50, 3, 9);
+  auto fit = DistributedKMeans(samples, 1, 2);
+  ASSERT_TRUE(fit.ok());
+  for (int64_t f = 0; f < 3; ++f) {
+    double mean = 0;
+    for (int64_t r = 0; r < 50; ++r) mean += samples.At(r, f);
+    mean /= 50;
+    EXPECT_NEAR(fit->centroids.At(0, f), mean, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace taskbench::algos

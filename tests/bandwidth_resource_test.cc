@@ -1,0 +1,145 @@
+#include "sim/bandwidth_resource.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace taskbench::sim {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+BandwidthResourceOptions Opts(double capacity, double per_flow,
+                              double latency = 0) {
+  BandwidthResourceOptions o;
+  o.capacity_bps = capacity;
+  o.per_flow_cap_bps = per_flow;
+  o.per_op_latency_s = latency;
+  return o;
+}
+
+TEST(BandwidthResourceTest, SingleFlowLimitedByPerFlowCap) {
+  Simulator sim;
+  BandwidthResource disk(&sim, Opts(1000.0, 100.0));
+  double done_at = -1;
+  disk.Transfer(200, [&] { done_at = sim.Now(); });
+  sim.Run();
+  // 200 bytes at the 100 B/s per-flow cap, not the 1000 B/s aggregate.
+  EXPECT_NEAR(done_at, 2.0, kTol);
+}
+
+TEST(BandwidthResourceTest, ManyFlowsSplitAggregate) {
+  Simulator sim;
+  BandwidthResource disk(&sim, Opts(1000.0, 1000.0));
+  std::vector<double> done(4, -1);
+  for (int i = 0; i < 4; ++i) {
+    disk.Transfer(250, [&done, &sim, i] { done[static_cast<size_t>(i)] = sim.Now(); });
+  }
+  sim.Run();
+  // 4 x 250 bytes sharing 1000 B/s -> each runs at 250 B/s, 1 s total.
+  for (double t : done) EXPECT_NEAR(t, 1.0, kTol);
+}
+
+TEST(BandwidthResourceTest, LateArrivalSlowsEarlierFlow) {
+  Simulator sim;
+  BandwidthResource disk(&sim, Opts(100.0, 100.0));
+  double first_done = -1, second_done = -1;
+  disk.Transfer(100, [&] { first_done = sim.Now(); });
+  sim.At(0.5, [&] {
+    disk.Transfer(50, [&] { second_done = sim.Now(); });
+  });
+  sim.Run();
+  // First flow: 50 bytes alone (0.5 s), then shares 100 B/s -> 50 B/s.
+  // Remaining 50 bytes take 1 s -> done at 1.5 s. Second flow: 50
+  // bytes at 50 B/s -> also done at 1.5 s.
+  EXPECT_NEAR(first_done, 1.5, 1e-4);
+  EXPECT_NEAR(second_done, 1.5, 1e-4);
+}
+
+TEST(BandwidthResourceTest, PerOpLatencyDelaysStart) {
+  Simulator sim;
+  BandwidthResource disk(&sim, Opts(100.0, 100.0, 0.25));
+  double done_at = -1;
+  disk.Transfer(100, [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 1.25, kTol);
+}
+
+TEST(BandwidthResourceTest, ZeroByteTransferPaysOnlyLatency) {
+  Simulator sim;
+  BandwidthResource disk(&sim, Opts(100.0, 100.0, 0.1));
+  double done_at = -1;
+  disk.Transfer(0, [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 0.1, kTol);
+}
+
+TEST(BandwidthResourceTest, TracksTotalsAndPeak) {
+  Simulator sim;
+  BandwidthResource disk(&sim, Opts(100.0, 100.0));
+  int completions = 0;
+  for (int i = 0; i < 3; ++i) {
+    disk.Transfer(100, [&] { ++completions; });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(disk.total_bytes(), 300u);
+  EXPECT_EQ(disk.peak_flows(), 3);
+  EXPECT_EQ(disk.active_flows(), 0);
+}
+
+TEST(BandwidthResourceTest, UnequalSizesCompleteInSizeOrder) {
+  Simulator sim;
+  BandwidthResource disk(&sim, Opts(100.0, 100.0));
+  double small_done = -1, big_done = -1;
+  disk.Transfer(50, [&] { small_done = sim.Now(); });
+  disk.Transfer(150, [&] { big_done = sim.Now(); });
+  sim.Run();
+  // Shared 50 B/s each: small finishes at 1 s; big then speeds up to
+  // 100 B/s for its remaining 100 bytes -> 2 s.
+  EXPECT_NEAR(small_done, 1.0, 1e-4);
+  EXPECT_NEAR(big_done, 2.0, 1e-4);
+}
+
+TEST(BandwidthResourceTest, CompletesAtLargeSimulationTimes) {
+  // Regression: with Now() in the tens of thousands of seconds, the
+  // sub-ULP completion sliver used to starve the wake loop (the event
+  // could not advance the clock), hanging the simulation. Large
+  // transfers late in a run must still complete.
+  Simulator sim;
+  BandwidthResourceOptions o;
+  o.capacity_bps = 5e9;
+  o.per_flow_cap_bps = 0.5e9;
+  o.per_op_latency_s = 3e-3;
+  BandwidthResource disk(&sim, o);
+  int done = 0;
+  sim.At(35184.0, [&] {
+    disk.Transfer(34'359'738'368ULL, [&] { ++done; });
+    disk.Transfer(34'359'738'368ULL, [&] { ++done; });
+  });
+  sim.Run();
+  EXPECT_EQ(done, 2);
+  // 2 x 32 GiB sharing... each capped at 0.5 GB/s: ~68.7 s each.
+  EXPECT_NEAR(sim.Now(), 35184.0 + 0.003 + 68.72, 0.1);
+  // The run terminates with a sane number of events (no wake storm).
+  EXPECT_LT(sim.events_executed(), 100u);
+}
+
+TEST(BandwidthResourceTest, ContentionScalesMakespanLinearly) {
+  // Property: with per-flow cap >= fair share, n identical concurrent
+  // flows finish in n x the single-flow time.
+  for (int n : {1, 2, 8, 32}) {
+    Simulator sim;
+    BandwidthResource disk(&sim, Opts(1e6, 1e6));
+    int done = 0;
+    for (int i = 0; i < n; ++i) {
+      disk.Transfer(1e6, [&] { ++done; });
+    }
+    const double makespan = sim.Run();
+    EXPECT_EQ(done, n);
+    EXPECT_NEAR(makespan, static_cast<double>(n), 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace taskbench::sim

@@ -1,0 +1,145 @@
+#include "storage/block_storage.h"
+
+#include <atomic>
+#include <filesystem>
+#include <unistd.h>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace taskbench::storage {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> values) {
+  return std::vector<uint8_t>(values);
+}
+
+/// Unique scratch directory per fixture instance so parallel ctest
+/// processes never collide.
+std::filesystem::path FreshDir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("tb_" + tag + "_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter.fetch_add(1)));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+template <typename T>
+class BlockStorageTest : public ::testing::Test {
+ protected:
+  BlockStorageTest() {
+    if constexpr (std::is_same_v<T, FileStorage>) {
+      dir_ = FreshDir("storage_test");
+      auto opened = FileStorage::Open(dir_.string());
+      EXPECT_TRUE(opened.ok());
+      storage_ = std::move(opened).value();
+    } else {
+      storage_ = std::make_unique<InMemoryStorage>();
+    }
+  }
+  ~BlockStorageTest() override {
+    storage_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+  std::filesystem::path dir_;
+  std::unique_ptr<BlockStorage> storage_;
+};
+
+using Implementations = ::testing::Types<InMemoryStorage, FileStorage>;
+TYPED_TEST_SUITE(BlockStorageTest, Implementations);
+
+TYPED_TEST(BlockStorageTest, PutGetRoundTrip) {
+  ASSERT_TRUE(this->storage_->Put("k1", Bytes({1, 2, 3})).ok());
+  auto got = this->storage_->Get("k1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Bytes({1, 2, 3}));
+}
+
+TYPED_TEST(BlockStorageTest, GetMissingIsNotFound) {
+  auto got = this->storage_->Get("absent");
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsNotFound());
+}
+
+TYPED_TEST(BlockStorageTest, PutOverwrites) {
+  ASSERT_TRUE(this->storage_->Put("k", Bytes({1})).ok());
+  ASSERT_TRUE(this->storage_->Put("k", Bytes({9, 9})).ok());
+  auto got = this->storage_->Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Bytes({9, 9}));
+}
+
+TYPED_TEST(BlockStorageTest, DeleteIsIdempotent) {
+  ASSERT_TRUE(this->storage_->Put("k", Bytes({1})).ok());
+  EXPECT_TRUE(this->storage_->Delete("k").ok());
+  EXPECT_FALSE(this->storage_->Contains("k"));
+  EXPECT_TRUE(this->storage_->Delete("k").ok());  // second delete fine
+}
+
+TYPED_TEST(BlockStorageTest, SizeTracksObjects) {
+  EXPECT_EQ(this->storage_->Size(), 0u);
+  ASSERT_TRUE(this->storage_->Put("a", Bytes({1})).ok());
+  ASSERT_TRUE(this->storage_->Put("b", Bytes({2, 2})).ok());
+  EXPECT_EQ(this->storage_->Size(), 2u);
+  EXPECT_EQ(this->storage_->TotalBytes(), 3u);
+}
+
+TYPED_TEST(BlockStorageTest, ConcurrentPutsAndGets) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "_" + std::to_string(i);
+        ASSERT_TRUE(this->storage_
+                        ->Put(key, Bytes({static_cast<uint8_t>(t),
+                                          static_cast<uint8_t>(i)}))
+                        .ok());
+        auto got = this->storage_->Get(key);
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ((*got)[0], static_cast<uint8_t>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(this->storage_->Size(),
+            static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(FileStorageTest, SanitizesHostileKeys) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tb_storage_hostile";
+  std::filesystem::remove_all(dir);
+  auto opened = FileStorage::Open(dir.string());
+  ASSERT_TRUE(opened.ok());
+  auto& storage = **opened;
+  ASSERT_TRUE(storage.Put("../../etc/passwd", Bytes({1})).ok());
+  // The object is stored inside the root dir, not outside.
+  EXPECT_TRUE(storage.Contains("../../etc/passwd"));
+  EXPECT_EQ(storage.Size(), 1u);
+  bool outside = std::filesystem::exists(dir.parent_path() / "etc");
+  EXPECT_FALSE(outside);
+}
+
+TEST(FileStorageTest, PersistsAcrossReopen) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tb_storage_reopen";
+  std::filesystem::remove_all(dir);
+  {
+    auto opened = FileStorage::Open(dir.string());
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE((*opened)->Put("persist", Bytes({4, 2})).ok());
+  }
+  auto reopened = FileStorage::Open(dir.string());
+  ASSERT_TRUE(reopened.ok());
+  auto got = (*reopened)->Get("persist");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Bytes({4, 2}));
+}
+
+}  // namespace
+}  // namespace taskbench::storage

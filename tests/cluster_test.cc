@@ -1,0 +1,101 @@
+#include "hw/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace taskbench::hw {
+namespace {
+
+TEST(ClusterTest, MinotauroMatchesPaperSetup) {
+  // Section 4.4.1: 8 nodes x 16 cores + 4 K80 devices (12 GB each).
+  const ClusterSpec spec = MinotauroCluster();
+  EXPECT_EQ(spec.num_nodes, 8);
+  EXPECT_EQ(spec.cores_per_node, 16);
+  EXPECT_EQ(spec.gpus_per_node, 4);
+  EXPECT_EQ(spec.total_cores(), 128);
+  EXPECT_EQ(spec.total_gpus(), 32);
+  EXPECT_EQ(spec.gpu.memory_bytes, 12ULL * kGiB);
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(ClusterTest, SingleNodeFactory) {
+  const ClusterSpec spec = SingleNode(4, 1);
+  EXPECT_EQ(spec.num_nodes, 1);
+  EXPECT_EQ(spec.total_cores(), 4);
+  EXPECT_EQ(spec.total_gpus(), 1);
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(ClusterTest, ValidateRejectsBadCounts) {
+  ClusterSpec spec = MinotauroCluster();
+  spec.num_nodes = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = MinotauroCluster();
+  spec.cores_per_node = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = MinotauroCluster();
+  spec.gpus_per_node = -2;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(ClusterTest, ValidateRejectsBadProfiles) {
+  ClusterSpec spec = MinotauroCluster();
+  spec.cpu_core.flops_per_s = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = MinotauroCluster();
+  spec.gpu.memory_bytes = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = MinotauroCluster();
+  spec.bus.bandwidth_bps = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = MinotauroCluster();
+  spec.shared_disk.aggregate_bw_bps = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(ClusterTest, GpulessNodeSkipsGpuValidation) {
+  ClusterSpec spec = SingleNode(4, 0);
+  spec.gpu.flops_per_s = 0;  // irrelevant without devices
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(ClusterTest, StorageArchitectureNames) {
+  EXPECT_EQ(ToString(StorageArchitecture::kLocalDisk), "local-disk");
+  EXPECT_EQ(ToString(StorageArchitecture::kSharedDisk), "shared-disk");
+}
+
+TEST(DeviceProfilesTest, SharedDiskSlowerPerStreamThanLocal) {
+  // The GPFS model must have higher per-op latency and a lower
+  // per-stream ceiling than node-local scratch — the architecture
+  // difference behind observations O5/O6.
+  const DiskProfile local = LocalNodeDisk();
+  const DiskProfile shared = GpfsSharedDisk();
+  EXPECT_GT(shared.per_op_latency_s, local.per_op_latency_s);
+  EXPECT_LT(shared.per_stream_bw_bps, local.per_stream_bw_bps);
+  // But the shared filesystem aggregates more than one local disk.
+  EXPECT_GT(shared.aggregate_bw_bps, local.aggregate_bw_bps);
+}
+
+TEST(DeviceProfilesTest, GpuUtilizationRampIsMonotone) {
+  const GpuDeviceProfile gpu = NvidiaK80();
+  double prev = 0;
+  for (double work = 1e6; work < 1e14; work *= 10) {
+    const double util = gpu.UtilizationFor(work);
+    EXPECT_GT(util, prev);
+    EXPECT_LE(util, 1.0);
+    prev = util;
+  }
+  EXPECT_EQ(gpu.UtilizationFor(0), 1.0);
+}
+
+TEST(DeviceProfilesTest, NvlinkFasterThanPcie) {
+  EXPECT_GT(NvlinkClass().bandwidth_bps, Pcie3().bandwidth_bps);
+  EXPECT_LT(NvlinkClass().latency_s, Pcie3().latency_s);
+}
+
+}  // namespace
+}  // namespace taskbench::hw

@@ -1,0 +1,96 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace taskbench::stats {
+namespace {
+
+TEST(RanksTest, SimpleOrdering) {
+  EXPECT_EQ(Ranks({30, 10, 20}), (std::vector<double>{3, 1, 2}));
+}
+
+TEST(RanksTest, TiesGetAverageRank) {
+  // 10 10 20 -> ranks 1.5 1.5 3
+  EXPECT_EQ(Ranks({10, 10, 20}), (std::vector<double>{1.5, 1.5, 3}));
+  // all equal -> all (n+1)/2
+  EXPECT_EQ(Ranks({5, 5, 5, 5}), (std::vector<double>{2.5, 2.5, 2.5, 2.5}));
+}
+
+TEST(RanksTest, EmptyAndSingle) {
+  EXPECT_TRUE(Ranks({}).empty());
+  EXPECT_EQ(Ranks({42}), (std::vector<double>{1}));
+}
+
+TEST(PearsonTest, PerfectLinearCorrelation) {
+  auto r = PearsonR({1, 2, 3, 4}, {10, 20, 30, 40});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0, 1e-12);
+  auto neg = PearsonR({1, 2, 3, 4}, {8, 6, 4, 2});
+  ASSERT_TRUE(neg.ok());
+  EXPECT_NEAR(*neg, -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantInputIsNaN) {
+  auto r = PearsonR({1, 1, 1}, {1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::isnan(*r));
+}
+
+TEST(PearsonTest, RejectsBadInputs) {
+  EXPECT_FALSE(PearsonR({1, 2}, {1}).ok());
+  EXPECT_FALSE(PearsonR({1}, {1}).ok());
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  // Spearman is rank-based: any monotone transform keeps rho = 1.
+  // This robustness is why the paper picks it (Section 5.4).
+  std::vector<double> x{1, 2, 3, 4, 5, 6};
+  std::vector<double> y;
+  for (double v : x) y.push_back(std::exp(v));
+  auto rho = SpearmanRho(x, y);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, AntitoneIsMinusOne) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{100, 50, 10, 5, 1};
+  auto rho = SpearmanRho(x, y);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, IndependentVariablesNearZero) {
+  Rng rng(77);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.NextDouble());
+    y.push_back(rng.NextDouble());
+  }
+  auto rho = SpearmanRho(x, y);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, 0.0, 0.05);
+}
+
+TEST(SpearmanTest, RobustToOutliers) {
+  // One wild outlier barely moves Spearman (unlike Pearson).
+  std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<double> y{1, 2, 3, 4, 5, 6, 7, 8, 9, 1e9};
+  auto rho = SpearmanRho(x, y);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, 1.0, 1e-12);
+}
+
+TEST(StatsHelpersTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 6}), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+}
+
+}  // namespace
+}  // namespace taskbench::stats

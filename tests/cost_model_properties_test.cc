@@ -1,0 +1,132 @@
+// Property tests of the analytic cost model: monotonicity and bound
+// invariants that must hold for any task descriptor.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "perf/cost_model.h"
+
+namespace taskbench::perf {
+namespace {
+
+TaskCost RandomCost(Rng* rng) {
+  TaskCost cost;
+  cost.parallel.flops = rng->Uniform(1e6, 1e13);
+  cost.parallel.bytes = rng->Uniform(1e6, 1e11);
+  cost.serial.flops = rng->Uniform(0, 1e10);
+  cost.serial.bytes = rng->Uniform(0, 1e10);
+  cost.h2d_bytes = rng->NextBounded(1'000'000'000);
+  cost.d2h_bytes = rng->NextBounded(1'000'000'000);
+  cost.num_transfers = 1 + static_cast<int>(rng->NextBounded(4));
+  cost.num_kernels = 1 + static_cast<int>(rng->NextBounded(8));
+  cost.input_bytes = cost.h2d_bytes;
+  cost.output_bytes = cost.d2h_bytes;
+  cost.gpu_working_set_bytes = rng->NextBounded(11ULL << 30);
+  cost.gpu_curve.peak_fraction = rng->Uniform(0.1, 1.0);
+  cost.gpu_curve.ramp_work = rng->Uniform(0, 1e11);
+  return cost;
+}
+
+class CostModelPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  CostModel model_{hw::MinotauroCluster()};
+};
+
+TEST_P(CostModelPropertyTest, AllStagesNonNegativeAndFinite) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const TaskCost cost = RandomCost(&rng);
+    for (double t : {model_.CpuParallelFraction(cost),
+                     model_.GpuParallelFraction(cost),
+                     model_.SerialFraction(cost), model_.CpuGpuComm(cost)}) {
+      EXPECT_GE(t, 0.0);
+      EXPECT_TRUE(std::isfinite(t));
+    }
+  }
+}
+
+TEST_P(CostModelPropertyTest, MoreWorkNeverRunsFaster) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    TaskCost cost = RandomCost(&rng);
+    TaskCost bigger = cost;
+    bigger.parallel.flops *= 2;
+    bigger.parallel.bytes *= 2;
+    EXPECT_GE(model_.CpuParallelFraction(bigger),
+              model_.CpuParallelFraction(cost));
+    EXPECT_GE(model_.GpuParallelFraction(bigger),
+              model_.GpuParallelFraction(cost));
+  }
+}
+
+TEST_P(CostModelPropertyTest, GpuSpeedupBoundedByPeakRatio) {
+  // The parallel-fraction speedup can never exceed the larger of the
+  // device peak ratios (flop roof 360/16, byte roof 160/6): efficiency
+  // curves only reduce the GPU side.
+  Rng rng(GetParam());
+  const double max_ratio =
+      std::max(360e9 / 16e9, 160e9 / 6e9);  // flop and byte roofs
+  for (int i = 0; i < 100; ++i) {
+    TaskCost cost = RandomCost(&rng);
+    const double speedup = model_.CpuParallelFraction(cost) /
+                           model_.GpuParallelFraction(cost);
+    EXPECT_LE(speedup, max_ratio * 1.0001);
+  }
+}
+
+TEST_P(CostModelPropertyTest, UtilizationMonotoneInWork) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    GpuCurve curve;
+    curve.ramp_work = rng.Uniform(1e6, 1e12);
+    curve.alpha = rng.Uniform(0.3, 1.5);
+    double prev = 0;
+    for (double w = 1e3; w < 1e15; w *= 10) {
+      const double u = curve.UtilizationFor(w);
+      EXPECT_GE(u, prev);
+      EXPECT_GT(u, 0.0);
+      EXPECT_LE(u, 1.0);
+      prev = u;
+    }
+  }
+}
+
+TEST_P(CostModelPropertyTest, OomMonotoneInWorkingSet) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    TaskCost cost = RandomCost(&rng);
+    if (model_.CheckGpuFit(cost).ok()) {
+      TaskCost smaller = cost;
+      smaller.gpu_working_set_bytes /= 2;
+      EXPECT_TRUE(model_.CheckGpuFit(smaller).ok());
+    } else {
+      TaskCost bigger = cost;
+      bigger.gpu_working_set_bytes *= 2;
+      EXPECT_FALSE(model_.CheckGpuFit(bigger).ok());
+    }
+  }
+}
+
+TEST_P(CostModelPropertyTest, EstimateStagesConsistentWithParts) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const TaskCost cost = RandomCost(&rng);
+    auto stages = model_.EstimateStages(
+        cost, Processor::kCpu, hw::StorageArchitecture::kSharedDisk);
+    ASSERT_TRUE(stages.ok());
+    EXPECT_DOUBLE_EQ(stages->parallel_fraction,
+                     model_.CpuParallelFraction(cost));
+    EXPECT_DOUBLE_EQ(stages->serial_fraction, model_.SerialFraction(cost));
+    EXPECT_DOUBLE_EQ(stages->deserialize,
+                     model_.Deserialize(cost,
+                                        hw::StorageArchitecture::kSharedDisk));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelPropertyTest,
+                         ::testing::Values(1, 17, 42, 1337));
+
+}  // namespace
+}  // namespace taskbench::perf

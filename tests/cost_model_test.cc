@@ -1,0 +1,233 @@
+#include "perf/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/kmeans.h"
+#include "algos/matmul.h"
+#include "common/units.h"
+
+namespace taskbench::perf {
+namespace {
+
+CostModel MinotauroModel() { return CostModel(hw::MinotauroCluster()); }
+
+TaskCost SimpleCost() {
+  TaskCost cost;
+  cost.parallel.flops = 1e9;
+  cost.parallel.bytes = 1e8;
+  cost.serial.flops = 1e7;
+  cost.serial.bytes = 1e7;
+  cost.h2d_bytes = 50'000'000;
+  cost.d2h_bytes = 10'000'000;
+  cost.num_transfers = 2;
+  cost.num_kernels = 1;
+  cost.input_bytes = 50'000'000;
+  cost.output_bytes = 10'000'000;
+  cost.gpu_working_set_bytes = 200'000'000;
+  return cost;
+}
+
+TEST(CostModelTest, CpuParallelFractionIsRoofline) {
+  const CostModel model = MinotauroModel();
+  TaskCost cost;
+  cost.parallel.flops = 16e9;  // exactly 1 s of compute
+  cost.parallel.bytes = 1e6;   // negligible memory side
+  EXPECT_NEAR(model.CpuParallelFraction(cost), 1.0, 1e-9);
+  cost.parallel.bytes = 60e9;  // 10 s of memory traffic dominates
+  EXPECT_NEAR(model.CpuParallelFraction(cost), 10.0, 1e-9);
+}
+
+TEST(CostModelTest, SerialFractionUsesCpuRates) {
+  const CostModel model = MinotauroModel();
+  TaskCost cost;
+  cost.serial.bytes = 6e9;
+  EXPECT_NEAR(model.SerialFraction(cost), 1.0, 1e-9);
+}
+
+TEST(CostModelTest, CommScalesWithVolumeAndTransfers) {
+  const CostModel model = MinotauroModel();
+  TaskCost cost;
+  // Exactly one second of bus transfer plus two transfer latencies.
+  cost.h2d_bytes = static_cast<uint64_t>(hw::Pcie3().bandwidth_bps);
+  cost.d2h_bytes = 0;
+  cost.num_transfers = 2;
+  const double expected_latency = 2 * hw::Pcie3().latency_s;
+  EXPECT_NEAR(model.CpuGpuComm(cost), 1.0 + expected_latency, 1e-9);
+}
+
+TEST(CostModelTest, GpuFasterThanCpuOnLargeParallelWork) {
+  const CostModel model = MinotauroModel();
+  TaskCost cost = SimpleCost();
+  cost.parallel.flops = 1e12;
+  EXPECT_LT(model.GpuParallelFraction(cost),
+            model.CpuParallelFraction(cost));
+}
+
+TEST(CostModelTest, UtilizationRampPenalizesSmallKernels) {
+  const CostModel model = MinotauroModel();
+  TaskCost small = SimpleCost();
+  small.parallel.flops = 1e8;
+  small.gpu_curve.ramp_work = 1e10;
+  TaskCost large = small;
+  large.parallel.flops = 1e13;
+  // Effective throughput (flops/second of parallel fraction) must be
+  // much higher for the large kernel.
+  const double small_rate =
+      small.parallel.flops / model.GpuParallelFraction(small);
+  const double large_rate =
+      large.parallel.flops / model.GpuParallelFraction(large);
+  EXPECT_GT(large_rate, small_rate * 10);
+}
+
+TEST(CostModelTest, GpuCurveUtilizationBounds) {
+  GpuCurve curve;
+  curve.ramp_work = 1e9;
+  EXPECT_GT(curve.UtilizationFor(1e6), 0.0);
+  EXPECT_LT(curve.UtilizationFor(1e6), 0.05);
+  EXPECT_GT(curve.UtilizationFor(1e12), 0.95);
+  EXPECT_NEAR(curve.UtilizationFor(1e9), 0.5, 1e-9);  // half at ramp
+  // No ramp -> always full utilization.
+  GpuCurve flat;
+  EXPECT_EQ(flat.UtilizationFor(123.0), 1.0);
+}
+
+TEST(CostModelTest, CheckGpuFitOomAboveDeviceMemory) {
+  const CostModel model = MinotauroModel();
+  TaskCost cost = SimpleCost();
+  cost.gpu_working_set_bytes = 11ULL * kGiB;
+  EXPECT_TRUE(model.CheckGpuFit(cost).ok());
+  cost.gpu_working_set_bytes = 13ULL * kGiB;
+  const Status status = model.CheckGpuFit(cost);
+  EXPECT_TRUE(status.IsOutOfMemory());
+}
+
+TEST(CostModelTest, CheckGpuFitFailsWithoutGpus) {
+  const CostModel model(hw::SingleNode(4, 0));
+  EXPECT_EQ(model.CheckGpuFit(SimpleCost()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CostModelTest, EstimateStagesCpuHasNoComm) {
+  const CostModel model = MinotauroModel();
+  auto stages = model.EstimateStages(SimpleCost(), Processor::kCpu,
+                                     hw::StorageArchitecture::kSharedDisk);
+  ASSERT_TRUE(stages.ok());
+  EXPECT_EQ(stages->cpu_gpu_comm, 0.0);
+  EXPECT_GT(stages->deserialize, 0.0);
+  EXPECT_GT(stages->serialize, 0.0);
+  EXPECT_GT(stages->user_code(), 0.0);
+  EXPECT_NEAR(stages->total(),
+              stages->deserialize + stages->user_code() + stages->serialize,
+              1e-12);
+}
+
+TEST(CostModelTest, EstimateStagesGpuPropagatesOom) {
+  const CostModel model = MinotauroModel();
+  TaskCost cost = SimpleCost();
+  cost.gpu_working_set_bytes = 20ULL * kGiB;
+  auto stages = model.EstimateStages(cost, Processor::kGpu,
+                                     hw::StorageArchitecture::kSharedDisk);
+  ASSERT_FALSE(stages.ok());
+  EXPECT_TRUE(stages.status().IsOutOfMemory());
+}
+
+TEST(CostModelTest, LocalDiskFasterPerStreamThanShared) {
+  const CostModel model = MinotauroModel();
+  const TaskCost cost = SimpleCost();
+  EXPECT_LT(model.Deserialize(cost, hw::StorageArchitecture::kLocalDisk),
+            model.Deserialize(cost, hw::StorageArchitecture::kSharedDisk));
+}
+
+TEST(StageTimesTest, AccumulateAndAverage) {
+  StageTimes a;
+  a.deserialize = 1;
+  a.parallel_fraction = 2;
+  StageTimes b;
+  b.deserialize = 3;
+  b.cpu_gpu_comm = 4;
+  a += b;
+  EXPECT_EQ(a.deserialize, 4);
+  EXPECT_EQ(a.cpu_gpu_comm, 4);
+  const StageTimes half = a / 2.0;
+  EXPECT_EQ(half.deserialize, 2);
+  EXPECT_EQ(half.parallel_fraction, 1);
+}
+
+// ---- Paper-anchored calibration checks ----
+
+TEST(CalibrationTest, MatmulFuncSpeedupGrowsToPaperCeiling) {
+  // Figure 8: user-code speedup of matmul_func grows from ~5-8x at
+  // 32 MB blocks to ~21x at 2048 MB.
+  const CostModel model = MinotauroModel();
+  auto user_speedup = [&](int64_t n) {
+    const TaskCost cost = algos::MatmulFuncCost(n, n, n, false);
+    const double cpu =
+        model.CpuParallelFraction(cost) + model.SerialFraction(cost);
+    const double gpu = model.GpuParallelFraction(cost) +
+                       model.SerialFraction(cost) + model.CpuGpuComm(cost);
+    return cpu / gpu;
+  };
+  const double fine = user_speedup(2048);     // 32 MB block
+  const double coarse = user_speedup(16384);  // 2048 MB block
+  EXPECT_GT(fine, 3.0);
+  EXPECT_LT(fine, 9.0);
+  EXPECT_GT(coarse, 15.0);
+  EXPECT_LT(coarse, 25.0);
+}
+
+TEST(CalibrationTest, AddFuncGpuLosesAtAllPaperSizes) {
+  // Figure 8: add_func GPU is slower than CPU at every block size.
+  const CostModel model = MinotauroModel();
+  for (int64_t n : {2048, 4096, 8192, 16384}) {
+    const TaskCost cost = algos::AddFuncCost(n, n);
+    const double cpu = model.CpuParallelFraction(cost);
+    const double gpu =
+        model.GpuParallelFraction(cost) + model.CpuGpuComm(cost);
+    EXPECT_GT(gpu, cpu) << "block order " << n;
+  }
+}
+
+TEST(CalibrationTest, KmeansFigure1SingleTaskSpeedups) {
+  // Figure 1 anchors (10 GB dataset, 256 tasks, 10 clusters):
+  // parallel fraction 5.69x, user code 1.24x.
+  const CostModel model = MinotauroModel();
+  const TaskCost cost = algos::PartialSumCost(12500000 / 256, 100, 10);
+  const double pf_speedup =
+      model.CpuParallelFraction(cost) / model.GpuParallelFraction(cost);
+  EXPECT_NEAR(pf_speedup, 5.69, 1.2);
+
+  const double cpu_user =
+      model.CpuParallelFraction(cost) + model.SerialFraction(cost);
+  const double gpu_user = model.GpuParallelFraction(cost) +
+                          model.SerialFraction(cost) +
+                          model.CpuGpuComm(cost);
+  EXPECT_NEAR(cpu_user / gpu_user, 1.24, 0.35);
+}
+
+TEST(CalibrationTest, MatmulOomAtPaperBlockSizes) {
+  // Section 5.3: 8192 MB blocks need 3 x 8 GB > 12 GB -> OOM, while
+  // 2048 MB blocks fit.
+  const CostModel model = MinotauroModel();
+  EXPECT_TRUE(model
+                  .CheckGpuFit(algos::MatmulFuncCost(16384, 16384, 16384,
+                                                     false))
+                  .ok());
+  EXPECT_TRUE(model
+                  .CheckGpuFit(algos::MatmulFuncCost(32768, 32768, 32768,
+                                                     false))
+                  .IsOutOfMemory());
+}
+
+TEST(CalibrationTest, KmeansOomScalesWithClusters) {
+  // Figure 9a: 1000 clusters OOM at much smaller blocks than 10
+  // clusters (the M x K distance matrix dominates).
+  const CostModel model = MinotauroModel();
+  const int64_t rows_8x1 = 12500000 / 8;  // 1250 MB blocks
+  EXPECT_TRUE(model.CheckGpuFit(algos::PartialSumCost(rows_8x1, 100, 10))
+                  .ok());
+  EXPECT_TRUE(model.CheckGpuFit(algos::PartialSumCost(rows_8x1, 100, 1000))
+                  .IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace taskbench::perf

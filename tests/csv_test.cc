@@ -1,0 +1,106 @@
+#include "analysis/csv.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "data/generators.h"
+
+namespace taskbench::analysis {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesCommasAndQuotes) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+ExperimentResult FakeResult(bool oom) {
+  ExperimentResult result;
+  result.config.label = "kmeans,test";  // comma needs escaping
+  result.config.algorithm = Algorithm::kKMeans;
+  result.config.dataset = data::PaperDatasets::KMeans100MB();
+  result.config.grid_rows = 8;
+  result.oom = oom;
+  result.block_bytes = 1234;
+  result.num_blocks = 8;
+  result.dag_width = 8;
+  result.dag_height = 6;
+  result.parallel_fraction = 0.28;
+  result.complexity = 1e9;
+  result.parallel_task_time = 1.5;
+  result.makespan = 3.0;
+  return result;
+}
+
+TEST(ExperimentsCsvTest, RendersRowsWithHeader) {
+  const std::string csv = ExperimentsCsv({FakeResult(false)});
+  const auto lines = Split(csv, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("parallel_task_time_s"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kmeans,test\""), std::string::npos);
+  EXPECT_NE(lines[1].find(",0,1.5,3,"), std::string::npos);
+}
+
+TEST(ExperimentsCsvTest, OomRowsHaveEmptyMetrics) {
+  const std::string csv = ExperimentsCsv({FakeResult(true)});
+  const auto lines = Split(csv, '\n');
+  EXPECT_NE(lines[1].find(",1,,,"), std::string::npos);
+}
+
+TEST(TaskRecordsCsvTest, OneRowPerRecord) {
+  runtime::RunReport report;
+  runtime::TaskRecord rec;
+  rec.task = 3;
+  rec.type = "partial_sum";
+  rec.level = 1;
+  rec.node = 2;
+  rec.start = 0.5;
+  rec.end = 1.5;
+  rec.stages.deserialize = 0.25;
+  report.records.push_back(rec);
+  const std::string csv = TaskRecordsCsv(report);
+  const auto lines = Split(csv, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("3,partial_sum,1,CPU,2,0.5,1.5,0.25"),
+            std::string::npos);
+}
+
+TEST(CorrelationCsvTest, SquareWithNanBlank) {
+  stats::FeatureTable table;
+  ASSERT_TRUE(table.AddNumeric("a", {1, 2, 3}).ok());
+  ASSERT_TRUE(table.AddNumeric("b", {7, 7, 7}).ok());  // constant -> NaN
+  auto matrix = table.SpearmanMatrix();
+  ASSERT_TRUE(matrix.ok());
+  const std::string csv = CorrelationCsv(*matrix);
+  const auto lines = Split(csv, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "feature,a,b");
+  EXPECT_NE(lines[1].find("a,1.000000,"), std::string::npos);
+  // NaN rendered empty.
+  EXPECT_EQ(lines[1].back(), ',');
+}
+
+TEST(WriteFileTest, RoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "tb_csv_test.csv";
+  ASSERT_TRUE(WriteFile(path.string(), "x,y\n1,2\n").ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "x,y\n1,2\n");
+  std::filesystem::remove(path);
+}
+
+TEST(WriteFileTest, BadPathFails) {
+  EXPECT_FALSE(WriteFile("/nonexistent-dir-xyz/file.csv", "x").ok());
+}
+
+}  // namespace
+}  // namespace taskbench::analysis

@@ -1,0 +1,76 @@
+#include "data/ds_array.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+
+namespace taskbench::data {
+namespace {
+
+Matrix Iota(int64_t rows, int64_t cols) {
+  Matrix m(rows, cols);
+  for (int64_t r = 0; r < rows; ++r)
+    for (int64_t c = 0; c < cols; ++c) m.At(r, c) = r * 1000.0 + c;
+  return m;
+}
+
+TEST(DsArrayTest, FromMatrixCollectRoundTrip) {
+  const Matrix original = Iota(8, 8);
+  auto array = DsArray::FromMatrix(original, 2, 4);
+  ASSERT_TRUE(array.ok());
+  EXPECT_EQ(array->grid_rows(), 4);
+  EXPECT_EQ(array->grid_cols(), 2);
+  auto collected = array->Collect();
+  ASSERT_TRUE(collected.ok());
+  EXPECT_TRUE(collected->ApproxEquals(original, 0));
+}
+
+TEST(DsArrayTest, RaggedRoundTrip) {
+  const Matrix original = Iota(10, 7);
+  auto array = DsArray::FromMatrix(original, 3, 2);
+  ASSERT_TRUE(array.ok());
+  EXPECT_EQ(array->grid_rows(), 4);
+  EXPECT_EQ(array->grid_cols(), 4);
+  // Edge blocks carry the remainder.
+  EXPECT_EQ(array->block(3, 0).rows(), 1);
+  EXPECT_EQ(array->block(0, 3).cols(), 1);
+  auto collected = array->Collect();
+  ASSERT_TRUE(collected.ok());
+  EXPECT_TRUE(collected->ApproxEquals(original, 0));
+}
+
+TEST(DsArrayTest, BlockContentsMatchSlices) {
+  const Matrix original = Iota(6, 6);
+  auto array = DsArray::FromMatrix(original, 3, 3);
+  ASSERT_TRUE(array.ok());
+  auto expected = original.Slice(3, 3, 3, 3);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(array->block(1, 1).ApproxEquals(*expected, 0));
+}
+
+TEST(DsArrayTest, GenerateInvokesFillPerBlock) {
+  auto spec = GridSpec::Create(DatasetSpec{"d", 4, 4}, 2, 2);
+  ASSERT_TRUE(spec.ok());
+  int fills = 0;
+  auto array = DsArray::Generate(*spec, [&](const BlockExtent& e, Matrix* m) {
+    ++fills;
+    EXPECT_EQ(m->rows(), e.rows);
+    EXPECT_EQ(m->cols(), e.cols);
+  });
+  ASSERT_TRUE(array.ok());
+  EXPECT_EQ(fills, 4);
+}
+
+TEST(DsArrayTest, ZerosProducesZeroBlocks) {
+  auto spec = GridSpec::Create(DatasetSpec{"d", 4, 4}, 2, 2);
+  ASSERT_TRUE(spec.ok());
+  auto array = DsArray::Zeros(*spec);
+  ASSERT_TRUE(array.ok());
+  auto collected = array->Collect();
+  ASSERT_TRUE(collected.ok());
+  EXPECT_DOUBLE_EQ(collected->Sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace taskbench::data

@@ -1,0 +1,172 @@
+#include "analysis/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/factor_space.h"
+#include "data/generators.h"
+
+namespace taskbench::analysis {
+namespace {
+
+ExperimentConfig KMeansConfig(int64_t grid_rows,
+                              Processor processor = Processor::kCpu) {
+  ExperimentConfig config;
+  config.algorithm = Algorithm::kKMeans;
+  config.dataset = data::PaperDatasets::KMeans10GB();
+  config.grid_rows = grid_rows;
+  config.grid_cols = 1;
+  config.iterations = 1;
+  config.processor = processor;
+  return config;
+}
+
+ExperimentConfig MatmulConfig(int64_t grid,
+                              Processor processor = Processor::kCpu) {
+  ExperimentConfig config;
+  config.algorithm = Algorithm::kMatmul;
+  config.dataset = data::PaperDatasets::Matmul8GB();
+  config.grid_rows = grid;
+  config.grid_cols = grid;
+  config.processor = processor;
+  return config;
+}
+
+TEST(ExperimentTest, SignedSpeedupConvention) {
+  EXPECT_NEAR(SignedSpeedup(10.0, 2.0), 5.0, 1e-12);
+  EXPECT_NEAR(SignedSpeedup(2.0, 10.0), -5.0, 1e-12);
+  EXPECT_NEAR(SignedSpeedup(3.0, 3.0), 1.0, 1e-12);
+}
+
+TEST(ExperimentTest, KMeansCpuRunProducesMetrics) {
+  auto result = RunExperiment(KMeansConfig(256));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->oom);
+  EXPECT_GT(result->parallel_task_time, 0.0);
+  EXPECT_GT(result->makespan, 0.0);
+  EXPECT_EQ(result->num_blocks, 256);
+  EXPECT_EQ(result->dag_width, 256);
+  ASSERT_TRUE(result->stages_by_type.count("partial_sum"));
+  ASSERT_TRUE(result->stages_by_type.count("merge"));
+  const auto& ps = result->stages_by_type.at("partial_sum");
+  EXPECT_GT(ps.serial_fraction, 0.0);
+  EXPECT_GT(ps.parallel_fraction, 0.0);
+  EXPECT_EQ(ps.cpu_gpu_comm, 0.0);  // CPU run
+  EXPECT_GT(ps.deserialize, 0.0);
+}
+
+TEST(ExperimentTest, KMeansGpuRunHasCommStage) {
+  auto result = RunExperiment(KMeansConfig(256, Processor::kGpu));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->oom);
+  const auto& ps = result->stages_by_type.at("partial_sum");
+  EXPECT_GT(ps.cpu_gpu_comm, 0.0);
+}
+
+TEST(ExperimentTest, KMeansSingleBlockGpuIsOom) {
+  // Figure 7b: the 10 GB dataset in one block exceeds K80 memory.
+  auto result = RunExperiment(KMeansConfig(1, Processor::kGpu));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->oom);
+  EXPECT_FALSE(result->oom_detail.empty());
+}
+
+TEST(ExperimentTest, MatmulMaxBlockGpuIsOom) {
+  // Section 5.3: 8192 MB blocks need 24 GB on device.
+  auto result = RunExperiment(MatmulConfig(1, Processor::kGpu));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->oom);
+  // The same configuration on CPU runs fine.
+  auto cpu = RunExperiment(MatmulConfig(1, Processor::kCpu));
+  ASSERT_TRUE(cpu.ok());
+  EXPECT_FALSE(cpu->oom);
+}
+
+TEST(ExperimentTest, MatmulStructuralFeatures) {
+  auto result = RunExperiment(MatmulConfig(4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_blocks, 16);
+  EXPECT_EQ(result->dag_width, 64);  // 4^3 parallel matmul_func
+  EXPECT_EQ(result->parallel_fraction, 1.0);
+  EXPECT_GT(result->complexity, 0.0);
+}
+
+TEST(ExperimentTest, KMeansParallelFractionBelowOne) {
+  auto result = RunExperiment(KMeansConfig(256));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->parallel_fraction, 0.0);
+  EXPECT_LT(result->parallel_fraction, 1.0);
+}
+
+TEST(FactorSpaceTest, PaperGridLists) {
+  EXPECT_EQ(MatmulPaperGrids().size(), 5u);
+  EXPECT_EQ(KMeansPaperGrids().size(), 9u);
+  EXPECT_EQ(KMeansPaperGrids().back().first, 256);
+}
+
+TEST(FactorSpaceTest, FullFactorialCountsMultiply) {
+  FactorLists lists;
+  lists.algorithms = {Algorithm::kMatmul};
+  lists.datasets = {data::PaperDatasets::Matmul128MB()};
+  lists.grids = {{1, 1}, {2, 2}};
+  lists.processors = {Processor::kCpu, Processor::kGpu};
+  lists.storages = {hw::StorageArchitecture::kSharedDisk,
+                    hw::StorageArchitecture::kLocalDisk};
+  lists.policies = {SchedulingPolicy::kTaskGenerationOrder};
+  const auto configs = FullFactorial(lists, ExperimentConfig());
+  EXPECT_EQ(configs.size(), 2u * 2u * 2u);
+  // Labels are unique.
+  for (size_t i = 0; i < configs.size(); ++i) {
+    for (size_t j = i + 1; j < configs.size(); ++j) {
+      EXPECT_NE(configs[i].label, configs[j].label);
+    }
+  }
+}
+
+TEST(FactorSpaceTest, CorrelationSampleCountNearPaper) {
+  // The paper uses 192 samples (Section 5.4).
+  const auto configs = CorrelationSampleConfigs();
+  EXPECT_GE(configs.size(), 180u);
+  EXPECT_LE(configs.size(), 210u);
+}
+
+TEST(FactorSpaceTest, FeatureTableFromSmallSweep) {
+  // A small but diverse sweep: both algorithms, both processors.
+  std::vector<ExperimentConfig> configs;
+  for (Processor p : {Processor::kCpu, Processor::kGpu}) {
+    for (int64_t g : {4, 16}) {
+      configs.push_back(MatmulConfig(g, p));
+      configs.push_back(KMeansConfig(g * 16, p));
+    }
+  }
+  auto table = BuildFeatureTable(configs);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), configs.size());
+  // All Figure 11 feature groups present.
+  EXPECT_TRUE(table->Column("parallel-task-exec-time").ok());
+  EXPECT_TRUE(table->Column("block-size").ok());
+  EXPECT_TRUE(table->Column("processor=CPU").ok());
+  EXPECT_TRUE(table->Column("processor=GPU").ok());
+  EXPECT_TRUE(table->Column("storage=shared-disk").ok());
+  EXPECT_TRUE(table->Column("scheduling=task-gen-order").ok());
+
+  auto matrix = table->SpearmanMatrix();
+  ASSERT_TRUE(matrix.ok());
+  // CPU and GPU one-hot columns perfectly anticorrelate (Figure 11).
+  auto rho = matrix->At("processor=CPU", "processor=GPU");
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, -1.0, 1e-12);
+}
+
+TEST(FactorSpaceTest, OomSamplesAreDropped) {
+  std::vector<ExperimentConfig> configs;
+  configs.push_back(MatmulConfig(1, Processor::kGpu));  // OOM
+  configs.push_back(MatmulConfig(4, Processor::kCpu));
+  configs.push_back(MatmulConfig(4, Processor::kGpu));
+  configs.push_back(MatmulConfig(8, Processor::kCpu));
+  auto table = BuildFeatureTable(configs);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace taskbench::analysis

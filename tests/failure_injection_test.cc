@@ -1,0 +1,144 @@
+// Failure-injection tests: storage faults and hostile inputs must
+// surface as Status errors, never crash or hang the runtime.
+
+#include <atomic>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "algos/matmul.h"
+#include "runtime/thread_pool_executor.h"
+#include "storage/block_storage.h"
+#include "storage/serializer.h"
+
+namespace taskbench::runtime {
+namespace {
+
+/// Storage wrapper that starts failing after a configurable number of
+/// successful operations, or corrupts payloads on read.
+class FaultyStorage final : public storage::BlockStorage {
+ public:
+  explicit FaultyStorage(std::shared_ptr<storage::BlockStorage> inner)
+      : inner_(std::move(inner)) {}
+
+  // mutable: Get() is const in the interface but consumes fault
+  // budget.
+  mutable std::atomic<int> ops_until_put_failure{1 << 30};
+  mutable std::atomic<int> ops_until_get_failure{1 << 30};
+  std::atomic<bool> corrupt_reads{false};
+
+  Status Put(const std::string& key, std::vector<uint8_t> bytes) override {
+    if (ops_until_put_failure.fetch_sub(1) <= 0) {
+      return Status::Internal("injected put failure");
+    }
+    return inner_->Put(key, std::move(bytes));
+  }
+
+  Result<std::vector<uint8_t>> Get(const std::string& key) const override {
+    if (ops_until_get_failure.fetch_sub(1) <= 0) {
+      return Status::Internal("injected get failure");
+    }
+    auto bytes = inner_->Get(key);
+    if (bytes.ok() && corrupt_reads.load() && !bytes->empty()) {
+      (*bytes)[bytes->size() / 2] ^= 0xff;
+    }
+    return bytes;
+  }
+
+  Status Delete(const std::string& key) override {
+    return inner_->Delete(key);
+  }
+  bool Contains(const std::string& key) const override {
+    return inner_->Contains(key);
+  }
+  size_t Size() const override { return inner_->Size(); }
+  uint64_t TotalBytes() const override { return inner_->TotalBytes(); }
+
+ private:
+  std::shared_ptr<storage::BlockStorage> inner_;
+};
+
+algos::MatmulWorkflow SmallWorkflow() {
+  auto spec = data::GridSpec::CreateFromGridDim(
+      data::DatasetSpec{"m", 32, 32}, 2, 2);
+  EXPECT_TRUE(spec.ok());
+  algos::MatmulOptions options;
+  options.materialize = true;
+  auto wf = algos::BuildMatmul(*spec, options);
+  EXPECT_TRUE(wf.ok());
+  return std::move(*wf);
+}
+
+ThreadPoolExecutorOptions StorageOptions() {
+  ThreadPoolExecutorOptions options;
+  options.num_threads = 4;
+  options.use_storage = true;
+  return options;
+}
+
+TEST(FailureInjectionTest, PutFailureSurfacesDuringStaging) {
+  auto faulty = std::make_shared<FaultyStorage>(
+      std::make_shared<storage::InMemoryStorage>());
+  faulty->ops_until_put_failure = 2;  // fail staging the third block
+  algos::MatmulWorkflow wf = SmallWorkflow();
+  ThreadPoolExecutor executor(StorageOptions(), faulty);
+  auto report = executor.Execute(wf.graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+  EXPECT_NE(report.status().message().find("injected"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, PutFailureMidRunAborts) {
+  auto faulty = std::make_shared<FaultyStorage>(
+      std::make_shared<storage::InMemoryStorage>());
+  faulty->ops_until_put_failure = 12;  // initial staging (8) + some tasks
+  algos::MatmulWorkflow wf = SmallWorkflow();
+  ThreadPoolExecutor executor(StorageOptions(), faulty);
+  auto report = executor.Execute(wf.graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+TEST(FailureInjectionTest, GetFailureMidRunAborts) {
+  auto faulty = std::make_shared<FaultyStorage>(
+      std::make_shared<storage::InMemoryStorage>());
+  faulty->ops_until_get_failure = 5;
+  algos::MatmulWorkflow wf = SmallWorkflow();
+  ThreadPoolExecutor executor(StorageOptions(), faulty);
+  auto report = executor.Execute(wf.graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+TEST(FailureInjectionTest, CorruptedBlocksDetectedByChecksum) {
+  auto faulty = std::make_shared<FaultyStorage>(
+      std::make_shared<storage::InMemoryStorage>());
+  faulty->corrupt_reads = true;
+  algos::MatmulWorkflow wf = SmallWorkflow();
+  ThreadPoolExecutor executor(StorageOptions(), faulty);
+  auto report = executor.Execute(wf.graph);
+  ASSERT_FALSE(report.ok());
+  // The serializer's CRC turns silent corruption into a loud error.
+  EXPECT_TRUE(report.status().IsInvalidArgument());
+  EXPECT_NE(report.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, RecoveryAfterTransientFault) {
+  // A fresh executor over intact storage succeeds after a failed run
+  // (no poisoned global state).
+  auto faulty = std::make_shared<FaultyStorage>(
+      std::make_shared<storage::InMemoryStorage>());
+  faulty->ops_until_get_failure = 3;
+  {
+    algos::MatmulWorkflow wf = SmallWorkflow();
+    ThreadPoolExecutor executor(StorageOptions(), faulty);
+    ASSERT_FALSE(executor.Execute(wf.graph).ok());
+  }
+  faulty->ops_until_get_failure = 1 << 30;
+  algos::MatmulWorkflow wf = SmallWorkflow();
+  ThreadPoolExecutor executor(StorageOptions(), faulty);
+  EXPECT_TRUE(executor.Execute(wf.graph).ok());
+}
+
+}  // namespace
+}  // namespace taskbench::runtime

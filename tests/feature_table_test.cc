@@ -1,0 +1,122 @@
+#include "stats/feature_table.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace taskbench::stats {
+namespace {
+
+TEST(FeatureTableTest, AddNumericTracksShape) {
+  FeatureTable table;
+  ASSERT_TRUE(table.AddNumeric("a", {1, 2, 3}).ok());
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_EQ(table.num_columns(), 1u);
+  // Mismatched length rejected.
+  EXPECT_FALSE(table.AddNumeric("b", {1, 2}).ok());
+  // Duplicate name rejected.
+  EXPECT_FALSE(table.AddNumeric("a", {4, 5, 6}).ok());
+}
+
+TEST(FeatureTableTest, ColumnLookup) {
+  FeatureTable table;
+  ASSERT_TRUE(table.AddNumeric("a", {1, 2, 3}).ok());
+  auto col = table.Column("a");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(*col, (std::vector<double>{1, 2, 3}));
+  EXPECT_FALSE(table.Column("missing").ok());
+}
+
+TEST(FeatureTableTest, OneHotEncoding) {
+  FeatureTable table;
+  ASSERT_TRUE(
+      table.AddCategorical("proc", {"CPU", "GPU", "CPU", "GPU"}).ok());
+  EXPECT_EQ(table.num_columns(), 2u);
+  auto cpu = table.Column("proc=CPU");
+  auto gpu = table.Column("proc=GPU");
+  ASSERT_TRUE(cpu.ok());
+  ASSERT_TRUE(gpu.ok());
+  EXPECT_EQ(*cpu, (std::vector<double>{1, 0, 1, 0}));
+  EXPECT_EQ(*gpu, (std::vector<double>{0, 1, 0, 1}));
+}
+
+TEST(FeatureTableTest, OneHotComplementaryColumnsAnticorrelate) {
+  // The paper's Figure 11 shows exactly -1 between CPU and GPU (and
+  // between the two storage / scheduling options).
+  FeatureTable table;
+  ASSERT_TRUE(
+      table.AddCategorical("proc", {"CPU", "GPU", "CPU", "GPU"}).ok());
+  auto matrix = table.SpearmanMatrix();
+  ASSERT_TRUE(matrix.ok());
+  auto rho = matrix->At("proc=CPU", "proc=GPU");
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, -1.0, 1e-12);
+}
+
+TEST(FeatureTableTest, DiagonalIsOne) {
+  FeatureTable table;
+  ASSERT_TRUE(table.AddNumeric("a", {1, 2, 3, 4}).ok());
+  ASSERT_TRUE(table.AddNumeric("b", {4, 3, 2, 1}).ok());
+  auto matrix = table.SpearmanMatrix();
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_NEAR(matrix->values[0][0], 1.0, 1e-12);
+  EXPECT_NEAR(matrix->values[1][1], 1.0, 1e-12);
+  EXPECT_NEAR(matrix->values[0][1], -1.0, 1e-12);
+  EXPECT_EQ(matrix->values[0][1], matrix->values[1][0]);  // symmetric
+}
+
+TEST(FeatureTableTest, DropConstantColumns) {
+  FeatureTable table;
+  ASSERT_TRUE(table.AddNumeric("varies", {1, 2, 3}).ok());
+  ASSERT_TRUE(table.AddNumeric("constant", {7, 7, 7}).ok());
+  const auto dropped = table.DropConstantColumns();
+  EXPECT_EQ(dropped, (std::vector<std::string>{"constant"}));
+  EXPECT_EQ(table.num_columns(), 1u);
+  EXPECT_TRUE(table.Column("varies").ok());
+}
+
+TEST(FeatureTableTest, MatrixNeedsTwoSamples) {
+  FeatureTable table;
+  ASSERT_TRUE(table.AddNumeric("a", {1}).ok());
+  EXPECT_FALSE(table.SpearmanMatrix().ok());
+}
+
+TEST(FeatureTableTest, AtUnknownNameFails) {
+  FeatureTable table;
+  ASSERT_TRUE(table.AddNumeric("a", {1, 2}).ok());
+  ASSERT_TRUE(table.AddNumeric("b", {2, 1}).ok());
+  auto matrix = table.SpearmanMatrix();
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_FALSE(matrix->At("a", "nope").ok());
+}
+
+TEST(FeatureTableTest, ToStringRendersAllCells) {
+  FeatureTable table;
+  ASSERT_TRUE(table.AddNumeric("alpha", {1, 2, 3}).ok());
+  ASSERT_TRUE(table.AddNumeric("beta", {3, 1, 2}).ok());
+  auto matrix = table.SpearmanMatrix();
+  ASSERT_TRUE(matrix.ok());
+  const std::string rendered = matrix->ToString();
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("1.000"), std::string::npos);
+}
+
+TEST(FeatureTableTest, PearsonAndSpearmanDifferOnNonlinear) {
+  FeatureTable table;
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.5 * i));
+  }
+  ASSERT_TRUE(table.AddNumeric("x", x).ok());
+  ASSERT_TRUE(table.AddNumeric("y", y).ok());
+  auto spearman = table.SpearmanMatrix();
+  auto pearson = table.PearsonMatrix();
+  ASSERT_TRUE(spearman.ok());
+  ASSERT_TRUE(pearson.ok());
+  EXPECT_NEAR(spearman->values[0][1], 1.0, 1e-12);
+  EXPECT_LT(pearson->values[0][1], 0.95);  // linear fit is imperfect
+}
+
+}  // namespace
+}  // namespace taskbench::stats

@@ -1,0 +1,137 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace taskbench::data {
+namespace {
+
+GridSpec SmallSpec(int64_t rows = 64, int64_t cols = 16, int64_t br = 16,
+                   int64_t bc = 16) {
+  auto spec = GridSpec::Create(DatasetSpec{"d", rows, cols}, br, bc);
+  EXPECT_TRUE(spec.ok());
+  return *spec;
+}
+
+TEST(GeneratorsTest, UniformIsDeterministicPerSeed) {
+  const GridSpec spec = SmallSpec();
+  auto a = UniformArray(spec, 42);
+  auto b = UniformArray(spec, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t bk = 0; bk < spec.grid_rows(); ++bk) {
+    EXPECT_TRUE(a->block(bk, 0).ApproxEquals(b->block(bk, 0), 0));
+  }
+  auto c = UniformArray(spec, 43);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(a->block(0, 0).ApproxEquals(c->block(0, 0), 0));
+}
+
+TEST(GeneratorsTest, UniformValuesInUnitInterval) {
+  const GridSpec spec = SmallSpec();
+  auto a = UniformArray(spec, 1);
+  ASSERT_TRUE(a.ok());
+  auto m = a->Collect();
+  ASSERT_TRUE(m.ok());
+  for (int64_t r = 0; r < m->rows(); ++r) {
+    for (int64_t c = 0; c < m->cols(); ++c) {
+      EXPECT_GE(m->At(r, c), 0.0);
+      EXPECT_LT(m->At(r, c), 1.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, BlockValuesIndependentOfPartitioning) {
+  // The same dataset cut two ways must produce the same per-block
+  // streams only when extents coincide; at minimum, the same spec
+  // regenerated twice matches block-for-block (order independence).
+  const GridSpec spec = SmallSpec(64, 16, 8, 16);
+  auto a = UniformArray(spec, 7);
+  ASSERT_TRUE(a.ok());
+  // Regenerate only the last block via Generate and compare.
+  auto b = DsArray::Generate(spec, [&](const BlockExtent& e, Matrix* m) {
+    if (e.row0 == 56) {
+      Rng rng(static_cast<uint64_t>(7) ^
+              (static_cast<uint64_t>(e.row0) << 20) ^
+              (static_cast<uint64_t>(e.col0) + 0x9e3779b9ULL));
+      FillUniform(m, &rng);
+    }
+  });
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(
+      a->block(7, 0).ApproxEquals(b->block(7, 0), 0));
+}
+
+TEST(GeneratorsTest, SkewZeroMatchesUniformStatistics) {
+  Matrix u(100, 100);
+  Matrix s(100, 100);
+  Rng r1(5), r2(5);
+  FillUniform(&u, &r1);
+  FillSkewed(&s, &r2, 0.0);
+  // skew=0 draws one extra uniform per element, so streams differ,
+  // but the distribution support is identical.
+  for (int64_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(s.data()[i], 0.0);
+    EXPECT_LT(s.data()[i], 1.0);
+  }
+}
+
+TEST(GeneratorsTest, SkewConcentratesMass) {
+  Matrix s(200, 200);
+  Rng rng(5);
+  FillSkewed(&s, &rng, 0.5);
+  // Half the elements land within +-0.01 of 4 attractor points; count
+  // elements near them.
+  const double regions[] = {0.1, 0.35, 0.6, 0.85};
+  int near = 0;
+  for (int64_t i = 0; i < s.size(); ++i) {
+    for (double c : regions) {
+      if (std::abs(s.data()[i] - c) <= 0.0101) {
+        ++near;
+        break;
+      }
+    }
+  }
+  const double fraction = static_cast<double>(near) /
+                          static_cast<double>(s.size());
+  // 50% skewed + ~8% of uniform mass falling in the bands.
+  EXPECT_GT(fraction, 0.45);
+  EXPECT_LT(fraction, 0.65);
+}
+
+TEST(GeneratorsTest, BlobsClusterAroundCenters) {
+  Matrix m(3000, 4);
+  Rng rng(9);
+  FillGaussianBlobs(&m, &rng, 3);
+  // Every sample within ~6 sigma of one of 3 centers in [-10,10]^4:
+  // values bounded.
+  for (int64_t i = 0; i < m.size(); ++i) {
+    EXPECT_LT(std::abs(m.data()[i]), 20.0);
+  }
+}
+
+TEST(GeneratorsTest, SkewedArrayDeterministic) {
+  const GridSpec spec = SmallSpec();
+  auto a = SkewedArray(spec, 42, 0.5);
+  auto b = SkewedArray(spec, 42, 0.5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->block(1, 0).ApproxEquals(b->block(1, 0), 0));
+}
+
+TEST(GeneratorsTest, BlobsArrayUsesSameCentersAcrossBlocks) {
+  const GridSpec spec = SmallSpec(64, 4, 16, 4);
+  auto a = BlobsArray(spec, 42, 2);
+  ASSERT_TRUE(a.ok());
+  // All blocks drawn from the same mixture: global mean of each
+  // feature should be similar across blocks (within a few sigma).
+  for (int64_t bk = 1; bk < spec.grid_rows(); ++bk) {
+    const double m0 = a->block(0, 0).Sum() / a->block(0, 0).size();
+    const double mk = a->block(bk, 0).Sum() / a->block(bk, 0).size();
+    EXPECT_NEAR(m0, mk, 8.0);
+  }
+}
+
+}  // namespace
+}  // namespace taskbench::data

@@ -1,0 +1,119 @@
+#include "data/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "data/generators.h"
+
+namespace taskbench::data {
+namespace {
+
+DatasetSpec Square(int64_t n) { return DatasetSpec{"square", n, n}; }
+
+TEST(GridSpecTest, PaperExamplePartitioning) {
+  // Figure 5: 8x8 dataset, 2x4 blocks -> 4x2 grid of 8 blocks.
+  auto spec = GridSpec::Create(DatasetSpec{"d", 8, 8}, 2, 4);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->grid_rows(), 4);
+  EXPECT_EQ(spec->grid_cols(), 2);
+  EXPECT_EQ(spec->num_blocks(), 8);
+  EXPECT_EQ(spec->full_block_bytes(), 2u * 4u * 8u);
+  EXPECT_EQ(spec->GridDimString(), "4x2");
+}
+
+TEST(GridSpecTest, Eq2InverseProportionality) {
+  // Section 3.5: k = i/m, l = j/n. Doubling the block dimension
+  // halves the grid dimension.
+  auto coarse = GridSpec::Create(Square(1024), 512, 512);
+  auto fine = GridSpec::Create(Square(1024), 256, 256);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_EQ(coarse->grid_rows() * 2, fine->grid_rows());
+  EXPECT_EQ(coarse->num_blocks() * 4, fine->num_blocks());
+}
+
+TEST(GridSpecTest, BlockLargerThanDatasetRejected) {
+  // The paper's constraint: block dimension cannot exceed the dataset
+  // dimension.
+  EXPECT_FALSE(GridSpec::Create(Square(64), 128, 32).ok());
+  EXPECT_FALSE(GridSpec::Create(Square(64), 32, 128).ok());
+  EXPECT_TRUE(GridSpec::Create(Square(64), 64, 64).ok());
+}
+
+TEST(GridSpecTest, RejectsNonPositive) {
+  EXPECT_FALSE(GridSpec::Create(Square(8), 0, 4).ok());
+  EXPECT_FALSE(GridSpec::Create(Square(8), 4, -1).ok());
+  EXPECT_FALSE(GridSpec::Create(DatasetSpec{"bad", 0, 8}, 1, 1).ok());
+}
+
+TEST(GridSpecTest, CreateFromGridDim) {
+  auto spec = GridSpec::CreateFromGridDim(Square(32768), 16, 16);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->block_rows(), 2048);
+  EXPECT_EQ(spec->block_cols(), 2048);
+  EXPECT_EQ(spec->num_blocks(), 256);
+  // 2048 x 2048 float64 = 32 MiB, the paper's "32 MB" Matmul block.
+  EXPECT_EQ(spec->full_block_bytes(), 32u * kMiB);
+}
+
+TEST(GridSpecTest, CreateFromGridDimRejectsOversizedGrid) {
+  EXPECT_FALSE(GridSpec::CreateFromGridDim(Square(4), 8, 1).ok());
+}
+
+TEST(GridSpecTest, RaggedEdgeExtents) {
+  // 10 rows in blocks of 4 -> 3 grid rows, last block ragged (2 rows).
+  auto spec = GridSpec::Create(DatasetSpec{"d", 10, 8}, 4, 8);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->grid_rows(), 3);
+  EXPECT_EQ(spec->ExtentAt(0, 0).rows, 4);
+  EXPECT_EQ(spec->ExtentAt(2, 0).rows, 2);
+  EXPECT_EQ(spec->ExtentAt(2, 0).row0, 8);
+}
+
+TEST(GridSpecTest, ExtentsTileTheDataset) {
+  auto spec = GridSpec::Create(DatasetSpec{"d", 100, 64}, 7, 16);
+  ASSERT_TRUE(spec.ok());
+  int64_t total_elements = 0;
+  for (int64_t bk = 0; bk < spec->grid_rows(); ++bk) {
+    for (int64_t bl = 0; bl < spec->grid_cols(); ++bl) {
+      total_elements += spec->ExtentAt(bk, bl).num_elements();
+    }
+  }
+  EXPECT_EQ(total_elements, spec->dataset().num_elements());
+}
+
+TEST(PaperDatasetsTest, SizesMatchTheirLabels) {
+  // Matmul datasets are labeled in binary units.
+  EXPECT_EQ(PaperDatasets::Matmul8GB().bytes(), 8u * kGiB);
+  EXPECT_EQ(PaperDatasets::Matmul32GB().bytes(), 32u * kGiB);
+  EXPECT_EQ(PaperDatasets::Matmul2GB().bytes(), 2u * kGiB);
+  // K-means datasets are labeled in decimal units.
+  EXPECT_EQ(PaperDatasets::KMeans10GB().bytes(), 10000000000u);
+  EXPECT_EQ(PaperDatasets::KMeans100GB().bytes(), 100000000000u);
+  EXPECT_EQ(PaperDatasets::KMeans1GB().bytes(), 1000000000u);
+  EXPECT_EQ(PaperDatasets::KMeans100MB().bytes(), 100000000u);
+  // 100-feature K-means layout.
+  EXPECT_EQ(PaperDatasets::KMeans10GB().cols, 100);
+}
+
+class PaperGridSweep
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(PaperGridSweep, KMeans10GBGridsDivideEvenly) {
+  const auto [rows, cols] = GetParam();
+  auto spec =
+      GridSpec::CreateFromGridDim(PaperDatasets::KMeans10GB(), rows, cols);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_blocks(), rows * cols);
+  // Row-wise chunking only.
+  EXPECT_EQ(spec->grid_cols(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaperGrids, PaperGridSweep,
+    ::testing::ValuesIn(std::vector<std::pair<int64_t, int64_t>>{
+        {1, 1}, {2, 1}, {4, 1}, {8, 1}, {16, 1}, {32, 1}, {64, 1}, {128, 1},
+        {256, 1}}));
+
+}  // namespace
+}  // namespace taskbench::data

@@ -1,0 +1,150 @@
+// Tests of hybrid CPU+GPU placement (SimulatedExecutorOptions::hybrid):
+// GPU-targeted tasks spill onto idle CPU cores when devices are busy
+// and fall back to CPU when their working set cannot fit the device.
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hw/cluster.h"
+#include "runtime/simulated_executor.h"
+
+namespace taskbench::runtime {
+namespace {
+
+/// `n` independent GPU-targeted tasks; each takes ~`gpu_seconds` on a
+/// device and `cpu_slowdown` times that on one CPU core (tuned via
+/// the task's GPU efficiency curve).
+TaskGraph GpuTasks(int n, double gpu_seconds, double cpu_slowdown = 2.0,
+                   uint64_t working_set = 64 * kMiB) {
+  TaskGraph graph;
+  for (int i = 0; i < n; ++i) {
+    const DataId in = graph.AddData(1024);
+    const DataId out = graph.AddData(1024);
+    TaskSpec spec;
+    spec.type = "accel";
+    spec.processor = Processor::kGpu;
+    spec.params = {{in, Dir::kIn}, {out, Dir::kOut}};
+    // CPU time = slowdown x gpu_seconds at the 16 GF/s core rate;
+    // scale the task's effective GPU throughput to match gpu_seconds.
+    spec.cost.parallel.flops = cpu_slowdown * gpu_seconds * 16e9;
+    spec.cost.gpu_curve.peak_fraction = cpu_slowdown * 16e9 / 360e9;
+    spec.cost.gpu_working_set_bytes = working_set;
+    spec.cost.input_bytes = 1024;
+    spec.cost.output_bytes = 1024;
+    EXPECT_TRUE(graph.Submit(std::move(spec)).ok());
+  }
+  return graph;
+}
+
+SimulatedExecutorOptions Hybrid(bool on) {
+  SimulatedExecutorOptions options;
+  options.hybrid = on;
+  return options;
+}
+
+TEST(HybridTest, SpillsOntoIdleCpusWhenDevicesBusy) {
+  // 2 GPUs, 8 cores. 10 one-second GPU tasks at 2x CPU slowdown:
+  // GPU-only needs 5 waves; hybrid runs 2 on GPUs and spreads the
+  // rest over cores (2 s each, all parallel) -> faster end-to-end and
+  // mixed placements.
+  const hw::ClusterSpec cluster = hw::SingleNode(8, 2);
+  TaskGraph graph = GpuTasks(10, 1.0);
+
+  auto gpu_only = SimulatedExecutor(cluster, Hybrid(false)).Execute(graph);
+  auto hybrid = SimulatedExecutor(cluster, Hybrid(true)).Execute(graph);
+  ASSERT_TRUE(gpu_only.ok());
+  ASSERT_TRUE(hybrid.ok());
+
+  int on_cpu = 0, on_gpu = 0;
+  for (const TaskRecord& rec : hybrid->records) {
+    (rec.processor == Processor::kCpu ? on_cpu : on_gpu)++;
+  }
+  EXPECT_GT(on_cpu, 0);
+  EXPECT_GT(on_gpu, 0);
+  EXPECT_LT(hybrid->makespan, gpu_only->makespan);
+  for (const TaskRecord& rec : gpu_only->records) {
+    EXPECT_EQ(rec.processor, Processor::kGpu);
+  }
+}
+
+TEST(HybridTest, DoesNotSpillSlowTasks) {
+  // 20x CPU slowdown exceeds the 4x budget: spilling would create
+  // stragglers, so hybrid keeps everything on the devices and matches
+  // GPU-only exactly.
+  const hw::ClusterSpec cluster = hw::SingleNode(8, 2);
+  TaskGraph graph = GpuTasks(10, 1.0, /*cpu_slowdown=*/20.0);
+  auto gpu_only = SimulatedExecutor(cluster, Hybrid(false)).Execute(graph);
+  auto hybrid = SimulatedExecutor(cluster, Hybrid(true)).Execute(graph);
+  ASSERT_TRUE(gpu_only.ok());
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_DOUBLE_EQ(hybrid->makespan, gpu_only->makespan);
+  for (const TaskRecord& rec : hybrid->records) {
+    EXPECT_EQ(rec.processor, Processor::kGpu);
+  }
+}
+
+TEST(HybridTest, GpuStillPreferredWhenDevicesFree) {
+  // Fewer tasks than devices: everything stays on GPU even in hybrid
+  // mode (no reason to take the 8x slower cores).
+  const hw::ClusterSpec cluster = hw::SingleNode(8, 4);
+  TaskGraph graph = GpuTasks(3, 1.0);
+  auto report = SimulatedExecutor(cluster, Hybrid(true)).Execute(graph);
+  ASSERT_TRUE(report.ok());
+  for (const TaskRecord& rec : report->records) {
+    EXPECT_EQ(rec.processor, Processor::kGpu);
+  }
+}
+
+TEST(HybridTest, OomTasksFallBackToCpuInsteadOfFailing) {
+  const hw::ClusterSpec cluster = hw::SingleNode(8, 2);
+  // A 30x slowdown would normally forbid spilling, but OOM tasks
+  // must run on CPU regardless.
+  TaskGraph graph = GpuTasks(4, 0.1, /*cpu_slowdown=*/30.0,
+                             /*working_set=*/13ULL * kGiB);
+
+  auto strict = SimulatedExecutor(cluster, Hybrid(false)).Execute(graph);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsOutOfMemory());
+
+  auto hybrid = SimulatedExecutor(cluster, Hybrid(true)).Execute(graph);
+  ASSERT_TRUE(hybrid.ok());
+  for (const TaskRecord& rec : hybrid->records) {
+    EXPECT_EQ(rec.processor, Processor::kCpu);  // nothing fit the GPU
+  }
+}
+
+TEST(HybridTest, GpulessClusterRunsGpuTasksOnCpu) {
+  const hw::ClusterSpec cluster = hw::SingleNode(8, 0);
+  TaskGraph graph = GpuTasks(4, 0.1);
+  auto strict = SimulatedExecutor(cluster, Hybrid(false)).Execute(graph);
+  EXPECT_FALSE(strict.ok());  // stalls: no GPU pool at all
+  auto hybrid = SimulatedExecutor(cluster, Hybrid(true)).Execute(graph);
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_EQ(hybrid->records.size(), 4u);
+}
+
+TEST(HybridTest, WorksWithDataLocalityScheduler) {
+  SimulatedExecutorOptions options = Hybrid(true);
+  options.policy = SchedulingPolicy::kDataLocality;
+  const hw::ClusterSpec cluster = hw::SingleNode(8, 2);
+  TaskGraph graph = GpuTasks(12, 0.5);
+  auto report = SimulatedExecutor(cluster, options).Execute(graph);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), 12u);
+}
+
+TEST(HybridTest, ImprovesMakespanOnImbalancedClusters) {
+  // Many cheap GPU tasks on the Minotauro 128:32 shape: hybrid should
+  // beat GPU-only by using the idle 96+ cores.
+  TaskGraph graph = GpuTasks(512, 0.2);
+  auto gpu_only = SimulatedExecutor(hw::MinotauroCluster(), Hybrid(false))
+                      .Execute(graph);
+  auto hybrid = SimulatedExecutor(hw::MinotauroCluster(), Hybrid(true))
+                    .Execute(graph);
+  ASSERT_TRUE(gpu_only.ok());
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_LT(hybrid->makespan, gpu_only->makespan);
+}
+
+}  // namespace
+}  // namespace taskbench::runtime

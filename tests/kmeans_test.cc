@@ -1,0 +1,220 @@
+#include "algos/kmeans.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool_executor.h"
+
+namespace taskbench::algos {
+namespace {
+
+data::GridSpec RowSpec(int64_t rows, int64_t cols, int64_t grid_rows) {
+  auto spec = data::GridSpec::CreateFromGridDim(
+      data::DatasetSpec{"x", rows, cols}, grid_rows, 1);
+  EXPECT_TRUE(spec.ok());
+  return *spec;
+}
+
+TEST(KMeansBuildTest, RejectsColumnChunking) {
+  auto spec = data::GridSpec::Create(data::DatasetSpec{"x", 64, 8}, 32, 4);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(BuildKMeans(*spec, KMeansOptions{}).ok());
+}
+
+TEST(KMeansBuildTest, RejectsBadParameters) {
+  const data::GridSpec spec = RowSpec(64, 4, 4);
+  KMeansOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(BuildKMeans(spec, options).ok());
+  options.num_clusters = 2;
+  options.iterations = 0;
+  EXPECT_FALSE(BuildKMeans(spec, options).ok());
+}
+
+TEST(KMeansBuildTest, DagIsNarrowAndDeep) {
+  // Figure 6a: one partial_sum level + merge per iteration.
+  const data::GridSpec spec = RowSpec(64, 4, 4);
+  KMeansOptions options;
+  options.iterations = 3;
+  auto wf = BuildKMeans(spec, options);
+  ASSERT_TRUE(wf.ok());
+  EXPECT_EQ(wf->graph.num_tasks(), 3 * (4 + 1));
+  EXPECT_EQ(wf->graph.MaxWidth(), 4);
+  EXPECT_EQ(wf->graph.MaxHeight(), 6);  // (partial, merge) x 3
+}
+
+TEST(KMeansBuildTest, TaskTypesAndProcessors) {
+  const data::GridSpec spec = RowSpec(64, 4, 4);
+  KMeansOptions options;
+  options.processor = Processor::kGpu;
+  options.iterations = 1;
+  auto wf = BuildKMeans(spec, options);
+  ASSERT_TRUE(wf.ok());
+  int partials = 0, merges = 0;
+  for (runtime::TaskId t = 0; t < wf->graph.num_tasks(); ++t) {
+    const auto& task = wf->graph.task(t);
+    if (task.spec.type == "partial_sum") {
+      ++partials;
+      EXPECT_EQ(task.spec.processor, Processor::kGpu);
+    } else if (task.spec.type == "merge") {
+      ++merges;
+      // The reduction always stays on CPU.
+      EXPECT_EQ(task.spec.processor, Processor::kCpu);
+    }
+  }
+  EXPECT_EQ(partials, 4);
+  EXPECT_EQ(merges, 1);
+}
+
+/// Reference (dense, single-threaded) Lloyd iteration for comparison.
+data::Matrix ReferenceLloyd(const data::Matrix& samples,
+                            data::Matrix centroids, int iterations) {
+  const int64_t k = centroids.rows();
+  const int64_t n = samples.cols();
+  for (int it = 0; it < iterations; ++it) {
+    data::Matrix sums(k, n + 1, 0.0);
+    for (int64_t r = 0; r < samples.rows(); ++r) {
+      int64_t best = 0;
+      double best_dist = 1e300;
+      for (int64_t c = 0; c < k; ++c) {
+        double dist = 0;
+        for (int64_t f = 0; f < n; ++f) {
+          const double d = samples.At(r, f) - centroids.At(c, f);
+          dist += d * d;
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      for (int64_t f = 0; f < n; ++f) sums.At(best, f) += samples.At(r, f);
+      sums.At(best, n) += 1.0;
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (sums.At(c, n) > 0) {
+        for (int64_t f = 0; f < n; ++f) {
+          centroids.At(c, f) = sums.At(c, f) / sums.At(c, n);
+        }
+      }
+    }
+  }
+  return centroids;
+}
+
+TEST(KMeansRealTest, MatchesDenseReferenceAcrossPartitionings) {
+  // The distributed result must be identical regardless of how many
+  // blocks the dataset is cut into.
+  for (int64_t grid_rows : {1, 2, 4, 8}) {
+    const data::GridSpec spec = RowSpec(256, 4, grid_rows);
+    KMeansOptions options;
+    options.materialize = true;
+    options.blobs = true;
+    options.num_clusters = 3;
+    options.iterations = 4;
+    options.seed = 11;
+    auto wf = BuildKMeans(spec, options);
+    ASSERT_TRUE(wf.ok());
+
+    // Dense reference input: collect the blocks.
+    data::Matrix samples(256, 4);
+    int64_t row = 0;
+    for (runtime::DataId block_id : wf->blocks) {
+      const auto& block = *wf->graph.data(block_id).value;
+      ASSERT_TRUE(samples.AssignSlice(row, 0, block).ok());
+      row += block.rows();
+    }
+    const data::Matrix init = *wf->graph.data(wf->centroids).value;
+
+    runtime::ThreadPoolExecutorOptions exec_options;
+    exec_options.num_threads = 4;
+    runtime::ThreadPoolExecutor executor(exec_options);
+    auto report = executor.Execute(wf->graph);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+    auto result = executor.FetchData(wf->graph, wf->centroids);
+    ASSERT_TRUE(result.ok());
+    const data::Matrix expected = ReferenceLloyd(samples, init, 4);
+    EXPECT_TRUE(result->ApproxEquals(expected, 1e-9))
+        << "grid rows " << grid_rows
+        << ", max diff " << result->MaxAbsDiff(expected);
+  }
+}
+
+TEST(KMeansRealTest, ConvergesOnBlobs) {
+  const data::GridSpec spec = RowSpec(512, 3, 4);
+  KMeansOptions options;
+  options.materialize = true;
+  options.blobs = true;
+  options.num_clusters = 3;
+  options.iterations = 10;
+  auto wf = BuildKMeans(spec, options);
+  ASSERT_TRUE(wf.ok());
+
+  runtime::ThreadPoolExecutor executor(runtime::ThreadPoolExecutorOptions{});
+  auto report = executor.Execute(wf->graph);
+  ASSERT_TRUE(report.ok());
+  auto final_centroids = executor.FetchData(wf->graph, wf->centroids);
+  ASSERT_TRUE(final_centroids.ok());
+
+  // Another two iterations barely move the centroids (converged).
+  KMeansOptions more = options;
+  more.iterations = 12;
+  auto wf2 = BuildKMeans(spec, more);
+  ASSERT_TRUE(wf2.ok());
+  runtime::ThreadPoolExecutor executor2(runtime::ThreadPoolExecutorOptions{});
+  ASSERT_TRUE(executor2.Execute(wf2->graph).ok());
+  auto more_centroids = executor2.FetchData(wf2->graph, wf2->centroids);
+  ASSERT_TRUE(more_centroids.ok());
+  EXPECT_LT(final_centroids->MaxAbsDiff(*more_centroids), 0.5);
+}
+
+TEST(KMeansRealTest, SkewedDataRunsAndDiffersFromUniform) {
+  const data::GridSpec spec = RowSpec(128, 4, 2);
+  KMeansOptions uniform;
+  uniform.materialize = true;
+  uniform.num_clusters = 2;
+  uniform.iterations = 2;
+  KMeansOptions skewed = uniform;
+  skewed.skew = 0.5;
+
+  auto wf_u = BuildKMeans(spec, uniform);
+  auto wf_s = BuildKMeans(spec, skewed);
+  ASSERT_TRUE(wf_u.ok());
+  ASSERT_TRUE(wf_s.ok());
+  EXPECT_FALSE(wf_u->graph.data(wf_u->blocks[0])
+                   .value->ApproxEquals(*wf_s->graph.data(wf_s->blocks[0])
+                                             .value, 0));
+  runtime::ThreadPoolExecutor executor(runtime::ThreadPoolExecutorOptions{});
+  EXPECT_TRUE(executor.Execute(wf_s->graph).ok());
+}
+
+TEST(KMeansCostTest, ParallelFractionScalesLinearlyWithClusters) {
+  const perf::TaskCost c10 = PartialSumCost(1000, 100, 10);
+  const perf::TaskCost c100 = PartialSumCost(1000, 100, 100);
+  EXPECT_NEAR(c100.parallel.bytes / c10.parallel.bytes, 10.0, 1e-9);
+  EXPECT_NEAR(c100.parallel.flops / c10.parallel.flops, 10.0, 1e-9);
+}
+
+TEST(KMeansCostTest, SerialFractionIndependentOfClusters) {
+  const perf::TaskCost c10 = PartialSumCost(1000, 100, 10);
+  const perf::TaskCost c1000 = PartialSumCost(1000, 100, 1000);
+  EXPECT_DOUBLE_EQ(c10.serial.bytes, c1000.serial.bytes);
+}
+
+TEST(KMeansCostTest, PartiallyParallelShape) {
+  // Partially parallel task (Figure 4b): both fractions present.
+  const perf::TaskCost cost = PartialSumCost(48828, 100, 10);
+  EXPECT_GT(cost.serial.bytes, 0.0);
+  EXPECT_GT(cost.parallel.bytes, 0.0);
+  EXPECT_GT(cost.gpu_working_set_bytes, 0u);
+}
+
+TEST(KMeansCostTest, MergeIsSerialOnly) {
+  const perf::TaskCost cost = MergeCost(256, 100, 10);
+  EXPECT_EQ(cost.parallel.flops, 0.0);
+  EXPECT_GT(cost.serial.bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace taskbench::algos

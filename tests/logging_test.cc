@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace taskbench {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, EmitsAtOrAboveThreshold) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  TB_LOG(Info) << "hidden message";
+  TB_LOG(Warning) << "visible warning";
+  TB_LOG(Error) << "visible error";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden message"), std::string::npos);
+  EXPECT_NE(out.find("visible warning"), std::string::npos);
+  EXPECT_NE(out.find("visible error"), std::string::npos);
+  EXPECT_NE(out.find("[WARN"), std::string::npos);
+}
+
+TEST(LoggingTest, IncludesFileAndLine) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  TB_LOG(Info) << "locate me";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ TB_CHECK(1 == 2) << "math broke"; }, "math broke");
+  EXPECT_DEATH({ TB_CHECK_OK(Status::Internal("bad state")); },
+               "bad state");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  ::testing::internal::CaptureStderr();
+  TB_CHECK(true) << "never shown";
+  TB_CHECK_OK(Status::OK());
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace taskbench

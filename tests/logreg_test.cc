@@ -1,0 +1,149 @@
+#include "algos/logreg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algos/kmeans.h"
+#include "data/generators.h"
+#include "perf/cost_model.h"
+#include "runtime/thread_pool_executor.h"
+
+namespace taskbench::algos {
+namespace {
+
+data::GridSpec RowSpec(int64_t rows, int64_t cols, int64_t grid_rows) {
+  auto spec = data::GridSpec::CreateFromGridDim(
+      data::DatasetSpec{"x", rows, cols}, grid_rows, 1);
+  EXPECT_TRUE(spec.ok());
+  return *spec;
+}
+
+TEST(LogRegBuildTest, DagShapeMirrorsKMeans) {
+  LogRegOptions options;
+  options.iterations = 3;
+  auto wf = BuildLogReg(RowSpec(512, 5, 4), options);
+  ASSERT_TRUE(wf.ok());
+  EXPECT_EQ(wf->graph.num_tasks(), 3 * (4 + 1));
+  EXPECT_EQ(wf->graph.MaxWidth(), 4);
+  EXPECT_EQ(wf->graph.MaxHeight(), 6);
+}
+
+TEST(LogRegBuildTest, RejectsBadInputs) {
+  EXPECT_FALSE(BuildLogReg(RowSpec(512, 1, 4), LogRegOptions{}).ok());
+  LogRegOptions zero_iters;
+  zero_iters.iterations = 0;
+  EXPECT_FALSE(BuildLogReg(RowSpec(512, 5, 4), zero_iters).ok());
+  auto col_spec =
+      data::GridSpec::Create(data::DatasetSpec{"x", 64, 8}, 32, 4);
+  ASSERT_TRUE(col_spec.ok());
+  EXPECT_FALSE(BuildLogReg(*col_spec, LogRegOptions{}).ok());
+}
+
+TEST(LogRegRealTest, LearnsSeparableData) {
+  LogRegOptions options;
+  options.materialize = true;
+  options.iterations = 60;
+  options.learning_rate = 1.0;
+  auto wf = BuildLogReg(RowSpec(2000, 5, 4), options);
+  ASSERT_TRUE(wf.ok());
+
+  runtime::ThreadPoolExecutor executor(runtime::ThreadPoolExecutorOptions{});
+  auto report = executor.Execute(wf->graph);
+  ASSERT_TRUE(report.ok());
+
+  auto weights = executor.FetchData(wf->graph, wf->weights);
+  ASSERT_TRUE(weights.ok());
+
+  // Evaluate training accuracy against the generated blocks.
+  int correct = 0, total = 0;
+  for (runtime::DataId block_id : wf->blocks) {
+    const data::Matrix& block = *wf->graph.data(block_id).value;
+    const int64_t f = block.cols() - 1;
+    for (int64_t r = 0; r < block.rows(); ++r) {
+      double z = weights->At(0, f);
+      for (int64_t j = 0; j < f; ++j) {
+        z += weights->At(0, j) * block.At(r, j);
+      }
+      const double prediction = z > 0 ? 1.0 : 0.0;
+      if (prediction == block.At(r, f)) ++correct;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(LogRegRealTest, PartitioningInvariant) {
+  // Batch gradient descent is partitioning-invariant: the same data
+  // cut into different block counts yields identical weights.
+  data::Matrix samples(600, 4);
+  Rng rng(17);
+  for (int64_t r = 0; r < 600; ++r) {
+    double z = 0;
+    for (int64_t j = 0; j < 3; ++j) {
+      samples.At(r, j) = rng.Uniform(-1, 1);
+      z += (j + 1) * samples.At(r, j);
+    }
+    samples.At(r, 3) = z > 0 ? 1.0 : 0.0;
+  }
+  data::Matrix weights_by_grid[2];
+  int idx = 0;
+  for (int64_t grid : {2, 8}) {
+    LogRegOptions options;
+    options.materialize = true;
+    options.iterations = 10;
+    options.samples_with_labels = &samples;
+    auto wf = BuildLogReg(RowSpec(600, 4, grid), options);
+    ASSERT_TRUE(wf.ok());
+    runtime::ThreadPoolExecutor executor(
+        runtime::ThreadPoolExecutorOptions{});
+    ASSERT_TRUE(executor.Execute(wf->graph).ok());
+    auto weights = executor.FetchData(wf->graph, wf->weights);
+    ASSERT_TRUE(weights.ok());
+    weights_by_grid[idx++] = *weights;
+  }
+  EXPECT_TRUE(weights_by_grid[0].ApproxEquals(weights_by_grid[1], 1e-9));
+}
+
+TEST(LogRegCostTest, IntermediateParallelFraction) {
+  // The parallel/serial ratio sits between K-means (low) and a fully
+  // parallel task (infinite) — the Section 5.5.1 spectrum point.
+  const perf::CostModel model(hw::MinotauroCluster());
+  const perf::TaskCost logreg = GradFuncCost(48828, 101);
+  const perf::TaskCost kmeans = PartialSumCost(48828, 100, 10);
+  const double logreg_ratio = model.CpuParallelFraction(logreg) /
+                              model.SerialFraction(logreg);
+  const double kmeans_ratio = model.CpuParallelFraction(kmeans) /
+                              model.SerialFraction(kmeans);
+  EXPECT_GT(logreg_ratio, kmeans_ratio);
+}
+
+TEST(LogRegCostTest, ApplyGradIsSerialOnly) {
+  const perf::TaskCost cost = ApplyGradCost(256, 101);
+  EXPECT_EQ(cost.parallel.flops, 0.0);
+  EXPECT_GT(cost.serial.bytes, 0.0);
+}
+
+TEST(LogRegCostTest, CommunicationBoundDespiteParallelism) {
+  // Gradient descent streams each block once per iteration at ~2
+  // flops/byte, so even though most of its user code parallelizes,
+  // moving the block over PCIe costs more than computing on the CPU —
+  // the GPU roughly breaks even or loses. A new point on the family
+  // spectrum: high parallel fraction does NOT imply GPU gains when
+  // arithmetic intensity is low (the add_func lesson, Section 5.2.1,
+  // now on a partially parallel algorithm).
+  const perf::CostModel model(hw::MinotauroCluster());
+  const perf::TaskCost cost = GradFuncCost(12500000 / 16, 101);
+  const double serial = model.SerialFraction(cost);
+  const double cpu = model.CpuParallelFraction(cost) + serial;
+  const double gpu = model.GpuParallelFraction(cost) + serial +
+                     model.CpuGpuComm(cost);
+  const double speedup = cpu / gpu;
+  EXPECT_GT(speedup, 0.5);
+  EXPECT_LT(speedup, 1.3);
+  // The communication stage dominates the GPU's parallel fraction.
+  EXPECT_GT(model.CpuGpuComm(cost), model.GpuParallelFraction(cost));
+}
+
+}  // namespace
+}  // namespace taskbench::algos

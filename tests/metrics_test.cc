@@ -1,0 +1,118 @@
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace taskbench::runtime {
+namespace {
+
+TaskRecord Rec(TaskId id, const std::string& type, int level, double start,
+               double end, double deser = 0, double ser = 0) {
+  TaskRecord rec;
+  rec.task = id;
+  rec.type = type;
+  rec.level = level;
+  rec.start = start;
+  rec.end = end;
+  rec.stages.deserialize = deser;
+  rec.stages.serialize = ser;
+  rec.stages.parallel_fraction = (end - start) - deser - ser;
+  return rec;
+}
+
+RunReport TwoLevelReport() {
+  RunReport report;
+  report.records.push_back(Rec(0, "a", 0, 0.0, 2.0, 0.5, 0.1));
+  report.records.push_back(Rec(1, "a", 0, 0.5, 3.0, 0.5, 0.1));
+  report.records.push_back(Rec(2, "b", 1, 3.0, 4.0, 0.2, 0.2));
+  report.makespan = 4.0;
+  return report;
+}
+
+TEST(RunReportTest, CountByType) {
+  const auto counts = TwoLevelReport().CountByType();
+  EXPECT_EQ(counts.at("a"), 2);
+  EXPECT_EQ(counts.at("b"), 1);
+}
+
+TEST(RunReportTest, MeanStagesByTypeAverages) {
+  const auto means = TwoLevelReport().MeanStagesByType();
+  EXPECT_DOUBLE_EQ(means.at("a").deserialize, 0.5);
+  EXPECT_DOUBLE_EQ(means.at("b").deserialize, 0.2);
+  // Type "a": parallel fractions are 1.4 and 1.9 -> mean 1.65.
+  EXPECT_NEAR(means.at("a").parallel_fraction, 1.65, 1e-12);
+}
+
+TEST(RunReportTest, MeanStagesOverAll) {
+  const auto mean = TwoLevelReport().MeanStages();
+  EXPECT_NEAR(mean.deserialize, (0.5 + 0.5 + 0.2) / 3, 1e-12);
+}
+
+TEST(RunReportTest, MeanStagesEmptyReport) {
+  RunReport report;
+  EXPECT_DOUBLE_EQ(report.MeanStages().total(), 0.0);
+  EXPECT_DOUBLE_EQ(report.MeanLevelTime(), 0.0);
+  EXPECT_TRUE(report.LevelStats().empty());
+}
+
+TEST(RunReportTest, LevelStatsSpanMinStartToMaxEnd) {
+  const auto stats = TwoLevelReport().LevelStats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].level, 0);
+  EXPECT_EQ(stats[0].num_tasks, 2);
+  EXPECT_DOUBLE_EQ(stats[0].duration, 3.0);  // [0.0, 3.0]
+  EXPECT_EQ(stats[1].num_tasks, 1);
+  EXPECT_DOUBLE_EQ(stats[1].duration, 1.0);
+}
+
+TEST(RunReportTest, MeanLevelTime) {
+  EXPECT_DOUBLE_EQ(TwoLevelReport().MeanLevelTime(), 2.0);  // (3+1)/2
+}
+
+TEST(RunReportTest, TotalSerializationTimes) {
+  const RunReport report = TwoLevelReport();
+  EXPECT_NEAR(report.TotalDeserializeTime(), 1.2, 1e-12);
+  EXPECT_NEAR(report.TotalSerializeTime(), 0.4, 1e-12);
+}
+
+TEST(RunReportTest, BusyTimeAndUtilization) {
+  const RunReport report = TwoLevelReport();
+  // Durations: 2.0 + 2.5 + 1.0 = 5.5 slot-seconds.
+  EXPECT_DOUBLE_EQ(report.TotalBusyTime(), 5.5);
+  // 2 slots over a 4 s makespan -> 5.5 / 8.
+  EXPECT_DOUBLE_EQ(report.SlotUtilization(2), 5.5 / 8.0);
+  EXPECT_DOUBLE_EQ(report.SlotUtilization(0), 0.0);
+}
+
+TEST(RunReportTest, BusyTimeByNode) {
+  RunReport report;
+  TaskRecord a = Rec(0, "t", 0, 0.0, 2.0);
+  a.node = 1;
+  TaskRecord b = Rec(1, "t", 0, 0.0, 3.0);
+  b.node = 1;
+  TaskRecord c = Rec(2, "t", 0, 0.0, 1.0);
+  c.node = -1;  // unplaced records count toward node 0
+  report.records = {a, b, c};
+  const auto by_node = report.BusyTimeByNode();
+  ASSERT_EQ(by_node.size(), 2u);
+  EXPECT_DOUBLE_EQ(by_node[0], 1.0);
+  EXPECT_DOUBLE_EQ(by_node[1], 5.0);
+}
+
+TEST(StageTimesTest, UserCodeExcludesDataMovement) {
+  perf::StageTimes stages;
+  stages.deserialize = 1;
+  stages.serial_fraction = 2;
+  stages.parallel_fraction = 3;
+  stages.cpu_gpu_comm = 4;
+  stages.serialize = 5;
+  EXPECT_DOUBLE_EQ(stages.user_code(), 9.0);
+  EXPECT_DOUBLE_EQ(stages.total(), 15.0);
+}
+
+TEST(TaskRecordTest, Duration) {
+  const TaskRecord rec = Rec(0, "t", 0, 1.5, 4.0);
+  EXPECT_DOUBLE_EQ(rec.duration(), 2.5);
+}
+
+}  // namespace
+}  // namespace taskbench::runtime

@@ -1,0 +1,180 @@
+#include "analysis/predictor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/factor_space.h"
+#include "data/generators.h"
+
+namespace taskbench::analysis {
+namespace {
+
+ExperimentConfig KMeans(int64_t grid, Processor proc) {
+  ExperimentConfig config;
+  config.algorithm = Algorithm::kKMeans;
+  config.dataset = data::PaperDatasets::KMeans10GB();
+  config.grid_rows = grid;
+  config.iterations = 1;
+  config.processor = proc;
+  return config;
+}
+
+/// Runs a compact training sweep (both algorithms, both processors).
+std::vector<ExperimentResult> TrainingSamples() {
+  std::vector<ExperimentResult> samples;
+  for (Processor proc : {Processor::kCpu, Processor::kGpu}) {
+    for (int64_t g : {2, 4, 8, 16}) {
+      ExperimentConfig mm;
+      mm.algorithm = Algorithm::kMatmul;
+      mm.dataset = data::PaperDatasets::Matmul8GB();
+      mm.grid_rows = mm.grid_cols = g;
+      mm.processor = proc;
+      auto r = RunExperiment(mm);
+      EXPECT_TRUE(r.ok());
+      samples.push_back(std::move(*r));
+    }
+    for (int64_t g : {8, 16, 32, 64, 128, 256}) {
+      auto r = RunExperiment(KMeans(g, proc));
+      EXPECT_TRUE(r.ok());
+      samples.push_back(std::move(*r));
+    }
+  }
+  return samples;
+}
+
+TEST(PredictorTest, NeedsEnoughSamples) {
+  std::vector<ExperimentResult> few;
+  auto r = RunExperiment(KMeans(64, Processor::kCpu));
+  ASSERT_TRUE(r.ok());
+  few.push_back(std::move(*r));
+  EXPECT_FALSE(PerformancePredictor::Train(few).ok());
+}
+
+TEST(PredictorTest, FitsTrainingSetWell) {
+  const auto samples = TrainingSamples();
+  // Small training set spanning 3 orders of magnitude: let leaves
+  // shrink to single samples for a tight in-sample fit.
+  stats::RegressionTreeOptions options;
+  options.min_samples_leaf = 1;
+  options.max_depth = 16;
+  auto predictor = PerformancePredictor::Train(samples, options);
+  ASSERT_TRUE(predictor.ok());
+  EXPECT_GE(predictor->training_size(), 18u);
+  double worst_ratio = 1.0;
+  for (const ExperimentResult& sample : samples) {
+    if (sample.oom) continue;
+    auto predicted = predictor->PredictSeconds(sample);
+    ASSERT_TRUE(predicted.ok());
+    const double ratio =
+        std::max(*predicted / sample.parallel_task_time,
+                 sample.parallel_task_time / *predicted);
+    worst_ratio = std::max(worst_ratio, ratio);
+  }
+  // With single-sample leaves the in-sample fit is essentially exact
+  // (variance-gain pruning may merge near-identical samples).
+  EXPECT_LT(worst_ratio, 1.15);
+}
+
+TEST(PredictorTest, InterpolatesUnseenGrid) {
+  const auto samples = TrainingSamples();
+  auto predictor = PerformancePredictor::Train(samples);
+  ASSERT_TRUE(predictor.ok());
+  // 48x1 was not in the training sweep.
+  auto truth = RunExperiment(KMeans(48, Processor::kCpu));
+  ASSERT_TRUE(truth.ok());
+  auto predicted = predictor->PredictSeconds(KMeans(48, Processor::kCpu));
+  ASSERT_TRUE(predicted.ok());
+  const double ratio = std::max(*predicted / truth->parallel_task_time,
+                                truth->parallel_task_time / *predicted);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(PredictorTest, RefusesOomConfigs) {
+  const auto samples = TrainingSamples();
+  auto predictor = PerformancePredictor::Train(samples);
+  ASSERT_TRUE(predictor.ok());
+  EXPECT_FALSE(predictor->PredictSeconds(KMeans(1, Processor::kGpu)).ok());
+  EXPECT_TRUE(predictor->PredictSeconds(KMeans(1, Processor::kCpu)).ok());
+}
+
+TEST(PredictorTest, PredictBestPicksReasonableConfig) {
+  const auto samples = TrainingSamples();
+  auto predictor = PerformancePredictor::Train(samples);
+  ASSERT_TRUE(predictor.ok());
+  ExperimentConfig base = KMeans(1, Processor::kCpu);
+  auto choice = predictor->PredictBest(base, KMeansPaperGrids());
+  ASSERT_TRUE(choice.ok());
+  // The chosen configuration's TRUE time must be within 50% of the
+  // exhaustively-found optimum.
+  ExperimentConfig chosen = base;
+  chosen.grid_rows = choice->grid_rows;
+  chosen.grid_cols = choice->grid_cols;
+  chosen.processor = choice->processor;
+  auto chosen_truth = RunExperiment(chosen);
+  ASSERT_TRUE(chosen_truth.ok());
+  double best_truth = 1e300;
+  for (const auto& [gr, gc] : KMeansPaperGrids()) {
+    for (Processor proc : {Processor::kCpu, Processor::kGpu}) {
+      ExperimentConfig config = base;
+      config.grid_rows = gr;
+      config.grid_cols = gc;
+      config.processor = proc;
+      auto truth = RunExperiment(config);
+      ASSERT_TRUE(truth.ok());
+      if (!truth->oom) {
+        best_truth = std::min(best_truth, truth->parallel_task_time);
+      }
+    }
+  }
+  EXPECT_LT(chosen_truth->parallel_task_time, 1.5 * best_truth);
+}
+
+TEST(PredictorTest, FeatureNamesMatchFeatureWidth) {
+  const auto samples = TrainingSamples();
+  auto predictor = PerformancePredictor::Train(samples);
+  ASSERT_TRUE(predictor.ok());
+  EXPECT_EQ(PerformancePredictor::FeatureNames().size(),
+            predictor->tree().num_features());
+  const auto importance = predictor->tree().FeatureImportance();
+  double total = 0;
+  for (double v : importance) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PredictorTest, ForestVariantWorks) {
+  const auto samples = TrainingSamples();
+  stats::RegressionForestOptions options;
+  options.num_trees = 10;
+  auto forest = PerformancePredictor::TrainForest(samples, options);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_TRUE(forest->is_forest());
+  auto predicted = forest->PredictSeconds(KMeans(48, Processor::kCpu));
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_GT(*predicted, 0.0);
+  // Feature importances come from the ensemble and normalize to 1.
+  const auto importance = forest->FeatureImportance();
+  double total = 0;
+  for (double v : importance) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Best-config selection works on the forest too.
+  auto choice = forest->PredictBest(KMeans(1, Processor::kCpu),
+                                    KMeansPaperGrids());
+  EXPECT_TRUE(choice.ok());
+}
+
+TEST(DescribeExperimentTest, FeaturesWithoutExecution) {
+  auto described = DescribeExperiment(KMeans(64, Processor::kCpu));
+  ASSERT_TRUE(described.ok());
+  EXPECT_EQ(described->num_blocks, 64);
+  EXPECT_GT(described->block_bytes, 0u);
+  EXPECT_EQ(described->parallel_task_time, 0.0);  // not executed
+  EXPECT_FALSE(described->oom);
+  // GPU single-block is flagged OOM without running.
+  auto oom = DescribeExperiment(KMeans(1, Processor::kGpu));
+  ASSERT_TRUE(oom.ok());
+  EXPECT_TRUE(oom->oom);
+}
+
+}  // namespace
+}  // namespace taskbench::analysis

@@ -1,0 +1,119 @@
+#include "stats/regression_forest.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace taskbench::stats {
+namespace {
+
+TEST(RegressionForestTest, RejectsBadOptions) {
+  RegressionForestOptions options;
+  options.num_trees = 0;
+  EXPECT_FALSE(RegressionForest::Fit({{1.0}}, {1.0}, options).ok());
+  options.num_trees = 5;
+  options.sample_fraction = 0;
+  EXPECT_FALSE(RegressionForest::Fit({{1.0}}, {1.0}, options).ok());
+  EXPECT_FALSE(RegressionForest::Fit({}, {}).ok());
+}
+
+TEST(RegressionForestTest, DeterministicPerSeed) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({rng.NextDouble(), rng.NextDouble()});
+    targets.push_back(rows.back()[0] * 3 + rows.back()[1]);
+  }
+  auto a = RegressionForest::Fit(rows, targets);
+  auto b = RegressionForest::Fit(rows, targets);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (double q = 0.05; q < 1.0; q += 0.1) {
+    auto pa = a->Predict({q, 1 - q});
+    auto pb = b->Predict({q, 1 - q});
+    ASSERT_TRUE(pa.ok());
+    ASSERT_TRUE(pb.ok());
+    EXPECT_DOUBLE_EQ(*pa, *pb);
+  }
+  // A different seed gives a (slightly) different model.
+  RegressionForestOptions other;
+  other.seed = 999;
+  auto c = RegressionForest::Fit(rows, targets, other);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (double q = 0.05; q < 1.0; q += 0.1) {
+    if (*a->Predict({q, 1 - q}) != *c->Predict({q, 1 - q})) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RegressionForestTest, SmoothsSingleTreePredictions) {
+  // Noisy linear data: the bagged mean generalizes at least as well
+  // as a single fully-grown tree on held-out points.
+  Rng rng(17);
+  std::vector<std::vector<double>> rows, test_rows;
+  std::vector<double> targets, test_targets;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.Uniform(0, 1);
+    const double y = 5 * x + rng.NextGaussian() * 0.5;
+    if (i % 3 == 0) {
+      test_rows.push_back({x});
+      test_targets.push_back(5 * x);  // noiseless truth
+    } else {
+      rows.push_back({x});
+      targets.push_back(y);
+    }
+  }
+  RegressionTreeOptions deep;
+  deep.min_samples_leaf = 1;
+  deep.max_depth = 20;
+  auto tree = RegressionTree::Fit(rows, targets, deep);
+  RegressionForestOptions foptions;
+  foptions.tree = deep;
+  foptions.num_trees = 30;
+  auto forest = RegressionForest::Fit(rows, targets, foptions);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(forest.ok());
+
+  double tree_mse = 0, forest_mse = 0;
+  for (size_t i = 0; i < test_rows.size(); ++i) {
+    const double dt = *tree->Predict(test_rows[i]) - test_targets[i];
+    const double df = *forest->Predict(test_rows[i]) - test_targets[i];
+    tree_mse += dt * dt;
+    forest_mse += df * df;
+  }
+  EXPECT_LT(forest_mse, tree_mse);
+}
+
+TEST(RegressionForestTest, ImportancesNormalized) {
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 120; ++i) {
+    rows.push_back({rng.NextDouble(), rng.NextDouble()});
+    targets.push_back(rows.back()[1] > 0.5 ? 1.0 : 0.0);
+  }
+  auto forest = RegressionForest::Fit(rows, targets);
+  ASSERT_TRUE(forest.ok());
+  const auto importance = forest->FeatureImportance();
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[1], importance[0]);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+}
+
+TEST(RegressionForestTest, SingleTreeForestMatchesShape) {
+  RegressionForestOptions options;
+  options.num_trees = 1;
+  std::vector<std::vector<double>> rows{{1}, {2}, {3}, {4}, {5}, {6}};
+  std::vector<double> targets{1, 1, 1, 9, 9, 9};
+  auto forest = RegressionForest::Fit(rows, targets, options);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(forest->num_trees(), 1u);
+  EXPECT_EQ(forest->num_features(), 1u);
+}
+
+}  // namespace
+}  // namespace taskbench::stats

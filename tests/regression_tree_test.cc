@@ -1,0 +1,161 @@
+#include "stats/regression_tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace taskbench::stats {
+namespace {
+
+double MustPredict(const RegressionTree& tree,
+                   const std::vector<double>& x) {
+  auto y = tree.Predict(x);
+  EXPECT_TRUE(y.ok());
+  return *y;
+}
+
+TEST(RegressionTreeTest, RejectsBadInput) {
+  EXPECT_FALSE(RegressionTree::Fit({}, {}).ok());
+  EXPECT_FALSE(RegressionTree::Fit({{1.0}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(RegressionTree::Fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(RegressionTree::Fit({{}, {}}, {1.0, 2.0}).ok());
+}
+
+TEST(RegressionTreeTest, ConstantTargetsGiveSingleLeaf) {
+  std::vector<std::vector<double>> rows{{1}, {2}, {3}, {4}};
+  auto tree = RegressionTree::Fit(rows, {5, 5, 5, 5});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_leaves(), 1u);
+  EXPECT_DOUBLE_EQ(MustPredict(*tree, {100}), 5.0);
+}
+
+TEST(RegressionTreeTest, LearnsStepFunction) {
+  RegressionTreeOptions options;
+  options.min_samples_leaf = 1;
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({static_cast<double>(i)});
+    targets.push_back(i < 10 ? 1.0 : 9.0);
+  }
+  auto tree = RegressionTree::Fit(rows, targets, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(MustPredict(*tree, {3}), 1.0);
+  EXPECT_DOUBLE_EQ(MustPredict(*tree, {15}), 9.0);
+  // The split lands between 9 and 10.
+  EXPECT_DOUBLE_EQ(MustPredict(*tree, {9.4}), 1.0);
+  EXPECT_DOUBLE_EQ(MustPredict(*tree, {9.6}), 9.0);
+}
+
+TEST(RegressionTreeTest, PicksInformativeFeature) {
+  // Feature 0 is noise, feature 1 decides the target.
+  Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 100; ++i) {
+    const double informative = rng.NextDouble();
+    rows.push_back({rng.NextDouble(), informative});
+    targets.push_back(informative > 0.5 ? 10.0 : 0.0);
+  }
+  auto tree = RegressionTree::Fit(rows, targets);
+  ASSERT_TRUE(tree.ok());
+  const auto importance = tree->FeatureImportance();
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[1], 0.9);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, MonotoneTransformInvariance) {
+  // Splits depend only on feature order: exponentiating a feature
+  // yields identical predictions on correspondingly transformed
+  // queries.
+  Rng rng(7);
+  std::vector<std::vector<double>> raw, transformed;
+  std::vector<double> targets;
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.Uniform(0, 10);
+    raw.push_back({x});
+    transformed.push_back({std::exp(x)});
+    targets.push_back(x * x);
+  }
+  auto t1 = RegressionTree::Fit(raw, targets);
+  auto t2 = RegressionTree::Fit(transformed, targets);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  for (double q : {1.0, 3.5, 7.2, 9.9}) {
+    EXPECT_DOUBLE_EQ(MustPredict(*t1, {q}), MustPredict(*t2, {std::exp(q)}));
+  }
+}
+
+TEST(RegressionTreeTest, RespectsDepthAndLeafLimits) {
+  RegressionTreeOptions options;
+  options.max_depth = 2;
+  options.min_samples_leaf = 5;
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({rng.NextDouble(), rng.NextDouble()});
+    targets.push_back(rng.NextDouble());
+  }
+  auto tree = RegressionTree::Fit(rows, targets, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->depth(), 2);
+  EXPECT_LE(tree->num_leaves(), 4u);
+}
+
+TEST(RegressionTreeTest, DeterministicFits) {
+  Rng rng(11);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 80; ++i) {
+    rows.push_back({rng.NextDouble(), rng.NextDouble(), rng.NextDouble()});
+    targets.push_back(rows.back()[0] + 2 * rows.back()[2]);
+  }
+  auto a = RegressionTree::Fit(rows, targets);
+  auto b = RegressionTree::Fit(rows, targets);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_nodes(), b->num_nodes());
+  Rng probe(13);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> x{probe.NextDouble(), probe.NextDouble(),
+                          probe.NextDouble()};
+    EXPECT_DOUBLE_EQ(MustPredict(*a, x), MustPredict(*b, x));
+  }
+}
+
+TEST(RegressionTreeTest, FitsSmoothFunctionReasonably) {
+  Rng rng(23);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0, 1);
+    rows.push_back({x});
+    targets.push_back(std::sin(2 * M_PI * x));
+  }
+  RegressionTreeOptions options;
+  options.max_depth = 8;
+  options.min_samples_leaf = 5;
+  auto tree = RegressionTree::Fit(rows, targets, options);
+  ASSERT_TRUE(tree.ok());
+  double total_abs_err = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i / 100.0;
+    total_abs_err += std::fabs(MustPredict(*tree, {x}) -
+                               std::sin(2 * M_PI * x));
+  }
+  EXPECT_LT(total_abs_err / 100.0, 0.1);
+}
+
+TEST(RegressionTreeTest, PredictValidatesWidth) {
+  auto tree = RegressionTree::Fit({{1, 2}, {3, 4}}, {1, 2});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree->Predict({1}).ok());
+  EXPECT_TRUE(tree->Predict({1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace taskbench::stats

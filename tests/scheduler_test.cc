@@ -1,0 +1,166 @@
+#include "runtime/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace taskbench::runtime {
+namespace {
+
+/// Builds a graph with `n` independent CPU tasks reading one block
+/// each; block i lives on a configurable node.
+struct Fixture {
+  TaskGraph graph;
+  std::vector<TaskId> ready;
+  std::vector<int> free_cpu;
+  std::vector<int> free_gpu;
+  std::vector<int> data_home;
+
+  explicit Fixture(int num_tasks, int num_nodes,
+                   Processor processor = Processor::kCpu) {
+    for (int i = 0; i < num_tasks; ++i) {
+      const DataId in = graph.AddData(1024);
+      const DataId out = graph.AddData(1024);
+      TaskSpec spec;
+      spec.type = "t";
+      spec.processor = processor;
+      spec.params = {{in, Dir::kIn}, {out, Dir::kOut}};
+      auto id = graph.Submit(spec);
+      EXPECT_TRUE(id.ok());
+      ready.push_back(*id);
+    }
+    free_cpu.assign(static_cast<size_t>(num_nodes), 1);
+    free_gpu.assign(static_cast<size_t>(num_nodes), 1);
+    data_home.assign(static_cast<size_t>(graph.num_data()), -1);
+  }
+
+  SchedulerView View() const {
+    SchedulerView view;
+    view.graph = &graph;
+    view.ready = &ready;
+    view.free_cpu_slots = &free_cpu;
+    view.free_gpu_slots = &free_gpu;
+    view.data_home = &data_home;
+    return view;
+  }
+};
+
+TEST(SchedulerTest, FactoryReturnsMatchingPolicy) {
+  EXPECT_EQ(MakeScheduler(SchedulingPolicy::kTaskGenerationOrder)->name(),
+            "task-gen-order");
+  EXPECT_EQ(MakeScheduler(SchedulingPolicy::kDataLocality)->name(),
+            "data-locality");
+}
+
+TEST(SchedulerTest, LocalityCostsMorePerDecision) {
+  TaskGenerationOrderScheduler gen;
+  DataLocalityScheduler locality;
+  for (auto storage : {hw::StorageArchitecture::kLocalDisk,
+                       hw::StorageArchitecture::kSharedDisk}) {
+    EXPECT_GT(locality.DecisionOverhead(storage),
+              gen.DecisionOverhead(storage));
+  }
+  // Location lookups against the shared filesystem cost more than
+  // the master's in-memory registry of node-local data.
+  EXPECT_GT(locality.DecisionOverhead(hw::StorageArchitecture::kSharedDisk),
+            locality.DecisionOverhead(hw::StorageArchitecture::kLocalDisk));
+  // Generation-order dispatch never consults locations.
+  EXPECT_EQ(gen.DecisionOverhead(hw::StorageArchitecture::kSharedDisk),
+            gen.DecisionOverhead(hw::StorageArchitecture::kLocalDisk));
+}
+
+TEST(TaskGenOrderTest, PicksFirstReadyTaskFirstFreeNode) {
+  Fixture fx(3, 2);
+  TaskGenerationOrderScheduler scheduler;
+  const auto a = scheduler.Decide(fx.View());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->task, fx.ready[0]);
+  EXPECT_EQ(a->node, 0);
+}
+
+TEST(TaskGenOrderTest, SkipsFullNodes) {
+  Fixture fx(1, 3);
+  fx.free_cpu = {0, 0, 1};
+  TaskGenerationOrderScheduler scheduler;
+  const auto a = scheduler.Decide(fx.View());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->node, 2);
+}
+
+TEST(TaskGenOrderTest, ReturnsNulloptWhenSaturated) {
+  Fixture fx(2, 2);
+  fx.free_cpu = {0, 0};
+  TaskGenerationOrderScheduler scheduler;
+  EXPECT_FALSE(scheduler.Decide(fx.View()).has_value());
+}
+
+TEST(TaskGenOrderTest, UsesGpuSlotsForGpuTasks) {
+  Fixture fx(1, 2, Processor::kGpu);
+  fx.free_cpu = {0, 0};  // no CPU slots needed
+  fx.free_gpu = {0, 1};
+  TaskGenerationOrderScheduler scheduler;
+  const auto a = scheduler.Decide(fx.View());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->node, 1);
+}
+
+TEST(DataLocalityTest, PrefersNodeHoldingInputBytes) {
+  Fixture fx(1, 3);
+  // The task's input datum (id 0) lives on node 2.
+  fx.data_home[0] = 2;
+  DataLocalityScheduler scheduler;
+  const auto a = scheduler.Decide(fx.View());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->node, 2);
+}
+
+TEST(DataLocalityTest, FallsBackWhenPreferredNodeBusy) {
+  Fixture fx(1, 3);
+  fx.data_home[0] = 2;
+  fx.free_cpu = {1, 1, 0};  // preferred node full
+  DataLocalityScheduler scheduler;
+  const auto a = scheduler.Decide(fx.View());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_NE(a->node, 2);
+}
+
+TEST(DataLocalityTest, WeighsBytesNotCounts) {
+  // Task reads a small datum on node 0 and a large one on node 1.
+  TaskGraph graph;
+  const DataId small = graph.AddData(10);
+  const DataId large = graph.AddData(1000000);
+  const DataId out = graph.AddData(10);
+  TaskSpec spec;
+  spec.type = "t";
+  spec.params = {{small, Dir::kIn}, {large, Dir::kIn}, {out, Dir::kOut}};
+  auto id = graph.Submit(spec);
+  ASSERT_TRUE(id.ok());
+
+  std::vector<TaskId> ready{*id};
+  std::vector<int> free_cpu{1, 1};
+  std::vector<int> free_gpu{0, 0};
+  std::vector<int> data_home{0, 1, -1};
+  SchedulerView view;
+  view.graph = &graph;
+  view.ready = &ready;
+  view.free_cpu_slots = &free_cpu;
+  view.free_gpu_slots = &free_gpu;
+  view.data_home = &data_home;
+
+  DataLocalityScheduler scheduler;
+  const auto a = scheduler.Decide(view);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->node, 1);
+}
+
+TEST(DataLocalityTest, DeterministicAcrossCalls) {
+  Fixture fx(4, 2);
+  DataLocalityScheduler scheduler;
+  const auto a = scheduler.Decide(fx.View());
+  const auto b = scheduler.Decide(fx.View());
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->task, b->task);
+  EXPECT_EQ(a->node, b->node);
+}
+
+}  // namespace
+}  // namespace taskbench::runtime

@@ -1,0 +1,103 @@
+#include "storage/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+
+namespace taskbench::storage {
+namespace {
+
+data::Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  data::Matrix m(rows, cols);
+  Rng rng(seed);
+  data::FillUniform(&m, &rng);
+  return m;
+}
+
+TEST(SerializerTest, RoundTripPreservesContents) {
+  const data::Matrix original = RandomMatrix(13, 7, 3);
+  std::vector<uint8_t> bytes;
+  Serializer::Serialize(original, &bytes);
+  EXPECT_EQ(bytes.size(), Serializer::SerializedSize(original));
+  auto restored = Serializer::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->ApproxEquals(original, 0));
+}
+
+TEST(SerializerTest, EmptyMatrixRoundTrip) {
+  const data::Matrix original;
+  std::vector<uint8_t> bytes;
+  Serializer::Serialize(original, &bytes);
+  auto restored = Serializer::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->rows(), 0);
+  EXPECT_EQ(restored->cols(), 0);
+}
+
+TEST(SerializerTest, DetectsTruncation) {
+  const data::Matrix original = RandomMatrix(4, 4, 1);
+  std::vector<uint8_t> bytes;
+  Serializer::Serialize(original, &bytes);
+  bytes.resize(bytes.size() - 8);
+  EXPECT_FALSE(Serializer::Deserialize(bytes).ok());
+  bytes.resize(5);
+  EXPECT_FALSE(Serializer::Deserialize(bytes).ok());
+}
+
+TEST(SerializerTest, DetectsCorruptedPayload) {
+  const data::Matrix original = RandomMatrix(4, 4, 1);
+  std::vector<uint8_t> bytes;
+  Serializer::Serialize(original, &bytes);
+  bytes.back() ^= 0xff;  // flip payload bits
+  const auto result = Serializer::Deserialize(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(SerializerTest, DetectsBadMagic) {
+  const data::Matrix original = RandomMatrix(2, 2, 1);
+  std::vector<uint8_t> bytes;
+  Serializer::Serialize(original, &bytes);
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(Serializer::Deserialize(bytes).ok());
+}
+
+TEST(SerializerTest, Crc32KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (IEEE check value).
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Serializer::Crc32(data, sizeof(data)), 0xCBF43926u);
+}
+
+TEST(SerializerTest, AppendsToExistingBuffer) {
+  const data::Matrix a = RandomMatrix(2, 3, 1);
+  const data::Matrix b = RandomMatrix(3, 2, 2);
+  std::vector<uint8_t> bytes;
+  Serializer::Serialize(a, &bytes);
+  const size_t a_size = bytes.size();
+  Serializer::Serialize(b, &bytes);
+  EXPECT_EQ(bytes.size(), a_size + Serializer::SerializedSize(b));
+  // First record still parses when isolated.
+  std::vector<uint8_t> first(bytes.begin(), bytes.begin() + a_size);
+  auto restored = Serializer::Deserialize(first);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->ApproxEquals(a, 0));
+}
+
+class SerializerSizeSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SerializerSizeSweep, RoundTripAcrossSizes) {
+  const int64_t n = GetParam();
+  const data::Matrix original = RandomMatrix(n, n, 7);
+  std::vector<uint8_t> bytes;
+  Serializer::Serialize(original, &bytes);
+  auto restored = Serializer::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->ApproxEquals(original, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerializerSizeSweep,
+                         ::testing::Values(1, 2, 3, 8, 17, 64, 129));
+
+}  // namespace
+}  // namespace taskbench::storage

@@ -1,0 +1,89 @@
+#include "sim/server_pool.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace taskbench::sim {
+namespace {
+
+TEST(ServerPoolTest, GrantsFreeServerImmediately) {
+  Simulator sim;
+  ServerPool pool(&sim, 2, "cores");
+  int granted = -1;
+  pool.Acquire([&](int server) { granted = server; });
+  sim.Run();
+  EXPECT_EQ(granted, 0);
+  EXPECT_EQ(pool.num_busy(), 1);
+  EXPECT_EQ(pool.num_free(), 1);
+}
+
+TEST(ServerPoolTest, QueuesWhenFull) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, "gpu");
+  std::vector<int> grants;
+  pool.Acquire([&](int s) { grants.push_back(s); });
+  pool.Acquire([&](int s) { grants.push_back(s); });
+  sim.Run();
+  EXPECT_EQ(grants.size(), 1u);
+  EXPECT_EQ(pool.queue_length(), 1u);
+
+  pool.Release(0);
+  sim.Run();
+  EXPECT_EQ(grants.size(), 2u);
+  EXPECT_EQ(pool.queue_length(), 0u);
+}
+
+TEST(ServerPoolTest, FifoGrantOrder) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, "gpu");
+  std::vector<int> order;
+  pool.Acquire([&](int) { order.push_back(0); });
+  for (int i = 1; i <= 3; ++i) {
+    pool.Acquire([&, i](int) { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 3; ++i) {
+    pool.Release(0);
+    sim.Run();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ServerPoolTest, TracksBusyTime) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, "core");
+  pool.Acquire([&](int server) {
+    sim.After(5.0, [&pool, server] { pool.Release(server); });
+  });
+  sim.Run();
+  EXPECT_NEAR(pool.total_busy_time(), 5.0, 1e-9);
+}
+
+TEST(ServerPoolDeathTest, DoubleReleaseAborts) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, "core");
+  pool.Acquire([](int) {});
+  sim.Run();
+  pool.Release(0);
+  EXPECT_DEATH(pool.Release(0), "double release");
+}
+
+TEST(ServerPoolTest, AllServersUsable) {
+  Simulator sim;
+  ServerPool pool(&sim, 4, "cores");
+  std::vector<int> grants;
+  for (int i = 0; i < 4; ++i) {
+    pool.Acquire([&](int s) { grants.push_back(s); });
+  }
+  sim.Run();
+  ASSERT_EQ(grants.size(), 4u);
+  EXPECT_EQ(pool.num_free(), 0);
+  // Distinct servers granted.
+  std::sort(grants.begin(), grants.end());
+  EXPECT_EQ(grants, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace taskbench::sim

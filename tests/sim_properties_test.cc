@@ -1,0 +1,166 @@
+// Property-based tests of the simulated executor: invariants that
+// must hold for ANY workflow, checked over randomized DAGs.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hw/cluster.h"
+#include "perf/cost_model.h"
+#include "runtime/simulated_executor.h"
+
+namespace taskbench::runtime {
+namespace {
+
+/// Builds a random layered DAG: `layers` levels of up to `width`
+/// tasks, each task reading 1-3 data produced by earlier layers (or
+/// initial data) and writing one output. Costs are random but
+/// deterministic per seed.
+TaskGraph RandomDag(uint64_t seed, int layers = 4, int width = 12) {
+  Rng rng(seed);
+  TaskGraph graph;
+  std::vector<DataId> producible;
+  for (int i = 0; i < 6; ++i) {
+    producible.push_back(
+        graph.AddData(1 + rng.NextBounded(50'000'000)));
+  }
+  for (int layer = 0; layer < layers; ++layer) {
+    const int tasks = 1 + static_cast<int>(rng.NextBounded(
+                              static_cast<uint64_t>(width)));
+    std::vector<DataId> outputs;
+    for (int t = 0; t < tasks; ++t) {
+      TaskSpec spec;
+      spec.type = "t" + std::to_string(layer);
+      const int inputs = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int i = 0; i < inputs; ++i) {
+        spec.params.push_back(
+            {producible[rng.NextBounded(producible.size())], Dir::kIn});
+      }
+      const DataId out = graph.AddData(1 + rng.NextBounded(20'000'000));
+      spec.params.push_back({out, Dir::kOut});
+      spec.cost.parallel.flops = 1e8 + rng.NextDouble() * 5e9;
+      spec.cost.serial.bytes = rng.NextDouble() * 1e8;
+      spec.cost.input_bytes = 1'000'000;
+      spec.cost.output_bytes = 1'000'000;
+      EXPECT_TRUE(graph.Submit(std::move(spec)).ok());
+      outputs.push_back(out);
+    }
+    for (DataId out : outputs) producible.push_back(out);
+  }
+  EXPECT_GT(graph.num_tasks(), 0);
+  return graph;
+}
+
+class SimPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimPropertyTest, RecordsAreWellFormed) {
+  TaskGraph graph = RandomDag(GetParam());
+  SimulatedExecutor executor(hw::MinotauroCluster(),
+                             SimulatedExecutorOptions{});
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(static_cast<int64_t>(report->records.size()),
+            graph.num_tasks());
+  for (const TaskRecord& rec : report->records) {
+    EXPECT_GE(rec.start, 0.0);
+    EXPECT_GE(rec.end, rec.start);
+    EXPECT_GE(rec.node, 0);
+    EXPECT_LT(rec.node, 8);
+    // Stage times fit inside the record span (allowing float slack).
+    EXPECT_LE(rec.stages.total(), rec.duration() + 1e-6);
+    EXPECT_LE(rec.end, report->makespan + 1e-12);
+  }
+}
+
+TEST_P(SimPropertyTest, DependenciesNeverOverlap) {
+  TaskGraph graph = RandomDag(GetParam());
+  SimulatedExecutor executor(hw::MinotauroCluster(),
+                             SimulatedExecutorOptions{});
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok());
+  for (const TaskRecord& rec : report->records) {
+    for (TaskId dep : graph.task(rec.task).deps) {
+      EXPECT_GE(rec.start,
+                report->records[static_cast<size_t>(dep)].end - 1e-9)
+          << "task " << rec.task << " started before dep " << dep;
+    }
+  }
+}
+
+TEST_P(SimPropertyTest, MakespanAtLeastCriticalComputePath) {
+  TaskGraph graph = RandomDag(GetParam());
+  const perf::CostModel model(hw::MinotauroCluster());
+  // Longest dependency chain of pure compute time is a lower bound
+  // (I/O and queueing only add).
+  std::vector<double> path(static_cast<size_t>(graph.num_tasks()), 0);
+  double critical = 0;
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const auto& task = graph.task(t);
+    const double compute = model.SerialFraction(task.spec.cost) +
+                           model.CpuParallelFraction(task.spec.cost);
+    double longest_dep = 0;
+    for (TaskId dep : task.deps) {
+      longest_dep =
+          std::max(longest_dep, path[static_cast<size_t>(dep)]);
+    }
+    path[static_cast<size_t>(t)] = longest_dep + compute;
+    critical = std::max(critical, path[static_cast<size_t>(t)]);
+  }
+  SimulatedExecutor executor(hw::MinotauroCluster(),
+                             SimulatedExecutorOptions{});
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->makespan, critical - 1e-9);
+}
+
+TEST_P(SimPropertyTest, MakespanAtLeastTotalWorkOverSlots) {
+  TaskGraph graph = RandomDag(GetParam());
+  const hw::ClusterSpec cluster = hw::MinotauroCluster();
+  const perf::CostModel model(cluster);
+  double total_compute = 0;
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    total_compute += model.SerialFraction(graph.task(t).spec.cost) +
+                     model.CpuParallelFraction(graph.task(t).spec.cost);
+  }
+  SimulatedExecutor executor(cluster, SimulatedExecutorOptions{});
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->makespan,
+            total_compute / cluster.total_cores() - 1e-9);
+}
+
+TEST_P(SimPropertyTest, PoliciesExecuteSameTasksDifferentTimes) {
+  TaskGraph graph = RandomDag(GetParam());
+  SimulatedExecutorOptions gen;
+  gen.policy = SchedulingPolicy::kTaskGenerationOrder;
+  SimulatedExecutorOptions loc;
+  loc.policy = SchedulingPolicy::kDataLocality;
+  auto a = SimulatedExecutor(hw::MinotauroCluster(), gen).Execute(graph);
+  auto b = SimulatedExecutor(hw::MinotauroCluster(), loc).Execute(graph);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->records.size(), b->records.size());
+  // Both executed every task exactly once.
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    EXPECT_EQ(a->records[static_cast<size_t>(t)].task, t);
+    EXPECT_EQ(b->records[static_cast<size_t>(t)].task, t);
+  }
+}
+
+TEST_P(SimPropertyTest, StorageArchitecturesBothComplete) {
+  TaskGraph graph = RandomDag(GetParam());
+  for (auto storage : {hw::StorageArchitecture::kLocalDisk,
+                       hw::StorageArchitecture::kSharedDisk}) {
+    SimulatedExecutorOptions options;
+    options.storage = storage;
+    auto report =
+        SimulatedExecutor(hw::MinotauroCluster(), options).Execute(graph);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report->makespan, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, SimPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace taskbench::runtime

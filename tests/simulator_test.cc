@@ -1,0 +1,102 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace taskbench::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(3.0, [&] { order.push_back(3); });
+  sim.At(1.0, [&] { order.push_back(1); });
+  sim.At(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesFireInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.At(5.0, [&] {
+    sim.After(2.5, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 100) sim.After(1.0, chain);
+  };
+  sim.After(1.0, chain);
+  sim.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.Now(), 100.0);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(SimulatorTest, StopHaltsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(1.0, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.At(2.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilRespectsDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(1.0, [&] { ++fired; });
+  sim.At(5.0, [&] { ++fired; });
+  sim.RunUntil(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ZeroDelayEventRunsAtSameTime) {
+  Simulator sim;
+  double t = -1;
+  sim.At(4.0, [&] { sim.After(0, [&] { t = sim.Now(); }); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(t, 4.0);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.At(5.0, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.At(1.0, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace taskbench::sim

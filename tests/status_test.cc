@@ -1,0 +1,98 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace taskbench {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad block size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad block size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad block size");
+}
+
+TEST(StatusTest, OutOfMemoryPredicate) {
+  EXPECT_TRUE(Status::OutOfMemory("gpu full").IsOutOfMemory());
+  EXPECT_FALSE(Status::Internal("x").IsOutOfMemory());
+}
+
+TEST(StatusTest, NotFoundPredicate) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::OK().IsNotFound());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_FALSE(Status::Internal("a") == Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::NotFound("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfMemory), "OutOfMemory");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    TB_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto produce = []() -> Result<int> { return 5; };
+  auto consume = [&]() -> Result<int> {
+    TB_ASSIGN_OR_RETURN(const int v, produce());
+    return v * 2;
+  };
+  ASSERT_TRUE(consume().ok());
+  EXPECT_EQ(*consume(), 10);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto produce = []() -> Result<int> { return Status::Internal("bad"); };
+  auto consume = [&]() -> Result<int> {
+    TB_ASSIGN_OR_RETURN(const int v, produce());
+    return v;
+  };
+  EXPECT_FALSE(consume().ok());
+  EXPECT_EQ(consume().status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r = std::string("payload");
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace taskbench

@@ -1,0 +1,67 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace taskbench {
+namespace {
+
+TEST(StringsTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrFormat("%s", "hello"), "hello");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrFormatLongOutput) {
+  const std::string big(500, 'a');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(32 * kMiB), "32.0 MB");
+  EXPECT_EQ(HumanBytes(12ULL * kGiB), "12.0 GB");
+}
+
+TEST(StringsTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(2.5), "2.500 s");
+  EXPECT_EQ(HumanSeconds(0.012), "12.000 ms");
+  EXPECT_EQ(HumanSeconds(34e-6), "34.000 us");
+  EXPECT_EQ(HumanSeconds(5e-9), "5.0 ns");
+  EXPECT_EQ(HumanSeconds(-0.5), "-500.000 ms");
+}
+
+TEST(StringsTest, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> parts{"a", "bb", "ccc"};
+  EXPECT_EQ(Join(parts, ","), "a,bb,ccc");
+  EXPECT_EQ(Split("a,bb,ccc", ','), parts);
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = Split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, JoinEmpty) {
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, Padding) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");  // wider than field: unchanged
+}
+
+TEST(UnitsTest, ElementConversions) {
+  EXPECT_EQ(ElementsToBytes(1024), 8192u);
+  EXPECT_EQ(BytesToElements(8192), 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+}
+
+}  // namespace
+}  // namespace taskbench

@@ -1,0 +1,197 @@
+#include "runtime/task_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace taskbench::runtime {
+namespace {
+
+TaskSpec Reader(DataId in, DataId out, const std::string& type = "t") {
+  TaskSpec spec;
+  spec.type = type;
+  spec.params = {{in, Dir::kIn}, {out, Dir::kOut}};
+  return spec;
+}
+
+TEST(TaskGraphTest, RegistersData) {
+  TaskGraph graph;
+  const DataId d0 = graph.AddData(1024, "block");
+  const DataId d1 = graph.AddData(2048);
+  EXPECT_EQ(d0, 0);
+  EXPECT_EQ(d1, 1);
+  EXPECT_EQ(graph.num_data(), 2);
+  EXPECT_EQ(graph.data(d0).bytes, 1024u);
+  EXPECT_EQ(graph.data(d0).name, "block");
+  EXPECT_EQ(graph.data(d1).name, "d1");
+}
+
+TEST(TaskGraphTest, MaterializedDataCarriesValueAndBytes) {
+  TaskGraph graph;
+  const DataId d = graph.AddData(data::Matrix(4, 4, 1.0), "m");
+  EXPECT_TRUE(graph.data(d).value.has_value());
+  EXPECT_EQ(graph.data(d).bytes, 128u);
+}
+
+TEST(TaskGraphTest, RejectsEmptyParamsAndUnknownData) {
+  TaskGraph graph;
+  TaskSpec empty;
+  empty.type = "empty";
+  EXPECT_FALSE(graph.Submit(empty).ok());
+
+  TaskSpec bad;
+  bad.type = "bad";
+  bad.params = {{99, Dir::kIn}};
+  EXPECT_FALSE(graph.Submit(bad).ok());
+}
+
+TEST(TaskGraphTest, ReadAfterWriteDependency) {
+  TaskGraph graph;
+  const DataId in = graph.AddData(8);
+  const DataId mid = graph.AddData(8);
+  const DataId out = graph.AddData(8);
+  auto t0 = graph.Submit(Reader(in, mid));
+  auto t1 = graph.Submit(Reader(mid, out));
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  EXPECT_TRUE(graph.task(*t0).deps.empty());
+  ASSERT_EQ(graph.task(*t1).deps.size(), 1u);
+  EXPECT_EQ(graph.task(*t1).deps[0], *t0);
+  EXPECT_EQ(graph.task(*t0).successors,
+            (std::vector<TaskId>{*t1}));
+}
+
+TEST(TaskGraphTest, IndependentReadersRunInParallel) {
+  TaskGraph graph;
+  const DataId in = graph.AddData(8);
+  const DataId o1 = graph.AddData(8);
+  const DataId o2 = graph.AddData(8);
+  auto t0 = graph.Submit(Reader(in, o1));
+  auto t1 = graph.Submit(Reader(in, o2));
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  EXPECT_TRUE(graph.task(*t1).deps.empty());  // two readers: no dep
+  EXPECT_EQ(graph.MaxWidth(), 2);
+  EXPECT_EQ(graph.MaxHeight(), 1);
+}
+
+TEST(TaskGraphTest, WriteAfterReadAntiDependency) {
+  TaskGraph graph;
+  const DataId shared = graph.AddData(8);
+  const DataId out = graph.AddData(8);
+  auto reader = graph.Submit(Reader(shared, out));
+  TaskSpec writer;
+  writer.type = "writer";
+  writer.params = {{shared, Dir::kOut}};
+  auto w = graph.Submit(writer);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(graph.task(*w).deps.size(), 1u);
+  EXPECT_EQ(graph.task(*w).deps[0], *reader);
+}
+
+TEST(TaskGraphTest, WriteAfterWriteDependency) {
+  TaskGraph graph;
+  const DataId d = graph.AddData(8);
+  TaskSpec writer;
+  writer.type = "writer";
+  writer.params = {{d, Dir::kOut}};
+  auto w0 = graph.Submit(writer);
+  auto w1 = graph.Submit(writer);
+  ASSERT_TRUE(w0.ok());
+  ASSERT_TRUE(w1.ok());
+  ASSERT_EQ(graph.task(*w1).deps.size(), 1u);
+  EXPECT_EQ(graph.task(*w1).deps[0], *w0);
+  EXPECT_EQ(graph.data(d).version, 2);
+}
+
+TEST(TaskGraphTest, InOutChainsIterations) {
+  // The K-means pattern: readers of a datum, then an INOUT updater,
+  // then next iteration's readers depend on the updater.
+  TaskGraph graph;
+  const DataId centroids = graph.AddData(8);
+  const DataId block = graph.AddData(8);
+  const DataId p0 = graph.AddData(8);
+
+  TaskSpec read1;
+  read1.type = "partial";
+  read1.params = {{block, Dir::kIn}, {centroids, Dir::kIn}, {p0, Dir::kOut}};
+  auto r1 = graph.Submit(read1);
+
+  TaskSpec update;
+  update.type = "merge";
+  update.params = {{p0, Dir::kIn}, {centroids, Dir::kInOut}};
+  auto u = graph.Submit(update);
+
+  const DataId p1 = graph.AddData(8);
+  TaskSpec read2;
+  read2.type = "partial";
+  read2.params = {{block, Dir::kIn}, {centroids, Dir::kIn}, {p1, Dir::kOut}};
+  auto r2 = graph.Submit(read2);
+
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(r2.ok());
+  // merge depends on the partial both through p0 (RAW) and through
+  // centroids (WAR).
+  ASSERT_EQ(graph.task(*u).deps.size(), 1u);
+  EXPECT_EQ(graph.task(*u).deps[0], *r1);
+  // Second-iteration reader depends on merge (RAW on centroids).
+  ASSERT_EQ(graph.task(*r2).deps.size(), 1u);
+  EXPECT_EQ(graph.task(*r2).deps[0], *u);
+  EXPECT_EQ(graph.MaxHeight(), 3);
+}
+
+TEST(TaskGraphTest, InOutDoesNotSelfDepend) {
+  TaskGraph graph;
+  const DataId d = graph.AddData(8);
+  TaskSpec update;
+  update.type = "inc";
+  update.params = {{d, Dir::kInOut}};
+  auto t = graph.Submit(update);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(graph.task(*t).deps.empty());
+}
+
+TEST(TaskGraphTest, LevelsFollowLongestPath) {
+  TaskGraph graph;
+  const DataId a = graph.AddData(8);
+  const DataId b = graph.AddData(8);
+  const DataId c = graph.AddData(8);
+  const DataId d = graph.AddData(8);
+  auto t0 = graph.Submit(Reader(a, b));  // level 0
+  auto t1 = graph.Submit(Reader(b, c));  // level 1
+  TaskSpec join;                         // reads a (lvl indep) and c
+  join.type = "join";
+  join.params = {{a, Dir::kIn}, {c, Dir::kIn}, {d, Dir::kOut}};
+  auto t2 = graph.Submit(join);  // level 2 (longest path via t1)
+  ASSERT_TRUE(t0.ok() && t1.ok() && t2.ok());
+  EXPECT_EQ(graph.task(*t2).level, 2);
+  const auto levels = graph.LevelSets();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], (std::vector<TaskId>{*t0}));
+  EXPECT_EQ(levels[2], (std::vector<TaskId>{*t2}));
+}
+
+TEST(TaskGraphTest, ToDotContainsTasksAndEdges) {
+  TaskGraph graph;
+  const DataId a = graph.AddData(8);
+  const DataId b = graph.AddData(8);
+  const DataId c = graph.AddData(8);
+  auto t0 = graph.Submit(Reader(a, b, "produce"));
+  auto t1 = graph.Submit(Reader(b, c, "consume"));
+  ASSERT_TRUE(t0.ok() && t1.ok());
+  const std::string dot = graph.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("produce"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+}
+
+TEST(TaskGraphTest, ValidatePassesOnBuilderGraphs) {
+  TaskGraph graph;
+  const DataId a = graph.AddData(8);
+  const DataId b = graph.AddData(8);
+  ASSERT_TRUE(graph.Submit(Reader(a, b)).ok());
+  EXPECT_TRUE(graph.Validate().ok());
+}
+
+}  // namespace
+}  // namespace taskbench::runtime

@@ -1,0 +1,107 @@
+#include "algos/transpose.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "perf/cost_model.h"
+#include "runtime/thread_pool_executor.h"
+
+namespace taskbench::algos {
+namespace {
+
+data::GridSpec Spec(int64_t rows, int64_t cols, int64_t br, int64_t bc) {
+  auto spec =
+      data::GridSpec::Create(data::DatasetSpec{"t", rows, cols}, br, bc);
+  EXPECT_TRUE(spec.ok());
+  return *spec;
+}
+
+TEST(TransposeBuildTest, OneTaskPerBlockFullyParallelDag) {
+  auto wf = BuildTranspose(Spec(64, 32, 16, 16), TransposeOptions{});
+  ASSERT_TRUE(wf.ok());
+  EXPECT_EQ(wf->graph.num_tasks(), 8);
+  EXPECT_EQ(wf->graph.MaxWidth(), 8);   // all independent
+  EXPECT_EQ(wf->graph.MaxHeight(), 1);  // single level
+}
+
+TEST(TransposeRealTest, MatchesDenseTranspose) {
+  data::Matrix a(24, 18);
+  Rng rng(3);
+  data::FillUniform(&a, &rng);
+
+  TransposeOptions options;
+  options.materialize = true;
+  options.values = &a;
+  auto wf = BuildTranspose(Spec(24, 18, 8, 6), options);
+  ASSERT_TRUE(wf.ok());
+
+  runtime::ThreadPoolExecutor executor(runtime::ThreadPoolExecutorOptions{});
+  auto report = executor.Execute(wf->graph);
+  ASSERT_TRUE(report.ok());
+
+  // Reassemble and compare element-wise.
+  data::Matrix t(18, 24);
+  const auto& spec = Spec(24, 18, 8, 6);
+  for (int64_t i = 0; i < spec.grid_rows(); ++i) {
+    for (int64_t j = 0; j < spec.grid_cols(); ++j) {
+      auto block = executor.FetchData(
+          wf->graph,
+          wf->out[static_cast<size_t>(j)][static_cast<size_t>(i)]);
+      ASSERT_TRUE(block.ok());
+      const auto e = spec.ExtentAt(i, j);
+      ASSERT_TRUE(t.AssignSlice(e.col0, e.row0, *block).ok());
+    }
+  }
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(t.At(c, r), a.At(r, c));
+    }
+  }
+}
+
+TEST(TransposeRealTest, RaggedBlocksRoundTrip) {
+  data::Matrix a(10, 7);
+  Rng rng(9);
+  data::FillUniform(&a, &rng);
+  TransposeOptions options;
+  options.materialize = true;
+  options.values = &a;
+  auto wf = BuildTranspose(Spec(10, 7, 4, 3), options);
+  ASSERT_TRUE(wf.ok());
+  runtime::ThreadPoolExecutor executor(runtime::ThreadPoolExecutorOptions{});
+  ASSERT_TRUE(executor.Execute(wf->graph).ok());
+  auto corner = executor.FetchData(wf->graph, wf->out[2][2]);
+  ASSERT_TRUE(corner.ok());
+  EXPECT_EQ(corner->rows(), 1);  // 7 cols -> last block 1 col -> 1 row
+  EXPECT_EQ(corner->cols(), 2);  // 10 rows -> last block 2 rows
+}
+
+TEST(TransposeCostTest, ZeroArithmeticIntensity) {
+  const perf::TaskCost cost = TransposeFuncCost(1024, 1024);
+  EXPECT_EQ(cost.parallel.flops, 0.0);
+  EXPECT_GT(cost.parallel.bytes, 0.0);
+  EXPECT_EQ(cost.serial.bytes, 0.0);  // fully parallel task
+}
+
+TEST(TransposeCostTest, GpuAlwaysLoses) {
+  // The extreme end of the low-complexity family: pure data movement
+  // means the GPU pays the bus twice for zero math.
+  const perf::CostModel model(hw::MinotauroCluster());
+  for (int64_t n : {1024, 4096, 16384}) {
+    const perf::TaskCost cost = TransposeFuncCost(n, n);
+    EXPECT_GT(model.GpuParallelFraction(cost) + model.CpuGpuComm(cost),
+              model.CpuParallelFraction(cost))
+        << n;
+  }
+}
+
+TEST(TransposeBuildTest, ValuesShapeMismatchRejected) {
+  data::Matrix wrong(5, 5);
+  TransposeOptions options;
+  options.materialize = true;
+  options.values = &wrong;
+  EXPECT_FALSE(BuildTranspose(Spec(24, 18, 8, 6), options).ok());
+}
+
+}  // namespace
+}  // namespace taskbench::algos

@@ -1,0 +1,408 @@
+// taskbench — command-line front end of the library.
+//
+// Subcommands:
+//   run        Run one simulated experiment and print its metrics.
+//   sweep      Sweep the paper's grid dimensions for one algorithm.
+//   correlate  Run the correlation sample set; print/export the matrix.
+//   recommend  Auto-tune block dimension + processor for a workload.
+//   dag        Print the workflow DAG in Graphviz DOT format.
+//
+// Common options:
+//   --algorithm=matmul|matmul-fma|kmeans|logreg|transpose
+//   --dataset=matmul-8gb|matmul-32gb|kmeans-10gb|kmeans-100gb|...
+//     or --rows=N --cols=N for a custom dataset
+//   --grid=RxC          grid dimension (e.g. 16x16 or 256x1)
+//   --clusters=K        K-means algorithm-specific parameter
+//   --iterations=N      iterative algorithms' outer loop
+//   --processor=cpu|gpu --storage=local|shared
+//   --policy=gen-order|locality --hybrid (CPU+GPU spill placement)
+//   --csv=PATH          write results as CSV
+//   --trace=PATH        write a chrome://tracing JSON of the run
+//   --gantt             print an ASCII occupancy chart of the run
+//
+// Examples:
+//   taskbench run --algorithm=kmeans --dataset=kmeans-10gb --grid=256x1 \
+//       --processor=gpu --storage=shared --policy=gen-order
+//   taskbench sweep --algorithm=matmul --dataset=matmul-8gb --csv=out.csv
+//   taskbench recommend --algorithm=kmeans --dataset=kmeans-10gb
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algos/kmeans.h"
+#include "algos/logreg.h"
+#include "algos/matmul.h"
+#include "algos/transpose.h"
+#include "analysis/csv.h"
+#include "analysis/experiment.h"
+#include "analysis/factor_space.h"
+#include "analysis/guidelines.h"
+#include "analysis/report.h"
+#include "common/args.h"
+#include "common/strings.h"
+#include "data/generators.h"
+#include "runtime/simulated_executor.h"
+#include "runtime/trace.h"
+
+namespace tb = taskbench;
+using tb::analysis::Algorithm;
+using tb::analysis::ExperimentConfig;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+tb::Result<Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "matmul") return Algorithm::kMatmul;
+  if (name == "matmul-fma") return Algorithm::kMatmulFma;
+  if (name == "kmeans") return Algorithm::kKMeans;
+  return tb::Status::InvalidArgument(
+      "unknown --algorithm '" + name +
+      "' (matmul, matmul-fma, kmeans; logreg/transpose support `dag`)");
+}
+
+tb::Result<tb::data::DatasetSpec> ParseDataset(const tb::Args& args,
+                                               Algorithm algorithm) {
+  using tb::data::PaperDatasets;
+  const std::string name = args.GetString("dataset");
+  if (name == "matmul-8gb") return PaperDatasets::Matmul8GB();
+  if (name == "matmul-32gb") return PaperDatasets::Matmul32GB();
+  if (name == "matmul-2gb") return PaperDatasets::Matmul2GB();
+  if (name == "matmul-128mb") return PaperDatasets::Matmul128MB();
+  if (name == "kmeans-10gb") return PaperDatasets::KMeans10GB();
+  if (name == "kmeans-100gb") return PaperDatasets::KMeans100GB();
+  if (name == "kmeans-1gb") return PaperDatasets::KMeans1GB();
+  if (name == "kmeans-100mb") return PaperDatasets::KMeans100MB();
+  if (!name.empty()) {
+    return tb::Status::InvalidArgument("unknown --dataset '" + name + "'");
+  }
+  TB_ASSIGN_OR_RETURN(const int64_t rows, args.GetInt("rows", 0));
+  TB_ASSIGN_OR_RETURN(const int64_t cols, args.GetInt("cols", 0));
+  if (rows > 0 && cols > 0) {
+    return tb::data::DatasetSpec{"custom", rows, cols};
+  }
+  // Sensible defaults per algorithm family.
+  return algorithm == Algorithm::kKMeans ? PaperDatasets::KMeans10GB()
+                                         : PaperDatasets::Matmul8GB();
+}
+
+tb::Result<std::pair<int64_t, int64_t>> ParseGrid(const std::string& text) {
+  const auto parts = tb::Split(text, 'x');
+  if (parts.size() != 2) {
+    return tb::Status::InvalidArgument("--grid expects RxC, e.g. 16x16");
+  }
+  const int64_t r = std::atoll(parts[0].c_str());
+  const int64_t c = std::atoll(parts[1].c_str());
+  if (r <= 0 || c <= 0) {
+    return tb::Status::InvalidArgument("--grid dimensions must be positive");
+  }
+  return std::make_pair(r, c);
+}
+
+tb::Result<ExperimentConfig> BuildConfig(const tb::Args& args) {
+  ExperimentConfig config;
+  TB_ASSIGN_OR_RETURN(config.algorithm,
+                      ParseAlgorithm(args.GetString("algorithm", "matmul")));
+  TB_ASSIGN_OR_RETURN(config.dataset, ParseDataset(args, config.algorithm));
+  TB_ASSIGN_OR_RETURN(
+      const auto grid,
+      ParseGrid(args.GetString(
+          "grid", config.algorithm == Algorithm::kKMeans ? "256x1" : "8x8")));
+  config.grid_rows = grid.first;
+  config.grid_cols = grid.second;
+  TB_ASSIGN_OR_RETURN(const int64_t clusters, args.GetInt("clusters", 10));
+  config.clusters = static_cast<int>(clusters);
+  TB_ASSIGN_OR_RETURN(const int64_t iters, args.GetInt("iterations", 1));
+  config.iterations = static_cast<int>(iters);
+
+  const std::string processor = args.GetString("processor", "cpu");
+  if (processor == "cpu") {
+    config.processor = tb::Processor::kCpu;
+  } else if (processor == "gpu") {
+    config.processor = tb::Processor::kGpu;
+  } else {
+    return tb::Status::InvalidArgument("--processor expects cpu|gpu");
+  }
+  const std::string storage = args.GetString("storage", "shared");
+  if (storage == "local") {
+    config.storage = tb::hw::StorageArchitecture::kLocalDisk;
+  } else if (storage == "shared") {
+    config.storage = tb::hw::StorageArchitecture::kSharedDisk;
+  } else {
+    return tb::Status::InvalidArgument("--storage expects local|shared");
+  }
+  const std::string policy = args.GetString("policy", "gen-order");
+  if (policy == "gen-order") {
+    config.policy = tb::SchedulingPolicy::kTaskGenerationOrder;
+  } else if (policy == "locality") {
+    config.policy = tb::SchedulingPolicy::kDataLocality;
+  } else {
+    return tb::Status::InvalidArgument("--policy expects gen-order|locality");
+  }
+  config.label = tb::StrFormat(
+      "%s/%s/%lldx%lld/%s/%s/%s",
+      ToString(config.algorithm).c_str(), config.dataset.name.c_str(),
+      static_cast<long long>(config.grid_rows),
+      static_cast<long long>(config.grid_cols),
+      tb::ToString(config.processor).c_str(),
+      tb::hw::ToString(config.storage).c_str(),
+      tb::ToString(config.policy).c_str());
+  return config;
+}
+
+/// Runs one experiment, optionally in hybrid placement mode
+/// (--hybrid re-executes the built workflow with spilling enabled).
+tb::Result<tb::analysis::ExperimentResult> RunMaybeHybrid(
+    const tb::Args& args, const ExperimentConfig& config) {
+  TB_ASSIGN_OR_RETURN(const bool hybrid, args.GetBool("hybrid", false));
+  if (!hybrid) return tb::analysis::RunExperiment(config);
+
+  TB_ASSIGN_OR_RETURN(tb::analysis::ExperimentResult result,
+                      tb::analysis::DescribeExperiment(config));
+  result.oom = false;  // hybrid degrades OOM tasks to CPU
+  TB_ASSIGN_OR_RETURN(
+      tb::data::GridSpec spec,
+      tb::data::GridSpec::CreateFromGridDim(config.dataset, config.grid_rows,
+                                            config.grid_cols));
+  tb::runtime::TaskGraph graph;
+  if (config.algorithm == Algorithm::kKMeans) {
+    tb::algos::KMeansOptions options;
+    options.num_clusters = config.clusters;
+    options.iterations = config.iterations;
+    options.processor = config.processor;
+    TB_ASSIGN_OR_RETURN(auto wf, tb::algos::BuildKMeans(spec, options));
+    graph = std::move(wf.graph);
+  } else {
+    tb::algos::MatmulOptions options;
+    options.processor = config.processor;
+    options.fma = config.algorithm == Algorithm::kMatmulFma;
+    TB_ASSIGN_OR_RETURN(auto wf, tb::algos::BuildMatmul(spec, options));
+    graph = std::move(wf.graph);
+  }
+  tb::runtime::SimulatedExecutorOptions exec;
+  exec.storage = config.storage;
+  exec.policy = config.policy;
+  exec.hybrid = true;
+  tb::runtime::SimulatedExecutor executor(config.cluster, exec);
+  TB_ASSIGN_OR_RETURN(result.report, executor.Execute(graph));
+  result.stages_by_type = result.report.MeanStagesByType();
+  result.parallel_task_time = result.report.MeanLevelTime();
+  result.makespan = result.report.makespan;
+  return result;
+}
+
+int CmdRun(const tb::Args& args) {
+  auto config = BuildConfig(args);
+  if (!config.ok()) return Fail(config.status().ToString());
+  auto result = RunMaybeHybrid(args, *config);
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  std::printf("experiment: %s\n", config->label.c_str());
+  if (result->oom) {
+    std::printf("GPU OOM: %s\n", result->oom_detail.c_str());
+    return 0;
+  }
+  std::printf("block size: %s   blocks: %lld   DAG: width %lld, "
+              "height %lld\n",
+              tb::HumanBytes(result->block_bytes).c_str(),
+              static_cast<long long>(result->num_blocks),
+              static_cast<long long>(result->dag_width),
+              static_cast<long long>(result->dag_height));
+  std::printf("makespan: %s   parallel-task time: %s   scheduler "
+              "overhead: %s\n",
+              tb::HumanSeconds(result->makespan).c_str(),
+              tb::HumanSeconds(result->parallel_task_time).c_str(),
+              tb::HumanSeconds(result->report.scheduler_overhead).c_str());
+  tb::analysis::TextTable stages({"task type", "count", "deser", "serial",
+                                  "parallel", "comm", "ser"});
+  const auto counts = result->report.CountByType();
+  for (const auto& [type, mean] : result->stages_by_type) {
+    stages.AddRow({type, tb::StrFormat("%d", counts.at(type)),
+                   tb::HumanSeconds(mean.deserialize),
+                   tb::HumanSeconds(mean.serial_fraction),
+                   tb::HumanSeconds(mean.parallel_fraction),
+                   tb::HumanSeconds(mean.cpu_gpu_comm),
+                   tb::HumanSeconds(mean.serialize)});
+  }
+  std::printf("%s", stages.ToString().c_str());
+
+  auto gantt = args.GetBool("gantt", false);
+  if (!gantt.ok()) return Fail(gantt.status().ToString());
+  if (*gantt) {
+    std::printf("\n%s", tb::analysis::AsciiGantt(result->report).c_str());
+  }
+  if (args.Has("trace")) {
+    const tb::Status status = tb::runtime::WriteChromeTrace(
+        result->report, args.GetString("trace"));
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("trace written to %s\n", args.GetString("trace").c_str());
+  }
+  if (args.Has("csv")) {
+    const tb::Status status = tb::analysis::WriteFile(
+        args.GetString("csv"),
+        tb::analysis::TaskRecordsCsv(result->report));
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("task records written to %s\n",
+                args.GetString("csv").c_str());
+  }
+  return 0;
+}
+
+int CmdSweep(const tb::Args& args) {
+  auto base = BuildConfig(args);
+  if (!base.ok()) return Fail(base.status().ToString());
+  const auto grids = base->algorithm == Algorithm::kKMeans
+                         ? tb::analysis::KMeansPaperGrids()
+                         : tb::analysis::MatmulPaperGrids();
+  std::vector<tb::analysis::ExperimentResult> results;
+  tb::analysis::TextTable table(
+      {"grid", "block", "CPU p.tasks", "GPU p.tasks", "speedup"});
+  for (const auto& [gr, gc] : grids) {
+    ExperimentConfig config = *base;
+    config.grid_rows = gr;
+    config.grid_cols = gc;
+    config.processor = tb::Processor::kCpu;
+    auto cpu = tb::analysis::RunExperiment(config);
+    if (!cpu.ok()) return Fail(cpu.status().ToString());
+    config.processor = tb::Processor::kGpu;
+    auto gpu = tb::analysis::RunExperiment(config);
+    if (!gpu.ok()) return Fail(gpu.status().ToString());
+    table.AddRow(
+        {tb::StrFormat("%lldx%lld", static_cast<long long>(gr),
+                       static_cast<long long>(gc)),
+         tb::HumanBytes(cpu->block_bytes),
+         cpu->oom ? "OOM" : tb::HumanSeconds(cpu->parallel_task_time),
+         gpu->oom ? "GPU OOM" : tb::HumanSeconds(gpu->parallel_task_time),
+         (cpu->oom || gpu->oom)
+             ? "-"
+             : tb::analysis::FormatSpeedup(tb::analysis::SignedSpeedup(
+                   cpu->parallel_task_time, gpu->parallel_task_time))});
+    results.push_back(std::move(*cpu));
+    results.push_back(std::move(*gpu));
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (args.Has("csv")) {
+    const tb::Status status = tb::analysis::WriteFile(
+        args.GetString("csv"), tb::analysis::ExperimentsCsv(results));
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("results written to %s\n", args.GetString("csv").c_str());
+  }
+  return 0;
+}
+
+int CmdCorrelate(const tb::Args& args) {
+  const auto configs = tb::analysis::CorrelationSampleConfigs();
+  std::printf("running %zu configurations...\n", configs.size());
+  std::vector<tb::analysis::ExperimentResult> results;
+  for (const auto& config : configs) {
+    auto result = tb::analysis::RunExperiment(config);
+    if (!result.ok()) return Fail(result.status().ToString());
+    results.push_back(std::move(*result));
+  }
+  auto table = tb::analysis::BuildFeatureTableFromResults(results);
+  if (!table.ok()) return Fail(table.status().ToString());
+  table->DropConstantColumns();
+  auto matrix = table->SpearmanMatrix();
+  if (!matrix.ok()) return Fail(matrix.status().ToString());
+  std::printf("%s", matrix->ToString().c_str());
+  if (args.Has("csv")) {
+    const tb::Status status = tb::analysis::WriteFile(
+        args.GetString("csv"), tb::analysis::CorrelationCsv(*matrix));
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("matrix written to %s\n", args.GetString("csv").c_str());
+  }
+  return 0;
+}
+
+int CmdRecommend(const tb::Args& args) {
+  auto base = BuildConfig(args);
+  if (!base.ok()) return Fail(base.status().ToString());
+  const auto grids = base->algorithm == Algorithm::kKMeans
+                         ? tb::analysis::KMeansPaperGrids()
+                         : tb::analysis::MatmulPaperGrids();
+  auto rec = tb::analysis::RecommendConfiguration(*base, grids);
+  if (!rec.ok()) return Fail(rec.status().ToString());
+  std::printf("recommended: grid %lldx%lld on %s (makespan %s, GPU "
+              "benefit %.2fx)\n",
+              static_cast<long long>(rec->grid_rows),
+              static_cast<long long>(rec->grid_cols),
+              tb::ToString(rec->processor).c_str(),
+              tb::HumanSeconds(rec->makespan).c_str(), rec->gpu_benefit);
+  return 0;
+}
+
+int CmdDag(const tb::Args& args) {
+  const std::string algorithm = args.GetString("algorithm", "matmul");
+  auto grid = ParseGrid(args.GetString(
+      "grid", algorithm == "matmul" || algorithm == "matmul-fma" ? "4x4"
+                                                                 : "4x1"));
+  if (!grid.ok()) return Fail(grid.status().ToString());
+  const auto iters_or = args.GetInt("iterations", 3);
+  if (!iters_or.ok()) return Fail(iters_or.status().ToString());
+  const int iters = static_cast<int>(*iters_or);
+
+  if (algorithm == "kmeans" || algorithm == "logreg") {
+    auto spec = tb::data::GridSpec::CreateFromGridDim(
+        tb::data::DatasetSpec{"d", 1 << 16, 100}, grid->first, grid->second);
+    if (!spec.ok()) return Fail(spec.status().ToString());
+    if (algorithm == "kmeans") {
+      tb::algos::KMeansOptions options;
+      options.iterations = iters;
+      auto wf = tb::algos::BuildKMeans(*spec, options);
+      if (!wf.ok()) return Fail(wf.status().ToString());
+      std::printf("%s", wf->graph.ToDot().c_str());
+    } else {
+      tb::algos::LogRegOptions options;
+      options.iterations = iters;
+      auto wf = tb::algos::BuildLogReg(*spec, options);
+      if (!wf.ok()) return Fail(wf.status().ToString());
+      std::printf("%s", wf->graph.ToDot().c_str());
+    }
+    return 0;
+  }
+  auto spec = tb::data::GridSpec::CreateFromGridDim(
+      tb::data::DatasetSpec{"d", 1 << 14, 1 << 14}, grid->first,
+      grid->second);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  if (algorithm == "transpose") {
+    auto wf = tb::algos::BuildTranspose(*spec, tb::algos::TransposeOptions{});
+    if (!wf.ok()) return Fail(wf.status().ToString());
+    std::printf("%s", wf->graph.ToDot().c_str());
+    return 0;
+  }
+  tb::algos::MatmulOptions options;
+  options.fma = algorithm == "matmul-fma";
+  auto wf = tb::algos::BuildMatmul(*spec, options);
+  if (!wf.ok()) return Fail(wf.status().ToString());
+  std::printf("%s", wf->graph.ToDot().c_str());
+  return 0;
+}
+
+void PrintUsage() {
+  std::printf(
+      "taskbench — distributed GPU task-workflow performance testbed\n\n"
+      "usage: taskbench <run|sweep|correlate|recommend|dag> [options]\n"
+      "see the header of tools/taskbench_cli.cc for the option list\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tb::Args args = tb::Args::Parse(argc, argv);
+  if (args.positional().empty()) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = args.positional()[0];
+  if (command == "run") return CmdRun(args);
+  if (command == "sweep") return CmdSweep(args);
+  if (command == "correlate") return CmdCorrelate(args);
+  if (command == "recommend") return CmdRecommend(args);
+  if (command == "dag") return CmdDag(args);
+  PrintUsage();
+  return Fail("unknown command '" + command + "'");
+}
