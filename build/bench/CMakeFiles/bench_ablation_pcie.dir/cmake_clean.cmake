@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pcie.dir/bench_ablation_pcie.cc.o"
+  "CMakeFiles/bench_ablation_pcie.dir/bench_ablation_pcie.cc.o.d"
+  "bench_ablation_pcie"
+  "bench_ablation_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_storage_sched.dir/bench_fig10_storage_sched.cc.o"
+  "CMakeFiles/bench_fig10_storage_sched.dir/bench_fig10_storage_sched.cc.o.d"
+  "bench_fig10_storage_sched"
+  "bench_fig10_storage_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_storage_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_matmul_fma.dir/bench_fig12_matmul_fma.cc.o"
+  "CMakeFiles/bench_fig12_matmul_fma.dir/bench_fig12_matmul_fma.cc.o.d"
+  "bench_fig12_matmul_fma"
+  "bench_fig12_matmul_fma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_matmul_fma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

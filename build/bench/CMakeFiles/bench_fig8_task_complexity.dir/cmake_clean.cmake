@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_task_complexity.dir/bench_fig8_task_complexity.cc.o"
+  "CMakeFiles/bench_fig8_task_complexity.dir/bench_fig8_task_complexity.cc.o.d"
+  "bench_fig8_task_complexity"
+  "bench_fig8_task_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_task_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generalizability.dir/bench_generalizability.cc.o"
+  "CMakeFiles/bench_generalizability.dir/bench_generalizability.cc.o.d"
+  "bench_generalizability"
+  "bench_generalizability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generalizability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_placement.dir/bench_hybrid_placement.cc.o"
+  "CMakeFiles/bench_hybrid_placement.dir/bench_hybrid_placement.cc.o.d"
+  "bench_hybrid_placement"
+  "bench_hybrid_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_factors.dir/bench_table1_factors.cc.o"
+  "CMakeFiles/bench_table1_factors.dir/bench_table1_factors.cc.o.d"
+  "bench_table1_factors"
+  "bench_table1_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocksize_autotune.dir/blocksize_autotune.cc.o"
+  "CMakeFiles/blocksize_autotune.dir/blocksize_autotune.cc.o.d"
+  "blocksize_autotune"
+  "blocksize_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocksize_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_and_predict.dir/hybrid_and_predict.cc.o"
+  "CMakeFiles/hybrid_and_predict.dir/hybrid_and_predict.cc.o.d"
+  "hybrid_and_predict"
+  "hybrid_and_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_and_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

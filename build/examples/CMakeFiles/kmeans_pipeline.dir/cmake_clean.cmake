@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_pipeline.dir/kmeans_pipeline.cc.o"
+  "CMakeFiles/kmeans_pipeline.dir/kmeans_pipeline.cc.o.d"
+  "kmeans_pipeline"
+  "kmeans_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

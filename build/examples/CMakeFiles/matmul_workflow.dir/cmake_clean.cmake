@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_workflow.dir/matmul_workflow.cc.o"
+  "CMakeFiles/matmul_workflow.dir/matmul_workflow.cc.o.d"
+  "matmul_workflow"
+  "matmul_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_algos.dir/api.cc.o"
+  "CMakeFiles/tb_algos.dir/api.cc.o.d"
+  "CMakeFiles/tb_algos.dir/kmeans.cc.o"
+  "CMakeFiles/tb_algos.dir/kmeans.cc.o.d"
+  "CMakeFiles/tb_algos.dir/logreg.cc.o"
+  "CMakeFiles/tb_algos.dir/logreg.cc.o.d"
+  "CMakeFiles/tb_algos.dir/matmul.cc.o"
+  "CMakeFiles/tb_algos.dir/matmul.cc.o.d"
+  "CMakeFiles/tb_algos.dir/transpose.cc.o"
+  "CMakeFiles/tb_algos.dir/transpose.cc.o.d"
+  "libtb_algos.a"
+  "libtb_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

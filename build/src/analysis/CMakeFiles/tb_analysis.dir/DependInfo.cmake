@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/csv.cc" "src/analysis/CMakeFiles/tb_analysis.dir/csv.cc.o" "gcc" "src/analysis/CMakeFiles/tb_analysis.dir/csv.cc.o.d"
+  "/root/repo/src/analysis/experiment.cc" "src/analysis/CMakeFiles/tb_analysis.dir/experiment.cc.o" "gcc" "src/analysis/CMakeFiles/tb_analysis.dir/experiment.cc.o.d"
+  "/root/repo/src/analysis/factor_space.cc" "src/analysis/CMakeFiles/tb_analysis.dir/factor_space.cc.o" "gcc" "src/analysis/CMakeFiles/tb_analysis.dir/factor_space.cc.o.d"
+  "/root/repo/src/analysis/guidelines.cc" "src/analysis/CMakeFiles/tb_analysis.dir/guidelines.cc.o" "gcc" "src/analysis/CMakeFiles/tb_analysis.dir/guidelines.cc.o.d"
+  "/root/repo/src/analysis/observations.cc" "src/analysis/CMakeFiles/tb_analysis.dir/observations.cc.o" "gcc" "src/analysis/CMakeFiles/tb_analysis.dir/observations.cc.o.d"
+  "/root/repo/src/analysis/predictor.cc" "src/analysis/CMakeFiles/tb_analysis.dir/predictor.cc.o" "gcc" "src/analysis/CMakeFiles/tb_analysis.dir/predictor.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/tb_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/tb_analysis.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/tb_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/tb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/tb_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

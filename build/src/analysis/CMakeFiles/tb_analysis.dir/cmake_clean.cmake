@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_analysis.dir/csv.cc.o"
+  "CMakeFiles/tb_analysis.dir/csv.cc.o.d"
+  "CMakeFiles/tb_analysis.dir/experiment.cc.o"
+  "CMakeFiles/tb_analysis.dir/experiment.cc.o.d"
+  "CMakeFiles/tb_analysis.dir/factor_space.cc.o"
+  "CMakeFiles/tb_analysis.dir/factor_space.cc.o.d"
+  "CMakeFiles/tb_analysis.dir/guidelines.cc.o"
+  "CMakeFiles/tb_analysis.dir/guidelines.cc.o.d"
+  "CMakeFiles/tb_analysis.dir/observations.cc.o"
+  "CMakeFiles/tb_analysis.dir/observations.cc.o.d"
+  "CMakeFiles/tb_analysis.dir/predictor.cc.o"
+  "CMakeFiles/tb_analysis.dir/predictor.cc.o.d"
+  "CMakeFiles/tb_analysis.dir/report.cc.o"
+  "CMakeFiles/tb_analysis.dir/report.cc.o.d"
+  "libtb_analysis.a"
+  "libtb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_common.dir/args.cc.o"
+  "CMakeFiles/tb_common.dir/args.cc.o.d"
+  "CMakeFiles/tb_common.dir/logging.cc.o"
+  "CMakeFiles/tb_common.dir/logging.cc.o.d"
+  "CMakeFiles/tb_common.dir/random.cc.o"
+  "CMakeFiles/tb_common.dir/random.cc.o.d"
+  "CMakeFiles/tb_common.dir/status.cc.o"
+  "CMakeFiles/tb_common.dir/status.cc.o.d"
+  "CMakeFiles/tb_common.dir/strings.cc.o"
+  "CMakeFiles/tb_common.dir/strings.cc.o.d"
+  "libtb_common.a"
+  "libtb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

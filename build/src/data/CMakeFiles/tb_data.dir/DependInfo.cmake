@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/ds_array.cc" "src/data/CMakeFiles/tb_data.dir/ds_array.cc.o" "gcc" "src/data/CMakeFiles/tb_data.dir/ds_array.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/tb_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/tb_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/grid.cc" "src/data/CMakeFiles/tb_data.dir/grid.cc.o" "gcc" "src/data/CMakeFiles/tb_data.dir/grid.cc.o.d"
+  "/root/repo/src/data/matrix.cc" "src/data/CMakeFiles/tb_data.dir/matrix.cc.o" "gcc" "src/data/CMakeFiles/tb_data.dir/matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

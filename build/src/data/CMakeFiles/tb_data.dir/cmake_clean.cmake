@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_data.dir/ds_array.cc.o"
+  "CMakeFiles/tb_data.dir/ds_array.cc.o.d"
+  "CMakeFiles/tb_data.dir/generators.cc.o"
+  "CMakeFiles/tb_data.dir/generators.cc.o.d"
+  "CMakeFiles/tb_data.dir/grid.cc.o"
+  "CMakeFiles/tb_data.dir/grid.cc.o.d"
+  "CMakeFiles/tb_data.dir/matrix.cc.o"
+  "CMakeFiles/tb_data.dir/matrix.cc.o.d"
+  "libtb_data.a"
+  "libtb_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

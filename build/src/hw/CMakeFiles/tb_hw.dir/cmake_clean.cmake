@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_hw.dir/cluster.cc.o"
+  "CMakeFiles/tb_hw.dir/cluster.cc.o.d"
+  "CMakeFiles/tb_hw.dir/device_profiles.cc.o"
+  "CMakeFiles/tb_hw.dir/device_profiles.cc.o.d"
+  "libtb_hw.a"
+  "libtb_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_perf.dir/cost_model.cc.o"
+  "CMakeFiles/tb_perf.dir/cost_model.cc.o.d"
+  "libtb_perf.a"
+  "libtb_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

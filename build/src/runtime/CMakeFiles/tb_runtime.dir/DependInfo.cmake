@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/metrics.cc" "src/runtime/CMakeFiles/tb_runtime.dir/metrics.cc.o" "gcc" "src/runtime/CMakeFiles/tb_runtime.dir/metrics.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/runtime/CMakeFiles/tb_runtime.dir/scheduler.cc.o" "gcc" "src/runtime/CMakeFiles/tb_runtime.dir/scheduler.cc.o.d"
+  "/root/repo/src/runtime/simulated_executor.cc" "src/runtime/CMakeFiles/tb_runtime.dir/simulated_executor.cc.o" "gcc" "src/runtime/CMakeFiles/tb_runtime.dir/simulated_executor.cc.o.d"
+  "/root/repo/src/runtime/task_graph.cc" "src/runtime/CMakeFiles/tb_runtime.dir/task_graph.cc.o" "gcc" "src/runtime/CMakeFiles/tb_runtime.dir/task_graph.cc.o.d"
+  "/root/repo/src/runtime/thread_pool_executor.cc" "src/runtime/CMakeFiles/tb_runtime.dir/thread_pool_executor.cc.o" "gcc" "src/runtime/CMakeFiles/tb_runtime.dir/thread_pool_executor.cc.o.d"
+  "/root/repo/src/runtime/trace.cc" "src/runtime/CMakeFiles/tb_runtime.dir/trace.cc.o" "gcc" "src/runtime/CMakeFiles/tb_runtime.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/tb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/tb_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

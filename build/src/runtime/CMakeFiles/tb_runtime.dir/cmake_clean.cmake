@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_runtime.dir/metrics.cc.o"
+  "CMakeFiles/tb_runtime.dir/metrics.cc.o.d"
+  "CMakeFiles/tb_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/tb_runtime.dir/scheduler.cc.o.d"
+  "CMakeFiles/tb_runtime.dir/simulated_executor.cc.o"
+  "CMakeFiles/tb_runtime.dir/simulated_executor.cc.o.d"
+  "CMakeFiles/tb_runtime.dir/task_graph.cc.o"
+  "CMakeFiles/tb_runtime.dir/task_graph.cc.o.d"
+  "CMakeFiles/tb_runtime.dir/thread_pool_executor.cc.o"
+  "CMakeFiles/tb_runtime.dir/thread_pool_executor.cc.o.d"
+  "CMakeFiles/tb_runtime.dir/trace.cc.o"
+  "CMakeFiles/tb_runtime.dir/trace.cc.o.d"
+  "libtb_runtime.a"
+  "libtb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_sim.dir/bandwidth_resource.cc.o"
+  "CMakeFiles/tb_sim.dir/bandwidth_resource.cc.o.d"
+  "CMakeFiles/tb_sim.dir/server_pool.cc.o"
+  "CMakeFiles/tb_sim.dir/server_pool.cc.o.d"
+  "CMakeFiles/tb_sim.dir/simulator.cc.o"
+  "CMakeFiles/tb_sim.dir/simulator.cc.o.d"
+  "libtb_sim.a"
+  "libtb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

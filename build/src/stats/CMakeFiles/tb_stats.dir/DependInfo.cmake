@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/tb_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/tb_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/feature_table.cc" "src/stats/CMakeFiles/tb_stats.dir/feature_table.cc.o" "gcc" "src/stats/CMakeFiles/tb_stats.dir/feature_table.cc.o.d"
+  "/root/repo/src/stats/regression_forest.cc" "src/stats/CMakeFiles/tb_stats.dir/regression_forest.cc.o" "gcc" "src/stats/CMakeFiles/tb_stats.dir/regression_forest.cc.o.d"
+  "/root/repo/src/stats/regression_tree.cc" "src/stats/CMakeFiles/tb_stats.dir/regression_tree.cc.o" "gcc" "src/stats/CMakeFiles/tb_stats.dir/regression_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

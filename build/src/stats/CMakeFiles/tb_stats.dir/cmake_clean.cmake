@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_stats.dir/correlation.cc.o"
+  "CMakeFiles/tb_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/tb_stats.dir/feature_table.cc.o"
+  "CMakeFiles/tb_stats.dir/feature_table.cc.o.d"
+  "CMakeFiles/tb_stats.dir/regression_forest.cc.o"
+  "CMakeFiles/tb_stats.dir/regression_forest.cc.o.d"
+  "CMakeFiles/tb_stats.dir/regression_tree.cc.o"
+  "CMakeFiles/tb_stats.dir/regression_tree.cc.o.d"
+  "libtb_stats.a"
+  "libtb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

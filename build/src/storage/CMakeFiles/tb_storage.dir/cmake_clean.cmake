@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_storage.dir/block_storage.cc.o"
+  "CMakeFiles/tb_storage.dir/block_storage.cc.o.d"
+  "CMakeFiles/tb_storage.dir/serializer.cc.o"
+  "CMakeFiles/tb_storage.dir/serializer.cc.o.d"
+  "libtb_storage.a"
+  "libtb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtb_storage.a"
+)

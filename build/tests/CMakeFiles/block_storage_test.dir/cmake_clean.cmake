@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_storage_test.dir/block_storage_test.cc.o"
+  "CMakeFiles/block_storage_test.dir/block_storage_test.cc.o.d"
+  "block_storage_test"
+  "block_storage_test.pdb"
+  "block_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_array_test.dir/ds_array_test.cc.o"
+  "CMakeFiles/ds_array_test.dir/ds_array_test.cc.o.d"
+  "ds_array_test"
+  "ds_array_test.pdb"
+  "ds_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_table_test.dir/feature_table_test.cc.o"
+  "CMakeFiles/feature_table_test.dir/feature_table_test.cc.o.d"
+  "feature_table_test"
+  "feature_table_test.pdb"
+  "feature_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guidelines_test.dir/guidelines_test.cc.o"
+  "CMakeFiles/guidelines_test.dir/guidelines_test.cc.o.d"
+  "guidelines_test"
+  "guidelines_test.pdb"
+  "guidelines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guidelines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

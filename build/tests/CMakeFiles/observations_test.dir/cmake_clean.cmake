@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observations_test.dir/observations_test.cc.o"
+  "CMakeFiles/observations_test.dir/observations_test.cc.o.d"
+  "observations_test"
+  "observations_test.pdb"
+  "observations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/random_test.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/random_test.dir/random_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/tb_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/tb_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/tb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

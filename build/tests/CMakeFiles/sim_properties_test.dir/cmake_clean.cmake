@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_properties_test.dir/sim_properties_test.cc.o"
+  "CMakeFiles/sim_properties_test.dir/sim_properties_test.cc.o.d"
+  "sim_properties_test"
+  "sim_properties_test.pdb"
+  "sim_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulated_executor_test.dir/simulated_executor_test.cc.o"
+  "CMakeFiles/simulated_executor_test.dir/simulated_executor_test.cc.o.d"
+  "simulated_executor_test"
+  "simulated_executor_test.pdb"
+  "simulated_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulated_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskbench.dir/taskbench_cli.cc.o"
+  "CMakeFiles/taskbench.dir/taskbench_cli.cc.o.d"
+  "taskbench"
+  "taskbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
