@@ -1,0 +1,223 @@
+// Scheduling-path scaling bench: how fast can the simulated master
+// chew through large DAGs? Unlike the figure benches this measures
+// *our* wall-clock (master bookkeeping + event engine), not simulated
+// time — the regime of observation O6, where fine-grained workflows
+// are limited by the scheduler rather than the modeled hardware.
+//
+// Shapes:
+//   wide  — N independent tasks (maximum ready-set pressure),
+//   deep  — one N-task chain (maximum event-path pressure),
+//   grid  — W lanes x N/W levels (both pressures at once).
+//
+// Emits machine-readable JSON (default BENCH_sched_scaling.json) so
+// future PRs have a perf trajectory to compare against.
+//
+// Usage: bench_sched_scaling [--smoke] [--large] [--sizes=10000,...]
+//                            [--out=BENCH_sched_scaling.json]
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "hw/cluster.h"
+#include "runtime/simulated_executor.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::bench {
+namespace {
+
+using runtime::Dir;
+using runtime::TaskGraph;
+using runtime::TaskSpec;
+
+constexpr uint64_t kBlockBytes = 1 << 20;  // 1 MiB blocks
+constexpr int kSharedInputs = 1024;        // wide tasks share input blocks
+constexpr int kGridWidth = 512;
+
+perf::TaskCost SmallCost() {
+  perf::TaskCost cost;
+  cost.parallel.flops = 1e6;
+  cost.parallel.bytes = 1e6;
+  cost.serial.flops = 1e4;
+  cost.serial.bytes = 1e4;
+  cost.input_bytes = kBlockBytes;
+  cost.output_bytes = kBlockBytes;
+  return cost;
+}
+
+TaskSpec SpecFor(runtime::DataId in, runtime::DataId out) {
+  TaskSpec spec;
+  spec.type = "scale_task";
+  spec.cost = SmallCost();
+  spec.processor = Processor::kCpu;
+  spec.params = {{in, Dir::kIn}, {out, Dir::kOut}};
+  return spec;
+}
+
+/// N independent tasks; inputs cycle over a shared pool of blocks so
+/// the locality scheduler has real (and varied) homes to weigh.
+TaskGraph WideGraph(int64_t n) {
+  TaskGraph graph;
+  std::vector<runtime::DataId> inputs;
+  inputs.reserve(kSharedInputs);
+  for (int i = 0; i < kSharedInputs; ++i) {
+    inputs.push_back(graph.AddData(kBlockBytes));
+  }
+  for (int64_t t = 0; t < n; ++t) {
+    const runtime::DataId out = graph.AddData(kBlockBytes);
+    TB_CHECK_OK(
+        graph.Submit(SpecFor(inputs[static_cast<size_t>(t % kSharedInputs)],
+                             out)).status());
+  }
+  return graph;
+}
+
+/// One chain of N tasks, each reading its predecessor's output.
+TaskGraph DeepGraph(int64_t n) {
+  TaskGraph graph;
+  runtime::DataId prev = graph.AddData(kBlockBytes);
+  for (int64_t t = 0; t < n; ++t) {
+    const runtime::DataId out = graph.AddData(kBlockBytes);
+    TB_CHECK_OK(graph.Submit(SpecFor(prev, out)).status());
+    prev = out;
+  }
+  return graph;
+}
+
+/// kGridWidth independent lanes of N/kGridWidth levels each.
+TaskGraph GridGraph(int64_t n) {
+  TaskGraph graph;
+  const int64_t levels = std::max<int64_t>(1, n / kGridWidth);
+  std::vector<runtime::DataId> lane(kGridWidth);
+  for (int w = 0; w < kGridWidth; ++w) {
+    lane[static_cast<size_t>(w)] = graph.AddData(kBlockBytes);
+  }
+  for (int64_t l = 0; l < levels; ++l) {
+    for (int w = 0; w < kGridWidth; ++w) {
+      const runtime::DataId out = graph.AddData(kBlockBytes);
+      TB_CHECK_OK(
+          graph.Submit(SpecFor(lane[static_cast<size_t>(w)], out)).status());
+      lane[static_cast<size_t>(w)] = out;
+    }
+  }
+  return graph;
+}
+
+struct Row {
+  std::string shape;
+  int64_t tasks = 0;
+  std::string policy;
+  double wall_s = 0;
+  double makespan = 0;
+  uint64_t sim_events = 0;
+  double events_per_s = 0;
+  double decisions_per_s = 0;
+};
+
+Row RunOne(const std::string& shape, int64_t n, SchedulingPolicy policy) {
+  TaskGraph graph = shape == "wide"   ? WideGraph(n)
+                    : shape == "deep" ? DeepGraph(n)
+                                      : GridGraph(n);
+  runtime::SimulatedExecutorOptions options;
+  options.storage = hw::StorageArchitecture::kLocalDisk;
+  options.policy = policy;
+  runtime::SimulatedExecutor executor(hw::MinotauroCluster(), options);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = executor.Execute(graph);
+  const auto t1 = std::chrono::steady_clock::now();
+  TB_CHECK_OK(report.status());
+
+  Row row;
+  row.shape = shape;
+  row.tasks = graph.num_tasks();
+  row.policy = ToString(policy);
+  row.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  row.makespan = report->makespan;
+  row.sim_events = report->sim_events;
+  const double wall = row.wall_s > 0 ? row.wall_s : 1e-9;
+  row.events_per_s = static_cast<double>(row.sim_events) / wall;
+  row.decisions_per_s = static_cast<double>(row.tasks) / wall;
+  return row;
+}
+
+std::string ToJson(const std::vector<Row>& rows) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out += StrFormat(
+        "  {\"shape\": \"%s\", \"tasks\": %lld, \"policy\": \"%s\", "
+        "\"wall_s\": %.6f, \"makespan_s\": %.6f, \"sim_events\": %llu, "
+        "\"events_per_s\": %.1f, \"decisions_per_s\": %.1f}%s\n",
+        r.shape.c_str(), static_cast<long long>(r.tasks), r.policy.c_str(),
+        r.wall_s, r.makespan, static_cast<unsigned long long>(r.sim_events),
+        r.events_per_s, r.decisions_per_s, i + 1 < rows.size() ? "," : "");
+  }
+  out += "]\n";
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = Args::Parse(argc, argv);
+  std::vector<int64_t> sizes;
+  if (args.Has("sizes")) {
+    for (const std::string& s : Split(args.GetString("sizes"), ',')) {
+      if (s.empty()) continue;
+      errno = 0;
+      char* end = nullptr;
+      const long long n = std::strtoll(s.c_str(), &end, 10);
+      if (errno != 0 || end == s.c_str() || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "error: --sizes expects positive integers, got '%s'\n",
+                     s.c_str());
+        return 2;
+      }
+      sizes.push_back(n);
+    }
+  } else if (args.GetBool("smoke", false).value_or(false)) {
+    sizes = {10'000};
+  } else if (args.GetBool("large", false).value_or(false)) {
+    sizes = {10'000, 100'000, 1'000'000};
+  } else {
+    sizes = {10'000, 100'000};
+  }
+  const std::string out_path =
+      args.GetString("out", "BENCH_sched_scaling.json");
+
+  std::printf("%-6s %10s %16s %10s %12s %14s %14s\n", "shape", "tasks",
+              "policy", "wall_s", "sim_events", "events/s", "decisions/s");
+  std::vector<Row> rows;
+  for (int64_t n : sizes) {
+    for (const char* shape : {"wide", "deep", "grid"}) {
+      for (auto policy : {SchedulingPolicy::kTaskGenerationOrder,
+                          SchedulingPolicy::kDataLocality}) {
+        const Row row = RunOne(shape, n, policy);
+        std::printf("%-6s %10lld %16s %10.3f %12llu %14.0f %14.0f\n",
+                    row.shape.c_str(), static_cast<long long>(row.tasks),
+                    row.policy.c_str(), row.wall_s,
+                    static_cast<unsigned long long>(row.sim_events),
+                    row.events_per_s, row.decisions_per_s);
+        std::fflush(stdout);
+        rows.push_back(row);
+      }
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  TB_CHECK(f != nullptr) << "cannot open " << out_path;
+  const std::string json = ToJson(rows);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace taskbench::bench
+
+int main(int argc, char** argv) { return taskbench::bench::Main(argc, argv); }

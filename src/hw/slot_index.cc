@@ -1,0 +1,35 @@
+#include "hw/slot_index.h"
+
+#include "common/logging.h"
+
+namespace taskbench::hw {
+
+void SlotIndex::Reset(int num_nodes, int slots_per_node) {
+  TB_CHECK(num_nodes >= 0);
+  TB_CHECK(slots_per_node >= 0);
+  free_.assign(static_cast<size_t>(num_nodes), slots_per_node);
+  mask_.assign((static_cast<size_t>(num_nodes) + 63) / 64, 0);
+  total_free_ = num_nodes * slots_per_node;
+  if (slots_per_node > 0) {
+    for (int n = 0; n < num_nodes; ++n) {
+      mask_[static_cast<size_t>(n) / 64] |= 1ull << (n % 64);
+    }
+  }
+}
+
+void SlotIndex::Acquire(int node) {
+  const auto n = static_cast<size_t>(node);
+  TB_CHECK(node >= 0 && n < free_.size() && free_[n] > 0)
+      << "acquire on node without a free slot: " << node;
+  if (--free_[n] == 0) mask_[n / 64] &= ~(1ull << (node % 64));
+  --total_free_;
+}
+
+void SlotIndex::Release(int node) {
+  const auto n = static_cast<size_t>(node);
+  TB_CHECK(node >= 0 && n < free_.size());
+  if (free_[n]++ == 0) mask_[n / 64] |= 1ull << (node % 64);
+  ++total_free_;
+}
+
+}  // namespace taskbench::hw

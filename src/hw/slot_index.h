@@ -1,0 +1,65 @@
+#ifndef TASKBENCH_HW_SLOT_INDEX_H_
+#define TASKBENCH_HW_SLOT_INDEX_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace taskbench::hw {
+
+/// Free-slot bookkeeping for one processor kind across a cluster's
+/// nodes, with O(1) aggregate queries.
+///
+/// The scheduling fast path asks two questions per decision — "is any
+/// slot of this kind free?" and "which is the lowest-numbered node
+/// with a free slot?" — that used to cost a linear scan over the
+/// per-node slot vector each. SlotIndex keeps the per-node counts
+/// alongside an aggregate total and a bitmask of nodes with at least
+/// one free slot, so both answers are O(1) (one find-first-set per
+/// 64-node word).
+class SlotIndex {
+ public:
+  SlotIndex() = default;
+  SlotIndex(int num_nodes, int slots_per_node) {
+    Reset(num_nodes, slots_per_node);
+  }
+
+  /// Re-initializes to `num_nodes` nodes with `slots_per_node` free
+  /// slots each.
+  void Reset(int num_nodes, int slots_per_node);
+
+  int num_nodes() const { return static_cast<int>(free_.size()); }
+
+  /// Total free slots across all nodes.
+  int total_free() const { return total_free_; }
+
+  /// Free slots on `node`.
+  int free_at(int node) const { return free_[static_cast<size_t>(node)]; }
+
+  /// Lowest-numbered node with a free slot, or -1 when all are busy.
+  int FirstFreeNode() const {
+    for (size_t w = 0; w < mask_.size(); ++w) {
+      if (mask_[w] != 0) {
+        return static_cast<int>(w * 64 +
+                                static_cast<size_t>(std::countr_zero(mask_[w])));
+      }
+    }
+    return -1;
+  }
+
+  /// Takes one slot on `node`. Requires free_at(node) > 0.
+  void Acquire(int node);
+
+  /// Returns one slot to `node`.
+  void Release(int node);
+
+ private:
+  std::vector<int> free_;
+  std::vector<uint64_t> mask_;  ///< bit n set iff free_[n] > 0
+  int total_free_ = 0;
+};
+
+}  // namespace taskbench::hw
+
+#endif  // TASKBENCH_HW_SLOT_INDEX_H_

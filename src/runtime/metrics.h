@@ -45,6 +45,10 @@ struct RunReport {
   double makespan = 0;
   /// Master time spent making scheduling decisions.
   double scheduler_overhead = 0;
+  /// Discrete events the simulator executed for this run (simulated
+  /// executor only; 0 for the thread-pool path). Lets the scaling
+  /// benches report events/second of the engine itself.
+  uint64_t sim_events = 0;
 
   /// Mean per-stage times per task type ("tasks running the same code
   /// are aggregated together", Section 4.2).

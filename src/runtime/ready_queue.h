@@ -1,0 +1,94 @@
+#ifndef TASKBENCH_RUNTIME_READY_QUEUE_H_
+#define TASKBENCH_RUNTIME_READY_QUEUE_H_
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "runtime/task_graph.h"
+
+namespace taskbench::runtime {
+
+/// Placement feasibility class of a task. Whether a ready task can be
+/// placed *somewhere* depends only on which processor kinds have a
+/// free slot — never on the specific node — so the class is static
+/// per task (computed once from its spec, the hybrid flag and the
+/// GPU-fit / spill-budget precomputations):
+///
+///   kCpuOnly    — CPU task; needs a free CPU core.
+///   kGpuOnly    — GPU task that never spills (non-hybrid mode, or
+///                 hybrid with a spill outside the slowdown budget);
+///                 needs a free GPU device.
+///   kGpuOrCpu   — hybrid GPU task within the spill budget; prefers a
+///                 free device, takes a core when none is free.
+///   kCpuSpill   — hybrid GPU task whose working set exceeds device
+///                 memory; MUST run on a CPU core.
+enum class PlacementClass : uint8_t {
+  kCpuOnly = 0,
+  kGpuOnly = 1,
+  kGpuOrCpu = 2,
+  kCpuSpill = 3,
+};
+
+inline constexpr size_t kNumPlacementClasses = 4;
+
+/// Placement class of a task given the executor's per-task
+/// precomputations. `gpu_fits` / `cpu_spill_ok` are only consulted
+/// for GPU tasks in hybrid mode, mirroring the legacy ChooseProcessor
+/// logic (a non-hybrid GPU task that exceeds device memory is still
+/// dispatched to a device and fails there — the "GPU OOM" runs).
+inline PlacementClass ClassifyTask(const TaskSpec& spec, bool hybrid,
+                                   bool gpu_fits, bool cpu_spill_ok) {
+  if (spec.processor == Processor::kCpu) return PlacementClass::kCpuOnly;
+  if (!hybrid) return PlacementClass::kGpuOnly;
+  if (!gpu_fits) return PlacementClass::kCpuSpill;
+  return cpu_spill_ok ? PlacementClass::kGpuOrCpu : PlacementClass::kGpuOnly;
+}
+
+/// The master's ready set, maintained incrementally.
+///
+/// The legacy scheduling path materialized the whole ready set into a
+/// vector before every decision and rescanned it front to back —
+/// O(ready) per decision, quadratic over a wide DAG. ReadyQueue keeps
+/// one min-heap of TaskIds per placement class instead. Because
+/// placement feasibility is uniform within a class (see
+/// PlacementClass), a scheduler never needs to look past the head of
+/// each class: the task the legacy scan would have picked is exactly
+/// the lowest TaskId among the heads of the currently-placeable
+/// classes. One decision is O(log ready); the FIFO-by-submission-id
+/// ("task generation order") semantics are preserved bit-for-bit.
+class ReadyQueue {
+ public:
+  ReadyQueue() = default;
+
+  /// Marks `id` (of class `cls`) ready.
+  void Push(TaskId id, PlacementClass cls) {
+    heaps_[static_cast<size_t>(cls)].push(id);
+    ++size_;
+  }
+
+  /// Lowest ready TaskId of `cls`, or -1 when the class has none.
+  TaskId Head(PlacementClass cls) const {
+    const auto& h = heaps_[static_cast<size_t>(cls)];
+    return h.empty() ? -1 : h.top();
+  }
+
+  /// Removes the head of `cls`. Requires Head(cls) >= 0.
+  void PopHead(PlacementClass cls) {
+    heaps_[static_cast<size_t>(cls)].pop();
+    --size_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  using MinHeap =
+      std::priority_queue<TaskId, std::vector<TaskId>, std::greater<TaskId>>;
+  MinHeap heaps_[kNumPlacementClasses];
+  size_t size_ = 0;
+};
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_READY_QUEUE_H_

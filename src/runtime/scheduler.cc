@@ -1,7 +1,7 @@
 #include "runtime/scheduler.h"
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 
 #include "common/logging.h"
 
@@ -9,42 +9,93 @@ namespace taskbench::runtime {
 
 namespace {
 
-/// Processor the scheduler should place `task` on, or nullopt when no
-/// suitable slot is free anywhere. Honors hybrid fallback: a GPU task
-/// that does not fit device memory is CPU-only; one that fits prefers
-/// a GPU slot but may take a CPU core when every device is busy.
-std::optional<Processor> ChooseProcessor(const SchedulerView& view,
-                                         const Task& task) {
-  auto any_free = [](const std::vector<int>& slots) {
-    for (int free : slots) {
-      if (free > 0) return true;
+/// The task the legacy front-to-back ready scan would pick, plus the
+/// processor it lands on: the lowest ready TaskId among the heads of
+/// the placeable classes. A class is placeable iff the processor
+/// kind(s) it may use have a free slot somewhere — an O(1) aggregate
+/// lookup, so one decision never touches more than the four heads.
+struct Candidate {
+  TaskId id = -1;
+  Processor processor = Processor::kCpu;
+  PlacementClass cls = PlacementClass::kCpuOnly;
+};
+
+std::optional<Candidate> PickTask(const SchedulerView& view) {
+  const bool cpu_free = view.cpu_slots->total_free() > 0;
+  const bool gpu_free = view.gpu_slots->total_free() > 0;
+  Candidate best;
+  auto consider = [&](PlacementClass cls, bool placeable, Processor proc) {
+    if (!placeable) return;
+    const TaskId head = view.ready->Head(cls);
+    if (head >= 0 && (best.id < 0 || head < best.id)) {
+      best = Candidate{head, proc, cls};
     }
-    return false;
   };
-  if (task.spec.processor == Processor::kCpu) {
-    if (any_free(*view.free_cpu_slots)) return Processor::kCpu;
-    return std::nullopt;
-  }
-  const bool fits =
-      !view.hybrid || view.gpu_fits == nullptr ||
-      (*view.gpu_fits)[static_cast<size_t>(task.id)];
-  if (fits && any_free(*view.free_gpu_slots)) return Processor::kGpu;
-  // Spill to a CPU core: mandatory when the task cannot fit the GPU,
-  // otherwise only when the CPU slowdown is within budget.
-  const bool spill_ok =
-      !fits || view.cpu_spill_ok == nullptr ||
-      (*view.cpu_spill_ok)[static_cast<size_t>(task.id)];
-  if (view.hybrid && spill_ok && any_free(*view.free_cpu_slots)) {
-    return Processor::kCpu;
-  }
-  return std::nullopt;
+  consider(PlacementClass::kCpuOnly, cpu_free, Processor::kCpu);
+  consider(PlacementClass::kGpuOnly, gpu_free, Processor::kGpu);
+  // A within-budget hybrid task prefers a device and spills to a core
+  // only when every device is busy.
+  consider(PlacementClass::kGpuOrCpu, gpu_free || cpu_free,
+           gpu_free ? Processor::kGpu : Processor::kCpu);
+  consider(PlacementClass::kCpuSpill, cpu_free, Processor::kCpu);
+  if (best.id < 0) return std::nullopt;
+  return best;
 }
 
-const std::vector<int>& SlotsFor(const SchedulerView& view, Processor p) {
-  return p == Processor::kCpu ? *view.free_cpu_slots : *view.free_gpu_slots;
+const hw::SlotIndex& SlotsFor(const SchedulerView& view, Processor p) {
+  return p == Processor::kCpu ? *view.cpu_slots : *view.gpu_slots;
 }
 
 }  // namespace
+
+LocalityCache::LocalityCache(const TaskGraph& graph,
+                             const std::vector<int>* data_home)
+    : graph_(graph), data_home_(data_home) {
+  TB_CHECK(data_home_ != nullptr);
+  consumers_.resize(static_cast<size_t>(graph.num_data()));
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    for (const Param& p : graph.task(t).spec.params) {
+      if (p.dir == Dir::kOut) continue;
+      consumers_[static_cast<size_t>(p.data)].push_back(t);
+    }
+  }
+  tally_.resize(static_cast<size_t>(graph.num_tasks()));
+  dirty_.assign(static_cast<size_t>(graph.num_tasks()), true);
+}
+
+const std::vector<std::pair<int, uint64_t>>& LocalityCache::TallyFor(
+    TaskId id) {
+  const auto t = static_cast<size_t>(id);
+  if (dirty_[t]) {
+    auto& tally = tally_[t];
+    tally.clear();
+    for (const Param& p : graph_.task(id).spec.params) {
+      if (p.dir == Dir::kOut) continue;
+      const int home = (*data_home_)[static_cast<size_t>(p.data)];
+      if (home >= 0) tally.emplace_back(home, graph_.data(p.data).bytes);
+    }
+    std::sort(tally.begin(), tally.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Merge duplicate nodes in place.
+    size_t out = 0;
+    for (size_t i = 0; i < tally.size(); ++i) {
+      if (out > 0 && tally[out - 1].first == tally[i].first) {
+        tally[out - 1].second += tally[i].second;
+      } else {
+        tally[out++] = tally[i];
+      }
+    }
+    tally.resize(out);
+    dirty_[t] = false;
+  }
+  return tally_[t];
+}
+
+void LocalityCache::OnDataHomeChanged(DataId d) {
+  for (TaskId t : consumers_[static_cast<size_t>(d)]) {
+    dirty_[static_cast<size_t>(t)] = true;
+  }
+}
 
 std::unique_ptr<Scheduler> MakeScheduler(SchedulingPolicy policy) {
   if (policy == SchedulingPolicy::kTaskGenerationOrder) {
@@ -55,58 +106,69 @@ std::unique_ptr<Scheduler> MakeScheduler(SchedulingPolicy policy) {
 
 std::optional<Assignment> TaskGenerationOrderScheduler::Decide(
     const SchedulerView& view) {
-  TB_CHECK(view.graph && view.ready && view.free_cpu_slots &&
-           view.free_gpu_slots);
-  for (TaskId id : *view.ready) {
-    const Task& task = view.graph->task(id);
-    const auto processor = ChooseProcessor(view, task);
-    if (!processor.has_value()) continue;
-    const std::vector<int>& slots = SlotsFor(view, *processor);
-    for (size_t node = 0; node < slots.size(); ++node) {
-      if (slots[node] > 0) {
-        return Assignment{id, static_cast<int>(node), *processor};
-      }
-    }
-  }
-  return std::nullopt;
+  TB_CHECK(view.graph && view.ready && view.cpu_slots && view.gpu_slots);
+  const auto pick = PickTask(view);
+  if (!pick.has_value()) return std::nullopt;
+  const int node = SlotsFor(view, pick->processor).FirstFreeNode();
+  TB_CHECK(node >= 0);
+  return Assignment{pick->id, node, pick->processor};
 }
 
 std::optional<Assignment> DataLocalityScheduler::Decide(
     const SchedulerView& view) {
-  TB_CHECK(view.graph && view.ready && view.free_cpu_slots &&
-           view.free_gpu_slots && view.data_home);
-  for (TaskId id : *view.ready) {
-    const Task& task = view.graph->task(id);
-    const auto processor = ChooseProcessor(view, task);
-    if (!processor.has_value()) continue;
-    const std::vector<int>& slots = SlotsFor(view, *processor);
+  TB_CHECK(view.graph && view.ready && view.cpu_slots && view.gpu_slots &&
+           view.data_home);
+  const auto pick = PickTask(view);
+  if (!pick.has_value()) return std::nullopt;
+  const hw::SlotIndex& slots = SlotsFor(view, pick->processor);
 
-    // Input bytes per node holding them.
-    std::map<int, uint64_t> bytes_at_node;
-    for (const Param& param : task.spec.params) {
-      if (param.dir == Dir::kOut) continue;
-      const int home = (*view.data_home)[static_cast<size_t>(param.data)];
-      if (home >= 0) {
-        bytes_at_node[home] += view.graph->data(param.data).bytes;
+  // Among free nodes, take the one holding the most input bytes;
+  // ties (including the all-zero case) go to the lowest node id —
+  // the legacy full-node scan's tie-break. Seed the search with the
+  // first free node, then only the few nodes actually holding input
+  // bytes can beat it.
+  std::vector<std::pair<int, uint64_t>> scratch;
+  const std::vector<std::pair<int, uint64_t>>* tally;
+  if (view.locality != nullptr) {
+    tally = &view.locality->TallyFor(pick->id);
+  } else {
+    for (const Param& p : view.graph->task(pick->id).spec.params) {
+      if (p.dir == Dir::kOut) continue;
+      const int home = (*view.data_home)[static_cast<size_t>(p.data)];
+      if (home >= 0) scratch.emplace_back(home, view.graph->data(p.data).bytes);
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    size_t out = 0;
+    for (size_t i = 0; i < scratch.size(); ++i) {
+      if (out > 0 && scratch[out - 1].first == scratch[i].first) {
+        scratch[out - 1].second += scratch[i].second;
+      } else {
+        scratch[out++] = scratch[i];
       }
     }
+    scratch.resize(out);
+    tally = &scratch;
+  }
 
-    int best_node = -1;
-    uint64_t best_bytes = 0;
-    for (size_t node = 0; node < slots.size(); ++node) {
-      if (slots[node] <= 0) continue;
-      const auto it = bytes_at_node.find(static_cast<int>(node));
-      const uint64_t local = it == bytes_at_node.end() ? 0 : it->second;
-      if (best_node < 0 || local > best_bytes) {
-        best_node = static_cast<int>(node);
-        best_bytes = local;
-      }
-    }
-    if (best_node >= 0) {
-      return Assignment{id, best_node, *processor};
+  int best_node = slots.FirstFreeNode();
+  TB_CHECK(best_node >= 0);
+  uint64_t best_bytes = 0;
+  for (const auto& [node, bytes] : *tally) {
+    if (node > best_node) break;  // node-ascending; no entry for best_node
+    if (node == best_node) {
+      best_bytes = bytes;
+      break;
     }
   }
-  return std::nullopt;
+  for (const auto& [node, bytes] : *tally) {
+    if (node >= slots.num_nodes() || slots.free_at(node) <= 0) continue;
+    if (bytes > best_bytes) {
+      best_node = node;
+      best_bytes = bytes;
+    }
+  }
+  return Assignment{pick->id, best_node, pick->processor};
 }
 
 }  // namespace taskbench::runtime

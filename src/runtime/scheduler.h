@@ -1,42 +1,69 @@
 #ifndef TASKBENCH_RUNTIME_SCHEDULER_H_
 #define TASKBENCH_RUNTIME_SCHEDULER_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 #include "hw/cluster.h"
+#include "hw/slot_index.h"
+#include "runtime/ready_queue.h"
 #include "runtime/task_graph.h"
 
 namespace taskbench::runtime {
 
-/// Snapshot of the cluster state a scheduler decides on.
+/// Per-task cache of "input bytes per node" for the data-locality
+/// policy.
+///
+/// The locality scheduler weighs candidate nodes by how many input
+/// bytes they already hold. Rebuilding that tally from scratch on
+/// every visit (the legacy std::map per decision) is wasted work: a
+/// task's tally only changes when one of *its* inputs moves. The
+/// cache keeps one flat node-ascending (node, bytes) vector per task
+/// and a reverse datum→consumers index; a data-home change dirties
+/// exactly the consuming tasks' entries.
+class LocalityCache {
+ public:
+  /// `data_home` is the executor's live placement vector (index =
+  /// DataId); the cache reads it lazily on rebuild.
+  LocalityCache(const TaskGraph& graph, const std::vector<int>* data_home);
+
+  /// Input-bytes-per-node tally of `id`, sorted by node ascending.
+  /// Nodes holding none of the task's inputs are absent.
+  const std::vector<std::pair<int, uint64_t>>& TallyFor(TaskId id);
+
+  /// Invalidates the cached tallies of every task reading `d`. Call
+  /// whenever data_home[d] changes.
+  void OnDataHomeChanged(DataId d);
+
+ private:
+  const TaskGraph& graph_;
+  const std::vector<int>* data_home_;
+  std::vector<std::vector<TaskId>> consumers_;  ///< datum -> reader tasks
+  std::vector<std::vector<std::pair<int, uint64_t>>> tally_;
+  std::vector<bool> dirty_;
+};
+
+/// The incrementally-maintained cluster state a scheduler decides on.
+/// All pointers are owned by the executor and stay valid (and live —
+/// they are not snapshots) across the run.
 struct SchedulerView {
   const TaskGraph* graph = nullptr;
-  /// Dependency-free tasks in submission order (the "task generation
-  /// order").
-  const std::vector<TaskId>* ready = nullptr;
-  /// Free execution slots per node for the processor kind each ready
-  /// task targets. free_slots[node] == number of free slots.
-  const std::vector<int>* free_cpu_slots = nullptr;
-  const std::vector<int>* free_gpu_slots = nullptr;
+  /// Ready tasks, bucketed by placement class, FIFO by submission id
+  /// within each class (the "task generation order").
+  const ReadyQueue* ready = nullptr;
+  /// Free CPU-core / GPU-device slots per node with O(1) aggregates.
+  const hw::SlotIndex* cpu_slots = nullptr;
+  const hw::SlotIndex* gpu_slots = nullptr;
   /// Current home node of every datum (index = DataId); -1 unknown.
   const std::vector<int>* data_home = nullptr;
-  /// Hybrid placement (see SimulatedExecutorOptions::hybrid): GPU
-  /// tasks may fall back to free CPU cores when no device is free,
-  /// and MUST fall back when their working set cannot fit the device.
-  bool hybrid = false;
-  /// Per task: whether its working set fits GPU memory (index =
-  /// TaskId). Only consulted when hybrid is true; may be null
-  /// otherwise.
-  const std::vector<bool>* gpu_fits = nullptr;
-  /// Per task: whether spilling to a CPU core is worthwhile (CPU
-  /// compute time within the executor's slowdown budget). Tasks that
-  /// do not fit the GPU spill regardless. Only consulted when hybrid
-  /// is true; may be null otherwise.
-  const std::vector<bool>* cpu_spill_ok = nullptr;
+  /// Cached input-locality tallies; may be null (the locality policy
+  /// then computes tallies ad hoc).
+  LocalityCache* locality = nullptr;
 };
 
 /// One scheduling decision: run `task` on `node` using `processor`
@@ -69,6 +96,9 @@ class Scheduler {
 
   /// Returns the next assignment, or nullopt when no ready task can
   /// be placed (all slots busy). Called repeatedly until nullopt.
+  /// Both built-in policies run in O(log ready) per call: placement
+  /// feasibility is uniform within a ReadyQueue class, so only the
+  /// class heads are ever candidates.
   virtual std::optional<Assignment> Decide(const SchedulerView& view) = 0;
 };
 

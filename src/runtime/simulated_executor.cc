@@ -1,14 +1,16 @@
 #include "runtime/simulated_executor.h"
 
 #include <algorithm>
+#include <deque>
 #include <memory>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "hw/slot_index.h"
 #include "perf/cost_model.h"
+#include "runtime/ready_queue.h"
 #include "runtime/scheduler.h"
 #include "sim/bandwidth_resource.h"
 #include "sim/simulator.h"
@@ -19,6 +21,13 @@ namespace {
 
 /// All mutable state of one simulation run. The executor itself is
 /// const/reusable; every Execute() builds a fresh SimState.
+///
+/// The scheduling path is built on incremental structures so one
+/// decision costs O(log ready) instead of O(ready x nodes): the ready
+/// set lives in per-placement-class heaps (ReadyQueue), free slots in
+/// O(1)-aggregate SlotIndexes, and locality tallies in a
+/// dirty-tracked per-task cache. docs/sched_fast_path.md derives the
+/// equivalence with the legacy full-scan path.
 class SimState {
  public:
   SimState(const hw::ClusterSpec& cluster,
@@ -29,8 +38,8 @@ class SimState {
         model_(cluster),
         scheduler_(MakeScheduler(options.policy)) {
     const int nodes = cluster_.num_nodes;
-    free_cpu_.assign(static_cast<size_t>(nodes), cluster_.cores_per_node);
-    free_gpu_.assign(static_cast<size_t>(nodes), cluster_.gpus_per_node);
+    cpu_slots_.Reset(nodes, cluster_.cores_per_node);
+    gpu_slots_.Reset(nodes, cluster_.gpus_per_node);
 
     sim::BandwidthResourceOptions shared_opts;
     shared_opts.capacity_bps = cluster_.shared_disk.aggregate_bw_bps;
@@ -88,26 +97,32 @@ class SimState {
       }
     }
 
+    if (options_.policy == SchedulingPolicy::kDataLocality) {
+      locality_ = std::make_unique<LocalityCache>(graph_, &data_home_);
+    }
+
     remaining_deps_.resize(static_cast<size_t>(graph_.num_tasks()));
     records_.resize(static_cast<size_t>(graph_.num_tasks()));
-    gpu_fits_.resize(static_cast<size_t>(graph_.num_tasks()), true);
-    cpu_spill_ok_.resize(static_cast<size_t>(graph_.num_tasks()), true);
+    task_class_.resize(static_cast<size_t>(graph_.num_tasks()));
     for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+      const perf::TaskCost& cost = graph_.task(t).spec.cost;
+      bool gpu_fits = false;
+      bool cpu_spill_ok = true;
+      if (cluster_.total_gpus() > 0) {
+        gpu_fits = model_.CheckGpuFit(cost).ok();
+        if (options_.hybrid) {
+          const double gpu_time =
+              model_.GpuParallelFraction(cost) + model_.CpuGpuComm(cost);
+          cpu_spill_ok = model_.CpuParallelFraction(cost) <=
+                         options_.hybrid_max_cpu_slowdown * gpu_time;
+        }
+      }
+      task_class_[static_cast<size_t>(t)] = ClassifyTask(
+          graph_.task(t).spec, options_.hybrid, gpu_fits, cpu_spill_ok);
       remaining_deps_[static_cast<size_t>(t)] =
           static_cast<int>(graph_.task(t).deps.size());
-      if (remaining_deps_[static_cast<size_t>(t)] == 0) ready_.insert(t);
-      const perf::TaskCost& cost = graph_.task(t).spec.cost;
-      if (cluster_.total_gpus() > 0) {
-        gpu_fits_[static_cast<size_t>(t)] = model_.CheckGpuFit(cost).ok();
-      } else {
-        gpu_fits_[static_cast<size_t>(t)] = false;
-      }
-      if (options_.hybrid && cluster_.total_gpus() > 0) {
-        const double gpu_time = model_.GpuParallelFraction(cost) +
-                                model_.CpuGpuComm(cost);
-        cpu_spill_ok_[static_cast<size_t>(t)] =
-            model_.CpuParallelFraction(cost) <=
-            options_.hybrid_max_cpu_slowdown * gpu_time;
+      if (remaining_deps_[static_cast<size_t>(t)] == 0) {
+        ready_.Push(t, task_class_[static_cast<size_t>(t)]);
       }
     }
   }
@@ -131,10 +146,18 @@ class SimState {
     report.records = std::move(records_);
     report.makespan = makespan_;
     report.scheduler_overhead = scheduler_overhead_;
+    report.sim_events = simulator_.events_executed();
     return report;
   }
 
  private:
+  /// In-flight execution state of one dispatched task. Instances are
+  /// pooled and recycled: at most slots-many are live at once, the
+  /// hot loop never allocates one, and the continuation lambdas
+  /// capture {this, raw pointer} — small enough for std::function's
+  /// inline buffer, so per-event heap churn is gone too. Inputs and
+  /// outputs are walked directly over the task's param list instead
+  /// of being copied into per-run vectors.
   struct TaskRun {
     TaskId id = -1;
     int node = -1;
@@ -143,11 +166,23 @@ class SimState {
     double deser_start = 0;
     double deser_end = 0;
     double compute_end = 0;
-    size_t next_input = 0;
-    size_t next_output = 0;
-    std::vector<DataId> inputs;
-    std::vector<DataId> outputs;
+    size_t next_input = 0;   ///< param index of the next input read
+    size_t next_output = 0;  ///< param index of the next output write
+    int join_pending = 0;    ///< disk+network legs of a remote read
   };
+
+  TaskRun* AcquireRun() {
+    if (free_runs_.empty()) {
+      run_pool_.emplace_back();
+      return &run_pool_.back();
+    }
+    TaskRun* run = free_runs_.back();
+    free_runs_.pop_back();
+    *run = TaskRun{};
+    return run;
+  }
+
+  void ReleaseRun(TaskRun* run) { free_runs_.push_back(run); }
 
   void Fail(Status status) {
     if (failure_.ok()) failure_ = std::move(status);
@@ -158,32 +193,29 @@ class SimState {
   /// serializing decision overhead through the master.
   void ScheduleLoop() {
     if (!failure_.ok()) return;
+    SchedulerView view;
+    view.graph = &graph_;
+    view.ready = &ready_;
+    view.cpu_slots = &cpu_slots_;
+    view.gpu_slots = &gpu_slots_;
+    view.data_home = &data_home_;
+    view.locality = locality_.get();
     for (;;) {
-      ready_order_.assign(ready_.begin(), ready_.end());
-      SchedulerView view;
-      view.graph = &graph_;
-      view.ready = &ready_order_;
-      view.free_cpu_slots = &free_cpu_;
-      view.free_gpu_slots = &free_gpu_;
-      view.data_home = &data_home_;
-      view.hybrid = options_.hybrid;
-      view.gpu_fits = &gpu_fits_;
-      view.cpu_spill_ok = &cpu_spill_ok_;
       const auto assignment = scheduler_->Decide(view);
       if (!assignment.has_value()) return;
 
       const TaskId id = assignment->task;
       const int node = assignment->node;
       const Task& task = graph_.task(id);
-      TB_CHECK(ready_.erase(id) == 1) << "scheduler picked non-ready task";
+      const PlacementClass cls = task_class_[static_cast<size_t>(id)];
+      TB_CHECK(ready_.Head(cls) == id) << "scheduler picked non-ready task";
+      ready_.PopHead(cls);
       TB_CHECK(options_.hybrid ||
                assignment->processor == task.spec.processor)
           << "non-hybrid scheduler changed a task's processor";
-      auto& slots = assignment->processor == Processor::kCpu ? free_cpu_
-                                                             : free_gpu_;
-      TB_CHECK(slots[static_cast<size_t>(node)] > 0)
-          << "scheduler picked node without free slot";
-      --slots[static_cast<size_t>(node)];
+      auto& slots = assignment->processor == Processor::kCpu ? cpu_slots_
+                                                             : gpu_slots_;
+      slots.Acquire(node);  // checks the node has a free slot
 
       const double overhead =
           options_.scheduler_overhead_override_s >= 0
@@ -193,19 +225,15 @@ class SimState {
       master_free_at_ =
           std::max(master_free_at_, simulator_.Now()) + overhead;
 
-      auto run = std::make_shared<TaskRun>();
+      TaskRun* run = AcquireRun();
       run->id = id;
       run->node = node;
       run->processor = assignment->processor;
-      for (const Param& p : task.spec.params) {
-        if (p.dir != Dir::kOut) run->inputs.push_back(p.data);
-        if (p.dir != Dir::kIn) run->outputs.push_back(p.data);
-      }
       simulator_.At(master_free_at_, [this, run]() { StartTask(run); });
     }
   }
 
-  void StartTask(const std::shared_ptr<TaskRun>& run) {
+  void StartTask(TaskRun* run) {
     run->dispatch_done = simulator_.Now();
     run->deser_start = simulator_.Now();
     ReadNextInput(run);
@@ -213,14 +241,19 @@ class SimState {
 
   /// Inputs are deserialized sequentially by the worker core, as a
   /// COMPSs worker does.
-  void ReadNextInput(const std::shared_ptr<TaskRun>& run) {
+  void ReadNextInput(TaskRun* run) {
     if (!failure_.ok()) return;
-    if (run->next_input >= run->inputs.size()) {
+    const std::vector<Param>& params = graph_.task(run->id).spec.params;
+    while (run->next_input < params.size() &&
+           params[run->next_input].dir == Dir::kOut) {
+      ++run->next_input;
+    }
+    if (run->next_input >= params.size()) {
       run->deser_end = simulator_.Now();
       Compute(run);
       return;
     }
-    const DataId d = run->inputs[run->next_input++];
+    const DataId d = params[run->next_input++].data;
     const uint64_t bytes = graph_.data(d).bytes;
     auto cont = [this, run]() { ReadNextInput(run); };
     if (options_.storage == hw::StorageArchitecture::kSharedDisk) {
@@ -236,16 +269,16 @@ class SimState {
       // Remote block: the home node's disk and the network stream in
       // parallel (pipelined chunks), so the read completes when the
       // slower of the two finishes.
-      auto remaining = std::make_shared<int>(2);
-      auto join = [remaining, cont = std::move(cont)]() {
-        if (--*remaining == 0) cont();
+      run->join_pending = 2;
+      auto join = [this, run]() {
+        if (--run->join_pending == 0) ReadNextInput(run);
       };
       local_disks_[static_cast<size_t>(home)]->Transfer(bytes, join);
       network_->Transfer(bytes, join);
     }
   }
 
-  void Compute(const std::shared_ptr<TaskRun>& run) {
+  void Compute(TaskRun* run) {
     if (!failure_.ok()) return;
     const Task& task = graph_.task(run->id);
     const perf::TaskCost& cost = task.spec.cost;
@@ -269,18 +302,26 @@ class SimState {
     });
   }
 
-  void WriteNextOutput(const std::shared_ptr<TaskRun>& run) {
+  void WriteNextOutput(TaskRun* run) {
     if (!failure_.ok()) return;
-    if (run->next_output >= run->outputs.size()) {
+    const std::vector<Param>& params = graph_.task(run->id).spec.params;
+    while (run->next_output < params.size() &&
+           params[run->next_output].dir == Dir::kIn) {
+      ++run->next_output;
+    }
+    if (run->next_output >= params.size()) {
       FinishTask(run);
       return;
     }
-    const DataId d = run->outputs[run->next_output++];
+    const DataId d = params[run->next_output++].data;
     const uint64_t bytes = graph_.data(d).bytes;
     // Outputs are written to the executing node's disk (local) or to
     // the shared filesystem; either way the datum's home becomes the
     // producing node for locality purposes.
-    data_home_[static_cast<size_t>(d)] = run->node;
+    if (data_home_[static_cast<size_t>(d)] != run->node) {
+      data_home_[static_cast<size_t>(d)] = run->node;
+      if (locality_ != nullptr) locality_->OnDataHomeChanged(d);
+    }
     auto cont = [this, run]() { WriteNextOutput(run); };
     if (options_.storage == hw::StorageArchitecture::kSharedDisk) {
       shared_disk_->Transfer(bytes, std::move(cont));
@@ -290,7 +331,7 @@ class SimState {
     }
   }
 
-  void FinishTask(const std::shared_ptr<TaskRun>& run) {
+  void FinishTask(TaskRun* run) {
     const Task& task = graph_.task(run->id);
     const perf::TaskCost& cost = task.spec.cost;
 
@@ -314,15 +355,16 @@ class SimState {
     makespan_ = std::max(makespan_, rec.end);
 
     auto& slots =
-        run->processor == Processor::kCpu ? free_cpu_ : free_gpu_;
-    ++slots[static_cast<size_t>(run->node)];
+        run->processor == Processor::kCpu ? cpu_slots_ : gpu_slots_;
+    slots.Release(run->node);
     ++completed_;
 
     for (TaskId succ : task.successors) {
       if (--remaining_deps_[static_cast<size_t>(succ)] == 0) {
-        ready_.insert(succ);
+        ready_.Push(succ, task_class_[static_cast<size_t>(succ)]);
       }
     }
+    ReleaseRun(run);
     ScheduleLoop();
   }
 
@@ -337,15 +379,17 @@ class SimState {
   std::vector<std::unique_ptr<sim::BandwidthResource>> local_disks_;
   std::unique_ptr<sim::BandwidthResource> network_;
 
-  std::vector<int> free_cpu_;
-  std::vector<int> free_gpu_;
-  std::vector<bool> gpu_fits_;
-  std::vector<bool> cpu_spill_ok_;
+  hw::SlotIndex cpu_slots_;
+  hw::SlotIndex gpu_slots_;
+  std::vector<PlacementClass> task_class_;
   std::vector<int> data_home_;
-  std::set<TaskId> ready_;
-  std::vector<TaskId> ready_order_;
+  std::unique_ptr<LocalityCache> locality_;
+  ReadyQueue ready_;
   std::vector<int> remaining_deps_;
   std::vector<TaskRecord> records_;
+
+  std::deque<TaskRun> run_pool_;    ///< stable storage for live runs
+  std::vector<TaskRun*> free_runs_;
 
   double master_free_at_ = 0;
   double scheduler_overhead_ = 0;

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -49,7 +50,14 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
     std::condition_variable cv;
     std::deque<TaskId> ready;
     std::vector<int> remaining_deps;
-    std::map<DataId, data::Matrix> values;  // memory-mode store
+    // Memory-mode store. Values are held by shared_ptr so readers can
+    // take ownership under the lock and copy (or just read) outside
+    // it — a worker deserializing a large block must not serialize
+    // every other worker behind the global mutex. The DAG guarantees
+    // a datum is never overwritten while a reader still uses it
+    // (write-after-read dependencies order those tasks), and the old
+    // value's last shared_ptr keeps it alive regardless.
+    std::map<DataId, std::shared_ptr<data::Matrix>> values;
     int64_t completed = 0;
     int64_t total = 0;
     bool failed = false;
@@ -76,16 +84,19 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
       storage::Serializer::Serialize(*entry.value, &bytes);
       TB_RETURN_IF_ERROR(store_->Put(KeyFor(d), std::move(bytes)));
     } else {
-      shared.values[d] = *entry.value;
+      shared.values[d] = std::make_shared<data::Matrix>(*entry.value);
     }
   }
 
   std::vector<TaskRecord> records(static_cast<size_t>(graph.num_tasks()));
   const Clock::time_point origin = Clock::now();
 
-  // Reads the current value of `d`, timing the deserialization.
-  auto read_datum = [&](DataId d, double* deser_seconds)
-      -> Result<data::Matrix> {
+  // Shared ownership of the current value of `d`, timing the
+  // deserialization. In memory mode the critical section is one map
+  // lookup and a refcount bump; no block is ever copied under the
+  // lock. Storage mode deserializes a private copy (no lock at all).
+  auto read_shared = [&](DataId d, double* deser_seconds)
+      -> Result<std::shared_ptr<data::Matrix>> {
     if (options_.use_storage) {
       const double t0 = SecondsSince(origin);
       TB_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
@@ -93,16 +104,30 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
       TB_ASSIGN_OR_RETURN(data::Matrix m,
                           storage::Serializer::Deserialize(bytes));
       *deser_seconds += SecondsSince(origin) - t0;
-      return m;
+      return std::make_shared<data::Matrix>(std::move(m));
     }
-    std::lock_guard<std::mutex> lock(shared.mu);
-    auto it = shared.values.find(d);
-    if (it == shared.values.end()) {
+    std::shared_ptr<data::Matrix> value;
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      auto it = shared.values.find(d);
+      if (it != shared.values.end()) value = it->second;
+    }
+    if (value == nullptr) {
       return Status::NotFound(
           StrFormat("datum %lld has no value; was it ever written?",
                     static_cast<long long>(d)));
     }
-    return it->second;
+    return value;
+  };
+
+  // Private mutable copy of `d` (for INOUT slots kernels update in
+  // place); the memory-mode copy happens outside the lock.
+  auto read_owned = [&](DataId d,
+                        double* deser_seconds) -> Result<data::Matrix> {
+    TB_ASSIGN_OR_RETURN(const std::shared_ptr<data::Matrix> value,
+                        read_shared(d, deser_seconds));
+    if (options_.use_storage) return std::move(*value);  // sole owner
+    return *value;
   };
 
   auto write_datum = [&](DataId d, data::Matrix value,
@@ -115,8 +140,9 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
       *ser_seconds += SecondsSince(origin) - t0;
       return Status::OK();
     }
+    auto boxed = std::make_shared<data::Matrix>(std::move(value));
     std::lock_guard<std::mutex> lock(shared.mu);
-    shared.values[d] = std::move(value);
+    shared.values[d] = std::move(boxed);
     return Status::OK();
   };
 
@@ -137,8 +163,10 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
     }
 
     // Materialize inputs (IN + INOUT) and output slots (OUT + INOUT).
-    // out_values is sized up front so pointers into it stay stable.
-    std::vector<data::Matrix> in_values;
+    // IN values are shared with the store (zero-copy in memory mode);
+    // INOUT slots get private copies kernels may mutate. out_values
+    // is sized up front so pointers into it stay stable.
+    std::vector<std::shared_ptr<data::Matrix>> in_values;
     std::vector<data::Matrix> out_values;
     std::vector<DataId> out_ids;
     std::vector<size_t> inout_out_index;  // out_values slots of INOUTs
@@ -147,14 +175,14 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
     size_t num_outputs = 0;
     for (const Param& p : task.spec.params) {
       if (p.dir == Dir::kIn) {
-        TB_ASSIGN_OR_RETURN(data::Matrix m,
-                            read_datum(p.data, &rec.stages.deserialize));
+        TB_ASSIGN_OR_RETURN(std::shared_ptr<data::Matrix> m,
+                            read_shared(p.data, &rec.stages.deserialize));
         in_values.push_back(std::move(m));
         continue;
       }
       if (p.dir == Dir::kInOut) {
         TB_ASSIGN_OR_RETURN(out_values[num_outputs],
-                            read_datum(p.data, &rec.stages.deserialize));
+                            read_owned(p.data, &rec.stages.deserialize));
         inout_out_index.push_back(num_outputs);
       }
       out_ids.push_back(p.data);
@@ -166,7 +194,7 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
     // their output slots so kernels can update in place).
     std::vector<const data::Matrix*> inputs;
     std::vector<data::Matrix*> outputs;
-    for (const data::Matrix& m : in_values) inputs.push_back(&m);
+    for (const auto& m : in_values) inputs.push_back(m.get());
     for (size_t idx : inout_out_index) inputs.push_back(&out_values[idx]);
     for (data::Matrix& m : out_values) outputs.push_back(&m);
 
@@ -229,8 +257,10 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   // Persist memory-mode values back onto the graph entries so they
   // survive for FetchData in both modes.
   if (!options_.use_storage) {
+    // Workers have joined, so each shared_ptr is the sole owner and
+    // the underlying matrix can be moved out.
     for (auto& [d, value] : shared.values) {
-      graph.mutable_data(d).value = std::move(value);
+      graph.mutable_data(d).value = std::move(*value);
     }
   }
 

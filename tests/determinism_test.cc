@@ -1,0 +1,150 @@
+// Regression guard for the scheduling fast path: the simulated
+// executor must be bit-deterministic. Every graph/cluster/options
+// combination is executed twice and the two RunReports compared
+// field-for-field — any divergence in the incremental ready queue,
+// slot indexes or locality cache's tie-breaking shows up here as a
+// report mismatch. (The cross-build variant of this check is
+// tools/report_digest.cc.)
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/cluster.h"
+#include "runtime/simulated_executor.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::runtime {
+namespace {
+
+perf::TaskCost CostFor(uint64_t bytes, bool gpu) {
+  perf::TaskCost cost;
+  cost.parallel.flops = static_cast<double>(bytes) * 8;
+  cost.parallel.bytes = static_cast<double>(bytes);
+  cost.serial.flops = static_cast<double>(bytes) / 4;
+  cost.serial.bytes = static_cast<double>(bytes) / 4;
+  cost.input_bytes = bytes;
+  cost.output_bytes = bytes;
+  if (gpu) {
+    cost.h2d_bytes = bytes;
+    cost.d2h_bytes = bytes;
+    cost.num_transfers = 2;
+    cost.gpu_working_set_bytes = 2 * bytes;
+  }
+  return cost;
+}
+
+/// A DAG mixing every dependency and placement pattern the executor
+/// distinguishes: a shared-input fan of CPU and GPU tasks, a chain
+/// over an INOUT accumulator, and a fan-in reduce. Wide enough that
+/// tasks contend for slots (tie-breaks exercised), deep enough that
+/// the ready set changes while tasks are in flight.
+TaskGraph BuildGraph() {
+  TaskGraph graph;
+  std::vector<DataId> pool;
+  for (int i = 0; i < 8; ++i) {
+    pool.push_back(graph.AddData(1 << 20, "", i % 4));
+  }
+  std::vector<DataId> mids;
+  for (int t = 0; t < 96; ++t) {
+    const DataId out = graph.AddData(256 << 10);
+    mids.push_back(out);
+    TaskSpec spec;
+    spec.type = t % 3 == 0 ? "gpu_stage" : "cpu_stage";
+    spec.processor = t % 3 == 0 ? Processor::kGpu : Processor::kCpu;
+    spec.cost = CostFor(256 << 10, spec.processor == Processor::kGpu);
+    spec.params = {{pool[static_cast<size_t>(t % 8)], Dir::kIn},
+                   {out, Dir::kOut}};
+    EXPECT_TRUE(graph.Submit(std::move(spec)).ok());
+  }
+  const DataId acc = graph.AddData(1 << 20);
+  for (int t = 0; t < 16; ++t) {
+    TaskSpec spec;
+    spec.type = "chain";
+    spec.processor = Processor::kCpu;
+    spec.cost = CostFor(128 << 10, false);
+    spec.params = {{mids[static_cast<size_t>(t)], Dir::kIn},
+                   {acc, Dir::kInOut}};
+    EXPECT_TRUE(graph.Submit(std::move(spec)).ok());
+  }
+  TaskSpec reduce;
+  reduce.type = "reduce";
+  reduce.processor = Processor::kCpu;
+  reduce.cost = CostFor(2 << 20, false);
+  reduce.params.push_back({graph.AddData(64 << 10), Dir::kOut});
+  reduce.params.push_back({acc, Dir::kIn});
+  for (int t = 0; t < 96; t += 7) {
+    reduce.params.push_back({mids[static_cast<size_t>(t)], Dir::kIn});
+  }
+  EXPECT_TRUE(graph.Submit(std::move(reduce)).ok());
+  return graph;
+}
+
+void ExpectIdenticalReports(const RunReport& a, const RunReport& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.scheduler_overhead, b.scheduler_overhead);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    const TaskRecord& ra = a.records[i];
+    const TaskRecord& rb = b.records[i];
+    SCOPED_TRACE(testing::Message() << "record " << i);
+    EXPECT_EQ(ra.task, rb.task);
+    EXPECT_EQ(ra.type, rb.type);
+    EXPECT_EQ(ra.level, rb.level);
+    EXPECT_EQ(ra.processor, rb.processor);
+    EXPECT_EQ(ra.node, rb.node);
+    EXPECT_EQ(ra.slot, rb.slot);
+    EXPECT_EQ(ra.start, rb.start);
+    EXPECT_EQ(ra.end, rb.end);
+    EXPECT_EQ(ra.stages.deserialize, rb.stages.deserialize);
+    EXPECT_EQ(ra.stages.serial_fraction, rb.stages.serial_fraction);
+    EXPECT_EQ(ra.stages.parallel_fraction, rb.stages.parallel_fraction);
+    EXPECT_EQ(ra.stages.cpu_gpu_comm, rb.stages.cpu_gpu_comm);
+    EXPECT_EQ(ra.stages.serialize, rb.stages.serialize);
+  }
+}
+
+TEST(DeterminismTest, RepeatedRunsProduceIdenticalReports) {
+  const TaskGraph graph = BuildGraph();
+  for (auto policy : {SchedulingPolicy::kTaskGenerationOrder,
+                      SchedulingPolicy::kDataLocality}) {
+    for (auto storage : {hw::StorageArchitecture::kSharedDisk,
+                         hw::StorageArchitecture::kLocalDisk}) {
+      for (bool hybrid : {false, true}) {
+        SCOPED_TRACE(testing::Message()
+                     << ToString(policy) << "/" << hw::ToString(storage)
+                     << "/hybrid=" << hybrid);
+        SimulatedExecutorOptions options;
+        options.policy = policy;
+        options.storage = storage;
+        options.hybrid = hybrid;
+        SimulatedExecutor executor(hw::MinotauroCluster(), options);
+        auto first = executor.Execute(graph);
+        auto second = executor.Execute(graph);
+        ASSERT_TRUE(first.ok()) << first.status().ToString();
+        ASSERT_TRUE(second.ok()) << second.status().ToString();
+        ExpectIdenticalReports(*first, *second);
+      }
+    }
+  }
+}
+
+/// A fresh executor (not just a fresh run) must also reproduce the
+/// report: no hidden state may leak through the const executor.
+TEST(DeterminismTest, FreshExecutorReproducesReport) {
+  const TaskGraph graph = BuildGraph();
+  SimulatedExecutorOptions options;
+  options.policy = SchedulingPolicy::kDataLocality;
+  options.storage = hw::StorageArchitecture::kLocalDisk;
+  auto first = SimulatedExecutor(hw::MinotauroCluster(), options)
+                   .Execute(graph);
+  auto second = SimulatedExecutor(hw::MinotauroCluster(), options)
+                    .Execute(graph);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectIdenticalReports(*first, *second);
+}
+
+}  // namespace
+}  // namespace taskbench::runtime

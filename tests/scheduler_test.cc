@@ -2,17 +2,28 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/ready_queue.h"
+
 namespace taskbench::runtime {
 namespace {
 
-/// Builds a graph with `n` independent CPU tasks reading one block
-/// each; block i lives on a configurable node.
+/// Re-initializes `slots` so node n has counts[n] free slots.
+void SetSlots(hw::SlotIndex* slots, const std::vector<int>& counts) {
+  slots->Reset(static_cast<int>(counts.size()), 0);
+  for (size_t n = 0; n < counts.size(); ++n) {
+    for (int i = 0; i < counts[n]; ++i) slots->Release(static_cast<int>(n));
+  }
+}
+
+/// Builds a graph with `n` independent tasks reading one block each;
+/// block i lives on a configurable node.
 struct Fixture {
   TaskGraph graph;
-  std::vector<TaskId> ready;
-  std::vector<int> free_cpu;
-  std::vector<int> free_gpu;
+  ReadyQueue ready;
+  hw::SlotIndex free_cpu;
+  hw::SlotIndex free_gpu;
   std::vector<int> data_home;
+  std::vector<TaskId> ids;
 
   explicit Fixture(int num_tasks, int num_nodes,
                    Processor processor = Processor::kCpu) {
@@ -25,19 +36,21 @@ struct Fixture {
       spec.params = {{in, Dir::kIn}, {out, Dir::kOut}};
       auto id = graph.Submit(spec);
       EXPECT_TRUE(id.ok());
-      ready.push_back(*id);
+      ids.push_back(*id);
+      ready.Push(*id, ClassifyTask(graph.task(*id).spec, /*hybrid=*/false,
+                                   /*gpu_fits=*/true, /*cpu_spill_ok=*/true));
     }
-    free_cpu.assign(static_cast<size_t>(num_nodes), 1);
-    free_gpu.assign(static_cast<size_t>(num_nodes), 1);
+    free_cpu.Reset(num_nodes, 1);
+    free_gpu.Reset(num_nodes, 1);
     data_home.assign(static_cast<size_t>(graph.num_data()), -1);
   }
 
-  SchedulerView View() const {
+  SchedulerView View() {
     SchedulerView view;
     view.graph = &graph;
     view.ready = &ready;
-    view.free_cpu_slots = &free_cpu;
-    view.free_gpu_slots = &free_gpu;
+    view.cpu_slots = &free_cpu;
+    view.gpu_slots = &free_gpu;
     view.data_home = &data_home;
     return view;
   }
@@ -67,18 +80,72 @@ TEST(SchedulerTest, LocalityCostsMorePerDecision) {
             gen.DecisionOverhead(hw::StorageArchitecture::kLocalDisk));
 }
 
+TEST(SlotIndexTest, TracksAggregatesAndFirstFree) {
+  hw::SlotIndex slots(3, 2);
+  EXPECT_EQ(slots.total_free(), 6);
+  EXPECT_EQ(slots.FirstFreeNode(), 0);
+  slots.Acquire(0);
+  slots.Acquire(0);
+  EXPECT_EQ(slots.free_at(0), 0);
+  EXPECT_EQ(slots.FirstFreeNode(), 1);
+  EXPECT_EQ(slots.total_free(), 4);
+  slots.Release(0);
+  EXPECT_EQ(slots.FirstFreeNode(), 0);
+  SetSlots(&slots, {0, 0, 3});
+  EXPECT_EQ(slots.FirstFreeNode(), 2);
+  EXPECT_EQ(slots.total_free(), 3);
+}
+
+TEST(SlotIndexTest, FirstFreePastOneMaskWord) {
+  hw::SlotIndex slots(130, 1);
+  for (int n = 0; n < 129; ++n) slots.Acquire(n);
+  EXPECT_EQ(slots.FirstFreeNode(), 129);
+  slots.Acquire(129);
+  EXPECT_EQ(slots.FirstFreeNode(), -1);
+  EXPECT_EQ(slots.total_free(), 0);
+}
+
+TEST(ReadyQueueTest, HeadsAreMinTaskIdPerClass) {
+  ReadyQueue queue;
+  EXPECT_TRUE(queue.empty());
+  queue.Push(7, PlacementClass::kCpuOnly);
+  queue.Push(3, PlacementClass::kCpuOnly);
+  queue.Push(5, PlacementClass::kGpuOnly);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.Head(PlacementClass::kCpuOnly), 3);
+  EXPECT_EQ(queue.Head(PlacementClass::kGpuOnly), 5);
+  EXPECT_EQ(queue.Head(PlacementClass::kGpuOrCpu), -1);
+  queue.PopHead(PlacementClass::kCpuOnly);
+  EXPECT_EQ(queue.Head(PlacementClass::kCpuOnly), 7);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(ClassifyTaskTest, MapsSpecsToClasses) {
+  TaskSpec cpu;
+  cpu.processor = Processor::kCpu;
+  TaskSpec gpu;
+  gpu.processor = Processor::kGpu;
+  EXPECT_EQ(ClassifyTask(cpu, false, true, true), PlacementClass::kCpuOnly);
+  EXPECT_EQ(ClassifyTask(cpu, true, false, false), PlacementClass::kCpuOnly);
+  EXPECT_EQ(ClassifyTask(gpu, false, false, false),
+            PlacementClass::kGpuOnly);
+  EXPECT_EQ(ClassifyTask(gpu, true, true, true), PlacementClass::kGpuOrCpu);
+  EXPECT_EQ(ClassifyTask(gpu, true, true, false), PlacementClass::kGpuOnly);
+  EXPECT_EQ(ClassifyTask(gpu, true, false, true), PlacementClass::kCpuSpill);
+}
+
 TEST(TaskGenOrderTest, PicksFirstReadyTaskFirstFreeNode) {
   Fixture fx(3, 2);
   TaskGenerationOrderScheduler scheduler;
   const auto a = scheduler.Decide(fx.View());
   ASSERT_TRUE(a.has_value());
-  EXPECT_EQ(a->task, fx.ready[0]);
+  EXPECT_EQ(a->task, fx.ids[0]);
   EXPECT_EQ(a->node, 0);
 }
 
 TEST(TaskGenOrderTest, SkipsFullNodes) {
   Fixture fx(1, 3);
-  fx.free_cpu = {0, 0, 1};
+  SetSlots(&fx.free_cpu, {0, 0, 1});
   TaskGenerationOrderScheduler scheduler;
   const auto a = scheduler.Decide(fx.View());
   ASSERT_TRUE(a.has_value());
@@ -87,15 +154,15 @@ TEST(TaskGenOrderTest, SkipsFullNodes) {
 
 TEST(TaskGenOrderTest, ReturnsNulloptWhenSaturated) {
   Fixture fx(2, 2);
-  fx.free_cpu = {0, 0};
+  SetSlots(&fx.free_cpu, {0, 0});
   TaskGenerationOrderScheduler scheduler;
   EXPECT_FALSE(scheduler.Decide(fx.View()).has_value());
 }
 
 TEST(TaskGenOrderTest, UsesGpuSlotsForGpuTasks) {
   Fixture fx(1, 2, Processor::kGpu);
-  fx.free_cpu = {0, 0};  // no CPU slots needed
-  fx.free_gpu = {0, 1};
+  SetSlots(&fx.free_cpu, {0, 0});  // no CPU slots needed
+  SetSlots(&fx.free_gpu, {0, 1});
   TaskGenerationOrderScheduler scheduler;
   const auto a = scheduler.Decide(fx.View());
   ASSERT_TRUE(a.has_value());
@@ -115,7 +182,7 @@ TEST(DataLocalityTest, PrefersNodeHoldingInputBytes) {
 TEST(DataLocalityTest, FallsBackWhenPreferredNodeBusy) {
   Fixture fx(1, 3);
   fx.data_home[0] = 2;
-  fx.free_cpu = {1, 1, 0};  // preferred node full
+  SetSlots(&fx.free_cpu, {1, 1, 0});  // preferred node full
   DataLocalityScheduler scheduler;
   const auto a = scheduler.Decide(fx.View());
   ASSERT_TRUE(a.has_value());
@@ -134,15 +201,16 @@ TEST(DataLocalityTest, WeighsBytesNotCounts) {
   auto id = graph.Submit(spec);
   ASSERT_TRUE(id.ok());
 
-  std::vector<TaskId> ready{*id};
-  std::vector<int> free_cpu{1, 1};
-  std::vector<int> free_gpu{0, 0};
+  ReadyQueue ready;
+  ready.Push(*id, PlacementClass::kCpuOnly);
+  hw::SlotIndex free_cpu(2, 1);
+  hw::SlotIndex free_gpu(2, 0);
   std::vector<int> data_home{0, 1, -1};
   SchedulerView view;
   view.graph = &graph;
   view.ready = &ready;
-  view.free_cpu_slots = &free_cpu;
-  view.free_gpu_slots = &free_gpu;
+  view.cpu_slots = &free_cpu;
+  view.gpu_slots = &free_gpu;
   view.data_home = &data_home;
 
   DataLocalityScheduler scheduler;
@@ -160,6 +228,84 @@ TEST(DataLocalityTest, DeterministicAcrossCalls) {
   ASSERT_TRUE(b.has_value());
   EXPECT_EQ(a->task, b->task);
   EXPECT_EQ(a->node, b->node);
+}
+
+TEST(DataLocalityTest, CachedTallyMatchesAdHocAndTracksMoves) {
+  Fixture fx(1, 3);
+  fx.data_home[0] = 2;
+  LocalityCache cache(fx.graph, &fx.data_home);
+  SchedulerView view = fx.View();
+  view.locality = &cache;
+  DataLocalityScheduler scheduler;
+  auto a = scheduler.Decide(view);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->node, 2);
+
+  // Move the datum; without invalidation the stale tally would still
+  // point at node 2.
+  fx.data_home[0] = 1;
+  cache.OnDataHomeChanged(0);
+  a = scheduler.Decide(view);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->node, 1);
+}
+
+TEST(LocalityCacheTest, MergesBytesPerNodeSorted) {
+  TaskGraph graph;
+  const DataId a = graph.AddData(100);
+  const DataId b = graph.AddData(30);
+  const DataId c = graph.AddData(5);
+  const DataId out = graph.AddData(1);
+  TaskSpec spec;
+  spec.type = "t";
+  spec.params = {
+      {a, Dir::kIn}, {b, Dir::kIn}, {c, Dir::kIn}, {out, Dir::kOut}};
+  auto id = graph.Submit(spec);
+  ASSERT_TRUE(id.ok());
+
+  std::vector<int> data_home{2, 0, 2, -1};
+  LocalityCache cache(graph, &data_home);
+  const auto& tally = cache.TallyFor(*id);
+  ASSERT_EQ(tally.size(), 2u);
+  EXPECT_EQ(tally[0].first, 0);
+  EXPECT_EQ(tally[0].second, 30u);
+  EXPECT_EQ(tally[1].first, 2);
+  EXPECT_EQ(tally[1].second, 105u);
+}
+
+TEST(HybridClassTest, SpillPicksCpuOnlyWhenDevicesBusy) {
+  TaskGraph graph;
+  const DataId in = graph.AddData(1024);
+  const DataId out = graph.AddData(1024);
+  TaskSpec spec;
+  spec.type = "g";
+  spec.processor = Processor::kGpu;
+  spec.params = {{in, Dir::kIn}, {out, Dir::kOut}};
+  auto id = graph.Submit(spec);
+  ASSERT_TRUE(id.ok());
+
+  ReadyQueue ready;
+  ready.Push(*id, ClassifyTask(graph.task(*id).spec, /*hybrid=*/true,
+                               /*gpu_fits=*/true, /*cpu_spill_ok=*/true));
+  hw::SlotIndex free_cpu(2, 1);
+  hw::SlotIndex free_gpu(2, 1);
+  std::vector<int> data_home{-1, -1};
+  SchedulerView view;
+  view.graph = &graph;
+  view.ready = &ready;
+  view.cpu_slots = &free_cpu;
+  view.gpu_slots = &free_gpu;
+  view.data_home = &data_home;
+
+  TaskGenerationOrderScheduler scheduler;
+  auto a = scheduler.Decide(view);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->processor, Processor::kGpu);  // device free: prefer it
+
+  SetSlots(&free_gpu, {0, 0});
+  a = scheduler.Decide(view);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->processor, Processor::kCpu);  // all devices busy: spill
 }
 
 }  // namespace

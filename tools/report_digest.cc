@@ -1,0 +1,256 @@
+// Prints a canonical 64-bit digest of the simulated executor's
+// RunReport for a battery of graph shapes, clusters and option
+// combinations. Two builds that print identical digests made
+// bit-identical scheduling, placement and timing decisions — the
+// cross-build determinism check used to validate scheduler/executor
+// refactors (the in-build variant lives in tests/determinism_test.cc).
+//
+// Usage: report_digest
+
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "hw/cluster.h"
+#include "runtime/simulated_executor.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench {
+namespace {
+
+using runtime::DataId;
+using runtime::Dir;
+using runtime::RunReport;
+using runtime::TaskGraph;
+using runtime::TaskId;
+using runtime::TaskSpec;
+
+uint64_t Fnv1a(uint64_t hash, const std::string& s) {
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string CanonicalReport(const RunReport& report) {
+  std::string out = StrFormat("makespan=%.17g overhead=%.17g events=%llu\n",
+                              report.makespan, report.scheduler_overhead,
+                              static_cast<unsigned long long>(report.sim_events));
+  for (const runtime::TaskRecord& r : report.records) {
+    out += StrFormat(
+        "t=%lld type=%s level=%d proc=%s node=%d start=%.17g end=%.17g "
+        "de=%.17g sf=%.17g pf=%.17g comm=%.17g se=%.17g\n",
+        static_cast<long long>(r.task), r.type.c_str(), r.level,
+        ToString(r.processor).c_str(), r.node, r.start, r.end,
+        r.stages.deserialize, r.stages.serial_fraction,
+        r.stages.parallel_fraction, r.stages.cpu_gpu_comm,
+        r.stages.serialize);
+  }
+  return out;
+}
+
+perf::TaskCost CostFor(uint64_t bytes, bool gpu) {
+  perf::TaskCost cost;
+  cost.parallel.flops = static_cast<double>(bytes) * 4;
+  cost.parallel.bytes = static_cast<double>(bytes);
+  cost.serial.flops = static_cast<double>(bytes) / 8;
+  cost.serial.bytes = static_cast<double>(bytes) / 8;
+  cost.input_bytes = bytes;
+  cost.output_bytes = bytes;
+  if (gpu) {
+    cost.h2d_bytes = bytes;
+    cost.d2h_bytes = bytes;
+    cost.num_transfers = 2;
+    cost.gpu_working_set_bytes = 2 * bytes;
+  }
+  return cost;
+}
+
+TaskSpec Spec(const std::string& type, std::vector<runtime::Param> params,
+              uint64_t bytes, Processor proc) {
+  TaskSpec spec;
+  spec.type = type;
+  spec.params = std::move(params);
+  spec.processor = proc;
+  spec.cost = CostFor(bytes, proc == Processor::kGpu);
+  return spec;
+}
+
+/// Independent tasks over a shared input pool, CPU + GPU mix.
+TaskGraph WideMixed(int n) {
+  TaskGraph graph;
+  std::vector<DataId> pool;
+  for (int i = 0; i < 16; ++i) {
+    pool.push_back(graph.AddData(1 << 20, "", i % 4));
+  }
+  for (int t = 0; t < n; ++t) {
+    const DataId out = graph.AddData(512 << 10);
+    const Processor proc = t % 3 == 0 ? Processor::kGpu : Processor::kCpu;
+    TB_CHECK_OK(graph.Submit(Spec("wide", {{pool[static_cast<size_t>(t % 16)],
+                                            Dir::kIn},
+                                           {out, Dir::kOut}},
+                                  256 << 10, proc)).status());
+  }
+  return graph;
+}
+
+/// Chain with INOUT accumulator — exercises WAR/WAW dependencies.
+TaskGraph InoutChain(int n) {
+  TaskGraph graph;
+  const DataId acc = graph.AddData(2 << 20);
+  for (int t = 0; t < n; ++t) {
+    const DataId aux = graph.AddData(128 << 10);
+    TB_CHECK_OK(graph.Submit(Spec("chain", {{aux, Dir::kIn},
+                                            {acc, Dir::kInOut}},
+                                  128 << 10, Processor::kCpu)).status());
+  }
+  return graph;
+}
+
+/// Fan-out / fan-in diamond: one producer, `width` middles, one reduce.
+TaskGraph Diamond(int width) {
+  TaskGraph graph;
+  const DataId root = graph.AddData(4 << 20);
+  std::vector<runtime::Param> reduce_params;
+  std::vector<DataId> mids;
+  for (int i = 0; i < width; ++i) {
+    mids.push_back(graph.AddData(1 << 20));
+  }
+  std::vector<runtime::Param> fan_params{{root, Dir::kIn}};
+  for (DataId m : mids) fan_params.push_back({m, Dir::kOut});
+  TB_CHECK_OK(
+      graph.Submit(Spec("fan", fan_params, 1 << 20, Processor::kCpu))
+          .status());
+  std::vector<DataId> outs;
+  for (int i = 0; i < width; ++i) {
+    const DataId out = graph.AddData(256 << 10);
+    outs.push_back(out);
+    const Processor proc = i % 2 == 0 ? Processor::kGpu : Processor::kCpu;
+    TB_CHECK_OK(graph.Submit(Spec("mid", {{mids[static_cast<size_t>(i)],
+                                           Dir::kIn},
+                                          {out, Dir::kOut}},
+                                  512 << 10, proc)).status());
+  }
+  reduce_params.push_back({graph.AddData(64 << 10), Dir::kOut});
+  for (DataId o : outs) reduce_params.push_back({o, Dir::kIn});
+  TB_CHECK_OK(
+      graph.Submit(Spec("reduce", reduce_params, 2 << 20, Processor::kCpu))
+          .status());
+  return graph;
+}
+
+/// Pseudo-random layered DAG with mixed sizes and processors.
+TaskGraph RandomDag(int n, uint32_t seed) {
+  TaskGraph graph;
+  std::mt19937 rng(seed);
+  std::vector<DataId> producible;
+  for (int i = 0; i < 8; ++i) {
+    producible.push_back(graph.AddData(1 << 20));
+  }
+  for (int t = 0; t < n; ++t) {
+    std::vector<runtime::Param> params;
+    const int num_inputs = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < num_inputs; ++i) {
+      params.push_back(
+          {producible[rng() % producible.size()], Dir::kIn});
+    }
+    const uint64_t bytes = (64u << 10) << (rng() % 5);
+    const DataId out = graph.AddData(bytes);
+    params.push_back({out, Dir::kOut});
+    const Processor proc = rng() % 4 == 0 ? Processor::kGpu : Processor::kCpu;
+    TB_CHECK_OK(graph.Submit(Spec("rand", std::move(params), bytes, proc))
+                    .status());
+    producible.push_back(out);
+  }
+  return graph;
+}
+
+/// GPU tasks whose working set exceeds K80 memory in hybrid mode —
+/// forced CPU spill; in non-hybrid mode the run fails with OOM.
+TaskGraph OomWide(int n) {
+  TaskGraph graph;
+  const DataId in = graph.AddData(1 << 20);
+  for (int t = 0; t < n; ++t) {
+    const DataId out = graph.AddData(1 << 20);
+    TaskSpec spec = Spec("oom", {{in, Dir::kIn}, {out, Dir::kOut}}, 1 << 20,
+                         Processor::kGpu);
+    spec.cost.gpu_working_set_bytes = 64ull << 30;  // > 12 GB K80
+    TB_CHECK_OK(graph.Submit(std::move(spec)).status());
+  }
+  return graph;
+}
+
+void DigestAll() {
+  struct NamedGraph {
+    std::string name;
+    TaskGraph graph;
+  };
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"wide_mixed_200", WideMixed(200)});
+  graphs.push_back({"inout_chain_100", InoutChain(100)});
+  graphs.push_back({"diamond_64", Diamond(64)});
+  graphs.push_back({"random_300", RandomDag(300, 1234)});
+  graphs.push_back({"oom_wide_40", OomWide(40)});
+
+  struct NamedCluster {
+    std::string name;
+    hw::ClusterSpec spec;
+  };
+  std::vector<NamedCluster> clusters;
+  clusters.push_back({"minotauro", hw::MinotauroCluster()});
+  hw::ClusterSpec tiny = hw::MinotauroCluster();
+  tiny.name = "tiny";
+  tiny.num_nodes = 2;
+  tiny.cores_per_node = 3;
+  tiny.gpus_per_node = 1;
+  clusters.push_back({"tiny", tiny});
+
+  uint64_t all = 14695981039346656037ull;
+  for (const NamedGraph& g : graphs) {
+    for (const NamedCluster& c : clusters) {
+      for (auto storage : {hw::StorageArchitecture::kSharedDisk,
+                           hw::StorageArchitecture::kLocalDisk}) {
+        for (auto policy : {SchedulingPolicy::kTaskGenerationOrder,
+                            SchedulingPolicy::kDataLocality}) {
+          for (bool hybrid : {false, true}) {
+            runtime::SimulatedExecutorOptions options;
+            options.storage = storage;
+            options.policy = policy;
+            options.hybrid = hybrid;
+            runtime::SimulatedExecutor executor(c.spec, options);
+            auto report = executor.Execute(g.graph);
+            std::string canonical;
+            if (report.ok()) {
+              canonical = CanonicalReport(*report);
+            } else {
+              canonical = StrFormat("status=%s\n",
+                                    report.status().ToString().c_str());
+            }
+            const uint64_t digest =
+                Fnv1a(14695981039346656037ull, canonical);
+            all = Fnv1a(all, canonical);
+            std::printf("%-16s %-10s %-6s %-16s hybrid=%d  %016llx\n",
+                        g.name.c_str(), c.name.c_str(),
+                        ToString(storage).c_str(), ToString(policy).c_str(),
+                        hybrid ? 1 : 0,
+                        static_cast<unsigned long long>(digest));
+          }
+        }
+      }
+    }
+  }
+  std::printf("TOTAL %016llx\n", static_cast<unsigned long long>(all));
+}
+
+}  // namespace
+}  // namespace taskbench
+
+int main() {
+  taskbench::DigestAll();
+  return 0;
+}
