@@ -36,9 +36,7 @@ int main() {
 
       // RunExperiment does not expose the override, so run the
       // executor directly on the same workflow graph.
-      tb::runtime::SimulatedExecutorOptions exec_options;
-      exec_options.storage = config.storage;
-      exec_options.policy = config.policy;
+      tb::runtime::RunOptions exec_options = config.run;
       exec_options.scheduler_overhead_override_s = overhead;
       auto spec = tb::data::GridSpec::CreateFromGridDim(config.dataset, g, 1);
       TB_CHECK_OK(spec.status());

@@ -44,8 +44,8 @@ void RunGrid(const char* title, Algorithm algorithm,
         for (tb::SchedulingPolicy policy :
              {tb::SchedulingPolicy::kTaskGenerationOrder,
               tb::SchedulingPolicy::kDataLocality}) {
-          config.storage = storage;
-          config.policy = policy;
+          config.run.storage = storage;
+          config.run.policy = policy;
           const auto result = tb::bench::MustRun(config);
           block_bytes = result.block_bytes;
           if (result.oom) {

@@ -111,8 +111,8 @@ int main() {
             config.grid_rows = g;
             config.iterations = 1;
             config.processor = proc;
-            config.storage = storage;
-            config.policy = policy;
+            config.run.storage = storage;
+            config.run.policy = policy;
             const auto result = tb::bench::MustRun(config);
             TB_CHECK(!result.oom);
             auto& series =

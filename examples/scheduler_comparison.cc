@@ -37,8 +37,8 @@ int main() {
           config.grid_rows = grid;
           config.iterations = 1;
           config.processor = proc;
-          config.storage = storage;
-          config.policy = policy;
+          config.run.storage = storage;
+          config.run.policy = policy;
           auto result = tb::analysis::RunExperiment(config);
           TB_CHECK_OK(result.status());
           row.push_back(result->oom

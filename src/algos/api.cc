@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "algos/kmeans.h"
 #include "algos/matmul.h"
@@ -24,9 +25,9 @@ int64_t DefaultBlockDim(int64_t rows, int64_t cols, int num_threads,
 
 }  // namespace
 
-Result<data::Matrix> DistributedMatmul(const data::Matrix& a,
-                                       const data::Matrix& b,
-                                       const ExecuteOptions& options) {
+Result<MatmulRun> RunDistributedMatmul(runtime::Executor& executor,
+                                       const data::Matrix& a,
+                                       const data::Matrix& b) {
   if (a.cols() != b.rows()) {
     return Status::InvalidArgument(StrFormat(
         "matmul dimension mismatch: %lldx%lld * %lldx%lld",
@@ -36,6 +37,7 @@ Result<data::Matrix> DistributedMatmul(const data::Matrix& a,
   if (a.empty() || b.empty()) {
     return Status::InvalidArgument("matmul inputs must be non-empty");
   }
+  const runtime::RunOptions& options = executor.options();
   int64_t block = options.block_dim > 0
                       ? options.block_dim
                       : DefaultBlockDim(a.rows(), a.cols(),
@@ -52,33 +54,32 @@ Result<data::Matrix> DistributedMatmul(const data::Matrix& a,
                              block, block));
 
   MatmulOptions build;
-  build.materialize = true;
+  build.materialize = executor.materializes();
   build.a_values = &a;
   build.b_values = &b;
   TB_ASSIGN_OR_RETURN(MatmulWorkflow wf, BuildMatmul(a_spec, b_spec, build));
 
-  runtime::ThreadPoolExecutorOptions exec;
-  exec.num_threads = options.num_threads;
-  exec.use_storage = false;  // in-memory pipeline for the one-call API
-  runtime::ThreadPoolExecutor executor(exec);
-  TB_RETURN_IF_ERROR(executor.Execute(wf.graph).status());
+  MatmulRun run;
+  TB_ASSIGN_OR_RETURN(run.report, executor.Run(wf.graph));
+  if (!executor.materializes()) return run;
 
-  data::Matrix c(a.rows(), b.cols());
+  run.product = data::Matrix(a.rows(), b.cols());
   for (size_t r = 0; r < wf.c.size(); ++r) {
     for (size_t q = 0; q < wf.c[r].size(); ++q) {
       TB_ASSIGN_OR_RETURN(const data::Matrix block_value,
-                          executor.FetchData(wf.graph, wf.c[r][q]));
+                          executor.Fetch(wf.graph, wf.c[r][q]));
       const auto ea = a_spec.ExtentAt(static_cast<int64_t>(r), 0);
       const auto eb = b_spec.ExtentAt(0, static_cast<int64_t>(q));
-      TB_RETURN_IF_ERROR(c.AssignSlice(ea.row0, eb.col0, block_value));
+      TB_RETURN_IF_ERROR(
+          run.product.AssignSlice(ea.row0, eb.col0, block_value));
     }
   }
-  return c;
+  return run;
 }
 
-Result<KMeansFit> DistributedKMeans(const data::Matrix& samples, int k,
-                                    int iterations,
-                                    const ExecuteOptions& options) {
+Result<KMeansRun> RunDistributedKMeans(runtime::Executor& executor,
+                                       const data::Matrix& samples, int k,
+                                       int iterations) {
   if (samples.empty()) {
     return Status::InvalidArgument("no samples");
   }
@@ -87,6 +88,7 @@ Result<KMeansFit> DistributedKMeans(const data::Matrix& samples, int k,
         StrFormat("k=%d out of range for %lld samples", k,
                   static_cast<long long>(samples.rows())));
   }
+  const runtime::RunOptions& options = executor.options();
   int64_t block_rows =
       options.block_dim > 0
           ? options.block_dim
@@ -101,21 +103,19 @@ Result<KMeansFit> DistributedKMeans(const data::Matrix& samples, int k,
           samples.cols()));
 
   KMeansOptions build;
-  build.materialize = true;
+  build.materialize = executor.materializes();
   build.num_clusters = k;
   build.iterations = iterations;
   build.samples = &samples;
   TB_ASSIGN_OR_RETURN(KMeansWorkflow wf, BuildKMeans(spec, build));
 
-  runtime::ThreadPoolExecutorOptions exec;
-  exec.num_threads = options.num_threads;
-  exec.use_storage = false;
-  runtime::ThreadPoolExecutor executor(exec);
-  TB_RETURN_IF_ERROR(executor.Execute(wf.graph).status());
+  KMeansRun run;
+  TB_ASSIGN_OR_RETURN(run.report, executor.Run(wf.graph));
+  if (!executor.materializes()) return run;
 
-  KMeansFit fit;
+  KMeansFit& fit = run.fit;
   TB_ASSIGN_OR_RETURN(fit.centroids,
-                      executor.FetchData(wf.graph, wf.centroids));
+                      executor.Fetch(wf.graph, wf.centroids));
 
   // Final assignment pass (serial; the per-iteration assignments live
   // inside the partial_sum tasks).
@@ -137,7 +137,28 @@ Result<KMeansFit> DistributedKMeans(const data::Matrix& samples, int k,
     fit.assignments[static_cast<size_t>(r)] = best;
     fit.inertia += best_dist;
   }
-  return fit;
+  return run;
+}
+
+Result<data::Matrix> DistributedMatmul(const data::Matrix& a,
+                                       const data::Matrix& b,
+                                       const ExecuteOptions& options) {
+  runtime::RunOptions exec = options;
+  exec.use_storage = false;  // in-memory pipeline for the one-call API
+  runtime::ThreadPoolExecutor executor(std::move(exec));
+  TB_ASSIGN_OR_RETURN(MatmulRun run, RunDistributedMatmul(executor, a, b));
+  return std::move(run.product);
+}
+
+Result<KMeansFit> DistributedKMeans(const data::Matrix& samples, int k,
+                                    int iterations,
+                                    const ExecuteOptions& options) {
+  runtime::RunOptions exec = options;
+  exec.use_storage = false;
+  runtime::ThreadPoolExecutor executor(std::move(exec));
+  TB_ASSIGN_OR_RETURN(KMeansRun run,
+                      RunDistributedKMeans(executor, samples, k, iterations));
+  return std::move(run.fit);
 }
 
 }  // namespace taskbench::algos

@@ -6,29 +6,33 @@
 
 #include "common/result.h"
 #include "data/matrix.h"
+#include "runtime/executor.h"
+#include "runtime/metrics.h"
+#include "runtime/run_options.h"
 
 namespace taskbench::algos {
 
 /// High-level one-call entry points (the dislib-equivalent user API):
-/// each builds the task-based workflow, executes it on the thread
-/// pool, and returns the result. Use the Build* functions directly
-/// for control over execution, simulation and metrics.
+/// each builds the task-based workflow and executes it through the
+/// common `runtime::Executor` interface — the thread pool for real
+/// results, the simulated executor for cluster-scale what-ifs; fault
+/// plans and retry budgets ride along in the executor's RunOptions.
+/// Use the Build* functions directly for full control over workflow
+/// construction.
 
-/// Options shared by the high-level calls.
-struct ExecuteOptions {
-  /// Worker threads of the local execution.
-  int num_threads = 4;
-  /// Block dimension (square b x b blocks for matmul; b-row blocks
-  /// for kmeans). 0 = pick one block per ~worker for matmul /
-  /// 4 blocks per worker for kmeans.
-  int64_t block_dim = 0;
+/// Deprecated alias — execution knobs now live in the one shared
+/// options struct (`num_threads` and `block_dim` are the fields the
+/// high-level calls read).
+using ExecuteOptions = runtime::RunOptions;
+
+/// Outcome of one high-level workflow run: the execution report (with
+/// fault/retry counters when a plan was active) plus the materialized
+/// result when the executor computes real values.
+struct MatmulRun {
+  runtime::RunReport report;
+  /// C = A * B; empty unless executor.materializes().
+  data::Matrix product;
 };
-
-/// C = A * B through the distributed blocked workflow. Fails on
-/// dimension mismatch.
-Result<data::Matrix> DistributedMatmul(const data::Matrix& a,
-                                       const data::Matrix& b,
-                                       const ExecuteOptions& options = {});
 
 /// Result of a K-means fit.
 struct KMeansFit {
@@ -37,8 +41,32 @@ struct KMeansFit {
   double inertia = 0;              ///< sum of squared distances
 };
 
+struct KMeansRun {
+  runtime::RunReport report;
+  /// Fit results; default-constructed unless executor.materializes().
+  KMeansFit fit;
+};
+
+/// C = A * B through the distributed blocked workflow, executed on
+/// `executor`. Fails on dimension mismatch. Partitioning comes from
+/// executor.options() (block_dim, num_threads).
+Result<MatmulRun> RunDistributedMatmul(runtime::Executor& executor,
+                                       const data::Matrix& a,
+                                       const data::Matrix& b);
+
 /// Lloyd's K-means over `samples` (rows = samples) through the
-/// distributed workflow, seeded with the first k distinct rows.
+/// distributed workflow, seeded with the first k distinct rows,
+/// executed on `executor`.
+Result<KMeansRun> RunDistributedKMeans(runtime::Executor& executor,
+                                       const data::Matrix& samples, int k,
+                                       int iterations);
+
+/// Deprecated shims: run on a private in-memory thread pool built
+/// from `options` and return only the result value. New code should
+/// construct an executor and call the Run* forms.
+Result<data::Matrix> DistributedMatmul(const data::Matrix& a,
+                                       const data::Matrix& b,
+                                       const ExecuteOptions& options = {});
 Result<KMeansFit> DistributedKMeans(const data::Matrix& samples, int k,
                                     int iterations,
                                     const ExecuteOptions& options = {});

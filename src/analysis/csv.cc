@@ -24,23 +24,29 @@ std::string ExperimentsCsv(const std::vector<ExperimentResult>& results) {
   out << "label,algorithm,dataset,dataset_bytes,grid_rows,grid_cols,"
          "clusters,processor,storage,policy,block_bytes,num_blocks,"
          "dag_width,dag_height,parallel_fraction,complexity,oom,"
-         "parallel_task_time_s,makespan_s,scheduler_overhead_s\n";
+         "parallel_task_time_s,makespan_s,scheduler_overhead_s,"
+         "faults_injected,storage_faults,retries,recomputed_tasks,"
+         "lost_blocks,dead_nodes\n";
   for (const ExperimentResult& r : results) {
     const ExperimentConfig& c = r.config;
     out << CsvEscape(c.label) << ',' << ToString(c.algorithm) << ','
         << CsvEscape(c.dataset.name) << ',' << c.dataset.bytes() << ','
         << c.grid_rows << ',' << c.grid_cols << ',' << c.clusters << ','
-        << ToString(c.processor) << ',' << hw::ToString(c.storage) << ','
-        << ToString(c.policy) << ',' << r.block_bytes << ','
+        << ToString(c.processor) << ',' << hw::ToString(c.run.storage) << ','
+        << ToString(c.run.policy) << ',' << r.block_bytes << ','
         << r.num_blocks << ',' << r.dag_width << ',' << r.dag_height << ','
         << StrFormat("%.6g", r.parallel_fraction) << ','
         << StrFormat("%.6g", r.complexity) << ',' << (r.oom ? 1 : 0) << ',';
     if (r.oom) {
-      out << ",,\n";
+      out << ",,,,,,,,\n";
     } else {
+      const runtime::FaultStats& f = r.report.faults;
       out << StrFormat("%.6g", r.parallel_task_time) << ','
           << StrFormat("%.6g", r.makespan) << ','
-          << StrFormat("%.6g", r.report.scheduler_overhead) << '\n';
+          << StrFormat("%.6g", r.report.scheduler_overhead) << ','
+          << f.faults_injected << ',' << f.storage_faults << ','
+          << f.retries << ',' << f.recomputed_tasks << ','
+          << f.lost_blocks << ',' << f.dead_nodes << '\n';
     }
   }
   return out.str();
@@ -50,7 +56,7 @@ std::string TaskRecordsCsv(const runtime::RunReport& report) {
   std::ostringstream out;
   out << "task,type,level,processor,node,start_s,end_s,deserialize_s,"
          "serial_fraction_s,parallel_fraction_s,cpu_gpu_comm_s,"
-         "serialize_s\n";
+         "serialize_s,attempt\n";
   for (const runtime::TaskRecord& rec : report.records) {
     out << rec.task << ',' << CsvEscape(rec.type) << ',' << rec.level << ','
         << ToString(rec.processor) << ',' << rec.node << ','
@@ -60,7 +66,8 @@ std::string TaskRecordsCsv(const runtime::RunReport& report) {
         << StrFormat("%.9g", rec.stages.serial_fraction) << ','
         << StrFormat("%.9g", rec.stages.parallel_fraction) << ','
         << StrFormat("%.9g", rec.stages.cpu_gpu_comm) << ','
-        << StrFormat("%.9g", rec.stages.serialize) << '\n';
+        << StrFormat("%.9g", rec.stages.serialize) << ','
+        << rec.attempt << '\n';
   }
   return out.str();
 }

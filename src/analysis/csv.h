@@ -16,11 +16,13 @@ namespace taskbench::analysis {
 /// per RFC 4180.
 
 /// One row per experiment: the config factors, structural features,
-/// and the outcome metrics (or oom=1).
+/// the outcome metrics (or oom=1), and the fault/recovery counters
+/// (all zero on fault-free runs).
 std::string ExperimentsCsv(const std::vector<ExperimentResult>& results);
 
 /// One row per executed task of a run: placement plus per-stage
-/// times.
+/// times and the attempt number that finally completed (1 unless
+/// faults forced retries).
 std::string TaskRecordsCsv(const runtime::RunReport& report);
 
 /// The correlation matrix as a CSV table (first column = feature

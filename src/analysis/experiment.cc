@@ -118,10 +118,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   runtime::TaskGraph graph;
   TB_RETURN_IF_ERROR(BuildGraph(config, &result, &graph));
 
-  runtime::SimulatedExecutorOptions exec_options;
-  exec_options.storage = config.storage;
-  exec_options.policy = config.policy;
-  runtime::SimulatedExecutor executor(config.cluster, exec_options);
+  runtime::SimulatedExecutor executor(config.cluster, config.run);
 
   Result<runtime::RunReport> run = executor.Execute(graph);
   if (!run.ok()) {

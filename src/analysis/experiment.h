@@ -1,6 +1,7 @@
 #ifndef TASKBENCH_ANALYSIS_EXPERIMENT_H_
 #define TASKBENCH_ANALYSIS_EXPERIMENT_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -10,6 +11,7 @@
 #include "hw/cluster.h"
 #include "perf/cost_model.h"
 #include "runtime/metrics.h"
+#include "runtime/run_options.h"
 
 namespace taskbench::analysis {
 
@@ -34,8 +36,11 @@ struct ExperimentConfig {
   /// K-means only: Lloyd iterations (the paper's DAGs use 3).
   int iterations = 3;
   Processor processor = Processor::kCpu;
-  hw::StorageArchitecture storage = hw::StorageArchitecture::kSharedDisk;
-  SchedulingPolicy policy = SchedulingPolicy::kTaskGenerationOrder;
+  /// Execution knobs handed verbatim to the simulated executor:
+  /// storage architecture, scheduling policy, fault plan, retry
+  /// budget, hybrid placement... (the former standalone storage/policy
+  /// fields live in here now).
+  runtime::RunOptions run;
   hw::ClusterSpec cluster;  ///< defaults to MinotauroCluster()
 
   ExperimentConfig();

@@ -33,8 +33,8 @@ std::vector<ExperimentConfig> FullFactorial(const FactorLists& lists,
                 config.grid_cols = gc;
                 config.clusters = clusters;
                 config.processor = processor;
-                config.storage = storage;
-                config.policy = policy;
+                config.run.storage = storage;
+                config.run.policy = policy;
                 config.label = StrFormat(
                     "%s/%s/%lldx%lld/%s/%s/%s",
                     ToString(algorithm).c_str(), dataset.name.c_str(),
@@ -148,8 +148,8 @@ Result<stats::FeatureTable> BuildFeatureTableFromResults(
     dag_height.push_back(static_cast<double>(result.dag_height));
     dataset_size.push_back(static_cast<double>(result.config.dataset.bytes()));
     processor.push_back(ToString(result.config.processor));
-    storage.push_back(hw::ToString(result.config.storage));
-    policy.push_back(ToString(result.config.policy));
+    storage.push_back(hw::ToString(result.config.run.storage));
+    policy.push_back(ToString(result.config.run.policy));
   }
 
   stats::FeatureTable table;

@@ -32,8 +32,8 @@ std::vector<double> PerformancePredictor::Featurize(
       static_cast<double>(d.dag_height),
       static_cast<double>(d.config.dataset.bytes()),
       d.config.processor == Processor::kGpu ? 1.0 : 0.0,
-      d.config.storage == hw::StorageArchitecture::kSharedDisk ? 1.0 : 0.0,
-      d.config.policy == SchedulingPolicy::kDataLocality ? 1.0 : 0.0,
+      d.config.run.storage == hw::StorageArchitecture::kSharedDisk ? 1.0 : 0.0,
+      d.config.run.policy == SchedulingPolicy::kDataLocality ? 1.0 : 0.0,
   };
 }
 

@@ -1,8 +1,10 @@
 #ifndef TASKBENCH_ANALYSIS_PREDICTOR_H_
 #define TASKBENCH_ANALYSIS_PREDICTOR_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/experiment.h"

@@ -36,26 +36,21 @@ std::string Args::GetString(const std::string& key,
 Result<int64_t> Args::GetInt(const std::string& key, int64_t fallback) const {
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
-  char* end = nullptr;
-  const long long value = std::strtoll(it->second.c_str(), &end, 10);
-  if (end == it->second.c_str() || *end != '\0') {
-    return Status::InvalidArgument(StrFormat(
-        "--%s expects an integer, got '%s'", key.c_str(),
-        it->second.c_str()));
+  auto value = ParseInt64(it->second);
+  if (!value.ok()) {
+    return value.status().WithContext(StrFormat("--%s", key.c_str()));
   }
-  return static_cast<int64_t>(value);
+  return *value;
 }
 
 Result<double> Args::GetDouble(const std::string& key, double fallback) const {
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str() || *end != '\0') {
-    return Status::InvalidArgument(StrFormat(
-        "--%s expects a number, got '%s'", key.c_str(), it->second.c_str()));
+  auto value = ParseDouble(it->second);
+  if (!value.ok()) {
+    return value.status().WithContext(StrFormat("--%s", key.c_str()));
   }
-  return value;
+  return *value;
 }
 
 Result<bool> Args::GetBool(const std::string& key, bool fallback) const {

@@ -26,6 +26,21 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+Status Status::WithContext(std::string_view context) const& {
+  return Status(*this).WithContext(context);
+}
+
+Status Status::WithContext(std::string_view context) && {
+  if (ok() || context.empty()) return std::move(*this);
+  std::string combined(context);
+  if (!message_.empty()) {
+    combined += ": ";
+    combined += message_;
+  }
+  message_ = std::move(combined);
+  return std::move(*this);
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeToString(code_));

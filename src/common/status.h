@@ -74,6 +74,14 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Returns a copy of this status with `context` prepended to the
+  /// message ("context: message"), keeping the code. Chainable, so
+  /// errors can accumulate provenance as they bubble up — e.g. an
+  /// injected storage fault reports "task 17 attempt 2 on node 3:
+  /// injected get failure". No-op on OK statuses.
+  Status WithContext(std::string_view context) const&;
+  Status WithContext(std::string_view context) &&;
+
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;

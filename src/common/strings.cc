@@ -1,7 +1,9 @@
 #include "common/strings.h"
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace taskbench {
 
@@ -61,6 +63,36 @@ std::vector<std::string> Split(std::string_view text, char delim) {
     }
   }
   return parts;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  const std::string buf(text);  // strtoll needs NUL termination
+  if (buf.empty()) {
+    return Status::InvalidArgument("expected an integer, got ''");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status::InvalidArgument(
+        StrFormat("expected an integer, got '%s'", buf.c_str()));
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string buf(text);
+  if (buf.empty()) {
+    return Status::InvalidArgument("expected a number, got ''");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status::InvalidArgument(
+        StrFormat("expected a number, got '%s'", buf.c_str()));
+  }
+  return value;
 }
 
 std::string PadLeft(std::string_view s, size_t width) {

@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/result.h"
+
 namespace taskbench {
 
 /// printf-style formatting into a std::string.
@@ -28,6 +30,14 @@ std::vector<std::string> Split(std::string_view text, char delim);
 /// `width` columns; strings already wider are returned unchanged.
 std::string PadLeft(std::string_view s, size_t width);
 std::string PadRight(std::string_view s, size_t width);
+
+/// Strict numeric parsers for the public surface (CLI flags, fault
+/// plan specs, bench arguments): the whole string must be a valid
+/// number — trailing garbage, empty strings and range overflows are
+/// InvalidArgument, never a throw or a silent zero (the failure modes
+/// of std::stoll / std::atoll respectively).
+Result<int64_t> ParseInt64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
 
 }  // namespace taskbench
 

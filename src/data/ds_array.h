@@ -1,6 +1,7 @@
 #ifndef TASKBENCH_DATA_DS_ARRAY_H_
 #define TASKBENCH_DATA_DS_ARRAY_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 

@@ -8,8 +8,10 @@ void SlotIndex::Reset(int num_nodes, int slots_per_node) {
   TB_CHECK(num_nodes >= 0);
   TB_CHECK(slots_per_node >= 0);
   free_.assign(static_cast<size_t>(num_nodes), slots_per_node);
+  capacity_.assign(static_cast<size_t>(num_nodes), slots_per_node);
   mask_.assign((static_cast<size_t>(num_nodes) + 63) / 64, 0);
   total_free_ = num_nodes * slots_per_node;
+  total_capacity_ = total_free_;
   if (slots_per_node > 0) {
     for (int n = 0; n < num_nodes; ++n) {
       mask_[static_cast<size_t>(n) / 64] |= 1ull << (n % 64);
@@ -30,6 +32,28 @@ void SlotIndex::Release(int node) {
   TB_CHECK(node >= 0 && n < free_.size());
   if (free_[n]++ == 0) mask_[n / 64] |= 1ull << (node % 64);
   ++total_free_;
+}
+
+void SlotIndex::DrainNode(int node) {
+  const auto n = static_cast<size_t>(node);
+  TB_CHECK(node >= 0 && n < free_.size());
+  total_free_ -= free_[n];
+  total_capacity_ -= capacity_[n];
+  free_[n] = 0;
+  capacity_[n] = 0;
+  mask_[n / 64] &= ~(1ull << (node % 64));
+}
+
+void SlotIndex::RemoveDevice(int node) {
+  const auto n = static_cast<size_t>(node);
+  TB_CHECK(node >= 0 && n < free_.size() && capacity_[n] > 0)
+      << "device removal on node without capacity: " << node;
+  --capacity_[n];
+  --total_capacity_;
+  if (free_[n] > 0) {
+    if (--free_[n] == 0) mask_[n / 64] &= ~(1ull << (node % 64));
+    --total_free_;
+  }
 }
 
 }  // namespace taskbench::hw

@@ -37,6 +37,15 @@ class SlotIndex {
   /// Free slots on `node`.
   int free_at(int node) const { return free_[static_cast<size_t>(node)]; }
 
+  /// Slots `node` was provisioned with, minus any removed by
+  /// DrainNode / RemoveDevice (failure-aware scheduling input).
+  int capacity_at(int node) const {
+    return capacity_[static_cast<size_t>(node)];
+  }
+
+  /// Total remaining capacity across all nodes.
+  int total_capacity() const { return total_capacity_; }
+
   /// Lowest-numbered node with a free slot, or -1 when all are busy.
   int FirstFreeNode() const {
     for (size_t w = 0; w < mask_.size(); ++w) {
@@ -54,10 +63,25 @@ class SlotIndex {
   /// Returns one slot to `node`.
   void Release(int node);
 
+  /// Removes `node` from service (node crash): its free slots leave
+  /// the aggregates and its capacity drops to zero, so FirstFreeNode
+  /// and total_free() never steer placement there again. Busy slots
+  /// on the node must not be Released afterwards (their tasks died
+  /// with the node).
+  void DrainNode(int node);
+
+  /// Removes one slot of capacity from `node` (single device loss).
+  /// When a free slot exists it is taken; otherwise the caller must
+  /// kill one running occupant and not Release its slot. Requires
+  /// capacity_at(node) > 0.
+  void RemoveDevice(int node);
+
  private:
   std::vector<int> free_;
+  std::vector<int> capacity_;   ///< remaining provisioned slots
   std::vector<uint64_t> mask_;  ///< bit n set iff free_[n] > 0
   int total_free_ = 0;
+  int total_capacity_ = 0;
 };
 
 }  // namespace taskbench::hw

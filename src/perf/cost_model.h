@@ -1,6 +1,7 @@
 #ifndef TASKBENCH_PERF_COST_MODEL_H_
 #define TASKBENCH_PERF_COST_MODEL_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"

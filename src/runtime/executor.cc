@@ -1,0 +1,15 @@
+#include "runtime/executor.h"
+
+#include "common/strings.h"
+
+namespace taskbench::runtime {
+
+Result<data::Matrix> Executor::Fetch(const TaskGraph& graph,
+                                     DataId id) const {
+  (void)graph;
+  return Status::Unimplemented(StrFormat(
+      "executor '%s' does not materialize data (datum %lld)",
+      name().c_str(), static_cast<long long>(id)));
+}
+
+}  // namespace taskbench::runtime

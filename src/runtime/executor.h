@@ -1,0 +1,51 @@
+#ifndef TASKBENCH_RUNTIME_EXECUTOR_H_
+#define TASKBENCH_RUNTIME_EXECUTOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/matrix.h"
+#include "runtime/metrics.h"
+#include "runtime/run_options.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::runtime {
+
+/// The common executor interface: run a TaskGraph, get a RunReport.
+///
+/// Both execution paths implement it — `ThreadPoolExecutor` computes
+/// real matrices on host threads, `SimulatedExecutor` replays the
+/// graph on a modeled CPU-GPU cluster — so workload entry points
+/// (`algos::RunDistributedMatmul`, `analysis::RunExperiment`, the
+/// CLI) are written once against `Executor&` and work on either.
+/// Cross-cutting execution policy (retry budgets, fault plans) lives
+/// in the shared `RunOptions` and therefore plugs in exactly once.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Short human-readable identifier ("thread-pool", "simulated").
+  virtual std::string name() const = 0;
+
+  /// The options this executor was constructed with.
+  virtual const RunOptions& options() const = 0;
+
+  /// Runs `graph` to completion and returns the report. Implementations
+  /// must either finish or fail with a Status — never hang — including
+  /// under injected faults with retries exhausted.
+  virtual Result<RunReport> Run(TaskGraph& graph) = 0;
+
+  /// True when Run computes real data (Fetch returns values).
+  /// Simulation-only executors return false; callers that need the
+  /// numeric result must check before fetching.
+  virtual bool materializes() const { return false; }
+
+  /// Reads a datum's current value after Run. Default: Unimplemented
+  /// (simulation-only executors model timing, not values).
+  virtual Result<data::Matrix> Fetch(const TaskGraph& graph,
+                                     DataId id) const;
+};
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_EXECUTOR_H_

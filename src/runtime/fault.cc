@@ -1,0 +1,155 @@
+#include "runtime/fault.h"
+
+#include "common/strings.h"
+
+namespace taskbench::runtime {
+
+std::string ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "crash";
+    case FaultKind::kGpuLoss:
+      return "gpuloss";
+    case FaultKind::kSlowNode:
+      return "slow";
+  }
+  return "unknown";
+}
+
+Status FaultPlan::Validate(int num_nodes) const {
+  for (const FaultEvent& e : events) {
+    if (e.time < 0) {
+      return Status::InvalidArgument(
+          StrFormat("fault time %g is negative", e.time));
+    }
+    if (e.node < 0 || e.node >= num_nodes) {
+      return Status::InvalidArgument(
+          StrFormat("fault targets node %d, cluster has %d nodes", e.node,
+                    num_nodes));
+    }
+    if (e.kind == FaultKind::kSlowNode && e.factor <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("slow-node factor %g must be positive", e.factor));
+    }
+  }
+  if (storage_fault_rate < 0 || storage_fault_rate > 1) {
+    return Status::InvalidArgument(StrFormat(
+        "storage fault rate %g outside [0, 1]", storage_fault_rate));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Parses "<kind>@T:nN[:xF]" into `event`.
+Status ParseTimedEntry(const std::string& entry, FaultKind kind,
+                       size_t kind_len, FaultEvent* event) {
+  event->kind = kind;
+  const std::vector<std::string> fields =
+      Split(entry.substr(kind_len + 1), ':');  // skip "<kind>@"
+  const size_t expected = kind == FaultKind::kSlowNode ? 3 : 2;
+  if (fields.size() != expected) {
+    return Status::InvalidArgument(
+        StrFormat("fault entry '%s' malformed (expected %s)", entry.c_str(),
+                  kind == FaultKind::kSlowNode ? "slow@T:nN:xF"
+                                               : "<kind>@T:nN"));
+  }
+  TB_ASSIGN_OR_RETURN(event->time, ParseDouble(fields[0]));
+  if (fields[1].size() < 2 || fields[1][0] != 'n') {
+    return Status::InvalidArgument(StrFormat(
+        "fault entry '%s': node field must look like n3", entry.c_str()));
+  }
+  TB_ASSIGN_OR_RETURN(const int64_t node, ParseInt64(fields[1].substr(1)));
+  event->node = static_cast<int>(node);
+  if (kind == FaultKind::kSlowNode) {
+    if (fields[2].size() < 2 || fields[2][0] != 'x') {
+      return Status::InvalidArgument(StrFormat(
+          "fault entry '%s': factor field must look like x2.5",
+          entry.c_str()));
+    }
+    TB_ASSIGN_OR_RETURN(event->factor, ParseDouble(fields[2].substr(1)));
+  }
+  return Status::OK();
+}
+
+/// Parses "storage:pP[:sS]" into `plan`.
+Status ParseStorageEntry(const std::string& entry, FaultPlan* plan) {
+  const std::vector<std::string> fields = Split(entry, ':');
+  if (fields.size() < 2 || fields.size() > 3) {
+    return Status::InvalidArgument(StrFormat(
+        "fault entry '%s' malformed (expected storage:pP[:sS])",
+        entry.c_str()));
+  }
+  if (fields[1].size() < 2 || fields[1][0] != 'p') {
+    return Status::InvalidArgument(StrFormat(
+        "fault entry '%s': probability field must look like p0.01",
+        entry.c_str()));
+  }
+  TB_ASSIGN_OR_RETURN(plan->storage_fault_rate,
+                      ParseDouble(fields[1].substr(1)));
+  if (plan->storage_fault_rate < 0 || plan->storage_fault_rate > 1) {
+    return Status::InvalidArgument(StrFormat(
+        "fault entry '%s': probability %g outside [0, 1]", entry.c_str(),
+        plan->storage_fault_rate));
+  }
+  if (fields.size() == 3) {
+    if (fields[2].size() < 2 || fields[2][0] != 's') {
+      return Status::InvalidArgument(StrFormat(
+          "fault entry '%s': seed field must look like s42", entry.c_str()));
+    }
+    TB_ASSIGN_OR_RETURN(const int64_t seed, ParseInt64(fields[2].substr(1)));
+    plan->seed = static_cast<uint64_t>(seed);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& entry : Split(spec, ',')) {
+    FaultEvent event;
+    if (entry.rfind("crash@", 0) == 0) {
+      TB_RETURN_IF_ERROR(
+          ParseTimedEntry(entry, FaultKind::kNodeCrash, 5, &event));
+      plan.events.push_back(event);
+    } else if (entry.rfind("gpuloss@", 0) == 0) {
+      TB_RETURN_IF_ERROR(
+          ParseTimedEntry(entry, FaultKind::kGpuLoss, 7, &event));
+      plan.events.push_back(event);
+    } else if (entry.rfind("slow@", 0) == 0) {
+      TB_RETURN_IF_ERROR(
+          ParseTimedEntry(entry, FaultKind::kSlowNode, 4, &event));
+      plan.events.push_back(event);
+    } else if (entry.rfind("storage:", 0) == 0) {
+      TB_RETURN_IF_ERROR(ParseStorageEntry(entry, &plan));
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "unknown fault entry '%s' (crash@T:nN, gpuloss@T:nN, "
+          "slow@T:nN:xF, storage:pP[:sS])",
+          entry.c_str()));
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::vector<std::string> parts;
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kSlowNode) {
+      parts.push_back(StrFormat("slow@%g:n%d:x%g", e.time, e.node, e.factor));
+    } else {
+      parts.push_back(StrFormat("%s@%g:n%d",
+                                runtime::ToString(e.kind).c_str(), e.time,
+                                e.node));
+    }
+  }
+  if (storage_fault_rate > 0) {
+    parts.push_back(StrFormat("storage:p%g:s%llu", storage_fault_rate,
+                              static_cast<unsigned long long>(seed)));
+  }
+  return Join(parts, ",");
+}
+
+}  // namespace taskbench::runtime

@@ -1,0 +1,85 @@
+#ifndef TASKBENCH_RUNTIME_FAULT_H_
+#define TASKBENCH_RUNTIME_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace taskbench::runtime {
+
+/// Kinds of perturbation the simulated cluster can suffer. These are
+/// the failure modes a PyCOMPSs-class runtime survives on a real
+/// cluster (task resubmission on worker loss) and the reason the
+/// paper's measurements exist at all — a run that dies with the first
+/// worker never produces a trace.
+enum class FaultKind {
+  /// The node leaves the cluster at `time`: its running tasks die,
+  /// its slots are drained, and — under local-disk storage — every
+  /// block homed on it is lost (triggering lineage recovery).
+  kNodeCrash,
+  /// One GPU device on `node` disappears at `time`. A busy device
+  /// takes its task down with it; the task is retried elsewhere.
+  kGpuLoss,
+  /// From `time` on, compute on `node` runs `factor` times slower
+  /// (thermal throttling / noisy-neighbour degradation).
+  kSlowNode,
+};
+
+std::string ToString(FaultKind kind);
+
+/// One scheduled perturbation.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNodeCrash;
+  /// Simulated time (seconds) the fault fires.
+  double time = 0;
+  /// Target node.
+  int node = -1;
+  /// kSlowNode only: compute-time multiplier (> 1 slows down).
+  double factor = 1.0;
+};
+
+/// A deterministic, seeded fault-injection plan. The plan is part of
+/// `RunOptions`; an empty plan (no events, zero storage fault rate)
+/// leaves the executor's behaviour — and its RunReport — bit-for-bit
+/// identical to a build without the fault subsystem.
+///
+/// Determinism argument: scheduled events enter the simulator's
+/// (time, insertion-sequence) queue like any other discrete event, and
+/// transient storage faults are drawn from a private xoshiro stream
+/// seeded with `seed`, consumed in event-execution order — which the
+/// simulator already keeps deterministic. Same plan, same graph, same
+/// cluster ⇒ same report, attempt-for-attempt.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Probability that one simulated disk read/write leg fails
+  /// (transient storage fault; the op consumes its full duration
+  /// before the failure is noticed, as a timed-out read would).
+  double storage_fault_rate = 0;
+
+  /// Seed of the storage-fault stream.
+  uint64_t seed = 42;
+
+  bool empty() const { return events.empty() && storage_fault_rate <= 0; }
+
+  /// Structural validation against a cluster of `num_nodes` nodes.
+  Status Validate(int num_nodes) const;
+
+  /// Parses the CLI grammar — comma-separated entries:
+  ///   crash@T:nN        node N crashes at simulated time T
+  ///   gpuloss@T:nN      node N loses one GPU device at time T
+  ///   slow@T:nN:xF      node N computes F times slower from time T
+  ///   storage:pP[:sS]   disk ops fail with probability P (seed S)
+  /// e.g. "crash@2.5:n1,slow@0:n0:x2,storage:p0.001:s7".
+  static Result<FaultPlan> Parse(const std::string& spec);
+
+  /// Round-trips back to the Parse grammar (diagnostics, labels).
+  std::string ToString() const;
+};
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_FAULT_H_

@@ -5,6 +5,22 @@
 
 namespace taskbench::runtime {
 
+std::string ToString(AttemptOutcome outcome) {
+  switch (outcome) {
+    case AttemptOutcome::kCompleted:
+      return "completed";
+    case AttemptOutcome::kNodeLost:
+      return "node_lost";
+    case AttemptOutcome::kDeviceLost:
+      return "device_lost";
+    case AttemptOutcome::kStorageFault:
+      return "storage_fault";
+    case AttemptOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
 std::map<std::string, perf::StageTimes> RunReport::MeanStagesByType() const {
   std::map<std::string, perf::StageTimes> sums;
   std::map<std::string, int> counts;

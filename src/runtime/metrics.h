@@ -1,6 +1,7 @@
 #ifndef TASKBENCH_RUNTIME_METRICS_H_
 #define TASKBENCH_RUNTIME_METRICS_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -24,8 +25,51 @@ struct TaskRecord {
   perf::StageTimes stages;
   double start = 0;
   double end = 0;
+  /// Which attempt finally completed (1 = first try; > 1 means the
+  /// task was retried after an injected fault).
+  int attempt = 1;
 
   double duration() const { return end - start; }
+};
+
+/// Outcome of one task attempt under fault injection.
+enum class AttemptOutcome : uint8_t {
+  kCompleted,     ///< ran to completion
+  kNodeLost,      ///< killed mid-flight by a node crash
+  kDeviceLost,    ///< killed mid-flight by a GPU loss
+  kStorageFault,  ///< a storage Get/Put failed transiently
+  kFailed,        ///< non-recoverable failure (retries exhausted)
+};
+
+std::string ToString(AttemptOutcome outcome);
+
+/// One task attempt: recorded only when a fault plan is active, so
+/// fault-free runs produce byte-identical reports to the
+/// pre-fault-tolerance executor.
+struct TaskAttempt {
+  TaskId task = -1;
+  int attempt = 1;
+  int node = -1;
+  Processor processor = Processor::kCpu;
+  double start = 0;
+  double end = 0;
+  AttemptOutcome outcome = AttemptOutcome::kCompleted;
+};
+
+/// Fault-tolerance counters for one run. All zero on fault-free runs.
+struct FaultStats {
+  int64_t faults_injected = 0;   ///< discrete fault events fired
+  int64_t storage_faults = 0;    ///< transient storage op failures
+  int64_t retries = 0;           ///< task attempts beyond the first
+  int64_t recomputed_tasks = 0;  ///< completed tasks re-run to rebuild
+                                 ///< blocks lost with a node
+  int64_t lost_blocks = 0;       ///< data blocks lost with dead nodes
+  int64_t dead_nodes = 0;        ///< nodes out of service at the end
+
+  bool any() const {
+    return faults_injected || storage_faults || retries ||
+           recomputed_tasks || lost_blocks || dead_nodes;
+  }
 };
 
 /// Timing of one DAG level — the paper's "parallel task execution
@@ -49,6 +93,12 @@ struct RunReport {
   /// executor only; 0 for the thread-pool path). Lets the scaling
   /// benches report events/second of the engine itself.
   uint64_t sim_events = 0;
+  /// Fault-tolerance counters; all zero when no faults were injected.
+  FaultStats faults;
+  /// Per-task attempt log. Populated only when a fault plan is active
+  /// (empty on fault-free runs, keeping them bit-identical to the
+  /// pre-fault-tolerance executor).
+  std::vector<TaskAttempt> attempts;
 
   /// Mean per-stage times per task type ("tasks running the same code
   /// are aggregated together", Section 4.2).

@@ -2,6 +2,7 @@
 #define TASKBENCH_RUNTIME_READY_QUEUE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <queue>
 #include <vector>
 

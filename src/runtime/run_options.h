@@ -1,0 +1,94 @@
+#ifndef TASKBENCH_RUNTIME_RUN_OPTIONS_H_
+#define TASKBENCH_RUNTIME_RUN_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "hw/cluster.h"
+#include "runtime/fault.h"
+
+namespace taskbench::runtime {
+
+/// The one knob struct of workflow execution, consumed through the
+/// common `runtime::Executor` interface by both executors. This
+/// replaces the three overlapping structs that grew independently
+/// (`algos::ExecuteOptions`, `SimulatedExecutorOptions` and the
+/// executor fields of `analysis::ExperimentConfig`) so policies that
+/// cut across executors — fault injection, retry budgets — plug in
+/// exactly once. Each executor reads the fields that apply to it and
+/// ignores the rest.
+struct RunOptions {
+  // ---------------------------------------------------------------
+  // Shared: fault tolerance.
+  // ---------------------------------------------------------------
+  /// Fault-injection plan (simulated executor only; the thread-pool
+  /// path takes real faults from its storage backend instead).
+  FaultPlan faults;
+  /// Failed task attempts are retried up to this many times before
+  /// the whole run fails. 0 = fail fast (the pre-fault-tolerance
+  /// behaviour).
+  int max_retries = 0;
+  /// Base of the exponential retry backoff: attempt k waits
+  /// retry_backoff_s * 2^(k-1) before re-entering the ready queue
+  /// (simulated seconds on the simulated path, wall-clock seconds on
+  /// the thread pool).
+  double retry_backoff_s = 0.05;
+
+  // ---------------------------------------------------------------
+  // Shared: workload partitioning hint of the high-level algos API.
+  // ---------------------------------------------------------------
+  /// Block dimension (square b x b blocks for matmul; b-row blocks
+  /// for kmeans). 0 = pick one block per ~worker for matmul /
+  /// 4 blocks per worker for kmeans.
+  int64_t block_dim = 0;
+
+  // ---------------------------------------------------------------
+  // Thread-pool (real execution) path.
+  // ---------------------------------------------------------------
+  /// Worker threads (the "CPU cores" of the local mini-cluster).
+  int num_threads = 4;
+  /// When true, blocks move through storage between tasks (serialize
+  /// on write, deserialize on read), exercising the data movement
+  /// stages for real. When false, blocks are passed in memory and the
+  /// (de)serialization stage times are zero.
+  bool use_storage = true;
+
+  // ---------------------------------------------------------------
+  // Simulated path.
+  // ---------------------------------------------------------------
+  /// Storage architecture the blocks are read from / written to.
+  hw::StorageArchitecture storage = hw::StorageArchitecture::kSharedDisk;
+  /// Scheduling policy the master uses.
+  SchedulingPolicy policy = SchedulingPolicy::kTaskGenerationOrder;
+  /// Inter-node network used for remote block reads under local-disk
+  /// storage (a node pulling a block that lives on another node).
+  /// InfiniBand-class defaults (Minotauro); remote reads stream the
+  /// disk and the network in parallel, so a fast fabric makes remote
+  /// reads nearly as cheap as local ones — which is why scheduling
+  /// policy barely matters on local disks (observation O5).
+  double network_aggregate_bps = 40e9;
+  double network_per_stream_bps = 3e9;
+  double network_latency_s = 0.1e-3;
+  /// When >= 0, overrides the policy's per-decision master overhead
+  /// (seconds). Used by the scheduler-overhead ablation study.
+  double scheduler_overhead_override_s = -1;
+  /// Hybrid CPU+GPU placement: GPU-targeted tasks may run on free CPU
+  /// cores when every device is busy, and fall back to CPU when their
+  /// working set exceeds device memory (instead of failing with OOM).
+  bool hybrid = false;
+  /// Spill guard for hybrid mode: a fitting GPU task only takes a CPU
+  /// core when its CPU compute time is at most this many times its
+  /// GPU compute time — spilling a 20x-slower task to a core creates
+  /// stragglers instead of helping. OOM tasks always spill.
+  double hybrid_max_cpu_slowdown = 4.0;
+};
+
+/// Deprecated aliases — thin shims for the pre-RunOptions spellings.
+/// Field names are unchanged, so existing call sites keep compiling;
+/// new code should spell `runtime::RunOptions`.
+using SimulatedExecutorOptions = RunOptions;
+using ThreadPoolExecutorOptions = RunOptions;
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_RUN_OPTIONS_H_

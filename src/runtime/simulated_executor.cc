@@ -1,15 +1,20 @@
 #include "runtime/simulated_executor.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/random.h"
+#include "common/status.h"
 #include "common/strings.h"
 #include "hw/slot_index.h"
 #include "perf/cost_model.h"
+#include "runtime/fault.h"
 #include "runtime/ready_queue.h"
 #include "runtime/scheduler.h"
 #include "sim/bandwidth_resource.h"
@@ -28,15 +33,26 @@ namespace {
 /// O(1)-aggregate SlotIndexes, and locality tallies in a
 /// dirty-tracked per-task cache. docs/sched_fast_path.md derives the
 /// equivalence with the legacy full-scan path.
+///
+/// Fault tolerance: when the options carry a non-empty FaultPlan, its
+/// events are injected as ordinary discrete events and failed task
+/// attempts are retried with exponential backoff (see
+/// docs/FAULT_TOLERANCE.md for the recovery semantics and the
+/// determinism argument). Every fault branch is gated on
+/// `faults_active_`, so a fault-free run executes the exact event
+/// sequence of the pre-fault-tolerance executor and its report stays
+/// bit-identical.
 class SimState {
  public:
-  SimState(const hw::ClusterSpec& cluster,
-           const SimulatedExecutorOptions& options, const TaskGraph& graph)
+  SimState(const hw::ClusterSpec& cluster, const RunOptions& options,
+           const TaskGraph& graph)
       : cluster_(cluster),
         options_(options),
         graph_(graph),
         model_(cluster),
-        scheduler_(MakeScheduler(options.policy)) {
+        scheduler_(MakeScheduler(options.policy)),
+        faults_active_(!options.faults.empty()),
+        storage_rng_(options.faults.seed) {
     const int nodes = cluster_.num_nodes;
     cpu_slots_.Reset(nodes, cluster_.cores_per_node);
     gpu_slots_.Reset(nodes, cluster_.gpus_per_node);
@@ -71,8 +87,7 @@ class SimState {
     // the true input data — the data whose first access is a read
     // (the runtime spreads the initial blocks across nodes).
     // Intermediates start unplaced; their home is set when produced.
-    std::vector<bool> is_initial_input(
-        static_cast<size_t>(graph_.num_data()), false);
+    is_initial_input_.assign(static_cast<size_t>(graph_.num_data()), 0);
     {
       std::vector<bool> seen(static_cast<size_t>(graph_.num_data()), false);
       for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
@@ -80,7 +95,7 @@ class SimState {
           const auto d = static_cast<size_t>(p.data);
           if (!seen[d]) {
             seen[d] = true;
-            if (p.dir != Dir::kOut) is_initial_input[d] = true;
+            if (p.dir != Dir::kOut) is_initial_input_[d] = 1;
           }
         }
       }
@@ -91,7 +106,7 @@ class SimState {
       const int declared = graph_.data(d).home_node;
       if (declared >= 0 && declared < nodes) {
         data_home_[static_cast<size_t>(d)] = declared;
-      } else if (is_initial_input[static_cast<size_t>(d)]) {
+      } else if (is_initial_input_[static_cast<size_t>(d)] != 0) {
         data_home_[static_cast<size_t>(d)] = next_node;
         next_node = (next_node + 1) % nodes;
       }
@@ -101,9 +116,15 @@ class SimState {
       locality_ = std::make_unique<LocalityCache>(graph_, &data_home_);
     }
 
+    node_dead_.assign(static_cast<size_t>(nodes), 0);
+    node_slow_.assign(static_cast<size_t>(nodes), 1.0);
     remaining_deps_.resize(static_cast<size_t>(graph_.num_tasks()));
     records_.resize(static_cast<size_t>(graph_.num_tasks()));
     task_class_.resize(static_cast<size_t>(graph_.num_tasks()));
+    attempt_count_.assign(static_cast<size_t>(graph_.num_tasks()), 0);
+    completed_flag_.assign(static_cast<size_t>(graph_.num_tasks()), 0);
+    pending_retry_.assign(static_cast<size_t>(graph_.num_tasks()), 0);
+    active_run_.assign(static_cast<size_t>(graph_.num_tasks()), nullptr);
     for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
       const perf::TaskCost& cost = graph_.task(t).spec.cost;
       bool gpu_fits = false;
@@ -132,32 +153,52 @@ class SimState {
       return RunReport{};
     }
     TB_RETURN_IF_ERROR(graph_.Validate());
+    if (faults_active_) {
+      TB_RETURN_IF_ERROR(options_.faults.Validate(cluster_.num_nodes));
+      for (const FaultEvent& e : options_.faults.events) {
+        simulator_.At(e.time, [this, e]() { InjectFault(e); });
+      }
+    }
     ScheduleLoop();
     simulator_.Run();
     if (!failure_.ok()) return failure_;
     if (completed_ != graph_.num_tasks()) {
       return Status::FailedPrecondition(StrFormat(
           "workflow stalled: %lld of %lld tasks completed (a task type "
-          "may target a processor the cluster lacks)",
+          "may target a processor the cluster lacks%s)",
           static_cast<long long>(completed_),
-          static_cast<long long>(graph_.num_tasks())));
+          static_cast<long long>(graph_.num_tasks()),
+          faults_active_
+              ? ", or injected faults removed every capable node"
+              : ""));
     }
     RunReport report;
     report.records = std::move(records_);
     report.makespan = makespan_;
     report.scheduler_overhead = scheduler_overhead_;
     report.sim_events = simulator_.events_executed();
+    if (faults_active_) {
+      report.faults = stats_;
+      report.attempts = std::move(attempts_);
+    }
     return report;
   }
 
  private:
-  /// In-flight execution state of one dispatched task. Instances are
-  /// pooled and recycled: at most slots-many are live at once, the
-  /// hot loop never allocates one, and the continuation lambdas
-  /// capture {this, raw pointer} — small enough for std::function's
-  /// inline buffer, so per-event heap churn is gone too. Inputs and
-  /// outputs are walked directly over the task's param list instead
-  /// of being copied into per-run vectors.
+  /// In-flight execution state of one dispatched task attempt.
+  /// Instances are pooled and recycled: at most slots-many are live at
+  /// once, the hot loop never allocates one, and the continuation
+  /// lambdas capture {this, raw pointer} — small enough for
+  /// std::function's inline buffer, so per-event heap churn is gone
+  /// too. Inputs and outputs are walked directly over the task's param
+  /// list instead of being copied into per-run vectors.
+  ///
+  /// Cancellation: a fault may kill a run while its next continuation
+  /// is already queued in the simulator. The run is then marked
+  /// `cancelled` and kept until every outstanding continuation has
+  /// drained through Enter() — a live run always has inflight >= 1
+  /// (events fire between callbacks), so the drain always completes
+  /// and the pooled slot is recycled exactly once.
   struct TaskRun {
     TaskId id = -1;
     int node = -1;
@@ -169,6 +210,10 @@ class SimState {
     size_t next_input = 0;   ///< param index of the next input read
     size_t next_output = 0;  ///< param index of the next output write
     int join_pending = 0;    ///< disk+network legs of a remote read
+    int attempt = 1;         ///< 1-based attempt number of this run
+    int inflight = 0;        ///< scheduled continuations not yet fired
+    size_t live_index = 0;   ///< position in live_runs_
+    bool cancelled = false;  ///< killed by a fault; drains via Enter
   };
 
   TaskRun* AcquireRun() {
@@ -184,9 +229,48 @@ class SimState {
 
   void ReleaseRun(TaskRun* run) { free_runs_.push_back(run); }
 
+  /// Removes `run` from the live set (swap-remove) and clears its
+  /// task's active-run pointer. Called exactly once per attempt, on
+  /// completion or on any failure path.
+  void RetireRun(TaskRun* run) {
+    active_run_[static_cast<size_t>(run->id)] = nullptr;
+    TaskRun* last = live_runs_.back();
+    live_runs_[run->live_index] = last;
+    last->live_index = run->live_index;
+    live_runs_.pop_back();
+  }
+
+  /// Continuation prologue: every simulator callback that resumes a
+  /// run enters through here. Returns false when the run was cancelled
+  /// by a fault; the last draining callback recycles the pooled slot.
+  bool Enter(TaskRun* run) {
+    --run->inflight;
+    if (!run->cancelled) return true;
+    if (run->inflight == 0) ReleaseRun(run);
+    return false;
+  }
+
   void Fail(Status status) {
     if (failure_.ok()) failure_ = std::move(status);
     simulator_.Stop();
+  }
+
+  bool DrawStorageFault() {
+    return options_.faults.storage_fault_rate > 0 &&
+           storage_rng_.NextDouble() < options_.faults.storage_fault_rate;
+  }
+
+  void RecordAttempt(const TaskRun* run, AttemptOutcome outcome) {
+    if (!faults_active_) return;
+    TaskAttempt a;
+    a.task = run->id;
+    a.attempt = run->attempt;
+    a.node = run->node;
+    a.processor = run->processor;
+    a.start = run->dispatch_done;
+    a.end = simulator_.Now();
+    a.outcome = outcome;
+    attempts_.push_back(a);
   }
 
   /// Drains the scheduler: keeps assigning ready tasks to free slots,
@@ -229,7 +313,15 @@ class SimState {
       run->id = id;
       run->node = node;
       run->processor = assignment->processor;
-      simulator_.At(master_free_at_, [this, run]() { StartTask(run); });
+      run->attempt = ++attempt_count_[static_cast<size_t>(id)];
+      run->live_index = live_runs_.size();
+      live_runs_.push_back(run);
+      active_run_[static_cast<size_t>(id)] = run;
+      run->inflight = 1;
+      simulator_.At(master_free_at_, [this, run]() {
+        if (!Enter(run)) return;
+        StartTask(run);
+      });
     }
   }
 
@@ -255,23 +347,41 @@ class SimState {
     }
     const DataId d = params[run->next_input++].data;
     const uint64_t bytes = graph_.data(d).bytes;
-    auto cont = [this, run]() { ReadNextInput(run); };
+    const bool faulty = DrawStorageFault();
+    auto cont = [this, run, faulty]() {
+      if (!Enter(run)) return;
+      if (faulty) {
+        OnStorageFault(run);
+        return;
+      }
+      ReadNextInput(run);
+    };
     if (options_.storage == hw::StorageArchitecture::kSharedDisk) {
+      ++run->inflight;
       shared_disk_->Transfer(bytes, std::move(cont));
       return;
     }
     int home = data_home_[static_cast<size_t>(d)];
     if (home < 0) home = run->node;  // defensively treat as local
     if (home == run->node) {
+      ++run->inflight;
       local_disks_[static_cast<size_t>(home)]->Transfer(bytes,
                                                         std::move(cont));
     } else {
       // Remote block: the home node's disk and the network stream in
       // parallel (pipelined chunks), so the read completes when the
-      // slower of the two finishes.
+      // slower of the two finishes. A transient storage fault covers
+      // the whole logical Get, so both legs share one draw.
       run->join_pending = 2;
-      auto join = [this, run]() {
-        if (--run->join_pending == 0) ReadNextInput(run);
+      run->inflight += 2;
+      auto join = [this, run, faulty]() {
+        if (!Enter(run)) return;
+        if (--run->join_pending > 0) return;
+        if (faulty) {
+          OnStorageFault(run);
+          return;
+        }
+        ReadNextInput(run);
       };
       local_disks_[static_cast<size_t>(home)]->Transfer(bytes, join);
       network_->Transfer(bytes, join);
@@ -286,17 +396,24 @@ class SimState {
     if (run->processor == Processor::kGpu) {
       const Status fit = model_.CheckGpuFit(cost);
       if (!fit.ok()) {
-        Fail(Status(fit.code(), StrFormat("task %lld (%s): %s",
-                                          static_cast<long long>(run->id),
-                                          task.spec.type.c_str(),
-                                          fit.message().c_str())));
+        Fail(Status(fit.code(), fit.message())
+                 .WithContext(StrFormat("task %lld (%s)",
+                                        static_cast<long long>(run->id),
+                                        task.spec.type.c_str())));
         return;
       }
       duration += model_.GpuParallelFraction(cost) + model_.CpuGpuComm(cost);
     } else {
       duration += model_.CpuParallelFraction(cost);
     }
+    if (faults_active_) {
+      // Slow-node degradation applies to compute that starts after the
+      // fault fires; in-flight computations keep their old duration.
+      duration *= node_slow_[static_cast<size_t>(run->node)];
+    }
+    ++run->inflight;
     simulator_.After(duration, [this, run]() {
+      if (!Enter(run)) return;
       run->compute_end = simulator_.Now();
       WriteNextOutput(run);
     });
@@ -322,7 +439,16 @@ class SimState {
       data_home_[static_cast<size_t>(d)] = run->node;
       if (locality_ != nullptr) locality_->OnDataHomeChanged(d);
     }
-    auto cont = [this, run]() { WriteNextOutput(run); };
+    const bool faulty = DrawStorageFault();
+    auto cont = [this, run, faulty]() {
+      if (!Enter(run)) return;
+      if (faulty) {
+        OnStorageFault(run);
+        return;
+      }
+      WriteNextOutput(run);
+    };
+    ++run->inflight;
     if (options_.storage == hw::StorageArchitecture::kSharedDisk) {
       shared_disk_->Transfer(bytes, std::move(cont));
     } else {
@@ -343,6 +469,7 @@ class SimState {
     rec.node = run->node;
     rec.start = run->dispatch_done;
     rec.end = simulator_.Now();
+    rec.attempt = run->attempt;
     rec.stages.deserialize = run->deser_end - run->deser_start;
     rec.stages.serialize = simulator_.Now() - run->compute_end;
     rec.stages.serial_fraction = model_.SerialFraction(cost);
@@ -353,23 +480,282 @@ class SimState {
       rec.stages.parallel_fraction = model_.CpuParallelFraction(cost);
     }
     makespan_ = std::max(makespan_, rec.end);
+    RecordAttempt(run, AttemptOutcome::kCompleted);
 
     auto& slots =
         run->processor == Processor::kCpu ? cpu_slots_ : gpu_slots_;
     slots.Release(run->node);
+    completed_flag_[static_cast<size_t>(run->id)] = 1;
     ++completed_;
 
     for (TaskId succ : task.successors) {
-      if (--remaining_deps_[static_cast<size_t>(succ)] == 0) {
-        ready_.Push(succ, task_class_[static_cast<size_t>(succ)]);
+      const auto s = static_cast<size_t>(succ);
+      // Under recovery a recomputed producer can finish after its
+      // successors already completed or restarted; those must not be
+      // re-armed. Impossible fault-free (a successor never runs before
+      // all its deps), so the guard is gated off the hot path.
+      if (faults_active_ &&
+          (completed_flag_[s] != 0 || active_run_[s] != nullptr)) {
+        continue;
+      }
+      if (--remaining_deps_[s] == 0) {
+        if (faults_active_ && pending_retry_[s] != 0) continue;
+        ready_.Push(succ, task_class_[s]);
       }
     }
+    RetireRun(run);
     ReleaseRun(run);
     ScheduleLoop();
   }
 
+  // ----------------------------------------------------------------
+  // Fault injection & recovery. Nothing below runs on fault-free
+  // configurations.
+  // ----------------------------------------------------------------
+
+  void InjectFault(const FaultEvent& e) {
+    if (!failure_.ok()) return;
+    switch (e.kind) {
+      case FaultKind::kNodeCrash:
+        OnNodeCrash(e.node);
+        break;
+      case FaultKind::kGpuLoss:
+        OnGpuLoss(e.node);
+        break;
+      case FaultKind::kSlowNode:
+        OnSlowNode(e.node, e.factor);
+        break;
+    }
+  }
+
+  /// Transient storage fault: the op consumed its full duration, then
+  /// failed. The attempt is torn down (slot released — the node is
+  /// still alive) and the task retried with backoff.
+  void OnStorageFault(TaskRun* run) {
+    ++stats_.storage_faults;
+    RecordAttempt(run, AttemptOutcome::kStorageFault);
+    auto& slots =
+        run->processor == Processor::kCpu ? cpu_slots_ : gpu_slots_;
+    slots.Release(run->node);
+    const TaskId id = run->id;
+    const int attempt = run->attempt;
+    const int node = run->node;
+    RetireRun(run);
+    ReleaseRun(run);
+    RetryOrFail(id, attempt, node);
+  }
+
+  /// Kills a live run whose processor died under it. The slot is NOT
+  /// released — the caller already drained / shrank the index — and
+  /// the pooled TaskRun is recycled once its queued continuations
+  /// drain through Enter().
+  void KillRun(TaskRun* run, AttemptOutcome outcome) {
+    RecordAttempt(run, outcome);
+    run->cancelled = true;
+    const TaskId id = run->id;
+    const int attempt = run->attempt;
+    const int node = run->node;
+    RetireRun(run);
+    TB_CHECK(run->inflight > 0) << "killed a run with no queued event";
+    RetryOrFail(id, attempt, node);
+  }
+
+  /// Schedules attempt `attempt + 1` of `id` after exponential
+  /// backoff, or fails the whole run when the retry budget is spent.
+  void RetryOrFail(TaskId id, int attempt, int node) {
+    if (attempt > options_.max_retries) {
+      Fail(Status::ResourceExhausted(
+               StrFormat("retries exhausted (max_retries=%d)",
+                         options_.max_retries))
+               .WithContext(StrFormat(
+                   "task %lld (%s) attempt %d on node %d",
+                   static_cast<long long>(id),
+                   graph_.task(id).spec.type.c_str(), attempt, node)));
+      return;
+    }
+    ++stats_.retries;
+    pending_retry_[static_cast<size_t>(id)] = 1;
+    const double delay =
+        options_.retry_backoff_s *
+        static_cast<double>(1ull << std::min(attempt - 1, 30));
+    simulator_.After(delay, [this, id]() {
+      if (!failure_.ok()) return;
+      pending_retry_[static_cast<size_t>(id)] = 0;
+      // A crash between failure and backoff expiry may have lost the
+      // task's inputs; it then re-arms through the usual dependency
+      // countdown once the producers are recomputed.
+      if (remaining_deps_[static_cast<size_t>(id)] == 0) {
+        ready_.Push(id, task_class_[static_cast<size_t>(id)]);
+        ScheduleLoop();
+      }
+    });
+  }
+
+  void OnNodeCrash(int n) {
+    if (node_dead_[static_cast<size_t>(n)] != 0) return;
+    ++stats_.faults_injected;
+    ++stats_.dead_nodes;
+    node_dead_[static_cast<size_t>(n)] = 1;
+    cpu_slots_.DrainNode(n);
+    gpu_slots_.DrainNode(n);
+
+    // Kill the node's in-flight attempts.
+    std::vector<TaskRun*> victims;
+    for (TaskRun* run : live_runs_) {
+      if (run->node == n) victims.push_back(run);
+    }
+    for (TaskRun* run : victims) KillRun(run, AttemptOutcome::kNodeLost);
+    if (!failure_.ok()) return;
+
+    // Lineage recovery: every block homed on the dead node is lost;
+    // re-materialize each by re-running its producing task off the
+    // live TaskGraph (transitively, when the producer's own inputs
+    // were lost too). Initial inputs have no producer — they are
+    // re-read from their durable origin onto a live node.
+    EnsureWritersIndex();
+    if (rerun_marked_.empty()) {
+      rerun_marked_.assign(static_cast<size_t>(graph_.num_tasks()), 0);
+    }
+    std::vector<TaskId> rerun;
+    for (DataId d = 0; d < graph_.num_data(); ++d) {
+      if (data_home_[static_cast<size_t>(d)] == n) LoseDatum(d, &rerun);
+    }
+    while (!rerun.empty()) {
+      const TaskId w = rerun.back();
+      rerun.pop_back();
+      for (const Param& p : graph_.task(w).spec.params) {
+        if (p.dir != Dir::kOut &&
+            data_home_[static_cast<size_t>(p.data)] == n) {
+          LoseDatum(p.data, &rerun);
+        }
+      }
+    }
+    for (TaskId t : rerun_marked_list_) {
+      rerun_marked_[static_cast<size_t>(t)] = 0;
+    }
+    rerun_marked_list_.clear();
+
+    RebuildAfterCrash();
+  }
+
+  /// Builds the datum -> writing-tasks index (ascending task id) the
+  /// first time a crash needs lineage.
+  void EnsureWritersIndex() {
+    if (!writers_.empty() || graph_.num_data() == 0) return;
+    writers_.resize(static_cast<size_t>(graph_.num_data()));
+    for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+      for (const Param& p : graph_.task(t).spec.params) {
+        if (p.dir != Dir::kIn) {
+          writers_[static_cast<size_t>(p.data)].push_back(t);
+        }
+      }
+    }
+  }
+
+  /// Handles one block lost with dead node `n` (its current home).
+  /// INOUT approximation: the block's value is restored by re-running
+  /// only the last completed writer, not the full INOUT chain — exact
+  /// for single-assignment data, conservative-in-time otherwise.
+  void LoseDatum(DataId d, std::vector<TaskId>* rerun) {
+    ++stats_.lost_blocks;
+    const auto ds = static_cast<size_t>(d);
+    TaskId w = -1;
+    const std::vector<TaskId>& writers = writers_[ds];
+    for (auto it = writers.rbegin(); it != writers.rend(); ++it) {
+      if (active_run_[static_cast<size_t>(*it)] != nullptr) {
+        // A live writer is already re-producing the value on its own
+        // node; nothing to recompute.
+        data_home_[ds] = -1;
+        if (locality_ != nullptr) locality_->OnDataHomeChanged(d);
+        return;
+      }
+      if (completed_flag_[static_cast<size_t>(*it)] != 0 ||
+          rerun_marked_[static_cast<size_t>(*it)] != 0) {
+        w = *it;
+        break;
+      }
+    }
+    if (w < 0) {
+      // No writer ever completed: the block still holds its durable
+      // initial value; re-home it on a live node.
+      data_home_[ds] = NextLiveNode();
+      if (locality_ != nullptr) locality_->OnDataHomeChanged(d);
+      return;
+    }
+    data_home_[ds] = -1;
+    if (locality_ != nullptr) locality_->OnDataHomeChanged(d);
+    if (rerun_marked_[static_cast<size_t>(w)] == 0) {
+      rerun_marked_[static_cast<size_t>(w)] = 1;
+      rerun_marked_list_.push_back(w);
+      completed_flag_[static_cast<size_t>(w)] = 0;
+      --completed_;
+      ++stats_.recomputed_tasks;
+      rerun->push_back(w);
+    }
+  }
+
+  int NextLiveNode() {
+    for (int i = 0; i < cluster_.num_nodes; ++i) {
+      const int n = relocate_rr_;
+      relocate_rr_ = (relocate_rr_ + 1) % cluster_.num_nodes;
+      if (node_dead_[static_cast<size_t>(n)] == 0) return n;
+    }
+    return -1;  // every node is dead; the run will stall out cleanly
+  }
+
+  /// Recomputes the dependency countdown of every task that is
+  /// neither completed nor in flight and rebuilds the ready queue to
+  /// match, then resumes scheduling — a crash may have re-opened
+  /// producers of tasks that were already ready (or queued).
+  void RebuildAfterCrash() {
+    ready_ = ReadyQueue();
+    for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+      const auto ts = static_cast<size_t>(t);
+      if (completed_flag_[ts] != 0 || active_run_[ts] != nullptr) continue;
+      int deps = 0;
+      for (TaskId dep : graph_.task(t).deps) {
+        if (completed_flag_[static_cast<size_t>(dep)] == 0) ++deps;
+      }
+      remaining_deps_[ts] = deps;
+      if (deps == 0 && pending_retry_[ts] == 0) {
+        ready_.Push(t, task_class_[ts]);
+      }
+    }
+    ScheduleLoop();
+  }
+
+  void OnGpuLoss(int n) {
+    const auto ns = static_cast<size_t>(n);
+    if (node_dead_[ns] != 0 || gpu_slots_.capacity_at(n) == 0) return;
+    ++stats_.faults_injected;
+    if (gpu_slots_.free_at(n) > 0) {
+      gpu_slots_.RemoveDevice(n);  // an idle device vanishes quietly
+      return;
+    }
+    // Every device is busy: the lost one takes its task down with it.
+    // Deterministic victim: the lowest task id among the node's live
+    // GPU runs. Its slot is never released — RemoveDevice already
+    // dropped the capacity it occupied.
+    TaskRun* victim = nullptr;
+    for (TaskRun* run : live_runs_) {
+      if (run->node == n && run->processor == Processor::kGpu &&
+          (victim == nullptr || run->id < victim->id)) {
+        victim = run;
+      }
+    }
+    if (victim == nullptr) return;
+    gpu_slots_.RemoveDevice(n);
+    KillRun(victim, AttemptOutcome::kDeviceLost);
+  }
+
+  void OnSlowNode(int n, double factor) {
+    if (node_dead_[static_cast<size_t>(n)] != 0) return;
+    ++stats_.faults_injected;
+    node_slow_[static_cast<size_t>(n)] = factor;
+  }
+
   const hw::ClusterSpec& cluster_;
-  const SimulatedExecutorOptions& options_;
+  const RunOptions& options_;
   const TaskGraph& graph_;
   perf::CostModel model_;
   std::unique_ptr<Scheduler> scheduler_;
@@ -383,6 +769,7 @@ class SimState {
   hw::SlotIndex gpu_slots_;
   std::vector<PlacementClass> task_class_;
   std::vector<int> data_home_;
+  std::vector<char> is_initial_input_;
   std::unique_ptr<LocalityCache> locality_;
   ReadyQueue ready_;
   std::vector<int> remaining_deps_;
@@ -390,6 +777,25 @@ class SimState {
 
   std::deque<TaskRun> run_pool_;    ///< stable storage for live runs
   std::vector<TaskRun*> free_runs_;
+  std::vector<TaskRun*> live_runs_;
+
+  // Fault-tolerance state. Allocated unconditionally (cheap), but only
+  // mutated by fault paths; `faults_active_` gates every behavioural
+  // branch so fault-free runs stay bit-identical.
+  const bool faults_active_;
+  Rng storage_rng_;
+  std::vector<char> node_dead_;
+  std::vector<double> node_slow_;
+  std::vector<int> attempt_count_;
+  std::vector<char> completed_flag_;
+  std::vector<char> pending_retry_;
+  std::vector<TaskRun*> active_run_;
+  std::vector<std::vector<TaskId>> writers_;  ///< lazily built lineage
+  std::vector<char> rerun_marked_;
+  std::vector<TaskId> rerun_marked_list_;
+  int relocate_rr_ = 0;
+  FaultStats stats_;
+  std::vector<TaskAttempt> attempts_;
 
   double master_free_at_ = 0;
   double scheduler_overhead_ = 0;
@@ -401,8 +807,8 @@ class SimState {
 }  // namespace
 
 SimulatedExecutor::SimulatedExecutor(hw::ClusterSpec cluster,
-                                     SimulatedExecutorOptions options)
-    : cluster_(std::move(cluster)), options_(options) {
+                                     RunOptions options)
+    : cluster_(std::move(cluster)), options_(std::move(options)) {
   TB_CHECK_OK(cluster_.Validate());
 }
 

@@ -1,45 +1,17 @@
 #ifndef TASKBENCH_RUNTIME_SIMULATED_EXECUTOR_H_
 #define TASKBENCH_RUNTIME_SIMULATED_EXECUTOR_H_
 
+#include <string>
+
 #include "common/result.h"
 #include "common/types.h"
 #include "hw/cluster.h"
+#include "runtime/executor.h"
 #include "runtime/metrics.h"
+#include "runtime/run_options.h"
 #include "runtime/task_graph.h"
 
 namespace taskbench::runtime {
-
-/// Options of one simulated workflow execution.
-struct SimulatedExecutorOptions {
-  /// Storage architecture the blocks are read from / written to.
-  hw::StorageArchitecture storage = hw::StorageArchitecture::kSharedDisk;
-  /// Scheduling policy the master uses.
-  SchedulingPolicy policy = SchedulingPolicy::kTaskGenerationOrder;
-  /// Inter-node network used for remote block reads under local-disk
-  /// storage (a node pulling a block that lives on another node).
-  /// InfiniBand-class defaults (Minotauro); remote reads stream the
-  /// disk and the network in parallel, so a fast fabric makes remote
-  /// reads nearly as cheap as local ones — which is why scheduling
-  /// policy barely matters on local disks (observation O5).
-  double network_aggregate_bps = 40e9;
-  double network_per_stream_bps = 3e9;
-  double network_latency_s = 0.1e-3;
-  /// When >= 0, overrides the policy's per-decision master overhead
-  /// (seconds). Used by the scheduler-overhead ablation study.
-  double scheduler_overhead_override_s = -1;
-  /// Hybrid CPU+GPU placement: GPU-targeted tasks may run on free CPU
-  /// cores when every device is busy, and fall back to CPU when their
-  /// working set exceeds device memory (instead of failing with OOM).
-  /// This addresses the paper's "resource wastage" challenge — CPUs
-  /// idle while GPUs queue — and turns the thread-vs-task parallelism
-  /// trade-off into a per-task decision.
-  bool hybrid = false;
-  /// Spill guard for hybrid mode: a fitting GPU task only takes a CPU
-  /// core when its CPU compute time is at most this many times its
-  /// GPU compute time — spilling a 20x-slower task to a core creates
-  /// stragglers instead of helping. OOM tasks always spill.
-  double hybrid_max_cpu_slowdown = 4.0;
-};
 
 /// Replays a TaskGraph on a simulated CPU-GPU cluster.
 ///
@@ -53,22 +25,37 @@ struct SimulatedExecutorOptions {
 /// per-stage times by task type, per-level parallel task times, and
 /// the end-to-end makespan.
 ///
+/// Fault tolerance: when `options.faults` is non-empty, the plan's
+/// events are injected as discrete simulator events — node crashes
+/// kill in-flight tasks and lose the node's blocks (re-materialized
+/// by re-running their producing tasks off the live TaskGraph), GPU
+/// losses shrink a node's device capacity, slow-nodes stretch compute,
+/// and seeded transient storage faults fail individual reads/writes.
+/// Failed attempts retry up to `options.max_retries` times with
+/// exponential backoff; exhausted retries surface as a clean error
+/// Status (never a hang). Fault-free runs are bit-identical to the
+/// pre-fault-tolerance executor. See docs/FAULT_TOLERANCE.md.
+///
 /// Fails with OutOfMemory when a GPU task's working set exceeds the
 /// device memory — the configurations the figures label "GPU OOM".
-class SimulatedExecutor {
+class SimulatedExecutor final : public Executor {
  public:
-  SimulatedExecutor(hw::ClusterSpec cluster, SimulatedExecutorOptions options);
+  SimulatedExecutor(hw::ClusterSpec cluster, RunOptions options);
 
   /// Runs `graph` to completion and returns the report. The graph is
   /// not modified; simulated data homes are tracked internally.
   Result<RunReport> Execute(const TaskGraph& graph) const;
 
+  // Executor interface.
+  std::string name() const override { return "simulated"; }
+  const RunOptions& options() const override { return options_; }
+  Result<RunReport> Run(TaskGraph& graph) override { return Execute(graph); }
+
   const hw::ClusterSpec& cluster() const { return cluster_; }
-  const SimulatedExecutorOptions& options() const { return options_; }
 
  private:
   hw::ClusterSpec cluster_;
-  SimulatedExecutorOptions options_;
+  RunOptions options_;
 };
 
 }  // namespace taskbench::runtime

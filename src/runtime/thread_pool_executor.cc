@@ -1,5 +1,6 @@
 #include "runtime/thread_pool_executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -32,9 +33,8 @@ std::string KeyFor(DataId id) {
 }  // namespace
 
 ThreadPoolExecutor::ThreadPoolExecutor(
-    ThreadPoolExecutorOptions options,
-    std::shared_ptr<storage::BlockStorage> store)
-    : options_(options), store_(std::move(store)) {
+    RunOptions options, std::shared_ptr<storage::BlockStorage> store)
+    : options_(std::move(options)), store_(std::move(store)) {
   TB_CHECK(options_.num_threads > 0);
   if (options_.use_storage && store_ == nullptr) {
     store_ = std::make_shared<storage::InMemoryStorage>();
@@ -60,6 +60,8 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
     std::map<DataId, std::shared_ptr<data::Matrix>> values;
     int64_t completed = 0;
     int64_t total = 0;
+    int64_t retries = 0;
+    std::vector<TaskAttempt> attempts;
     bool failed = false;
     Status failure;
   } shared;
@@ -146,13 +148,15 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
     return Status::OK();
   };
 
-  auto run_task = [&](TaskId id) -> Status {
+  auto run_task = [&](TaskId id, int attempt) -> Status {
     const Task& task = graph.task(id);
     TaskRecord& rec = records[static_cast<size_t>(id)];
     rec.task = id;
     rec.type = task.spec.type;
     rec.level = task.level;
     rec.processor = Processor::kCpu;  // the real path runs on host cores
+    rec.stages = perf::StageTimes{};  // a retry starts its stages over
+    rec.attempt = attempt;
     rec.start = SecondsSince(origin);
 
     if (task.spec.kernel == nullptr) {
@@ -223,16 +227,48 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
         id = shared.ready.front();
         shared.ready.pop_front();
       }
-      const Status status = run_task(id);
+      // Per-task retry loop: transient failures (e.g. a fault-injecting
+      // storage backend) are retried with exponential backoff until the
+      // budget is spent. Gated on the default budget of 0 this is one
+      // run_task call, exactly the historic fail-fast path.
+      Status status;
+      int attempt = 1;
+      for (;;) {
+        status = run_task(id, attempt);
+        if (status.ok() || attempt > options_.max_retries) break;
+        {
+          std::lock_guard<std::mutex> lock(shared.mu);
+          if (shared.failed) break;  // another worker already gave up
+          ++shared.retries;
+          if (options_.max_retries > 0) {
+            const TaskRecord& rec = records[static_cast<size_t>(id)];
+            shared.attempts.push_back(TaskAttempt{
+                id, attempt, rec.node, rec.processor, rec.start,
+                SecondsSince(origin), AttemptOutcome::kFailed});
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            options_.retry_backoff_s *
+            static_cast<double>(1ull << std::min(attempt - 1, 30))));
+        ++attempt;
+      }
       {
         std::lock_guard<std::mutex> lock(shared.mu);
         if (!status.ok()) {
           if (!shared.failed) {
             shared.failed = true;
-            shared.failure = status;
+            shared.failure = std::move(status).WithContext(
+                StrFormat("task %lld attempt %d",
+                          static_cast<long long>(id), attempt));
           }
           shared.cv.notify_all();
           return;
+        }
+        if (options_.max_retries > 0) {
+          const TaskRecord& rec = records[static_cast<size_t>(id)];
+          shared.attempts.push_back(TaskAttempt{
+              id, attempt, rec.node, rec.processor, rec.start, rec.end,
+              AttemptOutcome::kCompleted});
         }
         ++shared.completed;
         for (TaskId succ : graph.task(id).successors) {
@@ -269,6 +305,8 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   for (const TaskRecord& rec : report.records) {
     report.makespan = std::max(report.makespan, rec.end);
   }
+  report.faults.retries = shared.retries;
+  report.attempts = std::move(shared.attempts);
   return report;
 }
 

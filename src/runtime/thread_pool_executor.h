@@ -2,25 +2,17 @@
 #define TASKBENCH_RUNTIME_THREAD_POOL_EXECUTOR_H_
 
 #include <memory>
+#include <string>
 
 #include "common/result.h"
 #include "data/matrix.h"
+#include "runtime/executor.h"
 #include "runtime/metrics.h"
+#include "runtime/run_options.h"
 #include "runtime/task_graph.h"
 #include "storage/block_storage.h"
 
 namespace taskbench::runtime {
-
-/// Options of the real execution path.
-struct ThreadPoolExecutorOptions {
-  /// Worker threads (the "CPU cores" of the local mini-cluster).
-  int num_threads = 4;
-  /// When true, blocks move through `storage` between tasks
-  /// (serialize on write, deserialize on read), exercising the data
-  /// movement stages for real. When false, blocks are passed in
-  /// memory and the (de)serialization stage times are zero.
-  bool use_storage = true;
-};
 
 /// Executes a TaskGraph for real on host threads.
 ///
@@ -30,24 +22,41 @@ struct ThreadPoolExecutorOptions {
 /// correctness tests (distributed results must equal the dense
 /// single-node computation); the simulated executor reuses the same
 /// graphs to model cluster-scale behaviour.
-class ThreadPoolExecutor {
+///
+/// Fault tolerance: a failed task attempt (kernel error, storage
+/// Get/Put failure — e.g. from a fault-injecting BlockStorage) is
+/// retried up to `options.max_retries` times with exponential
+/// wall-clock backoff before the run fails. The default budget of 0
+/// preserves the historic fail-fast behaviour.
+class ThreadPoolExecutor final : public Executor {
  public:
-  /// `storage` may be null when options.use_storage is false; a
+  /// `store` may be null when options.use_storage is false; a
   /// private InMemoryStorage is created otherwise.
-  ThreadPoolExecutor(ThreadPoolExecutorOptions options,
+  ThreadPoolExecutor(RunOptions options,
                      std::shared_ptr<storage::BlockStorage> store = nullptr);
 
   /// Runs the graph. Initial data values are taken from the graph;
-  /// results are fetched with FetchData afterwards. Fails on the
-  /// first kernel error (remaining tasks are not started).
+  /// results are fetched with FetchData afterwards. Fails once a
+  /// task's retry budget is exhausted (remaining tasks are not
+  /// started).
   Result<RunReport> Execute(TaskGraph& graph);
 
   /// Reads a datum's current value after Execute (deserializing from
   /// storage when enabled).
   Result<data::Matrix> FetchData(const TaskGraph& graph, DataId id) const;
 
+  // Executor interface.
+  std::string name() const override { return "thread-pool"; }
+  const RunOptions& options() const override { return options_; }
+  Result<RunReport> Run(TaskGraph& graph) override { return Execute(graph); }
+  bool materializes() const override { return true; }
+  Result<data::Matrix> Fetch(const TaskGraph& graph,
+                             DataId id) const override {
+    return FetchData(graph, id);
+  }
+
  private:
-  ThreadPoolExecutorOptions options_;
+  RunOptions options_;
   std::shared_ptr<storage::BlockStorage> store_;
 };
 

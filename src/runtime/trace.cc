@@ -61,17 +61,44 @@ std::string ChromeTraceJson(const RunReport& report) {
   out << "{\n\"traceEvents\": [\n";
   bool first = true;
 
-  const std::vector<int> lanes = AssignLanes(report.records);
-  for (size_t i = 0; i < report.records.size(); ++i) {
-    const TaskRecord& rec = report.records[i];
+  // Failed attempts (only present under fault injection) occupy real
+  // node time before their task re-runs; render them as first-class
+  // slices so they take part in lane assignment.
+  std::vector<TaskRecord> records = report.records;
+  const size_t num_completed = records.size();
+  for (const TaskAttempt& attempt : report.attempts) {
+    if (attempt.outcome == AttemptOutcome::kCompleted) continue;
+    TaskRecord rec;
+    rec.task = attempt.task;
+    rec.type = StrFormat("attempt %d (%s)", attempt.attempt,
+                         ToString(attempt.outcome).c_str());
+    rec.processor = attempt.processor;
+    rec.node = attempt.node;
+    rec.start = attempt.start;
+    rec.end = attempt.end;
+    rec.attempt = attempt.attempt;
+    records.push_back(rec);
+  }
+
+  const std::vector<int> lanes = AssignLanes(records);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const TaskRecord& rec = records[i];
     const int pid = rec.node < 0 ? 0 : rec.node;
     const int tid = lanes[i];
-    const std::string name =
-        StrFormat("%s #%lld (%s)", rec.type.c_str(),
-                  static_cast<long long>(rec.task),
-                  ToString(rec.processor).c_str());
-    AppendEvent(&out, &first, name, "task", pid, tid, rec.start,
-                rec.duration());
+    const bool failed_attempt = i >= num_completed;
+    std::string name =
+        failed_attempt
+            ? StrFormat("%s #%lld %s", "task", static_cast<long long>(rec.task),
+                        rec.type.c_str())
+            : StrFormat("%s #%lld (%s)", rec.type.c_str(),
+                        static_cast<long long>(rec.task),
+                        ToString(rec.processor).c_str());
+    if (!failed_attempt && rec.attempt > 1) {
+      name += StrFormat(" [attempt %d]", rec.attempt);
+    }
+    AppendEvent(&out, &first, name, failed_attempt ? "attempt" : "task", pid,
+                tid, rec.start, rec.duration());
+    if (failed_attempt) continue;
 
     // Nested stage slices; stages execute back to back.
     double cursor = rec.start;
@@ -95,7 +122,7 @@ std::string ChromeTraceJson(const RunReport& report) {
 
   // Node name metadata.
   std::map<int, bool> nodes;
-  for (const TaskRecord& rec : report.records) {
+  for (const TaskRecord& rec : records) {
     nodes[rec.node < 0 ? 0 : rec.node] = true;
   }
   for (const auto& [node, _] : nodes) {

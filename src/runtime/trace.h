@@ -2,6 +2,7 @@
 #define TASKBENCH_RUNTIME_TRACE_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "runtime/metrics.h"
@@ -14,7 +15,11 @@ namespace taskbench::runtime {
 /// from the PyCOMPSs runtime (Section 4.4.3): one process per
 /// cluster node, one lane per concurrently busy execution slot, one
 /// slice per task with nested slices for the task processing stages
-/// (deserialize, user code, serialize).
+/// (deserialize, user code, serialize). Under fault injection,
+/// completed tasks that needed retries are labelled with their final
+/// attempt number and every failed attempt (node crash, device loss,
+/// storage fault) is rendered as its own "attempt" slice, so recovery
+/// behaviour is visible on the timeline.
 std::string ChromeTraceJson(const RunReport& report);
 
 /// Writes ChromeTraceJson(report) to `path`.

@@ -1,0 +1,41 @@
+#include "storage/faulty_storage.h"
+
+#include <utility>
+
+namespace taskbench::storage {
+
+Status FaultyStorage::Put(const std::string& key,
+                          std::vector<uint8_t> bytes) {
+  if (ops_until_put_failure.fetch_sub(1) <= 0 &&
+      put_failures_remaining.fetch_sub(1) > 0) {
+    return Status::Internal("injected put failure");
+  }
+  return inner_->Put(key, std::move(bytes));
+}
+
+Result<std::vector<uint8_t>> FaultyStorage::Get(
+    const std::string& key) const {
+  if (ops_until_get_failure.fetch_sub(1) <= 0 &&
+      get_failures_remaining.fetch_sub(1) > 0) {
+    return Status::Internal("injected get failure");
+  }
+  auto bytes = inner_->Get(key);
+  if (bytes.ok() && corrupt_reads.load() && !bytes->empty()) {
+    (*bytes)[bytes->size() / 2] ^= 0xff;
+  }
+  return bytes;
+}
+
+Status FaultyStorage::Delete(const std::string& key) {
+  return inner_->Delete(key);
+}
+
+bool FaultyStorage::Contains(const std::string& key) const {
+  return inner_->Contains(key);
+}
+
+size_t FaultyStorage::Size() const { return inner_->Size(); }
+
+uint64_t FaultyStorage::TotalBytes() const { return inner_->TotalBytes(); }
+
+}  // namespace taskbench::storage

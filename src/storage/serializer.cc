@@ -101,7 +101,9 @@ Result<data::Matrix> Serializer::Deserialize(
     return Status::InvalidArgument("checksum mismatch in serialized block");
   }
   data::Matrix m(rows, cols);
-  std::memcpy(m.data(), payload, payload_bytes);
+  // 0x0 matrices have no payload and a null backing pointer; memcpy
+  // requires non-null arguments even for zero sizes (UB otherwise).
+  if (payload_bytes > 0) std::memcpy(m.data(), payload, payload_bytes);
   return m;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "hw/cluster.h"
+#include "runtime/fault.h"
 #include "runtime/simulated_executor.h"
 #include "runtime/task_graph.h"
 
@@ -102,7 +103,23 @@ void ExpectIdenticalReports(const RunReport& a, const RunReport& b) {
     EXPECT_EQ(ra.stages.parallel_fraction, rb.stages.parallel_fraction);
     EXPECT_EQ(ra.stages.cpu_gpu_comm, rb.stages.cpu_gpu_comm);
     EXPECT_EQ(ra.stages.serialize, rb.stages.serialize);
+    EXPECT_EQ(ra.attempt, rb.attempt);
   }
+  ASSERT_EQ(a.attempts.size(), b.attempts.size());
+  for (size_t i = 0; i < a.attempts.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "attempt " << i);
+    EXPECT_EQ(a.attempts[i].task, b.attempts[i].task);
+    EXPECT_EQ(a.attempts[i].attempt, b.attempts[i].attempt);
+    EXPECT_EQ(a.attempts[i].node, b.attempts[i].node);
+    EXPECT_EQ(a.attempts[i].start, b.attempts[i].start);
+    EXPECT_EQ(a.attempts[i].end, b.attempts[i].end);
+    EXPECT_EQ(a.attempts[i].outcome, b.attempts[i].outcome);
+  }
+  EXPECT_EQ(a.faults.faults_injected, b.faults.faults_injected);
+  EXPECT_EQ(a.faults.storage_faults, b.faults.storage_faults);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_EQ(a.faults.recomputed_tasks, b.faults.recomputed_tasks);
+  EXPECT_EQ(a.faults.lost_blocks, b.faults.lost_blocks);
 }
 
 TEST(DeterminismTest, RepeatedRunsProduceIdenticalReports) {
@@ -144,6 +161,43 @@ TEST(DeterminismTest, FreshExecutorReproducesReport) {
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(second.ok());
   ExpectIdenticalReports(*first, *second);
+}
+
+/// The same bit-determinism must hold under fault injection: the
+/// fault plan's events and the seeded storage-fault stream are part
+/// of the deterministic event order, so a replay reproduces every
+/// retry and recovery decision.
+TEST(DeterminismTest, FaultPlansReplayIdentically) {
+  const TaskGraph graph = BuildGraph();
+  SimulatedExecutorOptions baseline_options;
+  baseline_options.storage = hw::StorageArchitecture::kLocalDisk;
+  auto baseline = SimulatedExecutor(hw::MinotauroCluster(), baseline_options)
+                      .Execute(graph);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (auto policy : {SchedulingPolicy::kTaskGenerationOrder,
+                      SchedulingPolicy::kDataLocality}) {
+    SCOPED_TRACE(ToString(policy));
+    SimulatedExecutorOptions options;
+    options.policy = policy;
+    options.storage = hw::StorageArchitecture::kLocalDisk;
+    options.max_retries = 6;
+    options.retry_backoff_s = 1e-3;
+    FaultEvent crash;
+    crash.kind = FaultKind::kNodeCrash;
+    crash.time = baseline->makespan / 2;
+    crash.node = 1;
+    options.faults.events.push_back(crash);
+    options.faults.storage_fault_rate = 0.01;
+    options.faults.seed = 17;
+    auto first = SimulatedExecutor(hw::MinotauroCluster(), options)
+                     .Execute(graph);
+    auto second = SimulatedExecutor(hw::MinotauroCluster(), options)
+                      .Execute(graph);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    ExpectIdenticalReports(*first, *second);
+  }
 }
 
 }  // namespace

@@ -1,62 +1,21 @@
 // Failure-injection tests: storage faults and hostile inputs must
 // surface as Status errors, never crash or hang the runtime.
 
-#include <atomic>
 #include <memory>
+#include <utility>
 
 #include <gtest/gtest.h>
 
 #include "algos/matmul.h"
+#include "runtime/metrics.h"
 #include "runtime/thread_pool_executor.h"
 #include "storage/block_storage.h"
-#include "storage/serializer.h"
+#include "storage/faulty_storage.h"
 
 namespace taskbench::runtime {
 namespace {
 
-/// Storage wrapper that starts failing after a configurable number of
-/// successful operations, or corrupts payloads on read.
-class FaultyStorage final : public storage::BlockStorage {
- public:
-  explicit FaultyStorage(std::shared_ptr<storage::BlockStorage> inner)
-      : inner_(std::move(inner)) {}
-
-  // mutable: Get() is const in the interface but consumes fault
-  // budget.
-  mutable std::atomic<int> ops_until_put_failure{1 << 30};
-  mutable std::atomic<int> ops_until_get_failure{1 << 30};
-  std::atomic<bool> corrupt_reads{false};
-
-  Status Put(const std::string& key, std::vector<uint8_t> bytes) override {
-    if (ops_until_put_failure.fetch_sub(1) <= 0) {
-      return Status::Internal("injected put failure");
-    }
-    return inner_->Put(key, std::move(bytes));
-  }
-
-  Result<std::vector<uint8_t>> Get(const std::string& key) const override {
-    if (ops_until_get_failure.fetch_sub(1) <= 0) {
-      return Status::Internal("injected get failure");
-    }
-    auto bytes = inner_->Get(key);
-    if (bytes.ok() && corrupt_reads.load() && !bytes->empty()) {
-      (*bytes)[bytes->size() / 2] ^= 0xff;
-    }
-    return bytes;
-  }
-
-  Status Delete(const std::string& key) override {
-    return inner_->Delete(key);
-  }
-  bool Contains(const std::string& key) const override {
-    return inner_->Contains(key);
-  }
-  size_t Size() const override { return inner_->Size(); }
-  uint64_t TotalBytes() const override { return inner_->TotalBytes(); }
-
- private:
-  std::shared_ptr<storage::BlockStorage> inner_;
-};
+using storage::FaultyStorage;
 
 algos::MatmulWorkflow SmallWorkflow() {
   auto spec = data::GridSpec::CreateFromGridDim(
@@ -121,6 +80,52 @@ TEST(FailureInjectionTest, CorruptedBlocksDetectedByChecksum) {
   // The serializer's CRC turns silent corruption into a loud error.
   EXPECT_TRUE(report.status().IsInvalidArgument());
   EXPECT_NE(report.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, RetriesRecoverFromTransientGetFaults) {
+  // With a retry budget, a storage fault that heals after a few
+  // injected failures is absorbed: the run completes and the report
+  // carries the retry accounting.
+  auto faulty = std::make_shared<FaultyStorage>(
+      std::make_shared<storage::InMemoryStorage>());
+  faulty->ops_until_get_failure = 5;
+  faulty->get_failures_remaining = 2;  // heal after two failures
+  algos::MatmulWorkflow wf = SmallWorkflow();
+  ThreadPoolExecutorOptions options = StorageOptions();
+  options.max_retries = 3;
+  options.retry_backoff_s = 1e-4;
+  ThreadPoolExecutor executor(options, faulty);
+  auto report = executor.Execute(wf.graph);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->faults.retries, 1);
+  EXPECT_FALSE(report->attempts.empty());
+  bool saw_failed_attempt = false;
+  for (const TaskAttempt& attempt : report->attempts) {
+    if (attempt.outcome == AttemptOutcome::kFailed) saw_failed_attempt = true;
+  }
+  EXPECT_TRUE(saw_failed_attempt);
+  bool saw_retried_record = false;
+  for (const TaskRecord& rec : report->records) {
+    if (rec.attempt > 1) saw_retried_record = true;
+  }
+  EXPECT_TRUE(saw_retried_record);
+}
+
+TEST(FailureInjectionTest, RetriesExhaustedSurfaceCleanStatus) {
+  // A permanent fault defeats the retry budget; the failure surfaces
+  // as the task's final Status (with attempt context), never a hang.
+  auto faulty = std::make_shared<FaultyStorage>(
+      std::make_shared<storage::InMemoryStorage>());
+  faulty->ops_until_get_failure = 5;  // permanent: default huge budget
+  algos::MatmulWorkflow wf = SmallWorkflow();
+  ThreadPoolExecutorOptions options = StorageOptions();
+  options.max_retries = 2;
+  options.retry_backoff_s = 1e-4;
+  ThreadPoolExecutor executor(options, faulty);
+  auto report = executor.Execute(wf.graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+  EXPECT_NE(report.status().message().find("attempt"), std::string::npos);
 }
 
 TEST(FailureInjectionTest, RecoveryAfterTransientFault) {

@@ -163,8 +163,8 @@ TEST(PaperShapesTest, Figure10PolicySensitivityO5O6) {
              {SchedulingPolicy::kTaskGenerationOrder,
               SchedulingPolicy::kDataLocality}) {
           ExperimentConfig config = KMeans(g, proc);
-          config.storage = storage;
-          config.policy = policy;
+          config.run.storage = storage;
+          config.run.policy = policy;
           auto result = RunExperiment(config);
           EXPECT_TRUE(result.ok());
           auto& series =
@@ -191,9 +191,9 @@ TEST(PaperShapesTest, Figure10PolicySensitivityO5O6) {
 TEST(PaperShapesTest, Figure10SharedDiskSlowerThanLocal) {
   for (int64_t g : {64, 256}) {
     ExperimentConfig local = KMeans(g, Processor::kCpu);
-    local.storage = hw::StorageArchitecture::kLocalDisk;
+    local.run.storage = hw::StorageArchitecture::kLocalDisk;
     ExperimentConfig shared = KMeans(g, Processor::kCpu);
-    shared.storage = hw::StorageArchitecture::kSharedDisk;
+    shared.run.storage = hw::StorageArchitecture::kSharedDisk;
     EXPECT_LT(MustTime(local), MustTime(shared)) << "grid " << g;
   }
 }

@@ -54,6 +54,27 @@ TEST(StatusTest, ReturnIfErrorPropagates) {
   EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
 }
 
+TEST(StatusTest, WithContextPrependsAndKeepsCode) {
+  const Status inner = Status::NotFound("block 7 missing");
+  const Status outer = inner.WithContext("remote read");
+  EXPECT_EQ(outer.code(), StatusCode::kNotFound);
+  EXPECT_EQ(outer.message(), "remote read: block 7 missing");
+  // The original is untouched (const& overload copies).
+  EXPECT_EQ(inner.message(), "block 7 missing");
+}
+
+TEST(StatusTest, WithContextChains) {
+  const Status status = Status::Internal("disk timeout")
+                            .WithContext("task 12 (partial_sum)")
+                            .WithContext("attempt 3");
+  EXPECT_EQ(status.message(),
+            "attempt 3: task 12 (partial_sum): disk timeout");
+}
+
+TEST(StatusTest, WithContextOnOkIsStillOk) {
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> r = 42;
   ASSERT_TRUE(r.ok());

@@ -57,6 +57,35 @@ TEST(StringsTest, Padding) {
   EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");  // wider than field: unchanged
 }
 
+TEST(StringsTest, ParseInt64AcceptsIntegers) {
+  auto v = ParseInt64("42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("0"), 0);
+}
+
+TEST(StringsTest, ParseInt64RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12abc").ok());   // trailing junk
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());     // not an integer
+  EXPECT_FALSE(ParseInt64("99999999999999999999").ok());  // overflow
+}
+
+TEST(StringsTest, ParseDoubleAcceptsNumbers) {
+  EXPECT_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_EQ(*ParseDouble("0"), 0.0);
+}
+
+TEST(StringsTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("2.5x").ok());
+  EXPECT_FALSE(ParseDouble("oops").ok());
+  EXPECT_FALSE(ParseDouble("1e99999").ok());  // out of range
+}
+
 TEST(UnitsTest, ElementConversions) {
   EXPECT_EQ(ElementsToBytes(1024), 8192u);
   EXPECT_EQ(BytesToElements(8192), 1024u);

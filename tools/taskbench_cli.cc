@@ -16,6 +16,13 @@
 //   --iterations=N      iterative algorithms' outer loop
 //   --processor=cpu|gpu --storage=local|shared
 //   --policy=gen-order|locality --hybrid (CPU+GPU spill placement)
+//   --faults=PLAN       fault-injection plan, comma-separated entries:
+//                         crash@T:nN      node N crashes at time T
+//                         gpuloss@T:nN    node N loses one GPU at T
+//                         slow@T:nN:xF    node N computes F x slower
+//                         storage:pP[:sS] disk ops fail w.p. P (seed S)
+//   --retries=N         per-task retry budget under faults (default 0)
+//   --retry-backoff=S   base of the exponential retry backoff, seconds
 //   --csv=PATH          write results as CSV
 //   --trace=PATH        write a chrome://tracing JSON of the run
 //   --gantt             print an ASCII occupancy chart of the run
@@ -23,6 +30,8 @@
 // Examples:
 //   taskbench run --algorithm=kmeans --dataset=kmeans-10gb --grid=256x1 \
 //       --processor=gpu --storage=shared --policy=gen-order
+//   taskbench run --algorithm=kmeans --grid=256x1 --storage=local \
+//       --faults=crash@2.0:n3,storage:p0.001 --retries=3
 //   taskbench sweep --algorithm=matmul --dataset=matmul-8gb --csv=out.csv
 //   taskbench recommend --algorithm=kmeans --dataset=kmeans-10gb
 
@@ -42,6 +51,7 @@
 #include "common/args.h"
 #include "common/strings.h"
 #include "data/generators.h"
+#include "runtime/fault.h"
 #include "runtime/simulated_executor.h"
 #include "runtime/trace.h"
 
@@ -95,8 +105,8 @@ tb::Result<std::pair<int64_t, int64_t>> ParseGrid(const std::string& text) {
   if (parts.size() != 2) {
     return tb::Status::InvalidArgument("--grid expects RxC, e.g. 16x16");
   }
-  const int64_t r = std::atoll(parts[0].c_str());
-  const int64_t c = std::atoll(parts[1].c_str());
+  TB_ASSIGN_OR_RETURN(const int64_t r, tb::ParseInt64(parts[0]));
+  TB_ASSIGN_OR_RETURN(const int64_t c, tb::ParseInt64(parts[1]));
   if (r <= 0 || c <= 0) {
     return tb::Status::InvalidArgument("--grid dimensions must be positive");
   }
@@ -129,28 +139,38 @@ tb::Result<ExperimentConfig> BuildConfig(const tb::Args& args) {
   }
   const std::string storage = args.GetString("storage", "shared");
   if (storage == "local") {
-    config.storage = tb::hw::StorageArchitecture::kLocalDisk;
+    config.run.storage = tb::hw::StorageArchitecture::kLocalDisk;
   } else if (storage == "shared") {
-    config.storage = tb::hw::StorageArchitecture::kSharedDisk;
+    config.run.storage = tb::hw::StorageArchitecture::kSharedDisk;
   } else {
     return tb::Status::InvalidArgument("--storage expects local|shared");
   }
   const std::string policy = args.GetString("policy", "gen-order");
   if (policy == "gen-order") {
-    config.policy = tb::SchedulingPolicy::kTaskGenerationOrder;
+    config.run.policy = tb::SchedulingPolicy::kTaskGenerationOrder;
   } else if (policy == "locality") {
-    config.policy = tb::SchedulingPolicy::kDataLocality;
+    config.run.policy = tb::SchedulingPolicy::kDataLocality;
   } else {
     return tb::Status::InvalidArgument("--policy expects gen-order|locality");
   }
+  if (args.Has("faults")) {
+    TB_ASSIGN_OR_RETURN(config.run.faults,
+                        tb::runtime::FaultPlan::Parse(
+                            args.GetString("faults")));
+  }
+  TB_ASSIGN_OR_RETURN(const int64_t retries, args.GetInt("retries", 0));
+  config.run.max_retries = static_cast<int>(retries);
+  TB_ASSIGN_OR_RETURN(
+      config.run.retry_backoff_s,
+      args.GetDouble("retry-backoff", config.run.retry_backoff_s));
   config.label = tb::StrFormat(
       "%s/%s/%lldx%lld/%s/%s/%s",
       ToString(config.algorithm).c_str(), config.dataset.name.c_str(),
       static_cast<long long>(config.grid_rows),
       static_cast<long long>(config.grid_cols),
       tb::ToString(config.processor).c_str(),
-      tb::hw::ToString(config.storage).c_str(),
-      tb::ToString(config.policy).c_str());
+      tb::hw::ToString(config.run.storage).c_str(),
+      tb::ToString(config.run.policy).c_str());
   return config;
 }
 
@@ -183,9 +203,7 @@ tb::Result<tb::analysis::ExperimentResult> RunMaybeHybrid(
     TB_ASSIGN_OR_RETURN(auto wf, tb::algos::BuildMatmul(spec, options));
     graph = std::move(wf.graph);
   }
-  tb::runtime::SimulatedExecutorOptions exec;
-  exec.storage = config.storage;
-  exec.policy = config.policy;
+  tb::runtime::RunOptions exec = config.run;
   exec.hybrid = true;
   tb::runtime::SimulatedExecutor executor(config.cluster, exec);
   TB_ASSIGN_OR_RETURN(result.report, executor.Execute(graph));
@@ -217,6 +235,18 @@ int CmdRun(const tb::Args& args) {
               tb::HumanSeconds(result->makespan).c_str(),
               tb::HumanSeconds(result->parallel_task_time).c_str(),
               tb::HumanSeconds(result->report.scheduler_overhead).c_str());
+  const tb::runtime::FaultStats& faults = result->report.faults;
+  if (faults.any()) {
+    std::printf(
+        "faults: %lld injected (%lld storage)   retries: %lld   "
+        "recomputed tasks: %lld   lost blocks: %lld   dead nodes: %lld\n",
+        static_cast<long long>(faults.faults_injected),
+        static_cast<long long>(faults.storage_faults),
+        static_cast<long long>(faults.retries),
+        static_cast<long long>(faults.recomputed_tasks),
+        static_cast<long long>(faults.lost_blocks),
+        static_cast<long long>(faults.dead_nodes));
+  }
   tb::analysis::TextTable stages({"task type", "count", "deser", "serial",
                                   "parallel", "comm", "ser"});
   const auto counts = result->report.CountByType();
@@ -385,8 +415,18 @@ int CmdDag(const tb::Args& args) {
 void PrintUsage() {
   std::printf(
       "taskbench — distributed GPU task-workflow performance testbed\n\n"
-      "usage: taskbench <run|sweep|correlate|recommend|dag> [options]\n"
-      "see the header of tools/taskbench_cli.cc for the option list\n");
+      "usage: taskbench <run|sweep|correlate|recommend|dag> [options]\n\n"
+      "common options:\n"
+      "  --algorithm=matmul|matmul-fma|kmeans   --dataset=NAME\n"
+      "  --grid=RxC  --clusters=K  --iterations=N\n"
+      "  --processor=cpu|gpu  --storage=local|shared\n"
+      "  --policy=gen-order|locality  --hybrid\n"
+      "fault tolerance:\n"
+      "  --faults=crash@T:nN,gpuloss@T:nN,slow@T:nN:xF,storage:pP[:sS]\n"
+      "  --retries=N  --retry-backoff=S\n"
+      "output:\n"
+      "  --csv=PATH  --trace=PATH  --gantt\n"
+      "see the header of tools/taskbench_cli.cc for details\n");
 }
 
 }  // namespace
