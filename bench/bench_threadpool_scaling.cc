@@ -1,0 +1,270 @@
+// Real-execution fast-path bench: the two numbers the thread-pool
+// rework is accountable for.
+//
+//   kernel  — single-thread 2048^2 matmul, blocked vs the pre-PR
+//             naive loops (the kernel-dispatch seam lets us time both
+//             from one binary). Target: >= 3x.
+//   scaling — strong scaling of the work-stealing executor over a
+//             wide embarrassingly-parallel matmul DAG, tasks/sec and
+//             parallel efficiency vs the 1-thread run. Target: >= 0.7
+//             efficiency at the hardware core count.
+//   overhead — tasks/sec on near-empty tasks (pure scheduling path),
+//             the executor-side analogue of bench_sched_scaling.
+//
+// Emits machine-readable JSON (default BENCH_threadpool.json) so
+// future PRs have a perf trajectory to compare against.
+//
+// Usage: bench_threadpool_scaling [--smoke] [--threads=1,2,4]
+//                                 [--out=BENCH_threadpool.json]
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/args.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "data/kernels.h"
+#include "data/matrix.h"
+#include "runtime/thread_pool_executor.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::bench {
+namespace {
+
+using runtime::Dir;
+using runtime::TaskGraph;
+using runtime::TaskSpec;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+data::Matrix RandomMatrix(int64_t n, uint64_t seed) {
+  data::Matrix m(n, n);
+  uint64_t state = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    m.data()[i] = static_cast<double>(state >> 40) / (1 << 24) - 0.5;
+  }
+  return m;
+}
+
+struct KernelRow {
+  int64_t n = 0;
+  double naive_s = 0;
+  double blocked_s = 0;
+  double speedup = 0;
+};
+
+/// Times one Multiply variant; the best of `reps` runs (noise on a
+/// shared machine only ever slows a run down).
+double TimeMultiply(const data::Matrix& a, const data::Matrix& b,
+                    data::KernelVariant variant, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = Now();
+    auto c = variant == data::KernelVariant::kNaive
+                 ? data::naive::Multiply(a, b)
+                 : data::blocked::Multiply(a, b);
+    TB_CHECK_OK(c.status());
+    best = std::min(best, Now() - t0);
+    // Defeat dead-code elimination across the timing loop.
+    volatile double sink = c->At(0, 0);
+    (void)sink;
+  }
+  return best;
+}
+
+KernelRow RunKernelComparison(int64_t n, int reps) {
+  const data::Matrix a = RandomMatrix(n, 1);
+  const data::Matrix b = RandomMatrix(n, 2);
+  KernelRow row;
+  row.n = n;
+  row.naive_s = TimeMultiply(a, b, data::KernelVariant::kNaive, reps);
+  row.blocked_s = TimeMultiply(a, b, data::KernelVariant::kBlocked, reps);
+  row.speedup = row.naive_s / row.blocked_s;
+  return row;
+}
+
+struct ScaleRow {
+  std::string section;  // "scaling" or "overhead"
+  int threads = 0;
+  int64_t tasks = 0;
+  double wall_s = 0;
+  double tasks_per_s = 0;
+  double speedup = 0;     // vs the 1-thread row of the same section
+  double efficiency = 0;  // speedup / threads
+};
+
+/// Wide embarrassingly-parallel DAG: `tasks` independent n x n
+/// matmuls over two shared inputs. Memory mode, so the measured cost
+/// is kernels + scheduling, not serialization.
+TaskGraph MatmulDag(int64_t tasks, int64_t n) {
+  TaskGraph graph;
+  const runtime::DataId a = graph.AddData(RandomMatrix(n, 3));
+  const runtime::DataId b = graph.AddData(RandomMatrix(n, 4));
+  for (int64_t t = 0; t < tasks; ++t) {
+    const runtime::DataId out =
+        graph.AddData(static_cast<uint64_t>(n * n * 8));
+    TaskSpec spec;
+    spec.type = "matmul";
+    spec.params = {{a, Dir::kIn}, {b, Dir::kIn}, {out, Dir::kOut}};
+    spec.kernel = [](const std::vector<const data::Matrix*>& inputs,
+                     const std::vector<data::Matrix*>& outputs) -> Status {
+      TB_ASSIGN_OR_RETURN(*outputs[0],
+                          data::Multiply(*inputs[0], *inputs[1]));
+      return Status::OK();
+    };
+    TB_CHECK_OK(graph.Submit(spec).status());
+  }
+  return graph;
+}
+
+/// Near-empty tasks: measures the executor's scheduling overhead.
+TaskGraph TinyDag(int64_t tasks) {
+  TaskGraph graph;
+  const runtime::DataId a = graph.AddData(data::Matrix(1, 1, 1.0));
+  for (int64_t t = 0; t < tasks; ++t) {
+    const runtime::DataId out = graph.AddData(static_cast<uint64_t>(8));
+    TaskSpec spec;
+    spec.type = "tiny";
+    spec.params = {{a, Dir::kIn}, {out, Dir::kOut}};
+    spec.kernel = [](const std::vector<const data::Matrix*>& inputs,
+                     const std::vector<data::Matrix*>& outputs) -> Status {
+      *outputs[0] = *inputs[0];
+      return Status::OK();
+    };
+    TB_CHECK_OK(graph.Submit(spec).status());
+  }
+  return graph;
+}
+
+ScaleRow RunDag(const std::string& section, TaskGraph graph, int threads) {
+  runtime::RunOptions options;
+  options.num_threads = threads;
+  options.use_storage = false;
+  runtime::ThreadPoolExecutor executor(options);
+  const double t0 = Now();
+  auto report = executor.Execute(graph);
+  const double wall = Now() - t0;
+  TB_CHECK_OK(report.status());
+  ScaleRow row;
+  row.section = section;
+  row.threads = threads;
+  row.tasks = static_cast<int64_t>(report->records.size());
+  row.wall_s = wall;
+  row.tasks_per_s = static_cast<double>(row.tasks) / (wall > 0 ? wall : 1e-9);
+  return row;
+}
+
+std::string ToJson(const KernelRow& kernel,
+                   const std::vector<ScaleRow>& rows, int hw_threads) {
+  std::string out = "{\n";
+  out += StrFormat(
+      "  \"kernel_matmul\": {\"n\": %lld, \"naive_s\": %.6f, "
+      "\"blocked_s\": %.6f, \"speedup\": %.3f},\n",
+      static_cast<long long>(kernel.n), kernel.naive_s, kernel.blocked_s,
+      kernel.speedup);
+  out += StrFormat("  \"hardware_threads\": %d,\n", hw_threads);
+  out += "  \"runs\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    out += StrFormat(
+        "    {\"section\": \"%s\", \"threads\": %d, \"tasks\": %lld, "
+        "\"wall_s\": %.6f, \"tasks_per_s\": %.1f, \"speedup\": %.3f, "
+        "\"efficiency\": %.3f}%s\n",
+        r.section.c_str(), r.threads, static_cast<long long>(r.tasks),
+        r.wall_s, r.tasks_per_s, r.speedup, r.efficiency,
+        i + 1 < rows.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = Args::Parse(argc, argv);
+  const bool smoke = args.GetBool("smoke", false).value_or(false);
+  const std::string out_path = args.GetString("out", "BENCH_threadpool.json");
+  const int hw_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+
+  std::vector<int> thread_counts;
+  if (args.Has("threads")) {
+    for (const std::string& s : Split(args.GetString("threads"), ',')) {
+      if (s.empty()) continue;
+      errno = 0;
+      char* end = nullptr;
+      const long n = std::strtol(s.c_str(), &end, 10);
+      if (errno != 0 || end == s.c_str() || *end != '\0' || n <= 0) {
+        std::fprintf(stderr,
+                     "error: --threads expects positive integers, got '%s'\n",
+                     s.c_str());
+        return 2;
+      }
+      thread_counts.push_back(static_cast<int>(n));
+    }
+  } else {
+    // 1, 2, 4, ... up to (and always including) the hardware count.
+    for (int t = 1; t < hw_threads; t *= 2) thread_counts.push_back(t);
+    thread_counts.push_back(hw_threads);
+  }
+
+  // --- Kernel speedup (single thread, fixed variant on each side).
+  const int64_t kernel_n = smoke ? 256 : 2048;
+  const int reps = smoke ? 2 : 3;
+  std::printf("kernel matmul n=%lld ...\n", static_cast<long long>(kernel_n));
+  const KernelRow kernel = RunKernelComparison(kernel_n, reps);
+  std::printf("  naive %.3fs  blocked %.3fs  speedup %.2fx\n",
+              kernel.naive_s, kernel.blocked_s, kernel.speedup);
+
+  // --- Strong scaling over the wide matmul DAG + tiny-task overhead.
+  const int64_t matmul_tasks =
+      smoke ? 16 : std::max<int64_t>(64, 16 * hw_threads);
+  const int64_t matmul_n = smoke ? 64 : 384;
+  const int64_t tiny_tasks = smoke ? 2'000 : 50'000;
+
+  std::printf("%-9s %8s %10s %10s %12s %9s %11s\n", "section", "threads",
+              "tasks", "wall_s", "tasks/s", "speedup", "efficiency");
+  std::vector<ScaleRow> rows;
+  for (const char* section : {"scaling", "overhead"}) {
+    double base_tps = 0;
+    for (int threads : thread_counts) {
+      ScaleRow row =
+          std::string(section) == "scaling"
+              ? RunDag(section, MatmulDag(matmul_tasks, matmul_n), threads)
+              : RunDag(section, TinyDag(tiny_tasks), threads);
+      if (threads == thread_counts.front()) {
+        base_tps = row.tasks_per_s / threads;
+      }
+      row.speedup = base_tps > 0 ? row.tasks_per_s / base_tps : 0;
+      row.efficiency = row.speedup / threads;
+      std::printf("%-9s %8d %10lld %10.3f %12.1f %9.2f %11.2f\n",
+                  row.section.c_str(), row.threads,
+                  static_cast<long long>(row.tasks), row.wall_s,
+                  row.tasks_per_s, row.speedup, row.efficiency);
+      std::fflush(stdout);
+      rows.push_back(row);
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  TB_CHECK(f != nullptr) << "cannot open " << out_path;
+  const std::string json = ToJson(kernel, rows, hw_threads);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace taskbench::bench
+
+int main(int argc, char** argv) { return taskbench::bench::Main(argc, argv); }

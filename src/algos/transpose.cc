@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "data/generators.h"
+#include "data/kernels.h"
 #include "perf/calibration.h"
 
 namespace taskbench::algos {
@@ -19,14 +20,9 @@ Status TransposeKernel(const std::vector<const data::Matrix*>& inputs,
   if (inputs.size() != 1 || outputs.size() != 1) {
     return Status::InvalidArgument("transpose_func expects 1 input, 1 output");
   }
-  const data::Matrix& in = *inputs[0];
-  data::Matrix out(in.cols(), in.rows());
-  for (int64_t r = 0; r < in.rows(); ++r) {
-    for (int64_t c = 0; c < in.cols(); ++c) {
-      out.At(c, r) = in.At(r, c);
-    }
-  }
-  *outputs[0] = std::move(out);
+  // Dispatches through the kernel seam, so the executor runs the
+  // cache-blocked transpose unless a caller pinned the naive variant.
+  *outputs[0] = data::Transpose(*inputs[0]);
   return Status::OK();
 }
 

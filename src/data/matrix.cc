@@ -4,13 +4,27 @@
 #include <cmath>
 #include <limits>
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace taskbench::data {
 
+namespace {
+
+// rows * cols, rejecting negative dimensions and products that
+// overflow int64_t before the multiply happens.
+size_t CheckedElementCount(int64_t rows, int64_t cols) {
+  TB_CHECK(rows >= 0 && cols >= 0)
+      << "matrix dimensions must be non-negative, got " << rows << "x" << cols;
+  TB_CHECK(rows == 0 || cols <= std::numeric_limits<int64_t>::max() / rows)
+      << "matrix dimensions overflow: " << rows << "x" << cols;
+  return static_cast<size_t>(rows) * static_cast<size_t>(cols);
+}
+
+}  // namespace
+
 Matrix::Matrix(int64_t rows, int64_t cols, double fill)
-    : rows_(rows), cols_(cols),
-      data_(static_cast<size_t>(rows * cols), fill) {}
+    : rows_(rows), cols_(cols), data_(CheckedElementCount(rows, cols), fill) {}
 
 Result<Matrix> Matrix::Slice(int64_t row0, int64_t col0, int64_t rows,
                              int64_t cols) const {
@@ -70,6 +84,13 @@ double Matrix::Sum() const {
   return sum;
 }
 
+// Reference kernels (the pre-fast-path implementations). They live
+// here, not in kernels.cc, so they are always compiled with the
+// project's default flags and stay an honest benchmark baseline; the
+// dispatching data::Multiply / data::Add / data::Transpose are in
+// kernels.cc.
+namespace naive {
+
 Result<Matrix> Multiply(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) {
     return Status::InvalidArgument(StrFormat(
@@ -107,5 +128,17 @@ Result<Matrix> Add(const Matrix& a, const Matrix& b) {
   for (int64_t i = 0; i < a.size(); ++i) pc[i] = pa[i] + pb[i];
   return c;
 }
+
+Matrix Transpose(const Matrix& m) {
+  Matrix out(m.cols(), m.rows());
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      out.At(c, r) = m.At(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace naive
 
 }  // namespace taskbench::data

@@ -66,12 +66,16 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// C = A * B (dense, naive blocked loop ordering for cache friendliness).
-/// Fails on inner-dimension mismatch.
+/// C = A * B. Fails on inner-dimension mismatch. Dispatches to the
+/// default kernel variant (see data/kernels.h); blocked unless
+/// overridden.
 Result<Matrix> Multiply(const Matrix& a, const Matrix& b);
 
-/// C = A + B. Fails on shape mismatch.
+/// C = A + B. Fails on shape mismatch. Dispatches like Multiply.
 Result<Matrix> Add(const Matrix& a, const Matrix& b);
+
+/// Transpose of `m`. Dispatches like Multiply.
+Matrix Transpose(const Matrix& m);
 
 }  // namespace taskbench::data
 

@@ -1,0 +1,74 @@
+#ifndef TASKBENCH_RUNTIME_SHARDED_VALUE_STORE_H_
+#define TASKBENCH_RUNTIME_SHARDED_VALUE_STORE_H_
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "data/matrix.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::runtime {
+
+/// Memory-mode block store of the thread-pool executor: the current
+/// value of every DataId, striped over independent locks.
+///
+/// DataIds are dense [0, num_data), so the slots are a plain vector
+/// and a lookup is one stripe lock + one shared_ptr copy — no tree or
+/// hash walk, and two workers contend only when their data ids share
+/// a stripe (ids map round-robin, so neighboring blocks never do).
+/// Values are shared_ptr so a reader takes ownership under the stripe
+/// lock and uses the matrix outside it; the DAG's write-after-read
+/// dependencies guarantee a datum is not overwritten while a running
+/// task still reads it, and the old value's last shared_ptr keeps it
+/// alive regardless.
+class ShardedValueStore {
+ public:
+  explicit ShardedValueStore(int64_t num_slots)
+      : slots_(static_cast<size_t>(num_slots)) {}
+
+  /// Current value of `id`, or null when never written.
+  std::shared_ptr<data::Matrix> Get(DataId id) const {
+    std::lock_guard<std::mutex> lock(stripes_[StripeOf(id)].mu);
+    return slots_[static_cast<size_t>(id)];
+  }
+
+  /// Replaces the value of `id`.
+  void Put(DataId id, std::shared_ptr<data::Matrix> value) {
+    std::lock_guard<std::mutex> lock(stripes_[StripeOf(id)].mu);
+    slots_[static_cast<size_t>(id)] = std::move(value);
+  }
+
+  /// Takes every non-null value out of the store. Only safe once all
+  /// workers have finished (the executor calls this after join, when
+  /// each shared_ptr is the sole owner).
+  std::vector<std::pair<DataId, std::shared_ptr<data::Matrix>>> TakeAll() {
+    std::vector<std::pair<DataId, std::shared_ptr<data::Matrix>>> out;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i] != nullptr) {
+        out.emplace_back(static_cast<DataId>(i), std::move(slots_[i]));
+      }
+    }
+    return out;
+  }
+
+ private:
+  static constexpr size_t kStripes = 64;
+
+  struct alignas(64) Stripe {  // own cache line per lock
+    std::mutex mu;
+  };
+
+  static size_t StripeOf(DataId id) {
+    return static_cast<size_t>(id) % kStripes;
+  }
+
+  mutable std::array<Stripe, kStripes> stripes_;
+  std::vector<std::shared_ptr<data::Matrix>> slots_;
+};
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_SHARDED_VALUE_STORE_H_

@@ -4,8 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -14,6 +12,8 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "runtime/sharded_value_store.h"
+#include "runtime/work_stealing_queue.h"
 #include "storage/serializer.h"
 
 namespace taskbench::runtime {
@@ -30,6 +30,10 @@ std::string KeyFor(DataId id) {
   return StrFormat("d%lld", static_cast<long long>(id));
 }
 
+/// Full steal sweeps over the other workers' deques before a worker
+/// parks on the condition variable.
+constexpr int kStealSweepsBeforePark = 4;
+
 }  // namespace
 
 ThreadPoolExecutor::ThreadPoolExecutor(
@@ -44,76 +48,122 @@ ThreadPoolExecutor::ThreadPoolExecutor(
 Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   TB_RETURN_IF_ERROR(graph.Validate());
 
-  // Shared state for the worker pool.
-  struct Shared {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<TaskId> ready;
-    std::vector<int> remaining_deps;
-    // Memory-mode store. Values are held by shared_ptr so readers can
-    // take ownership under the lock and copy (or just read) outside
-    // it — a worker deserializing a large block must not serialize
-    // every other worker behind the global mutex. The DAG guarantees
-    // a datum is never overwritten while a reader still uses it
-    // (write-after-read dependencies order those tasks), and the old
-    // value's last shared_ptr keeps it alive regardless.
-    std::map<DataId, std::shared_ptr<data::Matrix>> values;
-    int64_t completed = 0;
-    int64_t total = 0;
-    int64_t retries = 0;
-    std::vector<TaskAttempt> attempts;
-    bool failed = false;
-    Status failure;
-  } shared;
+  const int num_workers = options_.num_threads;
+  const int64_t total = graph.num_tasks();
 
-  shared.total = graph.num_tasks();
-  shared.remaining_deps.resize(static_cast<size_t>(graph.num_tasks()));
-  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
-    shared.remaining_deps[static_cast<size_t>(t)] =
-        static_cast<int>(graph.task(t).deps.size());
-    if (shared.remaining_deps[static_cast<size_t>(t)] == 0) {
-      shared.ready.push_back(t);
+  // ----------------------------------------------------------------
+  // Shared pool state. The scheduling fast path is lock-free: one
+  // Chase–Lev deque per worker, atomic dependency counters, atomic
+  // completion count. Mutexes remain only at the edges — parking idle
+  // workers, recording retry attempts, and publishing the failure
+  // status — none of which is touched on the fault-free hot path.
+  // ----------------------------------------------------------------
+  struct Pool {
+    std::vector<WorkStealingQueue<TaskId>> queues;
+    std::vector<std::atomic<int>> remaining_deps;
+    std::atomic<int64_t> completed{0};
+    // Tasks pushed to some deque and not yet claimed. Part of the
+    // Dekker-style handshake with parking: producers bump it (seq_cst)
+    // before checking sleepers; a parking worker registers as a
+    // sleeper before re-checking it.
+    std::atomic<int64_t> num_ready{0};
+    std::atomic<bool> failed{false};
+
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+    std::atomic<int> sleepers{0};
+
+    std::mutex fault_mu;  // guards failure, attempts, retries
+    Status failure;
+    std::vector<TaskAttempt> attempts;
+    int64_t retries = 0;
+  } pool;
+
+  pool.queues.reserve(static_cast<size_t>(num_workers));
+  const size_t per_queue_hint =
+      static_cast<size_t>(total / std::max(1, num_workers) + 1);
+  for (int w = 0; w < num_workers; ++w) {
+    pool.queues.emplace_back(per_queue_hint);
+  }
+
+  {
+    // std::atomic<int> is not copyable, so size the vector in place.
+    std::vector<std::atomic<int>> deps(static_cast<size_t>(total));
+    pool.remaining_deps = std::move(deps);
+  }
+  int64_t initially_ready = 0;
+  for (TaskId t = 0; t < total; ++t) {
+    const int deps = static_cast<int>(graph.task(t).deps.size());
+    pool.remaining_deps[static_cast<size_t>(t)].store(
+        deps, std::memory_order_relaxed);
+    if (deps == 0) {
+      // Round-robin the roots so workers start with local work
+      // instead of all stealing from worker 0.
+      pool.queues[static_cast<size_t>(initially_ready % num_workers)].Push(t);
+      ++initially_ready;
     }
+  }
+  pool.num_ready.store(initially_ready, std::memory_order_relaxed);
+
+  // Memory-mode value store; unused (size 0) in storage mode.
+  ShardedValueStore values(options_.use_storage ? 0 : graph.num_data());
+
+  // Storage-mode keys, formatted once per datum instead of on every
+  // Put/Get (the old KeyFor-per-operation showed up in profiles).
+  std::vector<std::string> keys;
+  if (options_.use_storage) {
+    keys.reserve(static_cast<size_t>(graph.num_data()));
+    for (DataId d = 0; d < graph.num_data(); ++d) keys.push_back(KeyFor(d));
   }
 
   // Stage the initial values: into storage (serialized) or the
-  // memory-mode map.
-  for (DataId d = 0; d < graph.num_data(); ++d) {
-    DataEntry& entry = graph.mutable_data(d);
-    if (!entry.value.has_value()) continue;
-    if (options_.use_storage) {
-      std::vector<uint8_t> bytes;
-      storage::Serializer::Serialize(*entry.value, &bytes);
-      TB_RETURN_IF_ERROR(store_->Put(KeyFor(d), std::move(bytes)));
-    } else {
-      shared.values[d] = std::make_shared<data::Matrix>(*entry.value);
+  // memory-mode store. One scratch buffer serves every staging Put.
+  {
+    std::vector<uint8_t> scratch;
+    for (DataId d = 0; d < graph.num_data(); ++d) {
+      DataEntry& entry = graph.mutable_data(d);
+      if (!entry.value.has_value()) continue;
+      if (options_.use_storage) {
+        scratch.clear();
+        storage::Serializer::Serialize(*entry.value, &scratch);
+        TB_RETURN_IF_ERROR(store_->Put(keys[static_cast<size_t>(d)],
+                                       scratch.data(), scratch.size()));
+      } else {
+        values.Put(d, std::make_shared<data::Matrix>(*entry.value));
+      }
     }
   }
 
-  std::vector<TaskRecord> records(static_cast<size_t>(graph.num_tasks()));
+  std::vector<TaskRecord> records(static_cast<size_t>(total));
   const Clock::time_point origin = Clock::now();
 
+  // Per-worker context: deque identity plus reusable serialization
+  // scratch, so steady-state storage traffic allocates nothing.
+  struct WorkerContext {
+    int id = 0;
+    std::vector<uint8_t> read_scratch;
+    std::vector<uint8_t> write_scratch;
+  };
+
   // Shared ownership of the current value of `d`, timing the
-  // deserialization. In memory mode the critical section is one map
-  // lookup and a refcount bump; no block is ever copied under the
-  // lock. Storage mode deserializes a private copy (no lock at all).
-  auto read_shared = [&](DataId d, double* deser_seconds)
+  // deserialization. In memory mode the critical section is one
+  // stripe lock and a refcount bump; no block is ever copied under a
+  // lock. Storage mode deserializes a private copy from the worker's
+  // pooled read buffer (no lock at all).
+  auto read_shared = [&](WorkerContext& ctx, DataId d, double* deser_seconds)
       -> Result<std::shared_ptr<data::Matrix>> {
     if (options_.use_storage) {
       const double t0 = SecondsSince(origin);
-      TB_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
-                          store_->Get(KeyFor(d)));
+      TB_RETURN_IF_ERROR(store_->GetInto(keys[static_cast<size_t>(d)],
+                                         &ctx.read_scratch));
       TB_ASSIGN_OR_RETURN(data::Matrix m,
-                          storage::Serializer::Deserialize(bytes));
+                          storage::Serializer::Deserialize(
+                              ctx.read_scratch.data(),
+                              ctx.read_scratch.size()));
       *deser_seconds += SecondsSince(origin) - t0;
       return std::make_shared<data::Matrix>(std::move(m));
     }
-    std::shared_ptr<data::Matrix> value;
-    {
-      std::lock_guard<std::mutex> lock(shared.mu);
-      auto it = shared.values.find(d);
-      if (it != shared.values.end()) value = it->second;
-    }
+    std::shared_ptr<data::Matrix> value = values.Get(d);
     if (value == nullptr) {
       return Status::NotFound(
           StrFormat("datum %lld has no value; was it ever written?",
@@ -123,32 +173,32 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   };
 
   // Private mutable copy of `d` (for INOUT slots kernels update in
-  // place); the memory-mode copy happens outside the lock.
-  auto read_owned = [&](DataId d,
+  // place); the memory-mode copy happens outside any lock.
+  auto read_owned = [&](WorkerContext& ctx, DataId d,
                         double* deser_seconds) -> Result<data::Matrix> {
     TB_ASSIGN_OR_RETURN(const std::shared_ptr<data::Matrix> value,
-                        read_shared(d, deser_seconds));
+                        read_shared(ctx, d, deser_seconds));
     if (options_.use_storage) return std::move(*value);  // sole owner
     return *value;
   };
 
-  auto write_datum = [&](DataId d, data::Matrix value,
+  auto write_datum = [&](WorkerContext& ctx, DataId d, data::Matrix value,
                          double* ser_seconds) -> Status {
     if (options_.use_storage) {
       const double t0 = SecondsSince(origin);
-      std::vector<uint8_t> bytes;
-      storage::Serializer::Serialize(value, &bytes);
-      TB_RETURN_IF_ERROR(store_->Put(KeyFor(d), std::move(bytes)));
+      ctx.write_scratch.clear();
+      storage::Serializer::Serialize(value, &ctx.write_scratch);
+      TB_RETURN_IF_ERROR(store_->Put(keys[static_cast<size_t>(d)],
+                                     ctx.write_scratch.data(),
+                                     ctx.write_scratch.size()));
       *ser_seconds += SecondsSince(origin) - t0;
       return Status::OK();
     }
-    auto boxed = std::make_shared<data::Matrix>(std::move(value));
-    std::lock_guard<std::mutex> lock(shared.mu);
-    shared.values[d] = std::move(boxed);
+    values.Put(d, std::make_shared<data::Matrix>(std::move(value)));
     return Status::OK();
   };
 
-  auto run_task = [&](TaskId id, int attempt) -> Status {
+  auto run_task = [&](WorkerContext& ctx, TaskId id, int attempt) -> Status {
     const Task& task = graph.task(id);
     TaskRecord& rec = records[static_cast<size_t>(id)];
     rec.task = id;
@@ -179,14 +229,16 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
     size_t num_outputs = 0;
     for (const Param& p : task.spec.params) {
       if (p.dir == Dir::kIn) {
-        TB_ASSIGN_OR_RETURN(std::shared_ptr<data::Matrix> m,
-                            read_shared(p.data, &rec.stages.deserialize));
+        TB_ASSIGN_OR_RETURN(
+            std::shared_ptr<data::Matrix> m,
+            read_shared(ctx, p.data, &rec.stages.deserialize));
         in_values.push_back(std::move(m));
         continue;
       }
       if (p.dir == Dir::kInOut) {
-        TB_ASSIGN_OR_RETURN(out_values[num_outputs],
-                            read_owned(p.data, &rec.stages.deserialize));
+        TB_ASSIGN_OR_RETURN(
+            out_values[num_outputs],
+            read_owned(ctx, p.data, &rec.stages.deserialize));
         inout_out_index.push_back(num_outputs);
       }
       out_ids.push_back(p.data);
@@ -207,42 +259,99 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
     rec.stages.parallel_fraction = SecondsSince(origin) - kernel_start;
 
     for (size_t i = 0; i < out_ids.size(); ++i) {
-      TB_RETURN_IF_ERROR(write_datum(out_ids[i], std::move(out_values[i]),
+      TB_RETURN_IF_ERROR(write_datum(ctx, out_ids[i],
+                                     std::move(out_values[i]),
                                      &rec.stages.serialize));
     }
     rec.end = SecondsSince(origin);
     return Status::OK();
   };
 
-  auto worker = [&]() {
-    for (;;) {
-      TaskId id = -1;
-      {
-        std::unique_lock<std::mutex> lock(shared.mu);
-        shared.cv.wait(lock, [&] {
-          return shared.failed || !shared.ready.empty() ||
-                 shared.completed == shared.total;
-        });
-        if (shared.failed || shared.completed == shared.total) return;
-        id = shared.ready.front();
-        shared.ready.pop_front();
+  auto done = [&] {
+    return pool.failed.load(std::memory_order_seq_cst) ||
+           pool.completed.load(std::memory_order_seq_cst) == total;
+  };
+
+  // Wake companions: cheap atomic check first; the (empty) park_mu
+  // critical section serializes with a parking worker's predicate
+  // check so the notify cannot slip into the window between its last
+  // num_ready check and its wait.
+  auto wake = [&](int64_t newly_ready) {
+    if (pool.sleepers.load(std::memory_order_seq_cst) > 0) {
+      { std::lock_guard<std::mutex> lock(pool.park_mu); }
+      if (newly_ready > 1) {
+        pool.park_cv.notify_all();
+      } else {
+        pool.park_cv.notify_one();
       }
-      // Per-task retry loop: transient failures (e.g. a fault-injecting
-      // storage backend) are retried with exponential backoff until the
-      // budget is spent. Gated on the default budget of 0 this is one
-      // run_task call, exactly the historic fail-fast path.
+    }
+  };
+  auto wake_all = [&] {
+    { std::lock_guard<std::mutex> lock(pool.park_mu); }
+    pool.park_cv.notify_all();
+  };
+
+  auto fail_run = [&](Status status, TaskId id, int attempt) {
+    {
+      std::lock_guard<std::mutex> lock(pool.fault_mu);
+      if (!pool.failed.load(std::memory_order_seq_cst)) {
+        pool.failure = std::move(status).WithContext(
+            StrFormat("task %lld attempt %d", static_cast<long long>(id),
+                      attempt));
+        pool.failed.store(true, std::memory_order_seq_cst);
+      }
+    }
+    wake_all();
+  };
+
+  auto worker = [&](int worker_id) {
+    WorkerContext ctx;
+    ctx.id = worker_id;
+    WorkStealingQueue<TaskId>& own = pool.queues[static_cast<size_t>(
+        worker_id)];
+    for (;;) {
+      if (done()) return;
+
+      // Claim a task: own deque first (LIFO, warm caches), then
+      // sweep the other deques as a thief, then park.
+      TaskId id = -1;
+      bool got = own.Pop(&id);
+      if (!got) {
+        for (int sweep = 0; sweep < kStealSweepsBeforePark && !got; ++sweep) {
+          for (int off = 1; off < num_workers && !got; ++off) {
+            const int victim = (worker_id + off) % num_workers;
+            got = pool.queues[static_cast<size_t>(victim)].Steal(&id);
+          }
+          if (done()) return;
+        }
+      }
+      if (!got) {
+        std::unique_lock<std::mutex> lock(pool.park_mu);
+        pool.sleepers.fetch_add(1, std::memory_order_seq_cst);
+        pool.park_cv.wait(lock, [&] {
+          return pool.num_ready.load(std::memory_order_seq_cst) > 0 || done();
+        });
+        pool.sleepers.fetch_sub(1, std::memory_order_seq_cst);
+        continue;  // re-run the claim loop
+      }
+      pool.num_ready.fetch_sub(1, std::memory_order_seq_cst);
+
+      // Per-task retry loop: transient failures (e.g. a
+      // fault-injecting storage backend) are retried with exponential
+      // backoff until the budget is spent. With the default budget of
+      // 0 this is one run_task call, exactly the fail-fast path.
       Status status;
       int attempt = 1;
       for (;;) {
-        status = run_task(id, attempt);
+        status = run_task(ctx, id, attempt);
         if (status.ok() || attempt > options_.max_retries) break;
         {
-          std::lock_guard<std::mutex> lock(shared.mu);
-          if (shared.failed) break;  // another worker already gave up
-          ++shared.retries;
+          std::lock_guard<std::mutex> lock(pool.fault_mu);
+          if (pool.failed.load(std::memory_order_seq_cst)) break;
+          ++pool.retries;
           if (options_.max_retries > 0) {
             const TaskRecord& rec = records[static_cast<size_t>(id)];
-            shared.attempts.push_back(TaskAttempt{
+            pool.attempts.push_back(TaskAttempt{
                 id, attempt, rec.node, rec.processor, rec.start,
                 SecondsSince(origin), AttemptOutcome::kFailed});
           }
@@ -252,50 +361,56 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
             static_cast<double>(1ull << std::min(attempt - 1, 30))));
         ++attempt;
       }
-      {
-        std::lock_guard<std::mutex> lock(shared.mu);
-        if (!status.ok()) {
-          if (!shared.failed) {
-            shared.failed = true;
-            shared.failure = std::move(status).WithContext(
-                StrFormat("task %lld attempt %d",
-                          static_cast<long long>(id), attempt));
-          }
-          shared.cv.notify_all();
-          return;
+
+      if (!status.ok()) {
+        fail_run(std::move(status), id, attempt);
+        return;
+      }
+
+      if (options_.max_retries > 0) {
+        const TaskRecord& rec = records[static_cast<size_t>(id)];
+        std::lock_guard<std::mutex> lock(pool.fault_mu);
+        pool.attempts.push_back(TaskAttempt{
+            id, attempt, rec.node, rec.processor, rec.start, rec.end,
+            AttemptOutcome::kCompleted});
+      }
+
+      // Completion: release successors whose last dependency this
+      // was. New ready tasks go to our own deque (their inputs are
+      // warm here); idle workers steal them if we are saturated.
+      int64_t released = 0;
+      for (TaskId succ : graph.task(id).successors) {
+        if (pool.remaining_deps[static_cast<size_t>(succ)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          own.Push(succ);
+          ++released;
         }
-        if (options_.max_retries > 0) {
-          const TaskRecord& rec = records[static_cast<size_t>(id)];
-          shared.attempts.push_back(TaskAttempt{
-              id, attempt, rec.node, rec.processor, rec.start, rec.end,
-              AttemptOutcome::kCompleted});
-        }
-        ++shared.completed;
-        for (TaskId succ : graph.task(id).successors) {
-          if (--shared.remaining_deps[static_cast<size_t>(succ)] == 0) {
-            shared.ready.push_back(succ);
-          }
-        }
-        shared.cv.notify_all();
+      }
+      if (released > 0) {
+        pool.num_ready.fetch_add(released, std::memory_order_seq_cst);
+        wake(released);
+      }
+      if (pool.completed.fetch_add(1, std::memory_order_seq_cst) + 1 ==
+          total) {
+        wake_all();
       }
     }
   };
 
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(options_.num_threads));
-  for (int i = 0; i < options_.num_threads; ++i) {
-    threads.emplace_back(worker);
+  threads.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    threads.emplace_back(worker, i);
   }
   for (std::thread& t : threads) t.join();
 
-  if (shared.failed) return shared.failure;
+  if (pool.failed.load(std::memory_order_seq_cst)) return pool.failure;
 
   // Persist memory-mode values back onto the graph entries so they
-  // survive for FetchData in both modes.
+  // survive for FetchData in both modes. Workers have joined, so each
+  // shared_ptr is the sole owner and the matrix can be moved out.
   if (!options_.use_storage) {
-    // Workers have joined, so each shared_ptr is the sole owner and
-    // the underlying matrix can be moved out.
-    for (auto& [d, value] : shared.values) {
+    for (auto& [d, value] : values.TakeAll()) {
       graph.mutable_data(d).value = std::move(*value);
     }
   }
@@ -305,8 +420,8 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   for (const TaskRecord& rec : report.records) {
     report.makespan = std::max(report.makespan, rec.end);
   }
-  report.faults.retries = shared.retries;
-  report.attempts = std::move(shared.attempts);
+  report.faults.retries = pool.retries;
+  report.attempts = std::move(pool.attempts);
   return report;
 }
 

@@ -1,0 +1,168 @@
+#ifndef TASKBENCH_RUNTIME_WORK_STEALING_QUEUE_H_
+#define TASKBENCH_RUNTIME_WORK_STEALING_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace taskbench::runtime {
+
+/// Chase–Lev work-stealing deque of trivially-copyable values.
+///
+/// One owner thread pushes and pops at the bottom; any number of
+/// thief threads steal from the top. The owner sees LIFO order (good
+/// locality: a task's successors run where their inputs were just
+/// produced); thieves see FIFO order (they take the oldest — likely
+/// largest-subtree — work).
+///
+/// Memory-ordering notes: this is the textbook formulation with
+/// sequentially-consistent operations on `top_`/`bottom_` rather than
+/// the weakest-orders refinement of Lê et al. — the strong orders
+/// keep the invariants easy to audit and avoid standalone
+/// atomic_thread_fence, which ThreadSanitizer cannot model (the TSan
+/// CI job runs the executor tests over exactly this code). Slots are
+/// std::atomic<T> accessed relaxed: the top_/bottom_ protocol, not
+/// the slot access, carries the synchronization. For the executor's
+/// task granularity the deque op cost is noise.
+///
+/// The buffer grows on demand (owner-side only). Retired buffers are
+/// kept until destruction because a concurrent thief may still read a
+/// stale buffer pointer; values for its in-range indices are
+/// identical in old and new buffers, so a stale read is benign.
+template <typename T>
+class WorkStealingQueue {
+ public:
+  /// `capacity_hint` rounds up to a power of two (minimum 64).
+  explicit WorkStealingQueue(size_t capacity_hint = 64) {
+    size_t cap = 64;
+    while (cap < capacity_hint) cap *= 2;
+    buffer_.store(NewBuffer(cap), std::memory_order_relaxed);
+  }
+
+  WorkStealingQueue(const WorkStealingQueue&) = delete;
+  WorkStealingQueue& operator=(const WorkStealingQueue&) = delete;
+  // Move is only safe before any concurrent access begins (the
+  // executor builds the vector of queues before starting workers).
+  WorkStealingQueue(WorkStealingQueue&& other) noexcept {
+    top_.store(other.top_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    bottom_.store(other.bottom_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    buffer_.store(other.buffer_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    other.buffer_.store(nullptr, std::memory_order_relaxed);
+    retired_ = std::move(other.retired_);
+  }
+
+  ~WorkStealingQueue() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) delete b;
+  }
+
+  /// Owner only: push a value at the bottom.
+  void Push(T value) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_seq_cst);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<int64_t>(buf->mask + 1)) {
+      buf = Grow(buf, t, b);
+    }
+    buf->Put(b, value);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: pop the most recently pushed value. False when
+  /// empty.
+  bool Pop(T* out) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    // The seq_cst store publishes our claim on slot b before we look
+    // at top_ (the Dekker handshake with concurrent Steal).
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // deque was empty
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return false;
+    }
+    if (t < b) {  // more than one element; no race possible on slot b
+      *out = buf->Get(b);
+      return true;
+    }
+    // Exactly one element: race the thieves for it via top_.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_seq_cst);
+    if (won) *out = buf->Get(b);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return won;
+  }
+
+  /// Any thread: steal the oldest value. False when empty or when a
+  /// concurrent operation won the race (callers just move on to the
+  /// next victim).
+  bool Steal(T* out) {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    // Load the buffer only after bottom_: the owner publishes a grown
+    // buffer before the bottom_ store that made this index visible,
+    // so the load here is guaranteed to see a buffer that can serve
+    // index t.
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    const T value = buf->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return false;
+    }
+    *out = value;
+    return true;
+  }
+
+  /// Approximate size (owner's view is exact; thieves may see stale
+  /// values). For diagnostics only.
+  int64_t ApproxSize() const {
+    return bottom_.load(std::memory_order_relaxed) -
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Buffer {
+    size_t mask;  // capacity - 1 (capacity is a power of two)
+    std::unique_ptr<std::atomic<T>[]> slots;
+
+    T Get(int64_t index) const {
+      return slots[static_cast<size_t>(index) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void Put(int64_t index, T value) {
+      slots[static_cast<size_t>(index) & mask].store(
+          value, std::memory_order_relaxed);
+    }
+  };
+
+  static Buffer* NewBuffer(size_t capacity) {
+    Buffer* buf = new Buffer;
+    buf->mask = capacity - 1;
+    buf->slots = std::make_unique<std::atomic<T>[]>(capacity);
+    return buf;
+  }
+
+  Buffer* Grow(Buffer* old, int64_t t, int64_t b) {
+    Buffer* bigger = NewBuffer(2 * (old->mask + 1));
+    for (int64_t i = t; i < b; ++i) bigger->Put(i, old->Get(i));
+    // Publish before the Push's bottom_ store; thieves that observe
+    // the new bottom index also observe this buffer.
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_{nullptr};
+  std::vector<Buffer*> retired_;  // owner-only; freed at destruction
+};
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_WORK_STEALING_QUEUE_H_

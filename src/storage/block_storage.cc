@@ -9,49 +9,96 @@ namespace taskbench::storage {
 
 namespace fs = std::filesystem;
 
+Status BlockStorage::Put(const std::string& key, const uint8_t* data,
+                         size_t size) {
+  return Put(key, std::vector<uint8_t>(data, data + size));
+}
+
+Status BlockStorage::GetInto(const std::string& key,
+                             std::vector<uint8_t>* out) const {
+  TB_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, Get(key));
+  *out = std::move(bytes);
+  return Status::OK();
+}
+
 Status InMemoryStorage::Put(const std::string& key,
                             std::vector<uint8_t> bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = objects_.find(key);
-  if (it != objects_.end()) total_bytes_ -= it->second.size();
-  total_bytes_ += bytes.size();
-  objects_[key] = std::move(bytes);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.objects.find(key);
+  if (it != shard.objects.end()) shard.bytes -= it->second.size();
+  shard.bytes += bytes.size();
+  shard.objects[key] = std::move(bytes);
+  return Status::OK();
+}
+
+Status InMemoryStorage::Put(const std::string& key, const uint8_t* data,
+                            size_t size) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<uint8_t>& slot = shard.objects[key];
+  shard.bytes += size;
+  shard.bytes -= slot.size();
+  slot.assign(data, data + size);  // reuses the old value's capacity
   return Status::OK();
 }
 
 Result<std::vector<uint8_t>> InMemoryStorage::Get(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = objects_.find(key);
-  if (it == objects_.end()) {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.objects.find(key);
+  if (it == shard.objects.end()) {
     return Status::NotFound(StrFormat("no object under key '%s'", key.c_str()));
   }
   return it->second;
 }
 
+Status InMemoryStorage::GetInto(const std::string& key,
+                                std::vector<uint8_t>* out) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.objects.find(key);
+  if (it == shard.objects.end()) {
+    return Status::NotFound(StrFormat("no object under key '%s'", key.c_str()));
+  }
+  out->assign(it->second.begin(), it->second.end());
+  return Status::OK();
+}
+
 Status InMemoryStorage::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = objects_.find(key);
-  if (it != objects_.end()) {
-    total_bytes_ -= it->second.size();
-    objects_.erase(it);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.objects.find(key);
+  if (it != shard.objects.end()) {
+    shard.bytes -= it->second.size();
+    shard.objects.erase(it);
   }
   return Status::OK();
 }
 
 bool InMemoryStorage::Contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return objects_.count(key) > 0;
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.objects.count(key) > 0;
 }
 
 size_t InMemoryStorage::Size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return objects_.size();
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    count += shard.objects.size();
+  }
+  return count;
 }
 
 uint64_t InMemoryStorage::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_bytes_;
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total;
 }
 
 FileStorage::FileStorage(std::string root_dir)
@@ -82,14 +129,19 @@ std::string FileStorage::PathFor(const std::string& key) const {
 }
 
 Status FileStorage::Put(const std::string& key, std::vector<uint8_t> bytes) {
+  return Put(key, bytes.data(), bytes.size());
+}
+
+Status FileStorage::Put(const std::string& key, const uint8_t* data,
+                        size_t size) {
   const std::string path = PathFor(key);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return Status::Internal(StrFormat("cannot open '%s' for write",
                                       path.c_str()));
   }
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
   if (!out) {
     return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
   }
@@ -97,6 +149,13 @@ Status FileStorage::Put(const std::string& key, std::vector<uint8_t> bytes) {
 }
 
 Result<std::vector<uint8_t>> FileStorage::Get(const std::string& key) const {
+  std::vector<uint8_t> bytes;
+  TB_RETURN_IF_ERROR(GetInto(key, &bytes));
+  return bytes;
+}
+
+Status FileStorage::GetInto(const std::string& key,
+                            std::vector<uint8_t>* out) const {
   const std::string path = PathFor(key);
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
@@ -104,12 +163,12 @@ Result<std::vector<uint8_t>> FileStorage::Get(const std::string& key) const {
   }
   const std::streamsize size = in.tellg();
   in.seekg(0);
-  std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  out->resize(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(out->data()), size);
   if (!in) {
     return Status::Internal(StrFormat("short read from '%s'", path.c_str()));
   }
-  return bytes;
+  return Status::OK();
 }
 
 Status FileStorage::Delete(const std::string& key) {

@@ -1,6 +1,8 @@
 #ifndef TASKBENCH_STORAGE_BLOCK_STORAGE_H_
 #define TASKBENCH_STORAGE_BLOCK_STORAGE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -18,6 +20,14 @@ namespace taskbench::storage {
 /// must be thread-safe: the thread-pool executor issues concurrent
 /// reads and writes, mirroring the concurrent (de)serialization
 /// streams the paper measures.
+///
+/// Two access styles exist for the hot paths:
+///  - the owning style (`Put(key, vector)` / `Get(key)`), which every
+///    backend must implement, and
+///  - the buffer-reusing style (`Put(key, ptr, size)` /
+///    `GetInto(key, &buf)`), which defaults to the owning style but
+///    lets backends (and callers holding pooled scratch buffers)
+///    avoid allocating a fresh byte vector per operation.
 class BlockStorage {
  public:
   virtual ~BlockStorage() = default;
@@ -27,6 +37,18 @@ class BlockStorage {
 
   /// Retrieves the value under `key`; NotFound when absent.
   virtual Result<std::vector<uint8_t>> Get(const std::string& key) const = 0;
+
+  /// Stores `size` bytes at `data` under `key`. The caller keeps
+  /// ownership of the buffer (it may be pooled scratch); backends
+  /// overriding this should reuse the capacity of any value already
+  /// stored under `key`. Default: copies into a vector and calls the
+  /// owning Put, so wrappers stay fault-transparent.
+  virtual Status Put(const std::string& key, const uint8_t* data, size_t size);
+
+  /// Reads the value under `key` into `*out`, reusing its capacity.
+  /// NotFound when absent. Default: calls the owning Get and moves.
+  virtual Status GetInto(const std::string& key,
+                         std::vector<uint8_t>* out) const;
 
   /// Removes `key`. OK even when absent (idempotent).
   virtual Status Delete(const std::string& key) = 0;
@@ -43,21 +65,39 @@ class BlockStorage {
 
 /// Heap-backed storage. Used as the "memory" storage device and as the
 /// backing for unit tests.
+///
+/// Sharded: keys hash onto kShards independent (map, mutex) pairs so
+/// concurrent Put/Get streams from the thread-pool workers contend
+/// only when they land on the same stripe, not on one global lock.
 class InMemoryStorage final : public BlockStorage {
  public:
   InMemoryStorage() = default;
 
   Status Put(const std::string& key, std::vector<uint8_t> bytes) override;
   Result<std::vector<uint8_t>> Get(const std::string& key) const override;
+  Status Put(const std::string& key, const uint8_t* data,
+             size_t size) override;
+  Status GetInto(const std::string& key,
+                 std::vector<uint8_t>* out) const override;
   Status Delete(const std::string& key) override;
   bool Contains(const std::string& key) const override;
   size_t Size() const override;
   uint64_t TotalBytes() const override;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<uint8_t>> objects_;
-  uint64_t total_bytes_ = 0;
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::vector<uint8_t>> objects;
+    uint64_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) const {
+    return shards_[std::hash<std::string>{}(key) % kShards];
+  }
+
+  mutable std::array<Shard, kShards> shards_;
 };
 
 /// Filesystem-backed storage: one file per key under a root directory.
@@ -70,6 +110,10 @@ class FileStorage final : public BlockStorage {
 
   Status Put(const std::string& key, std::vector<uint8_t> bytes) override;
   Result<std::vector<uint8_t>> Get(const std::string& key) const override;
+  Status Put(const std::string& key, const uint8_t* data,
+             size_t size) override;
+  Status GetInto(const std::string& key,
+                 std::vector<uint8_t>* out) const override;
   Status Delete(const std::string& key) override;
   bool Contains(const std::string& key) const override;
   size_t Size() const override;

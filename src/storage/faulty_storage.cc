@@ -4,19 +4,36 @@
 
 namespace taskbench::storage {
 
+namespace {
+
+/// One fault-budget draw: trigger countdown, then bounded failures.
+bool DrawFault(std::atomic<int>& ops_until_failure,
+               std::atomic<int>& failures_remaining) {
+  return ops_until_failure.fetch_sub(1) <= 0 &&
+         failures_remaining.fetch_sub(1) > 0;
+}
+
+}  // namespace
+
 Status FaultyStorage::Put(const std::string& key,
                           std::vector<uint8_t> bytes) {
-  if (ops_until_put_failure.fetch_sub(1) <= 0 &&
-      put_failures_remaining.fetch_sub(1) > 0) {
+  if (DrawFault(ops_until_put_failure, put_failures_remaining)) {
     return Status::Internal("injected put failure");
   }
   return inner_->Put(key, std::move(bytes));
 }
 
+Status FaultyStorage::Put(const std::string& key, const uint8_t* data,
+                          size_t size) {
+  if (DrawFault(ops_until_put_failure, put_failures_remaining)) {
+    return Status::Internal("injected put failure");
+  }
+  return inner_->Put(key, data, size);
+}
+
 Result<std::vector<uint8_t>> FaultyStorage::Get(
     const std::string& key) const {
-  if (ops_until_get_failure.fetch_sub(1) <= 0 &&
-      get_failures_remaining.fetch_sub(1) > 0) {
+  if (DrawFault(ops_until_get_failure, get_failures_remaining)) {
     return Status::Internal("injected get failure");
   }
   auto bytes = inner_->Get(key);
@@ -24,6 +41,18 @@ Result<std::vector<uint8_t>> FaultyStorage::Get(
     (*bytes)[bytes->size() / 2] ^= 0xff;
   }
   return bytes;
+}
+
+Status FaultyStorage::GetInto(const std::string& key,
+                              std::vector<uint8_t>* out) const {
+  if (DrawFault(ops_until_get_failure, get_failures_remaining)) {
+    return Status::Internal("injected get failure");
+  }
+  TB_RETURN_IF_ERROR(inner_->GetInto(key, out));
+  if (corrupt_reads.load() && !out->empty()) {
+    (*out)[out->size() / 2] ^= 0xff;
+  }
+  return Status::OK();
 }
 
 Status FaultyStorage::Delete(const std::string& key) {

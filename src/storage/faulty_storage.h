@@ -36,6 +36,13 @@ class FaultyStorage final : public BlockStorage {
 
   Status Put(const std::string& key, std::vector<uint8_t> bytes) override;
   Result<std::vector<uint8_t>> Get(const std::string& key) const override;
+  // Fast paths forward to the inner backend's fast paths; one call
+  // consumes exactly one op of fault budget, same as the owning
+  // style, so retry tests behave identically through either API.
+  Status Put(const std::string& key, const uint8_t* data,
+             size_t size) override;
+  Status GetInto(const std::string& key,
+                 std::vector<uint8_t>* out) const override;
   Status Delete(const std::string& key) override;
   bool Contains(const std::string& key) const override;
   size_t Size() const override;

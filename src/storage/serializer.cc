@@ -67,11 +67,16 @@ void Serializer::Serialize(const data::Matrix& m, std::vector<uint8_t>* out) {
 
 Result<data::Matrix> Serializer::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  if (bytes.size() < kHeaderBytes) {
+  return Deserialize(bytes.data(), bytes.size());
+}
+
+Result<data::Matrix> Serializer::Deserialize(const uint8_t* data,
+                                             size_t size) {
+  if (size < kHeaderBytes) {
     return Status::InvalidArgument(
-        StrFormat("serialized block truncated: %zu bytes", bytes.size()));
+        StrFormat("serialized block truncated: %zu bytes", size));
   }
-  const uint8_t* p = bytes.data();
+  const uint8_t* p = data;
   const auto magic = ReadPod<uint32_t>(p);
   if (magic != kMagic) {
     return Status::InvalidArgument("bad magic in serialized block");
@@ -89,12 +94,12 @@ Result<data::Matrix> Serializer::Deserialize(
   const auto crc = ReadPod<uint32_t>(p + 24);
   const uint64_t payload_bytes = static_cast<uint64_t>(rows) *
                                  static_cast<uint64_t>(cols) * 8;
-  if (bytes.size() != kHeaderBytes + payload_bytes) {
+  if (size != kHeaderBytes + payload_bytes) {
     return Status::InvalidArgument(StrFormat(
         "serialized block size mismatch: header says %llu payload bytes, "
         "buffer has %zu",
         static_cast<unsigned long long>(payload_bytes),
-        bytes.size() - kHeaderBytes));
+        size - kHeaderBytes));
   }
   const uint8_t* payload = p + kHeaderBytes;
   if (Crc32(payload, payload_bytes) != crc) {

@@ -23,12 +23,17 @@ namespace taskbench::storage {
 ///   payload rows*cols float64
 class Serializer {
  public:
-  /// Appends the serialized form of `m` to `out`.
+  /// Appends the serialized form of `m` to `out`. Callers on the hot
+  /// path clear and reuse one scratch vector per worker, so steady
+  /// state serialization performs no allocation.
   static void Serialize(const data::Matrix& m, std::vector<uint8_t>* out);
 
   /// Parses one serialized block from `bytes`. Fails on truncation,
   /// bad magic/version, or checksum mismatch.
   static Result<data::Matrix> Deserialize(const std::vector<uint8_t>& bytes);
+
+  /// Same, from a raw buffer (pooled scratch on the hot path).
+  static Result<data::Matrix> Deserialize(const uint8_t* data, size_t size);
 
   /// Size in bytes Serialize() will produce for `m`.
   static uint64_t SerializedSize(const data::Matrix& m);

@@ -1,0 +1,283 @@
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool_executor.h"
+#include "storage/faulty_storage.h"
+
+namespace taskbench::runtime {
+namespace {
+
+// Stress coverage of the work-stealing executor: task counts far
+// beyond the worker count, wide and deep DAG shapes, both data-plane
+// modes, and retry budgets over a fault-injecting backend. The goal
+// is to shake races out of the lock-free scheduling structures (these
+// are also the tests the TSan CI job runs).
+
+KernelFn AddOneKernel() {
+  return [](const std::vector<const data::Matrix*>& inputs,
+            const std::vector<data::Matrix*>& outputs) -> Status {
+    data::Matrix m = *inputs[0];
+    for (int64_t i = 0; i < m.size(); ++i) m.data()[i] += 1.0;
+    *outputs[0] = std::move(m);
+    return Status::OK();
+  };
+}
+
+KernelFn SumKernel() {
+  return [](const std::vector<const data::Matrix*>& inputs,
+            const std::vector<data::Matrix*>& outputs) -> Status {
+    data::Matrix acc = *inputs[0];
+    for (size_t i = 1; i < inputs.size(); ++i) {
+      TB_ASSIGN_OR_RETURN(acc, data::Add(acc, *inputs[i]));
+    }
+    *outputs[0] = std::move(acc);
+    return Status::OK();
+  };
+}
+
+TaskSpec SimpleTask(DataId in, DataId out, KernelFn kernel) {
+  TaskSpec spec;
+  spec.type = "stress";
+  spec.params = {{in, Dir::kIn}, {out, Dir::kOut}};
+  spec.kernel = std::move(kernel);
+  return spec;
+}
+
+class ThreadPoolStressModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ThreadPoolStressModes, WideGraphTasksFarExceedThreads) {
+  // 2000 independent tasks on 8 workers: every root sits in some
+  // worker's deque up front, so most claims are steals.
+  constexpr int kTasks = 2000;
+  TaskGraph graph;
+  const DataId in = graph.AddData(data::Matrix(2, 2, 1.0));
+  std::vector<DataId> outs;
+  outs.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    const DataId out = graph.AddData(static_cast<uint64_t>(32));
+    ASSERT_TRUE(graph.Submit(SimpleTask(in, out, AddOneKernel())).ok());
+    outs.push_back(out);
+  }
+
+  RunOptions options;
+  options.num_threads = 8;
+  options.use_storage = GetParam();
+  ThreadPoolExecutor executor(options);
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->records.size(), static_cast<size_t>(kTasks));
+  EXPECT_TRUE(report->attempts.empty());  // no retry budget, no log
+  for (const DataId out : outs) {
+    auto result = executor.FetchData(graph, out);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->ApproxEquals(data::Matrix(2, 2, 2.0)));
+  }
+}
+
+TEST_P(ThreadPoolStressModes, DeepChainSerializesCorrectly) {
+  // A 600-deep chain: exactly one task is ever ready, so the pool
+  // exercises the park/wake handshake on every completion.
+  constexpr int kDepth = 600;
+  TaskGraph graph;
+  DataId current = graph.AddData(data::Matrix(2, 2, 0.0));
+  for (int i = 0; i < kDepth; ++i) {
+    const DataId next = graph.AddData(static_cast<uint64_t>(32));
+    ASSERT_TRUE(graph.Submit(SimpleTask(current, next, AddOneKernel())).ok());
+    current = next;
+  }
+
+  RunOptions options;
+  options.num_threads = 8;
+  options.use_storage = GetParam();
+  ThreadPoolExecutor executor(options);
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok());
+  auto result = executor.FetchData(graph, current);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(
+      result->ApproxEquals(data::Matrix(2, 2, static_cast<double>(kDepth))));
+
+  // Wall-clock ordering along the chain.
+  for (int i = 1; i < kDepth; ++i) {
+    EXPECT_GE(report->records[static_cast<size_t>(i)].start,
+              report->records[static_cast<size_t>(i - 1)].end - 1e-9);
+  }
+}
+
+TEST_P(ThreadPoolStressModes, AlternatingFanOutFanIn) {
+  // Wide waves joined by single fan-in tasks: the ready count swings
+  // between 1 and the wave width, exercising bulk wakeups.
+  constexpr int kWaves = 8;
+  constexpr int kWidth = 64;
+  TaskGraph graph;
+  DataId current = graph.AddData(data::Matrix(2, 2, 1.0));
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<DataId> outs;
+    for (int i = 0; i < kWidth; ++i) {
+      const DataId out = graph.AddData(static_cast<uint64_t>(32));
+      ASSERT_TRUE(graph.Submit(SimpleTask(current, out, AddOneKernel())).ok());
+      outs.push_back(out);
+    }
+    const DataId joined = graph.AddData(static_cast<uint64_t>(32));
+    TaskSpec join;
+    join.type = "join";
+    for (DataId out : outs) join.params.push_back({out, Dir::kIn});
+    join.params.push_back({joined, Dir::kOut});
+    join.kernel = SumKernel();
+    ASSERT_TRUE(graph.Submit(join).ok());
+    current = joined;
+  }
+
+  RunOptions options;
+  options.num_threads = 8;
+  options.use_storage = GetParam();
+  ThreadPoolExecutor executor(options);
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(),
+            static_cast<size_t>(kWaves) * (kWidth + 1));
+  // Each wave maps x -> width * (x + 1): x0 = 1 -> 128, 8256, ...
+  double expected = 1.0;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    expected = kWidth * (expected + 1.0);
+  }
+  auto result = executor.FetchData(graph, current);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ApproxEquals(data::Matrix(2, 2, expected)));
+}
+
+TEST_P(ThreadPoolStressModes, RandomDagMatchesSingleThreadedRun) {
+  // Random layered DAG; the 8-thread result must equal a 1-thread run
+  // of an identical graph (scheduling must not change the answer).
+  std::mt19937_64 rng(42);
+  auto build = [&rng]() {
+    std::mt19937_64 local = rng;  // same stream for both graphs
+    TaskGraph graph;
+    std::vector<DataId> prev = {graph.AddData(data::Matrix(2, 2, 1.0))};
+    for (int layer = 0; layer < 6; ++layer) {
+      std::uniform_int_distribution<int> pick(
+          0, static_cast<int>(prev.size()) - 1);
+      std::vector<DataId> next;
+      for (int i = 0; i < 20; ++i) {
+        const int fan_in = 1 + (i % 3);
+        TaskSpec spec;
+        spec.type = "rand";
+        for (int f = 0; f < fan_in; ++f) {
+          spec.params.push_back({prev[static_cast<size_t>(pick(local))],
+                                 Dir::kIn});
+        }
+        const DataId out = graph.AddData(static_cast<uint64_t>(32));
+        spec.params.push_back({out, Dir::kOut});
+        spec.kernel = SumKernel();
+        EXPECT_TRUE(graph.Submit(spec).ok());
+        next.push_back(out);
+      }
+      prev = std::move(next);
+    }
+    return std::make_pair(std::move(graph), prev);
+  };
+
+  auto [graph_mt, outs_mt] = build();
+  auto [graph_st, outs_st] = build();
+
+  RunOptions options;
+  options.use_storage = GetParam();
+  options.num_threads = 8;
+  ThreadPoolExecutor mt(options);
+  ASSERT_TRUE(mt.Execute(graph_mt).ok());
+  options.num_threads = 1;
+  ThreadPoolExecutor st(options);
+  ASSERT_TRUE(st.Execute(graph_st).ok());
+
+  for (size_t i = 0; i < outs_mt.size(); ++i) {
+    auto a = mt.FetchData(graph_mt, outs_mt[i]);
+    auto b = st.FetchData(graph_st, outs_st[i]);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->MaxAbsDiff(*b), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StorageModes, ThreadPoolStressModes,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "WithStorage" : "InMemory";
+                         });
+
+TEST(ThreadPoolStressTest, RetryBudgetSurvivesRecurringFaults) {
+  // A storage backend that trips mid-run and injects a burst of three
+  // consecutive read failures before healing; the retry budget must
+  // absorb the burst and the attempt log must stay consistent.
+  auto inner = std::make_shared<storage::InMemoryStorage>();
+  auto faulty = std::make_shared<storage::FaultyStorage>(inner);
+  faulty->ops_until_get_failure = 40;
+  faulty->get_failures_remaining = 3;
+
+  constexpr int kTasks = 120;
+  TaskGraph graph;
+  const DataId in = graph.AddData(data::Matrix(2, 2, 1.0));
+  std::vector<DataId> outs;
+  for (int i = 0; i < kTasks; ++i) {
+    const DataId out = graph.AddData(static_cast<uint64_t>(32));
+    EXPECT_TRUE(graph.Submit(SimpleTask(in, out, AddOneKernel())).ok());
+    outs.push_back(out);
+  }
+
+  RunOptions options;
+  options.num_threads = 8;
+  options.use_storage = true;
+  options.max_retries = 5;
+  options.retry_backoff_s = 1e-4;
+  ThreadPoolExecutor executor(options, faulty);
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->faults.retries, 0);
+
+  // Attempt log: every task logs exactly one completed attempt, with
+  // failed attempts preceding it numerically.
+  std::vector<int> completed(static_cast<size_t>(graph.num_tasks()), 0);
+  for (const TaskAttempt& attempt : report->attempts) {
+    ASSERT_GE(attempt.task, 0);
+    ASSERT_LT(attempt.task, graph.num_tasks());
+    if (attempt.outcome == AttemptOutcome::kCompleted) {
+      ++completed[static_cast<size_t>(attempt.task)];
+    }
+  }
+  for (int count : completed) EXPECT_EQ(count, 1);
+
+  for (const DataId out : outs) {
+    auto result = executor.FetchData(graph, out);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->ApproxEquals(data::Matrix(2, 2, 2.0)));
+  }
+}
+
+TEST(ThreadPoolStressTest, ExhaustedRetryBudgetFailsRun) {
+  auto inner = std::make_shared<storage::InMemoryStorage>();
+  auto faulty = std::make_shared<storage::FaultyStorage>(inner);
+  faulty->ops_until_get_failure = 0;  // every read fails, forever
+
+  TaskGraph graph;
+  const DataId in = graph.AddData(data::Matrix(2, 2, 1.0));
+  const DataId out = graph.AddData(static_cast<uint64_t>(32));
+  ASSERT_TRUE(graph.Submit(SimpleTask(in, out, AddOneKernel())).ok());
+
+  RunOptions options;
+  options.num_threads = 4;
+  options.use_storage = true;
+  options.max_retries = 2;
+  options.retry_backoff_s = 1e-4;
+  ThreadPoolExecutor executor(options, faulty);
+  auto report = executor.Execute(graph);
+  ASSERT_FALSE(report.ok());
+  // Failure context names the final attempt (budget + 1 runs).
+  EXPECT_NE(report.status().ToString().find("attempt 3"), std::string::npos)
+      << report.status().ToString();
+}
+
+}  // namespace
+}  // namespace taskbench::runtime
