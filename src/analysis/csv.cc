@@ -25,6 +25,7 @@ std::string ExperimentsCsv(const std::vector<ExperimentResult>& results) {
          "clusters,processor,storage,policy,block_bytes,num_blocks,"
          "dag_width,dag_height,parallel_fraction,complexity,oom,"
          "parallel_task_time_s,makespan_s,scheduler_overhead_s,"
+         "sched_ready_pop_s,sched_locality_s,sched_slot_pick_s,"
          "faults_injected,storage_faults,retries,recomputed_tasks,"
          "lost_blocks,dead_nodes\n";
   for (const ExperimentResult& r : results) {
@@ -38,12 +39,16 @@ std::string ExperimentsCsv(const std::vector<ExperimentResult>& results) {
         << StrFormat("%.6g", r.parallel_fraction) << ','
         << StrFormat("%.6g", r.complexity) << ',' << (r.oom ? 1 : 0) << ',';
     if (r.oom) {
-      out << ",,,,,,,,\n";
+      out << ",,,,,,,,,,,\n";
     } else {
       const runtime::FaultStats& f = r.report.faults;
+      const runtime::SchedulerPhaseBreakdown& ph = r.report.sched_phases;
       out << StrFormat("%.6g", r.parallel_task_time) << ','
           << StrFormat("%.6g", r.makespan) << ','
           << StrFormat("%.6g", r.report.scheduler_overhead) << ','
+          << StrFormat("%.6g", ph.ready_pop_s) << ','
+          << StrFormat("%.6g", ph.locality_s) << ','
+          << StrFormat("%.6g", ph.slot_pick_s) << ','
           << f.faults_injected << ',' << f.storage_faults << ','
           << f.retries << ',' << f.recomputed_tasks << ','
           << f.lost_blocks << ',' << f.dead_nodes << '\n';

@@ -1,6 +1,8 @@
 #include "common/strings.h"
 
+#include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -32,8 +34,52 @@ std::string HumanBytes(uint64_t bytes) {
     value /= 1024.0;
     ++unit;
   }
+  // The %.1f below rounds; a value in [1023.95, 1024) would render as
+  // "1024.0 KB"-style nonsense. Roll such values into the next unit
+  // before formatting.
+  if (unit < 5 && std::round(value * 10.0) / 10.0 >= 1024.0) {
+    value /= 1024.0;
+    ++unit;
+  }
   if (unit == 0) return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
   return StrFormat("%.1f %s", value, kUnits[unit]);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 std::string HumanSeconds(double seconds) {
@@ -70,6 +116,12 @@ Result<int64_t> ParseInt64(std::string_view text) {
   if (buf.empty()) {
     return Status::InvalidArgument("expected an integer, got ''");
   }
+  // strtoll silently skips leading whitespace; a flag like
+  // --retries=" 3" is malformed input, not a 3.
+  if (std::isspace(static_cast<unsigned char>(buf[0]))) {
+    return Status::InvalidArgument(
+        StrFormat("expected an integer, got '%s'", buf.c_str()));
+  }
   errno = 0;
   char* end = nullptr;
   const long long value = std::strtoll(buf.c_str(), &end, 10);
@@ -85,12 +137,19 @@ Result<double> ParseDouble(std::string_view text) {
   if (buf.empty()) {
     return Status::InvalidArgument("expected a number, got ''");
   }
+  // strtod skips leading whitespace and happily parses "nan"/"inf";
+  // neither is a meaningful value for any flag or spec here.
+  if (std::isspace(static_cast<unsigned char>(buf[0]))) {
+    return Status::InvalidArgument(
+        StrFormat("expected a number, got '%s'", buf.c_str()));
+  }
   errno = 0;
   char* end = nullptr;
   const double value = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+  if (end != buf.c_str() + buf.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
     return Status::InvalidArgument(
-        StrFormat("expected a number, got '%s'", buf.c_str()));
+        StrFormat("expected a finite number, got '%s'", buf.c_str()));
   }
   return value;
 }

@@ -15,7 +15,16 @@ std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /// Renders a byte count with a binary-unit suffix, e.g. "512.0 MB".
+/// The unit is chosen after rounding to one decimal, so values just
+/// under a boundary roll over ("1.0 MB", never "1024.0 KB").
 std::string HumanBytes(uint64_t bytes);
+
+/// Escapes `s` for interpolation into a JSON string literal: quotes,
+/// backslashes and control characters become their \-escapes (or
+/// \u00XX). Every exporter that emits user-controlled names (task
+/// types, metric names, file paths) into JSON must route through
+/// this — unescaped interpolation produced invalid trace documents.
+std::string JsonEscape(std::string_view s);
 
 /// Renders a duration in seconds with an adaptive unit, e.g. "12.3 ms".
 std::string HumanSeconds(double seconds);
@@ -33,9 +42,11 @@ std::string PadRight(std::string_view s, size_t width);
 
 /// Strict numeric parsers for the public surface (CLI flags, fault
 /// plan specs, bench arguments): the whole string must be a valid
-/// number — trailing garbage, empty strings and range overflows are
-/// InvalidArgument, never a throw or a silent zero (the failure modes
-/// of std::stoll / std::atoll respectively).
+/// number — leading whitespace, trailing garbage, empty strings and
+/// range overflows are InvalidArgument, never a throw or a silent
+/// zero (the failure modes of std::stoll / std::atoll respectively).
+/// ParseDouble additionally rejects non-finite values ("nan", "inf"):
+/// no flag or spec in this codebase means anything with them.
 Result<int64_t> ParseInt64(std::string_view text);
 Result<double> ParseDouble(std::string_view text);
 

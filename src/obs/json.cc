@@ -1,0 +1,184 @@
+#include "obs/json.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace taskbench::obs {
+
+namespace {
+
+/// Recursive-descent scanner over `text`. Position advances
+/// monotonically; errors carry the offending byte offset.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  Status Run() {
+    SkipWs();
+    TB_RETURN_IF_ERROR(Value(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON value");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(
+        StrFormat("%s at byte %zu", what, pos_));
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!Eof() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                      Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (Eof() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("invalid literal");
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status String() {
+    if (!Consume('"')) return Error("expected '\"'");
+    while (!Eof()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (Eof()) return Error("truncated escape");
+        const char e = text_[pos_];
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+            e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (Eof() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              return Error("invalid \\u escape");
+            }
+          }
+        } else {
+          return Error("invalid escape character");
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status Number() {
+    Consume('-');
+    if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error("invalid number");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("invalid fraction");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("invalid exponent");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Value(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (Eof()) return Error("expected a JSON value");
+    switch (Peek()) {
+      case '{':
+        return Object(depth);
+      case '[':
+        return Array(depth);
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  Status Object(int depth) {
+    Consume('{');
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWs();
+      TB_RETURN_IF_ERROR(String());
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWs();
+      TB_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  Status Array(int depth) {
+    Consume('[');
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      SkipWs();
+      TB_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) { return Scanner(text).Run(); }
+
+}  // namespace taskbench::obs

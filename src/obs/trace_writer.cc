@@ -1,0 +1,68 @@
+#include "obs/trace_writer.h"
+
+#include <string>
+
+#include "common/strings.h"
+
+namespace taskbench::obs {
+
+TraceWriter::TraceWriter(std::ostream* out) : out_(out) {
+  *out_ << "{\n\"traceEvents\": [\n";
+}
+
+TraceWriter::~TraceWriter() { Close(); }
+
+void TraceWriter::NextEvent() {
+  if (!first_) *out_ << ",\n";
+  first_ = false;
+  ++events_written_;
+}
+
+void TraceWriter::CompleteEvent(std::string_view name,
+                                std::string_view category, int pid, int tid,
+                                double ts_us, double dur_us) {
+  NextEvent();
+  *out_ << StrFormat(
+      "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+      "\"pid\": %d, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+      JsonEscape(name).c_str(), JsonEscape(category).c_str(), pid, tid,
+      ts_us, dur_us);
+}
+
+void TraceWriter::FlowStart(std::string_view name, uint64_t id, int pid,
+                            int tid, double ts_us) {
+  NextEvent();
+  *out_ << StrFormat(
+      "  {\"name\": \"%s\", \"cat\": \"flow\", \"ph\": \"s\", "
+      "\"id\": %llu, \"pid\": %d, \"tid\": %d, \"ts\": %.3f}",
+      JsonEscape(name).c_str(), static_cast<unsigned long long>(id), pid,
+      tid, ts_us);
+}
+
+void TraceWriter::FlowFinish(std::string_view name, uint64_t id, int pid,
+                             int tid, double ts_us) {
+  NextEvent();
+  // "bp": "e" binds the arrowhead to the enclosing slice, the
+  // rendering Perfetto expects for dependency arrows.
+  *out_ << StrFormat(
+      "  {\"name\": \"%s\", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": "
+      "\"e\", \"id\": %llu, \"pid\": %d, \"tid\": %d, \"ts\": %.3f}",
+      JsonEscape(name).c_str(), static_cast<unsigned long long>(id), pid,
+      tid, ts_us);
+}
+
+void TraceWriter::ProcessName(int pid, std::string_view name) {
+  NextEvent();
+  *out_ << StrFormat(
+      "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, "
+      "\"args\": {\"name\": \"%s\"}}",
+      pid, JsonEscape(name).c_str());
+}
+
+void TraceWriter::Close() {
+  if (closed_) return;
+  closed_ = true;
+  *out_ << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+}  // namespace taskbench::obs

@@ -1,0 +1,72 @@
+#ifndef TASKBENCH_OBS_TRACE_WRITER_H_
+#define TASKBENCH_OBS_TRACE_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace taskbench::obs {
+
+/// Streaming Chrome-tracing (Trace Event Format) writer. Events are
+/// formatted one at a time and pushed straight into the ostream, so
+/// exporting a million-task run costs constant memory — the previous
+/// exporter materialized the whole document in one string, which is
+/// exactly what fell over on PR 1's million-task DAGs. Every string
+/// routed into the document is JSON-escaped.
+///
+/// Timestamps and durations are in microseconds (the Trace Event
+/// Format unit). Typical use:
+///
+///   obs::TraceWriter w(&out);
+///   w.CompleteEvent("matmul #3 (GPU)", "task", /*pid=*/0, /*tid=*/1,
+///                   12.0, 3400.0);
+///   w.FlowStart("dep", 7, 0, 1, 3412.0);
+///   w.FlowFinish("dep", 7, 0, 2, 3500.0);
+///   w.ProcessName(0, "node 0");
+///   w.Close();
+class TraceWriter {
+ public:
+  /// Writes the document prologue. `out` must outlive the writer.
+  explicit TraceWriter(std::ostream* out);
+
+  /// Closes the document if Close() was not called.
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// One complete slice ("ph": "X").
+  void CompleteEvent(std::string_view name, std::string_view category,
+                     int pid, int tid, double ts_us, double dur_us);
+
+  /// Flow-event pair ("ph": "s" / "f"): an arrow from the point the
+  /// start was emitted at to the point the finish was emitted at —
+  /// used for producer→consumer dependency edges. `id` ties the two
+  /// halves together and must be unique per arrow within the trace.
+  void FlowStart(std::string_view name, uint64_t id, int pid, int tid,
+                 double ts_us);
+  void FlowFinish(std::string_view name, uint64_t id, int pid, int tid,
+                  double ts_us);
+
+  /// Process-name metadata record ("ph": "M").
+  void ProcessName(int pid, std::string_view name);
+
+  /// Writes the epilogue. Idempotent; no events may follow.
+  void Close();
+
+  /// Events emitted so far (all kinds).
+  uint64_t events_written() const { return events_written_; }
+
+ private:
+  /// Emits the separating ",\n" before every event but the first.
+  void NextEvent();
+
+  std::ostream* out_;
+  bool first_ = true;
+  bool closed_ = false;
+  uint64_t events_written_ = 0;
+};
+
+}  // namespace taskbench::obs
+
+#endif  // TASKBENCH_OBS_TRACE_WRITER_H_

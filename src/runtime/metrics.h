@@ -72,6 +72,26 @@ struct FaultStats {
   }
 };
 
+/// Master scheduling time split by decision phase — the breakdown of
+/// the paper's `scheduler_overhead` scalar (Section 4.4.3's
+/// "scheduler-side" accounting). Per decision the simulated master
+/// spends time (a) popping the candidate off the ready heaps, (b)
+/// consulting data locations (zero for location-blind policies, and
+/// the dominant term for locality scheduling on shared storage, where
+/// it is a metadata query), and (c) picking the target slot. The
+/// three accumulators sum to `RunReport::scheduler_overhead` by
+/// construction.
+struct SchedulerPhaseBreakdown {
+  double ready_pop_s = 0;   ///< candidate selection off the ready set
+  double locality_s = 0;    ///< data-location lookups
+  double slot_pick_s = 0;   ///< free-slot search / node assignment
+
+  double total() const { return ready_pop_s + locality_s + slot_pick_s; }
+  bool any() const {
+    return ready_pop_s != 0 || locality_s != 0 || slot_pick_s != 0;
+  }
+};
+
 /// Timing of one DAG level — the paper's "parallel task execution
 /// time" is the average level duration (Section 4.2, task level
 /// metrics), including all data movement overheads.
@@ -89,6 +109,9 @@ struct RunReport {
   double makespan = 0;
   /// Master time spent making scheduling decisions.
   double scheduler_overhead = 0;
+  /// Per-phase split of scheduler_overhead (simulated executor only;
+  /// all zero on the thread-pool path, which has no modeled master).
+  SchedulerPhaseBreakdown sched_phases;
   /// Discrete events the simulator executed for this run (simulated
   /// executor only; 0 for the thread-pool path). Lets the scaling
   /// benches report events/second of the engine itself.

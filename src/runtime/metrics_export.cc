@@ -1,0 +1,67 @@
+#include "runtime/metrics_export.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace taskbench::runtime {
+
+namespace {
+
+// %.9g round-trips every value the run section carries (seconds and
+// counts well below 2^53) while keeping the document compact.
+std::string Num(double v) { return StrFormat("%.9g", v); }
+
+}  // namespace
+
+void StreamMetricsJson(const RunReport& report,
+                       const obs::MetricsRegistry* registry,
+                       std::ostream& out) {
+  out << "{\n\"schema\": \"taskbench.metrics.v1\",\n";
+  out << "\"run\": {\n";
+  out << "  \"makespan_s\": " << Num(report.makespan) << ",\n";
+  out << "  \"scheduler_overhead_s\": " << Num(report.scheduler_overhead)
+      << ",\n";
+  out << "  \"scheduler_phases\": {\"ready_pop_s\": "
+      << Num(report.sched_phases.ready_pop_s)
+      << ", \"locality_s\": " << Num(report.sched_phases.locality_s)
+      << ", \"slot_pick_s\": " << Num(report.sched_phases.slot_pick_s)
+      << "},\n";
+  out << "  \"tasks\": " << report.records.size() << ",\n";
+  out << "  \"sim_events\": " << report.sim_events;
+  if (report.faults.any()) {
+    out << ",\n  \"faults\": {\"injected\": " << report.faults.faults_injected
+        << ", \"storage_faults\": " << report.faults.storage_faults
+        << ", \"retries\": " << report.faults.retries
+        << ", \"recomputed_tasks\": " << report.faults.recomputed_tasks
+        << ", \"lost_blocks\": " << report.faults.lost_blocks
+        << ", \"dead_nodes\": " << report.faults.dead_nodes << "}";
+  }
+  out << "\n},\n";
+  out << "\"metrics\": ";
+  if (registry != nullptr && !registry->empty()) {
+    registry->WriteJson(out);
+  } else {
+    out << "{}";
+  }
+  out << "\n}\n";
+}
+
+Status WriteMetricsJson(const RunReport& report,
+                        const obs::MetricsRegistry* registry,
+                        const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::Internal(
+        StrFormat("cannot open metrics file '%s'", path.c_str()));
+  }
+  StreamMetricsJson(report, registry, file);
+  if (!file) {
+    return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace taskbench::runtime

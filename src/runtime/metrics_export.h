@@ -1,0 +1,43 @@
+#ifndef TASKBENCH_RUNTIME_METRICS_EXPORT_H_
+#define TASKBENCH_RUNTIME_METRICS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "runtime/metrics.h"
+
+namespace taskbench::obs {
+class MetricsRegistry;
+}
+
+namespace taskbench::runtime {
+
+/// Streams the run-metrics JSON document:
+///
+///   {
+///     "schema": "taskbench.metrics.v1",
+///     "run": {
+///       "makespan_s": ..., "scheduler_overhead_s": ...,
+///       "scheduler_phases": {"ready_pop_s": ..., "locality_s": ...,
+///                            "slot_pick_s": ...},
+///       "tasks": ..., "sim_events": ...,
+///       "faults": {...}            // only when any fault fired
+///     },
+///     "metrics": {"counters": ..., "gauges": ..., "histograms": ...}
+///   }
+///
+/// `registry` may be null (telemetry disabled); "metrics" is then {}.
+/// Every string is JSON-escaped and the document parses cleanly.
+void StreamMetricsJson(const RunReport& report,
+                       const obs::MetricsRegistry* registry,
+                       std::ostream& out);
+
+/// StreamMetricsJson to `path`.
+Status WriteMetricsJson(const RunReport& report,
+                        const obs::MetricsRegistry* registry,
+                        const std::string& path);
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_METRICS_EXPORT_H_

@@ -7,6 +7,10 @@
 #include "hw/cluster.h"
 #include "runtime/fault.h"
 
+namespace taskbench::obs {
+class MetricsRegistry;
+}
+
 namespace taskbench::runtime {
 
 /// The one knob struct of workflow execution, consumed through the
@@ -18,6 +22,19 @@ namespace taskbench::runtime {
 /// exactly once. Each executor reads the fields that apply to it and
 /// ignores the rest.
 struct RunOptions {
+  // ---------------------------------------------------------------
+  // Shared: run telemetry.
+  // ---------------------------------------------------------------
+  /// When set, the executor records run telemetry (queue depths,
+  /// ready-set sizes, steal counts, retries, per-stage time
+  /// histograms by task type) into this registry. Null (the default)
+  /// disables collection entirely — the hot paths then pay one
+  /// pointer test per task, keeping fault-free runs bit-identical
+  /// and performance-neutral. The registry is not thread-safe;
+  /// executors with worker threads collect into per-worker instances
+  /// and merge after join.
+  obs::MetricsRegistry* metrics = nullptr;
+
   // ---------------------------------------------------------------
   // Shared: fault tolerance.
   // ---------------------------------------------------------------

@@ -4,7 +4,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "common/status.h"
 #include "common/strings.h"
 #include "hw/slot_index.h"
+#include "obs/metrics.h"
 #include "perf/cost_model.h"
 #include "runtime/fault.h"
 #include "runtime/ready_queue.h"
@@ -146,6 +149,48 @@ class SimState {
         ready_.Push(t, task_class_[static_cast<size_t>(t)]);
       }
     }
+
+    // Per-decision phase split: scheduler-provided, scaled to keep
+    // summing to the per-decision overhead under an override. Applied
+    // once per decision count at the end of the run, so profiling
+    // costs the hot loop nothing.
+    phase_split_ = scheduler_->DecisionPhases(options_.storage);
+    if (options_.scheduler_overhead_override_s >= 0) {
+      const double total = phase_split_.total();
+      const double scale =
+          total > 0 ? options_.scheduler_overhead_override_s / total : 0;
+      phase_split_.ready_pop_s *= scale;
+      phase_split_.locality_s *= scale;
+      phase_split_.slot_pick_s *= scale;
+    }
+
+    // Telemetry: resolve instrument handles once; the hot paths then
+    // pay a null test when disabled and pointer bumps when enabled.
+    metrics_ = options_.metrics;
+    if (metrics_ != nullptr) {
+      m_decisions_ = metrics_->counter("sched.decisions");
+      m_ready_size_ = metrics_->histogram("sched.ready_tasks");
+      task_type_idx_.resize(static_cast<size_t>(graph_.num_tasks()));
+      std::map<std::string, uint32_t> type_index;
+      for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+        const std::string& type = graph_.task(t).spec.type;
+        auto [it, inserted] =
+            type_index.emplace(type, static_cast<uint32_t>(type_hists_.size()));
+        if (inserted) {
+          StageHists h;
+          h.deserialize = metrics_->histogram(
+              StrFormat("task.%s.deserialize_s", type.c_str()));
+          h.compute =
+              metrics_->histogram(StrFormat("task.%s.compute_s", type.c_str()));
+          h.serialize = metrics_->histogram(
+              StrFormat("task.%s.serialize_s", type.c_str()));
+          h.duration = metrics_->histogram(
+              StrFormat("task.%s.duration_s", type.c_str()));
+          type_hists_.push_back(h);
+        }
+        task_type_idx_[static_cast<size_t>(t)] = it->second;
+      }
+    }
   }
 
   Result<RunReport> Run() {
@@ -176,10 +221,27 @@ class SimState {
     report.records = std::move(records_);
     report.makespan = makespan_;
     report.scheduler_overhead = scheduler_overhead_;
+    const double n = static_cast<double>(decisions_);
+    report.sched_phases.ready_pop_s = phase_split_.ready_pop_s * n;
+    report.sched_phases.locality_s = phase_split_.locality_s * n;
+    report.sched_phases.slot_pick_s = phase_split_.slot_pick_s * n;
     report.sim_events = simulator_.events_executed();
     if (faults_active_) {
       report.faults = stats_;
       report.attempts = std::move(attempts_);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->gauge("sim.max_pending_events")
+          ->SetMax(static_cast<double>(simulator_.max_pending_events()));
+      metrics_->counter("sim.events")->Add(
+          static_cast<int64_t>(simulator_.events_executed()));
+      if (faults_active_) {
+        metrics_->counter("faults.injected")->Add(stats_.faults_injected);
+        metrics_->counter("faults.retries")->Add(stats_.retries);
+        metrics_->counter("faults.storage_faults")->Add(stats_.storage_faults);
+        metrics_->counter("faults.recomputed_tasks")
+            ->Add(stats_.recomputed_tasks);
+      }
     }
     return report;
   }
@@ -306,6 +368,13 @@ class SimState {
               ? options_.scheduler_overhead_override_s
               : scheduler_->DecisionOverhead(options_.storage);
       scheduler_overhead_ += overhead;
+      ++decisions_;
+      if (metrics_ != nullptr) {
+        m_decisions_->Add(1);
+        // +1: the popped task was part of the ready set this decision
+        // looked at.
+        m_ready_size_->Record(static_cast<double>(ready_.size()) + 1);
+      }
       master_free_at_ =
           std::max(master_free_at_, simulator_.Now()) + overhead;
 
@@ -480,6 +549,16 @@ class SimState {
       rec.stages.parallel_fraction = model_.CpuParallelFraction(cost);
     }
     makespan_ = std::max(makespan_, rec.end);
+    if (metrics_ != nullptr) {
+      const StageHists& h =
+          type_hists_[task_type_idx_[static_cast<size_t>(run->id)]];
+      h.deserialize->Record(rec.stages.deserialize);
+      h.compute->Record(rec.stages.serial_fraction +
+                        rec.stages.parallel_fraction +
+                        rec.stages.cpu_gpu_comm);
+      h.serialize->Record(rec.stages.serialize);
+      h.duration->Record(rec.duration());
+    }
     RecordAttempt(run, AttemptOutcome::kCompleted);
 
     auto& slots =
@@ -796,6 +875,24 @@ class SimState {
   int relocate_rr_ = 0;
   FaultStats stats_;
   std::vector<TaskAttempt> attempts_;
+
+  // Telemetry. All null/empty when options.metrics is null; the only
+  // always-on additions are the decision counter and the phase split
+  // (folded into the report after the run), neither of which touches
+  // the event sequence.
+  struct StageHists {
+    obs::Histogram* deserialize = nullptr;
+    obs::Histogram* compute = nullptr;
+    obs::Histogram* serialize = nullptr;
+    obs::Histogram* duration = nullptr;
+  };
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_decisions_ = nullptr;
+  obs::Histogram* m_ready_size_ = nullptr;
+  std::vector<StageHists> type_hists_;
+  std::vector<uint32_t> task_type_idx_;
+  SchedulerPhaseBreakdown phase_split_;
+  int64_t decisions_ = 0;
 
   double master_free_at_ = 0;
   double scheduler_overhead_ = 0;

@@ -4,14 +4,18 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "runtime/sharded_value_store.h"
 #include "runtime/work_stealing_queue.h"
 #include "storage/serializer.h"
@@ -33,6 +37,38 @@ std::string KeyFor(DataId id) {
 /// Full steal sweeps over the other workers' deques before a worker
 /// parks on the condition variable.
 constexpr int kStealSweepsBeforePark = 4;
+
+/// Pre-resolved per-task-type stage histograms (one set per worker).
+struct StageHists {
+  obs::Histogram* deserialize = nullptr;
+  obs::Histogram* compute = nullptr;
+  obs::Histogram* serialize = nullptr;
+  obs::Histogram* duration = nullptr;
+};
+
+/// One worker's private telemetry. Workers record into their own
+/// registry with no synchronization whatsoever; the registries are
+/// merged into the caller's after the threads join.
+struct WorkerTelemetry {
+  obs::MetricsRegistry registry;
+  obs::Counter* tasks = nullptr;
+  obs::Counter* steals = nullptr;
+  obs::Counter* parks = nullptr;
+  std::vector<StageHists> types;  ///< index-aligned with the type list
+};
+
+StageHists ResolveStageHists(obs::MetricsRegistry* registry,
+                             const std::string& type) {
+  StageHists h;
+  h.deserialize =
+      registry->histogram(StrFormat("task.%s.deserialize_s", type.c_str()));
+  h.compute = registry->histogram(StrFormat("task.%s.compute_s", type.c_str()));
+  h.serialize =
+      registry->histogram(StrFormat("task.%s.serialize_s", type.c_str()));
+  h.duration =
+      registry->histogram(StrFormat("task.%s.duration_s", type.c_str()));
+  return h;
+}
 
 }  // namespace
 
@@ -136,6 +172,37 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
 
   std::vector<TaskRecord> records(static_cast<size_t>(total));
   const Clock::time_point origin = Clock::now();
+
+  // Telemetry: per-worker registries plus a per-task type index, all
+  // resolved up front so the workers only bump pre-looked-up
+  // instruments. Entirely skipped when no registry was supplied.
+  const bool telemetry = options_.metrics != nullptr;
+  std::vector<uint32_t> task_type_idx;
+  std::vector<std::unique_ptr<WorkerTelemetry>> worker_telemetry;
+  if (telemetry) {
+    std::vector<std::string> type_names;
+    std::map<std::string, uint32_t> type_index;
+    task_type_idx.resize(static_cast<size_t>(total));
+    for (TaskId t = 0; t < total; ++t) {
+      const std::string& type = graph.task(t).spec.type;
+      auto [it, inserted] =
+          type_index.emplace(type, static_cast<uint32_t>(type_names.size()));
+      if (inserted) type_names.push_back(type);
+      task_type_idx[static_cast<size_t>(t)] = it->second;
+    }
+    worker_telemetry.reserve(static_cast<size_t>(num_workers));
+    for (int w = 0; w < num_workers; ++w) {
+      auto wt = std::make_unique<WorkerTelemetry>();
+      wt->tasks = wt->registry.counter("pool.tasks");
+      wt->steals = wt->registry.counter("pool.steals");
+      wt->parks = wt->registry.counter("pool.parks");
+      wt->types.reserve(type_names.size());
+      for (const std::string& type : type_names) {
+        wt->types.push_back(ResolveStageHists(&wt->registry, type));
+      }
+      worker_telemetry.push_back(std::move(wt));
+    }
+  }
 
   // Per-worker context: deque identity plus reusable serialization
   // scratch, so steady-state storage traffic allocates nothing.
@@ -307,6 +374,9 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   auto worker = [&](int worker_id) {
     WorkerContext ctx;
     ctx.id = worker_id;
+    WorkerTelemetry* wt =
+        telemetry ? worker_telemetry[static_cast<size_t>(worker_id)].get()
+                  : nullptr;
     WorkStealingQueue<TaskId>& own = pool.queues[static_cast<size_t>(
         worker_id)];
     for (;;) {
@@ -316,6 +386,7 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
       // sweep the other deques as a thief, then park.
       TaskId id = -1;
       bool got = own.Pop(&id);
+      bool stolen = false;
       if (!got) {
         for (int sweep = 0; sweep < kStealSweepsBeforePark && !got; ++sweep) {
           for (int off = 1; off < num_workers && !got; ++off) {
@@ -324,8 +395,10 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
           }
           if (done()) return;
         }
+        stolen = got;
       }
       if (!got) {
+        if (wt != nullptr) wt->parks->Add(1);
         std::unique_lock<std::mutex> lock(pool.park_mu);
         pool.sleepers.fetch_add(1, std::memory_order_seq_cst);
         pool.park_cv.wait(lock, [&] {
@@ -334,6 +407,7 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
         pool.sleepers.fetch_sub(1, std::memory_order_seq_cst);
         continue;  // re-run the claim loop
       }
+      if (wt != nullptr && stolen) wt->steals->Add(1);
       pool.num_ready.fetch_sub(1, std::memory_order_seq_cst);
 
       // Per-task retry loop: transient failures (e.g. a
@@ -375,6 +449,17 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
             AttemptOutcome::kCompleted});
       }
 
+      if (wt != nullptr) {
+        wt->tasks->Add(1);
+        const TaskRecord& rec = records[static_cast<size_t>(id)];
+        const StageHists& h =
+            wt->types[task_type_idx[static_cast<size_t>(id)]];
+        h.deserialize->Record(rec.stages.deserialize);
+        h.compute->Record(rec.stages.parallel_fraction);
+        h.serialize->Record(rec.stages.serialize);
+        h.duration->Record(rec.duration());
+      }
+
       // Completion: release successors whose last dependency this
       // was. New ready tasks go to our own deque (their inputs are
       // warm here); idle workers steal them if we are saturated.
@@ -405,6 +490,13 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   for (std::thread& t : threads) t.join();
 
   if (pool.failed.load(std::memory_order_seq_cst)) return pool.failure;
+
+  if (telemetry) {
+    obs::MetricsRegistry& merged = *options_.metrics;
+    for (const auto& wt : worker_telemetry) merged.MergeFrom(wt->registry);
+    merged.gauge("pool.workers")->Set(num_workers);
+    if (pool.retries > 0) merged.counter("pool.retries")->Add(pool.retries);
+  }
 
   // Persist memory-mode values back onto the graph entries so they
   // survive for FetchData in both modes. Workers have joined, so each

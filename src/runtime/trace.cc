@@ -1,12 +1,14 @@
 #include "runtime/trace.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/trace_writer.h"
 
 namespace taskbench::runtime {
 
@@ -40,34 +42,18 @@ std::vector<int> AssignLanes(const std::vector<TaskRecord>& records) {
   return lanes;
 }
 
-namespace {
-
-void AppendEvent(std::ostringstream* out, bool* first, const std::string& name,
-                 const std::string& category, int pid, int tid, double start_s,
-                 double duration_s) {
-  if (!*first) *out << ",\n";
-  *first = false;
-  *out << StrFormat(
-      "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-      "\"pid\": %d, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
-      name.c_str(), category.c_str(), pid, tid, start_s * 1e6,
-      duration_s * 1e6);
-}
-
-}  // namespace
-
-std::string ChromeTraceJson(const RunReport& report) {
-  std::ostringstream out;
-  out << "{\n\"traceEvents\": [\n";
-  bool first = true;
-
+void StreamChromeTrace(const RunReport& report, std::ostream& out,
+                       const TraceOptions& options) {
   // Failed attempts (only present under fault injection) occupy real
   // node time before their task re-runs; render them as first-class
-  // slices so they take part in lane assignment.
-  std::vector<TaskRecord> records = report.records;
-  const size_t num_completed = records.size();
+  // slices so they take part in lane assignment. Fault-free runs skip
+  // the copy and export straight from report.records.
+  const size_t num_completed = report.records.size();
+  std::vector<TaskRecord> combined;
+  const std::vector<TaskRecord>* records = &report.records;
   for (const TaskAttempt& attempt : report.attempts) {
     if (attempt.outcome == AttemptOutcome::kCompleted) continue;
+    if (combined.empty()) combined = report.records;
     TaskRecord rec;
     rec.task = attempt.task;
     rec.type = StrFormat("attempt %d (%s)", attempt.attempt,
@@ -77,12 +63,14 @@ std::string ChromeTraceJson(const RunReport& report) {
     rec.start = attempt.start;
     rec.end = attempt.end;
     rec.attempt = attempt.attempt;
-    records.push_back(rec);
+    combined.push_back(rec);
   }
+  if (!combined.empty()) records = &combined;
 
-  const std::vector<int> lanes = AssignLanes(records);
-  for (size_t i = 0; i < records.size(); ++i) {
-    const TaskRecord& rec = records[i];
+  obs::TraceWriter writer(&out);
+  const std::vector<int> lanes = AssignLanes(*records);
+  for (size_t i = 0; i < records->size(); ++i) {
+    const TaskRecord& rec = (*records)[i];
     const int pid = rec.node < 0 ? 0 : rec.node;
     const int tid = lanes[i];
     const bool failed_attempt = i >= num_completed;
@@ -96,8 +84,8 @@ std::string ChromeTraceJson(const RunReport& report) {
     if (!failed_attempt && rec.attempt > 1) {
       name += StrFormat(" [attempt %d]", rec.attempt);
     }
-    AppendEvent(&out, &first, name, failed_attempt ? "attempt" : "task", pid,
-                tid, rec.start, rec.duration());
+    writer.CompleteEvent(name, failed_attempt ? "attempt" : "task", pid, tid,
+                         rec.start * 1e6, rec.duration() * 1e6);
     if (failed_attempt) continue;
 
     // Nested stage slices; stages execute back to back.
@@ -114,36 +102,70 @@ std::string ChromeTraceJson(const RunReport& report) {
     };
     for (const auto& stage : stages) {
       if (stage.duration <= 0) continue;
-      AppendEvent(&out, &first, stage.label, "stage", pid, tid, cursor,
-                  stage.duration);
+      writer.CompleteEvent(stage.label, "stage", pid, tid, cursor * 1e6,
+                           stage.duration * 1e6);
       cursor += stage.duration;
+    }
+  }
+
+  // Dependency flow arrows: producer slice end -> consumer slice
+  // start, one arrow per DAG edge whose endpoints both executed.
+  if (options.flow_events && options.graph != nullptr) {
+    std::vector<int64_t> task_to_rec(
+        static_cast<size_t>(options.graph->num_tasks()), -1);
+    for (size_t i = 0; i < num_completed; ++i) {
+      const TaskId id = report.records[i].task;
+      if (id >= 0 && static_cast<size_t>(id) < task_to_rec.size()) {
+        task_to_rec[static_cast<size_t>(id)] = static_cast<int64_t>(i);
+      }
+    }
+    uint64_t flow_id = 0;
+    for (size_t i = 0; i < num_completed; ++i) {
+      const TaskRecord& rec = report.records[i];
+      if (rec.task < 0 ||
+          static_cast<size_t>(rec.task) >= task_to_rec.size()) {
+        continue;
+      }
+      for (TaskId dep : options.graph->task(rec.task).deps) {
+        const int64_t p = task_to_rec[static_cast<size_t>(dep)];
+        if (p < 0) continue;
+        const TaskRecord& parent = report.records[static_cast<size_t>(p)];
+        const int parent_pid = parent.node < 0 ? 0 : parent.node;
+        const int pid = rec.node < 0 ? 0 : rec.node;
+        writer.FlowStart("dep", flow_id, parent_pid,
+                         lanes[static_cast<size_t>(p)], parent.end * 1e6);
+        writer.FlowFinish("dep", flow_id, pid, lanes[i], rec.start * 1e6);
+        ++flow_id;
+      }
     }
   }
 
   // Node name metadata.
   std::map<int, bool> nodes;
-  for (const TaskRecord& rec : records) {
+  for (const TaskRecord& rec : *records) {
     nodes[rec.node < 0 ? 0 : rec.node] = true;
   }
   for (const auto& [node, _] : nodes) {
-    if (!first) out << ",\n";
-    first = false;
-    out << StrFormat(
-        "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, "
-        "\"args\": {\"name\": \"node %d\"}}",
-        node, node);
+    writer.ProcessName(node, StrFormat("node %d", node));
   }
-  out << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+  writer.Close();
+}
+
+std::string ChromeTraceJson(const RunReport& report,
+                            const TraceOptions& options) {
+  std::ostringstream out;
+  StreamChromeTrace(report, out, options);
   return out.str();
 }
 
-Status WriteChromeTrace(const RunReport& report, const std::string& path) {
+Status WriteChromeTrace(const RunReport& report, const std::string& path,
+                        const TraceOptions& options) {
   std::ofstream file(path, std::ios::trunc);
   if (!file) {
     return Status::Internal(
         StrFormat("cannot open trace file '%s'", path.c_str()));
   }
-  file << ChromeTraceJson(report);
+  StreamChromeTrace(report, file, options);
   if (!file) {
     return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
   }

@@ -1,15 +1,26 @@
 #ifndef TASKBENCH_RUNTIME_TRACE_H_
 #define TASKBENCH_RUNTIME_TRACE_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "runtime/metrics.h"
+#include "runtime/task_graph.h"
 
 namespace taskbench::runtime {
 
-/// Renders a run report as a Chrome-tracing JSON document (load via
+/// Optional extras for the trace exporter.
+struct TraceOptions {
+  /// When set together with `flow_events`, dependency edges are
+  /// rendered as flow arrows from each producer slice to its consumer
+  /// slices. The graph must be the one the report was executed from.
+  const TaskGraph* graph = nullptr;
+  bool flow_events = false;
+};
+
+/// Streams a run report as a Chrome-tracing JSON document (load via
 /// chrome://tracing or https://ui.perfetto.dev). This is the
 /// reproduction counterpart of the Paraver traces the paper collects
 /// from the PyCOMPSs runtime (Section 4.4.3): one process per
@@ -20,10 +31,22 @@ namespace taskbench::runtime {
 /// attempt number and every failed attempt (node crash, device loss,
 /// storage fault) is rendered as its own "attempt" slice, so recovery
 /// behaviour is visible on the timeline.
-std::string ChromeTraceJson(const RunReport& report);
+///
+/// Events are streamed into `out` one at a time; memory stays
+/// constant in the number of tasks (aside from the O(records) lane
+/// assignment), so million-task runs export without materializing a
+/// multi-hundred-MB string.
+void StreamChromeTrace(const RunReport& report, std::ostream& out,
+                       const TraceOptions& options = {});
 
-/// Writes ChromeTraceJson(report) to `path`.
-Status WriteChromeTrace(const RunReport& report, const std::string& path);
+/// StreamChromeTrace rendered into a string. Prefer WriteChromeTrace
+/// (or StreamChromeTrace on your own stream) for large runs.
+std::string ChromeTraceJson(const RunReport& report,
+                            const TraceOptions& options = {});
+
+/// Streams the trace straight to `path` (constant memory).
+Status WriteChromeTrace(const RunReport& report, const std::string& path,
+                        const TraceOptions& options = {});
 
 /// Assigns each record an execution lane within its node such that
 /// overlapping tasks never share a lane (greedy interval coloring).

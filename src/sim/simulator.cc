@@ -10,6 +10,7 @@ void Simulator::At(SimTime t, Callback cb) {
   TB_CHECK(t >= now_) << "cannot schedule event in the past: t=" << t
                       << " now=" << now_;
   queue_.push(Event{t, next_seq_++, std::move(cb)});
+  if (queue_.size() > max_pending_) max_pending_ = queue_.size();
 }
 
 void Simulator::After(SimTime delay, Callback cb) {

@@ -50,6 +50,11 @@ class Simulator {
   /// Number of events currently pending.
   size_t pending_events() const { return queue_.size(); }
 
+  /// High-water mark of the pending-event queue over the run — the
+  /// engine-side "queue depth" telemetry the run-metrics export
+  /// reports (diagnostic; tracking it is one compare per push).
+  size_t max_pending_events() const { return max_pending_; }
+
  private:
   struct Event {
     SimTime time;
@@ -65,6 +70,7 @@ class Simulator {
 
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   SimTime now_ = 0.0;
+  size_t max_pending_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
   bool stopped_ = false;

@@ -25,6 +25,20 @@ TEST(StringsTest, HumanBytes) {
   EXPECT_EQ(HumanBytes(12ULL * kGiB), "12.0 GB");
 }
 
+TEST(StringsTest, HumanBytesRollsToNextUnitInsteadOfPrinting1024) {
+  // A value a hair under the unit boundary used to render as
+  // "1024.0 KB": the unit was chosen before rounding. Rounding to one
+  // decimal must roll over to the next unit instead.
+  EXPECT_EQ(HumanBytes(kMiB - 1), "1.0 MB");
+  EXPECT_EQ(HumanBytes(kGiB - 1), "1.0 GB");
+  EXPECT_EQ(HumanBytes(1024ULL * kGiB - 1), "1.0 TB");
+  // Just below the rollover threshold stays in the smaller unit.
+  EXPECT_EQ(HumanBytes(1023 * kKiB), "1023.0 KB");
+  // Boundary values are exact.
+  EXPECT_EQ(HumanBytes(kMiB), "1.0 MB");
+  EXPECT_EQ(HumanBytes(1024), "1.0 KB");
+}
+
 TEST(StringsTest, HumanSeconds) {
   EXPECT_EQ(HumanSeconds(2.5), "2.500 s");
   EXPECT_EQ(HumanSeconds(0.012), "12.000 ms");
@@ -73,6 +87,15 @@ TEST(StringsTest, ParseInt64RejectsGarbage) {
   EXPECT_FALSE(ParseInt64("99999999999999999999").ok());  // overflow
 }
 
+TEST(StringsTest, ParseInt64RejectsLeadingWhitespace) {
+  // strtoll silently skips leading whitespace; the parser must not —
+  // " 5" in a config or CLI flag is a typo, not a number.
+  EXPECT_FALSE(ParseInt64(" 5").ok());
+  EXPECT_FALSE(ParseInt64("\t5").ok());
+  EXPECT_FALSE(ParseInt64("\n5").ok());
+  EXPECT_FALSE(ParseInt64("5 ").ok());  // trailing rejected as before
+}
+
 TEST(StringsTest, ParseDoubleAcceptsNumbers) {
   EXPECT_EQ(*ParseDouble("2.5"), 2.5);
   EXPECT_EQ(*ParseDouble("-1e3"), -1000.0);
@@ -84,6 +107,33 @@ TEST(StringsTest, ParseDoubleRejectsGarbage) {
   EXPECT_FALSE(ParseDouble("2.5x").ok());
   EXPECT_FALSE(ParseDouble("oops").ok());
   EXPECT_FALSE(ParseDouble("1e99999").ok());  // out of range
+}
+
+TEST(StringsTest, ParseDoubleRejectsLeadingWhitespace) {
+  EXPECT_FALSE(ParseDouble(" 2.5").ok());
+  EXPECT_FALSE(ParseDouble("\t2.5").ok());
+  EXPECT_FALSE(ParseDouble("2.5 ").ok());
+}
+
+TEST(StringsTest, ParseDoubleRejectsNonFinite) {
+  // strtod happily parses "nan" and "inf"; every ParseDouble call
+  // site expects a finite quantity (durations, rates, factors), so
+  // non-finite spellings are rejected.
+  EXPECT_FALSE(ParseDouble("nan").ok());
+  EXPECT_FALSE(ParseDouble("NaN").ok());
+  EXPECT_FALSE(ParseDouble("inf").ok());
+  EXPECT_FALSE(ParseDouble("-inf").ok());
+  EXPECT_FALSE(ParseDouble("infinity").ok());
+}
+
+TEST(StringsTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(JsonEscape(""), "");
 }
 
 TEST(UnitsTest, ElementConversions) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "hw/cluster.h"
+#include "obs/json.h"
 #include "runtime/simulated_executor.h"
 
 namespace taskbench::runtime {
@@ -30,6 +31,27 @@ TEST(TraceTest, EmptyReportIsValidJson) {
   const std::string json = ChromeTraceJson(report);
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("displayTimeUnit"), std::string::npos);
+  EXPECT_TRUE(obs::ValidateJson(json).ok()) << json;
+}
+
+TEST(TraceTest, EveryDocumentParsesCleanly) {
+  RunReport report;
+  report.records.push_back(MakeRecord(0, "matmul_func", 0, 0.0, 2.0));
+  report.records.push_back(MakeRecord(1, "kmeans", 1, 0.5, 2.5));
+  EXPECT_TRUE(obs::ValidateJson(ChromeTraceJson(report)).ok());
+}
+
+TEST(TraceTest, EscapesHostileTaskTypeNames) {
+  // A task type carrying quotes, backslashes and newlines must not
+  // corrupt the document — this was the JsonEscape bug: names went
+  // into the trace raw.
+  RunReport report;
+  report.records.push_back(
+      MakeRecord(0, "evil \"type\" \\ with\nnewline", 0, 0.0, 1.0));
+  const std::string json = ChromeTraceJson(report);
+  EXPECT_TRUE(obs::ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\\\"type\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
 }
 
 TEST(TraceTest, ContainsTaskAndStageSlices) {
@@ -81,6 +103,44 @@ TEST(TraceTest, WritesFile) {
   std::filesystem::remove(path);
 }
 
+TEST(TraceTest, AssignLanesSeparatesEqualStartTimes) {
+  std::vector<TaskRecord> records;
+  records.push_back(MakeRecord(0, "a", 0, 0.0, 1.0));
+  records.push_back(MakeRecord(1, "b", 0, 0.0, 1.0));
+  records.push_back(MakeRecord(2, "c", 0, 0.0, 1.0));
+  const std::vector<int> lanes = AssignLanes(records);
+  ASSERT_EQ(lanes.size(), 3u);
+  EXPECT_NE(lanes[0], lanes[1]);
+  EXPECT_NE(lanes[0], lanes[2]);
+  EXPECT_NE(lanes[1], lanes[2]);
+}
+
+TEST(TraceTest, AssignLanesHandlesZeroDurationRecords) {
+  // Instantaneous records (start == end) must still get lanes and not
+  // push genuinely overlapping work onto one lane.
+  std::vector<TaskRecord> records;
+  records.push_back(MakeRecord(0, "a", 0, 1.0, 1.0));
+  records.push_back(MakeRecord(1, "b", 0, 1.0, 1.0));
+  records.push_back(MakeRecord(2, "c", 0, 0.0, 3.0));
+  const std::vector<int> lanes = AssignLanes(records);
+  ASSERT_EQ(lanes.size(), 3u);
+  // The long task overlaps both point records.
+  EXPECT_NE(lanes[2], lanes[0]);
+  EXPECT_NE(lanes[2], lanes[1]);
+}
+
+TEST(TraceTest, AssignLanesIsPerNode) {
+  // Records interleaved across nodes: lane numbering restarts per
+  // node, and back-to-back records on one node reuse a lane.
+  std::vector<TaskRecord> records;
+  records.push_back(MakeRecord(0, "a", 0, 0.0, 1.0));
+  records.push_back(MakeRecord(1, "b", 1, 0.0, 1.0));
+  records.push_back(MakeRecord(2, "c", 0, 1.5, 2.0));
+  records.push_back(MakeRecord(3, "d", 1, 1.5, 2.0));
+  const std::vector<int> lanes = AssignLanes(records);
+  EXPECT_EQ(lanes, (std::vector<int>{0, 0, 0, 0}));
+}
+
 TEST(TraceTest, EndToEndWithSimulatedRun) {
   // A real simulated run produces a well-formed trace with every
   // executed task present.
@@ -101,6 +161,7 @@ TEST(TraceTest, EndToEndWithSimulatedRun) {
   auto report = executor.Execute(graph);
   ASSERT_TRUE(report.ok());
   const std::string json = ChromeTraceJson(*report);
+  EXPECT_TRUE(obs::ValidateJson(json).ok());
   for (int i = 0; i < 10; ++i) {
     EXPECT_NE(json.find("work #" + std::to_string(i)), std::string::npos);
   }

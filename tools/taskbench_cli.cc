@@ -25,12 +25,15 @@
 //   --retry-backoff=S   base of the exponential retry backoff, seconds
 //   --csv=PATH          write results as CSV
 //   --trace=PATH        write a chrome://tracing JSON of the run
+//   --flow-events       add dependency arrows to the trace
+//   --metrics-json=PATH write run telemetry (counters, histograms,
+//                       scheduler phase breakdown) as JSON
 //   --gantt             print an ASCII occupancy chart of the run
 //
 // Examples:
-//   taskbench run --algorithm=kmeans --dataset=kmeans-10gb --grid=256x1 \
+//   taskbench run --algorithm=kmeans --dataset=kmeans-10gb --grid=256x1
 //       --processor=gpu --storage=shared --policy=gen-order
-//   taskbench run --algorithm=kmeans --grid=256x1 --storage=local \
+//   taskbench run --algorithm=kmeans --grid=256x1 --storage=local
 //       --faults=crash@2.0:n3,storage:p0.001 --retries=3
 //   taskbench sweep --algorithm=matmul --dataset=matmul-8gb --csv=out.csv
 //   taskbench recommend --algorithm=kmeans --dataset=kmeans-10gb
@@ -51,7 +54,9 @@
 #include "common/args.h"
 #include "common/strings.h"
 #include "data/generators.h"
+#include "obs/metrics.h"
 #include "runtime/fault.h"
+#include "runtime/metrics_export.h"
 #include "runtime/simulated_executor.h"
 #include "runtime/trace.h"
 
@@ -174,6 +179,29 @@ tb::Result<ExperimentConfig> BuildConfig(const tb::Args& args) {
   return config;
 }
 
+/// Builds the workflow DAG of `config` (also used to re-derive
+/// dependency edges for --flow-events trace export).
+tb::Result<tb::runtime::TaskGraph> BuildGraphFor(
+    const ExperimentConfig& config) {
+  TB_ASSIGN_OR_RETURN(
+      tb::data::GridSpec spec,
+      tb::data::GridSpec::CreateFromGridDim(config.dataset, config.grid_rows,
+                                            config.grid_cols));
+  if (config.algorithm == Algorithm::kKMeans) {
+    tb::algos::KMeansOptions options;
+    options.num_clusters = config.clusters;
+    options.iterations = config.iterations;
+    options.processor = config.processor;
+    TB_ASSIGN_OR_RETURN(auto wf, tb::algos::BuildKMeans(spec, options));
+    return std::move(wf.graph);
+  }
+  tb::algos::MatmulOptions options;
+  options.processor = config.processor;
+  options.fma = config.algorithm == Algorithm::kMatmulFma;
+  TB_ASSIGN_OR_RETURN(auto wf, tb::algos::BuildMatmul(spec, options));
+  return std::move(wf.graph);
+}
+
 /// Runs one experiment, optionally in hybrid placement mode
 /// (--hybrid re-executes the built workflow with spilling enabled).
 tb::Result<tb::analysis::ExperimentResult> RunMaybeHybrid(
@@ -184,25 +212,7 @@ tb::Result<tb::analysis::ExperimentResult> RunMaybeHybrid(
   TB_ASSIGN_OR_RETURN(tb::analysis::ExperimentResult result,
                       tb::analysis::DescribeExperiment(config));
   result.oom = false;  // hybrid degrades OOM tasks to CPU
-  TB_ASSIGN_OR_RETURN(
-      tb::data::GridSpec spec,
-      tb::data::GridSpec::CreateFromGridDim(config.dataset, config.grid_rows,
-                                            config.grid_cols));
-  tb::runtime::TaskGraph graph;
-  if (config.algorithm == Algorithm::kKMeans) {
-    tb::algos::KMeansOptions options;
-    options.num_clusters = config.clusters;
-    options.iterations = config.iterations;
-    options.processor = config.processor;
-    TB_ASSIGN_OR_RETURN(auto wf, tb::algos::BuildKMeans(spec, options));
-    graph = std::move(wf.graph);
-  } else {
-    tb::algos::MatmulOptions options;
-    options.processor = config.processor;
-    options.fma = config.algorithm == Algorithm::kMatmulFma;
-    TB_ASSIGN_OR_RETURN(auto wf, tb::algos::BuildMatmul(spec, options));
-    graph = std::move(wf.graph);
-  }
+  TB_ASSIGN_OR_RETURN(tb::runtime::TaskGraph graph, BuildGraphFor(config));
   tb::runtime::RunOptions exec = config.run;
   exec.hybrid = true;
   tb::runtime::SimulatedExecutor executor(config.cluster, exec);
@@ -216,6 +226,8 @@ tb::Result<tb::analysis::ExperimentResult> RunMaybeHybrid(
 int CmdRun(const tb::Args& args) {
   auto config = BuildConfig(args);
   if (!config.ok()) return Fail(config.status().ToString());
+  tb::obs::MetricsRegistry registry;
+  if (args.Has("metrics-json")) config->run.metrics = &registry;
   auto result = RunMaybeHybrid(args, *config);
   if (!result.ok()) return Fail(result.status().ToString());
 
@@ -235,6 +247,15 @@ int CmdRun(const tb::Args& args) {
               tb::HumanSeconds(result->makespan).c_str(),
               tb::HumanSeconds(result->parallel_task_time).c_str(),
               tb::HumanSeconds(result->report.scheduler_overhead).c_str());
+  const tb::runtime::SchedulerPhaseBreakdown& phases =
+      result->report.sched_phases;
+  if (phases.any()) {
+    std::printf("scheduler phases: ready-pop %s   locality %s   "
+                "slot-pick %s\n",
+                tb::HumanSeconds(phases.ready_pop_s).c_str(),
+                tb::HumanSeconds(phases.locality_s).c_str(),
+                tb::HumanSeconds(phases.slot_pick_s).c_str());
+  }
   const tb::runtime::FaultStats& faults = result->report.faults;
   if (faults.any()) {
     std::printf(
@@ -266,10 +287,30 @@ int CmdRun(const tb::Args& args) {
     std::printf("\n%s", tb::analysis::AsciiGantt(result->report).c_str());
   }
   if (args.Has("trace")) {
+    auto flow = args.GetBool("flow-events", false);
+    if (!flow.ok()) return Fail(flow.status().ToString());
+    tb::runtime::TraceOptions trace_options;
+    tb::runtime::TaskGraph graph;
+    if (*flow) {
+      // The run consumed its graph; rebuild it (deterministic) to
+      // recover the dependency edges the arrows are drawn from.
+      auto rebuilt = BuildGraphFor(*config);
+      if (!rebuilt.ok()) return Fail(rebuilt.status().ToString());
+      graph = std::move(*rebuilt);
+      trace_options.graph = &graph;
+      trace_options.flow_events = true;
+    }
     const tb::Status status = tb::runtime::WriteChromeTrace(
-        result->report, args.GetString("trace"));
+        result->report, args.GetString("trace"), trace_options);
     if (!status.ok()) return Fail(status.ToString());
     std::printf("trace written to %s\n", args.GetString("trace").c_str());
+  }
+  if (args.Has("metrics-json")) {
+    const tb::Status status = tb::runtime::WriteMetricsJson(
+        result->report, &registry, args.GetString("metrics-json"));
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("metrics written to %s\n",
+                args.GetString("metrics-json").c_str());
   }
   if (args.Has("csv")) {
     const tb::Status status = tb::analysis::WriteFile(
@@ -425,7 +466,8 @@ void PrintUsage() {
       "  --faults=crash@T:nN,gpuloss@T:nN,slow@T:nN:xF,storage:pP[:sS]\n"
       "  --retries=N  --retry-backoff=S\n"
       "output:\n"
-      "  --csv=PATH  --trace=PATH  --gantt\n"
+      "  --csv=PATH  --trace=PATH  --flow-events  --metrics-json=PATH\n"
+      "  --gantt\n"
       "see the header of tools/taskbench_cli.cc for details\n");
 }
 
