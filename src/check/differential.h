@@ -1,0 +1,71 @@
+#ifndef TASKBENCH_CHECK_DIFFERENTIAL_H_
+#define TASKBENCH_CHECK_DIFFERENTIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "check/workload.h"
+
+namespace taskbench::check {
+
+/// Knobs of one differential run. The defaults are what the fuzz
+/// driver and the fuzz-smoke test use.
+struct DifferentialOptions {
+  /// Also run the fault-injected legs (a FaultPlan on the simulated
+  /// executor, a FaultyStorage backend under the thread pool).
+  bool include_faults = true;
+  /// Also run the simulated-executor matrix. Off restricts the run to
+  /// the real (thread-pool) configurations.
+  bool include_sim = true;
+  /// Worker count of the "parallel" thread-pool configurations.
+  int threads = 4;
+  /// Relative tolerance for comparisons whose summation order differs
+  /// (blocked matmul kernels, the distributed-vs-dense oracle).
+  /// Configurations sharing kernel variants must agree bit-exactly.
+  double tolerance = 1e-7;
+};
+
+/// One disagreement between configurations (or a config that failed
+/// outright). `config` identifies the leg, `detail` says what
+/// diverged and by how much.
+struct Divergence {
+  std::string config;
+  std::string detail;
+};
+
+/// Outcome of executing one workload spec across the full matrix.
+struct DifferentialResult {
+  int real_configs = 0;  ///< thread-pool legs executed
+  int sim_configs = 0;   ///< simulated legs executed
+  std::vector<Divergence> divergences;
+
+  bool ok() const { return divergences.empty(); }
+  /// Multi-line human summary of the divergences (empty when ok).
+  std::string Summary() const;
+};
+
+/// Builds `spec` fresh per configuration (TaskGraph is move-only and
+/// the thread pool mutates values) and executes it across the matrix:
+///
+///   real:  {1, N} threads x {memory, storage} x {naive, blocked}
+///          kernels, plus a FaultyStorage-with-retries leg — every
+///          result datum compared against the 1-thread/memory/naive
+///          baseline (bit-exact for naive legs, tolerance for
+///          blocked) and against the closed-form oracle where the
+///          family has one;
+///   sim:   {fifo, locality} x {shared, local} plus a hybrid leg on
+///          the paper's Minotauro shape — each run twice and required
+///          to produce digest-identical reports, with per-task
+///          compute stages invariant across the non-hybrid legs
+///          (metamorphic: scheduling must not change modeled task
+///          work), plus fault-plan legs (node crash + slow node +
+///          transient storage faults) that must still complete;
+///
+/// every report passing check::VerifyReport and every exported
+/// trace/metrics document passing obs::ValidateJson.
+DifferentialResult RunDifferential(const WorkloadSpec& spec,
+                                   const DifferentialOptions& options);
+
+}  // namespace taskbench::check
+
+#endif  // TASKBENCH_CHECK_DIFFERENTIAL_H_

@@ -1,0 +1,68 @@
+#include "check/digest.h"
+
+#include "common/strings.h"
+
+namespace taskbench::check {
+
+uint64_t Fnv1a(uint64_t hash, const std::string& s) {
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string CanonicalHeader(const runtime::RunReport& report) {
+  return StrFormat("makespan=%.17g overhead=%.17g events=%llu\n",
+                   report.makespan, report.scheduler_overhead,
+                   static_cast<unsigned long long>(report.sim_events));
+}
+
+std::string CanonicalRecords(const runtime::RunReport& report) {
+  std::string out;
+  for (const runtime::TaskRecord& r : report.records) {
+    out += StrFormat(
+        "t=%lld type=%s level=%d proc=%s node=%d start=%.17g end=%.17g "
+        "de=%.17g sf=%.17g pf=%.17g comm=%.17g se=%.17g\n",
+        static_cast<long long>(r.task), r.type.c_str(), r.level,
+        ToString(r.processor).c_str(), r.node, r.start, r.end,
+        r.stages.deserialize, r.stages.serial_fraction,
+        r.stages.parallel_fraction, r.stages.cpu_gpu_comm,
+        r.stages.serialize);
+  }
+  return out;
+}
+
+std::string CanonicalAttempts(const runtime::RunReport& report) {
+  std::string out;
+  if (report.faults.any()) {
+    out += StrFormat(
+        "faults injected=%lld storage=%lld retries=%lld recomputed=%lld "
+        "lost_blocks=%lld dead_nodes=%lld\n",
+        static_cast<long long>(report.faults.faults_injected),
+        static_cast<long long>(report.faults.storage_faults),
+        static_cast<long long>(report.faults.retries),
+        static_cast<long long>(report.faults.recomputed_tasks),
+        static_cast<long long>(report.faults.lost_blocks),
+        static_cast<long long>(report.faults.dead_nodes));
+  }
+  for (const runtime::TaskAttempt& a : report.attempts) {
+    out += StrFormat(
+        "a=%lld attempt=%d node=%d proc=%s start=%.17g end=%.17g "
+        "outcome=%s\n",
+        static_cast<long long>(a.task), a.attempt, a.node,
+        ToString(a.processor).c_str(), a.start, a.end,
+        runtime::ToString(a.outcome).c_str());
+  }
+  return out;
+}
+
+std::string CanonicalReport(const runtime::RunReport& report) {
+  return CanonicalHeader(report) + CanonicalRecords(report);
+}
+
+uint64_t DigestReport(const runtime::RunReport& report) {
+  return Fnv1a(kFnvOffsetBasis, CanonicalReport(report));
+}
+
+}  // namespace taskbench::check

@@ -1,0 +1,41 @@
+#ifndef TASKBENCH_CHECK_DIGEST_H_
+#define TASKBENCH_CHECK_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/metrics.h"
+
+namespace taskbench::check {
+
+/// FNV-1a offset basis; every digest chain starts here.
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+
+/// Folds `s` into a running FNV-1a hash.
+uint64_t Fnv1a(uint64_t hash, const std::string& s);
+
+/// Canonical text of the report header: makespan, scheduler overhead
+/// and executed event count, printed with full double precision so
+/// two builds agree iff their timing decisions were bit-identical.
+std::string CanonicalHeader(const runtime::RunReport& report);
+
+/// Canonical text of the per-task records (one line per record, in
+/// report order).
+std::string CanonicalRecords(const runtime::RunReport& report);
+
+/// Canonical text of the attempt log and fault counters. Empty on
+/// fault-free runs, so fault-free digests are unchanged by the fault
+/// subsystem.
+std::string CanonicalAttempts(const runtime::RunReport& report);
+
+/// Full canonical report: header followed by records. This is the
+/// exact string `tools/report_digest` has always hashed — the
+/// cross-build TOTAL digest depends on it staying byte-stable.
+std::string CanonicalReport(const runtime::RunReport& report);
+
+/// 64-bit FNV-1a digest of CanonicalReport(report).
+uint64_t DigestReport(const runtime::RunReport& report);
+
+}  // namespace taskbench::check
+
+#endif  // TASKBENCH_CHECK_DIGEST_H_

@@ -1,0 +1,95 @@
+#ifndef TASKBENCH_CHECK_WORKLOAD_H_
+#define TASKBENCH_CHECK_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/matrix.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::check {
+
+/// DAG families the randomized workload generator draws from. The
+/// synthetic families stress the runtime's dependency machinery
+/// (INOUT chains, fan-out/fan-in joins, wide layers, random DAGs);
+/// the algorithm families stress the real workflow builders with
+/// randomized block shapes and grids, exactly the corpus-style
+/// coverage WfBench argues hand-written benchmarks lack.
+enum class Family {
+  kChain,        ///< INOUT accumulator chain with interleaved transposes
+  kFanOutFanIn,  ///< one producer, W independent middles, one reduce
+  kWideLayers,   ///< L layers of W tasks, each reading the layer above
+  kRandomDag,    ///< random edges over a growing datum pool
+  kMatmul,       ///< algos::BuildMatmul with a randomized grid
+  kMatmulFma,    ///< the FMA matmul variant (Figure 12 generalizability)
+  kKMeans,       ///< algos::BuildKMeans with randomized blocks/k/iters
+};
+
+std::string ToString(Family family);
+
+/// A fully-determined workload description. Two BuildWorkload calls
+/// on the same spec produce identical graphs (same structure, same
+/// materialized values, same costs) — the property the differential
+/// runner depends on, since TaskGraph is move-only and the thread
+/// pool mutates graph values, so every execution config gets a fresh
+/// build.
+struct WorkloadSpec {
+  Family family = Family::kChain;
+  uint64_t seed = 0;
+
+  // Synthetic families. `dim` is the square block edge; every
+  // synthetic datum is dim x dim so Add/Multiply/Transpose always
+  // compose.
+  int64_t dim = 16;
+  int length = 8;  ///< chain length / number of layers
+  int width = 4;   ///< fan-out width / tasks per layer
+  int gpu_every = 0;  ///< every n-th task targets the GPU; 0 = none
+
+  // Matmul families: C = A(rows x inner) * B(inner x cols). A is
+  // blocked block_rows x block_cols; B is blocked block_cols x
+  // block_cols_b (the compatibility constraint of BuildMatmul).
+  int64_t rows = 32, inner = 32, cols = 32;
+  int64_t block_rows = 16, block_cols = 16, block_cols_b = 16;
+
+  // K-means family.
+  int64_t samples = 48, features = 3;
+  int clusters = 3, iterations = 2, kmeans_block_rows = 16;
+
+  /// One-line human description ("chain len=12 dim=24 seed=7").
+  std::string Describe() const;
+};
+
+/// Draws a random spec for `seed`: family, shape parameters and value
+/// seed all come from one seeded stream, so the corpus is stable
+/// across runs and platforms. Sizes are kept small enough that one
+/// seed's full differential matrix runs in well under a second.
+WorkloadSpec GenerateSpec(uint64_t seed);
+
+/// An independently-computed expected value for one datum (closed-form
+/// oracle; only families with one have any).
+struct OracleEntry {
+  runtime::DataId id = -1;
+  data::Matrix expected;
+};
+
+/// A built workload: the graph (materialized values + kernels for the
+/// thread pool, cost descriptors for the simulator) plus the data ids
+/// whose final values the differential runner compares.
+struct BuiltWorkload {
+  runtime::TaskGraph graph;
+  /// Data whose post-run values configurations must agree on.
+  std::vector<runtime::DataId> compare;
+  /// Closed-form expected values (matmul families: blocks of the
+  /// naively-computed full product). Empty when no closed form exists.
+  std::vector<OracleEntry> oracle;
+};
+
+/// Deterministically builds `spec` (see WorkloadSpec). Fails only on
+/// internal construction errors — every GenerateSpec output builds.
+Result<BuiltWorkload> BuildWorkload(const WorkloadSpec& spec);
+
+}  // namespace taskbench::check
+
+#endif  // TASKBENCH_CHECK_WORKLOAD_H_

@@ -1,0 +1,23 @@
+#include "runtime/invariant_check.h"
+
+namespace taskbench::runtime {
+
+VersionOracle VersionOracle::Build(const TaskGraph& graph) {
+  VersionOracle oracle;
+  oracle.offsets_.reserve(static_cast<size_t>(graph.num_tasks()));
+  std::vector<int> write_count(static_cast<size_t>(graph.num_data()), 0);
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    oracle.offsets_.push_back(oracle.ordinals_.size());
+    for (const Param& p : graph.task(t).spec.params) {
+      int& count = write_count[static_cast<size_t>(p.data)];
+      if (p.dir == Dir::kIn) {
+        oracle.ordinals_.push_back(count);
+      } else {
+        oracle.ordinals_.push_back(++count);
+      }
+    }
+  }
+  return oracle;
+}
+
+}  // namespace taskbench::runtime

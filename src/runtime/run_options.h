@@ -36,6 +36,28 @@ struct RunOptions {
   obs::MetricsRegistry* metrics = nullptr;
 
   // ---------------------------------------------------------------
+  // Shared: online invariant checking.
+  // ---------------------------------------------------------------
+  /// Verify runtime invariants while executing: every task starts only
+  /// after all its dependencies completed, and every datum access
+  /// observes exactly the version its writer ordinal predicts (no
+  /// stale read, no read of a block that was never published). The
+  /// simulated path additionally verifies conservation laws after the
+  /// run: per-node busy time never exceeds makespan x slot capacity,
+  /// storage-resource byte counters match the graph's block sizes, and
+  /// the scheduler phase breakdown sums to the decision overhead.
+  /// Violations fail the run with a FailedPrecondition status whose
+  /// message starts with "invariant violation".
+  ///
+  /// On by default: the checks read counters that are maintained
+  /// anyway, never perturb the event sequence or any floating-point
+  /// accumulation, and cost well under 5% on the thread-pool stress
+  /// suite. Dependency/version checks are skipped while a fault plan
+  /// is active (recovery legitimately re-opens dependencies and
+  /// republishes blocks); the conservation checks stay on.
+  bool check_invariants = true;
+
+  // ---------------------------------------------------------------
   // Shared: fault tolerance.
   // ---------------------------------------------------------------
   /// Fault-injection plan (simulated executor only; the thread-pool

@@ -1,6 +1,7 @@
 #include "runtime/simulated_executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -18,6 +19,7 @@
 #include "obs/metrics.h"
 #include "perf/cost_model.h"
 #include "runtime/fault.h"
+#include "runtime/invariant_check.h"
 #include "runtime/ready_queue.h"
 #include "runtime/scheduler.h"
 #include "sim/bandwidth_resource.h"
@@ -54,6 +56,11 @@ class SimState {
         graph_(graph),
         model_(cluster),
         scheduler_(MakeScheduler(options.policy)),
+        // Dependency/version checks assume the fault-free execution
+        // order; recovery legitimately re-opens completed deps and
+        // republishes blocks, so they gate off under a fault plan.
+        // The end-of-run conservation checks stay on either way.
+        check_order_(options.check_invariants && options.faults.empty()),
         faults_active_(!options.faults.empty()),
         storage_rng_(options.faults.seed) {
     const int nodes = cluster_.num_nodes;
@@ -117,6 +124,11 @@ class SimState {
 
     if (options_.policy == SchedulingPolicy::kDataLocality) {
       locality_ = std::make_unique<LocalityCache>(graph_, &data_home_);
+    }
+
+    if (check_order_) {
+      version_oracle_ = VersionOracle::Build(graph_);
+      data_version_.assign(static_cast<size_t>(graph_.num_data()), 0);
     }
 
     node_dead_.assign(static_cast<size_t>(nodes), 0);
@@ -216,6 +228,9 @@ class SimState {
           faults_active_
               ? ", or injected faults removed every capable node"
               : ""));
+    }
+    if (options_.check_invariants) {
+      TB_RETURN_IF_ERROR(CheckConservation());
     }
     RunReport report;
     report.records = std::move(records_);
@@ -395,6 +410,18 @@ class SimState {
   }
 
   void StartTask(TaskRun* run) {
+    if (check_order_) {
+      for (TaskId dep : graph_.task(run->id).deps) {
+        if (completed_flag_[static_cast<size_t>(dep)] == 0) {
+          Fail(Status::FailedPrecondition(StrFormat(
+              "invariant violation: task %lld started before dependency "
+              "%lld completed",
+              static_cast<long long>(run->id),
+              static_cast<long long>(dep))));
+          return;
+        }
+      }
+    }
     run->dispatch_done = simulator_.Now();
     run->deser_start = simulator_.Now();
     ReadNextInput(run);
@@ -414,7 +441,24 @@ class SimState {
       Compute(run);
       return;
     }
+    const size_t param_idx = run->next_input;
     const DataId d = params[run->next_input++].data;
+    if (check_order_) {
+      // An INOUT's read side expects the version preceding its own
+      // write ordinal.
+      const int expected =
+          version_oracle_.ordinal(run->id, param_idx) -
+          (params[param_idx].dir == Dir::kInOut ? 1 : 0);
+      const int actual = data_version_[static_cast<size_t>(d)];
+      if (actual != expected) {
+        Fail(Status::FailedPrecondition(StrFormat(
+            "invariant violation: task %lld read datum %lld at version "
+            "%d, expected %d (stale or unpublished block)",
+            static_cast<long long>(run->id), static_cast<long long>(d),
+            actual, expected)));
+        return;
+      }
+    }
     const uint64_t bytes = graph_.data(d).bytes;
     const bool faulty = DrawStorageFault();
     auto cont = [this, run, faulty]() {
@@ -499,7 +543,13 @@ class SimState {
       FinishTask(run);
       return;
     }
+    const size_t param_idx = run->next_output;
     const DataId d = params[run->next_output++].data;
+    if (check_order_) {
+      // Publish the writer ordinal (idempotent set, not increment).
+      data_version_[static_cast<size_t>(d)] =
+          version_oracle_.ordinal(run->id, param_idx);
+    }
     const uint64_t bytes = graph_.data(d).bytes;
     // Outputs are written to the executing node's disk (local) or to
     // the shared filesystem; either way the datum's home becomes the
@@ -585,6 +635,95 @@ class SimState {
     RetireRun(run);
     ReleaseRun(run);
     ScheduleLoop();
+  }
+
+  /// End-of-run conservation laws (RunOptions::check_invariants).
+  /// Pure reads over state the run maintained anyway — nothing here
+  /// can perturb the event sequence or the report.
+  Status CheckConservation() const {
+    // (1) Occupancy: a slot runs one task at a time, so per-node busy
+    // time per processor class never exceeds makespan x capacity.
+    // Holds under faults too — records hold only completed attempts
+    // and capacity only ever shrinks.
+    const double time_tol = 1e-9 * makespan_ + 1e-12;
+    std::vector<double> cpu_busy(static_cast<size_t>(cluster_.num_nodes), 0);
+    std::vector<double> gpu_busy(static_cast<size_t>(cluster_.num_nodes), 0);
+    for (const TaskRecord& rec : records_) {
+      if (rec.task < 0 || rec.node < 0) continue;
+      auto& busy = rec.processor == Processor::kCpu ? cpu_busy : gpu_busy;
+      busy[static_cast<size_t>(rec.node)] += rec.duration();
+    }
+    for (int n = 0; n < cluster_.num_nodes; ++n) {
+      const double cpu_cap = makespan_ * cluster_.cores_per_node;
+      const double gpu_cap = makespan_ * cluster_.gpus_per_node;
+      if (cpu_busy[static_cast<size_t>(n)] >
+              cpu_cap + time_tol * cluster_.cores_per_node ||
+          gpu_busy[static_cast<size_t>(n)] >
+              gpu_cap + time_tol * std::max(1, cluster_.gpus_per_node)) {
+        return Status::FailedPrecondition(StrFormat(
+            "invariant violation: node %d busy time (cpu=%.17g gpu=%.17g) "
+            "exceeds makespan %.17g x slot capacity (%d cores, %d gpus)",
+            n, cpu_busy[static_cast<size_t>(n)],
+            gpu_busy[static_cast<size_t>(n)], makespan_,
+            cluster_.cores_per_node, cluster_.gpus_per_node));
+      }
+    }
+
+    // (2) Scheduler accounting: the per-phase split must sum to the
+    // decision overhead (both are the same per-decision quantity
+    // accumulated two ways, so they agree to rounding).
+    const double n = static_cast<double>(decisions_);
+    const double phase_total = (phase_split_.ready_pop_s +
+                                phase_split_.locality_s +
+                                phase_split_.slot_pick_s) *
+                               n;
+    const double overhead_tol = 1e-9 * (scheduler_overhead_ + 1e-12) * (n + 1);
+    if (std::abs(phase_total - scheduler_overhead_) > overhead_tol) {
+      return Status::FailedPrecondition(StrFormat(
+          "invariant violation: DecisionPhases sum %.17g != scheduler "
+          "overhead %.17g over %lld decisions",
+          phase_total, scheduler_overhead_,
+          static_cast<long long>(decisions_)));
+    }
+
+    // (3) Byte conservation: every param of every task crosses a
+    // storage resource exactly once per access (reads through the
+    // datum's disk, writes through the producer's), so the resources'
+    // byte counters must add up to the graph's block sizes. Fault
+    // runs re-read and re-write during recovery; skip.
+    if (!faults_active_) {
+      uint64_t expected = 0;
+      uint64_t expected_reads = 0;
+      for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+        for (const Param& p : graph_.task(t).spec.params) {
+          const uint64_t bytes = graph_.data(p.data).bytes;
+          if (p.dir != Dir::kOut) expected_reads += bytes;
+          if (p.dir == Dir::kInOut) expected += 2 * bytes;
+          else expected += bytes;
+        }
+      }
+      uint64_t disk_total = 0;
+      if (options_.storage == hw::StorageArchitecture::kSharedDisk) {
+        disk_total = shared_disk_->total_bytes();
+      } else {
+        for (const auto& disk : local_disks_) {
+          disk_total += disk->total_bytes();
+        }
+      }
+      // Remote reads under local-disk storage additionally stream the
+      // network; that leg duplicates (a subset of) the read bytes.
+      if (disk_total != expected ||
+          network_->total_bytes() > expected_reads) {
+        return Status::FailedPrecondition(StrFormat(
+            "invariant violation: storage moved %llu bytes, graph "
+            "blocks demand %llu (network %llu of <= %llu read bytes)",
+            static_cast<unsigned long long>(disk_total),
+            static_cast<unsigned long long>(expected),
+            static_cast<unsigned long long>(network_->total_bytes()),
+            static_cast<unsigned long long>(expected_reads)));
+      }
+    }
+    return Status::OK();
   }
 
   // ----------------------------------------------------------------
@@ -857,6 +996,13 @@ class SimState {
   std::deque<TaskRun> run_pool_;    ///< stable storage for live runs
   std::vector<TaskRun*> free_runs_;
   std::vector<TaskRun*> live_runs_;
+
+  // Online invariant checking (RunOptions::check_invariants). The
+  // oracle and version vector exist only when the order checks are
+  // active; CheckConservation reads run state that exists anyway.
+  const bool check_order_;
+  VersionOracle version_oracle_;
+  std::vector<int> data_version_;
 
   // Fault-tolerance state. Allocated unconditionally (cheap), but only
   // mutated by fault paths; `faults_active_` gates every behavioural

@@ -16,6 +16,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "runtime/invariant_check.h"
 #include "runtime/sharded_value_store.h"
 #include "runtime/work_stealing_queue.h"
 #include "storage/serializer.h"
@@ -140,6 +141,26 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
     }
   }
   pool.num_ready.store(initially_ready, std::memory_order_relaxed);
+
+  // Online invariant checking: dependency-completion flags plus the
+  // datum version each access must observe (writer ordinals, set
+  // idempotently so retries cannot trip the check). The checks read
+  // and write a handful of atomics per task — no locks, no effect on
+  // scheduling or values.
+  const bool check = options_.check_invariants;
+  VersionOracle oracle;
+  std::vector<std::atomic<int>> data_version;
+  std::vector<std::atomic<char>> completed_flag;
+  if (check) {
+    oracle = VersionOracle::Build(graph);
+    std::vector<std::atomic<int>> versions(
+        static_cast<size_t>(graph.num_data()));
+    data_version = std::move(versions);
+    std::vector<std::atomic<char>> flags(static_cast<size_t>(total));
+    completed_flag = std::move(flags);
+    for (auto& v : data_version) v.store(0, std::memory_order_relaxed);
+    for (auto& f : completed_flag) f.store(0, std::memory_order_relaxed);
+  }
 
   // Memory-mode value store; unused (size 0) in storage mode.
   ShardedValueStore values(options_.use_storage ? 0 : graph.num_data());
@@ -410,6 +431,45 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
       if (wt != nullptr && stolen) wt->steals->Add(1);
       pool.num_ready.fetch_sub(1, std::memory_order_seq_cst);
 
+      // Invariants at claim time: every dependency completed, and
+      // every input sits at exactly the version this task's writer
+      // ordinal predicts. Checked once per task (first attempt); a
+      // retried attempt may legitimately re-read its own partial
+      // INOUT writes.
+      if (check) {
+        const Task& task = graph.task(id);
+        for (TaskId dep : task.deps) {
+          if (completed_flag[static_cast<size_t>(dep)].load(
+                  std::memory_order_acquire) == 0) {
+            fail_run(Status::FailedPrecondition(StrFormat(
+                         "invariant violation: task claimed before "
+                         "dependency %lld completed",
+                         static_cast<long long>(dep))),
+                     id, 1);
+            return;
+          }
+        }
+        for (size_t i = 0; i < task.spec.params.size(); ++i) {
+          const Param& p = task.spec.params[i];
+          if (p.dir == Dir::kOut) continue;
+          const int expected =
+              oracle.ordinal(id, i) - (p.dir == Dir::kInOut ? 1 : 0);
+          const int actual =
+              data_version[static_cast<size_t>(p.data)].load(
+                  std::memory_order_acquire);
+          if (actual != expected) {
+            fail_run(Status::FailedPrecondition(StrFormat(
+                         "invariant violation: datum %lld read at "
+                         "version %d, expected %d (stale or "
+                         "unpublished block)",
+                         static_cast<long long>(p.data), actual,
+                         expected)),
+                     id, 1);
+            return;
+          }
+        }
+      }
+
       // Per-task retry loop: transient failures (e.g. a
       // fault-injecting storage backend) are retried with exponential
       // backoff until the budget is spent. With the default budget of
@@ -439,6 +499,22 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
       if (!status.ok()) {
         fail_run(std::move(status), id, attempt);
         return;
+      }
+
+      // Publish writer ordinals and the completion flag before the
+      // successor countdown below: the fetch_sub(acq_rel) / Steal
+      // pair then carries these stores to whichever worker claims a
+      // released successor.
+      if (check) {
+        const Task& task = graph.task(id);
+        for (size_t i = 0; i < task.spec.params.size(); ++i) {
+          const Param& p = task.spec.params[i];
+          if (p.dir == Dir::kIn) continue;
+          data_version[static_cast<size_t>(p.data)].store(
+              oracle.ordinal(id, i), std::memory_order_release);
+        }
+        completed_flag[static_cast<size_t>(id)].store(
+            1, std::memory_order_release);
       }
 
       if (options_.max_retries > 0) {
@@ -490,6 +566,25 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   for (std::thread& t : threads) t.join();
 
   if (pool.failed.load(std::memory_order_seq_cst)) return pool.failure;
+
+  if (check) {
+    // Conservation: tasks run one-at-a-time per worker, so total busy
+    // time cannot exceed workers x makespan (all timestamps share one
+    // monotonic clock and every task ran inside [0, makespan]).
+    double busy = 0;
+    double max_end = 0;
+    for (const TaskRecord& rec : records) {
+      busy += rec.duration();
+      max_end = std::max(max_end, rec.end);
+    }
+    const double cap = max_end * num_workers;
+    if (busy > cap + 1e-9 * cap + 1e-12) {
+      return Status::FailedPrecondition(StrFormat(
+          "invariant violation: total busy time %.17g exceeds %d "
+          "workers x makespan %.17g",
+          busy, num_workers, max_end));
+    }
+  }
 
   if (telemetry) {
     obs::MetricsRegistry& merged = *options_.metrics;

@@ -1,0 +1,71 @@
+// Fuzz smoke: a handful of seeds through the full differential
+// matrix (the nightly job runs hundreds). Any divergence is a real
+// bug in an executor, a kernel, a scheduler or the checker itself —
+// the failure message carries the per-config detail and the seed is
+// the complete repro.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "check/differential.h"
+#include "check/workload.h"
+
+namespace taskbench::check {
+namespace {
+
+TEST(DifferentialSmokeTest, FirstSeedsAgreeAcrossTheMatrix) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const WorkloadSpec spec = GenerateSpec(seed);
+    const DifferentialResult result =
+        RunDifferential(spec, DifferentialOptions{});
+    EXPECT_TRUE(result.ok()) << "seed " << seed << " ("
+                             << spec.Describe() << ") diverged:\n"
+                             << result.Summary();
+    EXPECT_GE(result.real_configs, 7);
+    EXPECT_GE(result.sim_configs, 7);
+  }
+}
+
+TEST(DifferentialSmokeTest, RealOnlyModeSkipsSimLegs) {
+  DifferentialOptions options;
+  options.include_sim = false;
+  options.include_faults = false;
+  const DifferentialResult result =
+      RunDifferential(GenerateSpec(1), options);
+  EXPECT_TRUE(result.ok()) << result.Summary();
+  EXPECT_EQ(result.sim_configs, 0);
+  EXPECT_EQ(result.real_configs, 6);  // no faulty-storage leg either
+}
+
+TEST(DifferentialSmokeTest, EveryFamilySurvivesOneSweep) {
+  for (int f = 0; f < 7; ++f) {
+    WorkloadSpec spec = GenerateSpec(2);
+    spec.family = static_cast<Family>(f);
+    DifferentialOptions options;
+    options.include_faults = false;  // keep the smoke fast
+    const DifferentialResult result = RunDifferential(spec, options);
+    EXPECT_TRUE(result.ok()) << spec.Describe() << " diverged:\n"
+                             << result.Summary();
+  }
+}
+
+// Long sweep, excluded from a plain `ctest` run: skips unless
+// TASKBENCH_STRESS=1 (the labeled CI step sets it; locally use
+// `TASKBENCH_STRESS=1 ctest -L fuzz-smoke`).
+TEST(DifferentialSmokeTest, LongRandomSweep) {
+  if (std::getenv("TASKBENCH_STRESS") == nullptr) {
+    GTEST_SKIP() << "set TASKBENCH_STRESS=1 to run the long sweep";
+  }
+  for (uint64_t seed = 6; seed < 40; ++seed) {
+    const WorkloadSpec spec = GenerateSpec(seed);
+    const DifferentialResult result =
+        RunDifferential(spec, DifferentialOptions{});
+    EXPECT_TRUE(result.ok()) << "seed " << seed << " ("
+                             << spec.Describe() << ") diverged:\n"
+                             << result.Summary();
+  }
+}
+
+}  // namespace
+}  // namespace taskbench::check

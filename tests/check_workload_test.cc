@@ -1,0 +1,117 @@
+// The workload generator that feeds the fuzzer: specs must be
+// deterministic per seed, cover every family across a seed sweep,
+// build into executable graphs, and carry closed-form oracles where
+// the family has one.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "check/workload.h"
+#include "data/kernels.h"
+#include "runtime/run_options.h"
+#include "runtime/thread_pool_executor.h"
+
+namespace taskbench::check {
+namespace {
+
+TEST(GenerateSpecTest, DeterministicPerSeed) {
+  for (uint64_t seed : {0ull, 1ull, 17ull, 123456789ull}) {
+    const WorkloadSpec a = GenerateSpec(seed);
+    const WorkloadSpec b = GenerateSpec(seed);
+    EXPECT_EQ(a.Describe(), b.Describe());
+    EXPECT_EQ(a.family, b.family);
+    EXPECT_EQ(a.seed, seed);
+  }
+}
+
+TEST(GenerateSpecTest, SweepCoversEveryFamily) {
+  std::set<Family> seen;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    seen.insert(GenerateSpec(seed).family);
+  }
+  EXPECT_EQ(seen.size(), 7u) << "64 seeds should hit all 7 families";
+}
+
+TEST(GenerateSpecTest, MatmulShapesDivideIntoBlocks) {
+  for (uint64_t seed = 0; seed < 128; ++seed) {
+    const WorkloadSpec spec = GenerateSpec(seed);
+    if (spec.family != Family::kMatmul &&
+        spec.family != Family::kMatmulFma) {
+      continue;
+    }
+    EXPECT_EQ(spec.rows % spec.block_rows, 0) << spec.Describe();
+    EXPECT_EQ(spec.inner % spec.block_cols, 0) << spec.Describe();
+    EXPECT_EQ(spec.cols % spec.block_cols_b, 0) << spec.Describe();
+  }
+}
+
+TEST(BuildWorkloadTest, EveryFamilyBuildsAndRuns) {
+  for (int f = 0; f < 7; ++f) {
+    WorkloadSpec spec = GenerateSpec(0);
+    spec.family = static_cast<Family>(f);
+    spec.seed = 5;
+    auto built = BuildWorkload(spec);
+    ASSERT_TRUE(built.ok()) << spec.Describe() << ": "
+                            << built.status().ToString();
+    EXPECT_GT(built->graph.num_tasks(), 0) << spec.Describe();
+    EXPECT_FALSE(built->compare.empty()) << spec.Describe();
+
+    runtime::RunOptions options;
+    options.num_threads = 2;
+    options.use_storage = false;
+    runtime::ThreadPoolExecutor executor(options);
+    auto report = executor.Execute(built->graph);
+    EXPECT_TRUE(report.ok())
+        << spec.Describe() << ": " << report.status().ToString();
+  }
+}
+
+TEST(BuildWorkloadTest, SameSeedBuildsIdenticalInitialValues) {
+  const WorkloadSpec spec = GenerateSpec(3);
+  auto a = BuildWorkload(spec);
+  auto b = BuildWorkload(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->graph.num_data(), b->graph.num_data());
+  for (runtime::DataId d = 0; d < a->graph.num_data(); ++d) {
+    const auto& va = a->graph.data(d).value;
+    const auto& vb = b->graph.data(d).value;
+    ASSERT_EQ(va.has_value(), vb.has_value());
+    if (va.has_value()) {
+      EXPECT_TRUE(*va == *vb) << "datum " << d << " differs";
+    }
+  }
+}
+
+TEST(BuildWorkloadTest, MatmulOracleMatchesExecution) {
+  WorkloadSpec spec = GenerateSpec(0);
+  spec.family = Family::kMatmul;
+  spec.seed = 11;
+  spec.rows = 24;
+  spec.inner = 18;
+  spec.cols = 12;
+  spec.block_rows = 8;
+  spec.block_cols = 6;
+  spec.block_cols_b = 6;
+  auto built = BuildWorkload(spec);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_FALSE(built->oracle.empty());
+
+  runtime::RunOptions options;
+  options.num_threads = 1;
+  options.use_storage = false;
+  runtime::ThreadPoolExecutor executor(options);
+  auto report = executor.Execute(built->graph);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const OracleEntry& entry : built->oracle) {
+    auto got = executor.FetchData(built->graph, entry.id);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(got->ApproxEquals(entry.expected, 1e-9))
+        << "datum " << entry.id
+        << " max diff: " << got->MaxAbsDiff(entry.expected);
+  }
+}
+
+}  // namespace
+}  // namespace taskbench::check

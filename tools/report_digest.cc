@@ -5,14 +5,20 @@
 // cross-build determinism check used to validate scheduler/executor
 // refactors (the in-build variant lives in tests/determinism_test.cc).
 //
-// Usage: report_digest
+// Usage: report_digest [--list]
+//
+// --list additionally splits every configuration's digest into its
+// canonical sections (header / records / attempts) so a cross-build
+// mismatch can be localized without diffing full reports.
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <random>
 #include <string>
 #include <vector>
 
+#include "check/digest.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "hw/cluster.h"
@@ -22,37 +28,15 @@
 namespace taskbench {
 namespace {
 
+using check::CanonicalReport;
+using check::Fnv1a;
+using check::kFnvOffsetBasis;
 using runtime::DataId;
 using runtime::Dir;
 using runtime::RunReport;
 using runtime::TaskGraph;
 using runtime::TaskId;
 using runtime::TaskSpec;
-
-uint64_t Fnv1a(uint64_t hash, const std::string& s) {
-  for (unsigned char c : s) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
-std::string CanonicalReport(const RunReport& report) {
-  std::string out = StrFormat("makespan=%.17g overhead=%.17g events=%llu\n",
-                              report.makespan, report.scheduler_overhead,
-                              static_cast<unsigned long long>(report.sim_events));
-  for (const runtime::TaskRecord& r : report.records) {
-    out += StrFormat(
-        "t=%lld type=%s level=%d proc=%s node=%d start=%.17g end=%.17g "
-        "de=%.17g sf=%.17g pf=%.17g comm=%.17g se=%.17g\n",
-        static_cast<long long>(r.task), r.type.c_str(), r.level,
-        ToString(r.processor).c_str(), r.node, r.start, r.end,
-        r.stages.deserialize, r.stages.serial_fraction,
-        r.stages.parallel_fraction, r.stages.cpu_gpu_comm,
-        r.stages.serialize);
-  }
-  return out;
-}
 
 perf::TaskCost CostFor(uint64_t bytes, bool gpu) {
   perf::TaskCost cost;
@@ -185,7 +169,7 @@ TaskGraph OomWide(int n) {
   return graph;
 }
 
-void DigestAll() {
+void DigestAll(bool list) {
   struct NamedGraph {
     std::string name;
     TaskGraph graph;
@@ -210,7 +194,7 @@ void DigestAll() {
   tiny.gpus_per_node = 1;
   clusters.push_back({"tiny", tiny});
 
-  uint64_t all = 14695981039346656037ull;
+  uint64_t all = kFnvOffsetBasis;
   for (const NamedGraph& g : graphs) {
     for (const NamedCluster& c : clusters) {
       for (auto storage : {hw::StorageArchitecture::kSharedDisk,
@@ -231,14 +215,23 @@ void DigestAll() {
               canonical = StrFormat("status=%s\n",
                                     report.status().ToString().c_str());
             }
-            const uint64_t digest =
-                Fnv1a(14695981039346656037ull, canonical);
+            const uint64_t digest = Fnv1a(kFnvOffsetBasis, canonical);
             all = Fnv1a(all, canonical);
             std::printf("%-16s %-10s %-6s %-16s hybrid=%d  %016llx\n",
                         g.name.c_str(), c.name.c_str(),
                         ToString(storage).c_str(), ToString(policy).c_str(),
                         hybrid ? 1 : 0,
                         static_cast<unsigned long long>(digest));
+            if (list && report.ok()) {
+              std::printf(
+                  "  header=%016llx records=%016llx attempts=%016llx\n",
+                  static_cast<unsigned long long>(Fnv1a(
+                      kFnvOffsetBasis, check::CanonicalHeader(*report))),
+                  static_cast<unsigned long long>(Fnv1a(
+                      kFnvOffsetBasis, check::CanonicalRecords(*report))),
+                  static_cast<unsigned long long>(Fnv1a(
+                      kFnvOffsetBasis, check::CanonicalAttempts(*report))));
+            }
           }
         }
       }
@@ -250,7 +243,16 @@ void DigestAll() {
 }  // namespace
 }  // namespace taskbench
 
-int main() {
-  taskbench::DigestAll();
+int main(int argc, char** argv) {
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else {
+      std::fprintf(stderr, "usage: report_digest [--list]\n");
+      return 2;
+    }
+  }
+  taskbench::DigestAll(list);
   return 0;
 }

@@ -1,0 +1,110 @@
+// Randomized differential fuzzer: derives a workload from each seed
+// (graph family, shapes, block sizes, processor mix) and executes it
+// across the executor matrix — thread counts, storage backends,
+// kernel variants, schedulers, storage architectures, fault injection
+// — requiring every configuration to agree with the baseline and
+// every report to pass the invariant checker. Any disagreement is a
+// divergence: the tool prints the seed, the offending configuration
+// and a single-seed repro command, then exits non-zero.
+//
+// Usage: taskbench_fuzz [--seeds A..B | --seeds N] [--threads T]
+//                       [--no-faults] [--no-sim] [--verbose]
+//
+//   --seeds 0..99   inclusive seed range (default 0..19)
+//   --seeds 100     shorthand for 0..99
+//   --threads T     worker count of the parallel legs (default 4)
+//   --no-faults     skip the fault-injection legs
+//   --no-sim        skip the simulated-executor matrix
+//   --verbose       print every seed's workload and config counts
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/differential.h"
+#include "check/workload.h"
+
+namespace {
+
+bool ParseSeeds(const char* arg, uint64_t* first, uint64_t* last) {
+  const char* dots = std::strstr(arg, "..");
+  char* end = nullptr;
+  if (dots == nullptr) {
+    const unsigned long long n = std::strtoull(arg, &end, 10);
+    if (end == arg || *end != '\0' || n == 0) return false;
+    *first = 0;
+    *last = n - 1;
+    return true;
+  }
+  const unsigned long long a = std::strtoull(arg, &end, 10);
+  if (end != dots) return false;
+  const char* rest = dots + 2;
+  const unsigned long long b = std::strtoull(rest, &end, 10);
+  if (end == rest || *end != '\0' || b < a) return false;
+  *first = a;
+  *last = b;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: taskbench_fuzz [--seeds A..B | --seeds N] "
+               "[--threads T] [--no-faults] [--no-sim] [--verbose]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t first = 0;
+  uint64_t last = 19;
+  bool verbose = false;
+  taskbench::check::DifferentialOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      if (!ParseSeeds(argv[++i], &first, &last)) return Usage();
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+      if (options.threads < 1) return Usage();
+    } else if (std::strcmp(argv[i], "--no-faults") == 0) {
+      options.include_faults = false;
+    } else if (std::strcmp(argv[i], "--no-sim") == 0) {
+      options.include_sim = false;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  uint64_t divergent_seeds = 0;
+  for (uint64_t seed = first; seed <= last; ++seed) {
+    const taskbench::check::WorkloadSpec spec =
+        taskbench::check::GenerateSpec(seed);
+    const taskbench::check::DifferentialResult result =
+        taskbench::check::RunDifferential(spec, options);
+    if (verbose || !result.ok()) {
+      std::printf("seed %llu: %s (%d real + %d sim configs)%s\n",
+                  static_cast<unsigned long long>(seed),
+                  spec.Describe().c_str(), result.real_configs,
+                  result.sim_configs, result.ok() ? " ok" : " DIVERGED");
+    }
+    if (!result.ok()) {
+      ++divergent_seeds;
+      std::fputs(result.Summary().c_str(), stdout);
+      std::printf("  repro: taskbench_fuzz --seeds %llu..%llu%s%s\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(seed),
+                  options.include_faults ? "" : " --no-faults",
+                  options.include_sim ? "" : " --no-sim");
+    }
+  }
+
+  const uint64_t total = last - first + 1;
+  std::printf("%llu/%llu seeds clean\n",
+              static_cast<unsigned long long>(total - divergent_seeds),
+              static_cast<unsigned long long>(total));
+  return divergent_seeds == 0 ? 0 : 1;
+}
