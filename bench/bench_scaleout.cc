@@ -1,0 +1,233 @@
+// Scale-out plane bench: the multi-process executor's accountability
+// numbers.
+//
+//   scaleout — wall time and tasks/sec for the same wide matmul DAG
+//              on the 1-thread pool (in-process baseline), then on
+//              1/2/4 forked shm workers. Speedups are reported vs the
+//              1-worker multi-process run, so they isolate scaling of
+//              the process plane from the serialize-through-shm tax
+//              (which the p1-vs-t1 ratio exposes separately).
+//   exact    — every leg's outputs are compared bit-for-bit against
+//              the thread-pool baseline; the bench aborts on any
+//              divergence, so a committed JSON implies correctness.
+//
+// The >= 1.5x two-to-four-worker scaling target only means anything
+// with >= 4 physical cores; the JSON records the host shape so
+// readers (and CI) can tell a real regression from a narrow machine.
+//
+// Usage: bench_scaleout [--smoke] [--workers=1,2,4]
+//                       [--out=BENCH_scaleout.json]
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/args.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "data/matrix.h"
+#include "hw/topology.h"
+#include "runtime/multiproc_executor.h"
+#include "runtime/task_graph.h"
+#include "runtime/thread_pool_executor.h"
+
+namespace taskbench::bench {
+namespace {
+
+using runtime::Dir;
+using runtime::TaskGraph;
+using runtime::TaskSpec;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+data::Matrix RandomMatrix(int64_t n, uint64_t seed) {
+  data::Matrix m(n, n);
+  uint64_t state = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    m.data()[i] = static_cast<double>(state >> 40) / (1 << 24) - 0.5;
+  }
+  return m;
+}
+
+/// Wide embarrassingly-parallel DAG: `tasks` independent n x n
+/// matmuls over two shared inputs, the same shape the thread-pool
+/// bench uses so the two trajectories are comparable.
+TaskGraph MatmulDag(int64_t tasks, int64_t n,
+                    std::vector<runtime::DataId>* outs) {
+  TaskGraph graph;
+  const runtime::DataId a = graph.AddData(RandomMatrix(n, 3));
+  const runtime::DataId b = graph.AddData(RandomMatrix(n, 4));
+  for (int64_t t = 0; t < tasks; ++t) {
+    const runtime::DataId out =
+        graph.AddData(static_cast<uint64_t>(n * n * 8));
+    outs->push_back(out);
+    TaskSpec spec;
+    spec.type = "matmul";
+    spec.params = {{a, Dir::kIn}, {b, Dir::kIn}, {out, Dir::kOut}};
+    spec.kernel = [](const std::vector<const data::Matrix*>& inputs,
+                     const std::vector<data::Matrix*>& outputs) -> Status {
+      TB_ASSIGN_OR_RETURN(*outputs[0],
+                          data::Multiply(*inputs[0], *inputs[1]));
+      return Status::OK();
+    };
+    TB_CHECK_OK(graph.Submit(spec).status());
+  }
+  return graph;
+}
+
+struct Row {
+  std::string exec;  // "threads-1" or "procs-N"
+  int workers = 0;
+  bool oversubscribed = false;
+  int64_t tasks = 0;
+  double wall_s = 0;
+  double tasks_per_s = 0;
+  double speedup_vs_p1 = 0;  // process-plane scaling, p1 = 1.0
+};
+
+std::string ToJson(const std::vector<Row>& rows, int hw_threads) {
+  std::string out = "{\n";
+  out += StrFormat("  \"hardware_threads\": %d,\n", hw_threads);
+  out += StrFormat("  \"cpu_model\": \"%s\",\n", hw::HostCpuModel().c_str());
+  out += StrFormat("  \"numa_domains\": %d,\n",
+                   hw::DetectTopology().num_domains());
+  out += "  \"bit_exact\": true,\n";
+  out += "  \"runs\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out += StrFormat(
+        "    {\"exec\": \"%s\", \"workers\": %d, \"oversubscribed\": %s, "
+        "\"tasks\": %lld, \"wall_s\": %.6f, \"tasks_per_s\": %.1f, "
+        "\"speedup_vs_1proc\": %.3f}%s\n",
+        r.exec.c_str(), r.workers, r.oversubscribed ? "true" : "false",
+        static_cast<long long>(r.tasks), r.wall_s, r.tasks_per_s,
+        r.speedup_vs_p1, i + 1 < rows.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = Args::Parse(argc, argv);
+  const bool smoke = args.GetBool("smoke", false).value_or(false);
+  const std::string out_path = args.GetString("out", "BENCH_scaleout.json");
+  const int hw_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+
+  if (!runtime::MultiProcExecutor::Supported()) {
+    std::fprintf(stderr, "multi-process execution unsupported here\n");
+    return 2;
+  }
+
+  std::vector<int> worker_counts;
+  if (args.Has("workers")) {
+    for (const std::string& s : Split(args.GetString("workers"), ',')) {
+      if (s.empty()) continue;
+      errno = 0;
+      char* end = nullptr;
+      const long n = std::strtol(s.c_str(), &end, 10);
+      if (errno != 0 || end == s.c_str() || *end != '\0' || n <= 0) {
+        std::fprintf(stderr,
+                     "error: --workers expects positive integers, got '%s'\n",
+                     s.c_str());
+        return 2;
+      }
+      worker_counts.push_back(static_cast<int>(n));
+    }
+  } else {
+    worker_counts = {1, 2, 4};
+  }
+
+  const int64_t tasks = smoke ? 16 : std::max<int64_t>(64, 16 * hw_threads);
+  const int64_t n = smoke ? 64 : 384;
+
+  std::vector<runtime::DataId> outs;
+  TaskGraph baseline_graph = MatmulDag(tasks, n, &outs);
+  runtime::RunOptions thread_options;
+  thread_options.num_threads = 1;
+  thread_options.use_storage = false;
+  runtime::ThreadPoolExecutor baseline(thread_options);
+
+  std::printf("%-10s %8s %10s %10s %12s %9s\n", "exec", "workers", "tasks",
+              "wall_s", "tasks/s", "vs_p1");
+  std::vector<Row> rows;
+  {
+    const double t0 = Now();
+    auto report = baseline.Execute(baseline_graph);
+    const double wall = Now() - t0;
+    TB_CHECK_OK(report.status());
+    Row row;
+    row.exec = "threads-1";
+    row.workers = 1;
+    row.tasks = static_cast<int64_t>(report->records.size());
+    row.wall_s = wall;
+    row.tasks_per_s = static_cast<double>(row.tasks) / std::max(wall, 1e-9);
+    std::printf("%-10s %8d %10lld %10.3f %12.1f %9s\n", row.exec.c_str(),
+                row.workers, static_cast<long long>(row.tasks), row.wall_s,
+                row.tasks_per_s, "-");
+    rows.push_back(row);
+  }
+
+  double p1_tps = 0;
+  for (const int workers : worker_counts) {
+    std::vector<runtime::DataId> ignored;
+    TaskGraph graph = MatmulDag(tasks, n, &ignored);
+    runtime::RunOptions options;
+    options.num_procs = workers;
+    runtime::MultiProcExecutor executor(options);
+    const double t0 = Now();
+    auto report = executor.Execute(graph);
+    const double wall = Now() - t0;
+    TB_CHECK_OK(report.status());
+
+    // The committed number is only worth having if the values are
+    // right: every output must match the thread-pool run bit-exact.
+    for (const runtime::DataId d : outs) {
+      auto got = executor.FetchData(graph, d);
+      auto want = baseline.FetchData(baseline_graph, d);
+      TB_CHECK_OK(got.status());
+      TB_CHECK_OK(want.status());
+      TB_CHECK(*got == *want) << "datum " << d << " diverged at " << workers
+                              << " workers";
+    }
+
+    Row row;
+    row.exec = StrFormat("procs-%d", workers);
+    row.workers = workers;
+    row.oversubscribed = workers > hw_threads;
+    row.tasks = static_cast<int64_t>(report->records.size());
+    row.wall_s = wall;
+    row.tasks_per_s = static_cast<double>(row.tasks) / std::max(wall, 1e-9);
+    if (workers == worker_counts.front()) p1_tps = row.tasks_per_s;
+    row.speedup_vs_p1 = p1_tps > 0 ? row.tasks_per_s / p1_tps : 0;
+    std::printf("%-10s %8d %10lld %10.3f %12.1f %9.2f%s\n", row.exec.c_str(),
+                row.workers, static_cast<long long>(row.tasks), row.wall_s,
+                row.tasks_per_s, row.speedup_vs_p1,
+                row.oversubscribed ? "  (oversubscribed)" : "");
+    std::fflush(stdout);
+    rows.push_back(row);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  TB_CHECK(f != nullptr) << "cannot open " << out_path;
+  const std::string json = ToJson(rows, hw_threads);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace taskbench::bench
+
+int main(int argc, char** argv) { return taskbench::bench::Main(argc, argv); }

@@ -31,6 +31,7 @@
 #include "common/strings.h"
 #include "data/kernels.h"
 #include "data/matrix.h"
+#include "hw/topology.h"
 #include "runtime/thread_pool_executor.h"
 #include "runtime/task_graph.h"
 
@@ -97,6 +98,7 @@ KernelRow RunKernelComparison(int64_t n, int reps) {
 struct ScaleRow {
   std::string section;  // "scaling" or "overhead"
   int threads = 0;
+  bool oversubscribed = false;  // threads > hardware cores
   int64_t tasks = 0;
   double wall_s = 0;
   double tasks_per_s = 0;
@@ -173,15 +175,22 @@ std::string ToJson(const KernelRow& kernel,
       "\"blocked_s\": %.6f, \"speedup\": %.3f},\n",
       static_cast<long long>(kernel.n), kernel.naive_s, kernel.blocked_s,
       kernel.speedup);
+  // Host metadata: a committed trajectory is only comparable to runs
+  // on a like host, so say what produced it.
   out += StrFormat("  \"hardware_threads\": %d,\n", hw_threads);
+  out += StrFormat("  \"cpu_model\": \"%s\",\n", hw::HostCpuModel().c_str());
+  out += StrFormat("  \"numa_domains\": %d,\n",
+                   hw::DetectTopology().num_domains());
   out += "  \"runs\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const ScaleRow& r = rows[i];
     out += StrFormat(
-        "    {\"section\": \"%s\", \"threads\": %d, \"tasks\": %lld, "
+        "    {\"section\": \"%s\", \"threads\": %d, \"oversubscribed\": %s, "
+        "\"tasks\": %lld, "
         "\"wall_s\": %.6f, \"tasks_per_s\": %.1f, \"speedup\": %.3f, "
         "\"efficiency\": %.3f}%s\n",
-        r.section.c_str(), r.threads, static_cast<long long>(r.tasks),
+        r.section.c_str(), r.threads, r.oversubscribed ? "true" : "false",
+        static_cast<long long>(r.tasks),
         r.wall_s, r.tasks_per_s, r.speedup, r.efficiency,
         i + 1 < rows.size() ? "," : "");
   }
@@ -212,9 +221,17 @@ int Main(int argc, char** argv) {
       thread_counts.push_back(static_cast<int>(n));
     }
   } else {
-    // 1, 2, 4, ... up to (and always including) the hardware count.
-    for (int t = 1; t < hw_threads; t *= 2) thread_counts.push_back(t);
-    thread_counts.push_back(hw_threads);
+    // Fixed 1-2-4-8 matrix plus the hardware count, oversubscribing
+    // where the host is narrower. A host-derived matrix collapses to
+    // a single {1} row on 1-core CI machines and records no scaling
+    // trajectory at all; oversubscribed rows at least pin down the
+    // scheduling overhead under contention.
+    thread_counts = {1, 2, 4, 8};
+    if (std::find(thread_counts.begin(), thread_counts.end(), hw_threads) ==
+        thread_counts.end()) {
+      thread_counts.push_back(hw_threads);
+      std::sort(thread_counts.begin(), thread_counts.end());
+    }
   }
 
   // --- Kernel speedup (single thread, fixed variant on each side).
@@ -244,12 +261,14 @@ int Main(int argc, char** argv) {
       if (threads == thread_counts.front()) {
         base_tps = row.tasks_per_s / threads;
       }
+      row.oversubscribed = threads > hw_threads;
       row.speedup = base_tps > 0 ? row.tasks_per_s / base_tps : 0;
       row.efficiency = row.speedup / threads;
-      std::printf("%-9s %8d %10lld %10.3f %12.1f %9.2f %11.2f\n",
+      std::printf("%-9s %8d %10lld %10.3f %12.1f %9.2f %11.2f%s\n",
                   row.section.c_str(), row.threads,
                   static_cast<long long>(row.tasks), row.wall_s,
-                  row.tasks_per_s, row.speedup, row.efficiency);
+                  row.tasks_per_s, row.speedup, row.efficiency,
+                  row.oversubscribed ? "  (oversubscribed)" : "");
       std::fflush(stdout);
       rows.push_back(row);
     }

@@ -13,6 +13,7 @@
 #include "hw/cluster.h"
 #include "runtime/fault.h"
 #include "runtime/metrics_export.h"
+#include "runtime/multiproc_executor.h"
 #include "runtime/run_options.h"
 #include "runtime/simulated_executor.h"
 #include "runtime/thread_pool_executor.h"
@@ -66,6 +67,10 @@ struct RealConfig {
   bool use_storage = false;
   KernelVariant kernels = KernelVariant::kNaive;
   bool faulty_storage = false;
+  /// > 0 selects the multi-process executor with this many forked
+  /// workers (threads/use_storage/faulty_storage are then ignored —
+  /// the shm arena is the storage).
+  int procs = 0;
 };
 
 RealRun RunReal(const WorkloadSpec& spec, const RealConfig& config) {
@@ -80,6 +85,33 @@ RealRun RunReal(const WorkloadSpec& spec, const RealConfig& config) {
   options.num_threads = config.threads;
   options.use_storage = config.use_storage;
   options.check_invariants = true;
+  if (config.procs > 0) {
+    // Multi-process leg: forked workers + shared-memory arena. The
+    // kernel variant pin above rides into the workers via fork.
+    options.num_procs = config.procs;
+    runtime::MultiProcExecutor executor(options);
+    auto result = executor.Execute(built->graph);
+    if (!result.ok()) {
+      out.status = result.status();
+      return out;
+    }
+    out.report = std::move(result).value();
+    InvariantContext context;
+    context.num_threads = config.procs;
+    out.status = VerifyReport(built->graph, out.report, context);
+    if (!out.status.ok()) return out;
+    out.values.reserve(built->compare.size());
+    for (DataId d : built->compare) {
+      auto value = executor.FetchData(built->graph, d);
+      if (!value.ok()) {
+        out.status = value.status().WithContext(
+            StrFormat("fetching datum %lld", static_cast<long long>(d)));
+        return out;
+      }
+      out.values.push_back(std::move(value).value());
+    }
+    return out;
+  }
   std::shared_ptr<storage::FaultyStorage> faulty;
   std::shared_ptr<storage::BlockStorage> store;
   if (config.faulty_storage) {
@@ -193,6 +225,16 @@ DifferentialResult RunDifferential(const WorkloadSpec& spec,
                                  options.threads),
                        options.threads, true, KernelVariant::kNaive,
                        true});
+  }
+  if (options.include_multiproc && runtime::MultiProcExecutor::Supported()) {
+    // The scale-out plane: same naive kernels, blocks moving through
+    // the shm arena instead of a BlockStorage — still bit-exact.
+    RealConfig p2{"p2-arena-naive"};
+    p2.procs = 2;
+    configs.push_back(p2);
+    RealConfig p4{"p4-arena-naive"};
+    p4.procs = 4;
+    configs.push_back(p4);
   }
 
   RealRun baseline = RunReal(spec, configs[0]);

@@ -17,6 +17,11 @@ struct DifferentialOptions {
   /// Also run the simulated-executor matrix. Off restricts the run to
   /// the real (thread-pool) configurations.
   bool include_sim = true;
+  /// Also run the multi-process (shared-memory arena) legs: 2 and 4
+  /// forked workers, required to match the single-thread baseline
+  /// bit-exactly like every other naive-kernel leg. Skipped silently
+  /// on platforms where MultiProcExecutor is unsupported.
+  bool include_multiproc = true;
   /// Worker count of the "parallel" thread-pool configurations.
   int threads = 4;
   /// Relative tolerance for comparisons whose summation order differs

@@ -1,0 +1,169 @@
+#include "hw/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/strings.h"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace taskbench::hw {
+
+namespace {
+
+/// Reads a small text file; empty optional-style "" on failure is not
+/// enough here — callers need to distinguish missing from empty, so
+/// failure returns false.
+bool ReadFileText(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return in.good() || in.eof();
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+int Topology::domain_of_worker(int worker, int num_workers) const {
+  if (domains.empty() || num_workers <= 0) return 0;
+  const int nd = num_domains();
+  if (worker < 0) return 0;
+  // Contiguous block striping: ceil-divided blocks so every domain
+  // gets within one worker of an even share.
+  return std::min(nd - 1,
+                  static_cast<int>((static_cast<int64_t>(worker) * nd) /
+                                   num_workers));
+}
+
+std::string Topology::Describe() const {
+  return StrFormat("%d domain%s x %d cpu%s", num_domains(),
+                   num_domains() == 1 ? "" : "s", total_cpus(),
+                   total_cpus() == 1 ? "" : "s");
+}
+
+Result<std::vector<int>> ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) return cpus;
+  for (const std::string& raw : Split(trimmed, ',')) {
+    const std::string entry = Trim(raw);
+    if (entry.empty()) {
+      return Status::InvalidArgument("empty entry in cpulist '" + text + "'");
+    }
+    const size_t dash = entry.find('-');
+    if (dash == std::string::npos) {
+      TB_ASSIGN_OR_RETURN(const int64_t cpu, ParseInt64(entry));
+      if (cpu < 0) {
+        return Status::InvalidArgument("negative cpu in cpulist '" + text +
+                                       "'");
+      }
+      cpus.push_back(static_cast<int>(cpu));
+      continue;
+    }
+    TB_ASSIGN_OR_RETURN(const int64_t lo, ParseInt64(entry.substr(0, dash)));
+    TB_ASSIGN_OR_RETURN(const int64_t hi, ParseInt64(entry.substr(dash + 1)));
+    if (lo < 0 || hi < lo) {
+      return Status::InvalidArgument(
+          StrFormat("bad range '%s' in cpulist", entry.c_str()));
+    }
+    if (hi - lo > 4096) {
+      return Status::InvalidArgument(
+          StrFormat("implausible cpu range '%s' in cpulist", entry.c_str()));
+    }
+    for (int64_t cpu = lo; cpu <= hi; ++cpu) {
+      cpus.push_back(static_cast<int>(cpu));
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Result<Topology> ReadTopology(const std::string& node_dir) {
+  Topology topo;
+  // Probe node0, node1, ... until the first gap. The kernel numbers
+  // online nodes densely from 0; a sparse numbering (offlined nodes)
+  // simply ends the probe early, which degrades to fewer domains, not
+  // an error.
+  for (int node = 0; node < 1024; ++node) {
+    const std::string path =
+        StrFormat("%s/node%d/cpulist", node_dir.c_str(), node);
+    std::string text;
+    if (!ReadFileText(path, &text)) break;
+    TB_ASSIGN_OR_RETURN(std::vector<int> cpus, ParseCpuList(text));
+    if (cpus.empty()) continue;  // CPU-less memory node
+    topo.domains.push_back(NumaDomain{node, std::move(cpus)});
+  }
+  if (topo.domains.empty()) {
+    return Status::NotFound("no usable node*/cpulist entries under " +
+                            node_dir);
+  }
+  return topo;
+}
+
+Topology SingleDomainTopology() {
+  Topology topo;
+  const int n = std::max(1u, std::thread::hardware_concurrency());
+  NumaDomain domain;
+  domain.id = 0;
+  domain.cpus.reserve(static_cast<size_t>(n));
+  for (int cpu = 0; cpu < n; ++cpu) domain.cpus.push_back(cpu);
+  topo.domains.push_back(std::move(domain));
+  return topo;
+}
+
+const Topology& DetectTopology() {
+  static const Topology topo = [] {
+    auto detected = ReadTopology("/sys/devices/system/node");
+    if (detected.ok()) return std::move(*detected);
+    return SingleDomainTopology();
+  }();
+  return topo;
+}
+
+std::string HostCpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    return Trim(line.substr(colon + 1));
+  }
+  return "";
+}
+
+Status PinCurrentThreadToCpus(const std::vector<int>& cpus) {
+  if (cpus.empty()) return Status::OK();
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) {
+    // A cpuset-restricted container may forbid some of the cpus; the
+    // caller treats pinning as best-effort, so report, don't crash.
+    return Status::Internal("sched_setaffinity failed");
+  }
+  return Status::OK();
+#else
+  return Status::Unimplemented("thread pinning unsupported on this platform");
+#endif
+}
+
+}  // namespace taskbench::hw

@@ -1,0 +1,82 @@
+#ifndef TASKBENCH_HW_TOPOLOGY_H_
+#define TASKBENCH_HW_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace taskbench::hw {
+
+/// One NUMA memory domain: the id the kernel gave it and the CPUs
+/// whose local memory it is.
+struct NumaDomain {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// The machine's memory topology as the scale-out plane sees it:
+/// NUMA domains play the role the paper's cluster nodes play — the
+/// multi-process executor pins one worker group per domain and the
+/// placement/steal policies prefer same-domain work, exactly like the
+/// locality scheduler prefers the node holding a block.
+struct Topology {
+  std::vector<NumaDomain> domains;
+
+  int num_domains() const { return static_cast<int>(domains.size()); }
+
+  int total_cpus() const {
+    int n = 0;
+    for (const NumaDomain& d : domains) n += static_cast<int>(d.cpus.size());
+    return n;
+  }
+
+  /// Domain a worker is assigned to when `num_workers` workers are
+  /// striped over the domains in contiguous blocks (workers of the
+  /// same domain get adjacent ids, so same-domain victim sweeps are
+  /// cache-friendly). With one domain every worker maps to 0.
+  int domain_of_worker(int worker, int num_workers) const;
+
+  /// "2 domains x 8 cpus" — for logs and bench metadata.
+  std::string Describe() const;
+};
+
+/// Parses the kernel's cpulist format: comma-separated entries, each
+/// a cpu number or an inclusive range ("0-3,8,10-11"). Empty or
+/// whitespace-only text yields an empty list.
+Result<std::vector<int>> ParseCpuList(const std::string& text);
+
+/// Reads the topology from a sysfs-style directory holding one
+/// `nodeN/cpulist` file per memory domain (production:
+/// /sys/devices/system/node). Domains with no CPUs (CPU-less memory
+/// nodes) are dropped. Fails when the directory has no usable node
+/// entries — callers normally want DetectTopology(), which falls back
+/// instead.
+Result<Topology> ReadTopology(const std::string& node_dir);
+
+/// One domain holding cpus [0, n) where n = hardware concurrency —
+/// the graceful fallback when sysfs is absent (non-Linux, containers
+/// masking /sys) or unparsable. Single-domain topologies make every
+/// topology-aware policy collapse to its pre-NUMA behaviour.
+Topology SingleDomainTopology();
+
+/// The host topology: /sys/devices/system/node when readable, the
+/// single-domain fallback otherwise. Detected once and cached (the
+/// data-plane geometry defaults consult it on every store
+/// construction).
+const Topology& DetectTopology();
+
+/// CPU model string from /proc/cpuinfo ("model name"); empty when
+/// unavailable. Recorded in bench JSON so committed trajectories say
+/// what host produced them.
+std::string HostCpuModel();
+
+/// Pins the calling thread (or process, when called before spawning
+/// threads) to `cpus`. No-op success on empty lists; Unimplemented on
+/// platforms without sched_setaffinity.
+Status PinCurrentThreadToCpus(const std::vector<int>& cpus);
+
+}  // namespace taskbench::hw
+
+#endif  // TASKBENCH_HW_TOPOLOGY_H_

@@ -1,0 +1,725 @@
+#include "runtime/multiproc_executor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "runtime/spsc_ring.h"
+#include "storage/serializer.h"
+#include "storage/shm_arena.h"
+
+#if !defined(_WIN32)
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "hw/topology.h"
+#endif
+
+namespace taskbench::runtime {
+
+MultiProcExecutor::MultiProcExecutor(RunOptions options)
+    : options_(std::move(options)) {}
+
+Result<data::Matrix> MultiProcExecutor::FetchData(const TaskGraph& graph,
+                                                  DataId id) const {
+  if (id < 0 || id >= graph.num_data()) {
+    return Status::InvalidArgument(
+        StrFormat("unknown data id %lld", static_cast<long long>(id)));
+  }
+  const DataEntry& entry = graph.data(id);
+  if (!entry.value.has_value()) {
+    return Status::NotFound(
+        StrFormat("datum %lld has no value", static_cast<long long>(id)));
+  }
+  return *entry.value;
+}
+
+#if defined(_WIN32)
+
+bool MultiProcExecutor::Supported() { return false; }
+
+Result<RunReport> MultiProcExecutor::Execute(TaskGraph&) {
+  return Status::Unimplemented(
+      "multi-process execution needs fork + POSIX shared memory");
+}
+
+#else
+
+namespace {
+
+/// Coordinator -> worker: run this task attempt.
+struct TaskMsg {
+  int64_t task = -1;
+  int32_t attempt = 1;
+};
+
+/// Worker -> coordinator: the attempt finished. code 0 = success,
+/// 1 = retryable task failure (kernel / data error), 2 = fatal
+/// (retrying cannot help, e.g. arena exhaustion — fail the run).
+struct CompletionMsg {
+  int64_t task = -1;
+  int32_t worker = -1;
+  int32_t attempt = 1;
+  int32_t code = 0;
+  double start = 0;
+  double end = 0;
+  double deserialize_s = 0;
+  double compute_s = 0;
+  double serialize_s = 0;
+  char error[196] = {0};
+};
+
+/// Per-worker control plane: one SPSC ring per direction. Lives in
+/// the MAP_SHARED control segment, so both sides see the same atomics.
+struct WorkerChannel {
+  SpscRing<TaskMsg, 1024> inbox;       ///< coordinator produces
+  SpscRing<CompletionMsg, 256> outbox; ///< worker produces
+};
+
+struct ControlHeader {
+  std::atomic<int> shutdown{0};
+  /// Shared clock origin: steady_clock (CLOCK_MONOTONIC — one clock
+  /// for the whole box) nanoseconds captured just before fork, so
+  /// coordinator and worker timestamps land on one axis.
+  int64_t origin_ns = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<TaskMsg>);
+static_assert(std::is_trivially_copyable_v<CompletionMsg>);
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double SecondsSince(int64_t origin_ns) {
+  return static_cast<double>(NowNs() - origin_ns) * 1e-9;
+}
+
+uint64_t AlignUp64(uint64_t n) { return (n + 63) & ~uint64_t{63}; }
+
+/// Serializes `m` into a fresh arena record ([u64 payload bytes |
+/// payload]) and publishes it in the directory slot of `d`. The
+/// directory stores offset+1 so 0 keeps meaning "never written"; the
+/// release store pairs with readers' acquire loads, making the
+/// payload bytes visible with the offset.
+Status PublishBlock(storage::ShmArena& arena, std::atomic<uint64_t>* directory,
+                    DataId d, const data::Matrix& m) {
+  const uint64_t payload = storage::Serializer::SerializedSize(m);
+  TB_ASSIGN_OR_RETURN(const uint64_t offset, arena.Allocate(8 + payload));
+  uint8_t* record = arena.At(offset);
+  std::memcpy(record, &payload, sizeof(payload));
+  storage::Serializer::SerializeTo(m, record + 8);
+  directory[d].store(offset + 1, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<data::Matrix> ReadBlock(const storage::ShmArena& arena,
+                               const std::atomic<uint64_t>* directory,
+                               DataId d) {
+  const uint64_t tag = directory[d].load(std::memory_order_acquire);
+  if (tag == 0) {
+    return Status::NotFound(
+        StrFormat("datum %lld has no record in the shm directory; was it "
+                  "ever written?",
+                  static_cast<long long>(d)));
+  }
+  const uint8_t* record = arena.At(tag - 1);
+  uint64_t payload = 0;
+  std::memcpy(&payload, record, sizeof(payload));
+  return storage::Serializer::Deserialize(record + 8, payload);
+}
+
+void SetError(CompletionMsg* msg, const Status& status) {
+  const std::string text = status.ToString();
+  const size_t n = std::min(text.size(), sizeof(msg->error) - 1);
+  std::memcpy(msg->error, text.data(), n);
+  msg->error[n] = '\0';
+}
+
+/// One task attempt inside a worker — the multi-process counterpart
+/// of the thread pool's run_task: gather inputs from the arena, run
+/// the kernel, publish outputs back into the arena.
+CompletionMsg RunOne(int worker_id, const TaskMsg& msg, const TaskGraph& graph,
+                     storage::ShmArena& arena, std::atomic<uint64_t>* directory,
+                     int64_t origin_ns) {
+  CompletionMsg out;
+  out.task = msg.task;
+  out.worker = worker_id;
+  out.attempt = msg.attempt;
+  out.start = SecondsSince(origin_ns);
+
+  const Task& task = graph.task(msg.task);
+
+  // Materialize inputs (IN + INOUT) and output slots (OUT + INOUT),
+  // mirroring the thread-pool layout: kernel inputs are IN values
+  // first, then INOUT values aliasing their output slots.
+  std::vector<data::Matrix> in_values;
+  std::vector<data::Matrix> out_values;
+  std::vector<DataId> out_ids;
+  std::vector<size_t> inout_out_index;
+  in_values.reserve(task.spec.params.size());
+  out_values.resize(task.spec.params.size());
+  size_t num_outputs = 0;
+  for (const Param& p : task.spec.params) {
+    if (p.dir == Dir::kOut) {
+      out_ids.push_back(p.data);
+      ++num_outputs;
+      continue;
+    }
+    const double t0 = SecondsSince(origin_ns);
+    Result<data::Matrix> value = ReadBlock(arena, directory, p.data);
+    if (!value.ok()) {
+      out.code = 1;
+      SetError(&out, value.status());
+      out.end = SecondsSince(origin_ns);
+      return out;
+    }
+    out.deserialize_s += SecondsSince(origin_ns) - t0;
+    if (p.dir == Dir::kIn) {
+      in_values.push_back(std::move(value).value());
+    } else {
+      out_values[num_outputs] = std::move(value).value();
+      inout_out_index.push_back(num_outputs);
+      out_ids.push_back(p.data);
+      ++num_outputs;
+    }
+  }
+  out_values.resize(num_outputs);
+
+  std::vector<const data::Matrix*> inputs;
+  std::vector<data::Matrix*> outputs;
+  for (const data::Matrix& m : in_values) inputs.push_back(&m);
+  for (size_t idx : inout_out_index) inputs.push_back(&out_values[idx]);
+  for (data::Matrix& m : out_values) outputs.push_back(&m);
+
+  const double kernel_start = SecondsSince(origin_ns);
+  const Status kernel_status = task.spec.kernel(inputs, outputs);
+  out.compute_s = SecondsSince(origin_ns) - kernel_start;
+  if (!kernel_status.ok()) {
+    out.code = 1;
+    SetError(&out, kernel_status);
+    out.end = SecondsSince(origin_ns);
+    return out;
+  }
+
+  for (size_t i = 0; i < out_ids.size(); ++i) {
+    const double t0 = SecondsSince(origin_ns);
+    const Status put = PublishBlock(arena, directory, out_ids[i],
+                                    out_values[i]);
+    if (!put.ok()) {
+      out.code = 2;  // arena exhaustion: retrying cannot help
+      SetError(&out, put);
+      out.end = SecondsSince(origin_ns);
+      return out;
+    }
+    out.serialize_s += SecondsSince(origin_ns) - t0;
+  }
+  out.end = SecondsSince(origin_ns);
+  return out;
+}
+
+/// Worker process main loop. Never returns — exits with _exit so the
+/// child skips atexit handlers, stdio flushing of inherited buffers
+/// and (under sanitizers) the leak check, all of which belong to the
+/// coordinator.
+[[noreturn]] void WorkerMain(int worker_id, const TaskGraph& graph,
+                             storage::ShmArena& arena, ControlHeader* header,
+                             WorkerChannel* channel,
+                             std::atomic<uint64_t>* directory,
+                             const std::vector<int>& pin_cpus) {
+  if (!pin_cpus.empty()) {
+    // Best effort: an unpinnable worker is slower, never wrong.
+    const Status ignored = hw::PinCurrentThreadToCpus(pin_cpus);
+    (void)ignored;
+  }
+  const int64_t origin_ns = header->origin_ns;
+  int idle_polls = 0;
+  for (;;) {
+    TaskMsg msg;
+    if (!channel->inbox.Pop(&msg)) {
+      if (header->shutdown.load(std::memory_order_acquire) != 0) _exit(0);
+      if (++idle_polls > 256) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      continue;
+    }
+    idle_polls = 0;
+    const CompletionMsg done =
+        RunOne(worker_id, msg, graph, arena, directory, origin_ns);
+    while (!channel->outbox.Push(done)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  }
+}
+
+/// Arena capacity estimate from the graph: one record per staged
+/// initial value plus one per task output write (records are never
+/// freed), each at the datum's registered size plus framing, with 2x
+/// headroom for kernels emitting denser blocks than registered and a
+/// 1 MiB floor.
+uint64_t EstimateArenaBytes(const TaskGraph& graph) {
+  auto record_bytes = [](uint64_t payload) {
+    return AlignUp64(payload + 8 /* frame */ + 28 /* wire header */);
+  };
+  uint64_t need = 0;
+  for (DataId d = 0; d < graph.num_data(); ++d) {
+    if (graph.data(d).value.has_value()) {
+      need += record_bytes(graph.data(d).bytes);
+    }
+  }
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    for (const Param& p : graph.task(t).spec.params) {
+      if (p.dir != Dir::kIn) need += record_bytes(graph.data(p.data).bytes);
+    }
+  }
+  return std::max<uint64_t>(2 * need, 1 << 20);
+}
+
+/// Tasks queued to one worker beyond the one it is running — deep
+/// enough to hide dispatch latency, shallow enough that the
+/// coordinator keeps placement freedom (and far below the ring
+/// capacity, so Push never blocks).
+constexpr int kMaxInflightPerWorker = 4;
+
+}  // namespace
+
+bool MultiProcExecutor::Supported() { return true; }
+
+Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph) {
+  TB_RETURN_IF_ERROR(graph.Validate());
+  const int64_t total = graph.num_tasks();
+  const int64_t num_data = graph.num_data();
+  for (TaskId t = 0; t < total; ++t) {
+    if (graph.task(t).spec.kernel == nullptr) {
+      return Status::FailedPrecondition(StrFormat(
+          "task %lld (%s) has no kernel; simulation-only graphs cannot "
+          "run on the multi-process executor",
+          static_cast<long long>(t), graph.task(t).spec.type.c_str()));
+    }
+  }
+
+  const int num_workers = std::max(1, options_.num_procs);
+  const hw::Topology& topo = hw::DetectTopology();
+  std::vector<int> worker_domain(static_cast<size_t>(num_workers), 0);
+  for (int w = 0; w < num_workers; ++w) {
+    worker_domain[static_cast<size_t>(w)] =
+        topo.domain_of_worker(w, num_workers);
+  }
+
+  // ----------------------------------------------------------------
+  // Shared-memory data plane: the block arena plus a control segment
+  // holding the per-worker rings and the block directory. Everything
+  // is mapped before fork so all processes share the pages at the
+  // same addresses.
+  // ----------------------------------------------------------------
+  const uint64_t arena_bytes = options_.shm_arena_bytes > 0
+                                   ? options_.shm_arena_bytes
+                                   : EstimateArenaBytes(graph);
+  TB_ASSIGN_OR_RETURN(storage::ShmArena arena,
+                      storage::ShmArena::Create("arena", arena_bytes));
+
+  const uint64_t header_off = 0;
+  const uint64_t channels_off = AlignUp64(header_off + sizeof(ControlHeader));
+  const uint64_t directory_off =
+      AlignUp64(channels_off + static_cast<uint64_t>(num_workers) *
+                                   sizeof(WorkerChannel));
+  const uint64_t control_bytes =
+      directory_off +
+      static_cast<uint64_t>(num_data) * sizeof(std::atomic<uint64_t>);
+  TB_ASSIGN_OR_RETURN(storage::ShmSegment control,
+                      storage::ShmSegment::Create("ctl", control_bytes));
+  auto* header = new (control.base() + header_off) ControlHeader();
+  auto* channels =
+      reinterpret_cast<WorkerChannel*>(control.base() + channels_off);
+  for (int w = 0; w < num_workers; ++w) new (&channels[w]) WorkerChannel();
+  auto* directory =
+      reinterpret_cast<std::atomic<uint64_t>*>(control.base() + directory_off);
+  for (DataId d = 0; d < num_data; ++d) {
+    new (&directory[d]) std::atomic<uint64_t>(0);
+  }
+
+  // Stage initial values into the arena (coordinator-side, pre-fork,
+  // so the publications are trivially visible to every worker).
+  for (DataId d = 0; d < num_data; ++d) {
+    const DataEntry& entry = graph.data(d);
+    if (!entry.value.has_value()) continue;
+    TB_RETURN_IF_ERROR(PublishBlock(arena, directory, d, *entry.value));
+  }
+
+  header->origin_ns = NowNs();
+
+  // ----------------------------------------------------------------
+  // Fork the workers. Kernels (std::function) and the graph ride into
+  // the children via copy-on-write; flush stdio first so buffered
+  // output is not duplicated into every child.
+  // ----------------------------------------------------------------
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::vector<pid_t> pids(static_cast<size_t>(num_workers), -1);
+  const bool pin = options_.pin_workers && topo.num_domains() > 1;
+  for (int w = 0; w < num_workers; ++w) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      const std::vector<int> cpus =
+          pin ? topo.domains[static_cast<size_t>(
+                               worker_domain[static_cast<size_t>(w)])].cpus
+              : std::vector<int>{};
+      WorkerMain(w, graph, arena, header, &channels[w], directory, cpus);
+    }
+    if (pid < 0) {
+      header->shutdown.store(1, std::memory_order_release);
+      for (int k = 0; k < w; ++k) {
+        kill(pids[static_cast<size_t>(k)], SIGKILL);
+        waitpid(pids[static_cast<size_t>(k)], nullptr, 0);
+      }
+      return Status::Internal(
+          StrFormat("fork of worker %d failed: %s", w, std::strerror(errno)));
+    }
+    pids[static_cast<size_t>(w)] = pid;
+  }
+
+  // ----------------------------------------------------------------
+  // Coordinator loop: dependency counting, topology-aware dispatch,
+  // completion draining, liveness. Runs entirely in this thread; no
+  // block bytes ever pass through here.
+  // ----------------------------------------------------------------
+  const int64_t origin_ns = header->origin_ns;
+  std::vector<int> remaining(static_cast<size_t>(total), 0);
+  std::deque<std::pair<TaskId, int>> ready;  // (task, attempt), FIFO
+  struct Delayed {
+    double when = 0;
+    TaskId task = -1;
+    int attempt = 1;
+  };
+  std::vector<Delayed> delayed;  // retry backoff queue
+  std::vector<char> completed(static_cast<size_t>(total), 0);
+  std::vector<TaskRecord> records(static_cast<size_t>(total));
+  std::vector<TaskAttempt> attempts;
+  int64_t retries = 0;
+  int64_t dead_workers = 0;
+  int64_t num_completed = 0;
+  std::vector<int> inflight(static_cast<size_t>(num_workers), 0);
+  std::vector<char> alive(static_cast<size_t>(num_workers), 1);
+  std::vector<std::vector<std::pair<TaskId, int>>> inflight_tasks(
+      static_cast<size_t>(num_workers));
+  // Domain whose worker produced each datum's current version; -1 for
+  // initial (coordinator-staged) data. The locality signal of
+  // placement, exactly like home_node feeds the simulated scheduler.
+  std::vector<int> producer_domain(static_cast<size_t>(num_data), -1);
+  std::vector<uint64_t> domain_bytes(
+      static_cast<size_t>(std::max(1, topo.num_domains())), 0);
+
+  for (TaskId t = 0; t < total; ++t) {
+    const int deps = static_cast<int>(graph.task(t).deps.size());
+    remaining[static_cast<size_t>(t)] = deps;
+    if (deps == 0) ready.emplace_back(t, 1);
+  }
+
+  bool failed = false;
+  Status failure;
+  auto fail_run = [&](Status status) {
+    if (!failed) {
+      failed = true;
+      failure = std::move(status);
+    }
+  };
+
+  // Places one ready task: prefer the least-loaded worker in the
+  // domain owning most of the task's input bytes; a remote worker
+  // wins only when strictly less loaded (2x inflight + 1 domain
+  // penalty), which is the process-level version of the thread pool's
+  // domain-biased steal order.
+  auto dispatch = [&](TaskId t, int attempt) -> bool {
+    int preferred = -1;
+    if (topo.num_domains() > 1) {
+      std::fill(domain_bytes.begin(), domain_bytes.end(), 0);
+      for (const Param& p : graph.task(t).spec.params) {
+        if (p.dir == Dir::kOut) continue;
+        const int pd = producer_domain[static_cast<size_t>(p.data)];
+        if (pd >= 0) {
+          domain_bytes[static_cast<size_t>(pd)] +=
+              graph.data(p.data).bytes;
+        }
+      }
+      uint64_t best_bytes = 0;
+      for (size_t dom = 0; dom < domain_bytes.size(); ++dom) {
+        if (domain_bytes[dom] > best_bytes) {
+          best_bytes = domain_bytes[dom];
+          preferred = static_cast<int>(dom);
+        }
+      }
+    }
+    int best = -1;
+    int best_score = INT32_MAX;
+    for (int w = 0; w < num_workers; ++w) {
+      if (!alive[static_cast<size_t>(w)]) continue;
+      if (inflight[static_cast<size_t>(w)] >= kMaxInflightPerWorker) continue;
+      const int score =
+          2 * inflight[static_cast<size_t>(w)] +
+          (preferred >= 0 && worker_domain[static_cast<size_t>(w)] != preferred
+               ? 1
+               : 0);
+      if (score < best_score) {
+        best_score = score;
+        best = w;
+      }
+    }
+    if (best < 0) return false;  // every live worker is at capacity
+    TaskMsg msg;
+    msg.task = t;
+    msg.attempt = attempt;
+    if (!channels[best].inbox.Push(msg)) return false;
+    ++inflight[static_cast<size_t>(best)];
+    inflight_tasks[static_cast<size_t>(best)].emplace_back(t, attempt);
+    return true;
+  };
+
+  auto handle_completion = [&](const CompletionMsg& msg) {
+    auto& mine = inflight_tasks[static_cast<size_t>(msg.worker)];
+    for (auto it = mine.begin(); it != mine.end(); ++it) {
+      if (it->first == msg.task && it->second == msg.attempt) {
+        mine.erase(it);
+        --inflight[static_cast<size_t>(msg.worker)];
+        break;
+      }
+    }
+    if (completed[static_cast<size_t>(msg.task)]) return;  // stale duplicate
+    if (msg.code == 0) {
+      completed[static_cast<size_t>(msg.task)] = 1;
+      ++num_completed;
+      const Task& task = graph.task(msg.task);
+      TaskRecord& rec = records[static_cast<size_t>(msg.task)];
+      rec.task = msg.task;
+      rec.type = task.spec.type;
+      rec.level = task.level;
+      rec.processor = Processor::kCpu;
+      rec.node = msg.worker;
+      rec.slot = 0;  // workers are single-threaded: one slot each
+      rec.stages = perf::StageTimes{};
+      rec.stages.deserialize = msg.deserialize_s;
+      rec.stages.parallel_fraction = msg.compute_s;
+      rec.stages.serialize = msg.serialize_s;
+      rec.start = msg.start;
+      rec.end = msg.end;
+      rec.attempt = msg.attempt;
+      for (const Param& p : task.spec.params) {
+        if (p.dir != Dir::kIn) {
+          producer_domain[static_cast<size_t>(p.data)] =
+              worker_domain[static_cast<size_t>(msg.worker)];
+        }
+      }
+      if (options_.max_retries > 0) {
+        attempts.push_back(TaskAttempt{msg.task, msg.attempt, msg.worker,
+                                       Processor::kCpu, msg.start, msg.end,
+                                       AttemptOutcome::kCompleted});
+      }
+      for (TaskId succ : task.successors) {
+        if (--remaining[static_cast<size_t>(succ)] == 0) {
+          ready.emplace_back(succ, 1);
+        }
+      }
+      return;
+    }
+    // Task failure inside a live worker.
+    if (msg.code == 2 || msg.attempt > options_.max_retries) {
+      fail_run(Status::Internal(msg.error).WithContext(
+          StrFormat("task %lld attempt %d on worker %d",
+                    static_cast<long long>(msg.task), msg.attempt,
+                    msg.worker)));
+      return;
+    }
+    ++retries;
+    if (options_.max_retries > 0) {
+      attempts.push_back(TaskAttempt{msg.task, msg.attempt, msg.worker,
+                                     Processor::kCpu, msg.start, msg.end,
+                                     AttemptOutcome::kFailed});
+    }
+    delayed.push_back(Delayed{
+        SecondsSince(origin_ns) +
+            options_.retry_backoff_s *
+                static_cast<double>(1ull << std::min(msg.attempt - 1, 30)),
+        msg.task, msg.attempt + 1});
+  };
+
+  // A dead worker's queued/running tasks become kNodeLost attempts
+  // and are re-dispatched under the retry budget. Blocks the worker
+  // already published live in the arena, so unlike a real cluster
+  // node loss nothing has to be recomputed (lost_blocks stays 0).
+  auto check_liveness = [&] {
+    for (int w = 0; w < num_workers; ++w) {
+      if (!alive[static_cast<size_t>(w)]) continue;
+      int status = 0;
+      const pid_t r = waitpid(pids[static_cast<size_t>(w)], &status, WNOHANG);
+      if (r != pids[static_cast<size_t>(w)]) continue;
+      alive[static_cast<size_t>(w)] = 0;
+      ++dead_workers;
+      // Completions the worker pushed before dying are still in its
+      // (shared-memory) outbox — honor them before declaring losses.
+      CompletionMsg msg;
+      while (channels[w].outbox.Pop(&msg)) handle_completion(msg);
+      auto lost = std::move(inflight_tasks[static_cast<size_t>(w)]);
+      inflight_tasks[static_cast<size_t>(w)].clear();
+      inflight[static_cast<size_t>(w)] = 0;
+      const double now = SecondsSince(origin_ns);
+      for (const auto& [task, attempt] : lost) {
+        if (completed[static_cast<size_t>(task)]) continue;
+        if (options_.max_retries > 0) {
+          attempts.push_back(TaskAttempt{task, attempt, w, Processor::kCpu, 0,
+                                         now, AttemptOutcome::kNodeLost});
+        }
+        if (attempt > options_.max_retries) {
+          fail_run(Status::Internal(StrFormat(
+              "task %lld lost with worker %d (attempt %d); retry budget "
+              "exhausted",
+              static_cast<long long>(task), w, attempt)));
+          return;
+        }
+        ++retries;
+        delayed.push_back(Delayed{
+            now + options_.retry_backoff_s *
+                      static_cast<double>(1ull << std::min(attempt - 1, 30)),
+            task, attempt + 1});
+      }
+    }
+    if (!failed && num_completed < total &&
+        std::none_of(alive.begin(), alive.end(),
+                     [](char a) { return a != 0; })) {
+      fail_run(Status::Internal("all workers died before the run finished"));
+    }
+  };
+
+  int liveness_tick = 0;
+  while (!failed && num_completed < total) {
+    bool progress = false;
+    if (!delayed.empty()) {
+      const double now = SecondsSince(origin_ns);
+      for (size_t i = 0; i < delayed.size();) {
+        if (delayed[i].when <= now) {
+          ready.emplace_back(delayed[i].task, delayed[i].attempt);
+          delayed[i] = delayed.back();
+          delayed.pop_back();
+          progress = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+    while (!ready.empty()) {
+      const auto [t, attempt] = ready.front();
+      if (!dispatch(t, attempt)) break;
+      ready.pop_front();
+      progress = true;
+    }
+    for (int w = 0; w < num_workers && !failed; ++w) {
+      if (!alive[static_cast<size_t>(w)]) continue;
+      CompletionMsg msg;
+      while (channels[w].outbox.Pop(&msg)) {
+        progress = true;
+        handle_completion(msg);
+        if (failed) break;
+      }
+    }
+    if (failed) break;
+    if (!progress || ++liveness_tick % 64 == 0) check_liveness();
+    if (!progress) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  // Shut the plane down: workers exit once their inbox drains and the
+  // flag is up; SIGKILL is the backstop for workers stuck in a kernel
+  // after a failed run.
+  header->shutdown.store(1, std::memory_order_release);
+  const int64_t reap_deadline_ns = NowNs() + 5'000'000'000LL;
+  for (int w = 0; w < num_workers; ++w) {
+    if (!alive[static_cast<size_t>(w)]) continue;
+    for (;;) {
+      const pid_t r = waitpid(pids[static_cast<size_t>(w)], nullptr, WNOHANG);
+      if (r == pids[static_cast<size_t>(w)] || r < 0) break;
+      if (NowNs() > reap_deadline_ns) {
+        kill(pids[static_cast<size_t>(w)], SIGKILL);
+        waitpid(pids[static_cast<size_t>(w)], nullptr, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  if (failed) return failure;
+
+  // Persist final values onto the graph entries (the arena unmaps
+  // when this function returns).
+  for (DataId d = 0; d < num_data; ++d) {
+    if (directory[d].load(std::memory_order_acquire) == 0) continue;
+    TB_ASSIGN_OR_RETURN(data::Matrix value, ReadBlock(arena, directory, d));
+    graph.mutable_data(d).value = std::move(value);
+  }
+
+  double makespan = 0;
+  for (const TaskRecord& rec : records) {
+    makespan = std::max(makespan, rec.end);
+  }
+
+  if (options_.check_invariants) {
+    // Conservation: workers run tasks one at a time, so total busy
+    // time cannot exceed workers x makespan (all timestamps share the
+    // CLOCK_MONOTONIC origin written into the control header).
+    double busy = 0;
+    for (const TaskRecord& rec : records) busy += rec.duration();
+    const double cap = makespan * num_workers;
+    if (busy > cap + 1e-9 * cap + 1e-12) {
+      return Status::FailedPrecondition(StrFormat(
+          "invariant violation: total busy time %.17g exceeds %d "
+          "workers x makespan %.17g",
+          busy, num_workers, makespan));
+    }
+  }
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *options_.metrics;
+    registry.gauge("pool.procs")->Set(num_workers);
+    registry.gauge("pool.domains")->Set(topo.num_domains());
+    if (retries > 0) registry.counter("pool.retries")->Add(retries);
+    if (dead_workers > 0) {
+      registry.counter("pool.worker_crashes")->Add(dead_workers);
+    }
+    for (const TaskRecord& rec : records) {
+      registry
+          .histogram(StrFormat("task.%s.deserialize_s", rec.type.c_str()))
+          ->Record(rec.stages.deserialize);
+      registry.histogram(StrFormat("task.%s.compute_s", rec.type.c_str()))
+          ->Record(rec.stages.parallel_fraction);
+      registry.histogram(StrFormat("task.%s.serialize_s", rec.type.c_str()))
+          ->Record(rec.stages.serialize);
+      registry.histogram(StrFormat("task.%s.duration_s", rec.type.c_str()))
+          ->Record(rec.duration());
+    }
+  }
+
+  RunReport report;
+  report.records = std::move(records);
+  report.makespan = makespan;
+  report.faults.retries = retries;
+  report.faults.dead_nodes = dead_workers;
+  report.attempts = std::move(attempts);
+  return report;
+}
+
+#endif  // !defined(_WIN32)
+
+}  // namespace taskbench::runtime

@@ -1,0 +1,79 @@
+#ifndef TASKBENCH_RUNTIME_MULTIPROC_EXECUTOR_H_
+#define TASKBENCH_RUNTIME_MULTIPROC_EXECUTOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/matrix.h"
+#include "runtime/executor.h"
+#include "runtime/metrics.h"
+#include "runtime/run_options.h"
+#include "runtime/task_graph.h"
+
+namespace taskbench::runtime {
+
+/// Scale-out execution plane: runs a TaskGraph on forked worker
+/// *processes* that exchange blocks through a POSIX shared-memory
+/// arena — the single-box stand-in for the paper's distributed
+/// cluster, with NUMA domains playing the role of nodes.
+///
+/// Architecture (docs/SCALE_OUT.md has the full picture):
+///  - The coordinator (the calling process) builds the graph, maps a
+///    shared-memory block arena plus a control segment, and forks
+///    `options.num_procs` single-threaded workers. Forking *after*
+///    graph construction means kernels (std::function, inherently
+///    unserializable) ride into the workers via copy-on-write for
+///    free — no code shipping, no kernel registry.
+///  - Dispatch is per-worker lock-free SPSC rings in the control
+///    segment: a task ring in, a completion ring out. The coordinator
+///    never touches block bytes; workers serialize results straight
+///    into the arena (`Serializer` wire format, same as the storage
+///    path) and publish them by offset in a shared directory, so a
+///    block moves between workers without ever being copied through
+///    the coordinator.
+///  - Placement is topology-aware: workers are striped over the NUMA
+///    domains (and optionally pinned), and a ready task prefers a
+///    worker in the domain that produced most of its input bytes —
+///    the same locality policy the simulated scheduler applies across
+///    cluster nodes.
+///  - Fault tolerance reuses the retry semantics of the thread-pool
+///    path: a worker death (detected via waitpid) turns its in-flight
+///    tasks into kNodeLost attempts that are re-dispatched to
+///    surviving workers under `options.max_retries`; published blocks
+///    live in the arena, not in the dead worker, so nothing is
+///    recomputed.
+///
+/// POSIX-only (fork + shm_open); `Supported()` is false on platforms
+/// without them and Execute fails with Unimplemented there.
+class MultiProcExecutor final : public Executor {
+ public:
+  explicit MultiProcExecutor(RunOptions options);
+
+  /// True when this platform can run the multi-process plane.
+  static bool Supported();
+
+  /// Runs the graph across worker processes. Initial data values are
+  /// taken from the graph; on success every datum's final value is
+  /// written back onto the graph entries (read them with FetchData).
+  Result<RunReport> Execute(TaskGraph& graph);
+
+  /// Reads a datum's final value after Execute.
+  Result<data::Matrix> FetchData(const TaskGraph& graph, DataId id) const;
+
+  // Executor interface.
+  std::string name() const override { return "multi-proc"; }
+  const RunOptions& options() const override { return options_; }
+  Result<RunReport> Run(TaskGraph& graph) override { return Execute(graph); }
+  bool materializes() const override { return true; }
+  Result<data::Matrix> Fetch(const TaskGraph& graph,
+                             DataId id) const override {
+    return FetchData(graph, id);
+  }
+
+ private:
+  RunOptions options_;
+};
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_MULTIPROC_EXECUTOR_H_

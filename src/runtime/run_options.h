@@ -93,6 +93,35 @@ struct RunOptions {
   bool use_storage = true;
 
   // ---------------------------------------------------------------
+  // Real-execution data-plane geometry. 0 = derive from the detected
+  // topology (cores/domains), so bigger hosts automatically get wider
+  // striping instead of the old compile-time constants.
+  // ---------------------------------------------------------------
+  /// Lock shards of the executor-private InMemoryStorage (storage
+  /// mode). Rounded to a power of two by the store.
+  int storage_shards = 0;
+  /// Lock stripes of the memory-mode ShardedValueStore.
+  int value_store_stripes = 0;
+
+  // ---------------------------------------------------------------
+  // Multi-process (scale-out) path — MultiProcExecutor.
+  // ---------------------------------------------------------------
+  /// Worker processes. Each worker is a forked single-threaded
+  /// process executing tasks out of the shared-memory arena; the
+  /// coordinator schedules over them with topology-aware placement
+  /// (NUMA domains stand in for the paper's cluster nodes).
+  int num_procs = 2;
+  /// Shared-memory arena capacity in bytes. 0 = size automatically
+  /// from the graph's registered block sizes (with headroom); raise
+  /// explicitly when kernels emit blocks much larger than their
+  /// registered nominal sizes.
+  uint64_t shm_arena_bytes = 0;
+  /// Pin each worker process (and, on multi-domain hosts, each
+  /// thread-pool worker) to its NUMA domain's CPUs. Best effort —
+  /// pinning failures degrade to unpinned workers, never fail a run.
+  bool pin_workers = true;
+
+  // ---------------------------------------------------------------
   // Simulated path.
   // ---------------------------------------------------------------
   /// Storage architecture the blocks are read from / written to.

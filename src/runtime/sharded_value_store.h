@@ -1,13 +1,14 @@
 #ifndef TASKBENCH_RUNTIME_SHARDED_VALUE_STORE_H_
 #define TASKBENCH_RUNTIME_SHARDED_VALUE_STORE_H_
 
-#include <array>
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 #include "data/matrix.h"
+#include "hw/topology.h"
 #include "runtime/task_graph.h"
 
 namespace taskbench::runtime {
@@ -24,10 +25,28 @@ namespace taskbench::runtime {
 /// dependencies guarantee a datum is not overwritten while a running
 /// task still reads it, and the old value's last shared_ptr keeps it
 /// alive regardless.
+///
+/// The stripe count is a construction-time knob (RunOptions::
+/// value_store_stripes); 0 derives it from the detected core count so
+/// wide hosts stripe wider than the old compile-time 64.
 class ShardedValueStore {
  public:
-  explicit ShardedValueStore(int64_t num_slots)
-      : slots_(static_cast<size_t>(num_slots)) {}
+  explicit ShardedValueStore(int64_t num_slots, int stripes = 0)
+      : stripes_(stripes == 0 ? DefaultStripes()
+                              : NextPow2(static_cast<size_t>(
+                                    std::max(1, stripes)))),
+        slots_(static_cast<size_t>(num_slots)) {}
+
+  /// Stripe count derived from the host topology, clamped to
+  /// [64, 1024] (64 is the pre-knob compile-time constant, so small
+  /// hosts behave exactly as before).
+  static size_t DefaultStripes() {
+    const size_t want =
+        NextPow2(static_cast<size_t>(hw::DetectTopology().total_cpus()) * 16);
+    return std::min<size_t>(1024, std::max<size_t>(64, want));
+  }
+
+  size_t num_stripes() const { return stripes_.size(); }
 
   /// Current value of `id`, or null when never written.
   std::shared_ptr<data::Matrix> Get(DataId id) const {
@@ -55,17 +74,23 @@ class ShardedValueStore {
   }
 
  private:
-  static constexpr size_t kStripes = 64;
-
   struct alignas(64) Stripe {  // own cache line per lock
     std::mutex mu;
   };
 
-  static size_t StripeOf(DataId id) {
-    return static_cast<size_t>(id) % kStripes;
+  static size_t NextPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
   }
 
-  mutable std::array<Stripe, kStripes> stripes_;
+  size_t StripeOf(DataId id) const {
+    return static_cast<size_t>(id) & (stripes_.size() - 1);
+  }
+
+  // Sized once at construction, never reallocated (Stripe is
+  // immovable).
+  mutable std::vector<Stripe> stripes_;
   std::vector<std::shared_ptr<data::Matrix>> slots_;
 };
 

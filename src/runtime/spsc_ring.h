@@ -1,0 +1,76 @@
+#ifndef TASKBENCH_RUNTIME_SPSC_RING_H_
+#define TASKBENCH_RUNTIME_SPSC_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace taskbench::runtime {
+
+/// Lock-free single-producer/single-consumer ring for trivially
+/// copyable messages — the coordinator↔worker control plane of the
+/// multi-process executor. One instance lives in a MAP_SHARED segment
+/// per direction per worker: the coordinator produces into a worker's
+/// task ring and consumes its completion ring, so every ring has
+/// exactly one producer process and one consumer process and needs no
+/// locks at all, only an acquire/release pair per transfer.
+///
+/// head_ and tail_ are free-running 64-bit counters (they never wrap
+/// in any realistic run), masked into the slot array on access. The
+/// producer owns tail_, the consumer owns head_; each reads the
+/// other's counter with acquire semantics so the slot contents it
+/// observes are the ones that counter update published.
+template <typename T, uint64_t kCapacity>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ring messages cross process boundaries as raw bytes");
+  static_assert(kCapacity > 0 && (kCapacity & (kCapacity - 1)) == 0,
+                "capacity must be a power of two");
+  static_assert(std::atomic<uint64_t>::is_always_lock_free,
+                "cross-process rings need lock-free counters");
+
+ public:
+  SpscRing() = default;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False when the ring is full (the caller keeps the
+  /// message and retries; the executor bounds in-flight work below
+  /// the capacity so dispatch never actually blocks).
+  bool Push(const T& item) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == kCapacity) return false;
+    slots_[tail & (kCapacity - 1)] = item;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when empty.
+  bool Pop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    *out = slots_[head & (kCapacity - 1)];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Messages currently queued (either side may call; a racing
+  /// producer/consumer makes this a snapshot, not a guarantee).
+  uint64_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  static constexpr uint64_t capacity() { return kCapacity; }
+
+ private:
+  alignas(64) std::atomic<uint64_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};  ///< producer cursor
+  T slots_[kCapacity];
+};
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_SPSC_RING_H_

@@ -15,6 +15,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "hw/topology.h"
 #include "obs/metrics.h"
 #include "runtime/invariant_check.h"
 #include "runtime/sharded_value_store.h"
@@ -78,7 +79,8 @@ ThreadPoolExecutor::ThreadPoolExecutor(
     : options_(std::move(options)), store_(std::move(store)) {
   TB_CHECK(options_.num_threads > 0);
   if (options_.use_storage && store_ == nullptr) {
-    store_ = std::make_shared<storage::InMemoryStorage>();
+    store_ = std::make_shared<storage::InMemoryStorage>(
+        static_cast<size_t>(std::max(0, options_.storage_shards)));
   }
 }
 
@@ -163,7 +165,8 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   }
 
   // Memory-mode value store; unused (size 0) in storage mode.
-  ShardedValueStore values(options_.use_storage ? 0 : graph.num_data());
+  ShardedValueStore values(options_.use_storage ? 0 : graph.num_data(),
+                           options_.value_store_stripes);
 
   // Storage-mode keys, formatted once per datum instead of on every
   // Put/Get (the old KeyFor-per-operation showed up in profiles).
@@ -222,6 +225,30 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
         wt->types.push_back(ResolveStageHists(&wt->registry, type));
       }
       worker_telemetry.push_back(std::move(wt));
+    }
+  }
+
+  // Topology-aware stealing: workers are striped over the NUMA
+  // domains (the same contiguous striping the multi-process plane
+  // uses) and each worker's victim sweep visits same-domain deques
+  // first — a block produced by a same-domain worker sits in local
+  // memory, so preferring those victims is the thread-level analogue
+  // of the locality scheduler preferring the node that holds a block.
+  // On single-domain hosts this collapses to exactly the old
+  // (worker_id + off) % n sweep.
+  const hw::Topology& topo = hw::DetectTopology();
+  std::vector<std::vector<int>> steal_order(
+      static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    const int dom = topo.domain_of_worker(w, num_workers);
+    std::vector<int>& order = steal_order[static_cast<size_t>(w)];
+    order.reserve(static_cast<size_t>(num_workers - 1));
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int off = 1; off < num_workers; ++off) {
+        const int victim = (w + off) % num_workers;
+        const bool local = topo.domain_of_worker(victim, num_workers) == dom;
+        if (local == (pass == 0)) order.push_back(victim);
+      }
     }
   }
 
@@ -393,6 +420,13 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   };
 
   auto worker = [&](int worker_id) {
+    if (options_.pin_workers && topo.num_domains() > 1) {
+      // Best effort: an unpinnable worker is slower, never wrong.
+      const Status ignored = hw::PinCurrentThreadToCpus(
+          topo.domains[static_cast<size_t>(topo.domain_of_worker(
+                           worker_id, num_workers))].cpus);
+      (void)ignored;
+    }
     WorkerContext ctx;
     ctx.id = worker_id;
     WorkerTelemetry* wt =
@@ -409,10 +443,11 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
       bool got = own.Pop(&id);
       bool stolen = false;
       if (!got) {
+        const std::vector<int>& victims =
+            steal_order[static_cast<size_t>(worker_id)];
         for (int sweep = 0; sweep < kStealSweepsBeforePark && !got; ++sweep) {
-          for (int off = 1; off < num_workers && !got; ++off) {
-            const int victim = (worker_id + off) % num_workers;
-            got = pool.queues[static_cast<size_t>(victim)].Steal(&id);
+          for (size_t v = 0; v < victims.size() && !got; ++v) {
+            got = pool.queues[static_cast<size_t>(victims[v])].Steal(&id);
           }
           if (done()) return;
         }

@@ -1,13 +1,32 @@
 #include "storage/block_storage.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
 #include "common/strings.h"
+#include "hw/topology.h"
 
 namespace taskbench::storage {
 
 namespace fs = std::filesystem;
+
+namespace {
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+size_t InMemoryStorage::DefaultShards() {
+  const int cores = hw::DetectTopology().total_cpus();
+  const size_t want = NextPow2(static_cast<size_t>(cores) * 4);
+  return std::min<size_t>(256, std::max<size_t>(16, want));
+}
+
+InMemoryStorage::InMemoryStorage(size_t shards)
+    : shards_(shards == 0 ? DefaultShards() : NextPow2(shards)) {}
 
 Status BlockStorage::Put(const std::string& key, const uint8_t* data,
                          size_t size) {

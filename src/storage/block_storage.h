@@ -1,8 +1,6 @@
 #ifndef TASKBENCH_STORAGE_BLOCK_STORAGE_H_
 #define TASKBENCH_STORAGE_BLOCK_STORAGE_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -66,12 +64,24 @@ class BlockStorage {
 /// Heap-backed storage. Used as the "memory" storage device and as the
 /// backing for unit tests.
 ///
-/// Sharded: keys hash onto kShards independent (map, mutex) pairs so
+/// Sharded: keys hash onto independent (map, mutex) pairs so
 /// concurrent Put/Get streams from the thread-pool workers contend
 /// only when they land on the same stripe, not on one global lock.
+/// The shard count is a construction-time knob (RunOptions::
+/// storage_shards): 0 derives it from the detected core count, so
+/// wider hosts automatically get wider striping.
 class InMemoryStorage final : public BlockStorage {
  public:
-  InMemoryStorage() = default;
+  /// `shards` is rounded up to a power of two; 0 = DefaultShards().
+  explicit InMemoryStorage(size_t shards = 0);
+
+  /// Shard count derived from the host topology: enough stripes that
+  /// every core can stream blocks with little collision probability,
+  /// clamped to [16, 256] (16 is the pre-knob compile-time constant,
+  /// so small hosts behave exactly as before).
+  static size_t DefaultShards();
+
+  size_t num_shards() const { return shards_.size(); }
 
   Status Put(const std::string& key, std::vector<uint8_t> bytes) override;
   Result<std::vector<uint8_t>> Get(const std::string& key) const override;
@@ -85,8 +95,6 @@ class InMemoryStorage final : public BlockStorage {
   uint64_t TotalBytes() const override;
 
  private:
-  static constexpr size_t kShards = 16;
-
   struct Shard {
     mutable std::mutex mu;
     std::map<std::string, std::vector<uint8_t>> objects;
@@ -94,10 +102,11 @@ class InMemoryStorage final : public BlockStorage {
   };
 
   Shard& ShardFor(const std::string& key) const {
-    return shards_[std::hash<std::string>{}(key) % kShards];
+    return shards_[std::hash<std::string>{}(key) & (shards_.size() - 1)];
   }
 
-  mutable std::array<Shard, kShards> shards_;
+  // Sized once at construction, never reallocated (Shard is immovable).
+  mutable std::vector<Shard> shards_;
 };
 
 /// Filesystem-backed storage: one file per key under a root directory.

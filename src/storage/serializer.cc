@@ -65,6 +65,21 @@ void Serializer::Serialize(const data::Matrix& m, std::vector<uint8_t>* out) {
   out->insert(out->end(), payload, payload + payload_bytes);
 }
 
+void Serializer::SerializeTo(const data::Matrix& m, uint8_t* out) {
+  auto write_pod = [&out](auto value) {
+    std::memcpy(out, &value, sizeof(value));
+    out += sizeof(value);
+  };
+  write_pod(kMagic);
+  write_pod(kVersion);
+  write_pod(m.rows());
+  write_pod(m.cols());
+  const auto* payload = reinterpret_cast<const uint8_t*>(m.data());
+  const size_t payload_bytes = m.bytes();
+  write_pod(Crc32(payload, payload_bytes));
+  if (payload_bytes > 0) std::memcpy(out, payload, payload_bytes);
+}
+
 Result<data::Matrix> Serializer::Deserialize(
     const std::vector<uint8_t>& bytes) {
   return Deserialize(bytes.data(), bytes.size());

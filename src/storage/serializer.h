@@ -28,6 +28,11 @@ class Serializer {
   /// state serialization performs no allocation.
   static void Serialize(const data::Matrix& m, std::vector<uint8_t>* out);
 
+  /// Writes exactly SerializedSize(m) bytes at `out`. Lets callers
+  /// holding mapped destinations (the shared-memory arena) serialize
+  /// in place with no staging copy.
+  static void SerializeTo(const data::Matrix& m, uint8_t* out);
+
   /// Parses one serialized block from `bytes`. Fails on truncation,
   /// bad magic/version, or checksum mismatch.
   static Result<data::Matrix> Deserialize(const std::vector<uint8_t>& bytes);

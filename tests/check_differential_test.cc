@@ -10,6 +10,7 @@
 
 #include "check/differential.h"
 #include "check/workload.h"
+#include "runtime/multiproc_executor.h"
 
 namespace taskbench::check {
 namespace {
@@ -35,7 +36,11 @@ TEST(DifferentialSmokeTest, RealOnlyModeSkipsSimLegs) {
       RunDifferential(GenerateSpec(1), options);
   EXPECT_TRUE(result.ok()) << result.Summary();
   EXPECT_EQ(result.sim_configs, 0);
-  EXPECT_EQ(result.real_configs, 6);  // no faulty-storage leg either
+  // 6 thread-pool legs (no faulty-storage leg) plus the two forked
+  // multi-process legs where the platform supports them.
+  const int expected =
+      runtime::MultiProcExecutor::Supported() ? 8 : 6;
+  EXPECT_EQ(result.real_configs, expected);
 }
 
 TEST(DifferentialSmokeTest, EveryFamilySurvivesOneSweep) {

@@ -1,0 +1,169 @@
+#include "hw/topology.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace taskbench::hw {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<int> MustParse(const std::string& text) {
+  auto cpus = ParseCpuList(text);
+  EXPECT_TRUE(cpus.ok()) << cpus.status().ToString();
+  return cpus.ok() ? *cpus : std::vector<int>{};
+}
+
+TEST(ParseCpuListTest, SingleCpu) {
+  EXPECT_EQ(MustParse("0"), std::vector<int>({0}));
+  EXPECT_EQ(MustParse("17"), std::vector<int>({17}));
+}
+
+TEST(ParseCpuListTest, Range) {
+  EXPECT_EQ(MustParse("0-3"), std::vector<int>({0, 1, 2, 3}));
+}
+
+TEST(ParseCpuListTest, MixedEntriesAndRanges) {
+  EXPECT_EQ(MustParse("0-2,8,10-11"), std::vector<int>({0, 1, 2, 8, 10, 11}));
+}
+
+TEST(ParseCpuListTest, TrailingNewlineAndSpaces) {
+  // sysfs cpulist files end with a newline.
+  EXPECT_EQ(MustParse("4-5\n"), std::vector<int>({4, 5}));
+  EXPECT_EQ(MustParse("  1 , 3 \n"), std::vector<int>({1, 3}));
+}
+
+TEST(ParseCpuListTest, EmptyTextIsEmptyList) {
+  EXPECT_TRUE(MustParse("").empty());
+  EXPECT_TRUE(MustParse(" \n").empty());
+}
+
+TEST(ParseCpuListTest, SortsAndDeduplicates) {
+  EXPECT_EQ(MustParse("3,1,2-3,1"), std::vector<int>({1, 2, 3}));
+}
+
+TEST(ParseCpuListTest, RejectsMalformedEntries) {
+  EXPECT_FALSE(ParseCpuList("a").ok());
+  EXPECT_FALSE(ParseCpuList("1,,2").ok());
+  EXPECT_FALSE(ParseCpuList("-1").ok());    // parses as a bad range
+  EXPECT_FALSE(ParseCpuList("5-2").ok());   // reversed range
+  EXPECT_FALSE(ParseCpuList("0-999999").ok());  // implausibly wide
+}
+
+class ReadTopologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("topo_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void WriteNode(int node, const std::string& cpulist) {
+    const fs::path dir = root_ / ("node" + std::to_string(node));
+    fs::create_directories(dir);
+    std::ofstream out(dir / "cpulist");
+    out << cpulist;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ReadTopologyTest, TwoDomains) {
+  WriteNode(0, "0-3\n");
+  WriteNode(1, "4-7\n");
+  auto topo = ReadTopology(root_.string());
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  ASSERT_EQ(topo->num_domains(), 2);
+  EXPECT_EQ(topo->domains[0].id, 0);
+  EXPECT_EQ(topo->domains[0].cpus, std::vector<int>({0, 1, 2, 3}));
+  EXPECT_EQ(topo->domains[1].cpus, std::vector<int>({4, 5, 6, 7}));
+  EXPECT_EQ(topo->total_cpus(), 8);
+}
+
+TEST_F(ReadTopologyTest, SkipsCpuLessMemoryNodes) {
+  WriteNode(0, "0-1\n");
+  WriteNode(1, "\n");  // CXL-style memory-only node
+  WriteNode(2, "2-3\n");
+  auto topo = ReadTopology(root_.string());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_EQ(topo->num_domains(), 2);
+  EXPECT_EQ(topo->domains[0].id, 0);
+  EXPECT_EQ(topo->domains[1].id, 2);
+}
+
+TEST_F(ReadTopologyTest, ProbeStopsAtFirstGap) {
+  WriteNode(0, "0\n");
+  WriteNode(2, "1\n");  // node1 missing: probe ends after node0
+  auto topo = ReadTopology(root_.string());
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->num_domains(), 1);
+}
+
+TEST_F(ReadTopologyTest, NoNodesIsNotFound) {
+  auto topo = ReadTopology(root_.string());
+  ASSERT_FALSE(topo.ok());
+  EXPECT_TRUE(topo.status().IsNotFound());
+}
+
+TEST_F(ReadTopologyTest, UnparsableCpulistFails) {
+  WriteNode(0, "bogus\n");
+  EXPECT_FALSE(ReadTopology(root_.string()).ok());
+}
+
+TEST(TopologyTest, DomainOfWorkerStripesContiguously) {
+  Topology topo;
+  topo.domains.push_back(NumaDomain{0, {0, 1}});
+  topo.domains.push_back(NumaDomain{1, {2, 3}});
+  // 4 workers over 2 domains: [0, 0, 1, 1].
+  EXPECT_EQ(topo.domain_of_worker(0, 4), 0);
+  EXPECT_EQ(topo.domain_of_worker(1, 4), 0);
+  EXPECT_EQ(topo.domain_of_worker(2, 4), 1);
+  EXPECT_EQ(topo.domain_of_worker(3, 4), 1);
+  // Odd worker counts keep every domain within one worker of even.
+  EXPECT_EQ(topo.domain_of_worker(0, 3), 0);
+  EXPECT_EQ(topo.domain_of_worker(1, 3), 0);
+  EXPECT_EQ(topo.domain_of_worker(2, 3), 1);
+  // More workers than cpus still maps into range.
+  EXPECT_EQ(topo.domain_of_worker(7, 8), 1);
+  // Fewer workers than domains: each lands on its own domain.
+  EXPECT_EQ(topo.domain_of_worker(0, 1), 0);
+}
+
+TEST(TopologyTest, SingleDomainFallback) {
+  const Topology topo = SingleDomainTopology();
+  ASSERT_EQ(topo.num_domains(), 1);
+  EXPECT_GE(topo.total_cpus(), 1);
+  EXPECT_EQ(topo.domain_of_worker(5, 8), 0);
+}
+
+TEST(TopologyTest, DetectTopologyNeverEmpty) {
+  const Topology& topo = DetectTopology();
+  EXPECT_GE(topo.num_domains(), 1);
+  EXPECT_GE(topo.total_cpus(), 1);
+  EXPECT_FALSE(topo.Describe().empty());
+}
+
+TEST(TopologyTest, PinToEmptyListIsOk) {
+  EXPECT_TRUE(PinCurrentThreadToCpus({}).ok());
+}
+
+TEST(TopologyTest, PinToOwnCpusSucceedsOnLinux) {
+#if defined(__linux__)
+  // Pinning to every detected CPU is always admissible.
+  EXPECT_TRUE(PinCurrentThreadToCpus(DetectTopology().domains[0].cpus).ok());
+#else
+  GTEST_SKIP() << "no sched_setaffinity";
+#endif
+}
+
+}  // namespace
+}  // namespace taskbench::hw

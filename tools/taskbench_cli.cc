@@ -2,6 +2,9 @@
 //
 // Subcommands:
 //   run        Run one simulated experiment and print its metrics.
+//   exec       Really execute a distributed matmul on this host, on
+//              the in-process thread pool (--workers=4) or the forked
+//              shared-memory workers (--workers=4proc).
 //   sweep      Sweep the paper's grid dimensions for one algorithm.
 //   correlate  Run the correlation sample set; print/export the matrix.
 //   recommend  Auto-tune block dimension + processor for a workload.
@@ -39,9 +42,11 @@
 //   taskbench recommend --algorithm=kmeans --dataset=kmeans-10gb
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "algos/api.h"
 #include "algos/kmeans.h"
 #include "algos/logreg.h"
 #include "algos/matmul.h"
@@ -54,10 +59,13 @@
 #include "common/args.h"
 #include "common/strings.h"
 #include "data/generators.h"
+#include "common/random.h"
 #include "obs/metrics.h"
 #include "runtime/fault.h"
 #include "runtime/metrics_export.h"
+#include "runtime/multiproc_executor.h"
 #include "runtime/simulated_executor.h"
+#include "runtime/thread_pool_executor.h"
 #include "runtime/trace.h"
 
 namespace tb = taskbench;
@@ -323,6 +331,79 @@ int CmdRun(const tb::Args& args) {
   return 0;
 }
 
+/// `--workers=4` runs on the in-process thread pool; `--workers=4proc`
+/// on the forked shared-memory workers (the scale-out plane).
+tb::Result<std::pair<int, bool>> ParseWorkers(const std::string& text) {
+  std::string digits = text;
+  bool procs = false;
+  if (digits.size() > 4 && digits.substr(digits.size() - 4) == "proc") {
+    procs = true;
+    digits = digits.substr(0, digits.size() - 4);
+  }
+  TB_ASSIGN_OR_RETURN(const int64_t n, tb::ParseInt64(digits));
+  if (n <= 0 || n > 1024) {
+    return tb::Status::InvalidArgument(
+        "--workers expects N or Nproc with 0 < N <= 1024, got '" + text +
+        "'");
+  }
+  return std::make_pair(static_cast<int>(n), procs);
+}
+
+int CmdExec(const tb::Args& args) {
+  auto workers = ParseWorkers(args.GetString("workers", "2proc"));
+  if (!workers.ok()) return Fail(workers.status().ToString());
+  const auto n_or = args.GetInt("n", 512);
+  if (!n_or.ok()) return Fail(n_or.status().ToString());
+  // 0 = auto: one block per worker along the partitioned dimension.
+  const auto block_dim_or = args.GetInt("block-dim", 0);
+  if (!block_dim_or.ok()) return Fail(block_dim_or.status().ToString());
+
+  tb::runtime::RunOptions options;
+  options.block_dim = *block_dim_or;
+  // num_threads also feeds the auto block-dim choice, so set it for
+  // both planes; num_procs only matters to the multi-process one.
+  options.num_threads = workers->first;
+  options.num_procs = workers->first;
+
+  std::unique_ptr<tb::runtime::Executor> executor;
+  if (workers->second) {
+    if (!tb::runtime::MultiProcExecutor::Supported()) {
+      return Fail("multi-process execution is unsupported on this platform");
+    }
+    executor = std::make_unique<tb::runtime::MultiProcExecutor>(options);
+  } else {
+    executor = std::make_unique<tb::runtime::ThreadPoolExecutor>(options);
+  }
+
+  tb::data::Matrix a(*n_or, *n_or);
+  tb::data::Matrix b(*n_or, *n_or);
+  tb::Rng rng(7);
+  tb::data::FillUniform(&a, &rng);
+  tb::data::FillUniform(&b, &rng);
+
+  auto run = tb::algos::RunDistributedMatmul(*executor, a, b);
+  if (!run.ok()) return Fail(run.status().ToString());
+
+  double checksum = 0;
+  for (int64_t i = 0; i < run->product.size(); ++i) {
+    checksum += run->product.data()[i];
+  }
+  std::printf("executor: %s   workers: %d   matmul n=%lld block-dim=%lld\n",
+              executor->name().c_str(), workers->first,
+              static_cast<long long>(*n_or),
+              static_cast<long long>(*block_dim_or));
+  std::printf("tasks: %zu   makespan: %s   checksum: %.6f\n",
+              run->report.records.size(),
+              tb::HumanSeconds(run->report.makespan).c_str(), checksum);
+  const tb::runtime::FaultStats& faults = run->report.faults;
+  if (faults.any()) {
+    std::printf("retries: %lld   dead workers: %lld\n",
+                static_cast<long long>(faults.retries),
+                static_cast<long long>(faults.dead_nodes));
+  }
+  return 0;
+}
+
 int CmdSweep(const tb::Args& args) {
   auto base = BuildConfig(args);
   if (!base.ok()) return Fail(base.status().ToString());
@@ -456,12 +537,15 @@ int CmdDag(const tb::Args& args) {
 void PrintUsage() {
   std::printf(
       "taskbench — distributed GPU task-workflow performance testbed\n\n"
-      "usage: taskbench <run|sweep|correlate|recommend|dag> [options]\n\n"
+      "usage: taskbench <run|exec|sweep|correlate|recommend|dag> "
+      "[options]\n\n"
       "common options:\n"
       "  --algorithm=matmul|matmul-fma|kmeans   --dataset=NAME\n"
       "  --grid=RxC  --clusters=K  --iterations=N\n"
       "  --processor=cpu|gpu  --storage=local|shared\n"
       "  --policy=gen-order|locality  --hybrid\n"
+      "real execution (exec):\n"
+      "  --workers=N|Nproc  --n=SIZE  --block-dim=D\n"
       "fault tolerance:\n"
       "  --faults=crash@T:nN,gpuloss@T:nN,slow@T:nN:xF,storage:pP[:sS]\n"
       "  --retries=N  --retry-backoff=S\n"
@@ -481,6 +565,7 @@ int main(int argc, char** argv) {
   }
   const std::string command = args.positional()[0];
   if (command == "run") return CmdRun(args);
+  if (command == "exec") return CmdExec(args);
   if (command == "sweep") return CmdSweep(args);
   if (command == "correlate") return CmdCorrelate(args);
   if (command == "recommend") return CmdRecommend(args);

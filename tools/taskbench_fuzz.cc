@@ -8,13 +8,15 @@
 // and a single-seed repro command, then exits non-zero.
 //
 // Usage: taskbench_fuzz [--seeds A..B | --seeds N] [--threads T]
-//                       [--no-faults] [--no-sim] [--verbose]
+//                       [--no-faults] [--no-sim] [--no-multiproc]
+//                       [--verbose]
 //
 //   --seeds 0..99   inclusive seed range (default 0..19)
 //   --seeds 100     shorthand for 0..99
 //   --threads T     worker count of the parallel legs (default 4)
 //   --no-faults     skip the fault-injection legs
 //   --no-sim        skip the simulated-executor matrix
+//   --no-multiproc  skip the multi-process (shm arena) legs
 //   --verbose       print every seed's workload and config counts
 
 #include <cstdint>
@@ -51,7 +53,8 @@ bool ParseSeeds(const char* arg, uint64_t* first, uint64_t* last) {
 int Usage() {
   std::fprintf(stderr,
                "usage: taskbench_fuzz [--seeds A..B | --seeds N] "
-               "[--threads T] [--no-faults] [--no-sim] [--verbose]\n");
+               "[--threads T] [--no-faults] [--no-sim] [--no-multiproc] "
+               "[--verbose]\n");
   return 2;
 }
 
@@ -72,6 +75,8 @@ int main(int argc, char** argv) {
       options.include_faults = false;
     } else if (std::strcmp(argv[i], "--no-sim") == 0) {
       options.include_sim = false;
+    } else if (std::strcmp(argv[i], "--no-multiproc") == 0) {
+      options.include_multiproc = false;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else {
@@ -94,11 +99,12 @@ int main(int argc, char** argv) {
     if (!result.ok()) {
       ++divergent_seeds;
       std::fputs(result.Summary().c_str(), stdout);
-      std::printf("  repro: taskbench_fuzz --seeds %llu..%llu%s%s\n",
+      std::printf("  repro: taskbench_fuzz --seeds %llu..%llu%s%s%s\n",
                   static_cast<unsigned long long>(seed),
                   static_cast<unsigned long long>(seed),
                   options.include_faults ? "" : " --no-faults",
-                  options.include_sim ? "" : " --no-sim");
+                  options.include_sim ? "" : " --no-sim",
+                  options.include_multiproc ? "" : " --no-multiproc");
     }
   }
 
