@@ -16,6 +16,7 @@
 #include "storage/shm_arena.h"
 
 #if !defined(_WIN32)
+#include <dirent.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -74,6 +75,14 @@ struct CompletionMsg {
   int32_t worker = -1;
   int32_t attempt = 1;
   int32_t code = 0;
+  /// Arena offset + 1 of the staged-outputs index record (0 = no
+  /// outputs staged). The worker only *stages* output records; the
+  /// coordinator performs the directory stores when it consumes this
+  /// message, so publication is atomic with completion — a worker
+  /// dying after staging but before its completion is consumed leaves
+  /// the directory untouched and the retry re-reads pre-attempt
+  /// values (INOUT tasks are never double-applied).
+  uint64_t outputs = 0;
   double start = 0;
   double end = 0;
   double deserialize_s = 0;
@@ -113,17 +122,26 @@ double SecondsSince(int64_t origin_ns) {
 uint64_t AlignUp64(uint64_t n) { return (n + 63) & ~uint64_t{63}; }
 
 /// Serializes `m` into a fresh arena record ([u64 payload bytes |
-/// payload]) and publishes it in the directory slot of `d`. The
-/// directory stores offset+1 so 0 keeps meaning "never written"; the
-/// release store pairs with readers' acquire loads, making the
-/// payload bytes visible with the offset.
-Status PublishBlock(storage::ShmArena& arena, std::atomic<uint64_t>* directory,
-                    DataId d, const data::Matrix& m) {
+/// payload]) WITHOUT touching the directory; returns the record
+/// offset. Staged records become visible only when someone stores
+/// offset+1 into the directory slot.
+Result<uint64_t> StageBlock(storage::ShmArena& arena, const data::Matrix& m) {
   const uint64_t payload = storage::Serializer::SerializedSize(m);
   TB_ASSIGN_OR_RETURN(const uint64_t offset, arena.Allocate(8 + payload));
   uint8_t* record = arena.At(offset);
   std::memcpy(record, &payload, sizeof(payload));
   storage::Serializer::SerializeTo(m, record + 8);
+  return offset;
+}
+
+/// Coordinator-side: stage `m` and publish it in the directory slot
+/// of `d` immediately (used for the pre-fork initial values). The
+/// directory stores offset+1 so 0 keeps meaning "never written"; the
+/// release store pairs with readers' acquire loads, making the
+/// payload bytes visible with the offset.
+Status PublishBlock(storage::ShmArena& arena, std::atomic<uint64_t>* directory,
+                    DataId d, const data::Matrix& m) {
+  TB_ASSIGN_OR_RETURN(const uint64_t offset, StageBlock(arena, m));
   directory[d].store(offset + 1, std::memory_order_release);
   return Status::OK();
 }
@@ -217,17 +235,44 @@ CompletionMsg RunOne(int worker_id, const TaskMsg& msg, const TaskGraph& graph,
     return out;
   }
 
+  // Stage the outputs: serialize each into its own arena record, then
+  // write one index record [u64 count | count x (u64 data id, u64
+  // record offset)] referenced from the completion message. The
+  // directory is deliberately NOT written here — only the coordinator
+  // publishes, when it consumes the completion — so a crash between
+  // staging and consumption cannot expose this attempt's outputs to a
+  // retry (which would double-apply INOUT tasks).
+  std::vector<std::pair<uint64_t, uint64_t>> staged;
+  staged.reserve(out_ids.size());
   for (size_t i = 0; i < out_ids.size(); ++i) {
     const double t0 = SecondsSince(origin_ns);
-    const Status put = PublishBlock(arena, directory, out_ids[i],
-                                    out_values[i]);
-    if (!put.ok()) {
+    Result<uint64_t> offset = StageBlock(arena, out_values[i]);
+    if (!offset.ok()) {
       out.code = 2;  // arena exhaustion: retrying cannot help
-      SetError(&out, put);
+      SetError(&out, offset.status());
       out.end = SecondsSince(origin_ns);
       return out;
     }
+    staged.emplace_back(static_cast<uint64_t>(out_ids[i]), *offset);
     out.serialize_s += SecondsSince(origin_ns) - t0;
+  }
+  if (!staged.empty()) {
+    Result<uint64_t> index =
+        arena.Allocate(8 + 16 * static_cast<uint64_t>(staged.size()));
+    if (!index.ok()) {
+      out.code = 2;
+      SetError(&out, index.status());
+      out.end = SecondsSince(origin_ns);
+      return out;
+    }
+    uint8_t* record = arena.At(*index);
+    const uint64_t count = staged.size();
+    std::memcpy(record, &count, sizeof(count));
+    for (size_t i = 0; i < staged.size(); ++i) {
+      std::memcpy(record + 8 + 16 * i, &staged[i].first, 8);
+      std::memcpy(record + 8 + 16 * i + 8, &staged[i].second, 8);
+    }
+    out.outputs = *index + 1;
   }
   out.end = SecondsSince(origin_ns);
   return out;
@@ -268,26 +313,55 @@ CompletionMsg RunOne(int worker_id, const TaskMsg& msg, const TaskGraph& graph,
 }
 
 /// Arena capacity estimate from the graph: one record per staged
-/// initial value plus one per task output write (records are never
-/// freed), each at the datum's registered size plus framing, with 2x
-/// headroom for kernels emitting denser blocks than registered and a
-/// 1 MiB floor.
-uint64_t EstimateArenaBytes(const TaskGraph& graph) {
+/// initial value plus one per task output write and one index record
+/// per attempt (records are never freed), each at the datum's
+/// registered size plus framing, with 2x headroom for kernels
+/// emitting denser blocks than registered and a 1 MiB floor. The
+/// per-attempt terms are scaled by 1 + max_retries: every retry of a
+/// crashed or failed attempt re-stages its outputs into fresh
+/// records, so an arena sized for exactly one attempt per task would
+/// exhaust during the recovery the retry budget promises.
+uint64_t EstimateArenaBytes(const TaskGraph& graph, int max_retries) {
   auto record_bytes = [](uint64_t payload) {
     return AlignUp64(payload + 8 /* frame */ + 28 /* wire header */);
   };
-  uint64_t need = 0;
+  uint64_t initial = 0;
   for (DataId d = 0; d < graph.num_data(); ++d) {
     if (graph.data(d).value.has_value()) {
-      need += record_bytes(graph.data(d).bytes);
+      initial += record_bytes(graph.data(d).bytes);
     }
   }
+  uint64_t per_attempt = 0;
   for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    uint64_t num_outputs = 0;
     for (const Param& p : graph.task(t).spec.params) {
-      if (p.dir != Dir::kIn) need += record_bytes(graph.data(p.data).bytes);
+      if (p.dir == Dir::kIn) continue;
+      per_attempt += record_bytes(graph.data(p.data).bytes);
+      ++num_outputs;
     }
+    if (num_outputs > 0) per_attempt += AlignUp64(8 + 16 * num_outputs);
   }
+  const uint64_t attempts =
+      1 + static_cast<uint64_t>(std::max(0, max_retries));
+  const uint64_t need = initial + attempts * per_attempt;
   return std::max<uint64_t>(2 * need, 1 << 20);
+}
+
+/// Threads in the calling process, via procfs; -1 when unknown (no
+/// /proc, e.g. macOS). fork() without exec duplicates only the
+/// calling thread, so any mutex another thread holds at fork time
+/// (allocator, logging, metrics) stays locked forever in the child —
+/// a worker then deadlocks on its first allocation. Execute refuses
+/// to fork from a multi-threaded process instead of hanging.
+int CountProcessThreads() {
+  DIR* dir = ::opendir("/proc/self/task");
+  if (dir == nullptr) return -1;
+  int n = 0;
+  while (const dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++n;
+  }
+  ::closedir(dir);
+  return n;
 }
 
 /// Tasks queued to one worker beyond the one it is running — deep
@@ -313,6 +387,16 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph) {
     }
   }
 
+  const int caller_threads = CountProcessThreads();
+  if (caller_threads > 1) {
+    return Status::FailedPrecondition(StrFormat(
+        "MultiProcExecutor::Execute must be called from a single-threaded "
+        "process (found %d threads): workers are forked without exec, so "
+        "locks held by other threads at fork time stay locked forever in "
+        "the children; join other threads before running",
+        caller_threads));
+  }
+
   const int num_workers = std::max(1, options_.num_procs);
   const hw::Topology& topo = hw::DetectTopology();
   std::vector<int> worker_domain(static_cast<size_t>(num_workers), 0);
@@ -327,9 +411,10 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph) {
   // is mapped before fork so all processes share the pages at the
   // same addresses.
   // ----------------------------------------------------------------
-  const uint64_t arena_bytes = options_.shm_arena_bytes > 0
-                                   ? options_.shm_arena_bytes
-                                   : EstimateArenaBytes(graph);
+  const uint64_t arena_bytes =
+      options_.shm_arena_bytes > 0
+          ? options_.shm_arena_bytes
+          : EstimateArenaBytes(graph, options_.max_retries);
   TB_ASSIGN_OR_RETURN(storage::ShmArena arena,
                       storage::ShmArena::Create("arena", arena_bytes));
 
@@ -500,6 +585,26 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph) {
     }
     if (completed[static_cast<size_t>(msg.task)]) return;  // stale duplicate
     if (msg.code == 0) {
+      // Publish the attempt's staged outputs. Doing this here — not
+      // in the worker — makes publication atomic with completion:
+      // either the coordinator consumed the completion (outputs
+      // visible, task done, never re-run) or it did not (directory
+      // untouched, a retry re-reads pre-attempt values). The stale
+      // check above also keeps a slower duplicate attempt from
+      // overwriting versions successors already read.
+      if (msg.outputs != 0) {
+        const uint8_t* record = arena.At(msg.outputs - 1);
+        uint64_t count = 0;
+        std::memcpy(&count, record, sizeof(count));
+        for (uint64_t i = 0; i < count; ++i) {
+          uint64_t id = 0;
+          uint64_t offset = 0;
+          std::memcpy(&id, record + 8 + 16 * i, 8);
+          std::memcpy(&offset, record + 8 + 16 * i + 8, 8);
+          directory[static_cast<DataId>(id)].store(
+              offset + 1, std::memory_order_release);
+        }
+      }
       completed[static_cast<size_t>(msg.task)] = 1;
       ++num_completed;
       const Task& task = graph.task(msg.task);
@@ -535,12 +640,17 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph) {
       }
       return;
     }
-    // Task failure inside a live worker.
+    // Task failure inside a live worker. Fatal (code 2) failures are
+    // arena exhaustion: note that every retry re-stages its outputs,
+    // so heavy retrying needs extra arena headroom.
     if (msg.code == 2 || msg.attempt > options_.max_retries) {
-      fail_run(Status::Internal(msg.error).WithContext(
-          StrFormat("task %lld attempt %d on worker %d",
-                    static_cast<long long>(msg.task), msg.attempt,
-                    msg.worker)));
+      fail_run(Status::Internal(msg.error).WithContext(StrFormat(
+          msg.code == 2
+              ? "task %lld attempt %d on worker %d (each retry re-stages "
+                "its outputs; raise RunOptions::shm_arena_bytes when "
+                "retrying under memory pressure)"
+              : "task %lld attempt %d on worker %d",
+          static_cast<long long>(msg.task), msg.attempt, msg.worker)));
       return;
     }
     ++retries;
@@ -565,7 +675,13 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph) {
       if (!alive[static_cast<size_t>(w)]) continue;
       int status = 0;
       const pid_t r = waitpid(pids[static_cast<size_t>(w)], &status, WNOHANG);
-      if (r != pids[static_cast<size_t>(w)]) continue;
+      if (r == 0) continue;  // still running, nothing to reap
+      // r < 0 (ECHILD) happens when the embedder ignores SIGCHLD and
+      // children are auto-reaped: waitpid can never observe the exit.
+      // Ask the kernel directly — only a worker whose pid is gone is
+      // dead; treating ECHILD as "alive" would spin forever on a
+      // crashed worker's in-flight tasks.
+      if (r < 0 && kill(pids[static_cast<size_t>(w)], 0) == 0) continue;
       alive[static_cast<size_t>(w)] = 0;
       ++dead_workers;
       // Completions the worker pushed before dying are still in its
@@ -650,7 +766,9 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph) {
     if (!alive[static_cast<size_t>(w)]) continue;
     for (;;) {
       const pid_t r = waitpid(pids[static_cast<size_t>(w)], nullptr, WNOHANG);
-      if (r == pids[static_cast<size_t>(w)] || r < 0) break;
+      if (r == pids[static_cast<size_t>(w)]) break;
+      // ECHILD + pid gone: auto-reaped (embedder ignores SIGCHLD).
+      if (r < 0 && kill(pids[static_cast<size_t>(w)], 0) != 0) break;
       if (NowNs() > reap_deadline_ns) {
         kill(pids[static_cast<size_t>(w)], SIGKILL);
         waitpid(pids[static_cast<size_t>(w)], nullptr, 0);

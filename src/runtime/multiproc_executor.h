@@ -28,9 +28,13 @@ namespace taskbench::runtime {
 ///    segment: a task ring in, a completion ring out. The coordinator
 ///    never touches block bytes; workers serialize results straight
 ///    into the arena (`Serializer` wire format, same as the storage
-///    path) and publish them by offset in a shared directory, so a
-///    block moves between workers without ever being copied through
-///    the coordinator.
+///    path) and *stage* them — the coordinator performs the shared-
+///    directory stores when it consumes the completion, so a block
+///    still moves between workers without being copied through the
+///    coordinator, but publication is atomic with completion: a
+///    worker dying after staging leaves the directory untouched and a
+///    retried attempt re-reads pre-attempt values (INOUT tasks are
+///    never double-applied).
 ///  - Placement is topology-aware: workers are striped over the NUMA
 ///    domains (and optionally pinned), and a ready task prefers a
 ///    worker in the domain that produced most of its input bytes —
@@ -45,6 +49,15 @@ namespace taskbench::runtime {
 ///
 /// POSIX-only (fork + shm_open); `Supported()` is false on platforms
 /// without them and Execute fails with Unimplemented there.
+///
+/// Execute must be called from a single-threaded process: workers are
+/// forked without exec, so a lock held by any other caller thread at
+/// fork time (allocator, logging, metrics mutexes) stays locked
+/// forever inside every worker, deadlocking its first allocation.
+/// Execute detects extra threads (via /proc/self/task, Linux) and
+/// fails with FailedPrecondition instead of hanging; join worker
+/// threads (the thread-pool executor joins inside its own Execute)
+/// before running this one.
 class MultiProcExecutor final : public Executor {
  public:
   explicit MultiProcExecutor(RunOptions options);

@@ -121,27 +121,34 @@ Result<ShmArena> ShmArena::Create(const std::string& name_hint,
 Result<uint64_t> ShmArena::Allocate(uint64_t bytes) {
   Header* h = header();
   const uint64_t need = AlignUp(bytes);
-  const uint64_t offset = h->next.fetch_add(need, std::memory_order_relaxed);
-  if (offset + need > h->capacity) {
-    // Back out so later, smaller allocations may still fit. Benign
-    // race: concurrent failures each return their own reservation.
-    h->next.fetch_sub(need, std::memory_order_relaxed);
-    const uint64_t usable = h->capacity - AlignUp(sizeof(Header));
-    if (need > usable) {
+  // CAS loop instead of fetch_add + back-out: the cursor only ever
+  // holds committed reservations, so a failing large allocation can
+  // never transiently inflate it and make a concurrent smaller
+  // allocation that would fit fail spuriously (workers treat
+  // ResourceExhausted as fatal, so a spurious one kills the run).
+  uint64_t offset = h->next.load(std::memory_order_relaxed);
+  for (;;) {
+    if (offset + need > h->capacity || offset + need < offset) {
+      const uint64_t usable = h->capacity - AlignUp(sizeof(Header));
+      if (need > usable) {
+        return Status::ResourceExhausted(StrFormat(
+            "block of %llu bytes exceeds the whole shm arena (%llu usable "
+            "bytes); raise RunOptions::shm_arena_bytes",
+            static_cast<unsigned long long>(bytes),
+            static_cast<unsigned long long>(usable)));
+      }
       return Status::ResourceExhausted(StrFormat(
-          "block of %llu bytes exceeds the whole shm arena (%llu usable "
-          "bytes); raise RunOptions::shm_arena_bytes",
-          static_cast<unsigned long long>(bytes),
-          static_cast<unsigned long long>(usable)));
+          "shm arena exhausted: %llu of %llu bytes used, %llu more "
+          "requested; raise RunOptions::shm_arena_bytes",
+          static_cast<unsigned long long>(offset),
+          static_cast<unsigned long long>(h->capacity),
+          static_cast<unsigned long long>(bytes)));
     }
-    return Status::ResourceExhausted(StrFormat(
-        "shm arena exhausted: %llu of %llu bytes used, %llu more "
-        "requested; raise RunOptions::shm_arena_bytes",
-        static_cast<unsigned long long>(offset),
-        static_cast<unsigned long long>(h->capacity),
-        static_cast<unsigned long long>(bytes)));
+    if (h->next.compare_exchange_weak(offset, offset + need,
+                                      std::memory_order_relaxed)) {
+      return offset;
+    }
   }
-  return offset;
 }
 
 uint64_t ShmArena::capacity() const { return header()->capacity; }

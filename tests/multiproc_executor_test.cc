@@ -15,7 +15,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <new>
+#include <thread>
 #endif
 
 namespace taskbench::runtime {
@@ -235,6 +237,92 @@ TEST(MultiProcExecutorTest, WorkerCrashMidTaskIsRetriedOnSurvivor) {
 
   munmap(page, 4096);
 }
+
+// Crash-retry on INOUT accumulators must apply every task exactly
+// once. Workers only *stage* outputs; the coordinator performs the
+// directory stores when it consumes the completion, so a crashed
+// attempt can never leak a half-applied update into its retry's
+// input. A double-applied increment would show up as 4.0 instead of
+// 3.0 in the final accumulator.
+TEST(MultiProcExecutorTest, CrashedInOutAttemptIsAppliedExactlyOnce) {
+  void* page = mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(page, MAP_FAILED);
+  auto* crashes_left = new (page) std::atomic<int>(1);
+
+  TaskGraph graph;
+  const DataId acc = graph.AddData(data::Matrix(4, 4, 0.0));
+  for (int i = 0; i < 3; ++i) {
+    TaskSpec spec;
+    spec.type = "accumulate";
+    spec.params = {{acc, Dir::kInOut}};
+    const bool crashy = i == 1;
+    spec.kernel = [crashes_left, crashy](
+                      const std::vector<const data::Matrix*>& inputs,
+                      const std::vector<data::Matrix*>& outputs) -> Status {
+      (void)inputs;
+      if (crashy &&
+          crashes_left->fetch_sub(1, std::memory_order_acq_rel) > 0) {
+        _exit(17);  // die mid-chain, taking the worker down
+      }
+      data::Matrix& m = *outputs[0];  // aliases the INOUT input value
+      for (int64_t j = 0; j < m.size(); ++j) m.data()[j] += 1.0;
+      return Status::OK();
+    };
+    ASSERT_TRUE(graph.Submit(std::move(spec)).ok());
+  }
+
+  RunOptions options = ProcOptions(2);
+  options.max_retries = 2;
+  options.retry_backoff_s = 1e-4;
+  MultiProcExecutor executor(options);
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->faults.dead_nodes, 1);
+  EXPECT_GE(report->faults.retries, 1);
+  ASSERT_EQ(report->records.size(), 3u);
+
+  auto result = executor.FetchData(graph, acc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result == data::Matrix(4, 4, 3.0))
+      << "INOUT chain applied a crashed attempt's update twice";
+
+  check::InvariantContext context;
+  context.num_threads = 2;
+  context.faulted = true;
+  EXPECT_TRUE(check::VerifyReport(graph, *report, context).ok());
+
+  munmap(page, 4096);
+}
+
+#if defined(__linux__)
+// fork() without exec from a multi-threaded process inherits other
+// threads' locked mutexes into every worker; Execute must refuse
+// with a clear error instead of letting workers deadlock.
+TEST(MultiProcExecutorTest, MultiThreadedCallerIsRejected) {
+  TaskGraph graph;
+  const DataId in = graph.AddData(data::Matrix(2, 2, 0.0));
+  const DataId out = graph.AddData(static_cast<uint64_t>(32));
+  ASSERT_TRUE(graph.Submit(SimpleTask(in, out, AddOneKernel())).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread lingering([&stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  MultiProcExecutor executor(ProcOptions(2));
+  auto report = executor.Execute(graph);
+  stop.store(true, std::memory_order_release);
+  lingering.join();
+
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(report.status().message().find("single-threaded"),
+            std::string::npos);
+}
+#endif  // __linux__
 
 TEST(MultiProcExecutorTest, CrashWithoutRetryBudgetFailsTheRun) {
   void* page = mmap(nullptr, 4096, PROT_READ | PROT_WRITE,

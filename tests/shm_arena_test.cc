@@ -4,6 +4,7 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -80,6 +81,30 @@ TEST(ShmArenaTest, ExhaustionIsResourceExhausted) {
             std::string::npos);
   // The failed reservation was backed out: small blocks still fit.
   EXPECT_TRUE(arena->Allocate(1).ok());
+}
+
+// Regression: Allocate used to fetch_add then fetch_sub on failure,
+// transiently inflating the cursor — a concurrent small allocation
+// that fit could spuriously see an exhausted arena, which workers
+// escalate as fatal. The CAS loop never publishes an over-capacity
+// cursor, so every small allocation below must succeed no matter how
+// hard the failing thread hammers.
+TEST(ShmArenaTest, FailingAllocationNeverStarvesConcurrentSmallOnes) {
+  auto arena = ShmArena::Create("test", 1 << 16);  // 64 KiB
+  ASSERT_TRUE(arena.ok());
+  std::atomic<bool> stop{false};
+  std::thread bully([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto huge = arena->Allocate(1 << 20);  // can never fit
+      EXPECT_FALSE(huge.ok());
+    }
+  });
+  for (int i = 0; i < 512; ++i) {  // 512 x 64 B = 32 KiB, all fit
+    auto small = arena->Allocate(64);
+    EXPECT_TRUE(small.ok()) << small.status().ToString();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  bully.join();
 }
 
 TEST(ShmArenaTest, OversizedBlockReportedDistinctly) {
