@@ -30,7 +30,7 @@ int main() {
     auto wf = tb::algos::BuildKMeans(*spec, options);
     TB_CHECK_OK(wf.status());
     tb::runtime::SimulatedExecutor executor(
-        cluster, tb::runtime::SimulatedExecutorOptions{});
+        cluster, tb::runtime::RunOptions{});
     auto report = executor.Execute(wf->graph);
     TB_CHECK_OK(report.status());
     return report->MeanLevelTime();

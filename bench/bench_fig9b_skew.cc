@@ -21,7 +21,7 @@ namespace {
 /// (the paper also runs each experiment repeatedly and aggregates).
 double MedianKernelTime(tb::runtime::TaskGraph& graph,
                         const std::string& type) {
-  tb::runtime::ThreadPoolExecutorOptions options;
+  tb::runtime::RunOptions options;
   options.num_threads = 2;
   options.use_storage = false;
   tb::runtime::ThreadPoolExecutor executor(options);

@@ -31,7 +31,7 @@ Outcome RunKMeans(int64_t grid, tb::Processor target, bool hybrid) {
   options.processor = target;
   auto wf = tb::algos::BuildKMeans(*spec, options);
   TB_CHECK_OK(wf.status());
-  tb::runtime::SimulatedExecutorOptions exec;
+  tb::runtime::RunOptions exec;
   exec.hybrid = hybrid;
   auto report = tb::runtime::SimulatedExecutor(tb::hw::MinotauroCluster(),
                                                exec)

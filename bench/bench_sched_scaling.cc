@@ -124,7 +124,7 @@ Row RunOne(const std::string& shape, int64_t n, SchedulingPolicy policy) {
   TaskGraph graph = shape == "wide"   ? WideGraph(n)
                     : shape == "deep" ? DeepGraph(n)
                                       : GridGraph(n);
-  runtime::SimulatedExecutorOptions options;
+  runtime::RunOptions options;
   options.storage = hw::StorageArchitecture::kLocalDisk;
   options.policy = policy;
   runtime::SimulatedExecutor executor(hw::MinotauroCluster(), options);

@@ -82,7 +82,7 @@ int main() {
   tb::analysis::TextTable table({"mode", "makespan", "CPU tasks",
                                  "GPU tasks"});
   for (const bool hybrid : {false, true}) {
-    tb::runtime::SimulatedExecutorOptions exec;
+    tb::runtime::RunOptions exec;
     exec.hybrid = hybrid;
     tb::runtime::SimulatedExecutor executor(tb::hw::MinotauroCluster(),
                                             exec);

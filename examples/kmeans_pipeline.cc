@@ -41,7 +41,7 @@ int main() {
 
   const tb::data::Matrix initial = *wf->graph.data(wf->centroids).value;
 
-  tb::runtime::ThreadPoolExecutorOptions exec_options;
+  tb::runtime::RunOptions exec_options;
   exec_options.num_threads = 4;
   tb::runtime::ThreadPoolExecutor executor(exec_options);
   auto report = executor.Execute(wf->graph);

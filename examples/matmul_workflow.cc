@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   std::filesystem::remove_all(dir);
   auto storage = tb::storage::FileStorage::Open(dir.string());
   TB_CHECK_OK(storage.status());
-  tb::runtime::ThreadPoolExecutorOptions exec_options;
+  tb::runtime::RunOptions exec_options;
   exec_options.num_threads = 4;
   exec_options.use_storage = true;
   std::shared_ptr<tb::storage::BlockStorage> store = std::move(*storage);

@@ -46,7 +46,7 @@ int main() {
               static_cast<long long>(wf->graph.MaxWidth()),
               static_cast<long long>(wf->graph.MaxHeight()));
 
-  tb::runtime::ThreadPoolExecutorOptions exec_options;
+  tb::runtime::RunOptions exec_options;
   exec_options.num_threads = 4;
   tb::runtime::ThreadPoolExecutor executor(exec_options);
   auto report = executor.Execute(wf->graph);

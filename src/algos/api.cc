@@ -140,25 +140,4 @@ Result<KMeansRun> RunDistributedKMeans(runtime::Executor& executor,
   return run;
 }
 
-Result<data::Matrix> DistributedMatmul(const data::Matrix& a,
-                                       const data::Matrix& b,
-                                       const ExecuteOptions& options) {
-  runtime::RunOptions exec = options;
-  exec.use_storage = false;  // in-memory pipeline for the one-call API
-  runtime::ThreadPoolExecutor executor(std::move(exec));
-  TB_ASSIGN_OR_RETURN(MatmulRun run, RunDistributedMatmul(executor, a, b));
-  return std::move(run.product);
-}
-
-Result<KMeansFit> DistributedKMeans(const data::Matrix& samples, int k,
-                                    int iterations,
-                                    const ExecuteOptions& options) {
-  runtime::RunOptions exec = options;
-  exec.use_storage = false;
-  runtime::ThreadPoolExecutor executor(std::move(exec));
-  TB_ASSIGN_OR_RETURN(KMeansRun run,
-                      RunDistributedKMeans(executor, samples, k, iterations));
-  return std::move(run.fit);
-}
-
 }  // namespace taskbench::algos

@@ -20,11 +20,6 @@ namespace taskbench::algos {
 /// Use the Build* functions directly for full control over workflow
 /// construction.
 
-/// Deprecated alias — execution knobs now live in the one shared
-/// options struct (`num_threads` and `block_dim` are the fields the
-/// high-level calls read).
-using ExecuteOptions = runtime::RunOptions;
-
 /// Outcome of one high-level workflow run: the execution report (with
 /// fault/retry counters when a plan was active) plus the materialized
 /// result when the executor computes real values.
@@ -60,16 +55,6 @@ Result<MatmulRun> RunDistributedMatmul(runtime::Executor& executor,
 Result<KMeansRun> RunDistributedKMeans(runtime::Executor& executor,
                                        const data::Matrix& samples, int k,
                                        int iterations);
-
-/// Deprecated shims: run on a private in-memory thread pool built
-/// from `options` and return only the result value. New code should
-/// construct an executor and call the Run* forms.
-Result<data::Matrix> DistributedMatmul(const data::Matrix& a,
-                                       const data::Matrix& b,
-                                       const ExecuteOptions& options = {});
-Result<KMeansFit> DistributedKMeans(const data::Matrix& samples, int k,
-                                    int iterations,
-                                    const ExecuteOptions& options = {});
 
 }  // namespace taskbench::algos
 

@@ -11,12 +11,11 @@
 #include "common/strings.h"
 #include "data/kernels.h"
 #include "hw/cluster.h"
+#include "runtime/executor_factory.h"
 #include "runtime/fault.h"
 #include "runtime/metrics_export.h"
 #include "runtime/multiproc_executor.h"
 #include "runtime/run_options.h"
-#include "runtime/simulated_executor.h"
-#include "runtime/thread_pool_executor.h"
 #include "runtime/trace.h"
 #include "obs/json.h"
 #include "storage/block_storage.h"
@@ -89,8 +88,16 @@ RealRun RunReal(const WorkloadSpec& spec, const RealConfig& config) {
     // Multi-process leg: forked workers + shared-memory arena. The
     // kernel variant pin above rides into the workers via fork.
     options.num_procs = config.procs;
-    runtime::MultiProcExecutor executor(options);
-    auto result = executor.Execute(built->graph);
+    runtime::ExecutorSpec exec_spec;
+    exec_spec.kind = runtime::ExecutorKind::kProcs;
+    exec_spec.options = options;
+    auto executor_or = runtime::MakeExecutor(exec_spec);
+    if (!executor_or.ok()) {
+      out.status = executor_or.status();
+      return out;
+    }
+    runtime::Executor& executor = **executor_or;
+    auto result = executor.Run(built->graph);
     if (!result.ok()) {
       out.status = result.status();
       return out;
@@ -102,7 +109,7 @@ RealRun RunReal(const WorkloadSpec& spec, const RealConfig& config) {
     if (!out.status.ok()) return out;
     out.values.reserve(built->compare.size());
     for (DataId d : built->compare) {
-      auto value = executor.FetchData(built->graph, d);
+      auto value = executor.Fetch(built->graph, d);
       if (!value.ok()) {
         out.status = value.status().WithContext(
             StrFormat("fetching datum %lld", static_cast<long long>(d)));
@@ -134,8 +141,17 @@ RealRun RunReal(const WorkloadSpec& spec, const RealConfig& config) {
     options.max_retries = 6;
     options.retry_backoff_s = 1e-4;
   }
-  runtime::ThreadPoolExecutor executor(options, store);
-  auto result = executor.Execute(built->graph);
+  runtime::ExecutorSpec exec_spec;
+  exec_spec.kind = runtime::ExecutorKind::kThreads;
+  exec_spec.options = options;
+  exec_spec.store = store;
+  auto executor_or = runtime::MakeExecutor(exec_spec);
+  if (!executor_or.ok()) {
+    out.status = executor_or.status();
+    return out;
+  }
+  runtime::Executor& executor = **executor_or;
+  auto result = executor.Run(built->graph);
   if (!result.ok()) {
     out.status = result.status();
     return out;
@@ -154,7 +170,7 @@ RealRun RunReal(const WorkloadSpec& spec, const RealConfig& config) {
   }
   out.values.reserve(built->compare.size());
   for (DataId d : built->compare) {
-    auto value = executor.FetchData(built->graph, d);
+    auto value = executor.Fetch(built->graph, d);
     if (!value.ok()) {
       out.status = value.status().WithContext(
           StrFormat("fetching datum %lld", static_cast<long long>(d)));
@@ -339,14 +355,23 @@ DifferentialResult RunDifferential(const WorkloadSpec& spec,
     sim_options.storage = config.storage;
     sim_options.hybrid = config.hybrid;
     sim_options.check_invariants = true;
-    runtime::SimulatedExecutor executor(cluster, sim_options);
-    auto run1 = executor.Execute(built->graph);
+    runtime::ExecutorSpec exec_spec;
+    exec_spec.kind = runtime::ExecutorKind::kSim;
+    exec_spec.options = sim_options;
+    exec_spec.cluster = cluster;
+    auto executor_or = runtime::MakeExecutor(exec_spec);
+    if (!executor_or.ok()) {
+      diverge(config.name, executor_or.status().ToString());
+      continue;
+    }
+    runtime::Executor& executor = **executor_or;
+    auto run1 = executor.Run(built->graph);
     ++result.sim_configs;
     if (!run1.ok()) {
       diverge(config.name, run1.status().ToString());
       continue;
     }
-    auto run2 = executor.Execute(built->graph);
+    auto run2 = executor.Run(built->graph);
     if (!run2.ok()) {
       diverge(config.name, "re-run failed: " + run2.status().ToString());
       continue;
@@ -428,14 +453,23 @@ DifferentialResult RunDifferential(const WorkloadSpec& spec,
       sim_options.max_retries = 8;
       sim_options.retry_backoff_s = 0.01;
       sim_options.check_invariants = true;
-      runtime::SimulatedExecutor executor(cluster, sim_options);
-      auto run1 = executor.Execute(built->graph);
+      runtime::ExecutorSpec exec_spec;
+      exec_spec.kind = runtime::ExecutorKind::kSim;
+      exec_spec.options = sim_options;
+      exec_spec.cluster = cluster;
+      auto executor_or = runtime::MakeExecutor(exec_spec);
+      if (!executor_or.ok()) {
+        diverge(name, executor_or.status().ToString());
+        continue;
+      }
+      runtime::Executor& executor = **executor_or;
+      auto run1 = executor.Run(built->graph);
       ++result.sim_configs;
       if (!run1.ok()) {
         diverge(name, run1.status().ToString());
         continue;
       }
-      auto run2 = executor.Execute(built->graph);
+      auto run2 = executor.Run(built->graph);
       if (!run2.ok() ||
           Fnv1a(kFnvOffsetBasis,
                 CanonicalReport(*run1) + CanonicalAttempts(*run1)) !=

@@ -20,6 +20,9 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
+  kCancelled,           ///< cooperatively cancelled by the caller.
+  kRejectedAdmission,   ///< backpressure: a service queue refused the work.
+  kDeadlineExceeded,    ///< a submission outlived its queue deadline.
 };
 
 /// Returns a stable human-readable name for a status code ("OutOfMemory").
@@ -69,6 +72,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status RejectedAdmission(std::string msg) {
+    return Status(StatusCode::kRejectedAdmission, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,6 +99,13 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsRejectedAdmission() const {
+    return code_ == StatusCode::kRejectedAdmission;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

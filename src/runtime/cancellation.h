@@ -1,0 +1,35 @@
+#ifndef TASKBENCH_RUNTIME_CANCELLATION_H_
+#define TASKBENCH_RUNTIME_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace taskbench::runtime {
+
+/// Cooperative cancellation flag shared between a submitter and an
+/// executing run. Copies share one flag; `Cancel()` is sticky and may
+/// be called from any thread, any number of times. Executors poll
+/// `cancelled()` at their scheduling edges — between task claims on
+/// the thread pool, between decisions/events on the simulated master,
+/// inside retry backoff waits — and tear the run down with a
+/// `StatusCode::kCancelled` status. A running kernel is never
+/// interrupted mid-computation: cancellation takes effect at the next
+/// scheduling point, so storage and graph state stay consistent.
+class CancellationToken {
+ public:
+  CancellationToken()
+      : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Sticky; safe from any thread.
+  void Cancel() const { flag_->store(true, std::memory_order_release); }
+
+  /// True once Cancel() was called on this token or any copy of it.
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_CANCELLATION_H_

@@ -1,0 +1,48 @@
+#ifndef TASKBENCH_RUNTIME_EXECUTOR_FACTORY_H_
+#define TASKBENCH_RUNTIME_EXECUTOR_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "hw/cluster.h"
+#include "runtime/executor.h"
+#include "runtime/run_options.h"
+#include "storage/block_storage.h"
+
+namespace taskbench::runtime {
+
+/// The three execution planes, as selected by the `--executor` flag
+/// every binary shares: host threads (real compute), the discrete-
+/// event cluster simulation, and forked shared-memory processes.
+enum class ExecutorKind {
+  kThreads,
+  kSim,
+  kProcs,
+};
+
+/// Parses a `--executor` value: "threads" | "sim" | "procs".
+Result<ExecutorKind> ParseExecutorKind(std::string_view name);
+
+/// The canonical flag spelling of `kind` ("threads", "sim", "procs").
+std::string_view ExecutorKindName(ExecutorKind kind);
+
+/// Everything MakeExecutor needs. `cluster` feeds only the simulated
+/// plane; `store` only the thread pool (null = private in-memory
+/// store when options.use_storage is set).
+struct ExecutorSpec {
+  ExecutorKind kind = ExecutorKind::kThreads;
+  RunOptions options;
+  hw::ClusterSpec cluster = hw::MinotauroCluster();
+  std::shared_ptr<storage::BlockStorage> store;
+};
+
+/// The one place an executor is picked at runtime. Fails with
+/// Unimplemented when kProcs is requested on a platform without the
+/// multi-process plane, so every caller reports the same error.
+Result<std::unique_ptr<Executor>> MakeExecutor(const ExecutorSpec& spec);
+
+}  // namespace taskbench::runtime
+
+#endif  // TASKBENCH_RUNTIME_EXECUTOR_FACTORY_H_

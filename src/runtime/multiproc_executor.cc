@@ -374,7 +374,8 @@ constexpr int kMaxInflightPerWorker = 4;
 
 bool MultiProcExecutor::Supported() { return true; }
 
-Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph) {
+Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph,
+                                             const RunContext& ctx) {
   TB_RETURN_IF_ERROR(graph.Validate());
   const int64_t total = graph.num_tasks();
   const int64_t num_data = graph.num_data();
@@ -393,7 +394,9 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph) {
         "MultiProcExecutor::Execute must be called from a single-threaded "
         "process (found %d threads): workers are forked without exec, so "
         "locks held by other threads at fork time stay locked forever in "
-        "the children; join other threads before running",
+        "the children; join other threads before running (see "
+        "docs/SCALE_OUT.md; resident services should use --executor="
+        "threads or sim instead)",
         caller_threads));
   }
 
@@ -721,6 +724,10 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph) {
 
   int liveness_tick = 0;
   while (!failed && num_completed < total) {
+    if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+      fail_run(Status::Cancelled("run cancelled"));
+      break;
+    }
     bool progress = false;
     if (!delayed.empty()) {
       const double now = SecondsSince(origin_ns);

@@ -68,15 +68,26 @@ class MultiProcExecutor final : public Executor {
   /// Runs the graph across worker processes. Initial data values are
   /// taken from the graph; on success every datum's final value is
   /// written back onto the graph entries (read them with FetchData).
-  Result<RunReport> Execute(TaskGraph& graph);
+  /// Cancellation (RunContext::cancel) is polled on every coordinator
+  /// scheduling pass; RunContext::scope is ignored (each Execute maps
+  /// a private arena, so concurrent runs cannot collide — but the
+  /// single-threaded-caller rule below rules concurrent callers out
+  /// anyway).
+  Result<RunReport> Execute(TaskGraph& graph, const RunContext& ctx);
+  Result<RunReport> Execute(TaskGraph& graph) {
+    return Execute(graph, RunContext{});
+  }
 
   /// Reads a datum's final value after Execute.
   Result<data::Matrix> FetchData(const TaskGraph& graph, DataId id) const;
 
   // Executor interface.
+  using Executor::Run;
   std::string name() const override { return "multi-proc"; }
   const RunOptions& options() const override { return options_; }
-  Result<RunReport> Run(TaskGraph& graph) override { return Execute(graph); }
+  Result<RunReport> Run(TaskGraph& graph, const RunContext& ctx) override {
+    return Execute(graph, ctx);
+  }
   bool materializes() const override { return true; }
   Result<data::Matrix> Fetch(const TaskGraph& graph,
                              DataId id) const override {

@@ -14,13 +14,13 @@ class MetricsRegistry;
 namespace taskbench::runtime {
 
 /// The one knob struct of workflow execution, consumed through the
-/// common `runtime::Executor` interface by both executors. This
-/// replaces the three overlapping structs that grew independently
-/// (`algos::ExecuteOptions`, `SimulatedExecutorOptions` and the
-/// executor fields of `analysis::ExperimentConfig`) so policies that
-/// cut across executors — fault injection, retry budgets — plug in
-/// exactly once. Each executor reads the fields that apply to it and
-/// ignores the rest.
+/// common `runtime::Executor` interface by every executor, so
+/// policies that cut across executors — fault injection, retry
+/// budgets — plug in exactly once. Each executor reads the fields
+/// that apply to it and ignores the rest. Per-*submission* knobs
+/// (cancellation, metrics scoping, storage-key namespacing) live in
+/// `RunContext` instead: one executor instance with fixed RunOptions
+/// serves many concurrent runs with different contexts.
 struct RunOptions {
   // ---------------------------------------------------------------
   // Shared: run telemetry.
@@ -150,12 +150,6 @@ struct RunOptions {
   /// stragglers instead of helping. OOM tasks always spill.
   double hybrid_max_cpu_slowdown = 4.0;
 };
-
-/// Deprecated aliases — thin shims for the pre-RunOptions spellings.
-/// Field names are unchanged, so existing call sites keep compiling;
-/// new code should spell `runtime::RunOptions`.
-using SimulatedExecutorOptions = RunOptions;
-using ThreadPoolExecutorOptions = RunOptions;
 
 }  // namespace taskbench::runtime
 

@@ -50,10 +50,11 @@ namespace {
 class SimState {
  public:
   SimState(const hw::ClusterSpec& cluster, const RunOptions& options,
-           const TaskGraph& graph)
+           const TaskGraph& graph, const RunContext& ctx)
       : cluster_(cluster),
         options_(options),
         graph_(graph),
+        cancel_(ctx.cancel),
         model_(cluster),
         scheduler_(MakeScheduler(options.policy)),
         // Dependency/version checks assume the fault-free execution
@@ -178,7 +179,9 @@ class SimState {
 
     // Telemetry: resolve instrument handles once; the hot paths then
     // pay a null test when disabled and pointer bumps when enabled.
-    metrics_ = options_.metrics;
+    // A per-run registry in the context scopes the instruments to this
+    // submission; the executor-wide RunOptions registry is the default.
+    metrics_ = ctx.metrics != nullptr ? ctx.metrics : options_.metrics;
     if (metrics_ != nullptr) {
       m_decisions_ = metrics_->counter("sched.decisions");
       m_ready_size_ = metrics_->histogram("sched.ready_tasks");
@@ -332,6 +335,18 @@ class SimState {
     simulator_.Stop();
   }
 
+  /// Cooperative cancellation, polled at every master scheduling edge
+  /// (ScheduleLoop runs once per dispatch wave: at start, after each
+  /// task completion, and after each retry re-arm). A cancelled run
+  /// stops the simulator and surfaces kCancelled; the SimState is torn
+  /// down wholesale afterwards, so in-flight continuations need no
+  /// drain. The flag may be set from another thread — simulated time
+  /// runs orders of magnitude faster than wall time, so the next edge
+  /// is never far away.
+  bool CancelRequested() const {
+    return cancel_ != nullptr && cancel_->cancelled();
+  }
+
   bool DrawStorageFault() {
     return options_.faults.storage_fault_rate > 0 &&
            storage_rng_.NextDouble() < options_.faults.storage_fault_rate;
@@ -354,6 +369,10 @@ class SimState {
   /// serializing decision overhead through the master.
   void ScheduleLoop() {
     if (!failure_.ok()) return;
+    if (CancelRequested()) {
+      Fail(Status::Cancelled("run cancelled"));
+      return;
+    }
     SchedulerView view;
     view.graph = &graph_;
     view.ready = &ready_;
@@ -975,6 +994,7 @@ class SimState {
   const hw::ClusterSpec& cluster_;
   const RunOptions& options_;
   const TaskGraph& graph_;
+  const CancellationToken* const cancel_;
   perf::CostModel model_;
   std::unique_ptr<Scheduler> scheduler_;
 
@@ -1055,8 +1075,9 @@ SimulatedExecutor::SimulatedExecutor(hw::ClusterSpec cluster,
   TB_CHECK_OK(cluster_.Validate());
 }
 
-Result<RunReport> SimulatedExecutor::Execute(const TaskGraph& graph) const {
-  SimState state(cluster_, options_, graph);
+Result<RunReport> SimulatedExecutor::Execute(const TaskGraph& graph,
+                                             const RunContext& ctx) const {
+  SimState state(cluster_, options_, graph, ctx);
   return state.Run();
 }
 

@@ -43,13 +43,24 @@ class SimulatedExecutor final : public Executor {
   SimulatedExecutor(hw::ClusterSpec cluster, RunOptions options);
 
   /// Runs `graph` to completion and returns the report. The graph is
-  /// not modified; simulated data homes are tracked internally.
-  Result<RunReport> Execute(const TaskGraph& graph) const;
+  /// not modified; simulated data homes are tracked internally. The
+  /// executor is const/reusable — every Execute builds fresh run
+  /// state, so concurrent Execute calls on one instance are safe.
+  /// Cancellation (RunContext::cancel) is polled at every master
+  /// scheduling edge; RunContext::scope is ignored (no real storage).
+  Result<RunReport> Execute(const TaskGraph& graph,
+                            const RunContext& ctx) const;
+  Result<RunReport> Execute(const TaskGraph& graph) const {
+    return Execute(graph, RunContext{});
+  }
 
   // Executor interface.
+  using Executor::Run;
   std::string name() const override { return "simulated"; }
   const RunOptions& options() const override { return options_; }
-  Result<RunReport> Run(TaskGraph& graph) override { return Execute(graph); }
+  Result<RunReport> Run(TaskGraph& graph, const RunContext& ctx) override {
+    return Execute(graph, ctx);
+  }
 
   const hw::ClusterSpec& cluster() const { return cluster_; }
 

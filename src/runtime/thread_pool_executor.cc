@@ -32,8 +32,14 @@ double SecondsSince(Clock::time_point origin) {
   return std::chrono::duration<double>(Clock::now() - origin).count();
 }
 
-std::string KeyFor(DataId id) {
-  return StrFormat("d%lld", static_cast<long long>(id));
+/// Storage key of datum `id` inside run scope `scope`. Scope 0 is the
+/// legacy batch namespace ("d7", byte-identical keys to every prior
+/// release); nonzero scopes prefix the submission id so concurrent
+/// service runs through one shared store stay disjoint.
+std::string KeyFor(uint64_t scope, DataId id) {
+  if (scope == 0) return StrFormat("d%lld", static_cast<long long>(id));
+  return StrFormat("s%llu.d%lld", static_cast<unsigned long long>(scope),
+                   static_cast<long long>(id));
 }
 
 /// Full steal sweeps over the other workers' deques before a worker
@@ -84,11 +90,16 @@ ThreadPoolExecutor::ThreadPoolExecutor(
   }
 }
 
-Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
+Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
+                                              const RunContext& ctx) {
   TB_RETURN_IF_ERROR(graph.Validate());
 
   const int num_workers = options_.num_threads;
   const int64_t total = graph.num_tasks();
+  const CancellationToken* const cancel = ctx.cancel;
+  const auto cancel_requested = [cancel] {
+    return cancel != nullptr && cancel->cancelled();
+  };
 
   // ----------------------------------------------------------------
   // Shared pool state. The scheduling fast path is lock-free: one
@@ -173,8 +184,29 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   std::vector<std::string> keys;
   if (options_.use_storage) {
     keys.reserve(static_cast<size_t>(graph.num_data()));
-    for (DataId d = 0; d < graph.num_data(); ++d) keys.push_back(KeyFor(d));
+    for (DataId d = 0; d < graph.num_data(); ++d) {
+      keys.push_back(KeyFor(ctx.scope, d));
+    }
   }
+
+  // Scoped runs clean their keys out of the shared store on every
+  // exit path (success, failure, cancellation, early error return): a
+  // resident service cycling thousands of submissions through one
+  // executor must not grow the store without bound. Scope 0 keys are
+  // left behind, exactly as the batch path always has (FetchData
+  // reads them).
+  struct ScopeKeyCleaner {
+    storage::BlockStorage* store;
+    const std::vector<std::string>* keys;
+    ~ScopeKeyCleaner() {
+      if (store == nullptr) return;
+      for (const std::string& key : *keys) {
+        const Status ignored = store->Delete(key);
+        (void)ignored;
+      }
+    }
+  } scope_cleaner{
+      options_.use_storage && ctx.scope != 0 ? store_.get() : nullptr, &keys};
 
   // Stage the initial values: into storage (serialized) or the
   // memory-mode store. One scratch buffer serves every staging Put.
@@ -199,8 +231,12 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
 
   // Telemetry: per-worker registries plus a per-task type index, all
   // resolved up front so the workers only bump pre-looked-up
-  // instruments. Entirely skipped when no registry was supplied.
-  const bool telemetry = options_.metrics != nullptr;
+  // instruments. Entirely skipped when no registry was supplied. A
+  // per-run registry in the context scopes the instruments to this
+  // submission; the executor-wide RunOptions registry is the default.
+  obs::MetricsRegistry* const metrics_sink =
+      ctx.metrics != nullptr ? ctx.metrics : options_.metrics;
+  const bool telemetry = metrics_sink != nullptr;
   std::vector<uint32_t> task_type_idx;
   std::vector<std::unique_ptr<WorkerTelemetry>> worker_telemetry;
   if (telemetry) {
@@ -406,6 +442,20 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
     pool.park_cv.notify_all();
   };
 
+  // First worker to observe the cancellation flag publishes the
+  // kCancelled failure and wakes everyone; done() then drains the
+  // remaining workers (parked ones included) without starting tasks.
+  auto cancel_run = [&] {
+    {
+      std::lock_guard<std::mutex> lock(pool.fault_mu);
+      if (!pool.failed.load(std::memory_order_seq_cst)) {
+        pool.failure = Status::Cancelled("run cancelled");
+        pool.failed.store(true, std::memory_order_seq_cst);
+      }
+    }
+    wake_all();
+  };
+
   auto fail_run = [&](Status status, TaskId id, int attempt) {
     {
       std::lock_guard<std::mutex> lock(pool.fault_mu);
@@ -436,6 +486,10 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
         worker_id)];
     for (;;) {
       if (done()) return;
+      if (cancel_requested()) {
+        cancel_run();
+        return;
+      }
 
       // Claim a task: own deque first (LIFO, warm caches), then
       // sweep the other deques as a thief, then park.
@@ -525,9 +579,25 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
                 SecondsSince(origin), AttemptOutcome::kFailed});
           }
         }
-        std::this_thread::sleep_for(std::chrono::duration<double>(
+        // Interruptible backoff: sleep in short slices so a Cancel()
+        // lands within ~1 ms instead of after a full exponential wait.
+        const auto backoff = std::chrono::duration<double>(
             options_.retry_backoff_s *
-            static_cast<double>(1ull << std::min(attempt - 1, 30))));
+            static_cast<double>(1ull << std::min(attempt - 1, 30)));
+        const Clock::time_point wake_at =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(backoff);
+        while (!cancel_requested() &&
+               !pool.failed.load(std::memory_order_seq_cst)) {
+          const Clock::time_point now = Clock::now();
+          if (now >= wake_at) break;
+          std::this_thread::sleep_for(std::min<Clock::duration>(
+              wake_at - now, std::chrono::milliseconds(1)));
+        }
+        if (cancel_requested()) {
+          status = Status::Cancelled("run cancelled during retry backoff");
+          break;
+        }
         ++attempt;
       }
 
@@ -622,7 +692,7 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph) {
   }
 
   if (telemetry) {
-    obs::MetricsRegistry& merged = *options_.metrics;
+    obs::MetricsRegistry& merged = *metrics_sink;
     for (const auto& wt : worker_telemetry) merged.MergeFrom(wt->registry);
     merged.gauge("pool.workers")->Set(num_workers);
     if (pool.retries > 0) merged.counter("pool.retries")->Add(pool.retries);
@@ -655,7 +725,7 @@ Result<data::Matrix> ThreadPoolExecutor::FetchData(const TaskGraph& graph,
   }
   if (options_.use_storage) {
     TB_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
-                        store_->Get(KeyFor(id)));
+                        store_->Get(KeyFor(0, id)));
     return storage::Serializer::Deserialize(bytes);
   }
   const DataEntry& entry = graph.data(id);

@@ -28,6 +28,14 @@ namespace taskbench::runtime {
 /// retried up to `options.max_retries` times with exponential
 /// wall-clock backoff before the run fails. The default budget of 0
 /// preserves the historic fail-fast behaviour.
+///
+/// Concurrent Execute calls on one instance are safe: all run state
+/// is call-local except the block store, whose keys are namespaced by
+/// RunContext::scope — the property the resident WorkflowService
+/// depends on to run many submissions through one executor at once.
+/// Cancellation (RunContext::cancel) is polled between task claims,
+/// between retry attempts and inside backoff waits; a cancelled run
+/// fails with StatusCode::kCancelled without starting further tasks.
 class ThreadPoolExecutor final : public Executor {
  public:
   /// `store` may be null when options.use_storage is false; a
@@ -39,16 +47,26 @@ class ThreadPoolExecutor final : public Executor {
   /// results are fetched with FetchData afterwards. Fails once a
   /// task's retry budget is exhausted (remaining tasks are not
   /// started).
-  Result<RunReport> Execute(TaskGraph& graph);
+  Result<RunReport> Execute(TaskGraph& graph, const RunContext& ctx);
+  Result<RunReport> Execute(TaskGraph& graph) {
+    return Execute(graph, RunContext{});
+  }
 
   /// Reads a datum's current value after Execute (deserializing from
-  /// storage when enabled).
+  /// storage when enabled). Scoped runs (RunContext::scope != 0)
+  /// delete their storage keys when they finish — a resident service
+  /// must not grow the store without bound — so post-run values of a
+  /// scoped storage-mode run are read from the graph entries
+  /// (memory mode writes them back) rather than fetched here.
   Result<data::Matrix> FetchData(const TaskGraph& graph, DataId id) const;
 
   // Executor interface.
+  using Executor::Run;
   std::string name() const override { return "thread-pool"; }
   const RunOptions& options() const override { return options_; }
-  Result<RunReport> Run(TaskGraph& graph) override { return Execute(graph); }
+  Result<RunReport> Run(TaskGraph& graph, const RunContext& ctx) override {
+    return Execute(graph, ctx);
+  }
   bool materializes() const override { return true; }
   Result<data::Matrix> Fetch(const TaskGraph& graph,
                              DataId id) const override {

@@ -1,11 +1,14 @@
 #include "algos/api.h"
 
 #include <set>
+#include <utility>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
 #include "data/generators.h"
+#include "runtime/run_options.h"
+#include "runtime/thread_pool_executor.h"
 
 namespace taskbench::algos {
 namespace {
@@ -17,10 +20,29 @@ data::Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
   return m;
 }
 
+// The one-call convenience shims were removed with the PR 2
+// deprecations: construct an executor and use the Run* entry points.
+Result<data::Matrix> Matmul(const data::Matrix& a, const data::Matrix& b,
+                            runtime::RunOptions options = {}) {
+  options.use_storage = false;  // in-memory pipeline, as the shims ran
+  runtime::ThreadPoolExecutor executor(std::move(options));
+  TB_ASSIGN_OR_RETURN(MatmulRun run, RunDistributedMatmul(executor, a, b));
+  return std::move(run.product);
+}
+
+Result<KMeansFit> KMeans(const data::Matrix& samples, int k, int iterations,
+                         runtime::RunOptions options = {}) {
+  options.use_storage = false;
+  runtime::ThreadPoolExecutor executor(std::move(options));
+  TB_ASSIGN_OR_RETURN(KMeansRun run,
+                      RunDistributedKMeans(executor, samples, k, iterations));
+  return std::move(run.fit);
+}
+
 TEST(DistributedMatmulTest, MatchesDense) {
   const data::Matrix a = RandomMatrix(37, 23, 1);
   const data::Matrix b = RandomMatrix(23, 41, 2);
-  auto c = DistributedMatmul(a, b);
+  auto c = Matmul(a, b);
   ASSERT_TRUE(c.ok());
   auto expected = data::Multiply(a, b);
   ASSERT_TRUE(expected.ok());
@@ -31,9 +53,9 @@ TEST(DistributedMatmulTest, ExplicitBlockDim) {
   const data::Matrix a = RandomMatrix(16, 16, 1);
   const data::Matrix b = RandomMatrix(16, 16, 2);
   for (int64_t block : {1, 3, 8, 16, 100}) {
-    ExecuteOptions options;
+    runtime::RunOptions options;
     options.block_dim = block;
-    auto c = DistributedMatmul(a, b, options);
+    auto c = Matmul(a, b, options);
     ASSERT_TRUE(c.ok()) << "block " << block;
     auto expected = data::Multiply(a, b);
     ASSERT_TRUE(expected.ok());
@@ -42,9 +64,8 @@ TEST(DistributedMatmulTest, ExplicitBlockDim) {
 }
 
 TEST(DistributedMatmulTest, RejectsBadShapes) {
-  EXPECT_FALSE(
-      DistributedMatmul(RandomMatrix(4, 3, 1), RandomMatrix(4, 3, 2)).ok());
-  EXPECT_FALSE(DistributedMatmul(data::Matrix(), data::Matrix()).ok());
+  EXPECT_FALSE(Matmul(RandomMatrix(4, 3, 1), RandomMatrix(4, 3, 2)).ok());
+  EXPECT_FALSE(Matmul(data::Matrix(), data::Matrix()).ok());
 }
 
 TEST(DistributedKMeansTest, FitsBlobs) {
@@ -57,7 +78,7 @@ TEST(DistributedKMeansTest, FitsBlobs) {
     samples.At(r, 0) = cx + rng.NextGaussian() * 0.5;
     samples.At(r, 1) = cx + rng.NextGaussian() * 0.5;
   }
-  auto fit = DistributedKMeans(samples, 3, 10);
+  auto fit = KMeans(samples, 3, 10);
   ASSERT_TRUE(fit.ok());
   EXPECT_EQ(fit->centroids.rows(), 3);
   EXPECT_EQ(fit->assignments.size(), 300u);
@@ -70,12 +91,12 @@ TEST(DistributedKMeansTest, FitsBlobs) {
 
 TEST(DistributedKMeansTest, PartitioningInvariant) {
   const data::Matrix samples = RandomMatrix(120, 4, 3);
-  ExecuteOptions coarse;
+  runtime::RunOptions coarse;
   coarse.block_dim = 120;
-  ExecuteOptions fine;
+  runtime::RunOptions fine;
   fine.block_dim = 10;
-  auto a = DistributedKMeans(samples, 4, 5, coarse);
-  auto b = DistributedKMeans(samples, 4, 5, fine);
+  auto a = KMeans(samples, 4, 5, coarse);
+  auto b = KMeans(samples, 4, 5, fine);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   // Same seeds (first k rows), same data -> identical centroids
@@ -87,14 +108,14 @@ TEST(DistributedKMeansTest, PartitioningInvariant) {
 
 TEST(DistributedKMeansTest, RejectsBadK) {
   const data::Matrix samples = RandomMatrix(10, 2, 1);
-  EXPECT_FALSE(DistributedKMeans(samples, 0, 3).ok());
-  EXPECT_FALSE(DistributedKMeans(samples, 11, 3).ok());
-  EXPECT_FALSE(DistributedKMeans(data::Matrix(), 2, 3).ok());
+  EXPECT_FALSE(KMeans(samples, 0, 3).ok());
+  EXPECT_FALSE(KMeans(samples, 11, 3).ok());
+  EXPECT_FALSE(KMeans(data::Matrix(), 2, 3).ok());
 }
 
 TEST(DistributedKMeansTest, SingleClusterIsMean) {
   const data::Matrix samples = RandomMatrix(50, 3, 9);
-  auto fit = DistributedKMeans(samples, 1, 2);
+  auto fit = KMeans(samples, 1, 2);
   ASSERT_TRUE(fit.ok());
   for (int64_t f = 0; f < 3; ++f) {
     double mean = 0;

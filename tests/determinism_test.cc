@@ -132,7 +132,7 @@ TEST(DeterminismTest, RepeatedRunsProduceIdenticalReports) {
         SCOPED_TRACE(testing::Message()
                      << ToString(policy) << "/" << hw::ToString(storage)
                      << "/hybrid=" << hybrid);
-        SimulatedExecutorOptions options;
+        RunOptions options;
         options.policy = policy;
         options.storage = storage;
         options.hybrid = hybrid;
@@ -151,7 +151,7 @@ TEST(DeterminismTest, RepeatedRunsProduceIdenticalReports) {
 /// report: no hidden state may leak through the const executor.
 TEST(DeterminismTest, FreshExecutorReproducesReport) {
   const TaskGraph graph = BuildGraph();
-  SimulatedExecutorOptions options;
+  RunOptions options;
   options.policy = SchedulingPolicy::kDataLocality;
   options.storage = hw::StorageArchitecture::kLocalDisk;
   auto first = SimulatedExecutor(hw::MinotauroCluster(), options)
@@ -169,7 +169,7 @@ TEST(DeterminismTest, FreshExecutorReproducesReport) {
 /// retry and recovery decision.
 TEST(DeterminismTest, FaultPlansReplayIdentically) {
   const TaskGraph graph = BuildGraph();
-  SimulatedExecutorOptions baseline_options;
+  RunOptions baseline_options;
   baseline_options.storage = hw::StorageArchitecture::kLocalDisk;
   auto baseline = SimulatedExecutor(hw::MinotauroCluster(), baseline_options)
                       .Execute(graph);
@@ -178,7 +178,7 @@ TEST(DeterminismTest, FaultPlansReplayIdentically) {
   for (auto policy : {SchedulingPolicy::kTaskGenerationOrder,
                       SchedulingPolicy::kDataLocality}) {
     SCOPED_TRACE(ToString(policy));
-    SimulatedExecutorOptions options;
+    RunOptions options;
     options.policy = policy;
     options.storage = hw::StorageArchitecture::kLocalDisk;
     options.max_retries = 6;

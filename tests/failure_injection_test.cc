@@ -28,8 +28,8 @@ algos::MatmulWorkflow SmallWorkflow() {
   return std::move(*wf);
 }
 
-ThreadPoolExecutorOptions StorageOptions() {
-  ThreadPoolExecutorOptions options;
+RunOptions StorageOptions() {
+  RunOptions options;
   options.num_threads = 4;
   options.use_storage = true;
   return options;
@@ -91,7 +91,7 @@ TEST(FailureInjectionTest, RetriesRecoverFromTransientGetFaults) {
   faulty->ops_until_get_failure = 5;
   faulty->get_failures_remaining = 2;  // heal after two failures
   algos::MatmulWorkflow wf = SmallWorkflow();
-  ThreadPoolExecutorOptions options = StorageOptions();
+  RunOptions options = StorageOptions();
   options.max_retries = 3;
   options.retry_backoff_s = 1e-4;
   ThreadPoolExecutor executor(options, faulty);
@@ -118,7 +118,7 @@ TEST(FailureInjectionTest, RetriesExhaustedSurfaceCleanStatus) {
       std::make_shared<storage::InMemoryStorage>());
   faulty->ops_until_get_failure = 5;  // permanent: default huge budget
   algos::MatmulWorkflow wf = SmallWorkflow();
-  ThreadPoolExecutorOptions options = StorageOptions();
+  RunOptions options = StorageOptions();
   options.max_retries = 2;
   options.retry_backoff_s = 1e-4;
   ThreadPoolExecutor executor(options, faulty);

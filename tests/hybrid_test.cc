@@ -1,4 +1,4 @@
-// Tests of hybrid CPU+GPU placement (SimulatedExecutorOptions::hybrid):
+// Tests of hybrid CPU+GPU placement (RunOptions::hybrid):
 // GPU-targeted tasks spill onto idle CPU cores when devices are busy
 // and fall back to CPU when their working set cannot fit the device.
 
@@ -36,8 +36,8 @@ TaskGraph GpuTasks(int n, double gpu_seconds, double cpu_slowdown = 2.0,
   return graph;
 }
 
-SimulatedExecutorOptions Hybrid(bool on) {
-  SimulatedExecutorOptions options;
+RunOptions Hybrid(bool on) {
+  RunOptions options;
   options.hybrid = on;
   return options;
 }
@@ -124,7 +124,7 @@ TEST(HybridTest, GpulessClusterRunsGpuTasksOnCpu) {
 }
 
 TEST(HybridTest, WorksWithDataLocalityScheduler) {
-  SimulatedExecutorOptions options = Hybrid(true);
+  RunOptions options = Hybrid(true);
   options.policy = SchedulingPolicy::kDataLocality;
   const hw::ClusterSpec cluster = hw::SingleNode(8, 2);
   TaskGraph graph = GpuTasks(12, 0.5);

@@ -126,7 +126,7 @@ TEST(KMeansRealTest, MatchesDenseReferenceAcrossPartitionings) {
     }
     const data::Matrix init = *wf->graph.data(wf->centroids).value;
 
-    runtime::ThreadPoolExecutorOptions exec_options;
+    runtime::RunOptions exec_options;
     exec_options.num_threads = 4;
     runtime::ThreadPoolExecutor executor(exec_options);
     auto report = executor.Execute(wf->graph);
@@ -151,7 +151,7 @@ TEST(KMeansRealTest, ConvergesOnBlobs) {
   auto wf = BuildKMeans(spec, options);
   ASSERT_TRUE(wf.ok());
 
-  runtime::ThreadPoolExecutor executor(runtime::ThreadPoolExecutorOptions{});
+  runtime::ThreadPoolExecutor executor(runtime::RunOptions{});
   auto report = executor.Execute(wf->graph);
   ASSERT_TRUE(report.ok());
   auto final_centroids = executor.FetchData(wf->graph, wf->centroids);
@@ -162,7 +162,7 @@ TEST(KMeansRealTest, ConvergesOnBlobs) {
   more.iterations = 12;
   auto wf2 = BuildKMeans(spec, more);
   ASSERT_TRUE(wf2.ok());
-  runtime::ThreadPoolExecutor executor2(runtime::ThreadPoolExecutorOptions{});
+  runtime::ThreadPoolExecutor executor2(runtime::RunOptions{});
   ASSERT_TRUE(executor2.Execute(wf2->graph).ok());
   auto more_centroids = executor2.FetchData(wf2->graph, wf2->centroids);
   ASSERT_TRUE(more_centroids.ok());
@@ -185,7 +185,7 @@ TEST(KMeansRealTest, SkewedDataRunsAndDiffersFromUniform) {
   EXPECT_FALSE(wf_u->graph.data(wf_u->blocks[0])
                    .value->ApproxEquals(*wf_s->graph.data(wf_s->blocks[0])
                                              .value, 0));
-  runtime::ThreadPoolExecutor executor(runtime::ThreadPoolExecutorOptions{});
+  runtime::ThreadPoolExecutor executor(runtime::RunOptions{});
   EXPECT_TRUE(executor.Execute(wf_s->graph).ok());
 }
 

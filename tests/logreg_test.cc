@@ -48,7 +48,7 @@ TEST(LogRegRealTest, LearnsSeparableData) {
   auto wf = BuildLogReg(RowSpec(2000, 5, 4), options);
   ASSERT_TRUE(wf.ok());
 
-  runtime::ThreadPoolExecutor executor(runtime::ThreadPoolExecutorOptions{});
+  runtime::ThreadPoolExecutor executor(runtime::RunOptions{});
   auto report = executor.Execute(wf->graph);
   ASSERT_TRUE(report.ok());
 
@@ -96,7 +96,7 @@ TEST(LogRegRealTest, PartitioningInvariant) {
     auto wf = BuildLogReg(RowSpec(600, 4, grid), options);
     ASSERT_TRUE(wf.ok());
     runtime::ThreadPoolExecutor executor(
-        runtime::ThreadPoolExecutorOptions{});
+        runtime::RunOptions{});
     ASSERT_TRUE(executor.Execute(wf->graph).ok());
     auto weights = executor.FetchData(wf->graph, wf->weights);
     ASSERT_TRUE(weights.ok());

@@ -29,7 +29,7 @@ void CheckAgainstDense(const data::GridSpec& a_spec,
   auto wf = BuildMatmul(a_spec, b_spec, RealOptions());
   ASSERT_TRUE(wf.ok());
 
-  runtime::ThreadPoolExecutorOptions exec_options;
+  runtime::RunOptions exec_options;
   exec_options.num_threads = 4;
   runtime::ThreadPoolExecutor executor(exec_options);
   auto report = executor.Execute(wf->graph);

@@ -1,0 +1,439 @@
+// WorkflowService behaviour: admission control, weighted-fair
+// dequeue, deadlines, cancellation through the session API, shutdown,
+// and the deterministic per-tenant percentile report. Thread-pool
+// backed tests gate the single runner on a blocking kernel so queue
+// states are reached deterministically, never by sleeping.
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/workload.h"
+#include "hw/cluster.h"
+#include "obs/json.h"
+#include "runtime/executor_factory.h"
+#include "runtime/simulated_executor.h"
+#include "runtime/thread_pool_executor.h"
+#include "service/workflow_service.h"
+
+namespace taskbench::service {
+namespace {
+
+using runtime::DataId;
+using runtime::Dir;
+using runtime::KernelFn;
+using runtime::TaskGraph;
+using runtime::TaskSpec;
+
+/// Shared gate: kernels built over it block until Open() is called.
+/// Lets a test park the service's runner inside Executor::Run and
+/// build up queue state behind it deterministically.
+class Gate {
+ public:
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void Await() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// One-task graph; the kernel optionally records `tag` into `order`
+/// (mutex-protected) and optionally blocks on `gate`.
+TaskGraph TaggedGraph(std::string tag, std::vector<std::string>* order,
+                      std::mutex* order_mu, Gate* gate = nullptr,
+                      std::atomic<bool>* entered = nullptr) {
+  TaskGraph graph;
+  const DataId in = graph.AddData(data::Matrix(2, 2, 1.0));
+  const DataId out = graph.AddData(static_cast<uint64_t>(32));
+  TaskSpec spec;
+  spec.type = "tagged";
+  spec.params = {{in, Dir::kIn}, {out, Dir::kOut}};
+  spec.kernel = [tag = std::move(tag), order, order_mu, gate, entered](
+                    const std::vector<const data::Matrix*>& inputs,
+                    const std::vector<data::Matrix*>& outputs) -> Status {
+    if (entered != nullptr) entered->store(true);
+    if (gate != nullptr) gate->Await();
+    if (order != nullptr) {
+      std::lock_guard<std::mutex> lock(*order_mu);
+      order->push_back(tag);
+    }
+    *outputs[0] = *inputs[0];
+    return Status::OK();
+  };
+  EXPECT_TRUE(graph.Submit(std::move(spec)).ok());
+  return graph;
+}
+
+std::shared_ptr<runtime::Executor> ThreadExecutor() {
+  runtime::RunOptions options;
+  options.num_threads = 2;
+  options.use_storage = false;
+  return std::make_shared<runtime::ThreadPoolExecutor>(options);
+}
+
+std::shared_ptr<runtime::Executor> SimExecutor() {
+  return std::make_shared<runtime::SimulatedExecutor>(
+      hw::MinotauroCluster(), runtime::RunOptions{});
+}
+
+TEST(PercentileTest, NearestRank) {
+  std::vector<double> sorted;
+  for (int i = 1; i <= 100; ++i) sorted.push_back(i);
+  EXPECT_EQ(Percentile(sorted, 0.50), 50);
+  EXPECT_EQ(Percentile(sorted, 0.95), 95);
+  EXPECT_EQ(Percentile(sorted, 0.99), 99);
+  EXPECT_EQ(Percentile(sorted, 1.0), 100);
+  EXPECT_EQ(Percentile({7.0}, 0.5), 7.0);
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(StatusTest, RejectedAdmissionPredicate) {
+  const Status status = Status::RejectedAdmission("full");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsRejectedAdmission());
+  EXPECT_FALSE(Status::Cancelled("x").IsRejectedAdmission());
+}
+
+TEST(WorkflowServiceTest, SubmitWaitPollLifecycle) {
+  WorkflowService service(SimExecutor(), ServiceOptions{});
+  auto built = check::BuildWorkload(check::GenerateSpec(1));
+  ASSERT_TRUE(built.ok());
+  auto handle = service.Submit(std::move(built->graph));
+  ASSERT_TRUE(handle.ok());
+  auto report = service.Wait(*handle);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->makespan, 0.0);
+  auto polled = service.Poll(*handle);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled->state, SubmissionState::kDone);
+  EXPECT_TRUE(polled->result.ok());
+  // Unknown handles are errors, not hangs.
+  EXPECT_FALSE(service.Wait(SubmissionHandle{999}).ok());
+  EXPECT_FALSE(service.Poll(SubmissionHandle{999}).ok());
+  EXPECT_FALSE(service.Cancel(SubmissionHandle{999}).ok());
+}
+
+TEST(WorkflowServiceTest, AdmissionCapRejectsAndCancelFreesSlot) {
+  Gate gate;
+  std::atomic<bool> entered{false};
+  ServiceOptions options;
+  options.num_runners = 1;
+  options.max_in_flight = 2;
+  WorkflowService service(ThreadExecutor(), options);
+
+  // First submission occupies the runner; second fills the queue.
+  auto running =
+      service.Submit(TaggedGraph("r", nullptr, nullptr, &gate, &entered));
+  ASSERT_TRUE(running.ok());
+  while (!entered.load()) std::this_thread::yield();
+  auto queued = service.Submit(TaggedGraph("q", nullptr, nullptr));
+  ASSERT_TRUE(queued.ok());
+
+  // At the cap: the third submission is rejected, not queued.
+  auto rejected = service.Submit(TaggedGraph("x", nullptr, nullptr));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsRejectedAdmission())
+      << rejected.status().ToString();
+
+  // Cancelling the queued submission frees its slot immediately —
+  // before any runner touches it.
+  auto cancel = service.Cancel(*queued);
+  ASSERT_TRUE(cancel.ok());
+  EXPECT_TRUE(*cancel);
+  auto admitted = service.Submit(TaggedGraph("y", nullptr, nullptr));
+  EXPECT_TRUE(admitted.ok()) << admitted.status().ToString();
+
+  gate.Open();
+  EXPECT_TRUE(service.Wait(*running).ok());
+  auto cancelled_result = service.Wait(*queued);
+  ASSERT_FALSE(cancelled_result.ok());
+  EXPECT_TRUE(cancelled_result.status().IsCancelled());
+  EXPECT_TRUE(service.Wait(*admitted).ok());
+
+  // Cancel after terminal: idempotent, reports "was already done".
+  auto again = service.Cancel(*queued);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+
+  const ServiceReport report = service.Report();
+  EXPECT_EQ(report.submitted, 3);
+  EXPECT_EQ(report.rejected, 1);
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(report.cancelled, 1);
+}
+
+TEST(WorkflowServiceTest, CancelRunningSubmission) {
+  Gate gate;
+  std::atomic<bool> entered{false};
+  ServiceOptions options;
+  options.num_runners = 1;
+  WorkflowService service(ThreadExecutor(), options);
+
+  // The blocking task plus a follow-up: cancellation lands at the
+  // scheduling edge between them once the kernel is released.
+  TaskGraph graph =
+      TaggedGraph("first", nullptr, nullptr, &gate, &entered);
+  const DataId mid = graph.AddData(data::Matrix(2, 2, 1.0));
+  const DataId out = graph.AddData(static_cast<uint64_t>(32));
+  TaskSpec tail;
+  tail.type = "tail";
+  tail.params = {{mid, Dir::kIn}, {out, Dir::kOut}};
+  tail.kernel = [](const std::vector<const data::Matrix*>& inputs,
+                   const std::vector<data::Matrix*>& outputs) -> Status {
+    *outputs[0] = *inputs[0];
+    return Status::OK();
+  };
+  ASSERT_TRUE(graph.Submit(std::move(tail)).ok());
+
+  auto handle = service.Submit(std::move(graph));
+  ASSERT_TRUE(handle.ok());
+  while (!entered.load()) std::this_thread::yield();
+  auto polled = service.Poll(*handle);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled->state, SubmissionState::kRunning);
+
+  auto cancel = service.Cancel(*handle);
+  ASSERT_TRUE(cancel.ok());
+  EXPECT_TRUE(*cancel);
+  gate.Open();
+  auto result = service.Wait(*handle);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  EXPECT_EQ(service.Report().cancelled, 1);
+}
+
+TEST(WorkflowServiceTest, DeadlineExceededBeforeDispatch) {
+  Gate gate;
+  std::atomic<bool> entered{false};
+  ServiceOptions options;
+  options.num_runners = 1;
+  WorkflowService service(ThreadExecutor(), options);
+
+  auto running =
+      service.Submit(TaggedGraph("r", nullptr, nullptr, &gate, &entered));
+  ASSERT_TRUE(running.ok());
+  while (!entered.load()) std::this_thread::yield();
+
+  SubmitOptions tight;
+  tight.deadline_s = 1e-4;
+  auto doomed = service.Submit(TaggedGraph("d", nullptr, nullptr), tight);
+  ASSERT_TRUE(doomed.ok());
+  // Hold the runner well past the deadline, then let it dispatch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Open();
+  auto result = service.Wait(*doomed);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  EXPECT_TRUE(service.Wait(*running).ok());
+  const ServiceReport report = service.Report();
+  EXPECT_EQ(report.expired, 1);
+  EXPECT_EQ(report.completed, 1);
+}
+
+TEST(WorkflowServiceTest, WeightedFairDequeue) {
+  // Park the single runner behind a gate tenant, queue 6 submissions
+  // for heavy (weight 3) and 2 for light (weight 1), then drain. The
+  // first four dispatches must split 3:1 in heavy's favour.
+  Gate gate;
+  std::atomic<bool> entered{false};
+  std::vector<std::string> order;
+  std::mutex order_mu;
+
+  ServiceOptions options;
+  options.num_runners = 1;
+  options.tenants["heavy"].weight = 3;
+  options.tenants["light"].weight = 1;
+  WorkflowService service(ThreadExecutor(), options);
+
+  auto gate_handle = service.Submit(
+      TaggedGraph("gate", nullptr, nullptr, &gate, &entered),
+      SubmitOptions{.tenant = "zz-gate"});
+  ASSERT_TRUE(gate_handle.ok());
+  while (!entered.load()) std::this_thread::yield();
+
+  std::vector<SubmissionHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    auto h = service.Submit(TaggedGraph("heavy", &order, &order_mu),
+                            SubmitOptions{.tenant = "heavy"});
+    ASSERT_TRUE(h.ok());
+    handles.push_back(*h);
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto h = service.Submit(TaggedGraph("light", &order, &order_mu),
+                            SubmitOptions{.tenant = "light"});
+    ASSERT_TRUE(h.ok());
+    handles.push_back(*h);
+  }
+  gate.Open();
+  ASSERT_TRUE(service.Wait(*gate_handle).ok());
+  for (const SubmissionHandle h : handles) {
+    ASSERT_TRUE(service.Wait(h).ok());
+  }
+
+  ASSERT_EQ(order.size(), 8u);
+  int heavy_in_first_four = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (order[static_cast<size_t>(i)] == "heavy") ++heavy_in_first_four;
+  }
+  EXPECT_EQ(heavy_in_first_four, 3) << "weighted-fair share violated";
+}
+
+TEST(WorkflowServiceTest, PriorityOrdersWithinTenant) {
+  Gate gate;
+  std::atomic<bool> entered{false};
+  std::vector<std::string> order;
+  std::mutex order_mu;
+
+  ServiceOptions options;
+  options.num_runners = 1;
+  WorkflowService service(ThreadExecutor(), options);
+  auto gate_handle = service.Submit(
+      TaggedGraph("gate", nullptr, nullptr, &gate, &entered),
+      SubmitOptions{.tenant = "zz-gate"});
+  ASSERT_TRUE(gate_handle.ok());
+  while (!entered.load()) std::this_thread::yield();
+
+  std::vector<SubmissionHandle> handles;
+  const struct {
+    const char* tag;
+    int priority;
+  } subs[] = {{"low", 0}, {"high", 5}, {"mid", 3}, {"high2", 5}};
+  for (const auto& s : subs) {
+    auto h = service.Submit(TaggedGraph(s.tag, &order, &order_mu),
+                            SubmitOptions{.priority = s.priority});
+    ASSERT_TRUE(h.ok());
+    handles.push_back(*h);
+  }
+  gate.Open();
+  for (const SubmissionHandle h : handles) {
+    ASSERT_TRUE(service.Wait(h).ok());
+  }
+  ASSERT_TRUE(service.Wait(*gate_handle).ok());
+  // Priority desc, FIFO within equal priority.
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"high", "high2", "mid", "low"}));
+}
+
+TEST(WorkflowServiceTest, ShutdownCancelsPendingAndRefusesNew) {
+  Gate gate;
+  std::atomic<bool> entered{false};
+  ServiceOptions options;
+  options.num_runners = 1;
+  WorkflowService service(ThreadExecutor(), options);
+
+  auto running =
+      service.Submit(TaggedGraph("r", nullptr, nullptr, &gate, &entered));
+  ASSERT_TRUE(running.ok());
+  while (!entered.load()) std::this_thread::yield();
+  auto queued = service.Submit(TaggedGraph("q", nullptr, nullptr));
+  ASSERT_TRUE(queued.ok());
+
+  std::thread shutdown_thread([&] { service.Shutdown(); });
+  gate.Open();
+  shutdown_thread.join();
+
+  auto queued_result = service.Wait(*queued);
+  ASSERT_FALSE(queued_result.ok());
+  EXPECT_TRUE(queued_result.status().IsCancelled());
+  auto refused = service.Submit(TaggedGraph("new", nullptr, nullptr));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_FALSE(refused.status().IsRejectedAdmission());
+
+  const ServiceReport report = service.Report();
+  EXPECT_EQ(report.still_queued, 0);
+  EXPECT_EQ(report.still_running, 0);
+}
+
+TEST(WorkflowServiceTest, ReportJsonValidates) {
+  WorkflowService service(SimExecutor(), ServiceOptions{});
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    auto built = check::BuildWorkload(check::GenerateSpec(seed));
+    ASSERT_TRUE(built.ok());
+    SubmitOptions opts;
+    opts.tenant = seed % 2 == 0 ? "even \"tenant\"" : "odd";
+    auto handle = service.Submit(std::move(built->graph), opts);
+    ASSERT_TRUE(handle.ok());
+    ASSERT_TRUE(service.Wait(*handle).ok());
+  }
+  const std::string json = service.Report().ToJson();
+  EXPECT_TRUE(obs::ValidateJson(json).ok()) << json;
+}
+
+/// Runs the same seeded submission set through a fresh sim-backed
+/// service and returns the per-tenant makespan summaries.
+ServiceReport RunDeterministicBatch(int runners) {
+  ServiceOptions options;
+  options.num_runners = runners;
+  WorkflowService service(SimExecutor(), options);
+  std::vector<SubmissionHandle> handles;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    auto built = check::BuildWorkload(check::GenerateSpec(seed));
+    EXPECT_TRUE(built.ok());
+    SubmitOptions opts;
+    opts.tenant = seed % 3 == 0 ? "alpha" : (seed % 3 == 1 ? "beta" : "gamma");
+    auto handle = service.Submit(std::move(built->graph), opts);
+    EXPECT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+  for (const SubmissionHandle h : handles) {
+    EXPECT_TRUE(service.Wait(h).ok());
+  }
+  return service.Report();
+}
+
+TEST(WorkflowServiceTest, PerTenantPercentilesAreDeterministic) {
+  // Sim-executor makespans are simulated seconds: bit-equal across
+  // runs and independent of runner interleaving, so the per-tenant
+  // percentile summaries must reproduce exactly — including across
+  // different runner counts.
+  const ServiceReport a = RunDeterministicBatch(2);
+  const ServiceReport b = RunDeterministicBatch(2);
+  const ServiceReport c = RunDeterministicBatch(4);
+  ASSERT_EQ(a.tenants.size(), 3u);
+  ASSERT_EQ(b.tenants.size(), 3u);
+  ASSERT_EQ(c.tenants.size(), 3u);
+  for (size_t i = 0; i < a.tenants.size(); ++i) {
+    EXPECT_EQ(a.tenants[i].tenant, b.tenants[i].tenant);
+    EXPECT_EQ(a.tenants[i].makespan.p50, b.tenants[i].makespan.p50);
+    EXPECT_EQ(a.tenants[i].makespan.p95, b.tenants[i].makespan.p95);
+    EXPECT_EQ(a.tenants[i].makespan.p99, b.tenants[i].makespan.p99);
+    EXPECT_EQ(a.tenants[i].makespan.mean, b.tenants[i].makespan.mean);
+    EXPECT_EQ(a.tenants[i].makespan.p50, c.tenants[i].makespan.p50);
+    EXPECT_EQ(a.tenants[i].makespan.p95, c.tenants[i].makespan.p95);
+    EXPECT_EQ(a.tenants[i].makespan.p99, c.tenants[i].makespan.p99);
+    EXPECT_GT(a.tenants[i].makespan.p50, 0.0);
+  }
+}
+
+TEST(WorkflowServiceTest, MakeExecutorBacksService) {
+  runtime::ExecutorSpec spec;
+  spec.kind = runtime::ExecutorKind::kSim;
+  auto executor = runtime::MakeExecutor(spec);
+  ASSERT_TRUE(executor.ok());
+  WorkflowService service(std::move(*executor), ServiceOptions{});
+  auto built = check::BuildWorkload(check::GenerateSpec(2));
+  ASSERT_TRUE(built.ok());
+  auto handle = service.Submit(std::move(built->graph));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_TRUE(service.Wait(*handle).ok());
+}
+
+}  // namespace
+}  // namespace taskbench::service

@@ -55,7 +55,7 @@ class SimPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(SimPropertyTest, RecordsAreWellFormed) {
   TaskGraph graph = RandomDag(GetParam());
   SimulatedExecutor executor(hw::MinotauroCluster(),
-                             SimulatedExecutorOptions{});
+                             RunOptions{});
   auto report = executor.Execute(graph);
   ASSERT_TRUE(report.ok());
   ASSERT_EQ(static_cast<int64_t>(report->records.size()),
@@ -74,7 +74,7 @@ TEST_P(SimPropertyTest, RecordsAreWellFormed) {
 TEST_P(SimPropertyTest, DependenciesNeverOverlap) {
   TaskGraph graph = RandomDag(GetParam());
   SimulatedExecutor executor(hw::MinotauroCluster(),
-                             SimulatedExecutorOptions{});
+                             RunOptions{});
   auto report = executor.Execute(graph);
   ASSERT_TRUE(report.ok());
   for (const TaskRecord& rec : report->records) {
@@ -106,7 +106,7 @@ TEST_P(SimPropertyTest, MakespanAtLeastCriticalComputePath) {
     critical = std::max(critical, path[static_cast<size_t>(t)]);
   }
   SimulatedExecutor executor(hw::MinotauroCluster(),
-                             SimulatedExecutorOptions{});
+                             RunOptions{});
   auto report = executor.Execute(graph);
   ASSERT_TRUE(report.ok());
   EXPECT_GE(report->makespan, critical - 1e-9);
@@ -121,7 +121,7 @@ TEST_P(SimPropertyTest, MakespanAtLeastTotalWorkOverSlots) {
     total_compute += model.SerialFraction(graph.task(t).spec.cost) +
                      model.CpuParallelFraction(graph.task(t).spec.cost);
   }
-  SimulatedExecutor executor(cluster, SimulatedExecutorOptions{});
+  SimulatedExecutor executor(cluster, RunOptions{});
   auto report = executor.Execute(graph);
   ASSERT_TRUE(report.ok());
   EXPECT_GE(report->makespan,
@@ -130,9 +130,9 @@ TEST_P(SimPropertyTest, MakespanAtLeastTotalWorkOverSlots) {
 
 TEST_P(SimPropertyTest, PoliciesExecuteSameTasksDifferentTimes) {
   TaskGraph graph = RandomDag(GetParam());
-  SimulatedExecutorOptions gen;
+  RunOptions gen;
   gen.policy = SchedulingPolicy::kTaskGenerationOrder;
-  SimulatedExecutorOptions loc;
+  RunOptions loc;
   loc.policy = SchedulingPolicy::kDataLocality;
   auto a = SimulatedExecutor(hw::MinotauroCluster(), gen).Execute(graph);
   auto b = SimulatedExecutor(hw::MinotauroCluster(), loc).Execute(graph);
@@ -150,7 +150,7 @@ TEST_P(SimPropertyTest, StorageArchitecturesBothComplete) {
   TaskGraph graph = RandomDag(GetParam());
   for (auto storage : {hw::StorageArchitecture::kLocalDisk,
                        hw::StorageArchitecture::kSharedDisk}) {
-    SimulatedExecutorOptions options;
+    RunOptions options;
     options.storage = storage;
     auto report =
         SimulatedExecutor(hw::MinotauroCluster(), options).Execute(graph);

@@ -27,8 +27,8 @@ TaskSpec TimedTask(TaskGraph* graph, DataId in, DataId out,
   return spec;
 }
 
-SimulatedExecutorOptions DefaultOptions() {
-  SimulatedExecutorOptions options;
+RunOptions DefaultOptions() {
+  RunOptions options;
   options.storage = hw::StorageArchitecture::kSharedDisk;
   options.policy = SchedulingPolicy::kTaskGenerationOrder;
   return options;
@@ -67,7 +67,7 @@ TEST(SimulatedExecutorTest, SingleTaskStagesAddUp) {
 
 TEST(SimulatedExecutorTest, TaskParallelismBoundedByCores) {
   // 256 one-second CPU tasks on 128 cores take ~2 waves.
-  SimulatedExecutorOptions options = DefaultOptions();
+  RunOptions options = DefaultOptions();
   SimulatedExecutor executor(hw::MinotauroCluster(), options);
   TaskGraph graph;
   for (int i = 0; i < 256; ++i) {
@@ -175,7 +175,7 @@ TEST(SimulatedExecutorTest, LocalDiskScalesBetterThanShared) {
       TaskSpec spec = TimedTask(&graph, in, out, 0.0);
       EXPECT_TRUE(graph.Submit(spec).ok());
     }
-    SimulatedExecutorOptions options;
+    RunOptions options;
     options.storage = storage;
     options.policy = SchedulingPolicy::kDataLocality;
     SimulatedExecutor executor(hw::MinotauroCluster(), options);
@@ -197,7 +197,7 @@ TEST(SimulatedExecutorTest, DataLocalityAddsSchedulerOverhead) {
       const DataId out = graph.AddData(8);
       EXPECT_TRUE(graph.Submit(TimedTask(&graph, in, out, 0.01)).ok());
     }
-    SimulatedExecutorOptions options;
+    RunOptions options;
     options.policy = policy;
     SimulatedExecutor executor(hw::MinotauroCluster(), options);
     auto report = executor.Execute(graph);

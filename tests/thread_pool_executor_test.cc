@@ -38,7 +38,7 @@ TaskSpec SimpleTask(DataId in, DataId out, KernelFn kernel) {
 class ThreadPoolExecutorModes : public ::testing::TestWithParam<bool> {
  protected:
   ThreadPoolExecutor MakeExecutor(int threads = 4) {
-    ThreadPoolExecutorOptions options;
+    RunOptions options;
     options.num_threads = threads;
     options.use_storage = GetParam();
     return ThreadPoolExecutor(options);
@@ -227,7 +227,7 @@ TEST(ThreadPoolExecutorTest, ManyThreadsManyTasksStress) {
     ASSERT_TRUE(graph.Submit(join).ok());
     current = joined;
   }
-  ThreadPoolExecutorOptions options;
+  RunOptions options;
   options.num_threads = 8;
   options.use_storage = true;
   ThreadPoolExecutor executor(options);

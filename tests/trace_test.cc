@@ -157,7 +157,7 @@ TEST(TraceTest, EndToEndWithSimulatedRun) {
     ASSERT_TRUE(graph.Submit(spec).ok());
   }
   SimulatedExecutor executor(hw::MinotauroCluster(),
-                             SimulatedExecutorOptions{});
+                             RunOptions{});
   auto report = executor.Execute(graph);
   ASSERT_TRUE(report.ok());
   const std::string json = ChromeTraceJson(*report);

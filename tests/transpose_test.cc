@@ -35,7 +35,7 @@ TEST(TransposeRealTest, MatchesDenseTranspose) {
   auto wf = BuildTranspose(Spec(24, 18, 8, 6), options);
   ASSERT_TRUE(wf.ok());
 
-  runtime::ThreadPoolExecutor executor(runtime::ThreadPoolExecutorOptions{});
+  runtime::ThreadPoolExecutor executor(runtime::RunOptions{});
   auto report = executor.Execute(wf->graph);
   ASSERT_TRUE(report.ok());
 
@@ -68,7 +68,7 @@ TEST(TransposeRealTest, RaggedBlocksRoundTrip) {
   options.values = &a;
   auto wf = BuildTranspose(Spec(10, 7, 4, 3), options);
   ASSERT_TRUE(wf.ok());
-  runtime::ThreadPoolExecutor executor(runtime::ThreadPoolExecutorOptions{});
+  runtime::ThreadPoolExecutor executor(runtime::RunOptions{});
   ASSERT_TRUE(executor.Execute(wf->graph).ok());
   auto corner = executor.FetchData(wf->graph, wf->out[2][2]);
   ASSERT_TRUE(corner.ok());

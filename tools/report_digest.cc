@@ -202,7 +202,7 @@ void DigestAll(bool list) {
         for (auto policy : {SchedulingPolicy::kTaskGenerationOrder,
                             SchedulingPolicy::kDataLocality}) {
           for (bool hybrid : {false, true}) {
-            runtime::SimulatedExecutorOptions options;
+            runtime::RunOptions options;
             options.storage = storage;
             options.policy = policy;
             options.hybrid = hybrid;

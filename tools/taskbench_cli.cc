@@ -4,7 +4,20 @@
 //   run        Run one simulated experiment and print its metrics.
 //   exec       Really execute a distributed matmul on this host, on
 //              the in-process thread pool (--workers=4) or the forked
-//              shared-memory workers (--workers=4proc).
+//              shared-memory workers (--workers=4proc). The executor
+//              can also be named directly: --executor=threads|procs.
+//   serve      Run the resident multi-tenant workflow service under a
+//              seeded open-loop arrival stream and print its
+//              per-tenant ServiceReport as JSON (stdout is the JSON
+//              document; progress goes to stderr). Options:
+//                --executor=threads|sim  (procs refuses: its workers
+//                  are forked, see docs/SCALE_OUT.md)
+//                --runners=N --duration=S --tenants=N
+//                --rate=HZ --skew=F      tenant i offers rate*F^i /s
+//                --arrivals=poisson|bursty|heavytail --seed=N
+//                --max-in-flight=N --max-queued=N (admission caps)
+//                --deadline=S --cancel-every=N (tenant 0 cancels
+//                  every Nth of its own submissions)
 //   sweep      Sweep the paper's grid dimensions for one algorithm.
 //   correlate  Run the correlation sample set; print/export the matrix.
 //   recommend  Auto-tune block dimension + processor for a workload.
@@ -41,9 +54,11 @@
 //   taskbench sweep --algorithm=matmul --dataset=matmul-8gb --csv=out.csv
 //   taskbench recommend --algorithm=kmeans --dataset=kmeans-10gb
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algos/api.h"
@@ -61,12 +76,13 @@
 #include "data/generators.h"
 #include "common/random.h"
 #include "obs/metrics.h"
+#include "runtime/executor_factory.h"
 #include "runtime/fault.h"
 #include "runtime/metrics_export.h"
-#include "runtime/multiproc_executor.h"
 #include "runtime/simulated_executor.h"
-#include "runtime/thread_pool_executor.h"
 #include "runtime/trace.h"
+#include "service/load.h"
+#include "service/workflow_service.h"
 
 namespace tb = taskbench;
 using tb::analysis::Algorithm;
@@ -358,22 +374,29 @@ int CmdExec(const tb::Args& args) {
   const auto block_dim_or = args.GetInt("block-dim", 0);
   if (!block_dim_or.ok()) return Fail(block_dim_or.status().ToString());
 
-  tb::runtime::RunOptions options;
-  options.block_dim = *block_dim_or;
+  tb::runtime::ExecutorSpec spec;
+  spec.options.block_dim = *block_dim_or;
   // num_threads also feeds the auto block-dim choice, so set it for
   // both planes; num_procs only matters to the multi-process one.
-  options.num_threads = workers->first;
-  options.num_procs = workers->first;
-
-  std::unique_ptr<tb::runtime::Executor> executor;
-  if (workers->second) {
-    if (!tb::runtime::MultiProcExecutor::Supported()) {
-      return Fail("multi-process execution is unsupported on this platform");
+  spec.options.num_threads = workers->first;
+  spec.options.num_procs = workers->first;
+  // --workers=Nproc picks the executor implicitly; an explicit
+  // --executor=threads|procs wins.
+  spec.kind = workers->second ? tb::runtime::ExecutorKind::kProcs
+                              : tb::runtime::ExecutorKind::kThreads;
+  if (args.Has("executor")) {
+    auto kind = tb::runtime::ParseExecutorKind(args.GetString("executor"));
+    if (!kind.ok()) return Fail(kind.status().ToString());
+    if (*kind == tb::runtime::ExecutorKind::kSim) {
+      return Fail(
+          "exec computes real matrices; --executor expects threads|procs "
+          "(use the `run` command for the simulator)");
     }
-    executor = std::make_unique<tb::runtime::MultiProcExecutor>(options);
-  } else {
-    executor = std::make_unique<tb::runtime::ThreadPoolExecutor>(options);
+    spec.kind = *kind;
   }
+  auto executor_or = tb::runtime::MakeExecutor(spec);
+  if (!executor_or.ok()) return Fail(executor_or.status().ToString());
+  std::unique_ptr<tb::runtime::Executor> executor = std::move(*executor_or);
 
   tb::data::Matrix a(*n_or, *n_or);
   tb::data::Matrix b(*n_or, *n_or);
@@ -400,6 +423,109 @@ int CmdExec(const tb::Args& args) {
     std::printf("retries: %lld   dead workers: %lld\n",
                 static_cast<long long>(faults.retries),
                 static_cast<long long>(faults.dead_nodes));
+  }
+  return 0;
+}
+
+/// Resident-service demo/soak driver: N tenants with geometrically
+/// skewed offered rates push seeded open-loop load through one shared
+/// executor for --duration wall seconds, then the drained service's
+/// per-tenant report is printed as a single JSON document on stdout
+/// (pipe it through json_lint). Exits non-zero if any submission is
+/// still queued or running after the drain — a stuck submission is a
+/// service bug, not load.
+int CmdServe(const tb::Args& args) {
+  auto kind = tb::runtime::ParseExecutorKind(args.GetString("executor", "sim"));
+  if (!kind.ok()) return Fail(kind.status().ToString());
+  if (*kind == tb::runtime::ExecutorKind::kProcs) {
+    return Fail(
+        "serve runs submissions from concurrent runner threads; the "
+        "multi-process executor refuses multi-threaded callers (see "
+        "docs/SCALE_OUT.md) — --executor expects threads|sim");
+  }
+  const auto duration_or = args.GetDouble("duration", 2.0);
+  if (!duration_or.ok()) return Fail(duration_or.status().ToString());
+  const auto tenants_or = args.GetInt("tenants", 3);
+  if (!tenants_or.ok()) return Fail(tenants_or.status().ToString());
+  const auto rate_or = args.GetDouble("rate", 8.0);
+  if (!rate_or.ok()) return Fail(rate_or.status().ToString());
+  const auto skew_or = args.GetDouble("skew", 2.0);
+  if (!skew_or.ok()) return Fail(skew_or.status().ToString());
+  const auto runners_or = args.GetInt("runners", 2);
+  if (!runners_or.ok()) return Fail(runners_or.status().ToString());
+  const auto seed_or = args.GetInt("seed", 1);
+  if (!seed_or.ok()) return Fail(seed_or.status().ToString());
+  const auto in_flight_or = args.GetInt("max-in-flight", 64);
+  if (!in_flight_or.ok()) return Fail(in_flight_or.status().ToString());
+  const auto max_queued_or = args.GetInt("max-queued", 0);
+  if (!max_queued_or.ok()) return Fail(max_queued_or.status().ToString());
+  const auto deadline_or = args.GetDouble("deadline", 0.0);
+  if (!deadline_or.ok()) return Fail(deadline_or.status().ToString());
+  const auto cancel_or = args.GetInt("cancel-every", 0);
+  if (!cancel_or.ok()) return Fail(cancel_or.status().ToString());
+  auto process = tb::service::ParseArrivalProcess(
+      args.GetString("arrivals", "poisson"));
+  if (!process.ok()) return Fail(process.status().ToString());
+  if (*tenants_or < 1 || *tenants_or > 64) {
+    return Fail("--tenants expects 1..64");
+  }
+  if (*duration_or <= 0) return Fail("--duration must be positive");
+
+  tb::runtime::ExecutorSpec spec;
+  spec.kind = *kind;
+  auto executor_or = tb::runtime::MakeExecutor(spec);
+  if (!executor_or.ok()) return Fail(executor_or.status().ToString());
+  std::shared_ptr<tb::runtime::Executor> executor = std::move(*executor_or);
+
+  tb::service::ServiceOptions service_options;
+  service_options.num_runners = static_cast<int>(*runners_or);
+  service_options.max_in_flight = static_cast<int>(*in_flight_or);
+  service_options.max_queued = static_cast<int>(*max_queued_or);
+  tb::service::WorkflowService service(executor, service_options);
+
+  std::vector<tb::service::TenantLoad> loads;
+  for (int64_t i = 0; i < *tenants_or; ++i) {
+    tb::service::TenantLoad load;
+    load.tenant = tb::StrFormat("tenant-%lld", static_cast<long long>(i));
+    load.arrivals.process = *process;
+    load.arrivals.rate_hz = *rate_or * std::pow(*skew_or, i);
+    load.seed = static_cast<uint64_t>(*seed_or) * 7919 +
+                static_cast<uint64_t>(i);
+    load.deadline_s = *deadline_or;
+    if (i == 0) load.cancel_every = static_cast<int>(*cancel_or);
+    loads.push_back(std::move(load));
+  }
+
+  std::fprintf(stderr,
+               "serve: %s executor, %d runners, %lld tenants, base rate "
+               "%.3g/s (skew %.3g), %s arrivals, %.3gs window\n",
+               executor->name().c_str(), service_options.num_runners,
+               static_cast<long long>(*tenants_or), *rate_or, *skew_or,
+               std::string(tb::service::ArrivalProcessName(*process)).c_str(),
+               *duration_or);
+  auto stats = tb::service::RunOpenLoad(&service, loads, *duration_or);
+  if (!stats.ok()) return Fail(stats.status().ToString());
+  service.Shutdown();
+
+  const tb::service::ServiceReport report = service.Report();
+  std::fprintf(stderr,
+               "serve: offered %lld, admitted %lld, rejected %lld, "
+               "driver-cancelled %lld; completed %lld, failed %lld, "
+               "cancelled %lld, expired %lld\n",
+               static_cast<long long>(stats->offered),
+               static_cast<long long>(stats->admitted),
+               static_cast<long long>(stats->rejected),
+               static_cast<long long>(stats->cancelled),
+               static_cast<long long>(report.completed),
+               static_cast<long long>(report.failed),
+               static_cast<long long>(report.cancelled),
+               static_cast<long long>(report.expired));
+  std::printf("%s\n", report.ToJson().c_str());
+  if (report.still_queued != 0 || report.still_running != 0) {
+    return Fail(tb::StrFormat(
+        "stuck submissions after drain: %lld queued, %lld running",
+        static_cast<long long>(report.still_queued),
+        static_cast<long long>(report.still_running)));
   }
   return 0;
 }
@@ -537,7 +663,7 @@ int CmdDag(const tb::Args& args) {
 void PrintUsage() {
   std::printf(
       "taskbench — distributed GPU task-workflow performance testbed\n\n"
-      "usage: taskbench <run|exec|sweep|correlate|recommend|dag> "
+      "usage: taskbench <run|exec|serve|sweep|correlate|recommend|dag> "
       "[options]\n\n"
       "common options:\n"
       "  --algorithm=matmul|matmul-fma|kmeans   --dataset=NAME\n"
@@ -545,7 +671,14 @@ void PrintUsage() {
       "  --processor=cpu|gpu  --storage=local|shared\n"
       "  --policy=gen-order|locality  --hybrid\n"
       "real execution (exec):\n"
-      "  --workers=N|Nproc  --n=SIZE  --block-dim=D\n"
+      "  --executor=threads|procs  --workers=N|Nproc  --n=SIZE  "
+      "--block-dim=D\n"
+      "resident service (serve):\n"
+      "  --executor=threads|sim  --runners=N  --duration=S\n"
+      "  --tenants=N  --rate=HZ  --skew=F  "
+      "--arrivals=poisson|bursty|heavytail\n"
+      "  --seed=N  --max-in-flight=N  --max-queued=N  --deadline=S\n"
+      "  --cancel-every=N\n"
       "fault tolerance:\n"
       "  --faults=crash@T:nN,gpuloss@T:nN,slow@T:nN:xF,storage:pP[:sS]\n"
       "  --retries=N  --retry-backoff=S\n"
@@ -566,6 +699,7 @@ int main(int argc, char** argv) {
   const std::string command = args.positional()[0];
   if (command == "run") return CmdRun(args);
   if (command == "exec") return CmdExec(args);
+  if (command == "serve") return CmdServe(args);
   if (command == "sweep") return CmdSweep(args);
   if (command == "correlate") return CmdCorrelate(args);
   if (command == "recommend") return CmdRecommend(args);
