@@ -3,10 +3,13 @@
 //
 //   scaleout — wall time and tasks/sec for the same wide matmul DAG
 //              on the 1-thread pool (in-process baseline), then on
-//              1/2/4 forked shm workers. Speedups are reported vs the
-//              1-worker multi-process run, so they isolate scaling of
-//              the process plane from the serialize-through-shm tax
-//              (which the p1-vs-t1 ratio exposes separately).
+//              1/2/4 forked shm workers, each worker count with the
+//              per-worker block cache off and on. Speedups are
+//              reported vs the uncached 1-worker multi-process run,
+//              so they isolate scaling of the process plane from the
+//              serialize-through-shm tax (which the p1-vs-t1 ratio
+//              exposes separately, and which the cached rows show
+//              the versioned block cache buying back).
 //   exact    — every leg's outputs are compared bit-for-bit against
 //              the thread-pool baseline; the bench aborts on any
 //              divergence, so a committed JSON implies correctness.
@@ -86,18 +89,27 @@ TaskGraph MatmulDag(int64_t tasks, int64_t n,
 }
 
 struct Row {
-  std::string exec;  // "threads-1" or "procs-N"
+  std::string exec;  // "threads-1", "procs-N", "procs-N-cache"
   int workers = 0;
+  bool cache = false;
   bool oversubscribed = false;
   int64_t tasks = 0;
   double wall_s = 0;
   double tasks_per_s = 0;
   double speedup_vs_p1 = 0;  // process-plane scaling, p1 = 1.0
+  double vs_threads1 = 0;    // shm-tax gap: throughput / threads-1
 };
 
 std::string ToJson(const std::vector<Row>& rows, int hw_threads) {
+  bool any_oversubscribed = false;
+  for (const Row& r : rows) any_oversubscribed |= r.oversubscribed;
   std::string out = "{\n";
+  // Host shape first: the scaling targets only mean anything when the
+  // worker counts fit the machine, so a reader (or CI) must see the
+  // oversubscription verdict before any number.
   out += StrFormat("  \"hardware_threads\": %d,\n", hw_threads);
+  out += StrFormat("  \"oversubscribed\": %s,\n",
+                   any_oversubscribed ? "true" : "false");
   out += StrFormat("  \"cpu_model\": \"%s\",\n", hw::HostCpuModel().c_str());
   out += StrFormat("  \"numa_domains\": %d,\n",
                    hw::DetectTopology().num_domains());
@@ -106,12 +118,14 @@ std::string ToJson(const std::vector<Row>& rows, int hw_threads) {
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out += StrFormat(
-        "    {\"exec\": \"%s\", \"workers\": %d, \"oversubscribed\": %s, "
+        "    {\"exec\": \"%s\", \"workers\": %d, \"cache\": %s, "
+        "\"oversubscribed\": %s, "
         "\"tasks\": %lld, \"wall_s\": %.6f, \"tasks_per_s\": %.1f, "
-        "\"speedup_vs_1proc\": %.3f}%s\n",
-        r.exec.c_str(), r.workers, r.oversubscribed ? "true" : "false",
-        static_cast<long long>(r.tasks), r.wall_s, r.tasks_per_s,
-        r.speedup_vs_p1, i + 1 < rows.size() ? "," : "");
+        "\"speedup_vs_1proc\": %.3f, \"vs_threads1\": %.3f}%s\n",
+        r.exec.c_str(), r.workers, r.cache ? "true" : "false",
+        r.oversubscribed ? "true" : "false", static_cast<long long>(r.tasks),
+        r.wall_s, r.tasks_per_s, r.speedup_vs_p1, r.vs_threads1,
+        i + 1 < rows.size() ? "," : "");
   }
   out += "  ]\n}\n";
   return out;
@@ -158,7 +172,7 @@ int Main(int argc, char** argv) {
   thread_options.use_storage = false;
   runtime::ThreadPoolExecutor baseline(thread_options);
 
-  std::printf("%-10s %8s %10s %10s %12s %9s\n", "exec", "workers", "tasks",
+  std::printf("%-14s %8s %10s %10s %12s %9s\n", "exec", "workers", "tasks",
               "wall_s", "tasks/s", "vs_p1");
   std::vector<Row> rows;
   {
@@ -172,50 +186,68 @@ int Main(int argc, char** argv) {
     row.tasks = static_cast<int64_t>(report->records.size());
     row.wall_s = wall;
     row.tasks_per_s = static_cast<double>(row.tasks) / std::max(wall, 1e-9);
-    std::printf("%-10s %8d %10lld %10.3f %12.1f %9s\n", row.exec.c_str(),
+    row.vs_threads1 = 1.0;
+    std::printf("%-14s %8d %10lld %10.3f %12.1f %9s\n", row.exec.c_str(),
                 row.workers, static_cast<long long>(row.tasks), row.wall_s,
                 row.tasks_per_s, "-");
     rows.push_back(row);
   }
+  const double t1_tps = rows.front().tasks_per_s;
 
+  // Each worker count runs twice: the plain process plane, then with
+  // the per-worker block cache on. The cached rows show how much of
+  // the p1-vs-t1 serialize-through-shm gap the cache closes; their
+  // speedup column stays relative to the *uncached* 1-proc leg so the
+  // two trajectories share one axis.
   double p1_tps = 0;
   for (const int workers : worker_counts) {
-    std::vector<runtime::DataId> ignored;
-    TaskGraph graph = MatmulDag(tasks, n, &ignored);
-    runtime::RunOptions options;
-    options.num_procs = workers;
-    runtime::MultiProcExecutor executor(options);
-    const double t0 = Now();
-    auto report = executor.Execute(graph);
-    const double wall = Now() - t0;
-    TB_CHECK_OK(report.status());
-
-    // The committed number is only worth having if the values are
-    // right: every output must match the thread-pool run bit-exact.
-    for (const runtime::DataId d : outs) {
-      auto got = executor.FetchData(graph, d);
-      auto want = baseline.FetchData(baseline_graph, d);
-      TB_CHECK_OK(got.status());
-      TB_CHECK_OK(want.status());
-      TB_CHECK(*got == *want) << "datum " << d << " diverged at " << workers
-                              << " workers";
+    if (workers > hw_threads) {
+      std::fprintf(stderr,
+                   "warning: %d workers oversubscribe %d hardware thread(s); "
+                   "scaling numbers from this leg are not meaningful\n",
+                   workers, hw_threads);
     }
+    for (const bool cache : {false, true}) {
+      std::vector<runtime::DataId> ignored;
+      TaskGraph graph = MatmulDag(tasks, n, &ignored);
+      runtime::RunOptions options;
+      options.num_procs = workers;
+      options.block_cache = cache;
+      runtime::MultiProcExecutor executor(options);
+      const double t0 = Now();
+      auto report = executor.Execute(graph);
+      const double wall = Now() - t0;
+      TB_CHECK_OK(report.status());
 
-    Row row;
-    row.exec = StrFormat("procs-%d", workers);
-    row.workers = workers;
-    row.oversubscribed = workers > hw_threads;
-    row.tasks = static_cast<int64_t>(report->records.size());
-    row.wall_s = wall;
-    row.tasks_per_s = static_cast<double>(row.tasks) / std::max(wall, 1e-9);
-    if (workers == worker_counts.front()) p1_tps = row.tasks_per_s;
-    row.speedup_vs_p1 = p1_tps > 0 ? row.tasks_per_s / p1_tps : 0;
-    std::printf("%-10s %8d %10lld %10.3f %12.1f %9.2f%s\n", row.exec.c_str(),
-                row.workers, static_cast<long long>(row.tasks), row.wall_s,
-                row.tasks_per_s, row.speedup_vs_p1,
-                row.oversubscribed ? "  (oversubscribed)" : "");
-    std::fflush(stdout);
-    rows.push_back(row);
+      // The committed number is only worth having if the values are
+      // right: every output must match the thread-pool run bit-exact.
+      for (const runtime::DataId d : outs) {
+        auto got = executor.FetchData(graph, d);
+        auto want = baseline.FetchData(baseline_graph, d);
+        TB_CHECK_OK(got.status());
+        TB_CHECK_OK(want.status());
+        TB_CHECK(*got == *want) << "datum " << d << " diverged at " << workers
+                                << " workers (cache " << cache << ")";
+      }
+
+      Row row;
+      row.exec = StrFormat(cache ? "procs-%d-cache" : "procs-%d", workers);
+      row.workers = workers;
+      row.cache = cache;
+      row.oversubscribed = workers > hw_threads;
+      row.tasks = static_cast<int64_t>(report->records.size());
+      row.wall_s = wall;
+      row.tasks_per_s = static_cast<double>(row.tasks) / std::max(wall, 1e-9);
+      if (!cache && workers == worker_counts.front()) p1_tps = row.tasks_per_s;
+      row.speedup_vs_p1 = p1_tps > 0 ? row.tasks_per_s / p1_tps : 0;
+      row.vs_threads1 = t1_tps > 0 ? row.tasks_per_s / t1_tps : 0;
+      std::printf("%-14s %8d %10lld %10.3f %12.1f %9.2f%s\n", row.exec.c_str(),
+                  row.workers, static_cast<long long>(row.tasks), row.wall_s,
+                  row.tasks_per_s, row.speedup_vs_p1,
+                  row.oversubscribed ? "  (oversubscribed)" : "");
+      std::fflush(stdout);
+      rows.push_back(row);
+    }
   }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");

@@ -66,6 +66,9 @@ struct RealConfig {
   bool use_storage = false;
   KernelVariant kernels = KernelVariant::kNaive;
   bool faulty_storage = false;
+  /// Versioned per-worker block cache (RunOptions::block_cache); the
+  /// naive cache legs must stay bit-exact with their uncached twins.
+  bool cache = false;
   /// > 0 selects the multi-process executor with this many forked
   /// workers (threads/use_storage/faulty_storage are then ignored —
   /// the shm arena is the storage).
@@ -84,6 +87,7 @@ RealRun RunReal(const WorkloadSpec& spec, const RealConfig& config) {
   options.num_threads = config.threads;
   options.use_storage = config.use_storage;
   options.check_invariants = true;
+  options.block_cache = config.cache;
   if (config.procs > 0) {
     // Multi-process leg: forked workers + shared-memory arena. The
     // kernel variant pin above rides into the workers via fork.
@@ -236,10 +240,26 @@ DifferentialResult RunDifferential(const WorkloadSpec& spec,
   configs.push_back({"t1-mem-blocked", 1, false, KernelVariant::kBlocked});
   configs.push_back({StrFormat("t%d-store-blocked", options.threads),
                      options.threads, true, KernelVariant::kBlocked});
+  // Versioned block-cache legs: every cached read must be
+  // bit-identical to a fresh deserialize, whatever the hit pattern —
+  // INOUT rewrites included (the generator's FMA accumulators).
+  configs.push_back({"t1-store-naive-cache", 1, true, KernelVariant::kNaive,
+                     false, true});
+  configs.push_back({StrFormat("t%d-store-naive-cache", options.threads),
+                     options.threads, true, KernelVariant::kNaive, false,
+                     true});
   if (options.include_faults) {
     configs.push_back({StrFormat("t%d-faulty-store-naive",
                                  options.threads),
                        options.threads, true, KernelVariant::kNaive,
+                       true});
+    // Faults + cache: retried attempts re-read partially-written
+    // INOUT state; cached reads must track it exactly. (The cache
+    // absorbs some Gets, so the injector fires at different logical
+    // reads than in the uncached leg — values must not care.)
+    configs.push_back({StrFormat("t%d-faulty-store-cache",
+                                 options.threads),
+                       options.threads, true, KernelVariant::kNaive, true,
                        true});
   }
   if (options.include_multiproc && runtime::MultiProcExecutor::Supported()) {
@@ -251,6 +271,11 @@ DifferentialResult RunDifferential(const WorkloadSpec& spec,
     RealConfig p4{"p4-arena-naive"};
     p4.procs = 4;
     configs.push_back(p4);
+    // Tag-keyed worker caches over the same arena protocol.
+    RealConfig p2c{"p2-arena-naive-cache"};
+    p2c.procs = 2;
+    p2c.cache = true;
+    configs.push_back(p2c);
   }
 
   RealRun baseline = RunReal(spec, configs[0]);

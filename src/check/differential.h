@@ -53,11 +53,14 @@ struct DifferentialResult {
 /// the thread pool mutates values) and executes it across the matrix:
 ///
 ///   real:  {1, N} threads x {memory, storage} x {naive, blocked}
-///          kernels, plus a FaultyStorage-with-retries leg — every
-///          result datum compared against the 1-thread/memory/naive
-///          baseline (bit-exact for naive legs, tolerance for
-///          blocked) and against the closed-form oracle where the
-///          family has one;
+///          kernels, versioned block-cache legs (storage and
+///          faulty-storage twins plus a 2-proc arena leg, all with
+///          RunOptions::block_cache on), and a
+///          FaultyStorage-with-retries leg — every result datum
+///          compared against the 1-thread/memory/naive baseline
+///          (bit-exact for naive legs, cached ones included;
+///          tolerance for blocked) and against the closed-form
+///          oracle where the family has one;
 ///   sim:   {fifo, locality} x {shared, local} plus a hybrid leg on
 ///          the paper's Minotauro shape — each run twice and required
 ///          to produce digest-identical reports, with per-task

@@ -5,13 +5,16 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <new>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "runtime/spsc_ring.h"
+#include "storage/block_cache.h"
 #include "storage/serializer.h"
 #include "storage/shm_arena.h"
 
@@ -61,15 +64,26 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph&) {
 
 namespace {
 
-/// Coordinator -> worker: run this task attempt.
+/// Coordinator -> worker: run this task attempt. `epoch` piggybacks
+/// the coordinator's invalidation epoch on the dispatch ring: it
+/// advances whenever a previously published directory slot is
+/// republished (INOUT rewrites, crash-retry republication), telling
+/// the worker to sweep block-cache entries whose stored tag no longer
+/// matches the directory. Correctness never depends on the sweep —
+/// entries are keyed by directory tag, and arena records are
+/// immutable and never reused, so a stale entry is unreachable — the
+/// epoch only reclaims budget bytes dead entries would otherwise pin
+/// until LRU eviction.
 struct TaskMsg {
   int64_t task = -1;
   int32_t attempt = 1;
+  uint64_t epoch = 0;
 };
 
 /// Worker -> coordinator: the attempt finished. code 0 = success,
 /// 1 = retryable task failure (kernel / data error), 2 = fatal
-/// (retrying cannot help, e.g. arena exhaustion — fail the run).
+/// (retrying cannot help, e.g. arena exhaustion — fail the run),
+/// 3 = invariant violation detected inside the worker (fail the run).
 struct CompletionMsg {
   int64_t task = -1;
   int32_t worker = -1;
@@ -104,6 +118,19 @@ struct ControlHeader {
   /// for the whole box) nanoseconds captured just before fork, so
   /// coordinator and worker timestamps land on one axis.
   int64_t origin_ns = 0;
+};
+
+/// One worker's block-cache counters, in the MAP_SHARED control
+/// segment so the coordinator can merge them into the metrics
+/// registry after the run. The worker stores absolute values after
+/// each task (idempotent — a crashed worker leaves its last published
+/// snapshot, which is exactly what it did).
+struct CacheStatsSlot {
+  std::atomic<int64_t> hits{0};
+  std::atomic<int64_t> misses{0};
+  std::atomic<int64_t> evictions{0};
+  std::atomic<int64_t> invalidations{0};
+  std::atomic<uint64_t> peak_bytes{0};
 };
 
 static_assert(std::is_trivially_copyable_v<TaskMsg>);
@@ -146,6 +173,18 @@ Status PublishBlock(storage::ShmArena& arena, std::atomic<uint64_t>* directory,
   return Status::OK();
 }
 
+/// Deserializes the arena record a (nonzero) directory tag points at.
+/// Records are immutable once staged and offsets are never reused, so
+/// a tag identifies one block version forever — which is what makes
+/// tags usable as block-cache versions.
+Result<data::Matrix> ReadBlockAt(const storage::ShmArena& arena,
+                                 uint64_t tag) {
+  const uint8_t* record = arena.At(tag - 1);
+  uint64_t payload = 0;
+  std::memcpy(&payload, record, sizeof(payload));
+  return storage::Serializer::Deserialize(record + 8, payload);
+}
+
 Result<data::Matrix> ReadBlock(const storage::ShmArena& arena,
                                const std::atomic<uint64_t>* directory,
                                DataId d) {
@@ -156,10 +195,7 @@ Result<data::Matrix> ReadBlock(const storage::ShmArena& arena,
                   "ever written?",
                   static_cast<long long>(d)));
   }
-  const uint8_t* record = arena.At(tag - 1);
-  uint64_t payload = 0;
-  std::memcpy(&payload, record, sizeof(payload));
-  return storage::Serializer::Deserialize(record + 8, payload);
+  return ReadBlockAt(arena, tag);
 }
 
 void SetError(CompletionMsg* msg, const Status& status) {
@@ -171,10 +207,18 @@ void SetError(CompletionMsg* msg, const Status& status) {
 
 /// One task attempt inside a worker — the multi-process counterpart
 /// of the thread pool's run_task: gather inputs from the arena, run
-/// the kernel, publish outputs back into the arena.
+/// the kernel, publish outputs back into the arena. When `cache` is
+/// set, reads go through the worker's version-keyed block cache with
+/// the directory tag as the version: a hot shared input deserializes
+/// once per worker instead of once per task. With `check` on, each
+/// non-OUT param's directory tag is re-loaded after the kernel ran —
+/// the anti-dependency (write-after-read) edges of the graph make a
+/// republication during execution impossible, so any change is an
+/// invariant violation (code 3).
 CompletionMsg RunOne(int worker_id, const TaskMsg& msg, const TaskGraph& graph,
                      storage::ShmArena& arena, std::atomic<uint64_t>* directory,
-                     int64_t origin_ns) {
+                     int64_t origin_ns, bool check,
+                     storage::BlockCache* cache) {
   CompletionMsg out;
   out.task = msg.task;
   out.worker = worker_id;
@@ -185,11 +229,14 @@ CompletionMsg RunOne(int worker_id, const TaskMsg& msg, const TaskGraph& graph,
 
   // Materialize inputs (IN + INOUT) and output slots (OUT + INOUT),
   // mirroring the thread-pool layout: kernel inputs are IN values
-  // first, then INOUT values aliasing their output slots.
-  std::vector<data::Matrix> in_values;
+  // first, then INOUT values aliasing their output slots. IN values
+  // are shared with the cache when enabled (no copy on hit); INOUT
+  // slots always get private copies the kernel may mutate.
+  std::vector<std::shared_ptr<const data::Matrix>> in_values;
   std::vector<data::Matrix> out_values;
   std::vector<DataId> out_ids;
   std::vector<size_t> inout_out_index;
+  std::vector<std::pair<DataId, uint64_t>> read_tags;  // for the check
   in_values.reserve(task.spec.params.size());
   out_values.resize(task.spec.params.size());
   size_t num_outputs = 0;
@@ -199,29 +246,76 @@ CompletionMsg RunOne(int worker_id, const TaskMsg& msg, const TaskGraph& graph,
       ++num_outputs;
       continue;
     }
-    const double t0 = SecondsSince(origin_ns);
-    Result<data::Matrix> value = ReadBlock(arena, directory, p.data);
-    if (!value.ok()) {
+    const uint64_t tag = directory[p.data].load(std::memory_order_acquire);
+    if (tag == 0) {
       out.code = 1;
-      SetError(&out, value.status());
+      SetError(&out, Status::NotFound(StrFormat(
+                         "datum %lld has no record in the shm directory; "
+                         "was it ever written?",
+                         static_cast<long long>(p.data))));
       out.end = SecondsSince(origin_ns);
       return out;
     }
-    out.deserialize_s += SecondsSince(origin_ns) - t0;
+    if (check) read_tags.emplace_back(p.data, tag);
     if (p.dir == Dir::kIn) {
-      in_values.push_back(std::move(value).value());
-    } else {
-      out_values[num_outputs] = std::move(value).value();
-      inout_out_index.push_back(num_outputs);
-      out_ids.push_back(p.data);
-      ++num_outputs;
+      if (cache != nullptr) {
+        if (storage::BlockCache::ValuePtr hit =
+                cache->Get(static_cast<uint64_t>(p.data), tag)) {
+          in_values.push_back(std::move(hit));
+          continue;
+        }
+      }
+      const double t0 = SecondsSince(origin_ns);
+      Result<data::Matrix> value = ReadBlockAt(arena, tag);
+      if (!value.ok()) {
+        out.code = 1;
+        SetError(&out, value.status());
+        out.end = SecondsSince(origin_ns);
+        return out;
+      }
+      out.deserialize_s += SecondsSince(origin_ns) - t0;
+      if (cache != nullptr) {
+        in_values.push_back(cache->Put(static_cast<uint64_t>(p.data), tag,
+                                       std::move(value).value()));
+      } else {
+        in_values.push_back(std::make_shared<const data::Matrix>(
+            std::move(value).value()));
+      }
+      continue;
     }
+    // INOUT: private mutable copy. A cache hit copies the shared
+    // entry instead of letting the kernel mutate it; a miss reads the
+    // arena directly and is not inserted (this task is about to
+    // overwrite the datum, so the entry would be instantly stale).
+    bool materialized = false;
+    if (cache != nullptr) {
+      if (storage::BlockCache::ValuePtr hit =
+              cache->Get(static_cast<uint64_t>(p.data), tag)) {
+        out_values[num_outputs] = *hit;
+        materialized = true;
+      }
+    }
+    if (!materialized) {
+      const double t0 = SecondsSince(origin_ns);
+      Result<data::Matrix> value = ReadBlockAt(arena, tag);
+      if (!value.ok()) {
+        out.code = 1;
+        SetError(&out, value.status());
+        out.end = SecondsSince(origin_ns);
+        return out;
+      }
+      out.deserialize_s += SecondsSince(origin_ns) - t0;
+      out_values[num_outputs] = std::move(value).value();
+    }
+    inout_out_index.push_back(num_outputs);
+    out_ids.push_back(p.data);
+    ++num_outputs;
   }
   out_values.resize(num_outputs);
 
   std::vector<const data::Matrix*> inputs;
   std::vector<data::Matrix*> outputs;
-  for (const data::Matrix& m : in_values) inputs.push_back(&m);
+  for (const auto& m : in_values) inputs.push_back(m.get());
   for (size_t idx : inout_out_index) inputs.push_back(&out_values[idx]);
   for (data::Matrix& m : out_values) outputs.push_back(&m);
 
@@ -233,6 +327,30 @@ CompletionMsg RunOne(int worker_id, const TaskMsg& msg, const TaskGraph& graph,
     SetError(&out, kernel_status);
     out.end = SecondsSince(origin_ns);
     return out;
+  }
+
+  // Invariant: no input block may be republished while the task that
+  // reads it is running — the graph's write-after-read edges order
+  // every overwriting task after all readers, and the coordinator
+  // never dispatches two live attempts of one task. A moved tag means
+  // cached handles and arena reads could disagree: fail the run.
+  if (check) {
+    for (const auto& [d, tag] : read_tags) {
+      const uint64_t now_tag = directory[d].load(std::memory_order_acquire);
+      if (now_tag != tag) {
+        out.code = 3;
+        SetError(&out,
+                 Status::FailedPrecondition(StrFormat(
+                     "invariant violation: datum %lld republished (tag "
+                     "%llu -> %llu) while task %lld was reading it",
+                     static_cast<long long>(d),
+                     static_cast<unsigned long long>(tag),
+                     static_cast<unsigned long long>(now_tag),
+                     static_cast<long long>(msg.task))));
+        out.end = SecondsSince(origin_ns);
+        return out;
+      }
+    }
   }
 
   // Stage the outputs: serialize each into its own arena record, then
@@ -274,6 +392,17 @@ CompletionMsg RunOne(int worker_id, const TaskMsg& msg, const TaskGraph& graph,
     }
     out.outputs = *index + 1;
   }
+  // Write-through at the tags the coordinator will publish (staged
+  // offset + 1). If this attempt's completion is never consumed —
+  // worker declared dead, stale duplicate — those tags never enter
+  // the directory, so a crashed attempt's staged outputs are
+  // unreachable in every cache; the epoch sweep reclaims their bytes.
+  if (cache != nullptr) {
+    for (size_t i = 0; i < staged.size(); ++i) {
+      cache->Put(staged[i].first, staged[i].second + 1,
+                 std::move(out_values[i]));
+    }
+  }
   out.end = SecondsSince(origin_ns);
   return out;
 }
@@ -286,12 +415,20 @@ CompletionMsg RunOne(int worker_id, const TaskMsg& msg, const TaskGraph& graph,
                              storage::ShmArena& arena, ControlHeader* header,
                              WorkerChannel* channel,
                              std::atomic<uint64_t>* directory,
-                             const std::vector<int>& pin_cpus) {
+                             const std::vector<int>& pin_cpus, bool check,
+                             uint64_t cache_bytes,
+                             CacheStatsSlot* stats_slot) {
   if (!pin_cpus.empty()) {
     // Best effort: an unpinnable worker is slower, never wrong.
     const Status ignored = hw::PinCurrentThreadToCpus(pin_cpus);
     (void)ignored;
   }
+  // Worker-local block cache, created after the fork: each worker
+  // process owns private heap entries keyed by the shared directory
+  // tags (cache_bytes == 0 disables caching).
+  std::optional<storage::BlockCache> cache;
+  if (cache_bytes > 0) cache.emplace(cache_bytes);
+  uint64_t seen_epoch = 0;
   const int64_t origin_ns = header->origin_ns;
   int idle_polls = 0;
   for (;;) {
@@ -304,8 +441,28 @@ CompletionMsg RunOne(int worker_id, const TaskMsg& msg, const TaskGraph& graph,
       continue;
     }
     idle_polls = 0;
+    if (cache.has_value() && msg.epoch != seen_epoch) {
+      // The coordinator republished at least one directory slot since
+      // our last dispatch: sweep entries whose tag moved on, so dead
+      // versions stop pinning budget bytes.
+      seen_epoch = msg.epoch;
+      cache->EvictStale([directory](uint64_t key) {
+        return directory[static_cast<DataId>(key)].load(
+            std::memory_order_acquire);
+      });
+    }
     const CompletionMsg done =
-        RunOne(worker_id, msg, graph, arena, directory, origin_ns);
+        RunOne(worker_id, msg, graph, arena, directory, origin_ns, check,
+               cache.has_value() ? &*cache : nullptr);
+    if (cache.has_value() && stats_slot != nullptr) {
+      const storage::BlockCache::Stats& s = cache->stats();
+      stats_slot->hits.store(s.hits, std::memory_order_relaxed);
+      stats_slot->misses.store(s.misses, std::memory_order_relaxed);
+      stats_slot->evictions.store(s.evictions, std::memory_order_relaxed);
+      stats_slot->invalidations.store(s.invalidations,
+                                      std::memory_order_relaxed);
+      stats_slot->peak_bytes.store(s.peak_bytes, std::memory_order_relaxed);
+    }
     while (!channel->outbox.Push(done)) {
       std::this_thread::sleep_for(std::chrono::microseconds(20));
     }
@@ -421,14 +578,24 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph,
   TB_ASSIGN_OR_RETURN(storage::ShmArena arena,
                       storage::ShmArena::Create("arena", arena_bytes));
 
+  const bool use_cache = options_.block_cache;
+  const uint64_t cache_bytes =
+      use_cache ? (options_.block_cache_bytes != 0
+                       ? options_.block_cache_bytes
+                       : storage::kDefaultBlockCacheBytes)
+                : 0;
+
   const uint64_t header_off = 0;
   const uint64_t channels_off = AlignUp64(header_off + sizeof(ControlHeader));
   const uint64_t directory_off =
       AlignUp64(channels_off + static_cast<uint64_t>(num_workers) *
                                    sizeof(WorkerChannel));
+  const uint64_t cache_stats_off =
+      AlignUp64(directory_off +
+                static_cast<uint64_t>(num_data) * sizeof(std::atomic<uint64_t>));
   const uint64_t control_bytes =
-      directory_off +
-      static_cast<uint64_t>(num_data) * sizeof(std::atomic<uint64_t>);
+      cache_stats_off +
+      static_cast<uint64_t>(num_workers) * sizeof(CacheStatsSlot);
   TB_ASSIGN_OR_RETURN(storage::ShmSegment control,
                       storage::ShmSegment::Create("ctl", control_bytes));
   auto* header = new (control.base() + header_off) ControlHeader();
@@ -440,6 +607,9 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph,
   for (DataId d = 0; d < num_data; ++d) {
     new (&directory[d]) std::atomic<uint64_t>(0);
   }
+  auto* cache_stats =
+      reinterpret_cast<CacheStatsSlot*>(control.base() + cache_stats_off);
+  for (int w = 0; w < num_workers; ++w) new (&cache_stats[w]) CacheStatsSlot();
 
   // Stage initial values into the arena (coordinator-side, pre-fork,
   // so the publications are trivially visible to every worker).
@@ -467,7 +637,8 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph,
           pin ? topo.domains[static_cast<size_t>(
                                worker_domain[static_cast<size_t>(w)])].cpus
               : std::vector<int>{};
-      WorkerMain(w, graph, arena, header, &channels[w], directory, cpus);
+      WorkerMain(w, graph, arena, header, &channels[w], directory, cpus,
+                 options_.check_invariants, cache_bytes, &cache_stats[w]);
     }
     if (pid < 0) {
       header->shutdown.store(1, std::memory_order_release);
@@ -517,6 +688,11 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph,
     remaining[static_cast<size_t>(t)] = deps;
     if (deps == 0) ready.emplace_back(t, 1);
   }
+
+  // Invalidation epoch piggybacked on every dispatch: bumped whenever
+  // a previously published directory slot is republished, so workers
+  // know when a cache sweep could reclaim dead entries.
+  uint64_t inval_epoch = 0;
 
   bool failed = false;
   Status failure;
@@ -571,6 +747,7 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph,
     TaskMsg msg;
     msg.task = t;
     msg.attempt = attempt;
+    msg.epoch = inval_epoch;
     if (!channels[best].inbox.Push(msg)) return false;
     ++inflight[static_cast<size_t>(best)];
     inflight_tasks[static_cast<size_t>(best)].emplace_back(t, attempt);
@@ -604,6 +781,14 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph,
           uint64_t offset = 0;
           std::memcpy(&id, record + 8 + 16 * i, 8);
           std::memcpy(&offset, record + 8 + 16 * i + 8, 8);
+          // Republishing an already-written slot (INOUT rewrite, or
+          // OUT over an initial value) strands the old tag in worker
+          // caches: advance the invalidation epoch so the next
+          // dispatch triggers a sweep.
+          if (directory[static_cast<DataId>(id)].load(
+                  std::memory_order_relaxed) != 0) {
+            ++inval_epoch;
+          }
           directory[static_cast<DataId>(id)].store(
               offset + 1, std::memory_order_release);
         }
@@ -643,10 +828,11 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph,
       }
       return;
     }
-    // Task failure inside a live worker. Fatal (code 2) failures are
-    // arena exhaustion: note that every retry re-stages its outputs,
-    // so heavy retrying needs extra arena headroom.
-    if (msg.code == 2 || msg.attempt > options_.max_retries) {
+    // Task failure inside a live worker. Fatal failures end the run:
+    // code 2 is arena exhaustion (note that every retry re-stages its
+    // outputs, so heavy retrying needs extra arena headroom), code 3
+    // is an invariant violation the worker detected.
+    if (msg.code >= 2 || msg.attempt > options_.max_retries) {
       fail_run(Status::Internal(msg.error).WithContext(StrFormat(
           msg.code == 2
               ? "task %lld attempt %d on worker %d (each retry re-stages "
@@ -822,6 +1008,27 @@ Result<RunReport> MultiProcExecutor::Execute(TaskGraph& graph,
     if (retries > 0) registry.counter("pool.retries")->Add(retries);
     if (dead_workers > 0) {
       registry.counter("pool.worker_crashes")->Add(dead_workers);
+    }
+    if (use_cache) {
+      // Workers published their last stats snapshot into the shared
+      // control segment after each task; sum them here (same names as
+      // the thread pool's cache counters, so dashboards line up).
+      int64_t hits = 0, misses = 0, evictions = 0, invalidations = 0;
+      uint64_t peak = 0;
+      for (int w = 0; w < num_workers; ++w) {
+        hits += cache_stats[w].hits.load(std::memory_order_relaxed);
+        misses += cache_stats[w].misses.load(std::memory_order_relaxed);
+        evictions += cache_stats[w].evictions.load(std::memory_order_relaxed);
+        invalidations +=
+            cache_stats[w].invalidations.load(std::memory_order_relaxed);
+        peak = std::max(
+            peak, cache_stats[w].peak_bytes.load(std::memory_order_relaxed));
+      }
+      registry.counter("cache.hits")->Add(hits);
+      registry.counter("cache.misses")->Add(misses);
+      registry.counter("cache.evictions")->Add(evictions);
+      registry.counter("cache.invalidations")->Add(invalidations);
+      registry.gauge("cache.peak_bytes")->SetMax(static_cast<double>(peak));
     }
     for (const TaskRecord& rec : records) {
       registry

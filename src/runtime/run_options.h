@@ -93,6 +93,25 @@ struct RunOptions {
   bool use_storage = true;
 
   // ---------------------------------------------------------------
+  // Shared (storage-backed real execution): versioned block cache.
+  // ---------------------------------------------------------------
+  /// Cache deserialized blocks per worker (see docs/BLOCK_CACHE.md).
+  /// Hot read-mostly inputs are then deserialized once per worker
+  /// instead of once per read; entries are version-keyed against the
+  /// data plane's own commit bookkeeping (writer ordinals on the
+  /// thread pool, shm directory tags on the multi-process plane), so
+  /// INOUT rewrites and crash-retry republication can never serve
+  /// stale data. Cached values are bit-identical to a fresh
+  /// deserialize (the wire format is lossless), so results are
+  /// unchanged — the differential fuzzer holds cache-on legs
+  /// bit-exact against cache-off baselines. Off by default: fault
+  /// injection schedules (FaultyStorage op counts) and existing bench
+  /// baselines assume the uncached storage-op sequence.
+  bool block_cache = false;
+  /// Per-worker cache budget in bytes. 0 = 64 MiB per worker.
+  uint64_t block_cache_bytes = 0;
+
+  // ---------------------------------------------------------------
   // Real-execution data-plane geometry. 0 = derive from the detected
   // topology (cores/domains), so bigger hosts automatically get wider
   // striping instead of the old compile-time constants.

@@ -20,6 +20,7 @@
 #include "runtime/invariant_check.h"
 #include "runtime/sharded_value_store.h"
 #include "runtime/work_stealing_queue.h"
+#include "storage/block_cache.h"
 #include "storage/serializer.h"
 
 namespace taskbench::runtime {
@@ -87,12 +88,26 @@ ThreadPoolExecutor::ThreadPoolExecutor(
   if (options_.use_storage && store_ == nullptr) {
     store_ = std::make_shared<storage::InMemoryStorage>(
         static_cast<size_t>(std::max(0, options_.storage_shards)));
+    private_store_ = true;
+  }
+  if (options_.block_cache && options_.use_storage && private_store_) {
+    fetch_cache_ = std::make_unique<storage::BlockCache>(
+        options_.block_cache_bytes != 0 ? options_.block_cache_bytes
+                                        : storage::kDefaultBlockCacheBytes);
   }
 }
 
 Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
                                               const RunContext& ctx) {
   TB_RETURN_IF_ERROR(graph.Validate());
+
+  // Any run may rewrite scope-0 keys the post-run Fetch cache was
+  // built from; drop it wholesale (versions are per-run ordinals and
+  // do not compare across runs).
+  if (fetch_cache_ != nullptr) {
+    std::lock_guard<std::mutex> lock(fetch_mu_);
+    fetch_cache_->Clear();
+  }
 
   const int num_workers = options_.num_threads;
   const int64_t total = graph.num_tasks();
@@ -161,11 +176,17 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
   // and write a handful of atomics per task — no locks, no effect on
   // scheduling or values.
   const bool check = options_.check_invariants;
+  // The versioned block cache keys entries by the same writer
+  // ordinals the invariant checker predicts, so the oracle doubles as
+  // the cache's version source (built once, shared by both features).
+  const bool use_cache = options_.block_cache && options_.use_storage;
   VersionOracle oracle;
   std::vector<std::atomic<int>> data_version;
   std::vector<std::atomic<char>> completed_flag;
-  if (check) {
+  if (check || use_cache) {
     oracle = VersionOracle::Build(graph);
+  }
+  if (check) {
     std::vector<std::atomic<int>> versions(
         static_cast<size_t>(graph.num_data()));
     data_version = std::move(versions);
@@ -264,6 +285,25 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
     }
   }
 
+  // Per-worker versioned block caches (storage mode, opt-in): hot
+  // read-mostly inputs deserialize once per worker instead of once
+  // per read. Entries are keyed by datum id + the writer ordinal the
+  // oracle predicts for the access, so an INOUT rewrite looks up a
+  // new version and every stale entry is unreachable by construction.
+  // Owned outside the worker lambda so the stats survive the join for
+  // the telemetry merge.
+  std::vector<std::unique_ptr<storage::BlockCache>> worker_caches;
+  if (use_cache) {
+    const uint64_t cache_budget = options_.block_cache_bytes != 0
+                                      ? options_.block_cache_bytes
+                                      : storage::kDefaultBlockCacheBytes;
+    worker_caches.reserve(static_cast<size_t>(num_workers));
+    for (int w = 0; w < num_workers; ++w) {
+      worker_caches.push_back(
+          std::make_unique<storage::BlockCache>(cache_budget));
+    }
+  }
+
   // Topology-aware stealing: workers are striped over the NUMA
   // domains (the same contiguous striping the multi-process plane
   // uses) and each worker's victim sweep visits same-domain deques
@@ -289,30 +329,73 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
   }
 
   // Per-worker context: deque identity plus reusable serialization
-  // scratch, so steady-state storage traffic allocates nothing.
+  // scratch (steady-state storage traffic allocates nothing) and the
+  // worker's private block cache, when enabled.
   struct WorkerContext {
     int id = 0;
     std::vector<uint8_t> read_scratch;
     std::vector<uint8_t> write_scratch;
+    storage::BlockCache* cache = nullptr;
   };
 
-  // Shared ownership of the current value of `d`, timing the
-  // deserialization. In memory mode the critical section is one
+  // Invariant "cache-served reads match the version oracle": a hit is
+  // only legal when the data plane's own version bookkeeping agrees
+  // with the version the entry was cached under.
+  auto verify_cache_hit = [&](DataId d, uint64_t version) -> Status {
+    if (!check) return Status::OK();
+    const int actual = data_version[static_cast<size_t>(d)].load(
+        std::memory_order_acquire);
+    if (static_cast<uint64_t>(actual) != version) {
+      return Status::FailedPrecondition(StrFormat(
+          "invariant violation: block cache served datum %lld at "
+          "version %llu but the data plane is at version %d",
+          static_cast<long long>(d),
+          static_cast<unsigned long long>(version), actual));
+    }
+    return Status::OK();
+  };
+
+  // Private deserialization of `d` from the store into the worker's
+  // pooled read buffer — the uncached storage read path.
+  auto read_from_store = [&](WorkerContext& ctx, DataId d,
+                             double* deser_seconds) -> Result<data::Matrix> {
+    const double t0 = SecondsSince(origin);
+    TB_RETURN_IF_ERROR(
+        store_->GetInto(keys[static_cast<size_t>(d)], &ctx.read_scratch));
+    TB_ASSIGN_OR_RETURN(
+        data::Matrix m,
+        storage::Serializer::Deserialize(ctx.read_scratch.data(),
+                                         ctx.read_scratch.size()));
+    *deser_seconds += SecondsSince(origin) - t0;
+    return m;
+  };
+
+  // Shared ownership of the current value of `d` at `version`, timing
+  // the deserialization. In memory mode the critical section is one
   // stripe lock and a refcount bump; no block is ever copied under a
-  // lock. Storage mode deserializes a private copy from the worker's
-  // pooled read buffer (no lock at all).
-  auto read_shared = [&](WorkerContext& ctx, DataId d, double* deser_seconds)
-      -> Result<std::shared_ptr<data::Matrix>> {
+  // lock. Storage mode deserializes from the worker's pooled read
+  // buffer — through the worker's block cache when enabled, where a
+  // warm read is a hash lookup and a refcount bump instead. The wire
+  // format is lossless, so a cached block is bit-identical to a fresh
+  // deserialize and results cannot depend on the hit pattern.
+  auto read_shared = [&](WorkerContext& ctx, DataId d, uint64_t version,
+                         double* deser_seconds)
+      -> Result<std::shared_ptr<const data::Matrix>> {
     if (options_.use_storage) {
-      const double t0 = SecondsSince(origin);
-      TB_RETURN_IF_ERROR(store_->GetInto(keys[static_cast<size_t>(d)],
-                                         &ctx.read_scratch));
+      if (ctx.cache != nullptr) {
+        if (storage::BlockCache::ValuePtr hit =
+                ctx.cache->Get(static_cast<uint64_t>(d), version)) {
+          TB_RETURN_IF_ERROR(verify_cache_hit(d, version));
+          return hit;
+        }
+        TB_ASSIGN_OR_RETURN(data::Matrix m,
+                            read_from_store(ctx, d, deser_seconds));
+        return ctx.cache->Put(static_cast<uint64_t>(d), version,
+                              std::move(m));
+      }
       TB_ASSIGN_OR_RETURN(data::Matrix m,
-                          storage::Serializer::Deserialize(
-                              ctx.read_scratch.data(),
-                              ctx.read_scratch.size()));
-      *deser_seconds += SecondsSince(origin) - t0;
-      return std::make_shared<data::Matrix>(std::move(m));
+                          read_from_store(ctx, d, deser_seconds));
+      return std::make_shared<const data::Matrix>(std::move(m));
     }
     std::shared_ptr<data::Matrix> value = values.Get(d);
     if (value == nullptr) {
@@ -320,21 +403,35 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
           StrFormat("datum %lld has no value; was it ever written?",
                     static_cast<long long>(d)));
     }
-    return value;
+    return std::shared_ptr<const data::Matrix>(std::move(value));
   };
 
   // Private mutable copy of `d` (for INOUT slots kernels update in
-  // place); the memory-mode copy happens outside any lock.
-  auto read_owned = [&](WorkerContext& ctx, DataId d,
+  // place); copies happen outside any lock, and a cache hit copies
+  // the shared entry instead of mutating it (other holders of the
+  // handle would see the kernel's writes otherwise).
+  auto read_owned = [&](WorkerContext& ctx, DataId d, uint64_t version,
                         double* deser_seconds) -> Result<data::Matrix> {
-    TB_ASSIGN_OR_RETURN(const std::shared_ptr<data::Matrix> value,
-                        read_shared(ctx, d, deser_seconds));
-    if (options_.use_storage) return std::move(*value);  // sole owner
+    if (options_.use_storage) {
+      if (ctx.cache != nullptr) {
+        if (storage::BlockCache::ValuePtr hit =
+                ctx.cache->Get(static_cast<uint64_t>(d), version)) {
+          TB_RETURN_IF_ERROR(verify_cache_hit(d, version));
+          return *hit;
+        }
+      }
+      // Miss: private copy straight from the store. Not inserted —
+      // this reader is about to overwrite `d`, so the entry would be
+      // stale before anyone could hit it.
+      return read_from_store(ctx, d, deser_seconds);
+    }
+    TB_ASSIGN_OR_RETURN(const std::shared_ptr<const data::Matrix> value,
+                        read_shared(ctx, d, version, deser_seconds));
     return *value;
   };
 
-  auto write_datum = [&](WorkerContext& ctx, DataId d, data::Matrix value,
-                         double* ser_seconds) -> Status {
+  auto write_datum = [&](WorkerContext& ctx, DataId d, uint64_t version,
+                         data::Matrix value, double* ser_seconds) -> Status {
     if (options_.use_storage) {
       const double t0 = SecondsSince(origin);
       ctx.write_scratch.clear();
@@ -343,6 +440,14 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
                                      ctx.write_scratch.data(),
                                      ctx.write_scratch.size()));
       *ser_seconds += SecondsSince(origin) - t0;
+      // Write-through at the writer's ordinal: successors reading
+      // this version hit without touching the serializer (free when
+      // they run on this worker, one miss each elsewhere). The block
+      // is moved, not copied — the caller is done with it after a
+      // successful Put.
+      if (ctx.cache != nullptr) {
+        ctx.cache->Put(static_cast<uint64_t>(d), version, std::move(value));
+      }
       return Status::OK();
     }
     values.Put(d, std::make_shared<data::Matrix>(std::move(value)));
@@ -371,28 +476,36 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
     // IN values are shared with the store (zero-copy in memory mode);
     // INOUT slots get private copies kernels may mutate. out_values
     // is sized up front so pointers into it stay stable.
-    std::vector<std::shared_ptr<data::Matrix>> in_values;
+    std::vector<std::shared_ptr<const data::Matrix>> in_values;
     std::vector<data::Matrix> out_values;
     std::vector<DataId> out_ids;
+    std::vector<uint64_t> out_versions;
     std::vector<size_t> inout_out_index;  // out_values slots of INOUTs
     in_values.reserve(task.spec.params.size());
     out_values.resize(task.spec.params.size());
     size_t num_outputs = 0;
-    for (const Param& p : task.spec.params) {
+    for (size_t i = 0; i < task.spec.params.size(); ++i) {
+      const Param& p = task.spec.params[i];
+      // Writer ordinal the oracle predicts for this access: reads
+      // expect it as the block's cache version (INOUT reads expect
+      // the pre-write version); writes publish it.
+      const uint64_t ordinal =
+          use_cache ? static_cast<uint64_t>(oracle.ordinal(id, i)) : 0;
       if (p.dir == Dir::kIn) {
         TB_ASSIGN_OR_RETURN(
-            std::shared_ptr<data::Matrix> m,
-            read_shared(ctx, p.data, &rec.stages.deserialize));
+            std::shared_ptr<const data::Matrix> m,
+            read_shared(ctx, p.data, ordinal, &rec.stages.deserialize));
         in_values.push_back(std::move(m));
         continue;
       }
       if (p.dir == Dir::kInOut) {
         TB_ASSIGN_OR_RETURN(
             out_values[num_outputs],
-            read_owned(ctx, p.data, &rec.stages.deserialize));
+            read_owned(ctx, p.data, ordinal - 1, &rec.stages.deserialize));
         inout_out_index.push_back(num_outputs);
       }
       out_ids.push_back(p.data);
+      out_versions.push_back(ordinal);
       ++num_outputs;
     }
     out_values.resize(num_outputs);
@@ -410,7 +523,7 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
     rec.stages.parallel_fraction = SecondsSince(origin) - kernel_start;
 
     for (size_t i = 0; i < out_ids.size(); ++i) {
-      TB_RETURN_IF_ERROR(write_datum(ctx, out_ids[i],
+      TB_RETURN_IF_ERROR(write_datum(ctx, out_ids[i], out_versions[i],
                                      std::move(out_values[i]),
                                      &rec.stages.serialize));
     }
@@ -479,6 +592,9 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
     }
     WorkerContext ctx;
     ctx.id = worker_id;
+    if (use_cache) {
+      ctx.cache = worker_caches[static_cast<size_t>(worker_id)].get();
+    }
     WorkerTelemetry* wt =
         telemetry ? worker_telemetry[static_cast<size_t>(worker_id)].get()
                   : nullptr;
@@ -696,6 +812,21 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
     for (const auto& wt : worker_telemetry) merged.MergeFrom(wt->registry);
     merged.gauge("pool.workers")->Set(num_workers);
     if (pool.retries > 0) merged.counter("pool.retries")->Add(pool.retries);
+    if (use_cache) {
+      obs::Counter* hits = merged.counter("cache.hits");
+      obs::Counter* misses = merged.counter("cache.misses");
+      obs::Counter* evictions = merged.counter("cache.evictions");
+      obs::Counter* invalidations = merged.counter("cache.invalidations");
+      obs::Gauge* peak = merged.gauge("cache.peak_bytes");
+      for (const auto& cache : worker_caches) {
+        const storage::BlockCache::Stats& s = cache->stats();
+        hits->Add(s.hits);
+        misses->Add(s.misses);
+        evictions->Add(s.evictions);
+        invalidations->Add(s.invalidations);
+        peak->SetMax(static_cast<double>(s.peak_bytes));
+      }
+    }
   }
 
   // Persist memory-mode values back onto the graph entries so they
@@ -724,6 +855,25 @@ Result<data::Matrix> ThreadPoolExecutor::FetchData(const TaskGraph& graph,
         StrFormat("unknown data id %lld", static_cast<long long>(id)));
   }
   if (options_.use_storage) {
+    // Post-run read cache (block_cache mode, executor-private store
+    // only): baseline comparisons fetch the same result blocks over
+    // and over; serve repeats from the deserialized copy. Version 0
+    // is a constant — the cache is cleared whenever Execute may
+    // rewrite the scope-0 keys it was built from.
+    if (fetch_cache_ != nullptr) {
+      std::lock_guard<std::mutex> lock(fetch_mu_);
+      if (storage::BlockCache::ValuePtr hit =
+              fetch_cache_->Get(static_cast<uint64_t>(id), 0)) {
+        return *hit;
+      }
+      TB_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                          store_->Get(KeyFor(0, id)));
+      TB_ASSIGN_OR_RETURN(data::Matrix m,
+                          storage::Serializer::Deserialize(bytes));
+      storage::BlockCache::ValuePtr cached =
+          fetch_cache_->Put(static_cast<uint64_t>(id), 0, std::move(m));
+      return *cached;
+    }
     TB_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
                         store_->Get(KeyFor(0, id)));
     return storage::Serializer::Deserialize(bytes);

@@ -2,6 +2,7 @@
 #define TASKBENCH_RUNTIME_THREAD_POOL_EXECUTOR_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -10,6 +11,7 @@
 #include "runtime/metrics.h"
 #include "runtime/run_options.h"
 #include "runtime/task_graph.h"
+#include "storage/block_cache.h"
 #include "storage/block_storage.h"
 
 namespace taskbench::runtime {
@@ -76,6 +78,18 @@ class ThreadPoolExecutor final : public Executor {
  private:
   RunOptions options_;
   std::shared_ptr<storage::BlockStorage> store_;
+  /// Whether store_ is executor-private (constructed by us). The
+  /// FetchData read cache below is only safe then: an externally
+  /// shared store can be rewritten by another executor behind our
+  /// back, and Fetch has no version source to detect it.
+  bool private_store_ = false;
+  /// Post-run Fetch cache (block_cache mode, storage only): repeated
+  /// FetchData calls on the same result blocks — the bench baseline
+  /// comparison pattern — deserialize once instead of per call.
+  /// Cleared at the start of every Execute; guarded by fetch_mu_
+  /// because Fetch is const and may race a concurrent Execute.
+  mutable std::mutex fetch_mu_;
+  mutable std::unique_ptr<storage::BlockCache> fetch_cache_;
 };
 
 }  // namespace taskbench::runtime

@@ -1,0 +1,66 @@
+#ifndef TASKBENCH_SERVICE_TOKEN_BUCKET_H_
+#define TASKBENCH_SERVICE_TOKEN_BUCKET_H_
+
+#include <algorithm>
+
+namespace taskbench::service {
+
+/// Classic token bucket: `rate_per_s` tokens drip in continuously up
+/// to a ceiling of `burst`; each admitted request consumes one. Time
+/// is an explicit parameter (seconds on any monotonic axis) rather
+/// than a clock read, so policy code stays deterministic and testable
+/// — the caller decides what "now" means (the WorkflowService passes
+/// seconds since its own start; tests pass literals).
+///
+/// Not thread-safe: the service mutates it under its own mutex.
+class TokenBucket {
+ public:
+  /// A default-constructed bucket is unlimited (TryAcquire always
+  /// succeeds) — the "no rate limit configured" case costs nothing.
+  TokenBucket() = default;
+
+  /// `rate_per_s <= 0` means unlimited. The bucket starts full, so a
+  /// fresh tenant can burst immediately.
+  TokenBucket(double rate_per_s, double burst, double now_s)
+      : rate_(rate_per_s),
+        burst_(std::max(burst, 1.0)),
+        tokens_(std::max(burst, 1.0)),
+        last_s_(now_s) {}
+
+  bool unlimited() const { return rate_ <= 0; }
+
+  /// Consumes one token at time `now_s` if available. Monotonicity is
+  /// not assumed: a `now_s` before the last call refills nothing but
+  /// still works (the bucket never loses banked tokens).
+  bool TryAcquire(double now_s) {
+    if (unlimited()) return true;
+    Refill(now_s);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Tokens available at `now_s`, for introspection/tests.
+  double TokensAt(double now_s) {
+    if (unlimited()) return burst_;
+    Refill(now_s);
+    return tokens_;
+  }
+
+ private:
+  void Refill(double now_s) {
+    if (now_s > last_s_) {
+      tokens_ = std::min(burst_, tokens_ + (now_s - last_s_) * rate_);
+      last_s_ = now_s;
+    }
+  }
+
+  double rate_ = 0;    ///< tokens per second; <= 0 = unlimited
+  double burst_ = 0;   ///< bucket ceiling (>= 1 once rate-limited)
+  double tokens_ = 0;  ///< available now (as of last_s_)
+  double last_s_ = 0;  ///< time of the last refill
+};
+
+}  // namespace taskbench::service
+
+#endif  // TASKBENCH_SERVICE_TOKEN_BUCKET_H_

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "service/token_bucket.h"
 
 namespace taskbench::service {
 
@@ -83,6 +84,8 @@ struct WorkflowService::Submission {
 struct WorkflowService::Tenant {
   std::string name;
   TenantConfig config;
+  /// Submission-rate limiter (unlimited unless config.rate_per_s > 0).
+  TokenBucket bucket;
   /// Weighted-fair virtual time: bumped by 1/weight per dispatch; the
   /// runner always dequeues the eligible tenant with the smallest
   /// vtime (ties: lexicographic name, via the ordered tenant map).
@@ -94,6 +97,7 @@ struct WorkflowService::Tenant {
 
   int64_t submitted = 0;
   int64_t rejected = 0;
+  int64_t rate_limited = 0;  ///< subset of rejected: token bucket dry
   int64_t completed = 0;
   int64_t failed = 0;
   int64_t cancelled = 0;
@@ -123,9 +127,27 @@ WorkflowService::Tenant& WorkflowService::TenantFor(const std::string& name) {
     const auto cfg = options_.tenants.find(name);
     tenant->config = cfg != options_.tenants.end() ? cfg->second
                                                    : options_.default_tenant;
+    if (tenant->config.rate_per_s > 0) {
+      const double burst = tenant->config.burst > 0
+                               ? tenant->config.burst
+                               : std::max(1.0, tenant->config.rate_per_s);
+      tenant->bucket = TokenBucket(tenant->config.rate_per_s, burst, NowS());
+    }
     it = tenants_.emplace(name, std::move(tenant)).first;
   }
   return *it->second;
+}
+
+double WorkflowService::NowS() const { return SecondsSince(origin_); }
+
+void WorkflowService::SyncTenantGaugesLocked(const Tenant& tenant) {
+  if (options_.metrics == nullptr) return;
+  options_.metrics
+      ->gauge(StrFormat("service.tenant.%s.queued", tenant.name.c_str()))
+      ->Set(static_cast<double>(tenant.queue.size()));
+  options_.metrics
+      ->gauge(StrFormat("service.tenant.%s.in_flight", tenant.name.c_str()))
+      ->Set(static_cast<double>(tenant.in_flight));
 }
 
 Result<SubmissionHandle> WorkflowService::Submit(runtime::TaskGraph graph,
@@ -142,6 +164,9 @@ Result<SubmissionHandle> WorkflowService::Submit(runtime::TaskGraph graph,
   const auto reject = [&](const char* what, long long have,
                           int cap) -> Status {
     ++tenant.rejected;
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("service.rejected")->Add();
+    }
     return Status::RejectedAdmission(StrFormat(
         "tenant '%s' rejected: %s at capacity (%lld of %d)",
         opts.tenant.c_str(), what, have, cap));
@@ -164,6 +189,21 @@ Result<SubmissionHandle> WorkflowService::Submit(runtime::TaskGraph graph,
     return reject("tenant queue",
                   static_cast<long long>(tenant.queue.size()),
                   tenant.config.max_queued);
+  }
+  // Rate limiting is checked last: a Submit that would be rejected by
+  // a capacity cap anyway must not also burn a token.
+  if (!tenant.bucket.TryAcquire(NowS())) {
+    ++tenant.rejected;
+    ++tenant.rate_limited;
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("service.rejected")->Add();
+      options_.metrics->counter("service.rate_limited")->Add();
+    }
+    return Status::RejectedAdmission(StrFormat(
+        "tenant '%s' rejected: over submission rate (%.3g/s, burst %.3g)",
+        opts.tenant.c_str(), tenant.config.rate_per_s,
+        tenant.config.burst > 0 ? tenant.config.burst
+                                : std::max(1.0, tenant.config.rate_per_s)));
   }
 
   auto sub = std::make_unique<Submission>();
@@ -191,6 +231,10 @@ Result<SubmissionHandle> WorkflowService::Submit(runtime::TaskGraph graph,
   ++tenant.in_flight;
   ++tenant.submitted;
   ++queued_;
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("service.admitted")->Add();
+  }
+  SyncTenantGaugesLocked(tenant);
   work_cv_.notify_one();
   return SubmissionHandle{raw->id};
 }
@@ -217,19 +261,31 @@ void WorkflowService::FinishLocked(Submission* sub, Status result,
   sub->graph = runtime::TaskGraph();  // release the matrices now
   Tenant& tenant = *sub->tenant;
   --tenant.in_flight;
+  obs::MetricsRegistry* metrics = options_.metrics;
+  const auto record_wait = [&] {
+    tenant.queue_waits.push_back(sub->queue_wait_s);
+    if (metrics != nullptr) {
+      metrics->histogram("service.queue_wait_s")->Record(sub->queue_wait_s);
+    }
+  };
   if (sub->result.ok()) {
     ++tenant.completed;
+    if (metrics != nullptr) metrics->counter("service.completed")->Add();
     tenant.makespans.push_back(sub->report.makespan);
-    tenant.queue_waits.push_back(sub->queue_wait_s);
+    record_wait();
   } else if (sub->result.IsDeadlineExceeded()) {
     ++tenant.expired;
-    tenant.queue_waits.push_back(sub->queue_wait_s);
+    if (metrics != nullptr) metrics->counter("service.expired")->Add();
+    record_wait();
   } else if (sub->result.IsCancelled()) {
     ++tenant.cancelled;
+    if (metrics != nullptr) metrics->counter("service.cancelled")->Add();
   } else {
     ++tenant.failed;
-    tenant.queue_waits.push_back(sub->queue_wait_s);
+    if (metrics != nullptr) metrics->counter("service.failed")->Add();
+    record_wait();
   }
+  SyncTenantGaugesLocked(tenant);
   done_cv_.notify_all();
 }
 
@@ -244,6 +300,7 @@ void WorkflowService::RunnerLoop() {
     Submission* sub = DequeueLocked();
     if (sub == nullptr) continue;
     --queued_;
+    SyncTenantGaugesLocked(*sub->tenant);
     sub->queue_wait_s = SecondsSince(sub->submitted_at);
 
     // Shutdown and deadlines are decided at dispatch time: the
@@ -368,6 +425,7 @@ ServiceReport WorkflowService::Report() const {
     t.tenant = name;
     t.submitted = tenant->submitted;
     t.rejected = tenant->rejected;
+    t.rate_limited = tenant->rate_limited;
     t.completed = tenant->completed;
     t.failed = tenant->failed;
     t.cancelled = tenant->cancelled;
@@ -376,6 +434,7 @@ ServiceReport WorkflowService::Report() const {
     t.queue_wait = Summarize(tenant->queue_waits);
     report.submitted += t.submitted;
     report.rejected += t.rejected;
+    report.rate_limited += t.rate_limited;
     report.completed += t.completed;
     report.failed += t.failed;
     report.cancelled += t.cancelled;
@@ -388,6 +447,7 @@ ServiceReport WorkflowService::Report() const {
 std::string ServiceReport::ToJson() const {
   std::ostringstream out;
   out << "{\"submitted\": " << submitted << ", \"rejected\": " << rejected
+      << ", \"rate_limited\": " << rate_limited
       << ", \"completed\": " << completed << ", \"failed\": " << failed
       << ", \"cancelled\": " << cancelled << ", \"expired\": " << expired
       << ", \"still_queued\": " << still_queued
@@ -398,6 +458,7 @@ std::string ServiceReport::ToJson() const {
     out << "{\"tenant\": \"" << JsonEscape(t.tenant)
         << "\", \"submitted\": " << t.submitted
         << ", \"rejected\": " << t.rejected
+        << ", \"rate_limited\": " << t.rate_limited
         << ", \"completed\": " << t.completed << ", \"failed\": " << t.failed
         << ", \"cancelled\": " << t.cancelled
         << ", \"expired\": " << t.expired << ", ";

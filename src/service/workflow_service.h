@@ -1,6 +1,7 @@
 #ifndef TASKBENCH_SERVICE_WORKFLOW_SERVICE_H_
 #define TASKBENCH_SERVICE_WORKFLOW_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -29,6 +30,15 @@ struct TenantConfig {
   int max_in_flight = 0;
   /// Max submissions waiting in this tenant's queue.
   int max_queued = 0;
+  /// Sustained submission rate (token bucket, tokens/second); 0 =
+  /// unlimited. Unlike the in-flight caps — which bound *concurrent*
+  /// resource use — this bounds submission *frequency*, so a tenant
+  /// whose workflows finish instantly still cannot monopolize the
+  /// admission path. Over-rate Submits get kRejectedAdmission.
+  double rate_per_s = 0;
+  /// Bucket ceiling: how many Submits may arrive back-to-back before
+  /// the rate gates. 0 = max(1, rate_per_s); ignored when unlimited.
+  double burst = 0;
 };
 
 struct ServiceOptions {
@@ -45,6 +55,16 @@ struct ServiceOptions {
   /// Per-tenant policy; tenants not listed here get `default_tenant`.
   std::map<std::string, TenantConfig> tenants;
   TenantConfig default_tenant;
+  /// Service-wide telemetry sink (distinct from the per-submission
+  /// SubmitOptions::metrics, which scopes one run). When set, the
+  /// service maintains admission counters (`service.admitted`,
+  /// `service.rejected`, `service.rate_limited`, terminal-state
+  /// counts), per-tenant `service.tenant.<name>.queued` /
+  /// `.in_flight` gauges, and a `service.queue_wait_s` histogram.
+  /// The registry is not thread-safe; the service only touches it
+  /// under its own mutex. Must outlive the service. Null disables
+  /// collection.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SubmitOptions {
@@ -99,9 +119,10 @@ struct LatencySummary {
 /// One tenant's slice of a ServiceReport.
 struct TenantReport {
   std::string tenant;
-  int64_t submitted = 0;   ///< admitted submissions
-  int64_t rejected = 0;    ///< kRejectedAdmission at Submit
-  int64_t completed = 0;   ///< ran to success
+  int64_t submitted = 0;     ///< admitted submissions
+  int64_t rejected = 0;      ///< kRejectedAdmission at Submit
+  int64_t rate_limited = 0;  ///< subset of rejected: over rate_per_s
+  int64_t completed = 0;     ///< ran to success
   int64_t failed = 0;      ///< ran and failed (non-cancel statuses)
   int64_t cancelled = 0;   ///< cancelled while queued or running
   int64_t expired = 0;     ///< deadline exceeded before dispatch
@@ -119,6 +140,7 @@ struct ServiceReport {
   std::vector<TenantReport> tenants;
   int64_t submitted = 0;
   int64_t rejected = 0;
+  int64_t rate_limited = 0;
   int64_t completed = 0;
   int64_t failed = 0;
   int64_t cancelled = 0;
@@ -206,9 +228,18 @@ class WorkflowService {
   void FinishLocked(Submission* sub, Status result,
                     runtime::RunReport report);
   Tenant& TenantFor(const std::string& name);
+  /// Seconds since the service started — the time axis of the
+  /// per-tenant token buckets.
+  double NowS() const;
+  /// Pushes `tenant`'s queued/in-flight occupancy into the service
+  /// metrics registry (no-op when none is configured). Caller holds
+  /// mu_.
+  void SyncTenantGaugesLocked(const Tenant& tenant);
 
   std::shared_ptr<runtime::Executor> executor_;
   ServiceOptions options_;
+  const std::chrono::steady_clock::time_point origin_ =
+      std::chrono::steady_clock::now();
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  ///< runners: work or shutdown

@@ -1,0 +1,79 @@
+#include "storage/block_cache.h"
+
+#include <utility>
+
+namespace taskbench::storage {
+
+BlockCache::ValuePtr BlockCache::Get(Key key, Version version) {
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second->version != version) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  // Move to the MRU position.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->value;
+}
+
+BlockCache::ValuePtr BlockCache::Put(Key key, Version version,
+                                     ValuePtr value) {
+  if (value == nullptr) return value;
+  const uint64_t bytes = value->bytes();
+  auto it = map_.find(key);
+  if (it != map_.end()) DropEntry(it->second, /*capacity_eviction=*/false);
+  if (bytes > budget_) return value;  // never admit an over-budget value
+  EvictLruUntilFits(bytes);
+  lru_.push_front(Entry{key, version, value, bytes});
+  map_[key] = lru_.begin();
+  stats_.bytes += bytes;
+  ++stats_.inserts;
+  if (stats_.bytes > stats_.peak_bytes) stats_.peak_bytes = stats_.bytes;
+  return value;
+}
+
+bool BlockCache::Invalidate(Key key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  DropEntry(it->second, /*capacity_eviction=*/false);
+  ++stats_.invalidations;
+  return true;
+}
+
+int64_t BlockCache::EvictStale(
+    const std::function<Version(Key)>& current_version) {
+  int64_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto next = std::next(it);
+    if (current_version(it->key) != it->version) {
+      DropEntry(it, /*capacity_eviction=*/false);
+      ++stats_.invalidations;
+      ++dropped;
+    }
+    it = next;
+  }
+  return dropped;
+}
+
+void BlockCache::Clear() {
+  int64_t n = entry_count();
+  lru_.clear();
+  map_.clear();
+  stats_.bytes = 0;
+  stats_.invalidations += n;
+}
+
+void BlockCache::EvictLruUntilFits(uint64_t incoming_bytes) {
+  while (!lru_.empty() && stats_.bytes + incoming_bytes > budget_) {
+    DropEntry(std::prev(lru_.end()), /*capacity_eviction=*/true);
+  }
+}
+
+void BlockCache::DropEntry(LruList::iterator it, bool capacity_eviction) {
+  stats_.bytes -= it->bytes;
+  if (capacity_eviction) ++stats_.evictions;
+  map_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace taskbench::storage

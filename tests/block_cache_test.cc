@@ -1,0 +1,144 @@
+#include "storage/block_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace taskbench::storage {
+namespace {
+
+data::Matrix Filled(int64_t rows, int64_t cols, double fill) {
+  return data::Matrix(rows, cols, fill);
+}
+
+TEST(BlockCacheTest, MissThenHitAtSameVersion) {
+  BlockCache cache(1 << 20);
+  EXPECT_EQ(cache.Get(7, 1), nullptr);
+  cache.Put(7, 1, Filled(4, 4, 1.5));
+  const BlockCache::ValuePtr hit = cache.Get(7, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->At(0, 0), 1.5);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(BlockCacheTest, VersionMismatchIsAMissAndLeavesEntryInPlace) {
+  BlockCache cache(1 << 20);
+  cache.Put(7, 1, Filled(2, 2, 1.0));
+  // A reader expecting a different version must not see the entry...
+  EXPECT_EQ(cache.Get(7, 2), nullptr);
+  EXPECT_EQ(cache.Get(7, 0), nullptr);
+  // ...but a reader at the stored version still does.
+  EXPECT_NE(cache.Get(7, 1), nullptr);
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(BlockCacheTest, PutOverwritesPriorVersion) {
+  BlockCache cache(1 << 20);
+  cache.Put(3, 1, Filled(2, 2, 1.0));
+  cache.Put(3, 2, Filled(2, 2, 9.0));
+  EXPECT_EQ(cache.Get(3, 1), nullptr);  // the INOUT-rewrite pattern
+  const BlockCache::ValuePtr hit = cache.Get(3, 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->At(1, 1), 9.0);
+  EXPECT_EQ(cache.entry_count(), 1);
+}
+
+TEST(BlockCacheTest, LruEvictionDropsOldestFirst) {
+  // Budget fits exactly two 2x2 blocks (32 bytes each).
+  BlockCache cache(64);
+  cache.Put(1, 1, Filled(2, 2, 1.0));
+  cache.Put(2, 1, Filled(2, 2, 2.0));
+  ASSERT_NE(cache.Get(1, 1), nullptr);  // touch 1: now 2 is LRU
+  cache.Put(3, 1, Filled(2, 2, 3.0));
+  EXPECT_NE(cache.Get(1, 1), nullptr);
+  EXPECT_EQ(cache.Get(2, 1), nullptr);  // evicted
+  EXPECT_NE(cache.Get(3, 1), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_LE(cache.stats().bytes, cache.budget_bytes());
+}
+
+TEST(BlockCacheTest, OverBudgetValueIsNotAdmitted) {
+  BlockCache cache(64);
+  cache.Put(1, 1, Filled(2, 2, 1.0));
+  // 8x8 = 512 bytes > 64-byte budget: returned usable, not cached.
+  const BlockCache::ValuePtr big = cache.Put(2, 1, Filled(8, 8, 2.0));
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(big->At(0, 0), 2.0);
+  EXPECT_EQ(cache.Get(2, 1), nullptr);
+  EXPECT_NE(cache.Get(1, 1), nullptr);  // small entry untouched
+}
+
+TEST(BlockCacheTest, EvictionNeverInvalidatesOutstandingHandles) {
+  BlockCache cache(64);
+  cache.Put(1, 1, Filled(2, 2, 4.0));
+  const BlockCache::ValuePtr handle = cache.Get(1, 1);
+  cache.Put(2, 1, Filled(2, 2, 5.0));
+  cache.Put(3, 1, Filled(2, 2, 6.0));  // 1 evicted by now
+  EXPECT_EQ(cache.Get(1, 1), nullptr);
+  ASSERT_NE(handle, nullptr);  // the evicted block lives on
+  EXPECT_EQ(handle->At(0, 0), 4.0);
+}
+
+TEST(BlockCacheTest, InvalidateDropsKey) {
+  BlockCache cache(1 << 20);
+  cache.Put(5, 1, Filled(2, 2, 1.0));
+  EXPECT_TRUE(cache.Invalidate(5));
+  EXPECT_FALSE(cache.Invalidate(5));
+  EXPECT_EQ(cache.Get(5, 1), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(BlockCacheTest, EvictStaleDropsEntriesWhoseVersionMovedOn) {
+  BlockCache cache(1 << 20);
+  cache.Put(1, 1, Filled(2, 2, 1.0));
+  cache.Put(2, 7, Filled(2, 2, 2.0));
+  cache.Put(3, 3, Filled(2, 2, 3.0));
+  // Directory says: 1 -> 1 (fresh), 2 -> 8 (republished), 3 -> 0
+  // (gone).
+  const int64_t dropped = cache.EvictStale([](uint64_t key) -> uint64_t {
+    if (key == 1) return 1;
+    if (key == 2) return 8;
+    return 0;
+  });
+  EXPECT_EQ(dropped, 2);
+  EXPECT_NE(cache.Get(1, 1), nullptr);
+  EXPECT_EQ(cache.Get(2, 7), nullptr);
+  EXPECT_EQ(cache.Get(3, 3), nullptr);
+  EXPECT_EQ(cache.entry_count(), 1);
+}
+
+TEST(BlockCacheTest, ClearEmptiesEverything) {
+  BlockCache cache(1 << 20);
+  cache.Put(1, 1, Filled(2, 2, 1.0));
+  cache.Put(2, 1, Filled(2, 2, 2.0));
+  cache.Clear();
+  EXPECT_EQ(cache.entry_count(), 0);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.Get(1, 1), nullptr);
+}
+
+TEST(BlockCacheTest, ByteAccountingTracksPeak) {
+  BlockCache cache(1 << 20);
+  cache.Put(1, 1, Filled(4, 4, 1.0));  // 128 bytes
+  cache.Put(2, 1, Filled(4, 4, 2.0));  // 256 total
+  cache.Invalidate(1);
+  EXPECT_EQ(cache.stats().bytes, 128u);
+  EXPECT_EQ(cache.stats().peak_bytes, 256u);
+}
+
+TEST(BlockCacheTest, SharedOwnershipNoCopyOnHit) {
+  BlockCache cache(1 << 20);
+  auto value = std::make_shared<const data::Matrix>(Filled(2, 2, 1.0));
+  cache.Put(9, 1, value);
+  const BlockCache::ValuePtr hit = cache.Get(9, 1);
+  EXPECT_EQ(hit.get(), value.get());  // the same block, not a copy
+}
+
+}  // namespace
+}  // namespace taskbench::storage

@@ -128,6 +128,71 @@ TEST(FailureInjectionTest, RetriesExhaustedSurfaceCleanStatus) {
   EXPECT_NE(report.status().message().find("attempt"), std::string::npos);
 }
 
+// Versioned block cache under fault-driven INOUT retries: a failed
+// write attempt must not leave a poisoned cache entry that the retry
+// (or any later reader) can consume. The accumulator chain detects
+// any stale serve as a wrong final value; the run's own cache-hit
+// invariant check (on by default) cross-checks every hit against the
+// version oracle while it runs.
+TEST(FailureInjectionTest, BlockCacheStaysExactUnderInOutRetry) {
+  const auto build = [] {
+    TaskGraph graph;
+    const DataId base = graph.AddData(data::Matrix(4, 4, 1.0));
+    const DataId acc = graph.AddData(data::Matrix(4, 4, 0.0));
+    for (int i = 0; i < 3; ++i) {
+      TaskSpec spec;
+      spec.type = "accumulate";
+      spec.params = {{base, Dir::kIn}, {acc, Dir::kInOut}};
+      spec.kernel = [](const std::vector<const data::Matrix*>& inputs,
+                       const std::vector<data::Matrix*>& outputs) -> Status {
+        data::Matrix& m = *outputs[0];  // aliases the INOUT input
+        for (int64_t j = 0; j < m.size(); ++j) {
+          m.data()[j] += inputs[0]->data()[j];
+        }
+        return Status::OK();
+      };
+      EXPECT_TRUE(graph.Submit(std::move(spec)).ok());
+    }
+    return std::make_pair(std::move(graph), acc);
+  };
+
+  // Put schedule: staging writes base and acc (2 puts), then each
+  // link writes acc once. Failing the third put kills the first
+  // link's write *after* it already populated the read cache, the
+  // nastiest interleaving: the retry must re-read the accumulator at
+  // its pre-write version and republish.
+  auto faulty = std::make_shared<FaultyStorage>(
+      std::make_shared<storage::InMemoryStorage>());
+  faulty->ops_until_put_failure = 2;
+  faulty->put_failures_remaining = 1;
+  auto [graph, acc] = build();
+  RunOptions options = StorageOptions();
+  options.num_threads = 1;  // chain is serial anyway; determinism
+  options.block_cache = true;
+  options.max_retries = 2;
+  options.retry_backoff_s = 1e-4;
+  ThreadPoolExecutor executor(options, faulty);
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->faults.retries, 1);
+
+  auto got = executor.FetchData(graph, acc);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(*got == data::Matrix(4, 4, 3.0))
+      << "retry consumed a stale or poisoned cached accumulator";
+
+  // Same chain, cache off, clean storage: the cached faulted run must
+  // match it bit-for-bit.
+  auto [clean_graph, clean_acc] = build();
+  RunOptions clean_options = StorageOptions();
+  clean_options.num_threads = 1;
+  ThreadPoolExecutor clean_executor(clean_options);
+  ASSERT_TRUE(clean_executor.Execute(clean_graph).ok());
+  auto want = clean_executor.FetchData(clean_graph, clean_acc);
+  ASSERT_TRUE(want.ok());
+  EXPECT_TRUE(*got == *want);
+}
+
 TEST(FailureInjectionTest, RecoveryAfterTransientFault) {
   // A fresh executor over intact storage succeeds after a failed run
   // (no poisoned global state).

@@ -7,6 +7,7 @@
 
 #include "check/invariants.h"
 #include "check/workload.h"
+#include "obs/metrics.h"
 #include "runtime/task_graph.h"
 #include "runtime/thread_pool_executor.h"
 
@@ -294,6 +295,114 @@ TEST(MultiProcExecutorTest, CrashedInOutAttemptIsAppliedExactlyOnce) {
   EXPECT_TRUE(check::VerifyReport(graph, *report, context).ok());
 
   munmap(page, 4096);
+}
+
+// The versioned block cache must stay coherent across the INOUT
+// crash-retry exactly-once path. A crashed attempt stages its output
+// and write-through-caches it under the staged tag, but the
+// coordinator never publishes that tag into the directory, so the
+// entry is unreachable by construction (and dies with the worker).
+// Surviving workers hold cache entries for *earlier* versions of the
+// accumulator; after the retry republishes it under a fresh tag,
+// those entries must miss. A stale hit anywhere would double-apply
+// or drop an increment — the accumulator is the detector.
+TEST(MultiProcExecutorTest, BlockCacheStaysCoherentAcrossCrashRetry) {
+  void* page = mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(page, MAP_FAILED);
+  auto* crashes_left = new (page) std::atomic<int>(1);
+
+  // Every task reads the same shared base block (the cache's bread
+  // and butter) and accumulates it into one INOUT datum; the middle
+  // task crashes its worker on the first attempt.
+  TaskGraph graph;
+  const DataId base = graph.AddData(data::Matrix(4, 4, 1.0));
+  const DataId acc = graph.AddData(data::Matrix(4, 4, 0.0));
+  for (int i = 0; i < 3; ++i) {
+    TaskSpec spec;
+    spec.type = "accumulate";
+    spec.params = {{base, Dir::kIn}, {acc, Dir::kInOut}};
+    const bool crashy = i == 1;
+    spec.kernel = [crashes_left, crashy](
+                      const std::vector<const data::Matrix*>& inputs,
+                      const std::vector<data::Matrix*>& outputs) -> Status {
+      if (crashy &&
+          crashes_left->fetch_sub(1, std::memory_order_acq_rel) > 0) {
+        _exit(17);  // die mid-chain, taking the worker down
+      }
+      data::Matrix& m = *outputs[0];  // aliases the INOUT input value
+      for (int64_t j = 0; j < m.size(); ++j) {
+        m.data()[j] += inputs[0]->data()[j];
+      }
+      return Status::OK();
+    };
+    ASSERT_TRUE(graph.Submit(std::move(spec)).ok());
+  }
+
+  obs::MetricsRegistry metrics;
+  RunOptions options = ProcOptions(2);
+  options.block_cache = true;
+  options.max_retries = 2;
+  options.retry_backoff_s = 1e-4;
+  options.metrics = &metrics;
+  MultiProcExecutor executor(options);
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->faults.dead_nodes, 1);
+  EXPECT_GE(report->faults.retries, 1);
+  ASSERT_EQ(report->records.size(), 3u);
+  // The cache was actually in the loop: every first read of a block
+  // on a worker is a miss.
+  EXPECT_GE(metrics.counter("cache.misses")->value(), 1);
+
+  auto result = executor.FetchData(graph, acc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result == data::Matrix(4, 4, 3.0))
+      << "a stale cached accumulator version leaked through crash-retry";
+
+  check::InvariantContext context;
+  context.num_threads = 2;
+  context.faulted = true;
+  EXPECT_TRUE(check::VerifyReport(graph, *report, context).ok());
+
+  munmap(page, 4096);
+}
+
+// Without faults, INOUT republication is the hot invalidation path:
+// the same datum is rewritten under a fresh tag on every link of the
+// chain while also sitting in worker caches. One worker would serve
+// the whole chain from cache if versioning were key-only — the
+// version check must force a fresh read per link.
+TEST(MultiProcExecutorTest, BlockCacheInOutRewriteNeverServesStale) {
+  TaskGraph graph;
+  const DataId acc = graph.AddData(data::Matrix(4, 4, 0.0));
+  for (int i = 0; i < 6; ++i) {
+    TaskSpec spec;
+    spec.type = "increment";
+    spec.params = {{acc, Dir::kInOut}};
+    spec.kernel = [](const std::vector<const data::Matrix*>& inputs,
+                     const std::vector<data::Matrix*>& outputs) -> Status {
+      (void)inputs;
+      data::Matrix& m = *outputs[0];
+      for (int64_t j = 0; j < m.size(); ++j) m.data()[j] += 1.0;
+      return Status::OK();
+    };
+    ASSERT_TRUE(graph.Submit(std::move(spec)).ok());
+  }
+
+  RunOptions options = ProcOptions(2);
+  options.block_cache = true;
+  MultiProcExecutor executor(options);
+  auto report = executor.Execute(graph);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto result = executor.FetchData(graph, acc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result == data::Matrix(4, 4, 6.0));
+
+  check::InvariantContext context;
+  context.num_threads = 2;
+  EXPECT_TRUE(check::VerifyReport(graph, *report, context).ok());
 }
 
 #if defined(__linux__)

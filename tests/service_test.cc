@@ -21,6 +21,7 @@
 #include "runtime/executor_factory.h"
 #include "runtime/simulated_executor.h"
 #include "runtime/thread_pool_executor.h"
+#include "service/token_bucket.h"
 #include "service/workflow_service.h"
 
 namespace taskbench::service {
@@ -185,15 +186,18 @@ TEST(WorkflowServiceTest, CancelRunningSubmission) {
   options.num_runners = 1;
   WorkflowService service(ThreadExecutor(), options);
 
-  // The blocking task plus a follow-up: cancellation lands at the
-  // scheduling edge between them once the kernel is released.
+  // The blocking task plus a follow-up that reads its output, so the
+  // tail cannot start before the gate opens: cancellation lands at
+  // the scheduling edge between them once the kernel is released.
+  // (An independent tail could finish first, and the run would then
+  // complete the instant the gated task returns — a flaky race.)
   TaskGraph graph =
       TaggedGraph("first", nullptr, nullptr, &gate, &entered);
-  const DataId mid = graph.AddData(data::Matrix(2, 2, 1.0));
+  const DataId first_out = 1;  // TaggedGraph: datum 0 = in, 1 = out
   const DataId out = graph.AddData(static_cast<uint64_t>(32));
   TaskSpec tail;
   tail.type = "tail";
-  tail.params = {{mid, Dir::kIn}, {out, Dir::kOut}};
+  tail.params = {{first_out, Dir::kIn}, {out, Dir::kOut}};
   tail.kernel = [](const std::vector<const data::Matrix*>& inputs,
                    const std::vector<data::Matrix*>& outputs) -> Status {
     *outputs[0] = *inputs[0];
@@ -420,6 +424,115 @@ TEST(WorkflowServiceTest, PerTenantPercentilesAreDeterministic) {
     EXPECT_EQ(a.tenants[i].makespan.p99, c.tenants[i].makespan.p99);
     EXPECT_GT(a.tenants[i].makespan.p50, 0.0);
   }
+}
+
+TEST(TokenBucketTest, DeterministicRefillAndBurst) {
+  // Time is explicit, so the whole trajectory is exact arithmetic:
+  // 2 tokens/s, burst 3, starting full at t=0.
+  TokenBucket bucket(2.0, 3.0, 0.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));  // burst exhausted
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+  // 0.25s refills half a token: still not enough for a whole one.
+  EXPECT_FALSE(bucket.TryAcquire(0.25));
+  EXPECT_TRUE(bucket.TryAcquire(0.5));  // one full token at t=0.5
+  EXPECT_FALSE(bucket.TryAcquire(0.5));
+  // Time going backwards refills nothing but never faults.
+  EXPECT_FALSE(bucket.TryAcquire(0.1));
+  // A long idle stretch caps at the burst ceiling, not rate * dt.
+  EXPECT_EQ(bucket.TokensAt(1000.0), 3.0);
+  EXPECT_TRUE(bucket.TryAcquire(1000.0));
+  EXPECT_TRUE(bucket.TryAcquire(1000.0));
+  EXPECT_TRUE(bucket.TryAcquire(1000.0));
+  EXPECT_FALSE(bucket.TryAcquire(1000.0));
+
+  // Default-constructed and zero-rate buckets are unlimited.
+  TokenBucket unlimited;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(unlimited.TryAcquire(0.0));
+}
+
+TEST(WorkflowServiceTest, RateLimitRejectsBurstOverflow) {
+  // A near-zero refill rate makes the test time-independent: exactly
+  // `burst` submissions are admitted no matter how fast or slow the
+  // test runs, and the bucket never meaningfully refills.
+  ServiceOptions options;
+  options.default_tenant.rate_per_s = 1e-9;
+  options.default_tenant.burst = 2;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  WorkflowService service(SimExecutor(), options);
+
+  std::vector<SubmissionHandle> admitted;
+  for (int i = 0; i < 2; ++i) {
+    auto built = check::BuildWorkload(check::GenerateSpec(1));
+    ASSERT_TRUE(built.ok());
+    auto handle = service.Submit(std::move(built->graph));
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    admitted.push_back(*handle);
+  }
+  auto built = check::BuildWorkload(check::GenerateSpec(1));
+  ASSERT_TRUE(built.ok());
+  auto rejected = service.Submit(std::move(built->graph));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsRejectedAdmission())
+      << rejected.status().ToString();
+  for (const SubmissionHandle h : admitted) {
+    EXPECT_TRUE(service.Wait(h).ok());
+  }
+
+  const ServiceReport report = service.Report();
+  EXPECT_EQ(report.submitted, 2);
+  EXPECT_EQ(report.rejected, 1);
+  EXPECT_EQ(report.rate_limited, 1);
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(metrics.counter("service.rate_limited")->value(), 1);
+  EXPECT_EQ(metrics.counter("service.rejected")->value(), 1);
+  // The report JSON carries the new field and still validates.
+  const std::string json = report.ToJson();
+  EXPECT_TRUE(obs::ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"rate_limited\": 1"), std::string::npos) << json;
+}
+
+TEST(WorkflowServiceTest, ServiceMetricsSurfaceThroughObs) {
+  Gate gate;
+  std::atomic<bool> entered{false};
+  obs::MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_runners = 1;
+  options.max_in_flight = 2;
+  options.metrics = &metrics;
+  WorkflowService service(ThreadExecutor(), options);
+
+  // Park the runner behind the gate and stack one submission behind
+  // it, so queue/in-flight occupancy is observable deterministically.
+  auto running =
+      service.Submit(TaggedGraph("r", nullptr, nullptr, &gate, &entered));
+  ASSERT_TRUE(running.ok());
+  while (!entered.load()) std::this_thread::yield();
+  auto queued = service.Submit(TaggedGraph("q", nullptr, nullptr));
+  ASSERT_TRUE(queued.ok());
+  EXPECT_EQ(metrics.gauge("service.tenant.default.queued")->value(), 1.0);
+  EXPECT_EQ(metrics.gauge("service.tenant.default.in_flight")->value(), 2.0);
+
+  // Over the in-flight cap: rejected, and the counter records it.
+  auto bounced = service.Submit(TaggedGraph("x", nullptr, nullptr));
+  ASSERT_FALSE(bounced.ok());
+  EXPECT_TRUE(bounced.status().IsRejectedAdmission());
+  EXPECT_EQ(metrics.counter("service.rejected")->value(), 1);
+
+  gate.Open();
+  EXPECT_TRUE(service.Wait(*running).ok());
+  EXPECT_TRUE(service.Wait(*queued).ok());
+
+  EXPECT_EQ(metrics.counter("service.admitted")->value(), 2);
+  EXPECT_EQ(metrics.counter("service.completed")->value(), 2);
+  EXPECT_EQ(metrics.histogram("service.queue_wait_s")->count(), 2);
+  EXPECT_GE(metrics.histogram("service.queue_wait_s")->max(), 0.0);
+  // Terminal gauges: nothing queued or in flight once everything
+  // finished.
+  EXPECT_EQ(metrics.gauge("service.tenant.default.queued")->value(), 0.0);
+  EXPECT_EQ(metrics.gauge("service.tenant.default.in_flight")->value(), 0.0);
 }
 
 TEST(WorkflowServiceTest, MakeExecutorBacksService) {
