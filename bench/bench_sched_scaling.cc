@@ -195,7 +195,8 @@ int Main(int argc, char** argv) {
   for (int64_t n : sizes) {
     for (const char* shape : {"wide", "deep", "grid"}) {
       for (auto policy : {SchedulingPolicy::kTaskGenerationOrder,
-                          SchedulingPolicy::kDataLocality}) {
+                          SchedulingPolicy::kDataLocality,
+                          SchedulingPolicy::kCostModel}) {
         const Row row = RunOne(shape, n, policy);
         std::printf("%-6s %10lld %16s %10.3f %12llu %14.0f %14.0f\n",
                     row.shape.c_str(), static_cast<long long>(row.tasks),

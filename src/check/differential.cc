@@ -73,6 +73,10 @@ struct RealConfig {
   /// workers (threads/use_storage/faulty_storage are then ignored —
   /// the shm arena is the storage).
   int procs = 0;
+  /// Cost-model policy with an immediate hedge trigger (hedge_min_s
+  /// = 0): idle workers race speculative duplicates against the
+  /// primaries; the claim protocol must keep values bit-exact.
+  bool cost_hedge = false;
 };
 
 RealRun RunReal(const WorkloadSpec& spec, const RealConfig& config) {
@@ -88,6 +92,10 @@ RealRun RunReal(const WorkloadSpec& spec, const RealConfig& config) {
   options.use_storage = config.use_storage;
   options.check_invariants = true;
   options.block_cache = config.cache;
+  if (config.cost_hedge) {
+    options.policy = SchedulingPolicy::kCostModel;
+    options.sched.hedge_min_s = 0;
+  }
   if (config.procs > 0) {
     // Multi-process leg: forked workers + shared-memory arena. The
     // kernel variant pin above rides into the workers via fork.
@@ -248,6 +256,16 @@ DifferentialResult RunDifferential(const WorkloadSpec& spec,
   configs.push_back({StrFormat("t%d-store-naive-cache", options.threads),
                      options.threads, true, KernelVariant::kNaive, false,
                      true});
+  {
+    // Cost-model hedging leg: duplicates of every hedgeable task may
+    // race the primary (hedge_min_s = 0), and only one may publish.
+    RealConfig hedge;
+    hedge.name = StrFormat("t%d-store-cost-hedge", options.threads);
+    hedge.threads = options.threads;
+    hedge.use_storage = true;
+    hedge.cost_hedge = true;
+    configs.push_back(hedge);
+  }
   if (options.include_faults) {
     configs.push_back({StrFormat("t%d-faulty-store-naive",
                                  options.threads),
@@ -370,6 +388,16 @@ DifferentialResult RunDifferential(const WorkloadSpec& spec,
        hw::StorageArchitecture::kLocalDisk},
       {"sim-hybrid-shared", SchedulingPolicy::kTaskGenerationOrder,
        hw::StorageArchitecture::kSharedDisk, /*hybrid=*/true},
+      // Cost-model legs: with the processor pinned (non-hybrid) the
+      // score-ordered ready queue may only reorder tasks, so the
+      // metamorphic stage check below applies to them unchanged.
+      {"sim-cost-shared", SchedulingPolicy::kCostModel,
+       hw::StorageArchitecture::kSharedDisk},
+      {"sim-cost-local", SchedulingPolicy::kCostModel,
+       hw::StorageArchitecture::kLocalDisk},
+      // Hybrid cost leg: CPU->GPU escalation is live here.
+      {"sim-cost-hybrid", SchedulingPolicy::kCostModel,
+       hw::StorageArchitecture::kSharedDisk, /*hybrid=*/true},
   };
 
   const RunReport* reference = nullptr;
@@ -450,6 +478,47 @@ DifferentialResult RunDifferential(const WorkloadSpec& spec,
   }
 
   // ----------------------------------------------------------------
+  // Hedging is a fault-path feature: with no fault plan, toggling
+  // disable_hedging must not change the cost-model report at all.
+  // ----------------------------------------------------------------
+  {
+    uint64_t digests[2] = {0, 0};
+    bool ran = true;
+    for (int i = 0; i < 2 && ran; ++i) {
+      RunOptions sim_options;
+      sim_options.policy = SchedulingPolicy::kCostModel;
+      sim_options.storage = hw::StorageArchitecture::kSharedDisk;
+      sim_options.sched.disable_hedging = i == 1;
+      sim_options.check_invariants = true;
+      runtime::ExecutorSpec exec_spec;
+      exec_spec.kind = runtime::ExecutorKind::kSim;
+      exec_spec.options = sim_options;
+      exec_spec.cluster = cluster;
+      auto executor_or = runtime::MakeExecutor(exec_spec);
+      if (!executor_or.ok()) {
+        diverge("sim-cost-hedging-toggle", executor_or.status().ToString());
+        ran = false;
+        break;
+      }
+      auto run = (**executor_or).Run(built->graph);
+      ++result.sim_configs;
+      if (!run.ok()) {
+        diverge("sim-cost-hedging-toggle", run.status().ToString());
+        ran = false;
+        break;
+      }
+      digests[i] = DigestReport(*run);
+    }
+    if (ran && digests[0] != digests[1]) {
+      diverge("sim-cost-hedging-toggle",
+              StrFormat("fault-free digest %016llx (hedging on) != "
+                        "%016llx (hedging off)",
+                        static_cast<unsigned long long>(digests[0]),
+                        static_cast<unsigned long long>(digests[1])));
+    }
+  }
+
+  // ----------------------------------------------------------------
   // Fault-plan legs: the run must complete, verify, replay
   // deterministically and still export valid JSON.
   // ----------------------------------------------------------------
@@ -463,17 +532,29 @@ DifferentialResult RunDifferential(const WorkloadSpec& spec,
                            0.2 * reference->makespan, 3, 1.0});
     plan.storage_fault_rate = 0.01;
     plan.seed = spec.seed;
-    const hw::StorageArchitecture storages[] = {
-        hw::StorageArchitecture::kSharedDisk,
-        hw::StorageArchitecture::kLocalDisk};
-    for (const auto storage : storages) {
-      const std::string name =
-          storage == hw::StorageArchitecture::kSharedDisk
-              ? "sim-fault-shared"
-              : "sim-fault-local";
+    struct FaultLeg {
+      const char* name;
+      SchedulingPolicy policy;
+      hw::StorageArchitecture storage;
+    };
+    // The cost-model legs run the full straggler machinery: the slow
+    // node in the plan makes hedges fire, and their cancellations and
+    // detached twins must replay deterministically like any retry.
+    const FaultLeg fault_legs[] = {
+        {"sim-fault-shared", SchedulingPolicy::kDataLocality,
+         hw::StorageArchitecture::kSharedDisk},
+        {"sim-fault-local", SchedulingPolicy::kDataLocality,
+         hw::StorageArchitecture::kLocalDisk},
+        {"sim-fault-cost-shared", SchedulingPolicy::kCostModel,
+         hw::StorageArchitecture::kSharedDisk},
+        {"sim-fault-cost-local", SchedulingPolicy::kCostModel,
+         hw::StorageArchitecture::kLocalDisk},
+    };
+    for (const FaultLeg& leg : fault_legs) {
+      const std::string name = leg.name;
       RunOptions sim_options;
-      sim_options.policy = SchedulingPolicy::kDataLocality;
-      sim_options.storage = storage;
+      sim_options.policy = leg.policy;
+      sim_options.storage = leg.storage;
       sim_options.faults = plan;
       sim_options.max_retries = 8;
       sim_options.retry_backoff_s = 0.01;

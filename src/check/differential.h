@@ -55,19 +55,25 @@ struct DifferentialResult {
 ///   real:  {1, N} threads x {memory, storage} x {naive, blocked}
 ///          kernels, versioned block-cache legs (storage and
 ///          faulty-storage twins plus a 2-proc arena leg, all with
-///          RunOptions::block_cache on), and a
-///          FaultyStorage-with-retries leg — every result datum
+///          RunOptions::block_cache on), a cost-model hedging leg
+///          (speculative duplicates racing primaries, hedge_min_s=0),
+///          and a FaultyStorage-with-retries leg — every result datum
 ///          compared against the 1-thread/memory/naive baseline
-///          (bit-exact for naive legs, cached ones included;
-///          tolerance for blocked) and against the closed-form
-///          oracle where the family has one;
-///   sim:   {fifo, locality} x {shared, local} plus a hybrid leg on
+///          (bit-exact for naive legs, cached and hedged ones
+///          included; tolerance for blocked) and against the
+///          closed-form oracle where the family has one;
+///   sim:   {fifo, locality, cost} x {shared, local} plus hybrid legs
+///          (fifo and cost, the latter with GPU escalation live) on
 ///          the paper's Minotauro shape — each run twice and required
 ///          to produce digest-identical reports, with per-task
 ///          compute stages invariant across the non-hybrid legs
 ///          (metamorphic: scheduling must not change modeled task
-///          work), plus fault-plan legs (node crash + slow node +
-///          transient storage faults) that must still complete;
+///          work); a hedging-toggle check (fault-free cost-model
+///          reports must be digest-identical with hedging enabled and
+///          disabled); and fault-plan legs (node crash + slow node +
+///          transient storage faults, under both the locality and
+///          cost-model policies — the latter exercising speculative
+///          hedging) that must still complete;
 ///
 /// every report passing check::VerifyReport and every exported
 /// trace/metrics document passing obs::ValidateJson.

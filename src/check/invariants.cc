@@ -187,10 +187,13 @@ Status CheckAttempts(const RunReport& report,
   }
   for (const auto& [task, attempt] : last) {
     if (attempt->outcome != AttemptOutcome::kCompleted &&
-        attempt->outcome != AttemptOutcome::kFailed) {
+        attempt->outcome != AttemptOutcome::kFailed &&
+        attempt->outcome != AttemptOutcome::kHedgeCancelled) {
       // kFailed appears in thread-pool logs for retried-then-
-      // successful attempts; a successful run's final logged sim
-      // attempt must be kCompleted.
+      // successful attempts, and kHedgeCancelled is the losing twin
+      // of a hedge pair (logged after the winner's completion when
+      // the twin held the higher attempt number); a successful run's
+      // final logged sim attempt must otherwise be kCompleted.
       if (context.simulated) {
         return Violation(StrFormat(
             "task %lld final attempt %d ended %s, not completed",
@@ -199,16 +202,32 @@ Status CheckAttempts(const RunReport& report,
       }
     }
   }
-  const int64_t non_completed = static_cast<int64_t>(
+  // Cancelled hedge twins are not retries: the primary never failed.
+  const int64_t hedge_cancelled = static_cast<int64_t>(
       std::count_if(report.attempts.begin(), report.attempts.end(),
                     [](const TaskAttempt& a) {
-                      return a.outcome != AttemptOutcome::kCompleted;
+                      return a.outcome == AttemptOutcome::kHedgeCancelled;
                     }));
+  const int64_t non_completed =
+      static_cast<int64_t>(std::count_if(
+          report.attempts.begin(), report.attempts.end(),
+          [](const TaskAttempt& a) {
+            return a.outcome != AttemptOutcome::kCompleted;
+          })) -
+      hedge_cancelled;
   if (context.simulated && report.faults.retries != non_completed) {
     return Violation(StrFormat(
         "retry counter %lld != %lld non-completed attempts",
         static_cast<long long>(report.faults.retries),
         static_cast<long long>(non_completed)));
+  }
+  // Every cancelled twin was launched as a hedge; a twin may also
+  // survive (its primary died), so cancellations never exceed hedges.
+  if (context.simulated && hedge_cancelled > report.faults.hedges) {
+    return Violation(StrFormat(
+        "%lld hedge cancellations exceed %lld hedges launched",
+        static_cast<long long>(hedge_cancelled),
+        static_cast<long long>(report.faults.hedges)));
   }
   return Status::OK();
 }

@@ -15,14 +15,24 @@ inline std::string ToString(Processor p) {
   return p == Processor::kCpu ? "CPU" : "GPU";
 }
 
-/// Scheduling policies the paper evaluates (Sections 3.2 and 4.4.2):
-/// dispatch in task generation order (cheap) or considering data
-/// locality (more work per scheduling decision).
-enum class SchedulingPolicy { kTaskGenerationOrder, kDataLocality };
+/// Scheduling policies. The first two are the paper's (Sections 3.2
+/// and 4.4.2): dispatch in task generation order (cheap) or
+/// considering data locality (more work per scheduling decision).
+/// kCostModel is the scored extension (ROADMAP item 2): HEFT-style
+/// remaining-critical-path / slack / age scoring with optional
+/// speculative hedging and CPU->GPU escalation (docs/SCHEDULERS.md).
+enum class SchedulingPolicy { kTaskGenerationOrder, kDataLocality, kCostModel };
 
 inline std::string ToString(SchedulingPolicy p) {
-  return p == SchedulingPolicy::kTaskGenerationOrder ? "task-gen-order"
-                                                     : "data-locality";
+  switch (p) {
+    case SchedulingPolicy::kTaskGenerationOrder:
+      return "task-gen-order";
+    case SchedulingPolicy::kDataLocality:
+      return "data-locality";
+    case SchedulingPolicy::kCostModel:
+      return "cost-model";
+  }
+  return "unknown";
 }
 
 }  // namespace taskbench

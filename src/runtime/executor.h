@@ -2,6 +2,7 @@
 #define TASKBENCH_RUNTIME_EXECUTOR_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/result.h"
@@ -39,6 +40,10 @@ struct RunContext {
   /// runs through one executor keep disjoint keys in the shared
   /// block store.
   uint64_t scope = 0;
+  /// Per-submission scheduling-policy override. Unset = use
+  /// RunOptions::policy. Lets a multi-tenant service give each tenant
+  /// its own policy (TenantConfig::policy) over one shared executor.
+  std::optional<SchedulingPolicy> policy;
 };
 
 /// The common executor interface: run a TaskGraph, get a RunReport.

@@ -17,6 +17,8 @@ std::string ToString(AttemptOutcome outcome) {
       return "storage_fault";
     case AttemptOutcome::kFailed:
       return "failed";
+    case AttemptOutcome::kHedgeCancelled:
+      return "hedge_cancelled";
   }
   return "unknown";
 }

@@ -34,11 +34,12 @@ struct TaskRecord {
 
 /// Outcome of one task attempt under fault injection.
 enum class AttemptOutcome : uint8_t {
-  kCompleted,     ///< ran to completion
-  kNodeLost,      ///< killed mid-flight by a node crash
-  kDeviceLost,    ///< killed mid-flight by a GPU loss
-  kStorageFault,  ///< a storage Get/Put failed transiently
-  kFailed,        ///< non-recoverable failure (retries exhausted)
+  kCompleted,       ///< ran to completion
+  kNodeLost,        ///< killed mid-flight by a node crash
+  kDeviceLost,      ///< killed mid-flight by a GPU loss
+  kStorageFault,    ///< a storage Get/Put failed transiently
+  kFailed,          ///< non-recoverable failure (retries exhausted)
+  kHedgeCancelled,  ///< speculative duplicate cancelled — its twin won
 };
 
 std::string ToString(AttemptOutcome outcome);
@@ -65,10 +66,12 @@ struct FaultStats {
                                  ///< blocks lost with a node
   int64_t lost_blocks = 0;       ///< data blocks lost with dead nodes
   int64_t dead_nodes = 0;        ///< nodes out of service at the end
+  int64_t hedges = 0;            ///< speculative straggler duplicates
+                                 ///< launched (cost-model policy)
 
   bool any() const {
     return faults_injected || storage_faults || retries ||
-           recomputed_tasks || lost_blocks || dead_nodes;
+           recomputed_tasks || lost_blocks || dead_nodes || hedges;
   }
 };
 

@@ -3,7 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "runtime/task_graph.h"
@@ -51,27 +54,51 @@ inline PlacementClass ClassifyTask(const TaskSpec& spec, bool hybrid,
 /// The legacy scheduling path materialized the whole ready set into a
 /// vector before every decision and rescanned it front to back —
 /// O(ready) per decision, quadratic over a wide DAG. ReadyQueue keeps
-/// one min-heap of TaskIds per placement class instead. Because
-/// placement feasibility is uniform within a class (see
+/// one heap of (score, TaskId) entries per placement class instead.
+/// Because placement feasibility is uniform within a class (see
 /// PlacementClass), a scheduler never needs to look past the head of
-/// each class: the task the legacy scan would have picked is exactly
-/// the lowest TaskId among the heads of the currently-placeable
-/// classes. One decision is O(log ready); the FIFO-by-submission-id
-/// ("task generation order") semantics are preserved bit-for-bit.
+/// each class. One decision is O(log ready).
+///
+/// Without a scorer every entry carries score 0 and the heaps order
+/// purely by lowest TaskId — byte-identical semantics to the original
+/// per-class min-heaps, so the paper's FIFO-by-submission-id ("task
+/// generation order") contract is preserved bit-for-bit. The
+/// cost-model policy installs a scorer (SetScorer) evaluated once at
+/// Push time; its heaps then surface the highest-scoring task per
+/// class, ties still resolving to the lowest TaskId. A static push
+/// key suffices because rank/slack are static per graph and the age
+/// term grows uniformly for every ready task (docs/SCHEDULERS.md), so
+/// relative order never changes while tasks wait.
 class ReadyQueue {
  public:
+  using ScoreFn = std::function<double(TaskId)>;
+
   ReadyQueue() = default;
+
+  /// Installs `scorer`, consulted on every subsequent Push. Must be
+  /// set while the queue is empty (scores of queued entries are not
+  /// recomputed).
+  void SetScorer(ScoreFn scorer) { scorer_ = std::move(scorer); }
 
   /// Marks `id` (of class `cls`) ready.
   void Push(TaskId id, PlacementClass cls) {
-    heaps_[static_cast<size_t>(cls)].push(id);
+    const double key = scorer_ ? scorer_(id) : 0.0;
+    heaps_[static_cast<size_t>(cls)].push(Entry{key, id});
     ++size_;
   }
 
-  /// Lowest ready TaskId of `cls`, or -1 when the class has none.
+  /// Head TaskId of `cls` (lowest id without a scorer, highest score
+  /// with one), or -1 when the class has none.
   TaskId Head(PlacementClass cls) const {
     const auto& h = heaps_[static_cast<size_t>(cls)];
-    return h.empty() ? -1 : h.top();
+    return h.empty() ? -1 : h.top().id;
+  }
+
+  /// Score the head of `cls` was pushed with; -infinity when empty.
+  double HeadScore(PlacementClass cls) const {
+    const auto& h = heaps_[static_cast<size_t>(cls)];
+    return h.empty() ? -std::numeric_limits<double>::infinity()
+                     : h.top().score;
   }
 
   /// Removes the head of `cls`. Requires Head(cls) >= 0.
@@ -84,10 +111,22 @@ class ReadyQueue {
   bool empty() const { return size_ == 0; }
 
  private:
-  using MinHeap =
-      std::priority_queue<TaskId, std::vector<TaskId>, std::greater<TaskId>>;
-  MinHeap heaps_[kNumPlacementClasses];
+  struct Entry {
+    double score;
+    TaskId id;
+  };
+  /// priority_queue surfaces the "largest" element: highest score
+  /// first, then lowest TaskId.
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.score != b.score) return a.score < b.score;
+      return a.id > b.id;
+    }
+  };
+  using Heap = std::priority_queue<Entry, std::vector<Entry>, EntryLess>;
+  Heap heaps_[kNumPlacementClasses];
   size_t size_ = 0;
+  ScoreFn scorer_;
 };
 
 }  // namespace taskbench::runtime

@@ -6,6 +6,7 @@
 #include "common/types.h"
 #include "hw/cluster.h"
 #include "runtime/fault.h"
+#include "runtime/scheduler_config.h"
 
 namespace taskbench::obs {
 class MetricsRegistry;
@@ -147,6 +148,11 @@ struct RunOptions {
   hw::StorageArchitecture storage = hw::StorageArchitecture::kSharedDisk;
   /// Scheduling policy the master uses.
   SchedulingPolicy policy = SchedulingPolicy::kTaskGenerationOrder;
+  /// Knobs of the cost-model policy family (score weights, hedging
+  /// and escalation thresholds, ablation flags). Ignored unless
+  /// `policy == SchedulingPolicy::kCostModel`. Consumed by both the
+  /// simulated and thread-pool paths (hedging applies to each).
+  SchedulerConfig sched;
   /// Inter-node network used for remote block reads under local-disk
   /// storage (a node pulling a block that lives on another node).
   /// InfiniBand-class defaults (Minotauro); remote reads stream the

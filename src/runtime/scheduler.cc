@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -42,8 +43,93 @@ std::optional<Candidate> PickTask(const SchedulerView& view) {
   return best;
 }
 
+/// Scored variant of PickTask for the cost-model policy: the class
+/// head with the highest push score among placeable classes, ties to
+/// the lowest TaskId. With no scorer installed every score is 0 and
+/// this degenerates to PickTask exactly.
+std::optional<Candidate> PickScoredTask(const SchedulerView& view) {
+  const bool cpu_free = view.cpu_slots->total_free() > 0;
+  const bool gpu_free = view.gpu_slots->total_free() > 0;
+  Candidate best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  auto consider = [&](PlacementClass cls, bool placeable, Processor proc) {
+    if (!placeable) return;
+    const TaskId head = view.ready->Head(cls);
+    if (head < 0) return;
+    const double score = view.ready->HeadScore(cls);
+    if (best.id < 0 || score > best_score ||
+        (score == best_score && head < best.id)) {
+      best = Candidate{head, proc, cls};
+      best_score = score;
+    }
+  };
+  consider(PlacementClass::kCpuOnly, cpu_free, Processor::kCpu);
+  consider(PlacementClass::kGpuOnly, gpu_free, Processor::kGpu);
+  consider(PlacementClass::kGpuOrCpu, gpu_free || cpu_free,
+           gpu_free ? Processor::kGpu : Processor::kCpu);
+  consider(PlacementClass::kCpuSpill, cpu_free, Processor::kCpu);
+  if (best.id < 0) return std::nullopt;
+  return best;
+}
+
 const hw::SlotIndex& SlotsFor(const SchedulerView& view, Processor p) {
   return p == Processor::kCpu ? *view.cpu_slots : *view.gpu_slots;
+}
+
+/// Locality-weighted node pick shared by the data-locality and
+/// cost-model policies: among free nodes, the one holding the most of
+/// `id`'s input bytes; ties (including the all-zero case) go to the
+/// lowest node id. The tie-break is explicit and order-independent —
+/// it must not lean on the tally's vector order, which is only
+/// node-ascending for a freshly (re)built entry (a partially rebuilt
+/// LocalityCache entry after OnDataHomeChanged once broke this; see
+/// the regression test in scheduler_test.cc).
+int PickLocalityNode(const SchedulerView& view, TaskId id,
+                     const hw::SlotIndex& slots) {
+  std::vector<std::pair<int, uint64_t>> scratch;
+  const std::vector<std::pair<int, uint64_t>>* tally;
+  if (view.locality != nullptr) {
+    tally = &view.locality->TallyFor(id);
+  } else {
+    for (const Param& p : view.graph->task(id).spec.params) {
+      if (p.dir == Dir::kOut) continue;
+      const int home = (*view.data_home)[static_cast<size_t>(p.data)];
+      if (home >= 0) scratch.emplace_back(home, view.graph->data(p.data).bytes);
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    size_t out = 0;
+    for (size_t i = 0; i < scratch.size(); ++i) {
+      if (out > 0 && scratch[out - 1].first == scratch[i].first) {
+        scratch[out - 1].second += scratch[i].second;
+      } else {
+        scratch[out++] = scratch[i];
+      }
+    }
+    scratch.resize(out);
+    tally = &scratch;
+  }
+
+  // Seed with the first free node (the lowest free node id) and its
+  // byte count, then let only strictly-better or lower-id-equal-bytes
+  // nodes beat it. Both scans are order-independent.
+  int best_node = slots.FirstFreeNode();
+  TB_CHECK(best_node >= 0);
+  uint64_t best_bytes = 0;
+  for (const auto& [node, bytes] : *tally) {
+    if (node == best_node) {
+      best_bytes = bytes;
+      break;
+    }
+  }
+  for (const auto& [node, bytes] : *tally) {
+    if (node >= slots.num_nodes() || slots.free_at(node) <= 0) continue;
+    if (bytes > best_bytes || (bytes == best_bytes && node < best_node)) {
+      best_node = node;
+      best_bytes = bytes;
+    }
+  }
+  return best_node;
 }
 
 }  // namespace
@@ -97,11 +183,53 @@ void LocalityCache::OnDataHomeChanged(DataId d) {
   }
 }
 
-std::unique_ptr<Scheduler> MakeScheduler(SchedulingPolicy policy) {
-  if (policy == SchedulingPolicy::kTaskGenerationOrder) {
-    return std::make_unique<TaskGenerationOrderScheduler>();
+bool LocalityCache::VerifyTally(TaskId id) {
+  const std::vector<std::pair<int, uint64_t>>& cached = TallyFor(id);
+  std::vector<std::pair<int, uint64_t>> fresh;
+  for (const Param& p : graph_.task(id).spec.params) {
+    if (p.dir == Dir::kOut) continue;
+    const int home = (*data_home_)[static_cast<size_t>(p.data)];
+    if (home >= 0) fresh.emplace_back(home, graph_.data(p.data).bytes);
   }
-  return std::make_unique<DataLocalityScheduler>();
+  std::sort(fresh.begin(), fresh.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t out = 0;
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    if (out > 0 && fresh[out - 1].first == fresh[i].first) {
+      fresh[out - 1].second += fresh[i].second;
+    } else {
+      fresh[out++] = fresh[i];
+    }
+  }
+  fresh.resize(out);
+  return fresh == cached;
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kTaskGenerationOrder:
+      return std::make_unique<TaskGenerationOrderScheduler>();
+    case SchedulingPolicy::kDataLocality:
+      return std::make_unique<DataLocalityScheduler>();
+    case SchedulingPolicy::kCostModel:
+      return std::make_unique<CostModelScheduler>();
+  }
+  return std::make_unique<TaskGenerationOrderScheduler>();
+}
+
+std::optional<SchedulingPolicy> ParseSchedulingPolicy(
+    const std::string& name) {
+  if (name == "fifo" || name == "gen" || name == "gen-order" ||
+      name == "task-gen-order") {
+    return SchedulingPolicy::kTaskGenerationOrder;
+  }
+  if (name == "locality" || name == "data-locality") {
+    return SchedulingPolicy::kDataLocality;
+  }
+  if (name == "cost" || name == "cost-model") {
+    return SchedulingPolicy::kCostModel;
+  }
+  return std::nullopt;
 }
 
 std::optional<Assignment> TaskGenerationOrderScheduler::Decide(
@@ -121,54 +249,19 @@ std::optional<Assignment> DataLocalityScheduler::Decide(
   const auto pick = PickTask(view);
   if (!pick.has_value()) return std::nullopt;
   const hw::SlotIndex& slots = SlotsFor(view, pick->processor);
+  const int node = PickLocalityNode(view, pick->id, slots);
+  return Assignment{pick->id, node, pick->processor};
+}
 
-  // Among free nodes, take the one holding the most input bytes;
-  // ties (including the all-zero case) go to the lowest node id —
-  // the legacy full-node scan's tie-break. Seed the search with the
-  // first free node, then only the few nodes actually holding input
-  // bytes can beat it.
-  std::vector<std::pair<int, uint64_t>> scratch;
-  const std::vector<std::pair<int, uint64_t>>* tally;
-  if (view.locality != nullptr) {
-    tally = &view.locality->TallyFor(pick->id);
-  } else {
-    for (const Param& p : view.graph->task(pick->id).spec.params) {
-      if (p.dir == Dir::kOut) continue;
-      const int home = (*view.data_home)[static_cast<size_t>(p.data)];
-      if (home >= 0) scratch.emplace_back(home, view.graph->data(p.data).bytes);
-    }
-    std::sort(scratch.begin(), scratch.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    size_t out = 0;
-    for (size_t i = 0; i < scratch.size(); ++i) {
-      if (out > 0 && scratch[out - 1].first == scratch[i].first) {
-        scratch[out - 1].second += scratch[i].second;
-      } else {
-        scratch[out++] = scratch[i];
-      }
-    }
-    scratch.resize(out);
-    tally = &scratch;
-  }
-
-  int best_node = slots.FirstFreeNode();
-  TB_CHECK(best_node >= 0);
-  uint64_t best_bytes = 0;
-  for (const auto& [node, bytes] : *tally) {
-    if (node > best_node) break;  // node-ascending; no entry for best_node
-    if (node == best_node) {
-      best_bytes = bytes;
-      break;
-    }
-  }
-  for (const auto& [node, bytes] : *tally) {
-    if (node >= slots.num_nodes() || slots.free_at(node) <= 0) continue;
-    if (bytes > best_bytes) {
-      best_node = node;
-      best_bytes = bytes;
-    }
-  }
-  return Assignment{pick->id, best_node, pick->processor};
+std::optional<Assignment> CostModelScheduler::Decide(
+    const SchedulerView& view) {
+  TB_CHECK(view.graph && view.ready && view.cpu_slots && view.gpu_slots &&
+           view.data_home);
+  const auto pick = PickScoredTask(view);
+  if (!pick.has_value()) return std::nullopt;
+  const hw::SlotIndex& slots = SlotsFor(view, pick->processor);
+  const int node = PickLocalityNode(view, pick->id, slots);
+  return Assignment{pick->id, node, pick->processor};
 }
 
 }  // namespace taskbench::runtime

@@ -41,6 +41,14 @@ class LocalityCache {
   /// whenever data_home[d] changes.
   void OnDataHomeChanged(DataId d);
 
+  /// Invariant check (docs/TESTING.md): true iff TallyFor(id) matches
+  /// a fresh recompute from the live data_home. A clean-but-stale
+  /// entry — some data_home write path forgot OnDataHomeChanged, e.g.
+  /// lineage-based re-materialization after a fault — returns false.
+  /// Executors sample this behind check_invariants on tallies they
+  /// actually used in a decision.
+  bool VerifyTally(TaskId id);
+
  private:
   const TaskGraph& graph_;
   const std::vector<int>* data_home_;
@@ -114,6 +122,12 @@ class Scheduler {
 /// Creates the scheduler implementing `policy`.
 std::unique_ptr<Scheduler> MakeScheduler(SchedulingPolicy policy);
 
+/// Parses a policy name (CLI / service config). Accepts the canonical
+/// ToString form plus short aliases: "fifo" | "gen" |
+/// "task-gen-order", "locality" | "data-locality", "cost" |
+/// "cost-model". Returns nullopt for anything else.
+std::optional<SchedulingPolicy> ParseSchedulingPolicy(const std::string& name);
+
 /// FIFO by task submission id; places on the first node with a free
 /// slot. Cheap decisions (the paper's low-overhead policy).
 class TaskGenerationOrderScheduler final : public Scheduler {
@@ -147,6 +161,33 @@ class DataLocalityScheduler final : public Scheduler {
     const double locality =
         storage == hw::StorageArchitecture::kLocalDisk ? 0.7e-3 : 11.2e-3;
     return {0.5e-3, locality, 0.3e-3};
+  }
+  std::optional<Assignment> Decide(const SchedulerView& view) override;
+};
+
+/// Scored policy (ROADMAP item 2, docs/SCHEDULERS.md): picks the
+/// highest-scoring ready task (HEFT-style upward rank blended with
+/// slack and age — the executor installs the score function on the
+/// ReadyQueue, see SchedulerConfig) and places it like the locality
+/// policy, on the free node holding the most input bytes. The
+/// scheduler itself is stateless: the score lives in the ready heaps,
+/// so a decision still touches only the four class heads — O(log
+/// ready). Hedging and escalation are executor-side mechanisms keyed
+/// off this policy, not part of Decide.
+class CostModelScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "cost-model"; }
+  /// Locality lookup cost matches the locality policy (same metadata
+  /// queries); the score comparison adds 0.2e-3 to the ready-pop
+  /// phase.
+  double DecisionOverhead(hw::StorageArchitecture storage) const override {
+    return storage == hw::StorageArchitecture::kLocalDisk ? 1.7e-3 : 12.2e-3;
+  }
+  SchedulerPhaseBreakdown DecisionPhases(
+      hw::StorageArchitecture storage) const override {
+    const double locality =
+        storage == hw::StorageArchitecture::kLocalDisk ? 0.7e-3 : 11.2e-3;
+    return {0.7e-3, locality, 0.3e-3};
   }
   std::optional<Assignment> Decide(const SchedulerView& view) override;
 };

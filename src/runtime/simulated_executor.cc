@@ -56,13 +56,20 @@ class SimState {
         graph_(graph),
         cancel_(ctx.cancel),
         model_(cluster),
-        scheduler_(MakeScheduler(options.policy)),
+        policy_(ctx.policy.value_or(options.policy)),
+        scheduler_(MakeScheduler(policy_)),
         // Dependency/version checks assume the fault-free execution
         // order; recovery legitimately re-opens completed deps and
         // republishes blocks, so they gate off under a fault plan.
         // The end-of-run conservation checks stay on either way.
         check_order_(options.check_invariants && options.faults.empty()),
         faults_active_(!options.faults.empty()),
+        // Hedging only ever arms for the cost-model policy under an
+        // active fault plan: without faults there are no slow nodes,
+        // so a straggler can never exist and gating keeps fault-free
+        // runs structurally identical with hedging on or off.
+        hedging_(policy_ == SchedulingPolicy::kCostModel &&
+                 !options.sched.disable_hedging && !options.faults.empty()),
         storage_rng_(options.faults.seed) {
     const int nodes = cluster_.num_nodes;
     cpu_slots_.Reset(nodes, cluster_.cores_per_node);
@@ -123,7 +130,8 @@ class SimState {
       }
     }
 
-    if (options_.policy == SchedulingPolicy::kDataLocality) {
+    if (policy_ == SchedulingPolicy::kDataLocality ||
+        policy_ == SchedulingPolicy::kCostModel) {
       locality_ = std::make_unique<LocalityCache>(graph_, &data_home_);
     }
 
@@ -141,6 +149,8 @@ class SimState {
     completed_flag_.assign(static_cast<size_t>(graph_.num_tasks()), 0);
     pending_retry_.assign(static_cast<size_t>(graph_.num_tasks()), 0);
     active_run_.assign(static_cast<size_t>(graph_.num_tasks()), nullptr);
+    const bool escalate = policy_ == SchedulingPolicy::kCostModel &&
+                          options_.hybrid && !options_.sched.disable_escalation;
     for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
       const perf::TaskCost& cost = graph_.task(t).spec.cost;
       bool gpu_fits = false;
@@ -156,8 +166,31 @@ class SimState {
       }
       task_class_[static_cast<size_t>(t)] = ClassifyTask(
           graph_.task(t).spec, options_.hybrid, gpu_fits, cpu_spill_ok);
+      // CPU->GPU escalation (cost-model policy, hybrid mode): a
+      // CPU-targeted task whose modeled CPU time dwarfs its GPU time
+      // (benefit/cost >= escalate_benefit) and which fits device
+      // memory is upgraded to the GPU-or-CPU class — it takes an idle
+      // device when one is free and still falls back to a core.
+      if (escalate && graph_.task(t).spec.processor == Processor::kCpu &&
+          gpu_fits) {
+        const double gpu_time =
+            model_.GpuParallelFraction(cost) + model_.CpuGpuComm(cost);
+        if (gpu_time > 0 && model_.CpuParallelFraction(cost) >=
+                                options_.sched.escalate_benefit * gpu_time) {
+          task_class_[static_cast<size_t>(t)] = PlacementClass::kGpuOrCpu;
+        }
+      }
       remaining_deps_[static_cast<size_t>(t)] =
           static_cast<int>(graph_.task(t).deps.size());
+    }
+
+    if (policy_ == SchedulingPolicy::kCostModel) {
+      InstallCostScorer(options_.sched);
+    }
+
+    // Roots enter the ready set after the scorer (if any) is in
+    // place, so their push keys are already scored.
+    for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
       if (remaining_deps_[static_cast<size_t>(t)] == 0) {
         ready_.Push(t, task_class_[static_cast<size_t>(t)]);
       }
@@ -294,6 +327,19 @@ class SimState {
     int inflight = 0;        ///< scheduled continuations not yet fired
     size_t live_index = 0;   ///< position in live_runs_
     bool cancelled = false;  ///< killed by a fault; drains via Enter
+    bool started = false;    ///< StartTask has run (dispatch_done set)
+    /// Speculative hedging (cost-model policy, docs/SCHEDULERS.md).
+    /// Once a straggling attempt is duplicated, both attempts carry
+    /// hedged=true and point at each other via twin. A hedged attempt
+    /// stages its output homes in staged_homes instead of publishing;
+    /// the first attempt to finish applies its staged homes and
+    /// cancels the twin, so the loser leaves no trace in placement
+    /// state. When one attempt dies to a fault the pair detaches
+    /// (twin=nullptr) and the survivor finishes alone — still staged,
+    /// still applied at finish.
+    bool hedged = false;
+    TaskRun* twin = nullptr;
+    std::vector<DataId> staged_homes;
   };
 
   TaskRun* AcquireRun() {
@@ -310,10 +356,15 @@ class SimState {
   void ReleaseRun(TaskRun* run) { free_runs_.push_back(run); }
 
   /// Removes `run` from the live set (swap-remove) and clears its
-  /// task's active-run pointer. Called exactly once per attempt, on
-  /// completion or on any failure path.
+  /// task's active-run pointer — but only when the pointer is still
+  /// this run: under hedging two attempts of one task are live at
+  /// once and retiring the second must not clobber the first's (or a
+  /// detached survivor's) registration. Called exactly once per
+  /// attempt, on completion or on any failure path.
   void RetireRun(TaskRun* run) {
-    active_run_[static_cast<size_t>(run->id)] = nullptr;
+    if (active_run_[static_cast<size_t>(run->id)] == run) {
+      active_run_[static_cast<size_t>(run->id)] = nullptr;
+    }
     TaskRun* last = live_runs_.back();
     live_runs_[run->live_index] = last;
     last->live_index = run->live_index;
@@ -365,6 +416,74 @@ class SimState {
     attempts_.push_back(a);
   }
 
+  /// Modeled uncontended latency of one execution of `t` on the
+  /// processor kind its placement class implies: compute stages plus
+  /// (de)serialization through the configured storage. Precomputed per
+  /// task (est_) for the cost-model policy.
+  double EstTaskTime(TaskId t) const {
+    const perf::TaskCost& cost = graph_.task(t).spec.cost;
+    const PlacementClass cls = task_class_[static_cast<size_t>(t)];
+    double compute = model_.SerialFraction(cost);
+    if (cls == PlacementClass::kGpuOnly || cls == PlacementClass::kGpuOrCpu) {
+      compute += model_.GpuParallelFraction(cost) + model_.CpuGpuComm(cost);
+    } else {
+      compute += model_.CpuParallelFraction(cost);
+    }
+    return compute + model_.Deserialize(cost, options_.storage) +
+           model_.Serialize(cost, options_.storage);
+  }
+
+  /// Cost-model precomputation (docs/SCHEDULERS.md): per-task modeled
+  /// time, upward rank (critical-path-to-sink, HEFT ranking), top
+  /// length (critical-path-from-source) and the derived slack, folded
+  /// into one static push key
+  ///
+  ///   key(t) = alpha * rank(t) - beta * slack(t) - gamma * ready_time
+  ///
+  /// installed on the ReadyQueue. Task ids are topological (deps have
+  /// strictly lower ids — TaskGraph::Validate), so one forward and
+  /// one backward pass over the id range suffice. O(V + E) total.
+  void InstallCostScorer(const SchedulerConfig& sched) {
+    const auto n = static_cast<size_t>(graph_.num_tasks());
+    est_.resize(n);
+    std::vector<double> toplen(n, 0.0);
+    std::vector<double> rank(n, 0.0);
+    for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+      est_[static_cast<size_t>(t)] = EstTaskTime(t);
+    }
+    for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+      const auto ts = static_cast<size_t>(t);
+      for (TaskId dep : graph_.task(t).deps) {
+        const auto ds = static_cast<size_t>(dep);
+        toplen[ts] = std::max(toplen[ts], toplen[ds] + est_[ds]);
+      }
+    }
+    double critical_path = 0.0;
+    for (TaskId t = graph_.num_tasks() - 1; t >= 0; --t) {
+      const auto ts = static_cast<size_t>(t);
+      double succ_rank = 0.0;
+      for (TaskId succ : graph_.task(t).successors) {
+        succ_rank = std::max(succ_rank, rank[static_cast<size_t>(succ)]);
+      }
+      rank[ts] = est_[ts] + succ_rank;
+      critical_path = std::max(critical_path, toplen[ts] + rank[ts]);
+    }
+    static_key_.resize(n);
+    for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+      const auto ts = static_cast<size_t>(t);
+      const double slack = critical_path - toplen[ts] - rank[ts];
+      static_key_[ts] = sched.alpha * rank[ts] - sched.beta * slack;
+    }
+    const double gamma = sched.gamma;
+    // Subtracting gamma * push-time makes earlier-ready tasks score
+    // higher as simulated time advances — the age term — while
+    // keeping every queued key constant, so heap order stays valid.
+    scorer_ = [this, gamma](TaskId t) {
+      return static_key_[static_cast<size_t>(t)] - gamma * simulator_.Now();
+    };
+    ready_.SetScorer(scorer_);
+  }
+
   /// Drains the scheduler: keeps assigning ready tasks to free slots,
   /// serializing decision overhead through the master.
   void ScheduleLoop() {
@@ -382,7 +501,7 @@ class SimState {
     view.locality = locality_.get();
     for (;;) {
       const auto assignment = scheduler_->Decide(view);
-      if (!assignment.has_value()) return;
+      if (!assignment.has_value()) break;
 
       const TaskId id = assignment->task;
       const int node = assignment->node;
@@ -390,6 +509,19 @@ class SimState {
       const PlacementClass cls = task_class_[static_cast<size_t>(id)];
       TB_CHECK(ready_.Head(cls) == id) << "scheduler picked non-ready task";
       ready_.PopHead(cls);
+      // Sampled locality-staleness check (docs/TESTING.md): the tally
+      // the decision just consulted must match a fresh recompute. A
+      // mismatch means some data_home write path skipped
+      // OnDataHomeChanged. Pure reads — the event sequence is
+      // untouched.
+      if (options_.check_invariants && locality_ != nullptr &&
+          (decisions_ & 63) == 0 && !locality_->VerifyTally(id)) {
+        Fail(Status::FailedPrecondition(StrFormat(
+            "invariant violation: stale locality tally for task %lld "
+            "(a data_home write path missed OnDataHomeChanged)",
+            static_cast<long long>(id))));
+        return;
+      }
       TB_CHECK(options_.hybrid ||
                assignment->processor == task.spec.processor)
           << "non-hybrid scheduler changed a task's processor";
@@ -426,6 +558,96 @@ class SimState {
         StartTask(run);
       });
     }
+    if (hedging_) MaybeHedge();
+  }
+
+  /// Scans the live attempts for stragglers (cost-model policy with
+  /// an active fault plan only — see `hedging_`): an attempt on a
+  /// degraded node whose elapsed time already exceeds hedge_threshold
+  /// x its modeled (unslowed) duration gets a speculative duplicate
+  /// on the lowest-id healthy node with a free matching slot. The
+  /// duplicate dispatch goes through the master like any decision
+  /// (overhead + serialization), so hedging is visible in the
+  /// scheduler accounting, and the phase-sum invariant still holds.
+  void MaybeHedge() {
+    if (!failure_.ok()) return;
+    // Snapshot: dispatching a twin appends to live_runs_. Ascending
+    // task id keeps the hedge order deterministic and independent of
+    // live-set swap-removal history.
+    hedge_scan_.assign(live_runs_.begin(), live_runs_.end());
+    std::sort(hedge_scan_.begin(), hedge_scan_.end(),
+              [](const TaskRun* a, const TaskRun* b) { return a->id < b->id; });
+    for (TaskRun* run : hedge_scan_) {
+      if (run->hedged || run->cancelled || !run->started) continue;
+      if (node_slow_[static_cast<size_t>(run->node)] <= 1.0) continue;
+      const double elapsed = simulator_.Now() - run->dispatch_done;
+      if (elapsed <=
+          options_.sched.hedge_threshold * est_[static_cast<size_t>(run->id)]) {
+        continue;
+      }
+      auto& slots =
+          run->processor == Processor::kCpu ? cpu_slots_ : gpu_slots_;
+      int node = -1;
+      for (int n = 0; n < cluster_.num_nodes; ++n) {
+        if (n == run->node || node_dead_[static_cast<size_t>(n)] != 0 ||
+            node_slow_[static_cast<size_t>(n)] > 1.0) {
+          continue;
+        }
+        if (slots.free_at(n) > 0) {
+          node = n;
+          break;
+        }
+      }
+      if (node < 0) continue;  // nowhere healthy to duplicate to
+      slots.Acquire(node);
+      const double overhead =
+          options_.scheduler_overhead_override_s >= 0
+              ? options_.scheduler_overhead_override_s
+              : scheduler_->DecisionOverhead(options_.storage);
+      scheduler_overhead_ += overhead;
+      ++decisions_;
+      if (metrics_ != nullptr) m_decisions_->Add(1);
+      master_free_at_ = std::max(master_free_at_, simulator_.Now()) + overhead;
+
+      TaskRun* twin = AcquireRun();
+      twin->id = run->id;
+      twin->node = node;
+      twin->processor = run->processor;
+      twin->attempt = ++attempt_count_[static_cast<size_t>(run->id)];
+      twin->hedged = true;
+      twin->twin = run;
+      run->hedged = true;
+      run->twin = twin;
+      twin->live_index = live_runs_.size();
+      live_runs_.push_back(twin);
+      ++stats_.hedges;
+      twin->inflight = 1;
+      simulator_.At(master_free_at_, [this, twin]() {
+        if (!Enter(twin)) return;
+        StartTask(twin);
+      });
+    }
+  }
+
+  /// First-finish-wins: `winner` just completed; its still-running
+  /// twin is cancelled, its slot freed and its attempt logged as
+  /// hedge-cancelled. The loser's queued continuations drain through
+  /// Enter() and its staged output homes are simply discarded — no
+  /// trace in placement state.
+  void CancelHedge(TaskRun* winner) {
+    TaskRun* loser = winner->twin;
+    if (loser == nullptr) return;
+    winner->twin = nullptr;
+    loser->twin = nullptr;
+    RecordAttempt(loser, AttemptOutcome::kHedgeCancelled);
+    // A loser on a dead node would have been detached by KillRun
+    // already, so this slot release is always against a live index.
+    auto& slots =
+        loser->processor == Processor::kCpu ? cpu_slots_ : gpu_slots_;
+    slots.Release(loser->node);
+    loser->cancelled = true;
+    RetireRun(loser);
+    TB_CHECK(loser->inflight > 0) << "cancelled a hedge with no queued event";
   }
 
   void StartTask(TaskRun* run) {
@@ -441,6 +663,7 @@ class SimState {
         }
       }
     }
+    run->started = true;
     run->dispatch_done = simulator_.Now();
     run->deser_start = simulator_.Now();
     ReadNextInput(run);
@@ -572,8 +795,13 @@ class SimState {
     const uint64_t bytes = graph_.data(d).bytes;
     // Outputs are written to the executing node's disk (local) or to
     // the shared filesystem; either way the datum's home becomes the
-    // producing node for locality purposes.
-    if (data_home_[static_cast<size_t>(d)] != run->node) {
+    // producing node for locality purposes. A hedged attempt stages
+    // the home change instead — only the winning attempt's homes are
+    // ever applied (FinishTask), so a cancelled loser leaves no trace
+    // in placement state.
+    if (run->hedged) {
+      run->staged_homes.push_back(d);
+    } else if (data_home_[static_cast<size_t>(d)] != run->node) {
       data_home_[static_cast<size_t>(d)] = run->node;
       if (locality_ != nullptr) locality_->OnDataHomeChanged(d);
     }
@@ -598,6 +826,23 @@ class SimState {
   void FinishTask(TaskRun* run) {
     const Task& task = graph_.task(run->id);
     const perf::TaskCost& cost = task.spec.cost;
+
+    if (run->hedged) {
+      // This attempt won (a loser is cancelled before it can reach
+      // FinishTask): publish its staged output homes.
+      for (DataId d : run->staged_homes) {
+        if (data_home_[static_cast<size_t>(d)] != run->node) {
+          data_home_[static_cast<size_t>(d)] = run->node;
+          if (locality_ != nullptr) locality_->OnDataHomeChanged(d);
+        }
+      }
+      // Cancel the loser before recording this completion when it is
+      // the earlier attempt, after otherwise — the per-task attempt
+      // log stays monotonic in attempt number either way.
+      if (run->twin != nullptr && run->twin->attempt < run->attempt) {
+        CancelHedge(run);
+      }
+    }
 
     TaskRecord& rec = records_[static_cast<size_t>(run->id)];
     rec.task = run->id;
@@ -629,6 +874,7 @@ class SimState {
       h.duration->Record(rec.duration());
     }
     RecordAttempt(run, AttemptOutcome::kCompleted);
+    if (run->hedged && run->twin != nullptr) CancelHedge(run);
 
     auto& slots =
         run->processor == Processor::kCpu ? cpu_slots_ : gpu_slots_;
@@ -777,9 +1023,31 @@ class SimState {
     const TaskId id = run->id;
     const int attempt = run->attempt;
     const int node = run->node;
+    if (run->hedged && run->twin != nullptr) {
+      // The twin is still running this task: detach the pair and let
+      // it finish alone instead of burning a retry. Keep the task's
+      // active-run registration pointing at the survivor so lineage
+      // recovery still sees a live writer.
+      DetachTwin(run);
+      RetireRun(run);
+      ReleaseRun(run);
+      return;
+    }
     RetireRun(run);
     ReleaseRun(run);
     RetryOrFail(id, attempt, node);
+  }
+
+  /// Detaches `run` from its hedge pair after `run` failed; the
+  /// surviving twin keeps hedged=true (its outputs stay staged and
+  /// publish when it finishes) and takes over the active-run slot.
+  void DetachTwin(TaskRun* run) {
+    TaskRun* twin = run->twin;
+    run->twin = nullptr;
+    twin->twin = nullptr;
+    if (active_run_[static_cast<size_t>(run->id)] == run) {
+      active_run_[static_cast<size_t>(run->id)] = twin;
+    }
   }
 
   /// Kills a live run whose processor died under it. The slot is NOT
@@ -792,6 +1060,14 @@ class SimState {
     const TaskId id = run->id;
     const int attempt = run->attempt;
     const int node = run->node;
+    if (run->hedged && run->twin != nullptr) {
+      // The duplicate survives the fault that took this attempt down —
+      // exactly the scenario hedging exists for. No retry needed.
+      DetachTwin(run);
+      RetireRun(run);
+      TB_CHECK(run->inflight > 0) << "killed a run with no queued event";
+      return;
+    }
     RetireRun(run);
     TB_CHECK(run->inflight > 0) << "killed a run with no queued event";
     RetryOrFail(id, attempt, node);
@@ -946,6 +1222,9 @@ class SimState {
   /// producers of tasks that were already ready (or queued).
   void RebuildAfterCrash() {
     ready_ = ReadyQueue();
+    // A fresh ReadyQueue forgets the cost scorer; re-arm it before
+    // re-pushing, or every post-crash push would score 0.
+    if (scorer_) ready_.SetScorer(scorer_);
     for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
       const auto ts = static_cast<size_t>(t);
       if (completed_flag_[ts] != 0 || active_run_[ts] != nullptr) continue;
@@ -996,6 +1275,9 @@ class SimState {
   const TaskGraph& graph_;
   const CancellationToken* const cancel_;
   perf::CostModel model_;
+  /// Effective policy: the per-run RunContext override when set, else
+  /// RunOptions::policy (declared before scheduler_ — init order).
+  const SchedulingPolicy policy_;
   std::unique_ptr<Scheduler> scheduler_;
 
   sim::Simulator simulator_;
@@ -1013,6 +1295,12 @@ class SimState {
   std::vector<int> remaining_deps_;
   std::vector<TaskRecord> records_;
 
+  // Cost-model policy state (empty for the paper's two policies).
+  std::vector<double> est_;         ///< modeled per-task duration
+  std::vector<double> static_key_;  ///< alpha*rank - beta*slack
+  ReadyQueue::ScoreFn scorer_;      ///< kept to re-arm after a crash
+  std::vector<TaskRun*> hedge_scan_;  ///< MaybeHedge scratch
+
   std::deque<TaskRun> run_pool_;    ///< stable storage for live runs
   std::vector<TaskRun*> free_runs_;
   std::vector<TaskRun*> live_runs_;
@@ -1028,6 +1316,7 @@ class SimState {
   // mutated by fault paths; `faults_active_` gates every behavioural
   // branch so fault-free runs stay bit-identical.
   const bool faults_active_;
+  const bool hedging_;
   Rng storage_rng_;
   std::vector<char> node_dead_;
   std::vector<double> node_slow_;

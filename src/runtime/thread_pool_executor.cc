@@ -33,6 +33,12 @@ double SecondsSince(Clock::time_point origin) {
   return std::chrono::duration<double>(Clock::now() - origin).count();
 }
 
+int64_t NanosSince(Clock::time_point origin) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              origin)
+      .count();
+}
+
 /// Storage key of datum `id` inside run scope `scope`. Scope 0 is the
 /// legacy batch namespace ("d7", byte-identical keys to every prior
 /// release); nonzero scopes prefix the submission id so concurrent
@@ -250,6 +256,64 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
   std::vector<TaskRecord> records(static_cast<size_t>(total));
   const Clock::time_point origin = Clock::now();
 
+  // ----------------------------------------------------------------
+  // Speculative hedging (cost-model policy, docs/SCHEDULERS.md): an
+  // idle worker that finds no work duplicates the longest-running
+  // task instead of parking; the first attempt to finish claims the
+  // task with one atomic exchange and is the only attempt that
+  // publishes anything (record, writer ordinals, successor release,
+  // completion count) — the loser computed into locals and discards
+  // them, so it leaves no trace.
+  //
+  // Only tasks whose re-execution is provably idempotent are
+  // hedgeable: no INOUT params (a duplicate would double-apply the
+  // in-place update) and every accessed datum has at most one writer
+  // in the whole graph (a zombie attempt can then neither observe a
+  // rewritten input nor clobber a successor's newer output — its
+  // storage writes are byte-identical replays). Gated on
+  // max_retries == 0 so hedging never interleaves with the retry /
+  // attempt-log machinery.
+  // ----------------------------------------------------------------
+  const bool hedge = ctx.policy.value_or(options_.policy) ==
+                         SchedulingPolicy::kCostModel &&
+                     !options_.sched.disable_hedging && num_workers > 1 &&
+                     options_.max_retries == 0;
+  std::vector<char> hedgeable;
+  std::vector<std::atomic<char>> hedge_claim;
+  std::vector<std::atomic<char>> hedge_tried;
+  std::vector<std::atomic<int64_t>> running_task;
+  std::vector<std::atomic<int64_t>> running_since_ns;
+  if (hedge) {
+    std::vector<int> writer_count(static_cast<size_t>(graph.num_data()), 0);
+    for (TaskId t = 0; t < total; ++t) {
+      for (const Param& p : graph.task(t).spec.params) {
+        if (p.dir != Dir::kIn) ++writer_count[static_cast<size_t>(p.data)];
+      }
+    }
+    hedgeable.assign(static_cast<size_t>(total), 1);
+    for (TaskId t = 0; t < total; ++t) {
+      for (const Param& p : graph.task(t).spec.params) {
+        if (p.dir == Dir::kInOut ||
+            writer_count[static_cast<size_t>(p.data)] > 1) {
+          hedgeable[static_cast<size_t>(t)] = 0;
+          break;
+        }
+      }
+    }
+    std::vector<std::atomic<char>> claims(static_cast<size_t>(total));
+    hedge_claim = std::move(claims);
+    std::vector<std::atomic<char>> tried(static_cast<size_t>(total));
+    hedge_tried = std::move(tried);
+    for (auto& c : hedge_claim) c.store(0, std::memory_order_relaxed);
+    for (auto& c : hedge_tried) c.store(0, std::memory_order_relaxed);
+    std::vector<std::atomic<int64_t>> rt(static_cast<size_t>(num_workers));
+    running_task = std::move(rt);
+    std::vector<std::atomic<int64_t>> rs(static_cast<size_t>(num_workers));
+    running_since_ns = std::move(rs);
+    for (auto& r : running_task) r.store(-1, std::memory_order_relaxed);
+    for (auto& r : running_since_ns) r.store(0, std::memory_order_relaxed);
+  }
+
   // Telemetry: per-worker registries plus a per-task type index, all
   // resolved up front so the workers only bump pre-looked-up
   // instruments. Entirely skipped when no registry was supplied. A
@@ -454,9 +518,13 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
     return Status::OK();
   };
 
-  auto run_task = [&](WorkerContext& ctx, TaskId id, int attempt) -> Status {
+  // Executes `id` once, timing its stages into `rec` — the caller
+  // picks where the record lives: records[id] on the normal path, a
+  // stack-local for hedged attempts (only the claim winner's record
+  // is published, so a losing duplicate never touches shared state).
+  auto run_task = [&](WorkerContext& ctx, TaskId id, int attempt,
+                      TaskRecord& rec) -> Status {
     const Task& task = graph.task(id);
-    TaskRecord& rec = records[static_cast<size_t>(id)];
     rec.task = id;
     rec.type = task.spec.type;
     rec.level = task.level;
@@ -582,6 +650,69 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
     wake_all();
   };
 
+  // Winner-side publication shared by the normal path and hedged
+  // duplicates: writer ordinals + completion flag (release, paired
+  // with the claim-time acquires), successor countdown, and the run
+  // completion count. Callers hold the hedge claim (or the task was
+  // never hedgeable), so this runs exactly once per task.
+  auto publish_completion = [&](WorkerContext& ctx, WorkerTelemetry* wt,
+                                TaskId id) {
+    WorkStealingQueue<TaskId>& own =
+        pool.queues[static_cast<size_t>(ctx.id)];
+    if (check) {
+      const Task& task = graph.task(id);
+      for (size_t i = 0; i < task.spec.params.size(); ++i) {
+        const Param& p = task.spec.params[i];
+        if (p.dir == Dir::kIn) continue;
+        data_version[static_cast<size_t>(p.data)].store(
+            oracle.ordinal(id, i), std::memory_order_release);
+      }
+      completed_flag[static_cast<size_t>(id)].store(
+          1, std::memory_order_release);
+    }
+    if (wt != nullptr) {
+      wt->tasks->Add(1);
+      const TaskRecord& rec = records[static_cast<size_t>(id)];
+      const StageHists& h = wt->types[task_type_idx[static_cast<size_t>(id)]];
+      h.deserialize->Record(rec.stages.deserialize);
+      h.compute->Record(rec.stages.parallel_fraction);
+      h.serialize->Record(rec.stages.serialize);
+      h.duration->Record(rec.duration());
+    }
+    int64_t released = 0;
+    for (TaskId succ : graph.task(id).successors) {
+      if (pool.remaining_deps[static_cast<size_t>(succ)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        own.Push(succ);
+        ++released;
+      }
+    }
+    if (released > 0) {
+      pool.num_ready.fetch_add(released, std::memory_order_seq_cst);
+      wake(released);
+    }
+    if (pool.completed.fetch_add(1, std::memory_order_seq_cst) + 1 == total) {
+      wake_all();
+    }
+  };
+
+  // One speculative duplicate of `id`, run by an otherwise-idle
+  // worker. The duplicate computes into locals; if the primary
+  // finished first the exchange loses and everything is discarded. A
+  // failing duplicate is likewise discarded — the primary still owns
+  // the task and surfaces any real error itself.
+  auto run_hedged = [&](WorkerContext& ctx, WorkerTelemetry* wt, TaskId id) {
+    TaskRecord rec;
+    const Status status = run_task(ctx, id, 1, rec);
+    if (!status.ok()) return;
+    if (hedge_claim[static_cast<size_t>(id)].exchange(
+            1, std::memory_order_seq_cst) != 0) {
+      return;  // the primary won; no trace left
+    }
+    records[static_cast<size_t>(id)] = std::move(rec);
+    publish_completion(ctx, wt, id);
+  };
+
   auto worker = [&](int worker_id) {
     if (options_.pin_workers && topo.num_domains() > 1) {
       // Best effort: an unpinnable worker is slower, never wrong.
@@ -622,6 +753,44 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
           if (done()) return;
         }
         stolen = got;
+      }
+      if (!got && hedge) {
+        // Nothing to claim or steal: duplicate the longest-running
+        // hedgeable task (if any has been executing for at least
+        // hedge_min_s) instead of parking. Races with the registry
+        // are benign — a stale pick just loses its claim.
+        const int64_t now_ns = NanosSince(origin);
+        const auto min_ns =
+            static_cast<int64_t>(options_.sched.hedge_min_s * 1e9);
+        TaskId target = -1;
+        int64_t oldest = 0;
+        for (int w2 = 0; w2 < num_workers; ++w2) {
+          if (w2 == worker_id) continue;
+          const int64_t rt =
+              running_task[static_cast<size_t>(w2)].load(
+                  std::memory_order_acquire);
+          if (rt < 0 || hedgeable[static_cast<size_t>(rt)] == 0) continue;
+          if (hedge_tried[static_cast<size_t>(rt)].load(
+                  std::memory_order_relaxed) != 0 ||
+              hedge_claim[static_cast<size_t>(rt)].load(
+                  std::memory_order_relaxed) != 0) {
+            continue;
+          }
+          const int64_t since =
+              running_since_ns[static_cast<size_t>(w2)].load(
+                  std::memory_order_acquire);
+          if (now_ns - since < min_ns) continue;
+          if (target < 0 || since < oldest) {
+            oldest = since;
+            target = rt;
+          }
+        }
+        if (target >= 0 &&
+            hedge_tried[static_cast<size_t>(target)].exchange(
+                1, std::memory_order_seq_cst) == 0) {
+          run_hedged(ctx, wt, target);
+          continue;
+        }
       }
       if (!got) {
         if (wt != nullptr) wt->parks->Add(1);
@@ -675,6 +844,21 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
         }
       }
 
+      // Hedgeable tasks compute into a stack-local record; only the
+      // hedge-claim winner moves it into the shared slot. Everything
+      // else writes records[id] directly, exactly as before.
+      const bool deferred =
+          hedge && hedgeable[static_cast<size_t>(id)] != 0;
+      TaskRecord local_rec;
+      TaskRecord& rec_slot =
+          deferred ? local_rec : records[static_cast<size_t>(id)];
+      if (hedge) {
+        running_since_ns[static_cast<size_t>(worker_id)].store(
+            NanosSince(origin), std::memory_order_release);
+        running_task[static_cast<size_t>(worker_id)].store(
+            id, std::memory_order_release);
+      }
+
       // Per-task retry loop: transient failures (e.g. a
       // fault-injecting storage backend) are retried with exponential
       // backoff until the budget is spent. With the default budget of
@@ -682,14 +866,14 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
       Status status;
       int attempt = 1;
       for (;;) {
-        status = run_task(ctx, id, attempt);
+        status = run_task(ctx, id, attempt, rec_slot);
         if (status.ok() || attempt > options_.max_retries) break;
         {
           std::lock_guard<std::mutex> lock(pool.fault_mu);
           if (pool.failed.load(std::memory_order_seq_cst)) break;
           ++pool.retries;
           if (options_.max_retries > 0) {
-            const TaskRecord& rec = records[static_cast<size_t>(id)];
+            const TaskRecord& rec = rec_slot;
             pool.attempts.push_back(TaskAttempt{
                 id, attempt, rec.node, rec.processor, rec.start,
                 SecondsSince(origin), AttemptOutcome::kFailed});
@@ -717,25 +901,23 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
         ++attempt;
       }
 
+      if (hedge) {
+        running_task[static_cast<size_t>(worker_id)].store(
+            -1, std::memory_order_release);
+      }
       if (!status.ok()) {
         fail_run(std::move(status), id, attempt);
         return;
       }
 
-      // Publish writer ordinals and the completion flag before the
-      // successor countdown below: the fetch_sub(acq_rel) / Steal
-      // pair then carries these stores to whichever worker claims a
-      // released successor.
-      if (check) {
-        const Task& task = graph.task(id);
-        for (size_t i = 0; i < task.spec.params.size(); ++i) {
-          const Param& p = task.spec.params[i];
-          if (p.dir == Dir::kIn) continue;
-          data_version[static_cast<size_t>(p.data)].store(
-              oracle.ordinal(id, i), std::memory_order_release);
+      if (deferred) {
+        if (hedge_claim[static_cast<size_t>(id)].exchange(
+                1, std::memory_order_seq_cst) != 0) {
+          // A speculative duplicate finished first and published
+          // everything; this attempt's locals just evaporate.
+          continue;
         }
-        completed_flag[static_cast<size_t>(id)].store(
-            1, std::memory_order_release);
+        records[static_cast<size_t>(id)] = std::move(local_rec);
       }
 
       if (options_.max_retries > 0) {
@@ -746,36 +928,11 @@ Result<RunReport> ThreadPoolExecutor::Execute(TaskGraph& graph,
             AttemptOutcome::kCompleted});
       }
 
-      if (wt != nullptr) {
-        wt->tasks->Add(1);
-        const TaskRecord& rec = records[static_cast<size_t>(id)];
-        const StageHists& h =
-            wt->types[task_type_idx[static_cast<size_t>(id)]];
-        h.deserialize->Record(rec.stages.deserialize);
-        h.compute->Record(rec.stages.parallel_fraction);
-        h.serialize->Record(rec.stages.serialize);
-        h.duration->Record(rec.duration());
-      }
-
-      // Completion: release successors whose last dependency this
-      // was. New ready tasks go to our own deque (their inputs are
-      // warm here); idle workers steal them if we are saturated.
-      int64_t released = 0;
-      for (TaskId succ : graph.task(id).successors) {
-        if (pool.remaining_deps[static_cast<size_t>(succ)].fetch_sub(
-                1, std::memory_order_acq_rel) == 1) {
-          own.Push(succ);
-          ++released;
-        }
-      }
-      if (released > 0) {
-        pool.num_ready.fetch_add(released, std::memory_order_seq_cst);
-        wake(released);
-      }
-      if (pool.completed.fetch_add(1, std::memory_order_seq_cst) + 1 ==
-          total) {
-        wake_all();
-      }
+      // Publication (writer ordinals before successor release — the
+      // fetch_sub(acq_rel) / Steal pair carries the stores to
+      // whichever worker claims a released successor), telemetry and
+      // the completion count, shared with the hedged path.
+      publish_completion(ctx, wt, id);
     }
   };
 

@@ -56,6 +56,37 @@ std::string_view ToString(SubmissionState state) {
   return "unknown";
 }
 
+Status ValidateTenantConfig(const TenantConfig& config) {
+  // The rate limiter knobs are validated instead of clamped: a
+  // negative or NaN rate once slipped through to TokenBucket, whose
+  // refill arithmetic turned it into an always-empty (or NaN-poisoned)
+  // bucket that silently rejected every Submit.
+  if (std::isnan(config.rate_per_s) || config.rate_per_s < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "TenantConfig.rate_per_s must be >= 0 (0 = unlimited), got %g",
+        config.rate_per_s));
+  }
+  if (std::isnan(config.burst) || config.burst < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "TenantConfig.burst must be >= 0 (0 = derived from rate), got %g",
+        config.burst));
+  }
+  if (std::isinf(config.rate_per_s) || std::isinf(config.burst)) {
+    return Status::InvalidArgument(
+        "TenantConfig rate_per_s/burst must be finite");
+  }
+  if (!(config.weight > 0) || std::isinf(config.weight)) {
+    return Status::InvalidArgument(StrFormat(
+        "TenantConfig.weight must be a finite positive number, got %g",
+        config.weight));
+  }
+  if (config.max_in_flight < 0 || config.max_queued < 0) {
+    return Status::InvalidArgument(
+        "TenantConfig.max_in_flight/max_queued must be >= 0");
+  }
+  return Status::OK();
+}
+
 double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
   const double rank = std::ceil(p * static_cast<double>(sorted.size()));
@@ -84,6 +115,9 @@ struct WorkflowService::Submission {
 struct WorkflowService::Tenant {
   std::string name;
   TenantConfig config;
+  /// ValidateTenantConfig(config), computed once when the tenant is
+  /// first seen; a non-OK status fails every Submit for this tenant.
+  Status config_status;
   /// Submission-rate limiter (unlimited unless config.rate_per_s > 0).
   TokenBucket bucket;
   /// Weighted-fair virtual time: bumped by 1/weight per dispatch; the
@@ -127,7 +161,8 @@ WorkflowService::Tenant& WorkflowService::TenantFor(const std::string& name) {
     const auto cfg = options_.tenants.find(name);
     tenant->config = cfg != options_.tenants.end() ? cfg->second
                                                    : options_.default_tenant;
-    if (tenant->config.rate_per_s > 0) {
+    tenant->config_status = ValidateTenantConfig(tenant->config);
+    if (tenant->config_status.ok() && tenant->config.rate_per_s > 0) {
       const double burst = tenant->config.burst > 0
                                ? tenant->config.burst
                                : std::max(1.0, tenant->config.rate_per_s);
@@ -158,6 +193,14 @@ Result<SubmissionHandle> WorkflowService::Submit(runtime::TaskGraph graph,
         "WorkflowService is shut down; no new submissions");
   }
   Tenant& tenant = TenantFor(opts.tenant);
+  // A misconfigured tenant is a caller error, not backpressure: the
+  // config status is surfaced verbatim (no kRejectedAdmission, no
+  // rejected-counter bump) so it cannot be mistaken for load.
+  if (!tenant.config_status.ok()) {
+    return Status::InvalidArgument(
+        StrFormat("tenant '%s' misconfigured: %s", opts.tenant.c_str(),
+                  tenant.config_status.message().c_str()));
+  }
   // Admission control: reject (backpressure the client) rather than
   // queue without bound. Every cap is checked before any state is
   // mutated, so a rejected Submit leaves no trace but the counter.
@@ -325,6 +368,7 @@ void WorkflowService::RunnerLoop() {
     ctx.cancel = &sub->cancel;
     ctx.metrics = sub->metrics;
     ctx.scope = sub->id;
+    ctx.policy = sub->tenant->config.policy;
     lock.unlock();
     Result<runtime::RunReport> run = executor_->Run(sub->graph, ctx);
     lock.lock();

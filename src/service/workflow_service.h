@@ -7,12 +7,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/types.h"
 #include "obs/metrics.h"
 #include "runtime/executor.h"
 #include "runtime/metrics.h"
@@ -39,7 +41,19 @@ struct TenantConfig {
   /// Bucket ceiling: how many Submits may arrive back-to-back before
   /// the rate gates. 0 = max(1, rate_per_s); ignored when unlimited.
   double burst = 0;
+  /// Scheduling policy for this tenant's runs; unset means the
+  /// executor's own RunOptions::policy. Forwarded per submission as
+  /// RunContext::policy, so tenants sharing one executor can run
+  /// different schedulers.
+  std::optional<SchedulingPolicy> policy;
 };
+
+/// Validates a tenant config at service-configuration time: finite,
+/// non-negative rate_per_s and burst (0 = unlimited / derived burst),
+/// finite positive weight, non-negative caps. A tenant with an invalid
+/// config has every Submit rejected with this status instead of the
+/// knob being silently clamped.
+Status ValidateTenantConfig(const TenantConfig& config);
 
 struct ServiceOptions {
   /// Runner threads = submissions executing concurrently. Each runner

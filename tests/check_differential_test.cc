@@ -36,11 +36,11 @@ TEST(DifferentialSmokeTest, RealOnlyModeSkipsSimLegs) {
       RunDifferential(GenerateSpec(1), options);
   EXPECT_TRUE(result.ok()) << result.Summary();
   EXPECT_EQ(result.sim_configs, 0);
-  // 8 thread-pool legs (6 base + 2 block-cache twins; the
-  // faulty-storage legs are excluded here) plus the three forked
-  // multi-process legs where the platform supports them.
+  // 9 thread-pool legs (6 base + 2 block-cache twins + the cost-model
+  // hedging leg; the faulty-storage legs are excluded here) plus the
+  // three forked multi-process legs where the platform supports them.
   const int expected =
-      runtime::MultiProcExecutor::Supported() ? 11 : 8;
+      runtime::MultiProcExecutor::Supported() ? 12 : 9;
   EXPECT_EQ(result.real_configs, expected);
 }
 

@@ -1,0 +1,174 @@
+// Simulator-level behaviour of the cost-model scheduler family:
+// CPU->GPU escalation in hybrid mode, speculative straggler hedging
+// under a slow-node fault plan, and the fault-free no-op guarantees
+// of both knobs.
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hw/cluster.h"
+#include "runtime/fault.h"
+#include "runtime/simulated_executor.h"
+
+namespace taskbench::runtime {
+namespace {
+
+/// `n` independent CPU-targeted tasks of ~`cpu_seconds` on one core
+/// that a device would finish ~`gpu_benefit`x faster (tuned via the
+/// task's GPU efficiency curve, like hybrid_test's GpuTasks).
+TaskGraph CpuTasks(int n, double cpu_seconds, double gpu_benefit) {
+  TaskGraph graph;
+  for (int i = 0; i < n; ++i) {
+    const DataId in = graph.AddData(1024);
+    const DataId out = graph.AddData(1024);
+    TaskSpec spec;
+    spec.type = "crunch";
+    spec.processor = Processor::kCpu;
+    spec.params = {{in, Dir::kIn}, {out, Dir::kOut}};
+    spec.cost.parallel.flops = cpu_seconds * 16e9;
+    spec.cost.gpu_curve.peak_fraction = gpu_benefit * 16e9 / 360e9;
+    spec.cost.gpu_working_set_bytes = 64 * kMiB;
+    spec.cost.input_bytes = 1024;
+    spec.cost.output_bytes = 1024;
+    EXPECT_TRUE(graph.Submit(std::move(spec)).ok());
+  }
+  return graph;
+}
+
+RunOptions CostOptions(bool hybrid) {
+  RunOptions options;
+  options.policy = SchedulingPolicy::kCostModel;
+  options.hybrid = hybrid;
+  options.storage = hw::StorageArchitecture::kLocalDisk;
+  return options;
+}
+
+TEST(CostEscalationTest, UpgradesGpuFriendlyCpuTasksInHybridMode) {
+  // 8 cores + 2 idle GPUs. 10 three-second CPU tasks that a device
+  // finishes ~6x faster clear the 2x benefit threshold: escalation
+  // moves some onto the GPUs and shortens the run.
+  const hw::ClusterSpec cluster = hw::SingleNode(8, 2);
+  const TaskGraph graph = CpuTasks(10, 3.0, 6.0);
+
+  auto escalated =
+      SimulatedExecutor(cluster, CostOptions(true)).Execute(graph);
+  RunOptions no_escalation = CostOptions(true);
+  no_escalation.sched.disable_escalation = true;
+  auto disabled =
+      SimulatedExecutor(cluster, no_escalation).Execute(graph);
+  ASSERT_TRUE(escalated.ok()) << escalated.status().ToString();
+  ASSERT_TRUE(disabled.ok()) << disabled.status().ToString();
+
+  int on_gpu = 0;
+  for (const TaskRecord& rec : escalated->records) {
+    if (rec.processor == Processor::kGpu) ++on_gpu;
+  }
+  EXPECT_GT(on_gpu, 0);
+  for (const TaskRecord& rec : disabled->records) {
+    EXPECT_EQ(rec.processor, Processor::kCpu);
+  }
+  EXPECT_LT(escalated->makespan, disabled->makespan);
+}
+
+TEST(CostEscalationTest, NeverEscalatesOutsideHybridMode) {
+  // Without hybrid placement the user's processor choice is a
+  // contract: escalation must stay off even under the cost policy.
+  const hw::ClusterSpec cluster = hw::SingleNode(8, 2);
+  const TaskGraph graph = CpuTasks(10, 3.0, 6.0);
+  auto report =
+      SimulatedExecutor(cluster, CostOptions(false)).Execute(graph);
+  ASSERT_TRUE(report.ok());
+  for (const TaskRecord& rec : report->records) {
+    EXPECT_EQ(rec.processor, Processor::kCpu);
+  }
+}
+
+TEST(CostEscalationTest, SkipsTasksBelowBenefitThreshold) {
+  // A device only ~1.5x faster than a core is under the default 2x
+  // benefit bar: everything stays on the CPUs.
+  const hw::ClusterSpec cluster = hw::SingleNode(8, 2);
+  const TaskGraph graph = CpuTasks(10, 3.0, 1.2);
+  auto report =
+      SimulatedExecutor(cluster, CostOptions(true)).Execute(graph);
+  ASSERT_TRUE(report.ok());
+  for (const TaskRecord& rec : report->records) {
+    EXPECT_EQ(rec.processor, Processor::kCpu);
+  }
+}
+
+/// Slow-node plan: node 1 computes `factor` x slower from t=0.01 on.
+FaultPlan SlowNodePlan(double factor) {
+  FaultPlan plan;
+  FaultEvent slow;
+  slow.kind = FaultKind::kSlowNode;
+  slow.time = 0.01;
+  slow.node = 1;
+  slow.factor = factor;
+  plan.events.push_back(slow);
+  return plan;
+}
+
+TEST(CostHedgingTest, DuplicatesStragglersAndShortensMakespan) {
+  // 4 nodes x 2 cores, one node 10x slow, 24 one-second tasks: the
+  // slow node's first wave blows past the 1.5x hedge threshold while
+  // the healthy nodes keep producing scheduling edges, so twins
+  // launch, win, and cancel the stragglers. The factor is large
+  // enough that the task pool drains before the slow node frees up —
+  // otherwise the final wave lands there with no later scheduling
+  // edge left to hedge it on.
+  hw::ClusterSpec cluster = hw::SingleNode(2, 0);
+  cluster.num_nodes = 4;
+  const TaskGraph graph = CpuTasks(24, 1.0, 0.0);
+
+  RunOptions hedged = CostOptions(false);
+  hedged.faults = SlowNodePlan(10.0);
+  RunOptions unhedged = hedged;
+  unhedged.sched.disable_hedging = true;
+
+  auto with = SimulatedExecutor(cluster, hedged).Execute(graph);
+  auto without = SimulatedExecutor(cluster, unhedged).Execute(graph);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+
+  EXPECT_GT(with->faults.hedges, 0);
+  EXPECT_EQ(without->faults.hedges, 0);
+  EXPECT_LT(with->makespan, without->makespan);
+  // Losing twins are logged as cancelled attempts, never as retries.
+  int cancelled = 0;
+  for (const TaskAttempt& a : with->attempts) {
+    if (a.outcome == AttemptOutcome::kHedgeCancelled) ++cancelled;
+  }
+  EXPECT_GT(cancelled, 0);
+  EXPECT_LE(cancelled, with->faults.hedges);
+  EXPECT_EQ(with->faults.retries, 0);
+  // Every task still completed exactly once in the record table.
+  ASSERT_EQ(with->records.size(), static_cast<size_t>(graph.num_tasks()));
+}
+
+TEST(CostHedgingTest, FaultFreeRunsIgnoreTheHedgingKnob) {
+  // Hedging is a fault-path feature: without a fault plan the report
+  // must be identical whether the knob is on or off.
+  hw::ClusterSpec cluster = hw::SingleNode(2, 0);
+  cluster.num_nodes = 4;
+  const TaskGraph graph = CpuTasks(12, 1.0, 0.0);
+  RunOptions on = CostOptions(false);
+  RunOptions off = CostOptions(false);
+  off.sched.disable_hedging = true;
+  auto a = SimulatedExecutor(cluster, on).Execute(graph);
+  auto b = SimulatedExecutor(cluster, off).Execute(graph);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->makespan, b->makespan);
+  EXPECT_EQ(a->scheduler_overhead, b->scheduler_overhead);
+  EXPECT_EQ(a->faults.hedges, 0);
+  EXPECT_EQ(b->faults.hedges, 0);
+  ASSERT_EQ(a->records.size(), b->records.size());
+  for (size_t i = 0; i < a->records.size(); ++i) {
+    EXPECT_EQ(a->records[i].start, b->records[i].start);
+    EXPECT_EQ(a->records[i].end, b->records[i].end);
+    EXPECT_EQ(a->records[i].node, b->records[i].node);
+  }
+}
+
+}  // namespace
+}  // namespace taskbench::runtime

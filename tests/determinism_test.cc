@@ -125,7 +125,8 @@ void ExpectIdenticalReports(const RunReport& a, const RunReport& b) {
 TEST(DeterminismTest, RepeatedRunsProduceIdenticalReports) {
   const TaskGraph graph = BuildGraph();
   for (auto policy : {SchedulingPolicy::kTaskGenerationOrder,
-                      SchedulingPolicy::kDataLocality}) {
+                      SchedulingPolicy::kDataLocality,
+                      SchedulingPolicy::kCostModel}) {
     for (auto storage : {hw::StorageArchitecture::kSharedDisk,
                          hw::StorageArchitecture::kLocalDisk}) {
       for (bool hybrid : {false, true}) {
@@ -176,7 +177,8 @@ TEST(DeterminismTest, FaultPlansReplayIdentically) {
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
 
   for (auto policy : {SchedulingPolicy::kTaskGenerationOrder,
-                      SchedulingPolicy::kDataLocality}) {
+                      SchedulingPolicy::kDataLocality,
+                      SchedulingPolicy::kCostModel}) {
     SCOPED_TRACE(ToString(policy));
     RunOptions options;
     options.policy = policy;
@@ -188,6 +190,14 @@ TEST(DeterminismTest, FaultPlansReplayIdentically) {
     crash.time = baseline->makespan / 2;
     crash.node = 1;
     options.faults.events.push_back(crash);
+    // A slow node makes the cost-model policy launch speculative
+    // hedges, whose dispatch/cancel edges must also replay exactly.
+    FaultEvent slow;
+    slow.kind = FaultKind::kSlowNode;
+    slow.time = baseline->makespan / 10;
+    slow.node = 2;
+    slow.factor = 1.9;
+    options.faults.events.push_back(slow);
     options.faults.storage_fault_rate = 0.01;
     options.faults.seed = 17;
     auto first = SimulatedExecutor(hw::MinotauroCluster(), options)

@@ -61,6 +61,63 @@ TEST(SchedulerTest, FactoryReturnsMatchingPolicy) {
             "task-gen-order");
   EXPECT_EQ(MakeScheduler(SchedulingPolicy::kDataLocality)->name(),
             "data-locality");
+  EXPECT_EQ(MakeScheduler(SchedulingPolicy::kCostModel)->name(),
+            "cost-model");
+}
+
+TEST(SchedulerTest, ParseSchedulingPolicyAcceptsAliases) {
+  for (const char* name : {"fifo", "gen", "gen-order", "task-gen-order"}) {
+    const auto policy = ParseSchedulingPolicy(name);
+    ASSERT_TRUE(policy.has_value()) << name;
+    EXPECT_EQ(*policy, SchedulingPolicy::kTaskGenerationOrder) << name;
+  }
+  for (const char* name : {"locality", "data-locality"}) {
+    const auto policy = ParseSchedulingPolicy(name);
+    ASSERT_TRUE(policy.has_value()) << name;
+    EXPECT_EQ(*policy, SchedulingPolicy::kDataLocality) << name;
+  }
+  for (const char* name : {"cost", "cost-model"}) {
+    const auto policy = ParseSchedulingPolicy(name);
+    ASSERT_TRUE(policy.has_value()) << name;
+    EXPECT_EQ(*policy, SchedulingPolicy::kCostModel) << name;
+  }
+  EXPECT_FALSE(ParseSchedulingPolicy("").has_value());
+  EXPECT_FALSE(ParseSchedulingPolicy("heft").has_value());
+}
+
+TEST(SchedulerTest, DecisionPhasesSumToOverheadForEveryPolicy) {
+  // The simulator's conservation invariant (phases sum exactly to the
+  // per-decision overhead) must hold for every policy x storage cell,
+  // not just the two paper policies.
+  for (auto policy : {SchedulingPolicy::kTaskGenerationOrder,
+                      SchedulingPolicy::kDataLocality,
+                      SchedulingPolicy::kCostModel}) {
+    const auto scheduler = MakeScheduler(policy);
+    for (auto storage : {hw::StorageArchitecture::kLocalDisk,
+                         hw::StorageArchitecture::kSharedDisk}) {
+      SCOPED_TRACE(testing::Message()
+                   << scheduler->name() << "/" << hw::ToString(storage));
+      const auto phases = scheduler->DecisionPhases(storage);
+      EXPECT_DOUBLE_EQ(phases.total(), scheduler->DecisionOverhead(storage));
+      EXPECT_GE(phases.ready_pop_s, 0);
+      EXPECT_GE(phases.locality_s, 0);
+      EXPECT_GE(phases.slot_pick_s, 0);
+    }
+  }
+}
+
+TEST(SchedulerTest, CostModelOverheadOrdering) {
+  DataLocalityScheduler locality;
+  CostModelScheduler cost;
+  for (auto storage : {hw::StorageArchitecture::kLocalDisk,
+                       hw::StorageArchitecture::kSharedDisk}) {
+    // The cost model pays the locality lookup plus rank/slack scoring,
+    // so it is strictly the most expensive dispatcher per decision.
+    EXPECT_GT(cost.DecisionOverhead(storage),
+              locality.DecisionOverhead(storage));
+  }
+  EXPECT_GT(cost.DecisionOverhead(hw::StorageArchitecture::kSharedDisk),
+            cost.DecisionOverhead(hw::StorageArchitecture::kLocalDisk));
 }
 
 TEST(SchedulerTest, LocalityCostsMorePerDecision) {
@@ -271,6 +328,149 @@ TEST(LocalityCacheTest, MergesBytesPerNodeSorted) {
   EXPECT_EQ(tally[0].second, 30u);
   EXPECT_EQ(tally[1].first, 2);
   EXPECT_EQ(tally[1].second, 105u);
+}
+
+TEST(ReadyQueueTest, ScorerOrdersHeadsByScoreThenLowestId) {
+  ReadyQueue queue;
+  // Score = 10 - id: lower ids score higher except task 4, which is
+  // pinned to the top.
+  queue.SetScorer([](TaskId id) { return id == 4 ? 100.0 : 10.0 - id; });
+  queue.Push(7, PlacementClass::kCpuOnly);
+  queue.Push(3, PlacementClass::kCpuOnly);
+  queue.Push(4, PlacementClass::kCpuOnly);
+  EXPECT_EQ(queue.Head(PlacementClass::kCpuOnly), 4);
+  EXPECT_EQ(queue.HeadScore(PlacementClass::kCpuOnly), 100.0);
+  queue.PopHead(PlacementClass::kCpuOnly);
+  EXPECT_EQ(queue.Head(PlacementClass::kCpuOnly), 3);
+  queue.PopHead(PlacementClass::kCpuOnly);
+  EXPECT_EQ(queue.Head(PlacementClass::kCpuOnly), 7);
+}
+
+TEST(ReadyQueueTest, EqualScoresBreakTiesByLowestTaskId) {
+  ReadyQueue queue;
+  queue.SetScorer([](TaskId) { return 1.5; });
+  queue.Push(9, PlacementClass::kCpuOnly);
+  queue.Push(2, PlacementClass::kCpuOnly);
+  queue.Push(5, PlacementClass::kCpuOnly);
+  EXPECT_EQ(queue.Head(PlacementClass::kCpuOnly), 2);
+  queue.PopHead(PlacementClass::kCpuOnly);
+  EXPECT_EQ(queue.Head(PlacementClass::kCpuOnly), 5);
+  queue.PopHead(PlacementClass::kCpuOnly);
+  EXPECT_EQ(queue.Head(PlacementClass::kCpuOnly), 9);
+}
+
+TEST(CostModelTest, WithoutScorerMatchesGenerationOrder) {
+  Fixture fx(3, 2);
+  CostModelScheduler cost;
+  TaskGenerationOrderScheduler gen;
+  const auto a = cost.Decide(fx.View());
+  const auto b = gen.Decide(fx.View());
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->task, b->task);
+}
+
+TEST(CostModelTest, PicksHighestScoredReadyTask) {
+  Fixture fx(3, 2);
+  // Re-push through a scorer that ranks the last submission first.
+  fx.ready = ReadyQueue();
+  fx.ready.SetScorer([](TaskId id) { return static_cast<double>(id); });
+  for (TaskId id : fx.ids) {
+    fx.ready.Push(id, PlacementClass::kCpuOnly);
+  }
+  CostModelScheduler scheduler;
+  const auto a = scheduler.Decide(fx.View());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->task, fx.ids.back());
+}
+
+TEST(CostModelTest, PlacesByLocalityLikeDataLocalityScheduler) {
+  Fixture fx(1, 3);
+  fx.data_home[0] = 2;
+  CostModelScheduler scheduler;
+  const auto a = scheduler.Decide(fx.View());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->node, 2);
+}
+
+TEST(DataLocalityTest, ByteTiesBreakToLowestNodeAfterPartialRebuild) {
+  // Regression: the node pick once leaned on TallyFor's vector order,
+  // which is only node-ascending for a freshly built entry. After
+  // OnDataHomeChanged rebuilds one consumer's tally while a byte tie
+  // exists, the pick must still be the lowest tied node id — and must
+  // agree with the cache-less (ad-hoc) scan.
+  TaskGraph graph;
+  const DataId a = graph.AddData(1000);
+  const DataId b = graph.AddData(1000);
+  const DataId out = graph.AddData(1);
+  TaskSpec spec;
+  spec.type = "t";
+  spec.params = {{a, Dir::kIn}, {b, Dir::kIn}, {out, Dir::kOut}};
+  auto id = graph.Submit(spec);
+  ASSERT_TRUE(id.ok());
+
+  hw::SlotIndex free_cpu(4, 1);
+  hw::SlotIndex free_gpu(4, 0);
+  std::vector<int> data_home{3, 3, -1};
+  LocalityCache cache(graph, &data_home);
+  SchedulerView view;
+  view.graph = &graph;
+  view.ready = nullptr;  // set below
+  view.cpu_slots = &free_cpu;
+  view.gpu_slots = &free_gpu;
+  view.data_home = &data_home;
+  view.locality = &cache;
+
+  DataLocalityScheduler scheduler;
+  ReadyQueue ready;
+  ready.Push(*id, PlacementClass::kCpuOnly);
+  view.ready = &ready;
+  auto pick = scheduler.Decide(view);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->node, 3);  // both inputs on node 3
+
+  // Move datum `a` to node 1: bytes now tie between nodes 1 and 3. A
+  // stale tally would keep node 3 (2000 bytes); a tie broken by
+  // anything but node id could land on 3 as well.
+  data_home[static_cast<size_t>(a)] = 1;
+  cache.OnDataHomeChanged(a);
+  ReadyQueue ready2;
+  ready2.Push(*id, PlacementClass::kCpuOnly);
+  view.ready = &ready2;
+  pick = scheduler.Decide(view);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->node, 1);  // lowest tied node, not tally order
+
+  // The cache-less scan must agree with the cached one.
+  view.locality = nullptr;
+  ReadyQueue ready3;
+  ready3.Push(*id, PlacementClass::kCpuOnly);
+  view.ready = &ready3;
+  const auto ad_hoc = scheduler.Decide(view);
+  ASSERT_TRUE(ad_hoc.has_value());
+  EXPECT_EQ(ad_hoc->node, pick->node);
+}
+
+TEST(LocalityCacheTest, VerifyTallyDetectsMissedInvalidations) {
+  TaskGraph graph;
+  const DataId in = graph.AddData(64);
+  const DataId out = graph.AddData(64);
+  TaskSpec spec;
+  spec.type = "t";
+  spec.params = {{in, Dir::kIn}, {out, Dir::kOut}};
+  auto id = graph.Submit(spec);
+  ASSERT_TRUE(id.ok());
+
+  std::vector<int> data_home{0, -1};
+  LocalityCache cache(graph, &data_home);
+  EXPECT_TRUE(cache.VerifyTally(*id));
+
+  // Mutating a home without OnDataHomeChanged leaves a stale tally —
+  // exactly what the sampled invariant check in the simulator guards.
+  data_home[static_cast<size_t>(in)] = 2;
+  EXPECT_FALSE(cache.VerifyTally(*id));
+  cache.OnDataHomeChanged(in);
+  EXPECT_TRUE(cache.VerifyTally(*id));
 }
 
 TEST(HybridClassTest, SpillPicksCpuOnlyWhenDevicesBusy) {

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -533,6 +534,113 @@ TEST(WorkflowServiceTest, ServiceMetricsSurfaceThroughObs) {
   // finished.
   EXPECT_EQ(metrics.gauge("service.tenant.default.queued")->value(), 0.0);
   EXPECT_EQ(metrics.gauge("service.tenant.default.in_flight")->value(), 0.0);
+}
+
+TEST(TenantConfigTest, ValidateAcceptsZeroRateAsUnlimited) {
+  TenantConfig config;
+  EXPECT_TRUE(ValidateTenantConfig(config).ok());
+  config.rate_per_s = 0;
+  config.burst = 0;
+  EXPECT_TRUE(ValidateTenantConfig(config).ok());
+  config.rate_per_s = 3.5;
+  config.burst = 10;
+  EXPECT_TRUE(ValidateTenantConfig(config).ok());
+}
+
+TEST(TenantConfigTest, ValidateRejectsNegativeAndNaNRateKnobs) {
+  const double bad_values[] = {-1.0, -1e-9,
+                               std::numeric_limits<double>::quiet_NaN(),
+                               std::numeric_limits<double>::infinity()};
+  for (double v : bad_values) {
+    TenantConfig config;
+    config.rate_per_s = v;
+    EXPECT_FALSE(ValidateTenantConfig(config).ok()) << "rate " << v;
+    config = TenantConfig{};
+    config.burst = v;
+    EXPECT_FALSE(ValidateTenantConfig(config).ok()) << "burst " << v;
+  }
+  TenantConfig config;
+  config.weight = 0;
+  EXPECT_FALSE(ValidateTenantConfig(config).ok());
+  config.weight = -2;
+  EXPECT_FALSE(ValidateTenantConfig(config).ok());
+  config = TenantConfig{};
+  config.max_queued = -1;
+  EXPECT_FALSE(ValidateTenantConfig(config).ok());
+}
+
+TEST(WorkflowServiceTest, MisconfiguredTenantFailsSubmitNotClamped) {
+  // A negative or NaN rate is a configuration error the caller must
+  // see — not something to clamp into an always-empty bucket that
+  // silently rejects every Submit as "rate limited".
+  runtime::ExecutorSpec spec;
+  spec.kind = runtime::ExecutorKind::kSim;
+  auto executor = runtime::MakeExecutor(spec);
+  ASSERT_TRUE(executor.ok());
+  ServiceOptions options;
+  options.tenants["bad-rate"].rate_per_s = -3;
+  options.tenants["bad-burst"].rate_per_s = 1;
+  options.tenants["bad-burst"].burst =
+      std::numeric_limits<double>::quiet_NaN();
+  WorkflowService service(std::move(*executor), options);
+
+  for (const char* tenant : {"bad-rate", "bad-burst"}) {
+    auto built = check::BuildWorkload(check::GenerateSpec(2));
+    ASSERT_TRUE(built.ok());
+    SubmitOptions submit;
+    submit.tenant = tenant;
+    auto handle = service.Submit(std::move(built->graph), submit);
+    ASSERT_FALSE(handle.ok()) << tenant;
+    EXPECT_TRUE(handle.status().IsInvalidArgument())
+        << tenant << ": " << handle.status().ToString();
+    EXPECT_FALSE(handle.status().IsRejectedAdmission()) << tenant;
+  }
+  // A well-configured tenant on the same service is unaffected.
+  auto built = check::BuildWorkload(check::GenerateSpec(2));
+  ASSERT_TRUE(built.ok());
+  auto handle = service.Submit(std::move(built->graph));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_TRUE(service.Wait(*handle).ok());
+  const ServiceReport report = service.Report();
+  for (const TenantReport& t : report.tenants) {
+    if (t.tenant == "default") continue;
+    EXPECT_EQ(t.rejected, 0) << t.tenant;  // config errors != load
+    EXPECT_EQ(t.rate_limited, 0) << t.tenant;
+  }
+}
+
+TEST(WorkflowServiceTest, PerTenantPolicyOverridesExecutorDefault) {
+  // Two tenants share one simulated executor; the cost-model tenant's
+  // runs must be scheduled by the cost-model dispatcher (visible as
+  // its strictly higher modeled per-decision overhead), while the
+  // other tenant stays on the executor's generation-order default.
+  runtime::ExecutorSpec spec;
+  spec.kind = runtime::ExecutorKind::kSim;
+  auto executor = runtime::MakeExecutor(spec);
+  ASSERT_TRUE(executor.ok());
+  ServiceOptions options;
+  options.num_runners = 1;
+  options.tenants["cost"].policy = SchedulingPolicy::kCostModel;
+  WorkflowService service(std::move(*executor), options);
+
+  auto submit_as = [&](const std::string& tenant) {
+    auto built = check::BuildWorkload(check::GenerateSpec(2));
+    EXPECT_TRUE(built.ok());
+    SubmitOptions submit;
+    submit.tenant = tenant;
+    return service.Submit(std::move(built->graph), submit);
+  };
+  auto default_handle = submit_as("default");
+  auto cost_handle = submit_as("cost");
+  ASSERT_TRUE(default_handle.ok());
+  ASSERT_TRUE(cost_handle.ok());
+  auto default_report = service.Wait(*default_handle);
+  auto cost_report = service.Wait(*cost_handle);
+  ASSERT_TRUE(default_report.ok());
+  ASSERT_TRUE(cost_report.ok());
+  EXPECT_GT(default_report->scheduler_overhead, 0);
+  EXPECT_GT(cost_report->scheduler_overhead,
+            default_report->scheduler_overhead);
 }
 
 TEST(WorkflowServiceTest, MakeExecutorBacksService) {

@@ -31,7 +31,9 @@
 //   --clusters=K        K-means algorithm-specific parameter
 //   --iterations=N      iterative algorithms' outer loop
 //   --processor=cpu|gpu --storage=local|shared
-//   --policy=gen-order|locality --hybrid (CPU+GPU spill placement)
+//   --policy=gen-order|locality|cost --hybrid (CPU+GPU spill placement)
+//   --disable-hedging   cost policy: no speculative straggler twins
+//   --disable-escalation cost policy: no CPU->GPU upgrades (hybrid)
 //   --faults=PLAN       fault-injection plan, comma-separated entries:
 //                         crash@T:nN      node N crashes at time T
 //                         gpuloss@T:nN    node N loses one GPU at T
@@ -79,6 +81,7 @@
 #include "runtime/executor_factory.h"
 #include "runtime/fault.h"
 #include "runtime/metrics_export.h"
+#include "runtime/scheduler.h"
 #include "runtime/simulated_executor.h"
 #include "runtime/trace.h"
 #include "service/load.h"
@@ -175,13 +178,16 @@ tb::Result<ExperimentConfig> BuildConfig(const tb::Args& args) {
     return tb::Status::InvalidArgument("--storage expects local|shared");
   }
   const std::string policy = args.GetString("policy", "gen-order");
-  if (policy == "gen-order") {
-    config.run.policy = tb::SchedulingPolicy::kTaskGenerationOrder;
-  } else if (policy == "locality") {
-    config.run.policy = tb::SchedulingPolicy::kDataLocality;
-  } else {
-    return tb::Status::InvalidArgument("--policy expects gen-order|locality");
+  const auto parsed_policy = tb::runtime::ParseSchedulingPolicy(policy);
+  if (!parsed_policy.has_value()) {
+    return tb::Status::InvalidArgument(
+        "--policy expects gen-order|locality|cost, got '" + policy + "'");
   }
+  config.run.policy = *parsed_policy;
+  TB_ASSIGN_OR_RETURN(config.run.sched.disable_hedging,
+                      args.GetBool("disable-hedging", false));
+  TB_ASSIGN_OR_RETURN(config.run.sched.disable_escalation,
+                      args.GetBool("disable-escalation", false));
   if (args.Has("faults")) {
     TB_ASSIGN_OR_RETURN(config.run.faults,
                         tb::runtime::FaultPlan::Parse(
@@ -284,13 +290,15 @@ int CmdRun(const tb::Args& args) {
   if (faults.any()) {
     std::printf(
         "faults: %lld injected (%lld storage)   retries: %lld   "
-        "recomputed tasks: %lld   lost blocks: %lld   dead nodes: %lld\n",
+        "recomputed tasks: %lld   lost blocks: %lld   dead nodes: %lld"
+        "   hedges: %lld\n",
         static_cast<long long>(faults.faults_injected),
         static_cast<long long>(faults.storage_faults),
         static_cast<long long>(faults.retries),
         static_cast<long long>(faults.recomputed_tasks),
         static_cast<long long>(faults.lost_blocks),
-        static_cast<long long>(faults.dead_nodes));
+        static_cast<long long>(faults.dead_nodes),
+        static_cast<long long>(faults.hedges));
   }
   tb::analysis::TextTable stages({"task type", "count", "deser", "serial",
                                   "parallel", "comm", "ser"});
@@ -669,7 +677,8 @@ void PrintUsage() {
       "  --algorithm=matmul|matmul-fma|kmeans   --dataset=NAME\n"
       "  --grid=RxC  --clusters=K  --iterations=N\n"
       "  --processor=cpu|gpu  --storage=local|shared\n"
-      "  --policy=gen-order|locality  --hybrid\n"
+      "  --policy=gen-order|locality|cost  --hybrid\n"
+      "  --disable-hedging  --disable-escalation  (cost policy knobs)\n"
       "real execution (exec):\n"
       "  --executor=threads|procs  --workers=N|Nproc  --n=SIZE  "
       "--block-dim=D\n"
