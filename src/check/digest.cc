@@ -5,8 +5,13 @@
 namespace taskbench::check {
 
 uint64_t Fnv1a(uint64_t hash, const std::string& s) {
-  for (unsigned char c : s) {
-    hash ^= c;
+  return FoldBytes(hash, s.data(), s.size());
+}
+
+uint64_t FoldBytes(uint64_t hash, const void* data, size_t n) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
     hash *= 1099511628211ull;
   }
   return hash;

@@ -1,6 +1,7 @@
 #ifndef TASKBENCH_CHECK_DIGEST_H_
 #define TASKBENCH_CHECK_DIGEST_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -13,6 +14,11 @@ inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
 
 /// Folds `s` into a running FNV-1a hash.
 uint64_t Fnv1a(uint64_t hash, const std::string& s);
+
+/// Folds `n` raw bytes into a running FNV-1a hash — for value digests
+/// over matrix payloads, where wall-clock-free determinism checks
+/// need a bit-exact fingerprint of fetched results.
+uint64_t FoldBytes(uint64_t hash, const void* data, size_t n);
 
 /// Canonical text of the report header: makespan, scheduler overhead
 /// and executed event count, printed with full double precision so

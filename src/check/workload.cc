@@ -11,6 +11,10 @@
 #include "data/grid.h"
 #include "data/kernels.h"
 #include "perf/task_cost.h"
+#include "wf/build.h"
+#include "wf/generator.h"
+#include "wf/import.h"
+#include "wf/instance.h"
 
 namespace taskbench::check {
 
@@ -326,6 +330,50 @@ Result<BuiltWorkload> BuildKMeansFamily(const WorkloadSpec& spec) {
   return w;
 }
 
+/// Both wf families funnel through here: instance -> materialized
+/// graph, comparing every registered datum.
+Result<BuiltWorkload> BuildFromInstance(const wf::Instance& instance) {
+  wf::BuildOptions options;
+  options.materialize = true;
+  TB_ASSIGN_OR_RETURN(wf::BuiltInstance built,
+                      wf::BuildInstance(instance, options));
+  BuiltWorkload w;
+  w.graph = std::move(built.graph);
+  w.compare = std::move(built.data);
+  return w;
+}
+
+Result<BuiltWorkload> BuildWfBenchFamily(const WorkloadSpec& spec) {
+  wf::GenOptions options;
+  options.seed = spec.seed;
+  options.levels = spec.wf_levels;
+  options.width = spec.wf_width;
+  options.max_parents = spec.wf_max_parents;
+  options.heavy_tail_alpha = spec.wf_heavy_tail_alpha;
+  options.straggler_fraction = spec.wf_straggler_fraction;
+  options.types = wf::DefaultTaskTypes(spec.wf_gpu_types);
+  const wf::Instance generated = wf::GenerateWfBench(options);
+  // Round-trip through WfFormat JSON on every build: a generated
+  // instance that fails to re-import (or re-imports differently) is a
+  // bug this family exists to catch.
+  TB_ASSIGN_OR_RETURN(const wf::Instance imported,
+                      wf::ImportWfFormat(wf::ExportWfFormat(generated)));
+  std::string why;
+  if (!wf::StructurallyEqual(generated, imported, &why)) {
+    return Status::Internal("wfbench round-trip mismatch: " + why);
+  }
+  return BuildFromInstance(imported);
+}
+
+Result<BuiltWorkload> BuildWfImportFamily(const WorkloadSpec& spec) {
+  if (spec.wf_json.empty()) {
+    return Status::InvalidArgument("kWfImport spec has empty wf_json");
+  }
+  TB_ASSIGN_OR_RETURN(const wf::Instance instance,
+                      wf::ImportWfFormat(spec.wf_json));
+  return BuildFromInstance(instance);
+}
+
 }  // namespace
 
 std::string ToString(Family family) {
@@ -337,6 +385,8 @@ std::string ToString(Family family) {
     case Family::kMatmul: return "matmul";
     case Family::kMatmulFma: return "matmul-fma";
     case Family::kKMeans: return "kmeans";
+    case Family::kWfBench: return "wfbench";
+    case Family::kWfImport: return "wf-import";
   }
   return "unknown";
 }
@@ -367,6 +417,16 @@ std::string WorkloadSpec::Describe() const {
           static_cast<long long>(samples), static_cast<long long>(features),
           clusters, iterations, kmeans_block_rows, gpu_every,
           static_cast<unsigned long long>(seed));
+    case Family::kWfBench:
+      return StrFormat(
+          "wfbench levels=%d width=%d parents=%d alpha=%g straggle=%g "
+          "gpu_types=%d seed=%llu",
+          wf_levels, wf_width, wf_max_parents, wf_heavy_tail_alpha,
+          wf_straggler_fraction, wf_gpu_types,
+          static_cast<unsigned long long>(seed));
+    case Family::kWfImport:
+      return StrFormat("wf-import json_bytes=%zu seed=%llu", wf_json.size(),
+                       static_cast<unsigned long long>(seed));
   }
   return "unknown";
 }
@@ -414,8 +474,30 @@ Result<BuiltWorkload> BuildWorkload(const WorkloadSpec& spec) {
     case Family::kMatmul: return BuildMatmulFamily(spec, rng, false);
     case Family::kMatmulFma: return BuildMatmulFamily(spec, rng, true);
     case Family::kKMeans: return BuildKMeansFamily(spec);
+    case Family::kWfBench: return BuildWfBenchFamily(spec);
+    case Family::kWfImport: return BuildWfImportFamily(spec);
   }
   return Status::InvalidArgument("unknown workload family");
+}
+
+WorkloadSpec GenerateWfSpec(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0xd6e8feb86659fd93ull);
+  WorkloadSpec spec;
+  spec.family = Family::kWfBench;
+  spec.seed = seed;
+  spec.wf_levels = 3 + static_cast<int>(rng.NextBounded(4));
+  spec.wf_width = 2 + static_cast<int>(rng.NextBounded(4));
+  spec.wf_max_parents = 1 + static_cast<int>(rng.NextBounded(3));
+  // A third of the corpus is heavy-tailed, a quarter has stragglers,
+  // and gpu mixes cover none/one/two GPU task types.
+  if (rng.NextBounded(3) == 0) {
+    spec.wf_heavy_tail_alpha = 1.1 + rng.NextDouble() * 1.5;
+  }
+  if (rng.NextBounded(4) == 0) {
+    spec.wf_straggler_fraction = 0.1 + rng.NextDouble() * 0.2;
+  }
+  spec.wf_gpu_types = static_cast<int>(rng.NextBounded(3));
+  return spec;
 }
 
 }  // namespace taskbench::check

@@ -25,6 +25,12 @@ enum class Family {
   kMatmul,       ///< algos::BuildMatmul with a randomized grid
   kMatmulFma,    ///< the FMA matmul variant (Figure 12 generalizability)
   kKMeans,       ///< algos::BuildKMeans with randomized blocks/k/iters
+  // Appended after the original seven: GenerateSpec still draws from
+  // the first seven only (changing its modulus would remap every
+  // existing fuzz seed); the wf families come from GenerateWfSpec and
+  // explicit specs.
+  kWfBench,   ///< wf::GenerateWfBench -> export -> import -> build
+  kWfImport,  ///< wf::ImportWfFormat of `wf_json` -> build
 };
 
 std::string ToString(Family family);
@@ -57,6 +63,19 @@ struct WorkloadSpec {
   int64_t samples = 48, features = 3;
   int clusters = 3, iterations = 2, kmeans_block_rows = 16;
 
+  // Workflow families. kWfBench generates with these knobs (see
+  // wf::GenOptions), round-trips the instance through WfFormat JSON,
+  // and builds the re-imported copy — every wf fuzz seed exercises
+  // generator, exporter, importer and builder. kWfImport builds the
+  // WfFormat document in `wf_json` directly (golden fixtures).
+  int wf_levels = 4;
+  int wf_width = 4;
+  int wf_max_parents = 3;
+  double wf_heavy_tail_alpha = 0;
+  double wf_straggler_fraction = 0;
+  int wf_gpu_types = 0;
+  std::string wf_json;
+
   /// One-line human description ("chain len=12 dim=24 seed=7").
   std::string Describe() const;
 };
@@ -66,6 +85,11 @@ struct WorkloadSpec {
 /// across runs and platforms. Sizes are kept small enough that one
 /// seed's full differential matrix runs in well under a second.
 WorkloadSpec GenerateSpec(uint64_t seed);
+
+/// Draws a random kWfBench spec for `seed` — the wf fuzz corpus
+/// (taskbench_fuzz --wf-seeds). A separate generator keeps the
+/// original GenerateSpec corpus stable seed-for-seed.
+WorkloadSpec GenerateWfSpec(uint64_t seed);
 
 /// An independently-computed expected value for one datum (closed-form
 /// oracle; only families with one have any).

@@ -1,0 +1,60 @@
+#ifndef TASKBENCH_WF_BUILD_H_
+#define TASKBENCH_WF_BUILD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/task_graph.h"
+#include "wf/instance.h"
+
+namespace taskbench::wf {
+
+/// Knobs of the Instance -> TaskGraph mapping.
+struct BuildOptions {
+  /// true: register materialized matrices + deterministic kernels so
+  /// the graph runs on the real executors (thread pool, multi-proc)
+  /// — file sizes are miniaturized to max_dim x max_dim blocks (the
+  /// registered bytes and modeled costs shrink with them, keeping
+  /// the shm arena auto-sizing and the sim conservation checks
+  /// consistent). false: simulation-only graph carrying the true
+  /// WfFormat byte sizes, for scheduler/storage studies at real
+  /// scale.
+  bool materialize = true;
+  /// Edge length cap of materialized blocks (dim = sqrt(bytes/8),
+  /// clamped to [1, max_dim]).
+  int64_t max_dim = 16;
+  /// Runtime -> modeled-work conversion: a task of R seconds gets
+  /// R * flops_per_s parallel flops, so on a reference 1-core node
+  /// the simulated compute time reproduces the recorded runtime.
+  double flops_per_s = 16e9;
+};
+
+/// A built instance, ready for any runtime::Executor.
+struct BuiltInstance {
+  runtime::TaskGraph graph;
+  /// Every registered datum, in registration order — the differential
+  /// comparison set (workflow inputs, intermediates, outputs, control
+  /// data).
+  std::vector<runtime::DataId> data;
+  /// Data id of each instance file, aligned with Instance::files.
+  std::vector<runtime::DataId> file_ids;
+  InstanceStats stats;
+};
+
+/// Maps a validated instance onto the runtime: one datum per file
+/// (plus tiny control data for explicit parent edges no file
+/// carries), one task per WfTask submitted in topological order so
+/// the graph's access-history dependency derivation reproduces the
+/// WfFormat edge set exactly. Tasks whose type contains "gpu" target
+/// Processor::kGpu. Materialized kernels fold every input element
+/// into a hash that deterministically fills the outputs, so any
+/// missed or reordered dependency changes result bits — the property
+/// the differential legs check. Fails with InvalidArgument when the
+/// instance is invalid; never leaves a partial graph.
+Result<BuiltInstance> BuildInstance(const Instance& instance,
+                                    const BuildOptions& options);
+
+}  // namespace taskbench::wf
+
+#endif  // TASKBENCH_WF_BUILD_H_

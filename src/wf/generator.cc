@@ -1,0 +1,148 @@
+#include "wf/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace taskbench::wf {
+
+namespace {
+
+/// Pareto(alpha) multiplier >= 1, capped so one draw cannot dwarf the
+/// whole workflow: inverse-transform sampling on (1-u)^(-1/alpha).
+double HeavyTailMultiplier(Rng& rng, double alpha) {
+  const double u = rng.NextDouble();
+  const double draw = std::pow(1.0 - u, -1.0 / alpha);
+  return std::min(draw, 50.0);
+}
+
+const WfTaskType& DrawType(Rng& rng, const std::vector<WfTaskType>& types) {
+  double total = 0;
+  for (const WfTaskType& type : types) total += type.weight;
+  double draw = rng.NextDouble() * total;
+  for (const WfTaskType& type : types) {
+    draw -= type.weight;
+    if (draw < 0) return type;
+  }
+  return types.back();
+}
+
+uint64_t ScaledBytes(Rng& rng, uint64_t mean) {
+  const double scaled = static_cast<double>(mean) * (0.5 + rng.NextDouble());
+  return std::max<uint64_t>(1, static_cast<uint64_t>(scaled));
+}
+
+}  // namespace
+
+std::vector<WfTaskType> DefaultTaskTypes(int gpu_types) {
+  std::vector<WfTaskType> types = {
+      {"project", 3.0, 2.0, 128 * 1024},
+      {"diff", 3.0, 0.6, 16 * 1024},
+      {"background", 2.0, 1.2, 96 * 1024},
+      {"concat", 1.0, 0.8, 32 * 1024},
+      {"reduce", 1.0, 3.0, 64 * 1024},
+  };
+  if (gpu_types >= 1) types.push_back({"train_gpu", 2.0, 4.0, 256 * 1024});
+  if (gpu_types >= 2) types.push_back({"infer_gpu", 2.0, 1.5, 64 * 1024});
+  return types;
+}
+
+Instance GenerateWfBench(const GenOptions& options) {
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ull + 0x94d049bb133111ebull);
+  const std::vector<WfTaskType> types =
+      options.types.empty() ? DefaultTaskTypes(0) : options.types;
+  const int levels = std::max(1, options.levels);
+  const int width = std::max(1, options.width);
+  const int max_parents = std::max(1, options.max_parents);
+
+  Instance instance;
+  instance.name = options.name;
+
+  // Tasks per level, indexed for parent selection.
+  std::vector<std::vector<size_t>> by_level;
+  int task_counter = 0;
+  int file_counter = 0;
+
+  for (int level = 0; level < levels; ++level) {
+    // +-1 jitter keeps layers from being perfectly rectangular while
+    // guaranteeing at least one task per level (height == levels).
+    const int level_width =
+        level == 0 ? width
+                   : std::max(1, width - 1 + static_cast<int>(
+                                                 rng.NextBounded(3)));
+    std::vector<size_t> here;
+    for (int j = 0; j < level_width; ++j) {
+      const WfTaskType& type = DrawType(rng, types);
+      WfTask task;
+      task.name = StrFormat("%s_%05d", type.name.c_str(), ++task_counter);
+      task.type = type.name;
+
+      double runtime = type.mean_runtime_s;
+      if (options.heavy_tail_alpha > 0) {
+        runtime *= HeavyTailMultiplier(rng, options.heavy_tail_alpha);
+      } else {
+        runtime *= 0.75 + 0.5 * rng.NextDouble();
+      }
+      if (options.straggler_fraction > 0 &&
+          rng.NextDouble() < options.straggler_fraction) {
+        runtime *= options.straggler_factor;
+      }
+      task.runtime_s = runtime;
+
+      if (level == 0) {
+        // Workflow inputs: fresh external files.
+        const int num_inputs = 1 + static_cast<int>(rng.NextBounded(2));
+        for (int f = 0; f < num_inputs; ++f) {
+          const std::string file_name =
+              StrFormat("input_%05d.dat", ++file_counter);
+          instance.files.push_back(
+              {file_name, ScaledBytes(rng, options.input_bytes)});
+          task.inputs.push_back(file_name);
+        }
+      } else {
+        // 1..max_parents distinct parents from the previous level;
+        // the dependency is carried by the parent's first output
+        // file, and the parent is also listed explicitly (both edge
+        // encodings WfFormat uses must keep working).
+        const std::vector<size_t>& prev = by_level.back();
+        const int num_parents =
+            1 + static_cast<int>(
+                    rng.NextBounded(static_cast<uint64_t>(max_parents)));
+        std::set<size_t> picked;
+        for (int p = 0; p < num_parents; ++p) {
+          picked.insert(prev[rng.NextBounded(prev.size())]);
+        }
+        // Occasional skip edge from a non-adjacent earlier level.
+        if (max_parents > 1 && level > 1 && rng.NextDouble() < 0.2) {
+          const std::vector<size_t>& earlier =
+              by_level[rng.NextBounded(static_cast<uint64_t>(level - 1))];
+          picked.insert(earlier[rng.NextBounded(earlier.size())]);
+        }
+        for (const size_t parent : picked) {
+          task.inputs.push_back(instance.tasks[parent].outputs.front());
+          task.parents.push_back(instance.tasks[parent].name);
+        }
+      }
+
+      const int num_outputs = 1 + (rng.NextDouble() < 0.25 ? 1 : 0);
+      for (int f = 0; f < num_outputs; ++f) {
+        const std::string file_name =
+            StrFormat("%s_out%d.dat", task.name.c_str(), f);
+        instance.files.push_back(
+            {file_name, ScaledBytes(rng, type.mean_output_bytes)});
+        task.outputs.push_back(file_name);
+      }
+
+      here.push_back(instance.tasks.size());
+      instance.tasks.push_back(std::move(task));
+    }
+    by_level.push_back(std::move(here));
+  }
+  return instance;
+}
+
+}  // namespace taskbench::wf

@@ -1,0 +1,73 @@
+#ifndef TASKBENCH_WF_GENERATOR_H_
+#define TASKBENCH_WF_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wf/instance.h"
+
+namespace taskbench::wf {
+
+/// One task type of a synthetic workflow: WfBench characterizes real
+/// workflows by their per-type runtime and data-footprint
+/// distributions; the generator draws tasks from these.
+struct WfTaskType {
+  std::string name = "work";
+  double weight = 1.0;            ///< relative draw probability
+  double mean_runtime_s = 1.0;
+  uint64_t mean_output_bytes = 64 * 1024;
+};
+
+/// Knobs of the WfBench-style synthetic generator. Everything is
+/// derived from `seed` through one deterministic stream: the same
+/// options always generate the structurally identical instance (the
+/// property the differential runner and the round-trip tests rely
+/// on).
+struct GenOptions {
+  uint64_t seed = 1;
+  std::string name = "wfbench";
+
+  /// DAG shape: `levels` layers of ~`width` tasks; each non-root task
+  /// reads the outputs of 1..max_parents distinct tasks of the
+  /// previous level (plus occasional skip edges from earlier levels
+  /// when max_parents > 1) — the level-structured topology WfBench
+  /// synthesizes from real instances.
+  int levels = 4;
+  int width = 4;
+  int max_parents = 3;
+
+  /// Heavy-tailed runtimes: > 0 draws a Pareto(alpha) multiplier
+  /// (capped at 50x) onto each task's type mean — small alpha = fat
+  /// tail. 0 keeps runtimes within +-25% of the type mean.
+  double heavy_tail_alpha = 0;
+
+  /// Straggler injection: this fraction of tasks (drawn per task)
+  /// runs `straggler_factor` times longer than the distribution says
+  /// — the "one task holds the level" pathology the cost-model
+  /// scheduler hedges against.
+  double straggler_fraction = 0;
+  double straggler_factor = 8;
+
+  /// Mean size of the workflow-input files read by level-0 tasks.
+  uint64_t input_bytes = 64 * 1024;
+
+  /// Task-type library; empty selects DefaultTaskTypes(0).
+  std::vector<WfTaskType> types;
+};
+
+/// A small built-in type library echoing the Montage-class mix:
+/// project/diff/background/concat/reduce CPU stages. `gpu_types`
+/// (0..2) appends that many GPU-targeted types ("train_gpu",
+/// "infer_gpu") — a type whose name contains "gpu" is placed on the
+/// GPU by BuildInstance.
+std::vector<WfTaskType> DefaultTaskTypes(int gpu_types);
+
+/// Generates a synthetic WfFormat-shaped instance. The output always
+/// passes Validate and round-trips through ExportWfFormat ->
+/// ImportWfFormat structurally unchanged.
+Instance GenerateWfBench(const GenOptions& options);
+
+}  // namespace taskbench::wf
+
+#endif  // TASKBENCH_WF_GENERATOR_H_

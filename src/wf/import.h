@@ -1,0 +1,37 @@
+#ifndef TASKBENCH_WF_IMPORT_H_
+#define TASKBENCH_WF_IMPORT_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "wf/instance.h"
+
+namespace taskbench::wf {
+
+/// Strict WfFormat JSON importer. Accepts the two shapes WfCommons
+/// has published:
+///
+///   1.4+  `workflow.specification.tasks` (name, parents, inputFiles,
+///         outputFiles) + `workflow.specification.files` (id,
+///         sizeInBytes) + optional `workflow.execution.tasks` (id,
+///         runtimeInSeconds; tasks without an execution entry default
+///         to 1 s),
+///   <=1.3 flat `workflow.tasks`, each task carrying `category`,
+///         `runtime`/`runtimeInSeconds`, `parents` and inline
+///         `files` ({name|id, link: input|output, size|sizeInBytes}).
+///
+/// Task types come from `category` when present, else from the name
+/// convention ("mProject_00001" -> "mProject"). Types containing
+/// "gpu" run on the GPU when built (see wf/build.h).
+///
+/// Strictness: malformed JSON (including truncation), wrong-typed
+/// fields, negative/non-finite/non-integral sizes and runtimes,
+/// duplicate task or file names, references to undeclared files or
+/// parents, a file with two producers, and dependency cycles all
+/// fail with InvalidArgument and a contextual message. On failure
+/// nothing partial escapes — the Result carries no instance.
+Result<Instance> ImportWfFormat(std::string_view json_text);
+
+}  // namespace taskbench::wf
+
+#endif  // TASKBENCH_WF_IMPORT_H_

@@ -1,0 +1,371 @@
+#include "wf/instance.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace taskbench::wf {
+
+namespace {
+
+/// Name -> index maps plus the derived edge set, built once per
+/// validation pass and shared by the stats/equality helpers.
+struct Indexed {
+  std::map<std::string, size_t> file_index;
+  std::map<std::string, size_t> task_index;
+  std::vector<int> producer;  ///< per file: producing task, -1 = input
+  /// Unique (parent, child) task-index pairs, sorted.
+  std::vector<std::pair<size_t, size_t>> edges;
+};
+
+/// The single validation pass: fills `out` and returns the first
+/// violation (InvalidArgument, contextual message).
+Status Index(const Instance& instance, Indexed* out) {
+  if (instance.tasks.empty()) {
+    return Status::InvalidArgument("instance has no tasks");
+  }
+  for (size_t i = 0; i < instance.files.size(); ++i) {
+    const WfFile& file = instance.files[i];
+    if (file.name.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("file %zu has an empty name", i));
+    }
+    if (!out->file_index.emplace(file.name, i).second) {
+      return Status::InvalidArgument("duplicate file '" + file.name + "'");
+    }
+  }
+  out->producer.assign(instance.files.size(), -1);
+  for (size_t t = 0; t < instance.tasks.size(); ++t) {
+    const WfTask& task = instance.tasks[t];
+    if (task.name.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("task %zu has an empty name", t));
+    }
+    if (!out->task_index.emplace(task.name, t).second) {
+      return Status::InvalidArgument("duplicate task '" + task.name + "'");
+    }
+    if (!std::isfinite(task.runtime_s) || task.runtime_s < 0) {
+      return Status::InvalidArgument(StrFormat(
+          "task '%s': runtime must be a finite non-negative number "
+          "(got %g)",
+          task.name.c_str(), task.runtime_s));
+    }
+  }
+  for (size_t t = 0; t < instance.tasks.size(); ++t) {
+    const WfTask& task = instance.tasks[t];
+    std::set<std::string> reads;
+    for (const std::string& f : task.inputs) {
+      if (out->file_index.find(f) == out->file_index.end()) {
+        return Status::InvalidArgument(
+            "task '" + task.name + "': unknown file '" + f + "'");
+      }
+      reads.insert(f);
+    }
+    for (const std::string& f : task.outputs) {
+      const auto it = out->file_index.find(f);
+      if (it == out->file_index.end()) {
+        return Status::InvalidArgument(
+            "task '" + task.name + "': unknown file '" + f + "'");
+      }
+      if (reads.count(f) > 0) {
+        return Status::InvalidArgument(
+            "task '" + task.name + "': file '" + f +
+            "' is both input and output");
+      }
+      int& producer = out->producer[it->second];
+      if (producer >= 0) {
+        return Status::InvalidArgument(
+            "file '" + f + "' written by both '" +
+            instance.tasks[static_cast<size_t>(producer)].name + "' and '" +
+            task.name + "'");
+      }
+      producer = static_cast<int>(t);
+    }
+  }
+  // Edges: file dataflow union explicit parents.
+  std::set<std::pair<size_t, size_t>> edges;
+  for (size_t t = 0; t < instance.tasks.size(); ++t) {
+    const WfTask& task = instance.tasks[t];
+    for (const std::string& f : task.inputs) {
+      const int producer = out->producer[out->file_index.at(f)];
+      if (producer >= 0) edges.emplace(static_cast<size_t>(producer), t);
+    }
+    for (const std::string& p : task.parents) {
+      const auto it = out->task_index.find(p);
+      if (it == out->task_index.end()) {
+        return Status::InvalidArgument(
+            "task '" + task.name + "': unknown parent '" + p + "'");
+      }
+      if (it->second == t) {
+        return Status::InvalidArgument(
+            "task '" + task.name + "' lists itself as parent");
+      }
+      edges.emplace(it->second, t);
+    }
+  }
+  out->edges.assign(edges.begin(), edges.end());
+
+  // Cycle check: Kahn's algorithm over the derived edges.
+  std::vector<int> in_degree(instance.tasks.size(), 0);
+  std::vector<std::vector<size_t>> children(instance.tasks.size());
+  for (const auto& [parent, child] : out->edges) {
+    ++in_degree[child];
+    children[parent].push_back(child);
+  }
+  std::vector<size_t> frontier;
+  for (size_t t = 0; t < instance.tasks.size(); ++t) {
+    if (in_degree[t] == 0) frontier.push_back(t);
+  }
+  size_t processed = 0;
+  while (!frontier.empty()) {
+    const size_t t = frontier.back();
+    frontier.pop_back();
+    ++processed;
+    for (const size_t child : children[t]) {
+      if (--in_degree[child] == 0) frontier.push_back(child);
+    }
+  }
+  if (processed != instance.tasks.size()) {
+    for (size_t t = 0; t < instance.tasks.size(); ++t) {
+      if (in_degree[t] > 0) {
+        return Status::InvalidArgument(
+            "dependency cycle involving task '" + instance.tasks[t].name +
+            "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Per-task DAG level (longest path from any root), tasks assumed
+/// acyclic (Index succeeded).
+std::vector<int64_t> Levels(const Instance& instance, const Indexed& index) {
+  std::vector<int64_t> level(instance.tasks.size(), 0);
+  std::vector<int> in_degree(instance.tasks.size(), 0);
+  std::vector<std::vector<size_t>> children(instance.tasks.size());
+  for (const auto& [parent, child] : index.edges) {
+    ++in_degree[child];
+    children[parent].push_back(child);
+  }
+  std::vector<size_t> frontier;
+  for (size_t t = 0; t < instance.tasks.size(); ++t) {
+    if (in_degree[t] == 0) frontier.push_back(t);
+  }
+  while (!frontier.empty()) {
+    const size_t t = frontier.back();
+    frontier.pop_back();
+    for (const size_t child : children[t]) {
+      level[child] = std::max(level[child], level[t] + 1);
+      if (--in_degree[child] == 0) frontier.push_back(child);
+    }
+  }
+  return level;
+}
+
+}  // namespace
+
+std::string TypeFromName(std::string_view task_name) {
+  const size_t underscore = task_name.rfind('_');
+  if (underscore == std::string_view::npos || underscore == 0) {
+    return std::string(task_name);
+  }
+  std::string_view suffix = task_name.substr(underscore + 1);
+  if (suffix.size() >= 2 && (suffix[0] == 'I' || suffix[0] == 'i') &&
+      (suffix[1] == 'D' || suffix[1] == 'd')) {
+    suffix = suffix.substr(2);
+  }
+  if (suffix.empty()) return std::string(task_name);
+  for (const char c : suffix) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return std::string(task_name);
+    }
+  }
+  return std::string(task_name.substr(0, underscore));
+}
+
+Status Validate(const Instance& instance) {
+  Indexed index;
+  return Index(instance, &index);
+}
+
+Result<InstanceStats> ComputeStats(const Instance& instance) {
+  Indexed index;
+  TB_RETURN_IF_ERROR(Index(instance, &index));
+  InstanceStats stats;
+  stats.tasks = static_cast<int64_t>(instance.tasks.size());
+  stats.files = static_cast<int64_t>(instance.files.size());
+  stats.edges = static_cast<int64_t>(index.edges.size());
+  for (const WfFile& file : instance.files) stats.total_bytes += file.bytes;
+  const std::vector<int64_t> levels = Levels(instance, index);
+  std::map<int64_t, int64_t> per_level;
+  for (const int64_t l : levels) {
+    stats.height = std::max(stats.height, l + 1);
+    stats.width = std::max(stats.width, ++per_level[l]);
+  }
+  return stats;
+}
+
+std::string ExportWfFormat(const Instance& instance) {
+  Indexed index;
+  // Exporting an invalid instance would hide the problem until the
+  // re-import; fall back to empty edge derivation (the document still
+  // serializes, and the importer rejects it with the real error).
+  (void)Index(instance, &index);
+  std::vector<std::vector<size_t>> parents(instance.tasks.size());
+  std::vector<std::vector<size_t>> children(instance.tasks.size());
+  for (const auto& [parent, child] : index.edges) {
+    parents[child].push_back(parent);
+    children[parent].push_back(child);
+  }
+
+  std::string out = "{\n";
+  out += "  \"name\": \"" + JsonEscape(instance.name) + "\",\n";
+  out += "  \"schemaVersion\": \"" + JsonEscape(instance.schema) + "\",\n";
+  out += "  \"workflow\": {\n";
+  out += "    \"specification\": {\n";
+  out += "      \"tasks\": [\n";
+  auto name_list = [&](const std::vector<size_t>& ids) {
+    std::string text = "[";
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (i > 0) text += ", ";
+      text += '"';
+      text += JsonEscape(instance.tasks[ids[i]].name);
+      text += '"';
+    }
+    return text + "]";
+  };
+  auto file_list = [](const std::vector<std::string>& names) {
+    std::string text = "[";
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) text += ", ";
+      text += '"';
+      text += JsonEscape(names[i]);
+      text += '"';
+    }
+    return text + "]";
+  };
+  for (size_t t = 0; t < instance.tasks.size(); ++t) {
+    const WfTask& task = instance.tasks[t];
+    out += "        {\n";
+    out += "          \"name\": \"" + JsonEscape(task.name) + "\",\n";
+    // `category` preserves types the name convention cannot recover
+    // (flat-schema imports); the importer prefers it over the name.
+    out += "          \"category\": \"" + JsonEscape(task.type) + "\",\n";
+    out += "          \"parents\": " + name_list(parents[t]) + ",\n";
+    out += "          \"children\": " + name_list(children[t]) + ",\n";
+    out += "          \"inputFiles\": " + file_list(task.inputs) + ",\n";
+    out += "          \"outputFiles\": " + file_list(task.outputs) + "\n";
+    out += StrFormat("        }%s\n",
+                     t + 1 < instance.tasks.size() ? "," : "");
+  }
+  out += "      ],\n";
+  out += "      \"files\": [\n";
+  for (size_t f = 0; f < instance.files.size(); ++f) {
+    const WfFile& file = instance.files[f];
+    out += StrFormat("        {\"id\": \"%s\", \"sizeInBytes\": %llu}%s\n",
+                     JsonEscape(file.name).c_str(),
+                     static_cast<unsigned long long>(file.bytes),
+                     f + 1 < instance.files.size() ? "," : "");
+  }
+  out += "      ]\n";
+  out += "    },\n";
+  out += "    \"execution\": {\n";
+  out += "      \"tasks\": [\n";
+  for (size_t t = 0; t < instance.tasks.size(); ++t) {
+    const WfTask& task = instance.tasks[t];
+    out += StrFormat(
+        "        {\"id\": \"%s\", \"runtimeInSeconds\": %.17g}%s\n",
+        JsonEscape(task.name).c_str(), task.runtime_s,
+        t + 1 < instance.tasks.size() ? "," : "");
+  }
+  out += "      ]\n";
+  out += "    }\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool StructurallyEqual(const Instance& a, const Instance& b,
+                       std::string* why) {
+  auto fail = [why](std::string reason) {
+    if (why != nullptr) *why = std::move(reason);
+    return false;
+  };
+  Indexed ia, ib;
+  if (Status s = Index(a, &ia); !s.ok()) {
+    return fail("first instance invalid: " + s.ToString());
+  }
+  if (Status s = Index(b, &ib); !s.ok()) {
+    return fail("second instance invalid: " + s.ToString());
+  }
+  if (a.name != b.name) {
+    return fail("name '" + a.name + "' != '" + b.name + "'");
+  }
+  if (a.files.size() != b.files.size()) {
+    return fail(StrFormat("file count %zu != %zu", a.files.size(),
+                          b.files.size()));
+  }
+  for (const WfFile& file : a.files) {
+    const auto it = ib.file_index.find(file.name);
+    if (it == ib.file_index.end()) {
+      return fail("file '" + file.name + "' missing from second instance");
+    }
+    if (b.files[it->second].bytes != file.bytes) {
+      return fail(StrFormat("file '%s': %llu bytes != %llu",
+                            file.name.c_str(),
+                            static_cast<unsigned long long>(file.bytes),
+                            static_cast<unsigned long long>(
+                                b.files[it->second].bytes)));
+    }
+  }
+  if (a.tasks.size() != b.tasks.size()) {
+    return fail(StrFormat("task count %zu != %zu", a.tasks.size(),
+                          b.tasks.size()));
+  }
+  for (const WfTask& task : a.tasks) {
+    const auto it = ib.task_index.find(task.name);
+    if (it == ib.task_index.end()) {
+      return fail("task '" + task.name + "' missing from second instance");
+    }
+    const WfTask& other = b.tasks[it->second];
+    if (task.type != other.type) {
+      return fail("task '" + task.name + "': type '" + task.type +
+                  "' != '" + other.type + "'");
+    }
+    if (task.runtime_s != other.runtime_s) {
+      return fail(StrFormat("task '%s': runtime %.17g != %.17g",
+                            task.name.c_str(), task.runtime_s,
+                            other.runtime_s));
+    }
+    auto sorted = [](std::vector<std::string> v) {
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    if (sorted(task.inputs) != sorted(other.inputs)) {
+      return fail("task '" + task.name + "': input file sets differ");
+    }
+    if (sorted(task.outputs) != sorted(other.outputs)) {
+      return fail("task '" + task.name + "': output file sets differ");
+    }
+  }
+  // Edge sets compared by name (indices differ when task order does).
+  auto named_edges = [](const Instance& instance, const Indexed& index) {
+    std::set<std::pair<std::string, std::string>> edges;
+    for (const auto& [parent, child] : index.edges) {
+      edges.emplace(instance.tasks[parent].name,
+                    instance.tasks[child].name);
+    }
+    return edges;
+  };
+  if (named_edges(a, ia) != named_edges(b, ib)) {
+    return fail("dependency edge sets differ");
+  }
+  return true;
+}
+
+}  // namespace taskbench::wf

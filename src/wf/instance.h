@@ -1,0 +1,86 @@
+#ifndef TASKBENCH_WF_INSTANCE_H_
+#define TASKBENCH_WF_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace taskbench::wf {
+
+/// One workflow file: a named datum with a byte size, the WfFormat
+/// unit of data movement. Producers and consumers reference files by
+/// name; a file with no producing task is workflow input.
+struct WfFile {
+  std::string name;
+  uint64_t bytes = 0;
+};
+
+/// One workflow task, WfFormat-shaped: dependencies come from the
+/// union of file dataflow (a task reading a file another task writes)
+/// and the explicit `parents` list (control edges some instances
+/// carry without a connecting file).
+struct WfTask {
+  std::string name;       ///< unique instance-wide, e.g. "mProject_00001"
+  std::string type;       ///< task category; types containing "gpu" target GPUs
+  double runtime_s = 1.0; ///< measured/estimated runtime, seconds
+  std::vector<std::string> inputs;   ///< file names read
+  std::vector<std::string> outputs;  ///< file names written
+  std::vector<std::string> parents;  ///< explicit parent task names
+};
+
+/// A workflow instance — the in-memory equivalent of one WfFormat
+/// JSON document, produced by ImportWfFormat or GenerateWfBench and
+/// consumed by BuildInstance.
+struct Instance {
+  std::string name = "workflow";
+  std::string schema = "1.4";
+  std::vector<WfFile> files;
+  std::vector<WfTask> tasks;
+};
+
+/// Structural summary of a validated instance.
+struct InstanceStats {
+  int64_t tasks = 0;
+  int64_t files = 0;
+  int64_t edges = 0;        ///< unique (parent, child) dependency pairs
+  uint64_t total_bytes = 0; ///< sum of all file sizes
+  int64_t height = 0;       ///< number of DAG levels (longest path)
+  int64_t width = 0;        ///< max tasks in one level
+};
+
+/// Task category derived from a WfFormat task name: strips one
+/// trailing "_<digits>" or "_ID<digits>" group, the convention
+/// WfCommons instances use ("mProject_00001" -> "mProject").
+std::string TypeFromName(std::string_view task_name);
+
+/// Strict validation: non-empty unique task and file names, finite
+/// non-negative runtimes, every referenced file/parent declared, one
+/// producer per file, no self-edges, acyclic. InvalidArgument with a
+/// contextual message on the first violation.
+Status Validate(const Instance& instance);
+
+/// Validates and summarizes (edge count, levels, width). The only
+/// way to get stats, so stats always describe a valid instance.
+Result<InstanceStats> ComputeStats(const Instance& instance);
+
+/// Serializes to a WfFormat 1.4-style JSON document (specification
+/// tasks/files + execution runtimes, full-precision runtimes so
+/// export -> import round-trips bit-exactly). Used for fixture
+/// generation from GenerateWfBench outputs.
+std::string ExportWfFormat(const Instance& instance);
+
+/// Structural equality: same task set (name, type, bit-equal
+/// runtime, input/output file sets), same file sizes, and the same
+/// derived dependency-edge set — the round-trip property (generate ->
+/// export -> import must not change the workflow). On mismatch,
+/// `why` (optional) receives a one-line description.
+bool StructurallyEqual(const Instance& a, const Instance& b,
+                       std::string* why = nullptr);
+
+}  // namespace taskbench::wf
+
+#endif  // TASKBENCH_WF_INSTANCE_H_

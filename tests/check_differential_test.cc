@@ -56,6 +56,65 @@ TEST(DifferentialSmokeTest, EveryFamilySurvivesOneSweep) {
   }
 }
 
+TEST(DifferentialSmokeTest, WfBenchSeedsAgreeAcrossTheMatrix) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const WorkloadSpec spec = GenerateWfSpec(seed);
+    ASSERT_EQ(spec.family, Family::kWfBench);
+    const DifferentialResult result =
+        RunDifferential(spec, DifferentialOptions{});
+    EXPECT_TRUE(result.ok()) << "wf seed " << seed << " ("
+                             << spec.Describe() << ") diverged:\n"
+                             << result.Summary();
+    EXPECT_GE(result.real_configs, 7);
+    EXPECT_GE(result.sim_configs, 7);
+  }
+}
+
+TEST(DifferentialSmokeTest, WfImportSpecRunsTheMatrix) {
+  // An inline WfFormat document through the kWfImport family: the
+  // fixture-file variant of this path is wf_import_test; here the
+  // differential matrix itself must accept imported graphs.
+  WorkloadSpec spec;
+  spec.family = Family::kWfImport;
+  spec.wf_json = R"({
+    "name": "inline-diamond",
+    "schemaVersion": "1.4",
+    "workflow": {
+      "specification": {
+        "tasks": [
+          {"name": "src_1", "inputFiles": ["in.dat"],
+           "outputFiles": ["a.dat", "b.dat"]},
+          {"name": "left_gpu_1", "inputFiles": ["a.dat"],
+           "outputFiles": ["l.dat"]},
+          {"name": "right_1", "inputFiles": ["b.dat"],
+           "outputFiles": ["r.dat"]},
+          {"name": "sink_1", "inputFiles": ["l.dat", "r.dat"],
+           "outputFiles": ["out.dat"]}
+        ],
+        "files": [
+          {"id": "in.dat", "sizeInBytes": 4096},
+          {"id": "a.dat", "sizeInBytes": 2048},
+          {"id": "b.dat", "sizeInBytes": 2048},
+          {"id": "l.dat", "sizeInBytes": 1024},
+          {"id": "r.dat", "sizeInBytes": 1024},
+          {"id": "out.dat", "sizeInBytes": 512}
+        ]
+      },
+      "execution": {
+        "tasks": [
+          {"id": "src_1", "runtimeInSeconds": 0.5},
+          {"id": "left_gpu_1", "runtimeInSeconds": 2.0},
+          {"id": "right_1", "runtimeInSeconds": 1.0},
+          {"id": "sink_1", "runtimeInSeconds": 0.25}
+        ]
+      }
+    }
+  })";
+  const DifferentialResult result =
+      RunDifferential(spec, DifferentialOptions{});
+  EXPECT_TRUE(result.ok()) << result.Summary();
+}
+
 // Long sweep, excluded from a plain `ctest` run: skips unless
 // TASKBENCH_STRESS=1 (the labeled CI step sets it; locally use
 // `TASKBENCH_STRESS=1 ctest -L fuzz-smoke`).
@@ -68,6 +127,14 @@ TEST(DifferentialSmokeTest, LongRandomSweep) {
     const DifferentialResult result =
         RunDifferential(spec, DifferentialOptions{});
     EXPECT_TRUE(result.ok()) << "seed " << seed << " ("
+                             << spec.Describe() << ") diverged:\n"
+                             << result.Summary();
+  }
+  for (uint64_t seed = 3; seed < 16; ++seed) {
+    const WorkloadSpec spec = GenerateWfSpec(seed);
+    const DifferentialResult result =
+        RunDifferential(spec, DifferentialOptions{});
+    EXPECT_TRUE(result.ok()) << "wf seed " << seed << " ("
                              << spec.Describe() << ") diverged:\n"
                              << result.Summary();
   }

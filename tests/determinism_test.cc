@@ -8,12 +8,21 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "check/digest.h"
 #include "hw/cluster.h"
 #include "runtime/fault.h"
+#include "runtime/multiproc_executor.h"
 #include "runtime/simulated_executor.h"
 #include "runtime/task_graph.h"
+#include "runtime/thread_pool_executor.h"
+#include "wf/build.h"
+#include "wf/generator.h"
+#include "wf/import.h"
 
 namespace taskbench::runtime {
 namespace {
@@ -207,6 +216,147 @@ TEST(DeterminismTest, FaultPlansReplayIdentically) {
     ASSERT_TRUE(first.ok()) << first.status().ToString();
     ASSERT_TRUE(second.ok()) << second.status().ToString();
     ExpectIdenticalReports(*first, *second);
+  }
+}
+
+// ---- Imported / generated workflow determinism ----------------------
+
+wf::Instance MontageFixture() {
+  const std::string path =
+      std::string(TASKBENCH_TEST_DATA_DIR) + "/wf/montage_trimmed.json";
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto instance = wf::ImportWfFormat(text.str());
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return instance.ok() ? *instance : wf::Instance{};
+}
+
+/// FNV-1a over every datum's final bytes, in registration order — the
+/// wall-clock-free fingerprint real executors are compared on (their
+/// report timings can never be bit-stable across runner counts).
+uint64_t ValueDigest(const Executor& executor, const TaskGraph& graph,
+                     const std::vector<DataId>& data) {
+  uint64_t digest = check::kFnvOffsetBasis;
+  for (const DataId id : data) {
+    auto value = executor.Fetch(graph, id);
+    EXPECT_TRUE(value.ok()) << value.status().ToString();
+    if (!value.ok()) continue;
+    const int64_t dims[2] = {value->rows(), value->cols()};
+    digest = check::FoldBytes(digest, dims, sizeof(dims));
+    digest = check::FoldBytes(digest, value->data(),
+                              static_cast<size_t>(value->size()) * 8);
+  }
+  return digest;
+}
+
+/// The simulated executor must replay an imported real-workflow trace
+/// bit-identically — same guarantee the synthetic DAG above checks,
+/// now over WfFormat-imported costs, types and GPU placements.
+TEST(DeterminismTest, ImportedWorkflowSimReportsAreDeterministic) {
+  const wf::Instance instance = MontageFixture();
+  wf::BuildOptions options;
+  options.materialize = false;  // sim-only: true WfFormat byte sizes
+  for (auto policy : {SchedulingPolicy::kTaskGenerationOrder,
+                      SchedulingPolicy::kDataLocality,
+                      SchedulingPolicy::kCostModel}) {
+    SCOPED_TRACE(ToString(policy));
+    RunOptions run_options;
+    run_options.policy = policy;
+    auto first_build = wf::BuildInstance(instance, options);
+    auto second_build = wf::BuildInstance(instance, options);
+    ASSERT_TRUE(first_build.ok()) << first_build.status().ToString();
+    ASSERT_TRUE(second_build.ok());
+    auto first = SimulatedExecutor(hw::MinotauroCluster(), run_options)
+                     .Execute(first_build->graph);
+    auto second = SimulatedExecutor(hw::MinotauroCluster(), run_options)
+                      .Execute(second_build->graph);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    ExpectIdenticalReports(*first, *second);
+  }
+}
+
+/// The imported fixture's result values must be bit-identical across
+/// runs, thread counts, and executors — thread pool (1/2/4 workers)
+/// and the forked multi-process plane (2/4 workers) all land on one
+/// digest, twice each.
+TEST(DeterminismTest, ImportedWorkflowValuesBitExactAcrossExecutors) {
+  const wf::Instance instance = MontageFixture();
+  std::vector<uint64_t> digests;
+  auto run_pool = [&](int threads) {
+    auto built = wf::BuildInstance(instance, wf::BuildOptions{});
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    RunOptions options;
+    options.num_threads = threads;
+    ThreadPoolExecutor executor(options);
+    auto report = executor.Execute(built->graph);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    digests.push_back(ValueDigest(executor, built->graph, built->data));
+  };
+  auto run_multiproc = [&](int workers) {
+    auto built = wf::BuildInstance(instance, wf::BuildOptions{});
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    RunOptions options;
+    options.num_threads = workers;
+    MultiProcExecutor executor(options);
+    auto report = executor.Execute(built->graph);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    digests.push_back(ValueDigest(executor, built->graph, built->data));
+  };
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    run_pool(1);
+    run_pool(2);
+    run_pool(4);
+    if (MultiProcExecutor::Supported()) {
+      run_multiproc(2);
+      run_multiproc(4);
+    }
+  }
+  ASSERT_GE(digests.size(), 6u);
+  for (size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[i], digests[0]) << "leg " << i;
+  }
+}
+
+/// Same bit-exactness for a generated WfBench instance with GPU task
+/// types, heavy tails and stragglers in play.
+TEST(DeterminismTest, GeneratedWorkflowValuesBitExactAcrossExecutors) {
+  wf::GenOptions gen;
+  gen.seed = 42;
+  gen.levels = 5;
+  gen.width = 4;
+  gen.heavy_tail_alpha = 1.4;
+  gen.straggler_fraction = 0.15;
+  gen.types = wf::DefaultTaskTypes(2);
+  const wf::Instance instance = wf::GenerateWfBench(gen);
+  std::vector<uint64_t> digests;
+  auto run_pool = [&](int threads) {
+    auto built = wf::BuildInstance(instance, wf::BuildOptions{});
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    RunOptions options;
+    options.num_threads = threads;
+    ThreadPoolExecutor executor(options);
+    auto report = executor.Execute(built->graph);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    digests.push_back(ValueDigest(executor, built->graph, built->data));
+  };
+  run_pool(1);
+  run_pool(4);
+  run_pool(4);
+  if (MultiProcExecutor::Supported()) {
+    auto built = wf::BuildInstance(instance, wf::BuildOptions{});
+    ASSERT_TRUE(built.ok());
+    RunOptions options;
+    options.num_threads = 2;
+    MultiProcExecutor executor(options);
+    auto report = executor.Execute(built->graph);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    digests.push_back(ValueDigest(executor, built->graph, built->data));
+  }
+  for (size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[i], digests[0]) << "leg " << i;
   }
 }
 

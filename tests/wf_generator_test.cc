@@ -1,0 +1,200 @@
+// WfBench-style generator properties: seeded determinism, knob
+// behavior (shape, heavy tails, stragglers, GPU task types), WfFormat
+// round-trip fidelity, and that every generated instance validates,
+// builds, and runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "runtime/simulated_executor.h"
+#include "runtime/thread_pool_executor.h"
+#include "hw/cluster.h"
+#include "wf/build.h"
+#include "wf/generator.h"
+#include "wf/import.h"
+#include "wf/instance.h"
+
+namespace taskbench::wf {
+namespace {
+
+TEST(WfGeneratorTest, SameSeedIsStructurallyIdentical) {
+  GenOptions options;
+  options.seed = 7;
+  options.levels = 5;
+  options.width = 4;
+  const Instance a = GenerateWfBench(options);
+  const Instance b = GenerateWfBench(options);
+  std::string why;
+  EXPECT_TRUE(StructurallyEqual(a, b, &why)) << why;
+}
+
+TEST(WfGeneratorTest, DifferentSeedsDiffer) {
+  GenOptions a_options;
+  a_options.seed = 1;
+  GenOptions b_options;
+  b_options.seed = 2;
+  const Instance a = GenerateWfBench(a_options);
+  const Instance b = GenerateWfBench(b_options);
+  EXPECT_FALSE(StructurallyEqual(a, b, nullptr));
+}
+
+TEST(WfGeneratorTest, EveryGeneratedInstanceValidates) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    GenOptions options;
+    options.seed = seed;
+    options.levels = 3 + static_cast<int>(seed % 4);
+    options.width = 2 + static_cast<int>(seed % 3);
+    options.max_parents = 1 + static_cast<int>(seed % 3);
+    if (seed % 3 == 0) options.heavy_tail_alpha = 1.5;
+    if (seed % 4 == 0) options.straggler_fraction = 0.2;
+    const Instance instance = GenerateWfBench(options);
+    auto stats = ComputeStats(instance);
+    ASSERT_TRUE(stats.ok()) << "seed " << seed << ": "
+                            << stats.status().ToString();
+    EXPECT_EQ(stats->height, options.levels) << "seed " << seed;
+    EXPECT_GE(stats->width, 1) << "seed " << seed;
+  }
+}
+
+TEST(WfGeneratorTest, LevelZeroIsExactlyWidthTasks) {
+  GenOptions options;
+  options.seed = 11;
+  options.levels = 4;
+  options.width = 6;
+  const Instance instance = GenerateWfBench(options);
+  auto stats = ComputeStats(instance);
+  ASSERT_TRUE(stats.ok());
+  // Level 0 is exact; later levels jitter by +-1 around width.
+  EXPECT_GE(stats->width, 6);
+}
+
+TEST(WfGeneratorTest, HeavyTailStretchesRuntimes) {
+  GenOptions base;
+  base.seed = 3;
+  base.levels = 6;
+  base.width = 6;
+  GenOptions tailed = base;
+  tailed.heavy_tail_alpha = 0.5;  // very fat tail
+  double base_max = 0;
+  double tailed_max = 0;
+  for (const WfTask& t : GenerateWfBench(base).tasks) {
+    base_max = std::max(base_max, t.runtime_s);
+  }
+  for (const WfTask& t : GenerateWfBench(tailed).tasks) {
+    tailed_max = std::max(tailed_max, t.runtime_s);
+  }
+  // Without a tail, runtimes stay within 1.25x of the largest type
+  // mean (4.0 s); a Pareto(0.5) draw across 36+ tasks all but surely
+  // exceeds that severalfold.
+  EXPECT_GT(tailed_max, base_max * 2);
+}
+
+TEST(WfGeneratorTest, StragglersMultiplyRuntime) {
+  GenOptions options;
+  options.seed = 5;
+  options.levels = 5;
+  options.width = 6;
+  options.straggler_fraction = 0.5;
+  options.straggler_factor = 100;
+  const Instance instance = GenerateWfBench(options);
+  int stragglers = 0;
+  for (const WfTask& t : instance.tasks) {
+    if (t.runtime_s > 50) ++stragglers;  // means top out at 4 s
+  }
+  EXPECT_GT(stragglers, 0);
+  EXPECT_LT(stragglers, static_cast<int>(instance.tasks.size()));
+}
+
+TEST(WfGeneratorTest, GpuTypesTargetTheGpuWhenBuilt) {
+  GenOptions options;
+  options.seed = 9;
+  options.levels = 5;
+  options.width = 5;
+  options.types = DefaultTaskTypes(2);
+  const Instance instance = GenerateWfBench(options);
+  auto built = BuildInstance(instance, BuildOptions{});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  int gpu_tasks = 0;
+  for (runtime::TaskId t = 0; t < built->graph.num_tasks(); ++t) {
+    const runtime::Task& task = built->graph.task(t);
+    const bool name_says_gpu =
+        task.spec.type.find("gpu") != std::string::npos;
+    EXPECT_EQ(task.spec.processor == Processor::kGpu, name_says_gpu);
+    if (name_says_gpu) ++gpu_tasks;
+  }
+  // train_gpu + infer_gpu carry 4/12 of the draw weight; 20+ tasks
+  // without a single GPU draw would mean the type library is ignored.
+  EXPECT_GT(gpu_tasks, 0);
+}
+
+TEST(WfGeneratorTest, RoundTripsThroughWfFormat) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    GenOptions options;
+    options.seed = seed;
+    options.heavy_tail_alpha = seed % 2 == 0 ? 1.3 : 0.0;
+    options.types = DefaultTaskTypes(static_cast<int>(seed % 3));
+    const Instance original = GenerateWfBench(options);
+    auto reimported = ImportWfFormat(ExportWfFormat(original));
+    ASSERT_TRUE(reimported.ok())
+        << "seed " << seed << ": " << reimported.status().ToString();
+    std::string why;
+    EXPECT_TRUE(StructurallyEqual(original, *reimported, &why))
+        << "seed " << seed << ": " << why;
+  }
+}
+
+TEST(WfGeneratorTest, GeneratedInstanceRunsOnThreadPoolAndSim) {
+  GenOptions options;
+  options.seed = 21;
+  options.levels = 4;
+  options.width = 3;
+  const Instance instance = GenerateWfBench(options);
+
+  auto materialized = BuildInstance(instance, BuildOptions{});
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+  runtime::ThreadPoolExecutor pool(runtime::RunOptions{});
+  auto pool_report = pool.Execute(materialized->graph);
+  ASSERT_TRUE(pool_report.ok()) << pool_report.status().ToString();
+  EXPECT_EQ(pool_report->records.size(), instance.tasks.size());
+
+  // Simulation-only build keeps the true byte sizes.
+  BuildOptions sim_options;
+  sim_options.materialize = false;
+  auto sim_built = BuildInstance(instance, sim_options);
+  ASSERT_TRUE(sim_built.ok()) << sim_built.status().ToString();
+  runtime::SimulatedExecutor sim(hw::MinotauroCluster(),
+                                 runtime::RunOptions{});
+  auto sim_report = sim.Execute(sim_built->graph);
+  ASSERT_TRUE(sim_report.ok()) << sim_report.status().ToString();
+  EXPECT_EQ(sim_report->records.size(), instance.tasks.size());
+  EXPECT_GT(sim_report->makespan, 0);
+}
+
+TEST(WfGeneratorTest, SimOnlyBuildKeepsTrueBytes) {
+  Instance instance;
+  instance.files.push_back({"big.dat", 1ull << 30});
+  instance.files.push_back({"out.dat", 512});
+  WfTask task;
+  task.name = "consume_00001";
+  task.type = "consume";
+  task.inputs = {"big.dat"};
+  task.outputs = {"out.dat"};
+  instance.tasks.push_back(task);
+
+  BuildOptions sim_options;
+  sim_options.materialize = false;
+  auto sim_built = BuildInstance(instance, sim_options);
+  ASSERT_TRUE(sim_built.ok());
+  EXPECT_EQ(sim_built->graph.data(sim_built->file_ids[0]).bytes, 1ull << 30);
+
+  // The materialized build miniaturizes instead of allocating 1 GiB.
+  auto materialized = BuildInstance(instance, BuildOptions{});
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_LE(materialized->graph.data(materialized->file_ids[0]).bytes,
+            16u * 16u * 8u);
+}
+
+}  // namespace
+}  // namespace taskbench::wf

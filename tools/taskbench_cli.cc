@@ -18,6 +18,16 @@
 //                --max-in-flight=N --max-queued=N (admission caps)
 //                --deadline=S --cancel-every=N (tenant 0 cancels
 //                  every Nth of its own submissions)
+//   import     Import a WfFormat (WfCommons) workflow instance, print
+//              its structure, and run it. Options:
+//                --executor=sim|threads|procs  (default sim: the
+//                  simulation keeps the instance's true byte sizes;
+//                  threads/procs execute a materialized miniature and
+//                  print a bit-exact value digest)
+//                --policy=gen-order|locality|cost  --workers=N
+//                --export=PATH  re-serialize the imported instance as
+//                  normalized WfFormat JSON (round-trip check)
+//                --stats-only   validate + print structure, don't run
 //   sweep      Sweep the paper's grid dimensions for one algorithm.
 //   correlate  Run the correlation sample set; print/export the matrix.
 //   recommend  Auto-tune block dimension + processor for a workload.
@@ -58,7 +68,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -78,14 +91,20 @@
 #include "data/generators.h"
 #include "common/random.h"
 #include "obs/metrics.h"
+#include "check/digest.h"
 #include "runtime/executor_factory.h"
 #include "runtime/fault.h"
 #include "runtime/metrics_export.h"
+#include "runtime/multiproc_executor.h"
 #include "runtime/scheduler.h"
 #include "runtime/simulated_executor.h"
+#include "runtime/thread_pool_executor.h"
 #include "runtime/trace.h"
 #include "service/load.h"
 #include "service/workflow_service.h"
+#include "wf/build.h"
+#include "wf/import.h"
+#include "wf/instance.h"
 
 namespace tb = taskbench;
 using tb::analysis::Algorithm;
@@ -668,10 +687,119 @@ int CmdDag(const tb::Args& args) {
   return 0;
 }
 
+int CmdImport(const tb::Args& args) {
+  if (args.positional().size() < 2) {
+    return Fail("usage: taskbench import FILE [--executor=sim|threads|procs]"
+                " [--policy=...] [--workers=N] [--export=PATH]"
+                " [--stats-only]");
+  }
+  const std::string path = args.positional()[1];
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Fail("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  auto instance = tb::wf::ImportWfFormat(text.str());
+  if (!instance.ok()) {
+    return Fail("import of '" + path + "' failed: " +
+                instance.status().ToString());
+  }
+  auto stats = tb::wf::ComputeStats(*instance);
+  if (!stats.ok()) return Fail(stats.status().ToString());
+  std::printf("workflow:    %s (schema %s)\n", instance->name.c_str(),
+              instance->schema.c_str());
+  std::printf("tasks:       %lld\n", static_cast<long long>(stats->tasks));
+  std::printf("files:       %lld (%llu bytes)\n",
+              static_cast<long long>(stats->files),
+              static_cast<unsigned long long>(stats->total_bytes));
+  std::printf("edges:       %lld\n", static_cast<long long>(stats->edges));
+  std::printf("height:      %lld\n", static_cast<long long>(stats->height));
+  std::printf("width:       %lld\n", static_cast<long long>(stats->width));
+  std::map<std::string, int> by_type;
+  for (const tb::wf::WfTask& task : instance->tasks) ++by_type[task.type];
+  for (const auto& [type, count] : by_type) {
+    std::printf("  type %-18s x%d\n", type.c_str(), count);
+  }
+
+  if (args.Has("export")) {
+    const std::string out_path = args.GetString("export", "");
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out.good()) return Fail("cannot write '" + out_path + "'");
+    out << tb::wf::ExportWfFormat(*instance);
+    std::printf("exported normalized WfFormat to %s\n", out_path.c_str());
+  }
+  if (args.Has("stats-only")) return 0;
+
+  const std::string policy_name = args.GetString("policy", "gen-order");
+  const auto policy = tb::runtime::ParseSchedulingPolicy(policy_name);
+  if (!policy.has_value()) {
+    return Fail("--policy expects gen-order|locality|cost, got '" +
+                policy_name + "'");
+  }
+  const auto workers_or = args.GetInt("workers", 4);
+  if (!workers_or.ok() || *workers_or < 1) return Fail("bad --workers");
+  tb::runtime::RunOptions run_options;
+  run_options.policy = *policy;
+  run_options.num_threads = static_cast<int>(*workers_or);
+
+  const std::string executor = args.GetString("executor", "sim");
+  if (executor == "sim") {
+    tb::wf::BuildOptions build_options;
+    build_options.materialize = false;  // keep true WfFormat bytes
+    auto built = tb::wf::BuildInstance(*instance, build_options);
+    if (!built.ok()) return Fail(built.status().ToString());
+    tb::runtime::SimulatedExecutor sim(tb::hw::MinotauroCluster(),
+                                       run_options);
+    auto report = sim.Execute(built->graph);
+    if (!report.ok()) return Fail(report.status().ToString());
+    std::printf("executor:    simulated (policy %s)\n",
+                tb::ToString(run_options.policy).c_str());
+    std::printf("makespan:    %.6f s\n", report->makespan);
+    std::printf("report digest: %016llx\n",
+                static_cast<unsigned long long>(
+                    tb::check::DigestReport(*report)));
+    return 0;
+  }
+
+  auto built = tb::wf::BuildInstance(*instance, tb::wf::BuildOptions{});
+  if (!built.ok()) return Fail(built.status().ToString());
+  std::unique_ptr<tb::runtime::Executor> real;
+  if (executor == "threads") {
+    real = std::make_unique<tb::runtime::ThreadPoolExecutor>(run_options);
+  } else if (executor == "procs") {
+    if (!tb::runtime::MultiProcExecutor::Supported()) {
+      return Fail("--executor=procs is unsupported on this platform");
+    }
+    real = std::make_unique<tb::runtime::MultiProcExecutor>(run_options);
+  } else {
+    return Fail("--executor expects sim|threads|procs, got '" + executor +
+                "'");
+  }
+  auto report = real->Run(built->graph);
+  if (!report.ok()) return Fail(report.status().ToString());
+  uint64_t digest = tb::check::kFnvOffsetBasis;
+  for (const tb::runtime::DataId id : built->data) {
+    auto value = real->Fetch(built->graph, id);
+    if (!value.ok()) return Fail(value.status().ToString());
+    const int64_t dims[2] = {value->rows(), value->cols()};
+    digest = tb::check::FoldBytes(digest, dims, sizeof(dims));
+    digest = tb::check::FoldBytes(digest, value->data(),
+                                  static_cast<size_t>(value->size()) * 8);
+  }
+  std::printf("executor:    %s (%d workers, policy %s)\n",
+              real->name().c_str(), run_options.num_threads,
+              tb::ToString(run_options.policy).c_str());
+  std::printf("tasks run:   %zu\n", report->records.size());
+  std::printf("value digest: %016llx\n",
+              static_cast<unsigned long long>(digest));
+  return 0;
+}
+
 void PrintUsage() {
   std::printf(
       "taskbench — distributed GPU task-workflow performance testbed\n\n"
-      "usage: taskbench <run|exec|serve|sweep|correlate|recommend|dag> "
+      "usage: taskbench "
+      "<run|exec|serve|import|sweep|correlate|recommend|dag> "
       "[options]\n\n"
       "common options:\n"
       "  --algorithm=matmul|matmul-fma|kmeans   --dataset=NAME\n"
@@ -682,6 +810,9 @@ void PrintUsage() {
       "real execution (exec):\n"
       "  --executor=threads|procs  --workers=N|Nproc  --n=SIZE  "
       "--block-dim=D\n"
+      "workflow import (import FILE):\n"
+      "  --executor=sim|threads|procs  --workers=N  --policy=...\n"
+      "  --export=PATH  --stats-only\n"
       "resident service (serve):\n"
       "  --executor=threads|sim  --runners=N  --duration=S\n"
       "  --tenants=N  --rate=HZ  --skew=F  "
@@ -709,6 +840,7 @@ int main(int argc, char** argv) {
   if (command == "run") return CmdRun(args);
   if (command == "exec") return CmdExec(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "import") return CmdImport(args);
   if (command == "sweep") return CmdSweep(args);
   if (command == "correlate") return CmdCorrelate(args);
   if (command == "recommend") return CmdRecommend(args);

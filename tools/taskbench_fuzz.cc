@@ -7,17 +7,21 @@
 // divergence: the tool prints the seed, the offending configuration
 // and a single-seed repro command, then exits non-zero.
 //
-// Usage: taskbench_fuzz [--seeds A..B | --seeds N] [--threads T]
-//                       [--no-faults] [--no-sim] [--no-multiproc]
-//                       [--verbose]
+// Usage: taskbench_fuzz [--seeds A..B | --seeds N] [--wf-seeds A..B]
+//                       [--threads T] [--no-faults] [--no-sim]
+//                       [--no-multiproc] [--verbose]
 //
-//   --seeds 0..99   inclusive seed range (default 0..19)
-//   --seeds 100     shorthand for 0..99
-//   --threads T     worker count of the parallel legs (default 4)
-//   --no-faults     skip the fault-injection legs
-//   --no-sim        skip the simulated-executor matrix
-//   --no-multiproc  skip the multi-process (shm arena) legs
-//   --verbose       print every seed's workload and config counts
+//   --seeds 0..99    inclusive seed range (default 0..19)
+//   --seeds 100      shorthand for 0..99
+//   --wf-seeds A..B  also fuzz the WfBench workflow corpus
+//                    (GenerateWfSpec: generate -> WfFormat round-trip
+//                    -> build -> full differential matrix). Given
+//                    without --seeds, only the wf corpus runs.
+//   --threads T      worker count of the parallel legs (default 4)
+//   --no-faults      skip the fault-injection legs
+//   --no-sim         skip the simulated-executor matrix
+//   --no-multiproc   skip the multi-process (shm arena) legs
+//   --verbose        print every seed's workload and config counts
 
 #include <cstdint>
 #include <cstdio>
@@ -53,8 +57,8 @@ bool ParseSeeds(const char* arg, uint64_t* first, uint64_t* last) {
 int Usage() {
   std::fprintf(stderr,
                "usage: taskbench_fuzz [--seeds A..B | --seeds N] "
-               "[--threads T] [--no-faults] [--no-sim] [--no-multiproc] "
-               "[--verbose]\n");
+               "[--wf-seeds A..B] [--threads T] [--no-faults] [--no-sim] "
+               "[--no-multiproc] [--verbose]\n");
   return 2;
 }
 
@@ -63,11 +67,19 @@ int Usage() {
 int main(int argc, char** argv) {
   uint64_t first = 0;
   uint64_t last = 19;
+  bool have_seeds = false;
+  uint64_t wf_first = 0;
+  uint64_t wf_last = 0;
+  bool have_wf_seeds = false;
   bool verbose = false;
   taskbench::check::DifferentialOptions options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       if (!ParseSeeds(argv[++i], &first, &last)) return Usage();
+      have_seeds = true;
+    } else if (std::strcmp(argv[i], "--wf-seeds") == 0 && i + 1 < argc) {
+      if (!ParseSeeds(argv[++i], &wf_first, &wf_last)) return Usage();
+      have_wf_seeds = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.threads = std::atoi(argv[++i]);
       if (options.threads < 1) return Usage();
@@ -84,31 +96,42 @@ int main(int argc, char** argv) {
     }
   }
 
-  uint64_t divergent_seeds = 0;
-  for (uint64_t seed = first; seed <= last; ++seed) {
-    const taskbench::check::WorkloadSpec spec =
-        taskbench::check::GenerateSpec(seed);
-    const taskbench::check::DifferentialResult result =
-        taskbench::check::RunDifferential(spec, options);
-    if (verbose || !result.ok()) {
-      std::printf("seed %llu: %s (%d real + %d sim configs)%s\n",
-                  static_cast<unsigned long long>(seed),
-                  spec.Describe().c_str(), result.real_configs,
-                  result.sim_configs, result.ok() ? " ok" : " DIVERGED");
-    }
-    if (!result.ok()) {
-      ++divergent_seeds;
-      std::fputs(result.Summary().c_str(), stdout);
-      std::printf("  repro: taskbench_fuzz --seeds %llu..%llu%s%s%s\n",
-                  static_cast<unsigned long long>(seed),
-                  static_cast<unsigned long long>(seed),
-                  options.include_faults ? "" : " --no-faults",
-                  options.include_sim ? "" : " --no-sim",
-                  options.include_multiproc ? "" : " --no-multiproc");
-    }
-  }
+  // --wf-seeds alone restricts the run to the wf corpus (the repro
+  // command a wf divergence prints must not drag the base corpus in).
+  const bool run_base = have_seeds || !have_wf_seeds;
 
-  const uint64_t total = last - first + 1;
+  uint64_t divergent_seeds = 0;
+  uint64_t total = 0;
+  const auto run_corpus = [&](uint64_t lo, uint64_t hi, bool wf) {
+    for (uint64_t seed = lo; seed <= hi; ++seed) {
+      const taskbench::check::WorkloadSpec spec =
+          wf ? taskbench::check::GenerateWfSpec(seed)
+             : taskbench::check::GenerateSpec(seed);
+      const taskbench::check::DifferentialResult result =
+          taskbench::check::RunDifferential(spec, options);
+      if (verbose || !result.ok()) {
+        std::printf("%sseed %llu: %s (%d real + %d sim configs)%s\n",
+                    wf ? "wf-" : "", static_cast<unsigned long long>(seed),
+                    spec.Describe().c_str(), result.real_configs,
+                    result.sim_configs, result.ok() ? " ok" : " DIVERGED");
+      }
+      if (!result.ok()) {
+        ++divergent_seeds;
+        std::fputs(result.Summary().c_str(), stdout);
+        std::printf("  repro: taskbench_fuzz --%s %llu..%llu%s%s%s\n",
+                    wf ? "wf-seeds" : "seeds",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(seed),
+                    options.include_faults ? "" : " --no-faults",
+                    options.include_sim ? "" : " --no-sim",
+                    options.include_multiproc ? "" : " --no-multiproc");
+      }
+      ++total;
+    }
+  };
+  if (run_base) run_corpus(first, last, /*wf=*/false);
+  if (have_wf_seeds) run_corpus(wf_first, wf_last, /*wf=*/true);
+
   std::printf("%llu/%llu seeds clean\n",
               static_cast<unsigned long long>(total - divergent_seeds),
               static_cast<unsigned long long>(total));
